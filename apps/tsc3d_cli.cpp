@@ -1,0 +1,193 @@
+// tsc3d -- thermal side-channel-aware 3D floorplanning.
+//
+// Command-line driver for the full Fig. 3 flow, in the spirit of the
+// Corblivar binary the paper released its techniques in.  Usage:
+//
+//   tsc3d [--config=FILE] [--benchmark=n100 | --blocks=F [--nets=F]
+//         [--pl=F] [--power=F]] [--mode=power|tsc] [--seed=N]
+//         [--moves=N] [--out=DIR] [--quiet]
+//
+// The design comes either from a named Table 1 benchmark (synthetic,
+// deterministic per seed) or from GSRC bookshelf files.  The flow
+// floorplans it, prints the Table 2 metric row, and optionally writes
+// the power/thermal maps (CSV + PGM) and the placed GSRC bundle to
+// --out.  Exit code 0 on a legal floorplan, 2 on an illegal one, 1 on
+// usage/config errors.
+#include <filesystem>
+#include <iostream>
+#include <string>
+
+#include "benchgen/generator.hpp"
+#include "benchgen/gsrc_io.hpp"
+#include "config/apply.hpp"
+#include "config/config_file.hpp"
+#include "core/map_io.hpp"
+#include "floorplan/floorplanner.hpp"
+#include "thermal/grid_solver.hpp"
+
+namespace {
+
+struct CliArgs {
+  std::string config;
+  std::string benchmark = "n100";
+  std::string blocks, nets, pl, power;
+  std::string mode;  // empty = from config / default
+  std::string out;
+  std::uint64_t seed = 1;
+  std::size_t moves = 0;
+  bool quiet = false;
+  bool help = false;
+};
+
+void print_usage() {
+  std::cout <<
+      "tsc3d: thermal side-channel-aware 3D floorplanner (DAC'17)\n"
+      "\n"
+      "usage: tsc3d [options]\n"
+      "  --config=FILE     Corblivar-style config file\n"
+      "  --benchmark=NAME  Table 1 benchmark (n100 n200 n300 ibm01 ibm03\n"
+      "                    ibm07); ignored when --blocks is given\n"
+      "  --blocks=FILE     GSRC .blocks input\n"
+      "  --nets=FILE       GSRC .nets input\n"
+      "  --pl=FILE         GSRC .pl input (initial placement)\n"
+      "  --power=FILE      per-module power sidecar\n"
+      "  --mode=power|tsc  flow preset (overrides config)\n"
+      "  --seed=N          RNG seed (default 1)\n"
+      "  --moves=N         SA moves (0 = auto)\n"
+      "  --out=DIR         write maps + placed GSRC bundle here\n"
+      "  --quiet           suppress the per-metric report\n"
+      "  --help            this text\n";
+}
+
+CliArgs parse_args(int argc, char** argv) {
+  CliArgs args;
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    const auto value = [&](const std::string& prefix) {
+      return arg.substr(prefix.size());
+    };
+    if (arg == "--help" || arg == "-h") args.help = true;
+    else if (arg == "--quiet") args.quiet = true;
+    else if (arg.rfind("--config=", 0) == 0) args.config = value("--config=");
+    else if (arg.rfind("--benchmark=", 0) == 0)
+      args.benchmark = value("--benchmark=");
+    else if (arg.rfind("--blocks=", 0) == 0) args.blocks = value("--blocks=");
+    else if (arg.rfind("--nets=", 0) == 0) args.nets = value("--nets=");
+    else if (arg.rfind("--pl=", 0) == 0) args.pl = value("--pl=");
+    else if (arg.rfind("--power=", 0) == 0) args.power = value("--power=");
+    else if (arg.rfind("--mode=", 0) == 0) args.mode = value("--mode=");
+    else if (arg.rfind("--seed=", 0) == 0)
+      args.seed = std::stoull(value("--seed="));
+    else if (arg.rfind("--moves=", 0) == 0)
+      args.moves = std::stoul(value("--moves="));
+    else if (arg.rfind("--out=", 0) == 0) args.out = value("--out=");
+    else
+      throw std::runtime_error("unknown argument: " + arg +
+                               " (try --help)");
+  }
+  return args;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  using namespace tsc3d;
+  try {
+    const CliArgs args = parse_args(argc, argv);
+    if (args.help) {
+      print_usage();
+      return 0;
+    }
+
+    config::ConfigFile cfg;
+    if (!args.config.empty()) cfg = config::ConfigFile::load(args.config);
+
+    floorplan::FloorplannerOptions opt =
+        config::make_floorplanner_options(cfg);
+    if (args.mode == "tsc")
+      opt = floorplan::Floorplanner::tsc_aware_setup();
+    else if (args.mode == "power")
+      opt = floorplan::Floorplanner::power_aware_setup();
+    else if (!args.mode.empty())
+      throw std::runtime_error("--mode must be 'power' or 'tsc'");
+    if (!args.mode.empty() && !args.config.empty())
+      config::apply_thermal(cfg, opt.thermal);  // keep thermal overrides
+    if (args.moves > 0) opt.anneal.total_moves = args.moves;
+
+    TechnologyConfig tech;
+    config::apply_technology(cfg, tech);
+
+    // Reject config typos loudly rather than run with silent defaults.
+    const auto unused = cfg.unused_keys();
+    if (!unused.empty()) {
+      std::cerr << "error: unrecognized config keys:\n";
+      for (const auto& key : unused) std::cerr << "  " << key << "\n";
+      return 1;
+    }
+
+    Floorplan3D fp = args.blocks.empty()
+                         ? benchgen::generate(args.benchmark, args.seed)
+                         : benchgen::read_bundle(tech, args.blocks,
+                                                 args.nets, args.pl,
+                                                 args.power);
+    if (!args.blocks.empty() && !args.config.empty())
+      fp.tech() = tech;  // config technology governs file-based designs
+
+    Rng rng(args.seed);
+    const floorplan::Floorplanner planner(opt);
+    const floorplan::FloorplanMetrics metrics = planner.run(fp, rng);
+
+    if (!args.quiet) {
+      std::cout << "design          : "
+                << (args.blocks.empty() ? args.benchmark : args.blocks)
+                << " (" << fp.modules().size() << " modules, "
+                << fp.nets().size() << " nets)\n"
+                << "mode            : "
+                << (opt.mode == floorplan::FlowMode::tsc_aware ? "tsc"
+                                                               : "power")
+                << "\nlegal           : " << (metrics.legal ? "yes" : "NO")
+                << "\ncorrelation r1  : " << metrics.correlation[0]
+                << "\ncorrelation r2  : " << metrics.correlation[1]
+                << "\nspatial entropy : " << metrics.entropy[0] << " / "
+                << metrics.entropy[1]
+                << "\npower [W]       : " << metrics.power_w
+                << "\ncritical delay  : " << metrics.critical_delay_ns
+                << " ns\nwirelength [m]  : " << metrics.wirelength_m
+                << "\npeak temp [K]   : " << metrics.peak_k
+                << "\nsignal TSVs     : " << metrics.signal_tsvs
+                << "\ndummy TSVs      : " << metrics.dummy_tsvs
+                << "\nvoltage volumes : " << metrics.voltage_volumes
+                << "\nruntime [s]     : " << metrics.runtime_s << "\n";
+    }
+
+    if (!args.out.empty()) {
+      const std::filesystem::path dir(args.out);
+      std::filesystem::create_directories(dir);
+      benchgen::write_bundle(fp, dir / "floorplan");
+
+      const thermal::GridSolver solver(fp.tech(), opt.thermal);
+      const std::size_t nx = opt.thermal.grid_nx, ny = opt.thermal.grid_ny;
+      std::vector<GridD> power;
+      for (std::size_t d = 0; d < fp.tech().num_dies; ++d)
+        power.push_back(fp.power_map(d, nx, ny));
+      const auto thermal_res =
+          solver.solve_steady(power, fp.tsv_density_map(nx, ny));
+      for (std::size_t d = 0; d < fp.tech().num_dies; ++d) {
+        const std::string stem = "die" + std::to_string(d);
+        write_csv(power[d], dir / (stem + "_power.csv"));
+        write_pgm(power[d], dir / (stem + "_power.pgm"));
+        write_csv(thermal_res.die_temperature[d],
+                  dir / (stem + "_thermal.csv"));
+        write_pgm(thermal_res.die_temperature[d],
+                  dir / (stem + "_thermal.pgm"));
+      }
+      if (!args.quiet)
+        std::cout << "outputs written : " << dir.string() << "\n";
+    }
+
+    return metrics.legal ? 0 : 2;
+  } catch (const std::exception& e) {
+    std::cerr << "error: " << e.what() << "\n";
+    return 1;
+  }
+}

@@ -1,0 +1,113 @@
+// Section 8 (future work) / footnote 1: "Thermal maps would be
+// considerably different for other 3D integration flavors, e.g., for
+// monolithic 3D ICs."  This harness quantifies that: the same logical
+// design is evaluated under TSV-based stacking and under monolithic
+// integration (thin tiers, nanoscale MIVs), comparing
+//
+//   * the per-die power-temperature correlations r1/r2 (Eq. 1),
+//   * the cross-tier coupling (bottom power vs top temperature), and
+//   * the leverage of the via-arrangement lever: |thermal-map shift|
+//     between a via-free and a densely via'd configuration.
+//
+// Expected trends: monolithic tiers couple far more strongly (thin ILD),
+// and MIVs are too small to serve as decorrelating "heat pipes" -- so the
+// paper's TSV-arrangement lever loses most of its power, motivating the
+// future-work tailoring the authors call for.
+#include <iostream>
+
+#include "bench_util.hpp"
+#include "benchgen/generator.hpp"
+#include "floorplan/annealer.hpp"
+#include "leakage/pearson.hpp"
+#include "thermal/grid_solver.hpp"
+#include "tsv/planner.hpp"
+
+using namespace tsc3d;
+
+namespace {
+
+struct FlavorMetrics {
+  double r1 = 0.0;
+  double r2 = 0.0;
+  double cross_tier = 0.0;
+  double via_leverage_k = 0.0;
+  double peak_k = 0.0;
+};
+
+FlavorMetrics evaluate(const Floorplan3D& fp, const ThermalConfig& cfg) {
+  const thermal::GridSolver solver(fp.tech(), cfg);
+  const std::size_t nx = cfg.grid_nx, ny = cfg.grid_ny;
+  std::vector<GridD> power;
+  for (std::size_t d = 0; d < fp.tech().num_dies; ++d)
+    power.push_back(fp.power_map(d, nx, ny));
+
+  const auto res = solver.solve_steady(power, fp.tsv_density_map(nx, ny));
+
+  FlavorMetrics m;
+  m.r1 = leakage::pearson(power[0], res.die_temperature[0]);
+  m.r2 = leakage::pearson(power[1], res.die_temperature[1]);
+  m.cross_tier = leakage::pearson(power[0], res.die_temperature[1]);
+  m.peak_k = res.peak_k;
+
+  // Via-arrangement leverage: how much does a dense via field move the
+  // bottom die's thermal map, compared to no vias at all?
+  const GridD none(nx, ny, 0.0);
+  const GridD dense(nx, ny, 0.3);
+  const auto base = solver.solve_steady(power, none);
+  const auto vias = solver.solve_steady(power, dense);
+  double shift = 0.0;
+  for (std::size_t i = 0; i < base.die_temperature[0].size(); ++i)
+    shift +=
+        std::abs(base.die_temperature[0][i] - vias.die_temperature[0][i]);
+  m.via_leverage_k =
+      shift / static_cast<double>(base.die_temperature[0].size());
+  return m;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  const bench::Flags flags(argc, argv);
+  const auto seed =
+      static_cast<std::uint64_t>(flags.get("seed", std::size_t{7}));
+
+  std::cout << "=== Sec. 8 extension: TSV-based vs monolithic flavor ===\n\n";
+
+  benchgen::BenchmarkSpec spec;
+  spec.name = "flavor";
+  spec.soft_modules = 60;
+  spec.num_nets = 120;
+  spec.num_terminals = 12;
+  spec.outline_mm2 = 9.0;
+  spec.power_w = 6.0;
+
+  ThermalConfig cfg;
+  cfg.grid_nx = cfg.grid_ny = 32;
+
+  bench::Table table({"flavor", "r1", "r2", "cross-tier r", "via leverage [K]",
+                      "peak T [K]"});
+
+  FlavorMetrics tsv_m, mono_m;
+  for (const bool monolithic : {false, true}) {
+    Floorplan3D fp = benchgen::generate(spec, seed);
+    if (monolithic) fp.tech() = make_monolithic(fp.tech());
+
+    Rng rng(seed);
+    floorplan::LayoutState state = floorplan::LayoutState::initial(fp, rng);
+    state.apply_to(fp);
+    tsv::place_signal_tsvs(fp);
+
+    const FlavorMetrics m = evaluate(fp, cfg);
+    table.add(monolithic ? "monolithic" : "tsv-based", m.r1, m.r2,
+              m.cross_tier, m.via_leverage_k, m.peak_k);
+    (monolithic ? mono_m : tsv_m) = m;
+  }
+  table.print();
+
+  std::cout << "\ncross-tier coupling stronger in monolithic: "
+            << (mono_m.cross_tier > tsv_m.cross_tier ? "YES" : "NO")
+            << "\nvia-arrangement leverage weaker in monolithic: "
+            << (mono_m.via_leverage_k < tsv_m.via_leverage_k ? "YES" : "NO")
+            << " (the paper's TSV lever needs re-tailoring, Sec. 8)\n";
+  return 0;
+}

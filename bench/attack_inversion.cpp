@@ -1,0 +1,135 @@
+// Section 2.1, reasons the thermal side channel is attractive -- (iii)
+// "it may serve as proxy for the power side-channel using temperature-
+// to-power interpolation techniques such as [19]".  This harness arms the
+// attacker with that capability (attack/power_inversion.hpp) plus the SVF
+// metric [23] and the covert-channel receiver [5], and measures all three
+// against a power-aware versus a TSC-aware floorplan of n100:
+//
+//   * inversion r: Pearson correlation between the attacker's
+//     temperature-to-power estimate and the true power map (per die);
+//   * SVF: side-channel vulnerability factor over Gaussian activity
+//     phases, oracle = module powers, side = observed thermal map;
+//   * covert capacity: achievable bit/s of an on-chip thermal sender.
+//
+// Expected shape: the TSC-aware floorplan worsens the inversion and the
+// SVF (same direction as r1 in Table 2); the covert-channel capacity is
+// bounded by thermal low-pass physics in both setups (Fig. 1).
+#include <iostream>
+
+#include "attack/covert_channel.hpp"
+#include "attack/power_inversion.hpp"
+#include "attack/sensor.hpp"
+#include "bench_util.hpp"
+#include "benchgen/generator.hpp"
+#include "floorplan/floorplanner.hpp"
+#include "leakage/activity.hpp"
+#include "leakage/svf.hpp"
+
+using namespace tsc3d;
+
+int main(int argc, char** argv) {
+  const bench::Flags flags(argc, argv);
+  const auto seed =
+      static_cast<std::uint64_t>(flags.get("seed", std::size_t{5}));
+  const std::size_t moves = flags.get("moves", std::size_t{0});
+  const std::size_t phases = flags.get("phases", std::size_t{24});
+
+  std::cout << "=== Ref. [19]/[23]/[5] attacker toolkit: PA vs TSC ===\n\n";
+
+  bench::Table table({"setup", "inversion r (die0)", "inversion r (die1)",
+                      "SVF", "covert cap [bit/s]", "covert BER"});
+
+  double svf_values[2] = {0.0, 0.0};
+  double inv_values[2] = {0.0, 0.0};
+  int idx = 0;
+  for (const bool tsc : {false, true}) {
+    floorplan::FloorplannerOptions opt =
+        tsc ? floorplan::Floorplanner::tsc_aware_setup()
+            : floorplan::Floorplanner::power_aware_setup();
+    opt.anneal.total_moves = moves;
+    opt.anneal.stages = 25;
+    opt.anneal.full_eval_interval = 200;
+    opt.dummy.samples_per_iteration = 10;
+    opt.dummy.max_iterations = 6;
+
+    Floorplan3D fp = benchgen::generate("n100", seed);
+    Rng rng(seed);
+    const floorplan::Floorplanner planner(opt);
+    (void)planner.run(fp, rng);
+
+    ThermalConfig cfg = opt.thermal;
+    cfg.grid_nx = cfg.grid_ny = 32;
+    const std::size_t nx = cfg.grid_nx, ny = cfg.grid_ny;
+    const thermal::GridSolver solver(fp.tech(), cfg);
+    const GridD tsv_density = fp.tsv_density_map(nx, ny);
+
+    // --- temperature-to-power inversion on the nominal steady state ----
+    std::vector<GridD> power;
+    for (std::size_t d = 0; d < fp.tech().num_dies; ++d)
+      power.push_back(fp.power_map(d, nx, ny));
+    const auto thermal_res = solver.solve_steady(power, tsv_density);
+
+    attack::InversionOptions iopt;
+    iopt.kernel_sigma_bins = 2.0;
+    double inv_r[2] = {0.0, 0.0};
+    for (std::size_t d = 0; d < 2; ++d) {
+      const auto est =
+          attack::invert_power(thermal_res.die_temperature[d], iopt);
+      inv_r[d] = attack::inversion_correlation(power[d], est.power_estimate);
+    }
+
+    // --- SVF over Gaussian activity phases ----------------------------
+    leakage::ActivityModel activity;
+    leakage::SvfAccumulator svf_acc;
+    attack::SensorGrid sensors;
+    Rng activity_rng(seed + 7);
+    for (std::size_t ph = 0; ph < phases; ++ph) {
+      const auto sample = activity.sample(fp, activity_rng);
+      std::vector<GridD> phase_power;
+      for (std::size_t d = 0; d < fp.tech().num_dies; ++d)
+        phase_power.push_back(fp.power_map(d, nx, ny, &sample));
+      const auto phase_thermal =
+          solver.solve_steady(phase_power, tsv_density);
+      // The attacker's observation: the bottom die's map through sensors.
+      const GridD observed =
+          sensors.observe(phase_thermal.die_temperature[0], nx, ny,
+                          activity_rng);
+      svf_acc.add_phase(sample, observed);
+    }
+    const double svf = svf_acc.svf();
+
+    // --- covert channel from the largest bottom-die module ------------
+    std::size_t sender = 0;
+    double best_area = -1.0;
+    for (std::size_t i = 0; i < fp.modules().size(); ++i) {
+      const auto& m = fp.modules()[i];
+      if (m.die == 0 && m.shape.area() > best_area) {
+        best_area = m.shape.area();
+        sender = i;
+      }
+    }
+    attack::CovertChannelOptions copt;
+    copt.bits = 16;
+    copt.bit_period_s = 0.2;
+    copt.dt_s = 0.02;
+    copt.power_boost = 3.0;
+    Rng covert_rng(seed + 13);
+    const auto covert =
+        attack::run_covert_channel(fp, solver, sender, covert_rng, copt);
+
+    table.add(tsc ? "TSC" : "PA", inv_r[0], inv_r[1], svf,
+              covert.capacity_bps, covert.bit_error_rate);
+    svf_values[idx] = svf;
+    inv_values[idx] = inv_r[0];
+    ++idx;
+  }
+  table.print();
+
+  std::cout << "\nSVF PA -> TSC: " << bench::fmt(svf_values[0], 3) << " -> "
+            << bench::fmt(svf_values[1], 3)
+            << "\ninversion r1 PA -> TSC: " << bench::fmt(inv_values[0], 3)
+            << " -> " << bench::fmt(inv_values[1], 3)
+            << "\n(the paper's Eq. 1 metric and the SVF should move in the "
+               "same direction, Sec. 4.1)\n";
+  return 0;
+}

@@ -1,0 +1,141 @@
+// tsc3d -- thermal side-channel-aware 3D floorplanning.
+//
+// Shared helpers for the experiment harness binaries.  Every bench binary
+// regenerates one table or figure of the paper; common needs are flag
+// parsing (--runs=N, --benchmarks=a,b, --moves=N, --seed=N), simple
+// statistics, and aligned table printing.
+#pragma once
+
+#include <algorithm>
+#include <cmath>
+#include <cstdint>
+#include <cstdio>
+#include <iostream>
+#include <map>
+#include <numeric>
+#include <sstream>
+#include <string>
+#include <vector>
+
+namespace tsc3d::bench {
+
+/// Minimal --key=value flag parser.
+class Flags {
+ public:
+  Flags(int argc, char** argv) {
+    for (int i = 1; i < argc; ++i) {
+      std::string arg = argv[i];
+      if (arg.rfind("--", 0) != 0) continue;
+      arg = arg.substr(2);
+      const auto eq = arg.find('=');
+      if (eq == std::string::npos) {
+        values_[arg] = "1";
+      } else {
+        values_[arg.substr(0, eq)] = arg.substr(eq + 1);
+      }
+    }
+  }
+
+  [[nodiscard]] std::size_t get(const std::string& key,
+                                std::size_t fallback) const {
+    const auto it = values_.find(key);
+    return it == values_.end() ? fallback : std::stoul(it->second);
+  }
+  [[nodiscard]] double get(const std::string& key, double fallback) const {
+    const auto it = values_.find(key);
+    return it == values_.end() ? fallback : std::stod(it->second);
+  }
+  [[nodiscard]] std::string get(const std::string& key,
+                                const std::string& fallback) const {
+    const auto it = values_.find(key);
+    return it == values_.end() ? fallback : it->second;
+  }
+  [[nodiscard]] std::vector<std::string> get_list(
+      const std::string& key, const std::vector<std::string>& fallback) const {
+    const auto it = values_.find(key);
+    if (it == values_.end()) return fallback;
+    std::vector<std::string> out;
+    std::stringstream ss(it->second);
+    std::string item;
+    while (std::getline(ss, item, ',')) {
+      if (!item.empty()) out.push_back(item);
+    }
+    return out;
+  }
+
+ private:
+  std::map<std::string, std::string> values_;
+};
+
+inline double mean(const std::vector<double>& v) {
+  return v.empty() ? 0.0
+                   : std::accumulate(v.begin(), v.end(), 0.0) /
+                         static_cast<double>(v.size());
+}
+
+inline double stddev(const std::vector<double>& v) {
+  if (v.size() < 2) return 0.0;
+  const double m = mean(v);
+  double var = 0.0;
+  for (const double x : v) var += (x - m) * (x - m);
+  return std::sqrt(var / static_cast<double>(v.size()));
+}
+
+/// Simple aligned table printer.
+class Table {
+ public:
+  explicit Table(std::vector<std::string> header)
+      : widths_(header.size(), 0) {
+    add_row(std::move(header));
+  }
+
+  void add_row(std::vector<std::string> cells) {
+    for (std::size_t i = 0; i < cells.size() && i < widths_.size(); ++i)
+      widths_[i] = std::max(widths_[i], cells[i].size());
+    rows_.push_back(std::move(cells));
+  }
+
+  template <typename... Args>
+  void add(Args&&... args) {
+    add_row({to_cell(std::forward<Args>(args))...});
+  }
+
+  void print(std::ostream& os = std::cout) const {
+    for (std::size_t r = 0; r < rows_.size(); ++r) {
+      for (std::size_t c = 0; c < rows_[r].size(); ++c) {
+        os << (c == 0 ? "" : "  ");
+        os.width(static_cast<std::streamsize>(widths_[c]));
+        os << std::left << rows_[r][c];
+      }
+      os << "\n";
+      if (r == 0) {
+        std::size_t total = 0;
+        for (const std::size_t w : widths_) total += w + 2;
+        os << std::string(total, '-') << "\n";
+      }
+    }
+  }
+
+  static std::string to_cell(const std::string& s) { return s; }
+  static std::string to_cell(const char* s) { return s; }
+  static std::string to_cell(std::size_t v) { return std::to_string(v); }
+  static std::string to_cell(int v) { return std::to_string(v); }
+  static std::string to_cell(double v) {
+    char buf[32];
+    std::snprintf(buf, sizeof(buf), "%.3f", v);
+    return buf;
+  }
+
+ private:
+  std::vector<std::vector<std::string>> rows_;
+  std::vector<std::size_t> widths_;
+};
+
+/// Format with explicit precision.
+inline std::string fmt(double v, int digits = 3) {
+  char buf[40];
+  std::snprintf(buf, sizeof(buf), "%.*f", digits, v);
+  return buf;
+}
+
+}  // namespace tsc3d::bench

@@ -1,0 +1,125 @@
+// google-benchmark microbenchmarks of the computational kernels: the
+// sequence-pair packing, the SOR steady-state solve, the power-blurring
+// estimate, the spatial entropy, and the Pearson correlation.  These
+// bound the floorplanner's per-iteration costs.
+#include <benchmark/benchmark.h>
+
+#include "benchgen/generator.hpp"
+#include "floorplan/annealer.hpp"
+#include "floorplan/sequence_pair.hpp"
+#include "leakage/pearson.hpp"
+#include "leakage/spatial_entropy.hpp"
+#include "thermal/power_blur.hpp"
+
+using namespace tsc3d;
+
+namespace {
+
+void BM_SequencePairPack(benchmark::State& state) {
+  const auto n = static_cast<std::size_t>(state.range(0));
+  std::vector<std::size_t> ids(n);
+  std::vector<double> w(n), h(n);
+  Rng rng(1);
+  for (std::size_t i = 0; i < n; ++i) {
+    ids[i] = i;
+    w[i] = rng.uniform(1.0, 50.0);
+    h[i] = rng.uniform(1.0, 50.0);
+  }
+  floorplan::SequencePair sp(ids);
+  sp.shuffle(rng);
+  for (auto _ : state) {
+    const floorplan::Packing p =
+        sp.pack([&](std::size_t id) { return w[id]; },
+                [&](std::size_t id) { return h[id]; });
+    benchmark::DoNotOptimize(p.width);
+  }
+  state.SetComplexityN(static_cast<int64_t>(n));
+}
+BENCHMARK(BM_SequencePairPack)->Arg(50)->Arg(200)->Arg(800)->Complexity();
+
+void BM_SteadyStateSolve(benchmark::State& state) {
+  const auto g = static_cast<std::size_t>(state.range(0));
+  TechnologyConfig tech;
+  tech.die_width_um = tech.die_height_um = 4000.0;
+  ThermalConfig cfg;
+  cfg.grid_nx = cfg.grid_ny = g;
+  const thermal::GridSolver solver(tech, cfg);
+  std::vector<GridD> power(2, GridD(g, g, 0.0));
+  power[0].at(g / 2, g / 2) = 3.0;
+  const GridD tsv(g, g, 0.1);
+  for (auto _ : state) {
+    const auto res = solver.solve_steady(power, tsv);
+    benchmark::DoNotOptimize(res.peak_k);
+  }
+}
+BENCHMARK(BM_SteadyStateSolve)->Arg(16)->Arg(32)->Arg(64)
+    ->Unit(benchmark::kMillisecond);
+
+void BM_PowerBlurEstimate(benchmark::State& state) {
+  TechnologyConfig tech;
+  tech.die_width_um = tech.die_height_um = 4000.0;
+  ThermalConfig cfg;
+  cfg.grid_nx = cfg.grid_ny = 32;
+  const thermal::GridSolver solver(tech, cfg);
+  const thermal::PowerBlur blur(solver, 10);
+  Floorplan3D fp = benchgen::generate("n100", 1);
+  Rng rng(1);
+  floorplan::LayoutState s = floorplan::LayoutState::initial(fp, rng);
+  s.apply_to(fp);
+  const std::vector<GridD> power{fp.power_map(0, 32, 32),
+                                 fp.power_map(1, 32, 32)};
+  const GridD tsv = fp.tsv_density_map(32, 32);
+  for (auto _ : state) {
+    const auto t = blur.estimate(power, tsv);
+    benchmark::DoNotOptimize(t[0][0]);
+  }
+}
+BENCHMARK(BM_PowerBlurEstimate)->Unit(benchmark::kMillisecond);
+
+void BM_SpatialEntropy(benchmark::State& state) {
+  const auto g = static_cast<std::size_t>(state.range(0));
+  GridD power(g, g, 0.0);
+  Rng rng(2);
+  for (auto& v : power) v = rng.lognormal(0.0, 1.0);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(leakage::spatial_entropy(power));
+  }
+}
+BENCHMARK(BM_SpatialEntropy)->Arg(32)->Arg(64);
+
+void BM_Pearson(benchmark::State& state) {
+  const auto g = static_cast<std::size_t>(state.range(0));
+  GridD a(g, g), b(g, g);
+  Rng rng(3);
+  for (std::size_t i = 0; i < a.size(); ++i) {
+    a[i] = rng.uniform();
+    b[i] = rng.uniform();
+  }
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(leakage::pearson(a, b));
+  }
+}
+BENCHMARK(BM_Pearson)->Arg(32)->Arg(64);
+
+void BM_CheapCostEvaluation(benchmark::State& state) {
+  TechnologyConfig tech;
+  ThermalConfig cfg;
+  cfg.grid_nx = cfg.grid_ny = 32;
+  Floorplan3D fp = benchgen::generate("n100", 1);
+  const thermal::GridSolver solver(fp.tech(), cfg);
+  const thermal::PowerBlur blur(solver, 10);
+  floorplan::CostEvaluator::Options opt;
+  opt.leakage_grid = 32;
+  floorplan::CostEvaluator eval(fp, blur, opt);
+  Rng rng(1);
+  floorplan::LayoutState s = floorplan::LayoutState::initial(fp, rng);
+  s.apply_to(fp);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(eval.evaluate_cheap().total);
+  }
+}
+BENCHMARK(BM_CheapCostEvaluation)->Unit(benchmark::kMicrosecond);
+
+}  // namespace
+
+BENCHMARK_MAIN();

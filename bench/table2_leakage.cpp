@@ -1,0 +1,157 @@
+// Table 2 + Figure 5: average spatial entropies (S1, S2), correlation
+// coefficients (r1, r2) and design cost for power-aware (PA) versus
+// thermal side-channel-aware (TSC) floorplanning over all six benchmarks.
+//
+// The paper averages 50 floorplanning runs per setup; the run count and
+// the SA budget are flag-controlled so the full-scale experiment can be
+// reproduced (--runs=50 --moves=40000), while the default settings keep
+// the harness in CI time.  The SHAPE of the result is what matters:
+//   * TSC lowers r1 (bottom die), more so for larger circuits;
+//   * r2 stays high for both setups (heatsink design rule, Sec. 7.2);
+//   * TSC costs a little power (paper: +5.4%), some delay (+10.3%), more
+//     voltage volumes (+87%), few dummy TSVs, and about the same WL.
+#include <iostream>
+
+#include "bench_util.hpp"
+#include "benchgen/generator.hpp"
+#include "floorplan/floorplanner.hpp"
+
+using namespace tsc3d;
+
+namespace {
+
+struct Aggregate {
+  std::vector<double> s1, s2, r1, r2, power, delay, wl, peak, runtime;
+  std::vector<double> signal_tsvs, dummy_tsvs, volumes;
+
+  void add(const floorplan::FloorplanMetrics& m) {
+    s1.push_back(m.entropy[0]);
+    s2.push_back(m.entropy[1]);
+    r1.push_back(m.correlation[0]);
+    r2.push_back(m.correlation[1]);
+    power.push_back(m.power_w);
+    delay.push_back(m.critical_delay_ns);
+    wl.push_back(m.wirelength_m);
+    peak.push_back(m.peak_k);
+    runtime.push_back(m.runtime_s);
+    signal_tsvs.push_back(static_cast<double>(m.signal_tsvs));
+    dummy_tsvs.push_back(static_cast<double>(m.dummy_tsvs));
+    volumes.push_back(static_cast<double>(m.voltage_volumes));
+  }
+};
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  const bench::Flags flags(argc, argv);
+  const std::size_t runs = flags.get("runs", std::size_t{2});
+  const std::size_t moves = flags.get("moves", std::size_t{0});
+  const auto seed = static_cast<std::uint64_t>(flags.get("seed",
+                                                         std::size_t{1}));
+  const std::vector<std::string> names = flags.get_list(
+      "benchmarks", {"n100", "n200", "n300", "ibm01", "ibm03", "ibm07"});
+
+  std::cout << "=== Table 2 / Figure 5: PA vs TSC floorplanning ===\n";
+  std::cout << "runs per setup: " << runs << ", SA moves: " << moves
+            << " (paper: 50 runs)\n\n";
+
+  auto make_options = [&](bool tsc) {
+    floorplan::FloorplannerOptions o =
+        tsc ? floorplan::Floorplanner::tsc_aware_setup()
+            : floorplan::Floorplanner::power_aware_setup();
+    o.anneal.total_moves = moves;  // 0 = auto-scaled
+    o.anneal.stages = 25;
+    o.anneal.full_eval_interval = 200;
+    o.dummy.samples_per_iteration = 10;
+    o.dummy.max_iterations = 6;
+    return o;
+  };
+
+  bench::Table pa_table({"metric", "setup", "n100", "n200", "n300", "ibm01",
+                         "ibm03", "ibm07", "avg"});
+  std::map<std::string, std::map<std::string, Aggregate>> results;
+
+  for (const std::string& name : names) {
+    for (const bool tsc : {false, true}) {
+      const floorplan::Floorplanner planner(make_options(tsc));
+      Aggregate& agg = results[name][tsc ? "TSC" : "PA"];
+      for (std::size_t run = 0; run < runs; ++run) {
+        Floorplan3D fp = benchgen::generate(name, seed + run);
+        Rng rng(seed * 1000 + run * 7 + (tsc ? 1 : 0));
+        const floorplan::FloorplanMetrics m = planner.run(fp, rng);
+        agg.add(m);
+        std::cerr << "  " << name << " " << (tsc ? "TSC" : "PA ") << " run "
+                  << run << ": r1=" << bench::fmt(m.correlation[0])
+                  << " r2=" << bench::fmt(m.correlation[1])
+                  << (m.legal ? "" : " [outline not met]") << " ("
+                  << bench::fmt(m.runtime_s, 1) << " s)\n";
+      }
+    }
+  }
+
+  // --- emit the Table 2 layout ------------------------------------------
+  auto emit = [&](const std::string& label, auto selector, int digits) {
+    for (const std::string& setup : {"PA", "TSC"}) {
+      std::vector<std::string> row{label, setup};
+      double sum = 0.0;
+      for (const std::string& name :
+           {"n100", "n200", "n300", "ibm01", "ibm03", "ibm07"}) {
+        if (!results.count(name)) {
+          row.push_back("-");
+          continue;
+        }
+        const double v = bench::mean(selector(results[name][setup]));
+        row.push_back(bench::fmt(v, digits));
+        sum += v;
+      }
+      row.push_back(bench::fmt(sum / static_cast<double>(names.size()),
+                               digits));
+      pa_table.add_row(row);
+    }
+  };
+  emit("S1 spatial entropy", [](const Aggregate& a) { return a.s1; }, 3);
+  emit("r1 correlation", [](const Aggregate& a) { return a.r1; }, 3);
+  emit("S2 spatial entropy", [](const Aggregate& a) { return a.s2; }, 3);
+  emit("r2 correlation", [](const Aggregate& a) { return a.r2; }, 3);
+  emit("overall power [W]", [](const Aggregate& a) { return a.power; }, 3);
+  emit("critical delay [ns]", [](const Aggregate& a) { return a.delay; }, 3);
+  emit("wirelength [m]", [](const Aggregate& a) { return a.wl; }, 3);
+  emit("peak temp [K]", [](const Aggregate& a) { return a.peak; }, 2);
+  emit("signal TSVs", [](const Aggregate& a) { return a.signal_tsvs; }, 0);
+  emit("dummy thermal TSVs", [](const Aggregate& a) { return a.dummy_tsvs; },
+       1);
+  emit("voltage volumes", [](const Aggregate& a) { return a.volumes; }, 2);
+  emit("runtime [s]", [](const Aggregate& a) { return a.runtime; }, 1);
+  pa_table.print();
+
+  // --- headline comparisons (Sec. 7.2 / 7.3) -----------------------------
+  double r1_pa = 0.0, r1_tsc = 0.0, pw_pa = 0.0, pw_tsc = 0.0, vol_pa = 0.0,
+         vol_tsc = 0.0, wl_pa = 0.0, wl_tsc = 0.0;
+  for (const std::string& name : names) {
+    r1_pa += std::abs(bench::mean(results[name]["PA"].r1));
+    r1_tsc += std::abs(bench::mean(results[name]["TSC"].r1));
+    pw_pa += bench::mean(results[name]["PA"].power);
+    pw_tsc += bench::mean(results[name]["TSC"].power);
+    vol_pa += bench::mean(results[name]["PA"].volumes);
+    vol_tsc += bench::mean(results[name]["TSC"].volumes);
+    wl_pa += bench::mean(results[name]["PA"].wl);
+    wl_tsc += bench::mean(results[name]["TSC"].wl);
+  }
+  const double r1_red = 100.0 * (r1_pa - r1_tsc) / r1_pa;
+  std::cout << "\nTSC vs PA summary (averages over benchmarks):\n";
+  std::cout << "  r1 reduction           : " << bench::fmt(r1_red, 2)
+            << " %   (paper: 7.71 % avg, up to 16.79 %)\n";
+  std::cout << "  power overhead         : "
+            << bench::fmt(100.0 * (pw_tsc - pw_pa) / pw_pa, 2)
+            << " %   (paper: +5.38 %)\n";
+  std::cout << "  voltage-volume overhead: "
+            << bench::fmt(100.0 * (vol_tsc - vol_pa) / vol_pa, 2)
+            << " %   (paper: +87.17 %)\n";
+  std::cout << "  wirelength overhead    : "
+            << bench::fmt(100.0 * (wl_tsc - wl_pa) / wl_pa, 2)
+            << " %   (paper: +1.08 %)\n";
+  const bool shape_holds = r1_tsc <= r1_pa;
+  std::cout << "\nTSC-aware floorplanning lowers the bottom-die correlation: "
+            << (shape_holds ? "YES" : "NO") << "\n";
+  return shape_holds ? 0 : 1;
+}

@@ -1,0 +1,76 @@
+// tsc3d example: a thermal covert channel between two on-chip modules.
+//
+//   $ ./covert_channel_demo
+//
+// Reproduces the scenario behind Masti et al. [5] (Sec. 2.1 of the
+// paper): a sender module modulates its power; a receiver decodes the
+// bit stream from thermal readings.  The demo sweeps the symbol rate and
+// shows the thermal low-pass wall of Fig. 1 -- fast symbols blur
+// together, slow symbols decode cleanly but cap the capacity.
+#include <iostream>
+
+#include "attack/covert_channel.hpp"
+#include "benchgen/generator.hpp"
+#include "floorplan/annealer.hpp"
+#include "tsv/planner.hpp"
+
+int main() {
+  using namespace tsc3d;
+
+  // A small two-die design; the largest bottom-die module is the sender.
+  benchgen::BenchmarkSpec spec;
+  spec.name = "covert";
+  spec.soft_modules = 24;
+  spec.num_nets = 40;
+  spec.num_terminals = 8;
+  spec.outline_mm2 = 4.0;
+  spec.power_w = 3.0;
+  Floorplan3D chip = benchgen::generate(spec, /*seed=*/11);
+
+  Rng rng(11);
+  floorplan::LayoutState layout = floorplan::LayoutState::initial(chip, rng);
+  layout.apply_to(chip);
+  tsv::place_signal_tsvs(chip);
+
+  std::size_t sender = 0;
+  double best_area = -1.0;
+  for (std::size_t i = 0; i < chip.modules().size(); ++i) {
+    const Module& m = chip.modules()[i];
+    if (m.die == 0 && m.shape.area() > best_area) {
+      best_area = m.shape.area();
+      sender = i;
+    }
+  }
+
+  ThermalConfig cfg;
+  cfg.grid_nx = cfg.grid_ny = 16;
+  const thermal::GridSolver solver(chip.tech(), cfg);
+
+  std::cout << "tsc3d covert-channel demo -- sender: module '"
+            << chip.modules()[sender].name << "' ("
+            << chip.modules()[sender].power_w << " W nominal)\n\n"
+            << "bit period [ms] | BER    | capacity [bit/s] | swing [K]\n"
+            << "----------------+--------+------------------+----------\n";
+
+  attack::CovertChannelOptions opt;
+  opt.bits = 24;
+  opt.power_boost = 3.0;
+  opt.dt_s = 0.005;
+
+  Rng channel_rng(23);
+  for (const double period : {0.002, 0.005, 0.02, 0.1, 0.5}) {
+    opt.bit_period_s = period;
+    opt.dt_s = std::min(0.005, period / 4.0);
+    const auto r =
+        attack::run_covert_channel(chip, solver, sender, channel_rng, opt);
+    std::printf("%15.0f | %6.3f | %16.2f | %8.4f\n", 1e3 * period,
+                r.bit_error_rate, r.capacity_bps, r.signal_swing_k);
+  }
+
+  std::cout << "\nThe slow thermal time constants (Fig. 1 of the paper) "
+               "bound the channel:\nfast symbols lose their temperature "
+               "swing, slow symbols decode cleanly\nbut cap the rate -- "
+               "the same low-pass physics that limits the attacker's\n"
+               "thermal side channel limits the covert sender.\n";
+  return 0;
+}

@@ -1,0 +1,102 @@
+// thermal_explorer: interactive-style exploration of the thermal
+// substrate -- build power and TSV maps, solve the stack, and render
+// ASCII heat maps plus the leakage correlation, reproducing the Fig. 2
+// intuition on the terminal.
+//
+//   $ ./thermal_explorer [pattern]
+// patterns: hotspot (default), gradient, checker, islands
+#include <iostream>
+#include <string>
+
+#include "core/config.hpp"
+#include "leakage/pearson.hpp"
+#include "leakage/spatial_entropy.hpp"
+#include "thermal/grid_solver.hpp"
+
+namespace {
+
+constexpr std::size_t kGrid = 24;
+
+void render(const char* title, const tsc3d::GridD& map) {
+  static const char* shades[] = {" ", ".", ":", "-", "=", "+",
+                                 "*", "#", "%", "@"};
+  const double lo = map.min();
+  const double hi = map.max();
+  std::cout << title << "  [" << lo << ", " << hi << "]\n";
+  for (std::size_t iy = kGrid; iy > 0; --iy) {
+    std::cout << "  ";
+    for (std::size_t ix = 0; ix < kGrid; ++ix) {
+      const double v = map.at(ix, iy - 1);
+      const int shade =
+          hi > lo ? static_cast<int>(9.99 * (v - lo) / (hi - lo)) : 0;
+      std::cout << shades[shade] << shades[shade];
+    }
+    std::cout << "\n";
+  }
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  using namespace tsc3d;
+  const std::string pattern = argc > 1 ? argv[1] : "hotspot";
+
+  TechnologyConfig tech;
+  tech.die_width_um = tech.die_height_um = 4000.0;
+  ThermalConfig cfg;
+  cfg.grid_nx = cfg.grid_ny = kGrid;
+  const thermal::GridSolver solver(tech, cfg);
+
+  // --- choose a bottom-die power pattern ---------------------------------
+  std::vector<GridD> power(2, GridD(kGrid, kGrid, 0.0));
+  GridD tsvs(kGrid, kGrid, 0.0);
+  if (pattern == "gradient") {
+    for (std::size_t iy = 0; iy < kGrid; ++iy)
+      for (std::size_t ix = 0; ix < kGrid; ++ix)
+        power[0].at(ix, iy) = 0.002 + 0.02 * static_cast<double>(ix) /
+                                          static_cast<double>(kGrid);
+  } else if (pattern == "checker") {
+    for (std::size_t iy = 0; iy < kGrid; ++iy)
+      for (std::size_t ix = 0; ix < kGrid; ++ix)
+        power[0].at(ix, iy) = ((ix / 3 + iy / 3) % 2 == 0) ? 0.02 : 0.002;
+  } else if (pattern == "islands") {
+    // Hotspots with TSV islands right underneath: the paper's mitigation.
+    for (const auto& [cx, cy] :
+         {std::pair{6u, 6u}, {17u, 17u}, {6u, 17u}}) {
+      for (std::size_t iy = cy - 1; iy <= cy + 1; ++iy)
+        for (std::size_t ix = cx - 1; ix <= cx + 1; ++ix) {
+          power[0].at(ix, iy) = 0.08;
+          tsvs.at(ix, iy) = 1.0;
+        }
+    }
+  } else {  // hotspot
+    for (std::size_t iy = 10; iy < 14; ++iy)
+      for (std::size_t ix = 10; ix < 14; ++ix) power[0].at(ix, iy) = 0.15;
+  }
+  // Top die: mild uniform activity.
+  power[1].fill(0.004);
+
+  const thermal::ThermalResult res = solver.solve_steady(power, tsvs);
+
+  std::cout << "thermal_explorer -- pattern '" << pattern << "'\n\n";
+  render("power map, die 0 [W/bin]", power[0]);
+  std::cout << "\n";
+  render("thermal map, die 0 [K]", res.die_temperature[0]);
+  std::cout << "\n";
+  if (tsvs.max() > 0.0) {
+    render("TSV density", tsvs);
+    std::cout << "\n";
+  }
+
+  std::cout << "peak temperature        : " << res.peak_k << " K\n";
+  std::cout << "heat via heatsink       : " << res.heat_to_sink_w << " W\n";
+  std::cout << "heat via package        : " << res.heat_to_package_w
+            << " W\n";
+  std::cout << "correlation r1 (Eq. 1)  : "
+            << leakage::pearson(power[0], res.die_temperature[0]) << "\n";
+  std::cout << "spatial entropy S1      : "
+            << leakage::spatial_entropy(power[0]) << "\n";
+  std::cout << "\ntry: ./thermal_explorer islands   (TSV islands under the\n"
+               "hotspots visibly flatten the thermal map and cut r1)\n";
+  return 0;
+}

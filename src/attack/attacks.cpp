@@ -1,0 +1,254 @@
+#include "attack/attacks.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <numeric>
+
+namespace tsc3d::attack {
+
+namespace {
+
+/// Solve the steady state for a given per-module power vector and return
+/// the attacker's view (noisy, sensor-limited, interpolated) per die.
+std::vector<GridD> observe_state(const Floorplan3D& fp,
+                                 const thermal::GridSolver& solver,
+                                 const std::vector<double>& module_power,
+                                 const SensorGrid& sensors, Rng& rng) {
+  const std::size_t g = solver.nx();
+  std::vector<GridD> power;
+  for (std::size_t d = 0; d < fp.tech().num_dies; ++d)
+    power.push_back(fp.power_map(d, g, solver.ny(), &module_power));
+  const thermal::ThermalResult res =
+      solver.solve_steady(power, fp.tsv_density_map(g, solver.ny()));
+  std::vector<GridD> views;
+  for (std::size_t d = 0; d < fp.tech().num_dies; ++d)
+    views.push_back(sensors.observe(res.die_temperature[d], g, solver.ny(),
+                                    rng));
+  return views;
+}
+
+/// Modules ordered by area (largest first) -- the natural probing order
+/// for an attacker armed only with datasheet-level knowledge.
+std::vector<std::size_t> probe_order(const Floorplan3D& fp,
+                                     std::size_t max_modules) {
+  std::vector<std::size_t> order(fp.modules().size());
+  std::iota(order.begin(), order.end(), 0);
+  std::sort(order.begin(), order.end(), [&](std::size_t a, std::size_t b) {
+    return fp.modules()[a].area_um2 > fp.modules()[b].area_um2;
+  });
+  if (order.size() > max_modules) order.resize(max_modules);
+  return order;
+}
+
+std::vector<double> nominal_power(const Floorplan3D& fp) {
+  std::vector<double> p(fp.modules().size(), 0.0);
+  for (std::size_t i = 0; i < p.size(); ++i) p[i] = fp.effective_power(i);
+  return p;
+}
+
+}  // namespace
+
+LocalizationResult run_localization_attack(const Floorplan3D& fp,
+                                           const thermal::GridSolver& solver,
+                                           Rng& rng,
+                                           const AttackOptions& options) {
+  LocalizationResult result;
+  const SensorGrid sensors(options.sensors);
+  const std::size_t g = solver.nx();
+  const double bw = fp.tech().die_width_um / static_cast<double>(g);
+  const double bh = fp.tech().die_height_um / static_cast<double>(solver.ny());
+
+  const std::vector<double> base_power = nominal_power(fp);
+  const std::vector<GridD> baseline =
+      observe_state(fp, solver, base_power, sensors, rng);
+
+  double error_sum = 0.0;
+  for (const std::size_t target : probe_order(fp, options.max_modules)) {
+    std::vector<double> boosted = base_power;
+    boosted[target] *= 1.0 + options.activity_boost;
+    const std::vector<GridD> view =
+        observe_state(fp, solver, boosted, sensors, rng);
+
+    // The attacker picks the bin with the largest temperature increase
+    // over the baseline, across all dies.
+    double best = -1.0;
+    std::size_t best_die = 0, best_bin = 0;
+    for (std::size_t d = 0; d < view.size(); ++d) {
+      for (std::size_t i = 0; i < view[d].size(); ++i) {
+        const double delta = view[d][i] - baseline[d][i];
+        if (delta > best) {
+          best = delta;
+          best_die = d;
+          best_bin = i;
+        }
+      }
+    }
+    const Point guess{(static_cast<double>(best_bin % g) + 0.5) * bw,
+                      (static_cast<double>(best_bin / g) + 0.5) * bh};
+
+    const Module& m = fp.modules()[target];
+    ++result.modules_tested;
+    error_sum += euclidean(guess, m.shape.center());
+    if (best_die == m.die) {
+      ++result.die_correct;
+      Rect grown = m.shape;
+      grown.x -= options.tolerance_um;
+      grown.y -= options.tolerance_um;
+      grown.w += 2.0 * options.tolerance_um;
+      grown.h += 2.0 * options.tolerance_um;
+      if (grown.contains(guess)) ++result.localized;
+    }
+  }
+  if (result.modules_tested > 0)
+    result.mean_error_um =
+        error_sum / static_cast<double>(result.modules_tested);
+  return result;
+}
+
+CharacterizationResult run_characterization_attack(
+    const Floorplan3D& fp, const thermal::GridSolver& solver, Rng& rng,
+    const AttackOptions& options) {
+  CharacterizationResult result;
+  const SensorGrid sensors(options.sensors);
+
+  const std::vector<double> base_power = nominal_power(fp);
+  const std::vector<GridD> baseline =
+      observe_state(fp, solver, base_power, sensors, rng);
+  const std::vector<std::size_t> probes =
+      probe_order(fp, options.max_modules);
+
+  // Per-module signature: observed temperature delta per watt of boost,
+  // concatenated over dies.
+  std::vector<std::vector<double>> signatures;
+  for (const std::size_t target : probes) {
+    std::vector<double> boosted = base_power;
+    const double dp = base_power[target] * options.activity_boost;
+    if (dp <= 0.0) {
+      signatures.emplace_back();
+      continue;
+    }
+    boosted[target] += dp;
+    const std::vector<GridD> view =
+        observe_state(fp, solver, boosted, sensors, rng);
+    std::vector<double> sig;
+    for (std::size_t d = 0; d < view.size(); ++d)
+      for (std::size_t i = 0; i < view[d].size(); ++i)
+        sig.push_back((view[d][i] - baseline[d][i]) / dp);
+    signatures.push_back(std::move(sig));
+  }
+  result.modules_profiled = signatures.size();
+
+  // Pairwise signature separation (distinguishability of modules).
+  double sep_sum = 0.0;
+  std::size_t sep_cnt = 0;
+  for (std::size_t a = 0; a < signatures.size(); ++a) {
+    for (std::size_t b = a + 1; b < signatures.size(); ++b) {
+      if (signatures[a].empty() || signatures[b].empty()) continue;
+      double l2 = 0.0;
+      for (std::size_t i = 0; i < signatures[a].size(); ++i) {
+        const double d = signatures[a][i] - signatures[b][i];
+        l2 += d * d;
+      }
+      sep_sum += std::sqrt(l2);
+      ++sep_cnt;
+    }
+  }
+  result.signature_separation =
+      sep_cnt > 0 ? sep_sum / static_cast<double>(sep_cnt) : 0.0;
+
+  // Validate the superposition model on unseen multi-module patterns.
+  double ss_res = 0.0, ss_tot = 0.0, mean_acc = 0.0;
+  std::vector<double> actual_all, predicted_all;
+  for (std::size_t t = 0; t < options.test_patterns; ++t) {
+    std::vector<double> pattern = base_power;
+    std::vector<std::pair<std::size_t, double>> active;
+    for (std::size_t k = 0; k < options.pattern_modules; ++k) {
+      const std::size_t pick = probes[rng.index(probes.size())];
+      const double dp = base_power[pick] * options.activity_boost;
+      pattern[pick] += dp;
+      active.emplace_back(pick, dp);
+    }
+    const std::vector<GridD> view =
+        observe_state(fp, solver, pattern, sensors, rng);
+
+    std::size_t flat = 0;
+    for (std::size_t d = 0; d < view.size(); ++d) {
+      for (std::size_t i = 0; i < view[d].size(); ++i, ++flat) {
+        double pred = baseline[d][i];
+        for (const auto& [pick, dp] : active) {
+          const auto probe_idx = static_cast<std::size_t>(
+              std::find(probes.begin(), probes.end(), pick) -
+              probes.begin());
+          if (probe_idx < signatures.size() &&
+              !signatures[probe_idx].empty())
+            pred += signatures[probe_idx][flat] * dp;
+        }
+        actual_all.push_back(view[d][i]);
+        predicted_all.push_back(pred);
+      }
+    }
+  }
+  if (!actual_all.empty()) {
+    mean_acc = std::accumulate(actual_all.begin(), actual_all.end(), 0.0) /
+               static_cast<double>(actual_all.size());
+    for (std::size_t i = 0; i < actual_all.size(); ++i) {
+      ss_res += (actual_all[i] - predicted_all[i]) *
+                (actual_all[i] - predicted_all[i]);
+      ss_tot += (actual_all[i] - mean_acc) * (actual_all[i] - mean_acc);
+    }
+    result.r2 = ss_tot > 0.0 ? 1.0 - ss_res / ss_tot : 0.0;
+  }
+  return result;
+}
+
+MonitoringResult run_monitoring_attack(const Floorplan3D& fp,
+                                       const thermal::GridSolver& solver,
+                                       std::size_t module_a,
+                                       std::size_t module_b,
+                                       std::size_t trials, Rng& rng,
+                                       const AttackOptions& options) {
+  MonitoringResult result;
+  const SensorGrid sensors(options.sensors);
+  const std::vector<double> base_power = nominal_power(fp);
+  const std::vector<GridD> baseline =
+      observe_state(fp, solver, base_power, sensors, rng);
+
+  // Template per candidate module (one calibration observation each).
+  auto signature = [&](std::size_t m) {
+    std::vector<double> boosted = base_power;
+    boosted[m] *= 1.0 + options.activity_boost;
+    const std::vector<GridD> view =
+        observe_state(fp, solver, boosted, sensors, rng);
+    std::vector<double> sig;
+    for (std::size_t d = 0; d < view.size(); ++d)
+      for (std::size_t i = 0; i < view[d].size(); ++i)
+        sig.push_back(view[d][i] - baseline[d][i]);
+    return sig;
+  };
+  const std::vector<double> sig_a = signature(module_a);
+  const std::vector<double> sig_b = signature(module_b);
+
+  for (std::size_t t = 0; t < trials; ++t) {
+    const bool truth_a = rng.bernoulli(0.5);
+    const std::size_t active = truth_a ? module_a : module_b;
+    std::vector<double> boosted = base_power;
+    boosted[active] *= 1.0 + options.activity_boost;
+    const std::vector<GridD> view =
+        observe_state(fp, solver, boosted, sensors, rng);
+    double dot_a = 0.0, dot_b = 0.0;
+    std::size_t flat = 0;
+    for (std::size_t d = 0; d < view.size(); ++d) {
+      for (std::size_t i = 0; i < view[d].size(); ++i, ++flat) {
+        const double delta = view[d][i] - baseline[d][i];
+        dot_a += delta * sig_a[flat];
+        dot_b += delta * sig_b[flat];
+      }
+    }
+    const bool guess_a = dot_a >= dot_b;
+    ++result.trials;
+    if (guess_a == truth_a) ++result.correct;
+  }
+  return result;
+}
+
+}  // namespace tsc3d::attack

@@ -1,0 +1,90 @@
+// tsc3d -- thermal side-channel-aware 3D floorplanning.
+//
+// Thermal side-channel attacks (Sec. 5).  The attacker applies crafted,
+// repetitive input patterns, awaits the thermal steady state, and reads
+// the on-chip sensors -- so each "observation" here is one steady-state
+// solve viewed through the SensorGrid.
+//
+//  1. Thermal characterization: the attacker triggers modules one at a
+//     time, extracts per-module thermal signatures, and validates the
+//     superposition model on unseen multi-module activity patterns.
+//     reported: R^2 of the model and the mean pairwise signature
+//     separation (distinguishability).
+//
+//  2. Localization and monitoring: the attacker boosts one (unknown to
+//     the defender) module's activity and predicts its die and location
+//     from the observed thermal difference map.  reported: success rate
+//     and mean localization error.  The monitoring variant distinguishes
+//     WHICH of two candidate modules is active (classification accuracy).
+#pragma once
+
+#include <cstddef>
+#include <vector>
+
+#include "attack/sensor.hpp"
+#include "core/floorplan.hpp"
+#include "core/rng.hpp"
+#include "thermal/grid_solver.hpp"
+
+namespace tsc3d::attack {
+
+struct AttackOptions {
+  SensorOptions sensors;
+  double activity_boost = 1.0;   ///< triggered module: power * (1 + boost)
+  std::size_t max_modules = 32;  ///< modules probed (largest-area first)
+  std::size_t test_patterns = 16;  ///< held-out patterns (characterization)
+  std::size_t pattern_modules = 4; ///< active modules per test pattern
+  /// Localization succeeds if the predicted point falls within the true
+  /// module's rectangle grown by this margin [um].
+  double tolerance_um = 250.0;
+};
+
+struct LocalizationResult {
+  std::size_t modules_tested = 0;
+  std::size_t die_correct = 0;       ///< predicted die matches
+  std::size_t localized = 0;         ///< within tolerance on correct die
+  double mean_error_um = 0.0;        ///< distance to true module center
+  [[nodiscard]] double success_rate() const {
+    return modules_tested > 0
+               ? static_cast<double>(localized) /
+                     static_cast<double>(modules_tested)
+               : 0.0;
+  }
+};
+
+struct CharacterizationResult {
+  double r2 = 0.0;                 ///< superposition-model fit on test set
+  double signature_separation = 0.0;  ///< mean pairwise L2 distance [K]
+  std::size_t modules_profiled = 0;
+};
+
+struct MonitoringResult {
+  std::size_t trials = 0;
+  std::size_t correct = 0;
+  [[nodiscard]] double accuracy() const {
+    return trials > 0
+               ? static_cast<double>(correct) / static_cast<double>(trials)
+               : 0.0;
+  }
+};
+
+/// Attack 2 (localization): probe the floorplan's largest modules.
+[[nodiscard]] LocalizationResult run_localization_attack(
+    const Floorplan3D& fp, const thermal::GridSolver& solver, Rng& rng,
+    const AttackOptions& options = {});
+
+/// Attack 1 (characterization): build per-module signatures and test the
+/// superposition model on random multi-module patterns.
+[[nodiscard]] CharacterizationResult run_characterization_attack(
+    const Floorplan3D& fp, const thermal::GridSolver& solver, Rng& rng,
+    const AttackOptions& options = {});
+
+/// Monitoring: repeatedly activate one of two candidate modules and let
+/// the attacker classify which one ran (template matching against the
+/// two signatures).
+[[nodiscard]] MonitoringResult run_monitoring_attack(
+    const Floorplan3D& fp, const thermal::GridSolver& solver,
+    std::size_t module_a, std::size_t module_b, std::size_t trials, Rng& rng,
+    const AttackOptions& options = {});
+
+}  // namespace tsc3d::attack

@@ -1,0 +1,142 @@
+#include "attack/covert_channel.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <stdexcept>
+
+namespace tsc3d::attack {
+
+double binary_entropy(double p) {
+  p = std::clamp(p, 0.0, 1.0);
+  if (p == 0.0 || p == 1.0) return 0.0;
+  return -p * std::log2(p) - (1.0 - p) * std::log2(1.0 - p);
+}
+
+CovertChannelResult run_covert_channel(const Floorplan3D& fp,
+                                       const thermal::GridSolver& solver,
+                                       std::size_t sender, Rng& rng,
+                                       const CovertChannelOptions& options) {
+  if (sender >= fp.modules().size())
+    throw std::invalid_argument("run_covert_channel: sender out of range");
+  if (options.bits == 0 || options.bit_period_s <= 0.0 || options.dt_s <= 0.0)
+    throw std::invalid_argument("run_covert_channel: invalid options");
+  if (options.dt_s > options.bit_period_s)
+    throw std::invalid_argument(
+        "run_covert_channel: dt must not exceed the bit period");
+
+  const std::size_t total_bits = options.warmup_bits + options.bits;
+  std::vector<int> payload(total_bits);
+  for (auto& b : payload) b = rng.bernoulli(0.5) ? 1 : 0;
+
+  // Nominal per-module power; the sender toggles between nominal ("0")
+  // and boosted ("1").
+  std::vector<double> nominal(fp.modules().size());
+  for (std::size_t i = 0; i < nominal.size(); ++i)
+    nominal[i] = fp.effective_power(i);
+
+  const std::size_t sender_die = fp.modules()[sender].die;
+  const std::size_t num_dies = fp.tech().num_dies;
+  const std::size_t nx = solver.nx(), ny = solver.ny();
+  const GridD tsv_density = fp.tsv_density_map(nx, ny);
+
+  const auto power_at = [&](double time_s) {
+    const auto bit =
+        std::min(static_cast<std::size_t>(time_s / options.bit_period_s),
+                 total_bits - 1);
+    std::vector<double> power = nominal;
+    if (payload[bit] == 1) power[sender] *= options.power_boost;
+    std::vector<GridD> maps;
+    maps.reserve(num_dies);
+    for (std::size_t d = 0; d < num_dies; ++d)
+      maps.push_back(fp.power_map(d, nx, ny, &power));
+    return maps;
+  };
+
+  // One recorded sample per step; steps per bit >= 1 enforced above.
+  const double t_end = static_cast<double>(total_bits) * options.bit_period_s;
+  const auto transient =
+      solver.solve_transient(power_at, tsv_density, t_end, options.dt_s);
+
+  // Receiver trace: the transient solver records per-die mean
+  // temperatures; the sender's heating dominates its die's mean for the
+  // boost levels used here, so the die mean is the receiver's signal.
+  std::vector<double> trace_t, trace_time;
+  trace_t.reserve(transient.trace.size());
+  for (const auto& s : transient.trace) {
+    trace_time.push_back(s.time_s);
+    trace_t.push_back(s.die_mean_k[sender_die]);
+  }
+  if (trace_t.size() < total_bits)
+    throw std::logic_error("run_covert_channel: trace shorter than payload");
+
+  // Decode: per bit window, compare the window's tail mean against the
+  // previous window's tail mean -- a rise decodes as 1, a fall as 0; for
+  // repeated symbols the drift direction decides.
+  CovertChannelResult out;
+  double swing_acc = 0.0;
+  std::size_t swing_n = 0;
+  double prev_tail = 0.0;
+  bool have_prev = false;
+  std::size_t correct = 0, counted = 0;
+  for (std::size_t bit = 0; bit < total_bits; ++bit) {
+    const double t0 = static_cast<double>(bit) * options.bit_period_s;
+    const double t1 = t0 + options.bit_period_s;
+    // Tail mean: last half of the bit window (settled part).
+    double acc = 0.0;
+    std::size_t n = 0;
+    for (std::size_t i = 0; i < trace_t.size(); ++i) {
+      if (trace_time[i] >= t0 + 0.5 * options.bit_period_s &&
+          trace_time[i] < t1) {
+        acc += trace_t[i];
+        ++n;
+      }
+    }
+    if (n == 0) continue;
+    const double tail = acc / static_cast<double>(n);
+    // Differential decoding is only unambiguous on symbol CHANGES; count
+    // only transitions, as Masti et al.'s Manchester-style scheme does.
+    // On a transition the truth is the new symbol: 0->1 must read as a
+    // temperature rise, 1->0 as a fall.
+    if (have_prev && bit >= options.warmup_bits &&
+        payload[bit] != payload[bit - 1]) {
+      const int decoded = tail > prev_tail ? 1 : 0;
+      ++counted;
+      if (decoded == payload[bit]) ++correct;
+      swing_acc += std::abs(tail - prev_tail);
+      ++swing_n;
+    }
+    prev_tail = tail;
+    have_prev = true;
+  }
+
+  out.bits_sent = counted;
+  out.bits_correct = correct;
+  out.bit_error_rate =
+      counted > 0
+          ? 1.0 - static_cast<double>(correct) / static_cast<double>(counted)
+          : 0.5;
+  // Manchester-style transition coding halves the raw symbol rate.
+  out.capacity_bps = (1.0 - binary_entropy(out.bit_error_rate)) /
+                     (2.0 * options.bit_period_s);
+  out.signal_swing_k =
+      swing_n > 0 ? swing_acc / static_cast<double>(swing_n) : 0.0;
+  return out;
+}
+
+std::vector<CovertChannelResult> sweep_covert_channel(
+    const Floorplan3D& fp, const thermal::GridSolver& solver,
+    std::size_t sender, const std::vector<double>& periods_s, Rng& rng,
+    CovertChannelOptions options) {
+  if (periods_s.empty())
+    throw std::invalid_argument("sweep_covert_channel: no periods");
+  std::vector<CovertChannelResult> results;
+  results.reserve(periods_s.size());
+  for (double period : periods_s) {
+    options.bit_period_s = period;
+    options.dt_s = std::min(options.dt_s, period / 4.0);
+    results.push_back(run_covert_channel(fp, solver, sender, rng, options));
+  }
+  return results;
+}
+
+}  // namespace tsc3d::attack

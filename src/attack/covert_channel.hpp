@@ -1,0 +1,64 @@
+// tsc3d -- thermal side-channel-aware 3D floorplanning.
+//
+// Thermal covert-channel bandwidth estimation, after Masti et al. [5]
+// ("different processes, when scheduled by turns in one core, can build a
+// covert channel with up to 12.5 bit/s").  A sender module modulates its
+// power with on-off keying; a receiver watches the thermal response at a
+// sensor location and decodes the bit stream.  The achievable rate is
+// bounded by the thermal low-pass behaviour the paper's Fig. 1
+// illustrates: the slower the heat flow, the lower the side channel's
+// bandwidth.
+//
+// For a chosen bit period we transmit a pseudo-random bit sequence
+// through the transient solver, decode by comparing each bit window's
+// mean temperature against the midpoint of a trailing baseline, and
+// report the bit-error rate plus the resulting net capacity
+// (1 - H2(BER)) / T_bit in bit/s.
+#pragma once
+
+#include <cstddef>
+#include <vector>
+
+#include "core/floorplan.hpp"
+#include "core/rng.hpp"
+#include "thermal/grid_solver.hpp"
+
+namespace tsc3d::attack {
+
+struct CovertChannelOptions {
+  std::size_t bits = 32;          ///< payload length
+  double bit_period_s = 0.05;     ///< T_bit
+  double power_boost = 2.0;       ///< sender's "1" power multiplier
+  double dt_s = 2e-3;             ///< transient step
+  /// Leading bits discarded while the stack warms up to its operating
+  /// point (they carry the step response, not the payload).
+  std::size_t warmup_bits = 4;
+};
+
+struct CovertChannelResult {
+  std::size_t bits_sent = 0;
+  std::size_t bits_correct = 0;
+  double bit_error_rate = 0.0;
+  double capacity_bps = 0.0;  ///< (1 - H2(BER)) / T_bit
+  /// Mean receiver-side temperature swing between 1- and 0-bits [K].
+  double signal_swing_k = 0.0;
+};
+
+/// Transmit a random payload from module `sender` and decode it from the
+/// mean temperature of that module's footprint on its die.  The rest of
+/// the floorplan runs at nominal power throughout.
+[[nodiscard]] CovertChannelResult run_covert_channel(
+    const Floorplan3D& fp, const thermal::GridSolver& solver,
+    std::size_t sender, Rng& rng, const CovertChannelOptions& options = {});
+
+/// Sweep bit periods and return the highest capacity found; `periods_s`
+/// must be non-empty.  Convenience for bench/fig1_timescales.
+[[nodiscard]] std::vector<CovertChannelResult> sweep_covert_channel(
+    const Floorplan3D& fp, const thermal::GridSolver& solver,
+    std::size_t sender, const std::vector<double>& periods_s, Rng& rng,
+    CovertChannelOptions options = {});
+
+/// Binary entropy H2(p) in bits, clamped to [0, 1]; exposed for tests.
+[[nodiscard]] double binary_entropy(double p);
+
+}  // namespace tsc3d::attack

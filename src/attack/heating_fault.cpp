@@ -1,0 +1,128 @@
+#include "attack/heating_fault.hpp"
+
+#include <algorithm>
+#include <stdexcept>
+
+namespace tsc3d::attack {
+
+double victim_peak_k(const Floorplan3D& fp, const GridD& die_thermal,
+                     std::size_t victim) {
+  const Module& m = fp.modules()[victim];
+  const Rect outline = fp.outline();
+  double peak = 0.0;
+  bool hit = false;
+  for (std::size_t iy = 0; iy < die_thermal.ny(); ++iy) {
+    for (std::size_t ix = 0; ix < die_thermal.nx(); ++ix) {
+      const double x = outline.x + (static_cast<double>(ix) + 0.5) /
+                                       static_cast<double>(die_thermal.nx()) *
+                                       outline.w;
+      const double y = outline.y + (static_cast<double>(iy) + 0.5) /
+                                       static_cast<double>(die_thermal.ny()) *
+                                       outline.h;
+      if (m.shape.contains(Point{x, y})) {
+        peak = std::max(peak, die_thermal.at(ix, iy));
+        hit = true;
+      }
+    }
+  }
+  // Degenerate footprint (thinner than a bin): fall back to the bin
+  // containing the module center.
+  if (!hit) {
+    const Point c = m.shape.center();
+    const auto ix = std::min(
+        static_cast<std::size_t>((c.x - outline.x) / outline.w *
+                                 static_cast<double>(die_thermal.nx())),
+        die_thermal.nx() - 1);
+    const auto iy = std::min(
+        static_cast<std::size_t>((c.y - outline.y) / outline.h *
+                                 static_cast<double>(die_thermal.ny())),
+        die_thermal.ny() - 1);
+    peak = die_thermal.at(ix, iy);
+  }
+  return peak;
+}
+
+HeatingFaultResult run_heating_fault_attack(
+    const Floorplan3D& fp, const thermal::GridSolver& solver,
+    std::size_t victim, const HeatingFaultOptions& options) {
+  if (victim >= fp.modules().size())
+    throw std::invalid_argument("run_heating_fault_attack: bad victim");
+  if (options.boost <= 1.0)
+    throw std::invalid_argument(
+        "run_heating_fault_attack: boost must exceed 1");
+  if (options.max_accomplices == 0)
+    throw std::invalid_argument(
+        "run_heating_fault_attack: need at least one accomplice");
+
+  const std::size_t nx = solver.nx(), ny = solver.ny();
+  const std::size_t dies = fp.tech().num_dies;
+  const GridD tsv_density = fp.tsv_density_map(nx, ny);
+  const std::size_t victim_die = fp.modules()[victim].die;
+
+  std::vector<double> nominal(fp.modules().size());
+  double nominal_total = 0.0;
+  for (std::size_t i = 0; i < nominal.size(); ++i) {
+    nominal[i] = fp.effective_power(i);
+    nominal_total += nominal[i];
+  }
+
+  const auto solve_with = [&](const std::vector<double>& power) {
+    std::vector<GridD> maps;
+    maps.reserve(dies);
+    for (std::size_t d = 0; d < dies; ++d)
+      maps.push_back(fp.power_map(d, nx, ny, &power));
+    return solver.solve_steady(maps, tsv_density);
+  };
+
+  HeatingFaultResult result;
+  const auto rest = solve_with(nominal);
+  result.victim_peak_k_nominal =
+      victim_peak_k(fp, rest.die_temperature[victim_die], victim);
+
+  // Influence probing: boost each candidate alone, measure the victim's
+  // temperature rise.  (The victim itself cannot be an accomplice -- the
+  // attacker by assumption cannot trigger it directly.)
+  struct Influence {
+    std::size_t module;
+    double rise_k;
+    double cost_w;
+  };
+  std::vector<Influence> influence;
+  for (std::size_t i = 0; i < fp.modules().size(); ++i) {
+    if (i == victim || nominal[i] <= 0.0) continue;
+    std::vector<double> probe = nominal;
+    probe[i] *= options.boost;
+    const auto res = solve_with(probe);
+    influence.push_back(
+        {i,
+         victim_peak_k(fp, res.die_temperature[victim_die], victim) -
+             result.victim_peak_k_nominal,
+         probe[i] - nominal[i]});
+  }
+  std::sort(influence.begin(), influence.end(),
+            [](const Influence& a, const Influence& b) {
+              return a.rise_k > b.rise_k;
+            });
+
+  // Greedy packing under the stealth budget.
+  const double budget = options.power_budget_fraction * nominal_total;
+  std::vector<double> attacked = nominal;
+  for (const auto& cand : influence) {
+    if (result.accomplices.size() >= options.max_accomplices) break;
+    if (cand.rise_k <= 0.0) break;
+    if (result.attack_power_w + cand.cost_w > budget) continue;
+    attacked[cand.module] *= options.boost;
+    result.attack_power_w += cand.cost_w;
+    result.accomplices.push_back(cand.module);
+  }
+  result.accomplices_used = result.accomplices.size();
+
+  const auto res = solve_with(attacked);
+  result.victim_peak_k_attacked =
+      victim_peak_k(fp, res.die_temperature[victim_die], victim);
+  result.fault_induced =
+      result.victim_peak_k_attacked >= options.fault_threshold_k;
+  return result;
+}
+
+}  // namespace tsc3d::attack

@@ -1,0 +1,65 @@
+// tsc3d -- thermal side-channel-aware 3D floorplanning.
+//
+// Heating fault attack, after Hutter & Schmidt [4] ("The temperature
+// side channel and heating fault attacks") -- the second half of the
+// paper's key TSC reference.  The attacker cannot touch the victim
+// module directly, but by crafting inputs that keep OTHER modules busy
+// he/she heats the stack until the victim crosses a fault threshold
+// (bit flips in SRAM, skewed RNGs, violated timing).
+//
+// The attacker model matches Sec. 5: inputs can boost any subset of
+// modules' activity (bounded multiplier), the thermal steady state can
+// be awaited, and the floorplan is known only at block level.  The
+// attack greedily selects the accomplice modules with the largest
+// thermal influence on the victim and reports the achievable victim
+// temperature and whether the fault threshold is reached -- with the
+// total boosted power as the attack's cost/stealth measure.
+//
+// Defense hooks: the DTM throttling of mitigation/dtm.hpp caps exactly
+// this vector (the bench threads them together), and TSC-aware
+// floorplans that decorrelate the victim also blunt the attacker's
+// influence ranking.
+#pragma once
+
+#include <cstddef>
+#include <vector>
+
+#include "core/floorplan.hpp"
+#include "core/grid.hpp"
+#include "thermal/grid_solver.hpp"
+
+namespace tsc3d::attack {
+
+struct HeatingFaultOptions {
+  double fault_threshold_k = 360.0;  ///< victim faults above this
+  double boost = 3.0;                ///< activity multiplier on accomplices
+  /// Attacker's power stealth budget: boosted-minus-nominal power must
+  /// stay below this fraction of the design's nominal total (a power
+  /// monitor would flag more).
+  double power_budget_fraction = 1.0;
+  std::size_t max_accomplices = 8;   ///< modules the inputs can keep busy
+};
+
+struct HeatingFaultResult {
+  std::size_t accomplices_used = 0;
+  std::vector<std::size_t> accomplices;  ///< chosen module indices
+  double victim_peak_k_nominal = 0.0;    ///< victim temp at rest
+  double victim_peak_k_attacked = 0.0;   ///< victim temp under attack
+  double attack_power_w = 0.0;           ///< extra power the attack burns
+  bool fault_induced = false;
+};
+
+/// Run the greedy heating attack against module `victim`.  Accomplices
+/// are chosen by measured thermal influence (one probe solve per
+/// candidate, largest victim-temperature rise first), then boosted
+/// together while the budget lasts.
+[[nodiscard]] HeatingFaultResult run_heating_fault_attack(
+    const Floorplan3D& fp, const thermal::GridSolver& solver,
+    std::size_t victim, const HeatingFaultOptions& options = {});
+
+/// Peak temperature over the victim module's footprint bins.
+[[nodiscard]] double victim_peak_k(const Floorplan3D& fp,
+                                   const GridD& die_thermal,
+                                   std::size_t victim);
+
+}  // namespace tsc3d::attack

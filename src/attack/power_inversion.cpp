@@ -1,0 +1,141 @@
+#include "attack/power_inversion.hpp"
+
+#include <cmath>
+#include <stdexcept>
+#include <vector>
+
+#include "leakage/pearson.hpp"
+
+namespace tsc3d::attack {
+
+namespace {
+
+/// Separable 1D Gaussian taps, normalized to sum 1.
+std::vector<double> gaussian_taps(double sigma, std::size_t radius) {
+  std::vector<double> taps(2 * radius + 1);
+  double sum = 0.0;
+  for (std::size_t i = 0; i < taps.size(); ++i) {
+    const double x = static_cast<double>(i) - static_cast<double>(radius);
+    taps[i] = std::exp(-0.5 * (x / sigma) * (x / sigma));
+    sum += taps[i];
+  }
+  for (auto& t : taps) t /= sum;
+  return taps;
+}
+
+/// Separable convolution with clamped (replicate) borders.
+GridD convolve(const GridD& src, const std::vector<double>& taps) {
+  const auto radius = (taps.size() - 1) / 2;
+  GridD tmp(src.nx(), src.ny());
+  for (std::size_t iy = 0; iy < src.ny(); ++iy) {
+    for (std::size_t ix = 0; ix < src.nx(); ++ix) {
+      double acc = 0.0;
+      for (std::size_t k = 0; k < taps.size(); ++k) {
+        const auto off = static_cast<std::ptrdiff_t>(k) -
+                         static_cast<std::ptrdiff_t>(radius);
+        auto sx = static_cast<std::ptrdiff_t>(ix) + off;
+        sx = std::clamp<std::ptrdiff_t>(
+            sx, 0, static_cast<std::ptrdiff_t>(src.nx()) - 1);
+        acc += taps[k] * src.at(static_cast<std::size_t>(sx), iy);
+      }
+      tmp.at(ix, iy) = acc;
+    }
+  }
+  GridD dst(src.nx(), src.ny());
+  for (std::size_t iy = 0; iy < src.ny(); ++iy) {
+    for (std::size_t ix = 0; ix < src.nx(); ++ix) {
+      double acc = 0.0;
+      for (std::size_t k = 0; k < taps.size(); ++k) {
+        const auto off = static_cast<std::ptrdiff_t>(k) -
+                         static_cast<std::ptrdiff_t>(radius);
+        auto sy = static_cast<std::ptrdiff_t>(iy) + off;
+        sy = std::clamp<std::ptrdiff_t>(
+            sy, 0, static_cast<std::ptrdiff_t>(src.ny()) - 1);
+        acc += taps[k] * tmp.at(ix, static_cast<std::size_t>(sy));
+      }
+      dst.at(ix, iy) = acc;
+    }
+  }
+  return dst;
+}
+
+/// 4-neighbour graph-Laplacian product L*p (replicate borders).
+GridD laplacian(const GridD& p) {
+  GridD out(p.nx(), p.ny());
+  for (std::size_t iy = 0; iy < p.ny(); ++iy) {
+    for (std::size_t ix = 0; ix < p.nx(); ++ix) {
+      const double c = p.at(ix, iy);
+      double acc = 0.0;
+      if (ix > 0) acc += c - p.at(ix - 1, iy);
+      if (ix + 1 < p.nx()) acc += c - p.at(ix + 1, iy);
+      if (iy > 0) acc += c - p.at(ix, iy - 1);
+      if (iy + 1 < p.ny()) acc += c - p.at(ix, iy + 1);
+      out.at(ix, iy) = acc;
+    }
+  }
+  return out;
+}
+
+}  // namespace
+
+GridD diffuse(const GridD& src, double sigma_bins, std::size_t radius) {
+  if (sigma_bins <= 0.0)
+    throw std::invalid_argument("diffuse: sigma must be positive");
+  if (radius == 0) throw std::invalid_argument("diffuse: radius must be > 0");
+  return convolve(src, gaussian_taps(sigma_bins, radius));
+}
+
+InversionResult invert_power(const GridD& thermal,
+                             const InversionOptions& options) {
+  if (thermal.empty())
+    throw std::invalid_argument("invert_power: empty thermal map");
+  if (options.kernel_sigma_bins <= 0.0 || options.kernel_radius == 0)
+    throw std::invalid_argument("invert_power: invalid kernel");
+
+  // Remove the ambient/heatsink offset: the coolest bin is the baseline.
+  GridD t = thermal;
+  const double baseline = t.min();
+  for (auto& v : t) v -= baseline;
+
+  const auto taps =
+      gaussian_taps(options.kernel_sigma_bins, options.kernel_radius);
+
+  // Projected Landweber: p <- proj(p - tau * (K'(Kp - t) + lambda*L*p)).
+  // The normalized Gaussian has spectral norm <= 1 and the 4-neighbour
+  // Laplacian norm <= 8, so tau below keeps the iteration contractive.
+  const double tau = 1.0 / (1.0 + 8.0 * options.lambda_smooth);
+
+  GridD p = t;  // warm start: the thermal map itself
+  GridD residual(t.nx(), t.ny());
+  for (std::size_t it = 0; it < options.iterations; ++it) {
+    residual = convolve(p, taps);
+    residual -= t;
+    GridD grad = convolve(residual, taps);  // K' = K (symmetric kernel)
+    if (options.lambda_smooth > 0.0) {
+      GridD smooth = laplacian(p);
+      smooth *= options.lambda_smooth;
+      grad += smooth;
+    }
+    grad *= tau;
+    p -= grad;
+    if (options.nonnegative)
+      for (auto& v : p) v = std::max(v, 0.0);
+  }
+
+  residual = convolve(p, taps);
+  residual -= t;
+  double rn = 0.0;
+  for (double v : residual) rn += v * v;
+
+  InversionResult out;
+  out.power_estimate = std::move(p);
+  out.residual_norm = std::sqrt(rn);
+  out.iterations = options.iterations;
+  return out;
+}
+
+double inversion_correlation(const GridD& true_power, const GridD& estimate) {
+  return leakage::pearson(true_power, estimate);
+}
+
+}  // namespace tsc3d::attack

@@ -1,0 +1,69 @@
+// tsc3d -- thermal side-channel-aware 3D floorplanning.
+//
+// Temperature-to-power inversion, after PowerField [19].  The paper lists
+// this as the third reason the thermal side channel is attractive: "it
+// may serve as proxy for the power side-channel using temperature-to-
+// power interpolation techniques".  We give the attacker that capability:
+// given an observed thermal map, estimate the underlying power map.
+//
+// Model: within one die, the steady-state thermal map is approximately
+// the power map convolved with a diffusion kernel (plus an offset).  The
+// attacker assumes a HOMOGENEOUS Gaussian kernel -- exactly the
+// assumption the paper's mitigation breaks with irregular TSVs and
+// heterogeneous materials (Sec. 2.1, Sec. 3).  The inversion solves the
+// MRF-regularized least squares
+//
+//     min_p  || K*p - t ||^2  +  lambda * p' L p,   p >= 0
+//
+// (L the 4-neighbour graph Laplacian, playing the role of PowerField's
+// Markov-random-field smoothness prior) by projected Landweber descent.
+// Inversion quality is scored scale-invariantly via Pearson correlation
+// against the true power map, so it plugs directly into the paper's
+// leakage framework: decorrelated floorplans must yield worse inversions.
+#pragma once
+
+#include <cstddef>
+
+#include "core/grid.hpp"
+
+namespace tsc3d::attack {
+
+struct InversionOptions {
+  /// Assumed diffusion-kernel standard deviation, in grid bins.
+  double kernel_sigma_bins = 2.0;
+  /// Kernel half-width in bins (kernel spans 2*radius+1 per axis).
+  std::size_t kernel_radius = 6;
+  /// MRF smoothness-prior weight lambda.
+  double lambda_smooth = 0.05;
+  /// Projected-Landweber iterations.
+  std::size_t iterations = 300;
+  /// Enforce p >= 0 after every step (power is non-negative).
+  bool nonnegative = true;
+};
+
+/// Result of one inversion.
+struct InversionResult {
+  GridD power_estimate;      ///< estimated power map (arbitrary scale)
+  double residual_norm = 0.0;  ///< ||K*p - t|| at the last iterate
+  std::size_t iterations = 0;
+};
+
+/// Estimate the power map that produced `thermal` under the homogeneous
+/// diffusion model above.  The offset is removed internally (the minimum
+/// of the map is treated as the zero-power baseline), so `thermal` may be
+/// passed in kelvin as-is.
+[[nodiscard]] InversionResult invert_power(const GridD& thermal,
+                                           const InversionOptions& options = {});
+
+/// Convolve `src` with the Gaussian kernel the inversion assumes; exposed
+/// for tests and for building synthetic forward models.
+[[nodiscard]] GridD diffuse(const GridD& src, double sigma_bins,
+                            std::size_t radius);
+
+/// Scale-invariant inversion quality: Pearson correlation between the
+/// estimate and the true power map.  1 = power side channel fully
+/// recovered through the thermal proxy, 0 = nothing recovered.
+[[nodiscard]] double inversion_correlation(const GridD& true_power,
+                                           const GridD& estimate);
+
+}  // namespace tsc3d::attack

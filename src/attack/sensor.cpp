@@ -1,0 +1,45 @@
+#include "attack/sensor.hpp"
+
+#include <cmath>
+#include <stdexcept>
+
+namespace tsc3d::attack {
+
+SensorGrid::SensorGrid(SensorOptions options) : opt_(options) {
+  if (opt_.sensors_x < 2 || opt_.sensors_y < 2)
+    throw std::invalid_argument("SensorGrid: need at least 2x2 sensors");
+  if (opt_.reads_averaged == 0)
+    throw std::invalid_argument("SensorGrid: reads_averaged must be > 0");
+}
+
+GridD SensorGrid::read(const GridD& thermal, Rng& rng) const {
+  GridD readings(opt_.sensors_x, opt_.sensors_y, 0.0);
+  const double effective_sigma =
+      opt_.noise_sigma_k /
+      std::sqrt(static_cast<double>(opt_.reads_averaged));
+  for (std::size_t sy = 0; sy < opt_.sensors_y; ++sy) {
+    for (std::size_t sx = 0; sx < opt_.sensors_x; ++sx) {
+      // Sensor sites sit at the centers of an even partition of the die.
+      const auto ix = static_cast<std::size_t>(
+          (static_cast<double>(sx) + 0.5) /
+          static_cast<double>(opt_.sensors_x) *
+          static_cast<double>(thermal.nx()));
+      const auto iy = static_cast<std::size_t>(
+          (static_cast<double>(sy) + 0.5) /
+          static_cast<double>(opt_.sensors_y) *
+          static_cast<double>(thermal.ny()));
+      const double truth =
+          thermal.at(std::min(ix, thermal.nx() - 1),
+                     std::min(iy, thermal.ny() - 1));
+      readings.at(sx, sy) = rng.gaussian(truth, effective_sigma);
+    }
+  }
+  return readings;
+}
+
+GridD SensorGrid::observe(const GridD& thermal, std::size_t nx,
+                          std::size_t ny, Rng& rng) const {
+  return resample(read(thermal, rng), nx, ny);
+}
+
+}  // namespace tsc3d::attack

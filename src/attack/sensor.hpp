@@ -1,0 +1,50 @@
+// tsc3d -- thermal side-channel-aware 3D floorplanning.
+//
+// On-chip thermal sensor model.  The paper's attacker (Sec. 5) "has
+// unlimited access to all thermal sensors, spread across the 3D IC, and
+// can thus obtain high-accuracy and continuous thermal readings of any
+// (part of a) module at will"; readings between sensor sites are
+// recovered with interpolation techniques (cf. [9], [19]).
+//
+// SensorGrid samples a die's thermal map at a regular array of sensor
+// locations, adds Gaussian measurement noise, and reconstructs a
+// full-resolution map via bilinear interpolation -- the attacker's view
+// of the thermal side channel.
+#pragma once
+
+#include <cstddef>
+
+#include "core/grid.hpp"
+#include "core/rng.hpp"
+
+namespace tsc3d::attack {
+
+struct SensorOptions {
+  std::size_t sensors_x = 8;   ///< sensor columns per die
+  std::size_t sensors_y = 8;   ///< sensor rows per die
+  double noise_sigma_k = 0.05; ///< Gaussian read noise [K]
+  /// Number of repeated reads averaged per observation (the attacker can
+  /// take continuous readings; averaging suppresses noise by sqrt(n)).
+  std::size_t reads_averaged = 4;
+};
+
+class SensorGrid {
+ public:
+  explicit SensorGrid(SensorOptions options = {});
+
+  [[nodiscard]] const SensorOptions& options() const { return opt_; }
+
+  /// Sample `thermal` at the sensor sites with read noise applied.
+  /// Returns a sensors_x-by-sensors_y grid of readings [K].
+  [[nodiscard]] GridD read(const GridD& thermal, Rng& rng) const;
+
+  /// The attacker's reconstructed full-resolution map: sensor readings
+  /// bilinearly interpolated back to nx-by-ny.
+  [[nodiscard]] GridD observe(const GridD& thermal, std::size_t nx,
+                              std::size_t ny, Rng& rng) const;
+
+ private:
+  SensorOptions opt_;
+};
+
+}  // namespace tsc3d::attack

@@ -1,0 +1,32 @@
+#include "benchgen/benchmark_spec.hpp"
+
+#include <cmath>
+
+namespace tsc3d::benchgen {
+
+double BenchmarkSpec::die_edge_um() const {
+  // mm^2 -> um^2, square die.
+  return std::sqrt(outline_mm2) * 1000.0;
+}
+
+const std::vector<BenchmarkSpec>& table1_specs() {
+  // Columns: name, hard, soft, scale, nets, terminals, outline, power.
+  static const std::vector<BenchmarkSpec> specs = {
+      {"n100", 0, 100, 10.0, 885, 334, 16.0, 7.83},
+      {"n200", 0, 200, 10.0, 1585, 564, 16.0, 7.84},
+      {"n300", 0, 300, 10.0, 1893, 569, 23.04, 13.05},
+      {"ibm01", 246, 665, 2.0, 5829, 246, 25.0, 4.02},
+      {"ibm03", 290, 999, 2.0, 10279, 283, 64.0, 19.78},
+      {"ibm07", 291, 829, 2.0, 15047, 287, 64.0, 9.92},
+  };
+  return specs;
+}
+
+const BenchmarkSpec& spec_by_name(const std::string& name) {
+  for (const BenchmarkSpec& s : table1_specs()) {
+    if (s.name == name) return s;
+  }
+  throw std::out_of_range("unknown benchmark: " + name);
+}
+
+}  // namespace tsc3d::benchgen

@@ -1,0 +1,44 @@
+// tsc3d -- thermal side-channel-aware 3D floorplanning.
+//
+// Benchmark specifications reproducing Table 1 of the paper.  The original
+// GSRC and IBM-HB+ benchmark files are not redistributable here, so the
+// generator synthesizes statistically equivalent instances: same module
+// counts and hard/soft split, same net and terminal counts, same fixed
+// outline (after the paper's scale-up), and the same total nominal power
+// at 1.0 V.  A GSRC-format reader (gsrc_io.hpp) accepts the real files as
+// a drop-in replacement.
+#pragma once
+
+#include <cstddef>
+#include <stdexcept>
+#include <string>
+#include <vector>
+
+namespace tsc3d::benchgen {
+
+/// One row of Table 1.
+struct BenchmarkSpec {
+  std::string name;
+  std::size_t hard_modules = 0;
+  std::size_t soft_modules = 0;
+  double scale_factor = 1.0;     ///< module footprint scale-up (Sec. 7)
+  std::size_t num_nets = 0;
+  std::size_t num_terminals = 0; ///< terminal pins
+  double outline_mm2 = 0.0;      ///< fixed per-die outline area
+  double power_w = 0.0;          ///< total nominal power at 1.0 V
+
+  [[nodiscard]] std::size_t total_modules() const {
+    return hard_modules + soft_modules;
+  }
+  /// Square-die edge length [um] for the fixed outline.
+  [[nodiscard]] double die_edge_um() const;
+};
+
+/// The six benchmarks of Table 1 (GSRC: n100/n200/n300; IBM-HB+:
+/// ibm01/ibm03/ibm07).
+[[nodiscard]] const std::vector<BenchmarkSpec>& table1_specs();
+
+/// Lookup by name; throws std::out_of_range for unknown names.
+[[nodiscard]] const BenchmarkSpec& spec_by_name(const std::string& name);
+
+}  // namespace tsc3d::benchgen

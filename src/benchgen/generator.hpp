@@ -1,0 +1,43 @@
+// tsc3d -- thermal side-channel-aware 3D floorplanning.
+//
+// Synthetic benchmark generator.  Produces a Floorplan3D instance that
+// matches a BenchmarkSpec's statistics.  Module areas follow a lognormal
+// distribution (the empirical shape of GSRC/IBM block areas); power is
+// drawn from a small number of "power regimes" so that realistic locally
+// similar power classes exist (crypto cores, caches, glue logic, ...);
+// nets follow a Rent-like degree distribution with mostly 2..5 pins.
+//
+// Generation is fully deterministic given (spec, seed).
+#pragma once
+
+#include <cstdint>
+
+#include "benchgen/benchmark_spec.hpp"
+#include "core/floorplan.hpp"
+
+namespace tsc3d::benchgen {
+
+struct GeneratorOptions {
+  double target_utilization = 0.55;  ///< sum(module area) / (dies * outline)
+  double area_sigma = 0.85;          ///< lognormal sigma of module areas
+  std::size_t power_regimes = 4;     ///< number of distinct power classes
+  double regime_spread = 6.0;        ///< density ratio hottest/coolest regime
+  double min_net_degree_p = 0.55;    ///< geometric net-degree parameter
+  double terminal_net_fraction = 0.25;  ///< nets that include a terminal
+};
+
+/// Generate one benchmark instance.  Modules are created unplaced
+/// (shape extents are set from area and a nominal aspect ratio; positions
+/// are zero and die assignments alternate) -- the floorplanner owns
+/// placement.  The returned floorplan's TechnologyConfig outline matches
+/// the spec.
+[[nodiscard]] Floorplan3D generate(const BenchmarkSpec& spec,
+                                   std::uint64_t seed,
+                                   const GeneratorOptions& options = {});
+
+/// Convenience: generate by Table 1 name.
+[[nodiscard]] Floorplan3D generate(const std::string& name,
+                                   std::uint64_t seed,
+                                   const GeneratorOptions& options = {});
+
+}  // namespace tsc3d::benchgen

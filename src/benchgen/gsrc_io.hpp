@@ -1,0 +1,43 @@
+// tsc3d -- thermal side-channel-aware 3D floorplanning.
+//
+// GSRC bookshelf-format file IO (.blocks / .nets / .pl), plus a simple
+// ".power" sidecar (module name + watts) that the original format lacks.
+// The writer emits the synthetic benchmarks in the standard format; the
+// reader accepts real GSRC / IBM-HB+ files so they can replace the
+// synthetic instances verbatim.
+#pragma once
+
+#include <filesystem>
+#include <string>
+
+#include "core/floorplan.hpp"
+
+namespace tsc3d::benchgen {
+
+/// Write the blocks/terminals of `fp` in GSRC .blocks format.
+void write_blocks(const Floorplan3D& fp, const std::filesystem::path& path);
+
+/// Write the nets of `fp` in GSRC .nets format.
+void write_nets(const Floorplan3D& fp, const std::filesystem::path& path);
+
+/// Write module/terminal placements (and die assignment as a trailing
+/// column, a tsc3d extension) in .pl format.
+void write_pl(const Floorplan3D& fp, const std::filesystem::path& path);
+
+/// Write the per-module nominal power sidecar.
+void write_power(const Floorplan3D& fp, const std::filesystem::path& path);
+
+/// Write all four files with a common stem: stem.blocks, stem.nets,
+/// stem.pl, stem.power.
+void write_bundle(const Floorplan3D& fp, const std::filesystem::path& stem);
+
+/// Read a GSRC bundle.  `nets` and `pl`/`power` paths may be empty; the
+/// resulting floorplan then has no nets / default placement / zero power.
+/// The technology config supplies the fixed outline and stack parameters.
+[[nodiscard]] Floorplan3D read_bundle(const TechnologyConfig& tech,
+                                      const std::filesystem::path& blocks,
+                                      const std::filesystem::path& nets = {},
+                                      const std::filesystem::path& pl = {},
+                                      const std::filesystem::path& power = {});
+
+}  // namespace tsc3d::benchgen

@@ -1,0 +1,95 @@
+#include "config/apply.hpp"
+
+namespace tsc3d::config {
+
+void apply_technology(const ConfigFile& cfg, TechnologyConfig& tech) {
+  const std::string flavor =
+      cfg.get_string("technology.flavor",
+                     tech.flavor == IntegrationFlavor::monolithic
+                         ? "monolithic"
+                         : "tsv");
+  if (flavor == "monolithic") {
+    tech = make_monolithic(tech);
+  } else if (flavor == "tsv") {
+    tech.flavor = IntegrationFlavor::tsv_based;
+  } else {
+    throw ConfigError("technology.flavor must be 'tsv' or 'monolithic', got '" +
+                      flavor + "'");
+  }
+  tech.num_dies = cfg.get_size("technology.num_dies", tech.num_dies);
+  tech.die_width_um =
+      cfg.get_double("technology.die_width_um", tech.die_width_um);
+  tech.die_height_um =
+      cfg.get_double("technology.die_height_um", tech.die_height_um);
+  tech.die_thickness_um =
+      cfg.get_double("technology.die_thickness_um", tech.die_thickness_um);
+  tech.monolithic_tier_thickness_um =
+      cfg.get_double("technology.monolithic_tier_thickness_um",
+                     tech.monolithic_tier_thickness_um);
+  tech.clock_period_ns =
+      cfg.get_double("technology.clock_period_ns", tech.clock_period_ns);
+  tech.tsv.diameter_um =
+      cfg.get_double("technology.tsv_diameter_um", tech.tsv.diameter_um);
+  tech.tsv.pitch_um =
+      cfg.get_double("technology.tsv_pitch_um", tech.tsv.pitch_um);
+  tech.tsv.keepout_um =
+      cfg.get_double("technology.tsv_keepout_um", tech.tsv.keepout_um);
+  tech.validate();
+}
+
+void apply_thermal(const ConfigFile& cfg, ThermalConfig& thermal) {
+  thermal.grid_nx = cfg.get_size("thermal.grid_nx", thermal.grid_nx);
+  thermal.grid_ny = cfg.get_size("thermal.grid_ny", thermal.grid_ny);
+  thermal.ambient_k = cfg.get_double("thermal.ambient_k", thermal.ambient_k);
+  thermal.k_silicon = cfg.get_double("thermal.k_silicon", thermal.k_silicon);
+  thermal.k_bond = cfg.get_double("thermal.k_bond", thermal.k_bond);
+  thermal.k_ild = cfg.get_double("thermal.k_ild", thermal.k_ild);
+  thermal.k_tim = cfg.get_double("thermal.k_tim", thermal.k_tim);
+  thermal.r_convec_k_per_w =
+      cfg.get_double("thermal.r_convec_k_per_w", thermal.r_convec_k_per_w);
+  thermal.r_package_k_per_w =
+      cfg.get_double("thermal.r_package_k_per_w", thermal.r_package_k_per_w);
+  thermal.sor_omega = cfg.get_double("thermal.sor_omega", thermal.sor_omega);
+  thermal.tolerance_k =
+      cfg.get_double("thermal.tolerance_k", thermal.tolerance_k);
+  thermal.max_iterations =
+      cfg.get_size("thermal.max_iterations", thermal.max_iterations);
+  thermal.validate();
+}
+
+floorplan::FloorplannerOptions make_floorplanner_options(
+    const ConfigFile& cfg) {
+  const std::string mode = cfg.get_string("floorplanning.mode", "power");
+  floorplan::FloorplannerOptions opt;
+  if (mode == "tsc") {
+    opt = floorplan::Floorplanner::tsc_aware_setup();
+  } else if (mode == "power") {
+    opt = floorplan::Floorplanner::power_aware_setup();
+  } else {
+    throw ConfigError("floorplanning.mode must be 'power' or 'tsc', got '" +
+                      mode + "'");
+  }
+  opt.anneal.total_moves =
+      cfg.get_size("floorplanning.sa_moves", opt.anneal.total_moves);
+  opt.anneal.stages =
+      cfg.get_size("floorplanning.sa_stages", opt.anneal.stages);
+  opt.fast_grid = cfg.get_size("floorplanning.fast_grid", opt.fast_grid);
+  opt.verify_grid =
+      cfg.get_size("floorplanning.verify_grid", opt.verify_grid);
+  opt.sampling_grid =
+      cfg.get_size("floorplanning.sampling_grid", opt.sampling_grid);
+  opt.dummy_insertion =
+      cfg.get_bool("floorplanning.dummy_insertion", opt.dummy_insertion);
+  opt.dummy.max_iterations = cfg.get_size(
+      "floorplanning.dummy_max_iterations", opt.dummy.max_iterations);
+  opt.dummy.samples_per_iteration = cfg.get_size(
+      "floorplanning.dummy_samples", opt.dummy.samples_per_iteration);
+  opt.hot_modules_to_top = cfg.get_bool("floorplanning.hot_modules_to_top",
+                                        opt.hot_modules_to_top);
+  opt.auto_clock_factor = cfg.get_double("floorplanning.auto_clock_factor",
+                                         opt.auto_clock_factor);
+  apply_thermal(cfg, opt.thermal);
+  return opt;
+}
+
+}  // namespace tsc3d::config

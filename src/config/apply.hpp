@@ -1,0 +1,35 @@
+// tsc3d -- thermal side-channel-aware 3D floorplanning.
+//
+// Mapping from a parsed ConfigFile onto the library's option structs.
+// Every recognized key mirrors one documented field; unrecognized keys
+// are reported via ConfigFile::unused_keys() so a typo in a config never
+// silently reverts to a default.
+#pragma once
+
+#include "config/config_file.hpp"
+#include "core/config.hpp"
+#include "floorplan/floorplanner.hpp"
+
+namespace tsc3d::config {
+
+/// Overlay [technology] keys on `tech`:
+///   flavor (tsv | monolithic), num_dies, die_width_um, die_height_um,
+///   die_thickness_um, monolithic_tier_thickness_um, clock_period_ns,
+///   tsv_diameter_um, tsv_pitch_um, tsv_keepout_um.
+void apply_technology(const ConfigFile& cfg, TechnologyConfig& tech);
+
+/// Overlay [thermal] keys on `thermal`:
+///   grid_nx, grid_ny, ambient_k, k_silicon, k_bond, k_ild, k_tim,
+///   r_convec_k_per_w, r_package_k_per_w, sor_omega, tolerance_k,
+///   max_iterations.
+void apply_thermal(const ConfigFile& cfg, ThermalConfig& thermal);
+
+/// Build FloorplannerOptions from [floorplanning] keys:
+///   mode (power | tsc), sa_moves, sa_stages, fast_grid, verify_grid,
+///   sampling_grid, dummy_insertion, dummy_max_iterations,
+///   dummy_samples, hot_modules_to_top, auto_clock_factor.
+/// The preset for `mode` is applied first, then individual overrides.
+[[nodiscard]] floorplan::FloorplannerOptions make_floorplanner_options(
+    const ConfigFile& cfg);
+
+}  // namespace tsc3d::config

@@ -1,0 +1,156 @@
+#include "config/config_file.hpp"
+
+#include <algorithm>
+#include <cctype>
+#include <fstream>
+#include <sstream>
+
+namespace tsc3d::config {
+
+namespace {
+
+std::string trim(const std::string& s) {
+  const auto first = s.find_first_not_of(" \t\r\n");
+  if (first == std::string::npos) return {};
+  const auto last = s.find_last_not_of(" \t\r\n");
+  return s.substr(first, last - first + 1);
+}
+
+std::string strip_comment(const std::string& line) {
+  const auto hash = line.find('#');
+  return hash == std::string::npos ? line : line.substr(0, hash);
+}
+
+}  // namespace
+
+ConfigFile ConfigFile::load(const std::filesystem::path& path) {
+  std::ifstream in(path);
+  if (!in)
+    throw ConfigError("cannot open config file: " + path.string());
+  std::stringstream buffer;
+  buffer << in.rdbuf();
+  return parse(buffer.str(), path.string());
+}
+
+ConfigFile ConfigFile::parse(const std::string& text,
+                             const std::string& origin) {
+  ConfigFile cfg;
+  cfg.origin_ = origin;
+  std::istringstream in(text);
+  std::string raw, section;
+  std::size_t line_no = 0;
+  while (std::getline(in, raw)) {
+    ++line_no;
+    const std::string line = trim(strip_comment(raw));
+    if (line.empty()) continue;
+    if (line.front() == '[') {
+      if (line.back() != ']')
+        throw ConfigError(origin + ":" + std::to_string(line_no) +
+                          ": unterminated section header");
+      section = trim(line.substr(1, line.size() - 2));
+      if (section.empty())
+        throw ConfigError(origin + ":" + std::to_string(line_no) +
+                          ": empty section name");
+      continue;
+    }
+    const auto eq = line.find('=');
+    if (eq == std::string::npos)
+      throw ConfigError(origin + ":" + std::to_string(line_no) +
+                        ": expected 'key = value', got '" + line + "'");
+    const std::string key = trim(line.substr(0, eq));
+    const std::string value = trim(line.substr(eq + 1));
+    if (key.empty())
+      throw ConfigError(origin + ":" + std::to_string(line_no) +
+                        ": empty key");
+    cfg.insert(section.empty() ? key : section + "." + key, value, line_no);
+  }
+  return cfg;
+}
+
+void ConfigFile::insert(const std::string& key, const std::string& value,
+                        std::size_t line) {
+  if (values_.contains(key))
+    throw ConfigError(origin_ + ":" + std::to_string(line) +
+                      ": duplicate key '" + key + "'");
+  values_[key] = value;
+}
+
+bool ConfigFile::has(const std::string& key) const {
+  return values_.contains(key);
+}
+
+std::string ConfigFile::get_string(const std::string& key,
+                                   const std::string& fallback) const {
+  const auto it = values_.find(key);
+  if (it == values_.end()) return fallback;
+  used_.insert(key);
+  return it->second;
+}
+
+double ConfigFile::get_double(const std::string& key, double fallback) const {
+  const auto it = values_.find(key);
+  if (it == values_.end()) return fallback;
+  used_.insert(key);
+  try {
+    std::size_t pos = 0;
+    const double v = std::stod(it->second, &pos);
+    if (pos != it->second.size())
+      throw ConfigError(origin_ + ": key '" + key +
+                        "': trailing characters in number '" + it->second +
+                        "'");
+    return v;
+  } catch (const std::invalid_argument&) {
+    throw ConfigError(origin_ + ": key '" + key + "': not a number: '" +
+                      it->second + "'");
+  }
+}
+
+std::size_t ConfigFile::get_size(const std::string& key,
+                                 std::size_t fallback) const {
+  const double v = get_double(key, static_cast<double>(fallback));
+  if (v < 0.0 || v != static_cast<double>(static_cast<std::size_t>(v)))
+    throw ConfigError(origin_ + ": key '" + key +
+                      "': expected a non-negative integer");
+  return static_cast<std::size_t>(v);
+}
+
+bool ConfigFile::get_bool(const std::string& key, bool fallback) const {
+  const auto it = values_.find(key);
+  if (it == values_.end()) return fallback;
+  used_.insert(key);
+  std::string v = it->second;
+  std::transform(v.begin(), v.end(), v.begin(),
+                 [](unsigned char c) { return std::tolower(c); });
+  if (v == "1" || v == "true" || v == "yes" || v == "on") return true;
+  if (v == "0" || v == "false" || v == "no" || v == "off") return false;
+  throw ConfigError(origin_ + ": key '" + key + "': not a boolean: '" +
+                    it->second + "'");
+}
+
+std::string ConfigFile::require_string(const std::string& key) const {
+  if (!has(key))
+    throw ConfigError(origin_ + ": missing required key '" + key + "'");
+  return get_string(key, {});
+}
+
+double ConfigFile::require_double(const std::string& key) const {
+  if (!has(key))
+    throw ConfigError(origin_ + ": missing required key '" + key + "'");
+  return get_double(key, 0.0);
+}
+
+std::vector<std::string> ConfigFile::unused_keys() const {
+  std::vector<std::string> out;
+  for (const auto& [key, value] : values_)
+    if (!used_.contains(key)) out.push_back(key);
+  return out;
+}
+
+std::vector<std::string> ConfigFile::keys() const {
+  std::vector<std::string> out;
+  out.reserve(values_.size());
+  for (const auto& [key, value] : values_) out.push_back(key);
+  return out;
+}
+
+}  // namespace tsc3d::config

@@ -1,0 +1,80 @@
+// tsc3d -- thermal side-channel-aware 3D floorplanning.
+//
+// Corblivar-style configuration files.  The paper's tool is driven by
+// plain-text config files ("Further technical details ... are given in
+// the respective default configurations of [21, 22]", Sec. 7); this
+// parser accepts the same flavour of input:
+//
+//   # comment
+//   [floorplanning]
+//   mode = tsc           # or: power
+//   sa_moves = 20000
+//
+//   [technology]
+//   die_width_um = 4000
+//   flavor = tsv         # or: monolithic
+//
+// Keys are addressed as "section.key"; keys before any section header
+// live in the "" section and are addressed bare.  Parsing is strict:
+// malformed lines throw ConfigError with the line number, and
+// unused_keys() lets callers reject typos (every key a consumer reads is
+// marked used).
+#pragma once
+
+#include <filesystem>
+#include <map>
+#include <set>
+#include <stdexcept>
+#include <string>
+#include <vector>
+
+namespace tsc3d::config {
+
+/// Parse or lookup failure; what() includes file/line context.
+class ConfigError : public std::runtime_error {
+ public:
+  using std::runtime_error::runtime_error;
+};
+
+class ConfigFile {
+ public:
+  ConfigFile() = default;
+
+  /// Parse from a file on disk.
+  [[nodiscard]] static ConfigFile load(const std::filesystem::path& path);
+
+  /// Parse from an in-memory string (tests, embedded defaults).
+  [[nodiscard]] static ConfigFile parse(const std::string& text,
+                                        const std::string& origin = "<string>");
+
+  [[nodiscard]] bool has(const std::string& key) const;
+
+  /// Typed getters with defaults.  Reading marks the key used.
+  [[nodiscard]] std::string get_string(const std::string& key,
+                                       const std::string& fallback) const;
+  [[nodiscard]] double get_double(const std::string& key,
+                                  double fallback) const;
+  [[nodiscard]] std::size_t get_size(const std::string& key,
+                                     std::size_t fallback) const;
+  [[nodiscard]] bool get_bool(const std::string& key, bool fallback) const;
+
+  /// Required variants: throw ConfigError if the key is absent.
+  [[nodiscard]] std::string require_string(const std::string& key) const;
+  [[nodiscard]] double require_double(const std::string& key) const;
+
+  /// Keys present in the file but never read -- typo detection.
+  [[nodiscard]] std::vector<std::string> unused_keys() const;
+
+  /// All keys, for introspection.
+  [[nodiscard]] std::vector<std::string> keys() const;
+
+ private:
+  void insert(const std::string& key, const std::string& value,
+              std::size_t line);
+
+  std::string origin_;
+  std::map<std::string, std::string> values_;
+  mutable std::set<std::string> used_;
+};
+
+}  // namespace tsc3d::config

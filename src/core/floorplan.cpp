@@ -1,0 +1,197 @@
+#include "floorplan.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <sstream>
+
+namespace tsc3d {
+
+std::vector<std::size_t> Floorplan3D::modules_on_die(std::size_t d) const {
+  std::vector<std::size_t> out;
+  for (std::size_t i = 0; i < modules_.size(); ++i) {
+    if (modules_[i].die == d) out.push_back(i);
+  }
+  return out;
+}
+
+double Floorplan3D::effective_power(std::size_t i) const {
+  const Module& m = modules_.at(i);
+  const auto& levels = tech_.voltages;
+  const std::size_t vi = std::min(m.voltage_index, levels.size() - 1);
+  return m.power_w * levels[vi].power_scale;
+}
+
+double Floorplan3D::total_power() const {
+  double sum = 0.0;
+  for (std::size_t i = 0; i < modules_.size(); ++i) sum += effective_power(i);
+  return sum;
+}
+
+double Floorplan3D::utilization(std::size_t d) const {
+  double area = 0.0;
+  for (const Module& m : modules_) {
+    if (m.die == d) area += m.shape.area();
+  }
+  return area / tech_.die_area_um2();
+}
+
+GridD Floorplan3D::power_map(std::size_t d, std::size_t nx, std::size_t ny,
+                             const std::vector<double>* module_power_w) const {
+  GridD map(nx, ny, 0.0);
+  const double bw = tech_.die_width_um / static_cast<double>(nx);
+  const double bh = tech_.die_height_um / static_cast<double>(ny);
+  for (std::size_t i = 0; i < modules_.size(); ++i) {
+    const Module& m = modules_[i];
+    if (m.die != d) continue;
+    const double p =
+        module_power_w != nullptr ? (*module_power_w)[i] : effective_power(i);
+    const double a = m.shape.area();
+    if (p <= 0.0 || a <= 0.0) continue;
+    const double density = p / a;  // W per um^2
+    // Bin range touched by the module; distribute by exact overlap area.
+    const auto ix0 = static_cast<std::size_t>(
+        std::clamp(m.shape.x / bw, 0.0, static_cast<double>(nx - 1)));
+    const auto iy0 = static_cast<std::size_t>(
+        std::clamp(m.shape.y / bh, 0.0, static_cast<double>(ny - 1)));
+    const auto ix1 = static_cast<std::size_t>(std::clamp(
+        m.shape.right() / bw, 0.0, static_cast<double>(nx - 1)));
+    const auto iy1 = static_cast<std::size_t>(std::clamp(
+        m.shape.top() / bh, 0.0, static_cast<double>(ny - 1)));
+    for (std::size_t iy = iy0; iy <= iy1; ++iy) {
+      for (std::size_t ix = ix0; ix <= ix1; ++ix) {
+        const Rect bin{static_cast<double>(ix) * bw,
+                       static_cast<double>(iy) * bh, bw, bh};
+        const double ov = overlap_area(bin, m.shape);
+        if (ov > 0.0) map.at(ix, iy) += density * ov;
+      }
+    }
+  }
+  return map;
+}
+
+GridD Floorplan3D::power_density_map(std::size_t d, std::size_t nx,
+                                     std::size_t ny) const {
+  GridD map = power_map(d, nx, ny);
+  const double bin_area = (tech_.die_width_um / static_cast<double>(nx)) *
+                          (tech_.die_height_um / static_cast<double>(ny));
+  map *= 1.0 / bin_area;
+  return map;
+}
+
+Rect Floorplan3D::tsv_island_rect(const Tsv& t) const {
+  const double cell = tech_.tsv.cell_edge_um();
+  // Islands pack TSVs at minimal pitch into a near-square footprint.
+  const double cols =
+      std::ceil(std::sqrt(static_cast<double>(std::max<std::size_t>(t.count, 1))));
+  const double edge_x = cols * cell;
+  const double rows = std::ceil(static_cast<double>(t.count) / cols);
+  const double edge_y = rows * cell;
+  return Rect{t.position.x - edge_x / 2.0, t.position.y - edge_y / 2.0, edge_x,
+              edge_y};
+}
+
+GridD Floorplan3D::tsv_density_map(std::size_t nx, std::size_t ny,
+                                   bool include_dummy) const {
+  GridD map(nx, ny, 0.0);
+  const double bw = tech_.die_width_um / static_cast<double>(nx);
+  const double bh = tech_.die_height_um / static_cast<double>(ny);
+  const double bin_area = bw * bh;
+  for (const Tsv& t : tsvs_) {
+    if (!include_dummy && t.kind == TsvKind::dummy) continue;
+    const Rect island = tsv_island_rect(t);
+    const auto ix0 = static_cast<std::size_t>(
+        std::clamp(island.x / bw, 0.0, static_cast<double>(nx - 1)));
+    const auto iy0 = static_cast<std::size_t>(
+        std::clamp(island.y / bh, 0.0, static_cast<double>(ny - 1)));
+    const auto ix1 = static_cast<std::size_t>(std::clamp(
+        island.right() / bw, 0.0, static_cast<double>(nx - 1)));
+    const auto iy1 = static_cast<std::size_t>(std::clamp(
+        island.top() / bh, 0.0, static_cast<double>(ny - 1)));
+    for (std::size_t iy = iy0; iy <= iy1; ++iy) {
+      for (std::size_t ix = ix0; ix <= ix1; ++ix) {
+        const Rect bin{static_cast<double>(ix) * bw,
+                       static_cast<double>(iy) * bh, bw, bh};
+        map.at(ix, iy) += overlap_area(bin, island) / bin_area;
+      }
+    }
+  }
+  for (auto& v : map) v = std::min(v, 1.0);
+  return map;
+}
+
+std::size_t Floorplan3D::tsv_count(TsvKind kind) const {
+  std::size_t n = 0;
+  for (const Tsv& t : tsvs_) {
+    if (t.kind == kind) n += t.count;
+  }
+  return n;
+}
+
+double Floorplan3D::hpwl() const {
+  double total = 0.0;
+  for (const Net& net : nets_) {
+    if (net.pins.size() < 2) continue;
+    double x0 = 0.0, x1 = 0.0, y0 = 0.0, y1 = 0.0;
+    bool first = true;
+    for (const NetPin& pin : net.pins) {
+      Point p;
+      if (pin.is_terminal()) {
+        p = terminals_.at(pin.terminal).position;
+      } else {
+        p = modules_.at(pin.module).shape.center();
+      }
+      if (first) {
+        x0 = x1 = p.x;
+        y0 = y1 = p.y;
+        first = false;
+      } else {
+        x0 = std::min(x0, p.x);
+        x1 = std::max(x1, p.x);
+        y0 = std::min(y0, p.y);
+        y1 = std::max(y1, p.y);
+      }
+    }
+    total += net.weight * ((x1 - x0) + (y1 - y0));
+  }
+  return total;
+}
+
+LegalityReport Floorplan3D::check_legality() const {
+  LegalityReport report;
+  const Rect bounds = outline();
+  // Outline containment.
+  for (const Module& m : modules_) {
+    if (!bounds.contains(m.shape)) {
+      report.legal = false;
+      ++report.outline_violations;
+      report.outline_excess_um2 +=
+          m.shape.area() - overlap_area(m.shape, bounds);
+      std::ostringstream oss;
+      oss << "module " << m.name << " leaves the outline on die " << m.die;
+      report.violations.push_back(oss.str());
+    }
+  }
+  // Pairwise overlaps, per die.
+  for (std::size_t d = 0; d < tech_.num_dies; ++d) {
+    const auto on_die = modules_on_die(d);
+    for (std::size_t a = 0; a < on_die.size(); ++a) {
+      for (std::size_t b = a + 1; b < on_die.size(); ++b) {
+        const Module& ma = modules_[on_die[a]];
+        const Module& mb = modules_[on_die[b]];
+        const double ov = overlap_area(ma.shape, mb.shape);
+        if (ov > 0.0) {
+          report.legal = false;
+          ++report.overlap_count;
+          report.overlap_area_um2 += ov;
+          std::ostringstream oss;
+          oss << "modules " << ma.name << " and " << mb.name
+              << " overlap on die " << d << " by " << ov << " um^2";
+          report.violations.push_back(oss.str());
+        }
+      }
+    }
+  }
+  return report;
+}
+
+}  // namespace tsc3d

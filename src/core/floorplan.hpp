@@ -1,0 +1,111 @@
+// tsc3d -- thermal side-channel-aware 3D floorplanning.
+//
+// Floorplan3D: the central design database.  It owns the modules, nets,
+// terminals and TSVs of a two-die (face-to-back) 3D IC and provides the
+// derived quantities every other subsystem consumes: rasterized power
+// maps, TSV-density maps, wirelength, utilization, and legality checks.
+#pragma once
+
+#include <cstddef>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "config.hpp"
+#include "grid.hpp"
+#include "module.hpp"
+
+namespace tsc3d {
+
+/// Result of a legality check; empty `violations` means legal.
+struct LegalityReport {
+  bool legal = true;
+  std::size_t overlap_count = 0;       ///< pairs of overlapping modules
+  double overlap_area_um2 = 0.0;       ///< total pairwise overlap area
+  std::size_t outline_violations = 0;  ///< modules leaving the fixed outline
+  double outline_excess_um2 = 0.0;     ///< area outside the outline
+  std::vector<std::string> violations; ///< human-readable details
+};
+
+/// The design database for one 3D IC.
+class Floorplan3D {
+ public:
+  Floorplan3D() = default;
+  explicit Floorplan3D(TechnologyConfig tech) : tech_(std::move(tech)) {
+    tech_.validate();
+  }
+
+  [[nodiscard]] const TechnologyConfig& tech() const { return tech_; }
+  [[nodiscard]] TechnologyConfig& tech() { return tech_; }
+
+  [[nodiscard]] std::vector<Module>& modules() { return modules_; }
+  [[nodiscard]] const std::vector<Module>& modules() const { return modules_; }
+  [[nodiscard]] std::vector<Net>& nets() { return nets_; }
+  [[nodiscard]] const std::vector<Net>& nets() const { return nets_; }
+  [[nodiscard]] std::vector<Terminal>& terminals() { return terminals_; }
+  [[nodiscard]] const std::vector<Terminal>& terminals() const {
+    return terminals_;
+  }
+  [[nodiscard]] std::vector<Tsv>& tsvs() { return tsvs_; }
+  [[nodiscard]] const std::vector<Tsv>& tsvs() const { return tsvs_; }
+
+  /// Fixed die outline (same for every die in the stack).
+  [[nodiscard]] Rect outline() const {
+    return Rect{0.0, 0.0, tech_.die_width_um, tech_.die_height_um};
+  }
+
+  /// Indices of the modules placed on die `d`.
+  [[nodiscard]] std::vector<std::size_t> modules_on_die(std::size_t d) const;
+
+  /// Power of module `i` scaled by its assigned voltage level [W].
+  [[nodiscard]] double effective_power(std::size_t i) const;
+
+  /// Total effective power over all modules [W].
+  [[nodiscard]] double total_power() const;
+
+  /// Sum of module areas on die `d` divided by the outline area.
+  [[nodiscard]] double utilization(std::size_t d) const;
+
+  /// Rasterize the power map of die `d` onto an nx-by-ny grid.  Each bin
+  /// receives module power proportional to the overlap area, i.e. the map
+  /// integrates to the die's total power [W].  If `module_power_w` is
+  /// provided it supplies per-module absolute power values (e.g. one
+  /// Gaussian activity sample); otherwise effective_power() is used.
+  [[nodiscard]] GridD power_map(
+      std::size_t d, std::size_t nx, std::size_t ny,
+      const std::vector<double>* module_power_w = nullptr) const;
+
+  /// Power density map [W/um^2] -- the paper reports power maps in
+  /// 1e-2 uW/um^2; this is the same map in coherent units.
+  [[nodiscard]] GridD power_density_map(std::size_t d, std::size_t nx,
+                                        std::size_t ny) const;
+
+  /// Fraction of each bin's area covered by TSV cells (body + keep-out),
+  /// clamped to [0,1].  Islands of `count` TSVs occupy a square of
+  /// count * cell_area around the island center.
+  [[nodiscard]] GridD tsv_density_map(std::size_t nx, std::size_t ny,
+                                      bool include_dummy = true) const;
+
+  /// Total number of TSVs of the given kind (islands weighted by count).
+  [[nodiscard]] std::size_t tsv_count(TsvKind kind) const;
+
+  /// Half-perimeter wirelength over all nets [um].  Pins on different dies
+  /// contribute no extra planar length here (the vertical hop is one TSV);
+  /// the bounding box spans the projected positions of all pins.
+  [[nodiscard]] double hpwl() const;
+
+  /// Bounding-box footprint of a TSV island placed at `t.position`.
+  [[nodiscard]] Rect tsv_island_rect(const Tsv& t) const;
+
+  /// Check module overlaps and fixed-outline containment on every die.
+  [[nodiscard]] LegalityReport check_legality() const;
+
+ private:
+  TechnologyConfig tech_;
+  std::vector<Module> modules_;
+  std::vector<Net> nets_;
+  std::vector<Terminal> terminals_;
+  std::vector<Tsv> tsvs_;
+};
+
+}  // namespace tsc3d

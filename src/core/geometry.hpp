@@ -1,0 +1,106 @@
+// tsc3d -- thermal side-channel-aware 3D floorplanning.
+//
+// Basic planar geometry: points and axis-aligned rectangles.
+// All dimensions are in micrometers (um) unless stated otherwise.
+#pragma once
+
+#include <algorithm>
+#include <cmath>
+#include <ostream>
+
+namespace tsc3d {
+
+/// A point in the plane, in micrometers.
+struct Point {
+  double x = 0.0;
+  double y = 0.0;
+
+  friend bool operator==(const Point& a, const Point& b) {
+    return a.x == b.x && a.y == b.y;
+  }
+};
+
+/// Euclidean distance between two points.
+inline double euclidean(const Point& a, const Point& b) {
+  return std::hypot(a.x - b.x, a.y - b.y);
+}
+
+/// Manhattan (L1) distance between two points; the metric used for
+/// wirelength estimation and for the spatial-entropy class distances.
+inline double manhattan(const Point& a, const Point& b) {
+  return std::abs(a.x - b.x) + std::abs(a.y - b.y);
+}
+
+/// An axis-aligned rectangle given by its lower-left corner and extent.
+/// Degenerate rectangles (zero width or height) are permitted and have
+/// zero area; negative extents are invalid.
+struct Rect {
+  double x = 0.0;  ///< lower-left x [um]
+  double y = 0.0;  ///< lower-left y [um]
+  double w = 0.0;  ///< width [um]
+  double h = 0.0;  ///< height [um]
+
+  [[nodiscard]] double area() const { return w * h; }
+  [[nodiscard]] double right() const { return x + w; }
+  [[nodiscard]] double top() const { return y + h; }
+  [[nodiscard]] Point center() const { return {x + w / 2.0, y + h / 2.0}; }
+  [[nodiscard]] double aspect_ratio() const { return h > 0.0 ? w / h : 0.0; }
+
+  /// True if the point lies within the closed rectangle.
+  [[nodiscard]] bool contains(const Point& p) const {
+    return p.x >= x && p.x <= right() && p.y >= y && p.y <= top();
+  }
+
+  /// True if `other` lies entirely within this rectangle.
+  [[nodiscard]] bool contains(const Rect& other) const {
+    return other.x >= x && other.y >= y && other.right() <= right() &&
+           other.top() <= top();
+  }
+
+  /// True if the open interiors of the rectangles intersect.  Rectangles
+  /// that merely share an edge do NOT overlap, so abutting floorplan
+  /// modules are legal.
+  [[nodiscard]] bool overlaps(const Rect& other) const {
+    return x < other.right() && other.x < right() && y < other.top() &&
+           other.y < top();
+  }
+
+  friend bool operator==(const Rect& a, const Rect& b) {
+    return a.x == b.x && a.y == b.y && a.w == b.w && a.h == b.h;
+  }
+};
+
+/// Intersection of two rectangles; empty (zero-extent) if they do not
+/// overlap.
+inline Rect intersection(const Rect& a, const Rect& b) {
+  const double x0 = std::max(a.x, b.x);
+  const double y0 = std::max(a.y, b.y);
+  const double x1 = std::min(a.right(), b.right());
+  const double y1 = std::min(a.top(), b.top());
+  if (x1 <= x0 || y1 <= y0) return Rect{x0, y0, 0.0, 0.0};
+  return Rect{x0, y0, x1 - x0, y1 - y0};
+}
+
+/// Area of the overlap of two rectangles (zero if disjoint).
+inline double overlap_area(const Rect& a, const Rect& b) {
+  return intersection(a, b).area();
+}
+
+/// Smallest rectangle enclosing both arguments.
+inline Rect bounding_box(const Rect& a, const Rect& b) {
+  const double x0 = std::min(a.x, b.x);
+  const double y0 = std::min(a.y, b.y);
+  const double x1 = std::max(a.right(), b.right());
+  const double y1 = std::max(a.top(), b.top());
+  return Rect{x0, y0, x1 - x0, y1 - y0};
+}
+
+inline std::ostream& operator<<(std::ostream& os, const Point& p) {
+  return os << '(' << p.x << ", " << p.y << ')';
+}
+
+inline std::ostream& operator<<(std::ostream& os, const Rect& r) {
+  return os << '[' << r.x << ", " << r.y << "; " << r.w << " x " << r.h << ']';
+}
+
+}  // namespace tsc3d

@@ -1,0 +1,138 @@
+// tsc3d -- thermal side-channel-aware 3D floorplanning.
+//
+// Grid2D<T>: a dense row-major 2D grid used for power maps, thermal maps,
+// correlation maps, and TSV-density maps.  The paper organizes power and
+// thermal values "in grids with same dimensions for both power and thermal
+// maps" (Sec. 4.1); Grid2D is that shared container.
+#pragma once
+
+#include <algorithm>
+#include <cassert>
+#include <cstddef>
+#include <numeric>
+#include <stdexcept>
+#include <vector>
+
+namespace tsc3d {
+
+template <typename T>
+class Grid2D {
+ public:
+  Grid2D() = default;
+
+  /// Construct an nx-by-ny grid filled with `init`.
+  Grid2D(std::size_t nx, std::size_t ny, T init = T{})
+      : nx_(nx), ny_(ny), data_(nx * ny, init) {
+    if (nx == 0 || ny == 0)
+      throw std::invalid_argument("Grid2D: dimensions must be positive");
+  }
+
+  [[nodiscard]] std::size_t nx() const { return nx_; }
+  [[nodiscard]] std::size_t ny() const { return ny_; }
+  [[nodiscard]] std::size_t size() const { return data_.size(); }
+  [[nodiscard]] bool empty() const { return data_.empty(); }
+
+  [[nodiscard]] T& at(std::size_t ix, std::size_t iy) {
+    assert(ix < nx_ && iy < ny_);
+    return data_[iy * nx_ + ix];
+  }
+  [[nodiscard]] const T& at(std::size_t ix, std::size_t iy) const {
+    assert(ix < nx_ && iy < ny_);
+    return data_[iy * nx_ + ix];
+  }
+
+  /// Flat access in row-major order (ix fastest).
+  [[nodiscard]] T& operator[](std::size_t i) { return data_[i]; }
+  [[nodiscard]] const T& operator[](std::size_t i) const { return data_[i]; }
+
+  [[nodiscard]] std::vector<T>& data() { return data_; }
+  [[nodiscard]] const std::vector<T>& data() const { return data_; }
+
+  [[nodiscard]] auto begin() { return data_.begin(); }
+  [[nodiscard]] auto end() { return data_.end(); }
+  [[nodiscard]] auto begin() const { return data_.begin(); }
+  [[nodiscard]] auto end() const { return data_.end(); }
+
+  void fill(T value) { std::fill(data_.begin(), data_.end(), value); }
+
+  [[nodiscard]] T min() const {
+    return *std::min_element(data_.begin(), data_.end());
+  }
+  [[nodiscard]] T max() const {
+    return *std::max_element(data_.begin(), data_.end());
+  }
+  [[nodiscard]] double sum() const {
+    return std::accumulate(data_.begin(), data_.end(), 0.0);
+  }
+  [[nodiscard]] double mean() const {
+    return data_.empty() ? 0.0 : sum() / static_cast<double>(data_.size());
+  }
+
+  /// Element-wise addition; grids must have identical dimensions.
+  Grid2D& operator+=(const Grid2D& other) {
+    check_same_dims(other);
+    for (std::size_t i = 0; i < data_.size(); ++i) data_[i] += other.data_[i];
+    return *this;
+  }
+
+  /// Element-wise subtraction; grids must have identical dimensions.
+  Grid2D& operator-=(const Grid2D& other) {
+    check_same_dims(other);
+    for (std::size_t i = 0; i < data_.size(); ++i) data_[i] -= other.data_[i];
+    return *this;
+  }
+
+  /// Scale all elements by a constant.
+  Grid2D& operator*=(T scale) {
+    for (auto& v : data_) v *= scale;
+    return *this;
+  }
+
+  friend bool operator==(const Grid2D& a, const Grid2D& b) {
+    return a.nx_ == b.nx_ && a.ny_ == b.ny_ && a.data_ == b.data_;
+  }
+
+ private:
+  void check_same_dims(const Grid2D& other) const {
+    if (nx_ != other.nx_ || ny_ != other.ny_)
+      throw std::invalid_argument("Grid2D: dimension mismatch");
+  }
+
+  std::size_t nx_ = 0;
+  std::size_t ny_ = 0;
+  std::vector<T> data_;
+};
+
+using GridD = Grid2D<double>;
+
+/// Bilinear resampling of `src` onto a grid of dimensions nx-by-ny.
+/// Used to bring sensor readings / coarse solver output onto the common
+/// power-map grid before correlation analysis.
+inline GridD resample(const GridD& src, std::size_t nx, std::size_t ny) {
+  GridD dst(nx, ny);
+  const auto sx = static_cast<double>(src.nx());
+  const auto sy = static_cast<double>(src.ny());
+  for (std::size_t iy = 0; iy < ny; ++iy) {
+    for (std::size_t ix = 0; ix < nx; ++ix) {
+      // Map destination bin center into source bin coordinates.
+      const double fx =
+          (static_cast<double>(ix) + 0.5) / static_cast<double>(nx) * sx - 0.5;
+      const double fy =
+          (static_cast<double>(iy) + 0.5) / static_cast<double>(ny) * sy - 0.5;
+      const double cx = std::clamp(fx, 0.0, sx - 1.0);
+      const double cy = std::clamp(fy, 0.0, sy - 1.0);
+      const auto x0 = static_cast<std::size_t>(cx);
+      const auto y0 = static_cast<std::size_t>(cy);
+      const std::size_t x1 = std::min(x0 + 1, src.nx() - 1);
+      const std::size_t y1 = std::min(y0 + 1, src.ny() - 1);
+      const double tx = cx - static_cast<double>(x0);
+      const double ty = cy - static_cast<double>(y0);
+      const double v0 = src.at(x0, y0) * (1.0 - tx) + src.at(x1, y0) * tx;
+      const double v1 = src.at(x0, y1) * (1.0 - tx) + src.at(x1, y1) * tx;
+      dst.at(ix, iy) = v0 * (1.0 - ty) + v1 * ty;
+    }
+  }
+  return dst;
+}
+
+}  // namespace tsc3d

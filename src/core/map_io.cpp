@@ -1,0 +1,67 @@
+#include "core/map_io.hpp"
+
+#include <algorithm>
+#include <fstream>
+#include <sstream>
+#include <stdexcept>
+#include <vector>
+
+namespace tsc3d {
+
+void write_csv(const GridD& map, const std::filesystem::path& path) {
+  std::ofstream out(path);
+  if (!out)
+    throw std::runtime_error("write_csv: cannot open " + path.string());
+  for (std::size_t iy = 0; iy < map.ny(); ++iy) {
+    for (std::size_t ix = 0; ix < map.nx(); ++ix) {
+      out << map.at(ix, iy);
+      if (ix + 1 < map.nx()) out << ',';
+    }
+    out << '\n';
+  }
+}
+
+void write_pgm(const GridD& map, const std::filesystem::path& path) {
+  std::ofstream out(path, std::ios::binary);
+  if (!out)
+    throw std::runtime_error("write_pgm: cannot open " + path.string());
+  const double lo = map.min();
+  const double hi = map.max();
+  const double span = hi > lo ? hi - lo : 1.0;
+  out << "P5\n" << map.nx() << ' ' << map.ny() << "\n255\n";
+  for (std::size_t row = map.ny(); row > 0; --row) {
+    for (std::size_t ix = 0; ix < map.nx(); ++ix) {
+      const double v = (map.at(ix, row - 1) - lo) / span;
+      out.put(static_cast<char>(
+          static_cast<unsigned char>(std::clamp(v, 0.0, 1.0) * 255.0)));
+    }
+  }
+}
+
+GridD read_csv(const std::filesystem::path& path) {
+  std::ifstream in(path);
+  if (!in)
+    throw std::runtime_error("read_csv: cannot open " + path.string());
+  std::vector<std::vector<double>> rows;
+  std::string line;
+  while (std::getline(in, line)) {
+    if (line.empty()) continue;
+    std::vector<double> row;
+    std::stringstream ss(line);
+    std::string cell;
+    while (std::getline(ss, cell, ',')) row.push_back(std::stod(cell));
+    rows.push_back(std::move(row));
+  }
+  if (rows.empty() || rows.front().empty())
+    throw std::runtime_error("read_csv: empty map in " + path.string());
+  GridD map(rows.front().size(), rows.size());
+  for (std::size_t iy = 0; iy < rows.size(); ++iy) {
+    if (rows[iy].size() != map.nx())
+      throw std::runtime_error("read_csv: ragged rows in " + path.string());
+    for (std::size_t ix = 0; ix < map.nx(); ++ix)
+      map.at(ix, iy) = rows[iy][ix];
+  }
+  return map;
+}
+
+}  // namespace tsc3d

@@ -1,0 +1,25 @@
+// tsc3d -- thermal side-channel-aware 3D floorplanning.
+//
+// Export of Grid2D maps for plotting: CSV (one row per grid row) and PGM
+// (portable graymap, viewable everywhere) -- used by the bench harness to
+// emit the power/thermal map panels of Figs. 2 and 4.
+#pragma once
+
+#include <filesystem>
+
+#include "core/grid.hpp"
+
+namespace tsc3d {
+
+/// Write `map` as comma-separated values, row iy per line, iy ascending.
+void write_csv(const GridD& map, const std::filesystem::path& path);
+
+/// Write `map` as an 8-bit PGM image, normalized to [min, max].  The
+/// y-axis is flipped so the origin is bottom-left, as in the paper's
+/// figures.
+void write_pgm(const GridD& map, const std::filesystem::path& path);
+
+/// Read back a CSV map (for tests / external data).
+[[nodiscard]] GridD read_csv(const std::filesystem::path& path);
+
+}  // namespace tsc3d

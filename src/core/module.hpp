@@ -1,0 +1,85 @@
+// tsc3d -- thermal side-channel-aware 3D floorplanning.
+//
+// Floorplan entities: modules ("black box" IP blocks with only basic
+// properties exposed, cf. Sec. 2.2), nets, terminals, and TSVs.
+#pragma once
+
+#include <cstddef>
+#include <limits>
+#include <string>
+#include <vector>
+
+#include "geometry.hpp"
+
+namespace tsc3d {
+
+using ModuleId = std::size_t;
+using NetId = std::size_t;
+constexpr std::size_t kInvalidIndex = std::numeric_limits<std::size_t>::max();
+
+/// A floorplan module.  Chip designers typically reuse black-box IP with
+/// access to only area, pins and power (Sec. 2.2); this struct is exactly
+/// that interface, plus the placement state owned by the floorplanner.
+struct Module {
+  ModuleId id = 0;
+  std::string name;
+
+  // --- intrinsic properties (the "datasheet") ---------------------------
+  double area_um2 = 0.0;        ///< target area [um^2]
+  bool soft = true;             ///< soft modules may change aspect ratio
+  double min_aspect = 1.0 / 3.0;///< min w/h for soft modules
+  double max_aspect = 3.0;      ///< max w/h for soft modules
+  double power_w = 0.0;         ///< nominal power at 1.0 V [W]
+  double intrinsic_delay_ns = 0.0;  ///< internal delay at 1.0 V [ns]
+
+  // --- placement state ---------------------------------------------------
+  std::size_t die = 0;          ///< die index, 0 = bottom (away from sink)
+  Rect shape;                   ///< placed rectangle on that die [um]
+  std::size_t voltage_index = 1;///< index into TechnologyConfig::voltages
+
+  /// Nominal power density [W/um^2] over the placed shape.
+  [[nodiscard]] double power_density() const {
+    const double a = shape.area();
+    return a > 0.0 ? power_w / a : 0.0;
+  }
+};
+
+/// A terminal (primary I/O) pinned to the chip boundary of a given die.
+struct Terminal {
+  std::string name;
+  std::size_t die = 0;
+  Point position;  ///< location on the outline [um]
+};
+
+/// One pin of a net: either a module pin (offset relative to the module
+/// center is abstracted away at block level) or a terminal reference.
+struct NetPin {
+  std::size_t module = kInvalidIndex;    ///< index into Floorplan3D::modules
+  std::size_t terminal = kInvalidIndex;  ///< index into Floorplan3D::terminals
+  [[nodiscard]] bool is_terminal() const { return terminal != kInvalidIndex; }
+};
+
+/// A multi-pin net.  Nets whose pins span both dies require signal TSVs.
+struct Net {
+  NetId id = 0;
+  std::vector<NetPin> pins;
+  double weight = 1.0;
+};
+
+/// Kind of through-silicon via.
+enum class TsvKind {
+  signal,  ///< carries a 3D net; placed by the TSV planner
+  dummy,   ///< thermal-only; inserted by leakage post-processing
+};
+
+/// One TSV (or one island of `count` TSVs packed at minimal pitch around
+/// the given center).  TSVs live in the bond layer between die 0 and die 1
+/// and traverse the upper die's bulk silicon.
+struct Tsv {
+  Point position;          ///< island center [um]
+  std::size_t count = 1;   ///< number of TSVs in this island
+  TsvKind kind = TsvKind::signal;
+  NetId net = 0;           ///< owning net (signal TSVs only)
+};
+
+}  // namespace tsc3d

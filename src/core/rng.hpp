@@ -1,0 +1,123 @@
+// tsc3d -- thermal side-channel-aware 3D floorplanning.
+//
+// Deterministic random-number generation.  All stochastic components
+// (benchmark synthesis, simulated annealing, Gaussian activity sampling,
+// sensor noise) draw from an explicitly seeded Rng so every experiment in
+// the paper reproduction is bit-reproducible.
+#pragma once
+
+#include <cmath>
+#include <cstdint>
+#include <limits>
+#include <numbers>
+#include <stdexcept>
+#include <vector>
+
+namespace tsc3d {
+
+/// xoshiro256** by Blackman & Vigna: fast, high-quality, and tiny.
+/// Seeded through SplitMix64 so that nearby seeds yield uncorrelated
+/// streams.
+class Rng {
+ public:
+  using result_type = std::uint64_t;
+
+  explicit Rng(std::uint64_t seed = 0x9e3779b97f4a7c15ULL) { reseed(seed); }
+
+  void reseed(std::uint64_t seed) {
+    // SplitMix64 expansion of the seed into the 256-bit state.
+    std::uint64_t z = seed;
+    for (auto& s : state_) {
+      z += 0x9e3779b97f4a7c15ULL;
+      std::uint64_t t = z;
+      t = (t ^ (t >> 30)) * 0xbf58476d1ce4e5b9ULL;
+      t = (t ^ (t >> 27)) * 0x94d049bb133111ebULL;
+      s = t ^ (t >> 31);
+    }
+    has_cached_gaussian_ = false;
+  }
+
+  static constexpr result_type min() { return 0; }
+  static constexpr result_type max() {
+    return std::numeric_limits<result_type>::max();
+  }
+
+  result_type operator()() {
+    const std::uint64_t result = rotl(state_[1] * 5, 7) * 9;
+    const std::uint64_t t = state_[1] << 17;
+    state_[2] ^= state_[0];
+    state_[3] ^= state_[1];
+    state_[1] ^= state_[2];
+    state_[0] ^= state_[3];
+    state_[2] ^= t;
+    state_[3] = rotl(state_[3], 45);
+    return result;
+  }
+
+  /// Uniform double in [0, 1).
+  double uniform() {
+    return static_cast<double>((*this)() >> 11) * 0x1.0p-53;
+  }
+
+  /// Uniform double in [lo, hi).
+  double uniform(double lo, double hi) { return lo + (hi - lo) * uniform(); }
+
+  /// Uniform integer in [0, n).  n must be positive.
+  std::size_t index(std::size_t n) {
+    if (n == 0) throw std::invalid_argument("Rng::index: n must be > 0");
+    return static_cast<std::size_t>(uniform() * static_cast<double>(n));
+  }
+
+  /// Uniform integer in [lo, hi] inclusive.
+  int range(int lo, int hi) {
+    return lo + static_cast<int>(index(static_cast<std::size_t>(hi - lo + 1)));
+  }
+
+  /// True with probability p.
+  bool bernoulli(double p) { return uniform() < p; }
+
+  /// Standard normal via Box-Muller (cached pair).
+  double gaussian() {
+    if (has_cached_gaussian_) {
+      has_cached_gaussian_ = false;
+      return cached_gaussian_;
+    }
+    double u1 = uniform();
+    while (u1 <= 0.0) u1 = uniform();
+    const double u2 = uniform();
+    const double r = std::sqrt(-2.0 * std::log(u1));
+    const double theta = 2.0 * std::numbers::pi * u2;
+    cached_gaussian_ = r * std::sin(theta);
+    has_cached_gaussian_ = true;
+    return r * std::cos(theta);
+  }
+
+  /// Normal with given mean and standard deviation.
+  double gaussian(double mean, double stddev) {
+    return mean + stddev * gaussian();
+  }
+
+  /// Log-normal sample parameterized by the underlying normal's mu/sigma.
+  double lognormal(double mu, double sigma) {
+    return std::exp(gaussian(mu, sigma));
+  }
+
+  /// Fisher-Yates shuffle.
+  template <typename T>
+  void shuffle(std::vector<T>& v) {
+    for (std::size_t i = v.size(); i > 1; --i) {
+      std::swap(v[i - 1], v[index(i)]);
+    }
+  }
+
+ private:
+  static constexpr std::uint64_t rotl(std::uint64_t x, int k) {
+    return (x << k) | (x >> (64 - k));
+  }
+
+  std::uint64_t state_[4] = {};
+  double cached_gaussian_ = 0.0;
+  bool has_cached_gaussian_ = false;
+};
+
+}  // namespace tsc3d

@@ -1,0 +1,420 @@
+#include "floorplan/annealer.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <numeric>
+
+namespace tsc3d::floorplan {
+
+LayoutState LayoutState::initial(const Floorplan3D& fp, Rng& rng,
+                                 bool hot_modules_to_top) {
+  const std::size_t n = fp.modules().size();
+  const std::size_t dies = fp.tech().num_dies;
+  LayoutState s;
+  s.width.resize(n);
+  s.height.resize(n);
+  s.die_of.resize(n);
+
+  // Initial extents: nominal aspect ratio in the middle of the range.
+  for (std::size_t i = 0; i < n; ++i) {
+    const Module& m = fp.modules()[i];
+    const double ar =
+        m.soft ? std::sqrt(m.min_aspect * m.max_aspect) : m.min_aspect;
+    s.width[i] = std::sqrt(m.area_um2 * std::max(ar, 1e-9));
+    s.height[i] = m.area_um2 / s.width[i];
+  }
+
+  // Die assignment: the thermal design rule sends the hotter half of the
+  // modules (by power density) to the top die (index dies-1, adjacent to
+  // the heatsink); the rest go below, round-robin for stacks > 2.
+  std::vector<std::size_t> order(n);
+  std::iota(order.begin(), order.end(), 0);
+  if (hot_modules_to_top) {
+    std::sort(order.begin(), order.end(), [&](std::size_t a, std::size_t b) {
+      const auto da = fp.modules()[a].power_w / fp.modules()[a].area_um2;
+      const auto db = fp.modules()[b].power_w / fp.modules()[b].area_um2;
+      return da > db;
+    });
+  } else {
+    rng.shuffle(order);
+  }
+  std::vector<std::vector<std::size_t>> members(dies);
+  // Balance module *area* across dies while walking the (hot-first) order.
+  std::vector<double> die_area(dies, 0.0);
+  for (const std::size_t i : order) {
+    std::size_t target = 0;
+    if (hot_modules_to_top) {
+      // Prefer the topmost die that is still below average fill.
+      target = dies - 1;
+      for (std::size_t d = dies; d > 0; --d) {
+        if (die_area[d - 1] <=
+            *std::min_element(die_area.begin(), die_area.end()) + 1e-9) {
+          target = d - 1;
+          break;
+        }
+      }
+    } else {
+      target = static_cast<std::size_t>(
+          std::min_element(die_area.begin(), die_area.end()) -
+          die_area.begin());
+    }
+    members[target].push_back(i);
+    die_area[target] += fp.modules()[i].area_um2;
+    s.die_of[i] = target;
+  }
+
+  for (std::size_t d = 0; d < dies; ++d) {
+    SequencePair sp(members[d]);
+    sp.shuffle(rng);
+    s.die_sp.push_back(std::move(sp));
+  }
+  return s;
+}
+
+void LayoutState::apply_to(Floorplan3D& fp) const {
+  for (std::size_t d = 0; d < die_sp.size(); ++d) {
+    const SequencePair& sp = die_sp[d];
+    const Packing p = sp.pack([&](std::size_t id) { return width[id]; },
+                              [&](std::size_t id) { return height[id]; });
+    const auto& order = sp.members();
+    for (std::size_t k = 0; k < order.size(); ++k) {
+      Module& m = fp.modules()[order[k]];
+      m.die = d;
+      m.shape.x = p.position[k].x;
+      m.shape.y = p.position[k].y;
+      m.shape.w = width[order[k]];
+      m.shape.h = height[order[k]];
+    }
+  }
+}
+
+/// Undo record: enough information to revert any single move.
+struct Annealer::Undo {
+  enum class Kind { none, swap_pos, swap_neg, swap_both, resize, transfer,
+                    exchange };
+  Kind kind = Kind::none;
+  std::size_t die_a = 0, die_b = 0;
+  std::size_t slot_i = 0, slot_j = 0;
+  std::size_t module_a = 0, module_b = 0;
+  double old_w = 0.0, old_h = 0.0;
+  std::size_t old_pos_slot = 0, old_neg_slot = 0;
+  std::size_t old_pos_slot_b = 0, old_neg_slot_b = 0;
+
+  void revert(LayoutState& s) const {
+    switch (kind) {
+      case Kind::none:
+        break;
+      case Kind::swap_pos:
+        s.die_sp[die_a].swap_positive(slot_i, slot_j);
+        break;
+      case Kind::swap_neg:
+        s.die_sp[die_a].swap_negative(slot_i, slot_j);
+        break;
+      case Kind::swap_both:
+        s.die_sp[die_a].swap_both(module_a, module_b);
+        break;
+      case Kind::resize:
+        s.width[module_a] = old_w;
+        s.height[module_a] = old_h;
+        break;
+      case Kind::transfer:
+        s.die_sp[die_b].remove(module_a);
+        s.die_sp[die_a].insert(module_a, old_pos_slot, old_neg_slot);
+        s.die_of[module_a] = die_a;
+        break;
+      case Kind::exchange:
+        s.die_sp[die_b].remove(module_a);
+        s.die_sp[die_a].remove(module_b);
+        s.die_sp[die_a].insert(module_a, old_pos_slot, old_neg_slot);
+        s.die_sp[die_b].insert(module_b, old_pos_slot_b, old_neg_slot_b);
+        s.die_of[module_a] = die_a;
+        s.die_of[module_b] = die_b;
+        break;
+    }
+  }
+};
+
+Annealer::Annealer(Floorplan3D& fp, CostEvaluator& evaluator,
+                   AnnealOptions options)
+    : fp_(fp), eval_(evaluator), opt_(options) {}
+
+void Annealer::random_move(LayoutState& s, Rng& rng, Undo& undo) const {
+  const std::size_t dies = s.die_sp.size();
+  undo.kind = Undo::Kind::none;
+  const double roll = rng.uniform();
+
+  if (roll < opt_.resize_prob) {
+    // Resize a soft module / rotate a hard one.
+    const std::size_t id = rng.index(s.width.size());
+    const Module& m = fp_.modules()[id];
+    undo.kind = Undo::Kind::resize;
+    undo.module_a = id;
+    undo.old_w = s.width[id];
+    undo.old_h = s.height[id];
+    if (m.soft && m.max_aspect > m.min_aspect) {
+      const double ar = rng.uniform(m.min_aspect, m.max_aspect);
+      s.width[id] = std::sqrt(m.area_um2 * ar);
+      s.height[id] = m.area_um2 / s.width[id];
+    } else {
+      std::swap(s.width[id], s.height[id]);
+    }
+    return;
+  }
+  if (dies > 1 && roll < opt_.resize_prob + opt_.transfer_prob) {
+    // Transfer one module to another die.
+    const std::size_t id = rng.index(s.die_of.size());
+    const std::size_t from = s.die_of[id];
+    if (s.die_sp[from].size() > 1) {
+      std::size_t to = rng.index(dies - 1);
+      if (to >= from) ++to;
+      // Remember the module's slots for the revert.
+      const auto& pos = s.die_sp[from].positive();
+      const auto& neg = s.die_sp[from].negative();
+      undo.old_pos_slot = static_cast<std::size_t>(
+          std::find(pos.begin(), pos.end(), id) - pos.begin());
+      undo.old_neg_slot = static_cast<std::size_t>(
+          std::find(neg.begin(), neg.end(), id) - neg.begin());
+      undo.kind = Undo::Kind::transfer;
+      undo.module_a = id;
+      undo.die_a = from;
+      undo.die_b = to;
+      s.die_sp[from].remove(id);
+      s.die_sp[to].insert(id, rng.index(s.die_sp[to].size() + 1),
+                          rng.index(s.die_sp[to].size() + 1));
+      s.die_of[id] = to;
+      return;
+    }
+  }
+  if (dies > 1 &&
+      roll < opt_.resize_prob + opt_.transfer_prob + opt_.exchange_prob) {
+    // Exchange two modules across dies.
+    const std::size_t a = rng.index(s.die_of.size());
+    const std::size_t b = rng.index(s.die_of.size());
+    if (s.die_of[a] != s.die_of[b]) {
+      const std::size_t da = s.die_of[a];
+      const std::size_t db = s.die_of[b];
+      undo.kind = Undo::Kind::exchange;
+      undo.module_a = a;
+      undo.module_b = b;
+      undo.die_a = da;
+      undo.die_b = db;
+      auto slot = [](const std::vector<std::size_t>& seq, std::size_t id) {
+        return static_cast<std::size_t>(
+            std::find(seq.begin(), seq.end(), id) - seq.begin());
+      };
+      undo.old_pos_slot = slot(s.die_sp[da].positive(), a);
+      undo.old_neg_slot = slot(s.die_sp[da].negative(), a);
+      undo.old_pos_slot_b = slot(s.die_sp[db].positive(), b);
+      undo.old_neg_slot_b = slot(s.die_sp[db].negative(), b);
+      s.die_sp[da].remove(a);
+      s.die_sp[db].remove(b);
+      s.die_sp[db].insert(a, rng.index(s.die_sp[db].size() + 1),
+                          rng.index(s.die_sp[db].size() + 1));
+      s.die_sp[da].insert(b, rng.index(s.die_sp[da].size() + 1),
+                          rng.index(s.die_sp[da].size() + 1));
+      s.die_of[a] = db;
+      s.die_of[b] = da;
+      return;
+    }
+  }
+
+  // Intra-die sequence swap (positive, negative, or both).
+  const std::size_t d = rng.index(dies);
+  SequencePair& sp = s.die_sp[d];
+  if (sp.size() < 2) return;
+  const std::size_t i = rng.index(sp.size());
+  std::size_t j = rng.index(sp.size() - 1);
+  if (j >= i) ++j;
+  undo.die_a = d;
+  switch (rng.index(3)) {
+    case 0:
+      undo.kind = Undo::Kind::swap_pos;
+      undo.slot_i = i;
+      undo.slot_j = j;
+      sp.swap_positive(i, j);
+      break;
+    case 1:
+      undo.kind = Undo::Kind::swap_neg;
+      undo.slot_i = i;
+      undo.slot_j = j;
+      sp.swap_negative(i, j);
+      break;
+    default:
+      undo.kind = Undo::Kind::swap_both;
+      undo.module_a = sp.positive()[i];
+      undo.module_b = sp.positive()[j];
+      sp.swap_both(undo.module_a, undo.module_b);
+      break;
+  }
+}
+
+AnnealStats Annealer::run(LayoutState& state, Rng& rng) {
+  AnnealStats stats;
+  state.apply_to(fp_);
+  CostBreakdown current = eval_.evaluate_full();
+  ++stats.full_evals;
+
+  // Calibrate T0 so that `initial_accept` of random uphill moves pass.
+  {
+    std::vector<double> uphill;
+    LayoutState probe = state;
+    for (std::size_t k = 0; k < 60; ++k) {
+      Undo undo;
+      random_move(probe, rng, undo);
+      probe.apply_to(fp_);
+      const CostBreakdown c = eval_.evaluate_cheap();
+      const double delta = c.total - current.total;
+      if (delta > 0.0) uphill.push_back(delta);
+    }
+    state.apply_to(fp_);  // restore
+    const double avg =
+        uphill.empty()
+            ? 0.1
+            : std::accumulate(uphill.begin(), uphill.end(), 0.0) /
+                  static_cast<double>(uphill.size());
+    stats.initial_temperature = -avg / std::log(opt_.initial_accept);
+  }
+
+  LayoutState best = state;
+  CostBreakdown best_cost = current;
+  bool best_legal = current.fits_outline;
+  stats.found_legal = best_legal;
+  const double initial_outline_weight = eval_.outline_weight();
+
+  double temperature = stats.initial_temperature;
+  const std::size_t total_moves =
+      opt_.total_moves > 0
+          ? opt_.total_moves
+          : 8000 + 150 * fp_.modules().size();  // auto-scaled budget
+  const std::size_t moves_per_stage =
+      std::max<std::size_t>(1, total_moves / std::max<std::size_t>(
+                                                 1, opt_.stages));
+  std::size_t since_full = 0;
+  std::size_t since_thermal = 0;
+
+  // Cooling factor: either explicit or derived so that the temperature
+  // reaches final_temp_ratio * T0 at the end of the annealed stages.
+  const auto greedy_stages = static_cast<std::size_t>(
+      opt_.greedy_tail * static_cast<double>(opt_.stages));
+  const std::size_t annealed_stages =
+      opt_.stages > greedy_stages ? opt_.stages - greedy_stages : 1;
+  const double cooling =
+      opt_.cooling > 0.0
+          ? opt_.cooling
+          : std::pow(opt_.final_temp_ratio,
+                     1.0 / static_cast<double>(annealed_stages));
+
+  for (std::size_t stage = 0; stage < opt_.stages; ++stage) {
+    const bool greedy = stage >= annealed_stages;
+    for (std::size_t mv = 0; mv < moves_per_stage; ++mv) {
+      Undo undo;
+      random_move(state, rng, undo);
+      if (undo.kind == Undo::Kind::none) continue;
+      ++stats.moves;
+
+      state.apply_to(fp_);
+      CostBreakdown c;
+      ++since_thermal;
+      if (++since_full >= opt_.full_eval_interval) {
+        c = eval_.evaluate_full();
+        since_full = 0;
+        since_thermal = 0;
+        ++stats.full_evals;
+      } else if (opt_.thermal_eval_interval > 0 &&
+                 since_thermal >= opt_.thermal_eval_interval) {
+        c = eval_.evaluate_thermal();
+        since_thermal = 0;
+        ++stats.full_evals;
+      } else {
+        c = eval_.evaluate_cheap();
+      }
+
+      const double delta = c.total - current.total;
+      const bool accept =
+          delta <= 0.0 ||
+          (!greedy && rng.uniform() < std::exp(-delta / temperature));
+      if (accept) {
+        ++stats.accepted;
+        current = c;
+        // Track the best solution; legal (outline-fitting) states always
+        // dominate illegal ones.
+        const bool better =
+            (c.fits_outline && !best_legal) ||
+            (c.fits_outline == best_legal && c.total < best_cost.total);
+        if (better) {
+          best = state;
+          best_cost = c;
+          best_legal = c.fits_outline;
+          stats.found_legal = stats.found_legal || c.fits_outline;
+        }
+      } else {
+        undo.revert(state);
+      }
+    }
+    temperature *= cooling;
+
+    // Fixed-outline pressure: if this stage ends outside the outline (or
+    // no legal state has been seen at all), raise the violation weight so
+    // the remaining stages prioritize legality.  Totals are re-derived
+    // under the new weight so comparisons stay consistent.
+    if (opt_.outline_escalation > 1.0 &&
+        (!current.fits_outline || !best_legal) &&
+        eval_.outline_weight() <
+            initial_outline_weight * opt_.outline_cap_factor) {
+      eval_.scale_outline_weight(opt_.outline_escalation);
+      state.apply_to(fp_);
+      current = eval_.evaluate_cheap();
+      if (!best_legal) {
+        best.apply_to(fp_);
+        best_cost = eval_.evaluate_cheap();
+        state.apply_to(fp_);
+      }
+    }
+  }
+
+  // Greedy legalization: if annealing never met the fixed outline, spend
+  // a budgeted tail of moves accepting only outline improvements (ties
+  // broken by total cost).  This mirrors the repair passes of
+  // fixed-outline floorplanners; the paper's problem statement makes the
+  // outline hard ("The resulting die outlines are fixed", Sec. 7).
+  if (!best_legal && opt_.repair_fraction > 0.0) {
+    state = best;
+    state.apply_to(fp_);
+    CostBreakdown repair_current = eval_.evaluate_cheap();
+    const auto repair_budget = static_cast<std::size_t>(
+        opt_.repair_fraction * static_cast<double>(total_moves));
+    for (std::size_t mv = 0;
+         mv < repair_budget && !repair_current.fits_outline; ++mv) {
+      Undo undo;
+      random_move(state, rng, undo);
+      if (undo.kind == Undo::Kind::none) continue;
+      ++stats.repair_moves;
+      state.apply_to(fp_);
+      const CostBreakdown c = eval_.evaluate_cheap();
+      const bool better =
+          c.outline_penalty < repair_current.outline_penalty - 1e-12 ||
+          (c.outline_penalty < repair_current.outline_penalty + 1e-12 &&
+           c.total < repair_current.total);
+      if (better) {
+        repair_current = c;
+      } else {
+        undo.revert(state);
+      }
+    }
+    if (repair_current.fits_outline ||
+        repair_current.outline_penalty < best_cost.outline_penalty) {
+      best = state;
+      best_cost = repair_current;
+      best_legal = repair_current.fits_outline;
+      stats.found_legal = stats.found_legal || best_legal;
+    }
+  }
+
+  state = std::move(best);
+  state.apply_to(fp_);
+  stats.best_cost = best_cost.total;
+  stats.best_breakdown = best_cost;
+  return stats;
+}
+
+}  // namespace tsc3d::floorplan

@@ -1,0 +1,101 @@
+// tsc3d -- thermal side-channel-aware 3D floorplanning.
+//
+// Simulated-annealing engine over the 3D layout state: one sequence pair
+// per die plus the inter-die module assignment.  Moves cover intra-die
+// reordering (sequence swaps), soft-module resizing / hard-module
+// rotation, and inter-die transfers and exchanges -- so the full 3D
+// design space is explored, as the paper emphasizes ("not only by
+// carefully inserting dummy TSVs, but more so by thoroughly exploring
+// the 3D design space", Sec. 7.3).
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <vector>
+
+#include "core/floorplan.hpp"
+#include "core/rng.hpp"
+#include "floorplan/cost.hpp"
+#include "floorplan/sequence_pair.hpp"
+
+namespace tsc3d::floorplan {
+
+/// The mutable floorplanning state the annealer works on.
+struct LayoutState {
+  std::vector<SequencePair> die_sp;    ///< one sequence pair per die
+  std::vector<double> width;           ///< chosen extents per module id
+  std::vector<double> height;
+  std::vector<std::size_t> die_of;     ///< die assignment per module id
+
+  /// Build an initial state from the floorplan's modules.  If
+  /// `hot_modules_to_top` is set, the hotter half (by power density) goes
+  /// to the die adjacent to the heatsink -- Corblivar's thermal design
+  /// rule (Sec. 7.2).
+  [[nodiscard]] static LayoutState initial(const Floorplan3D& fp, Rng& rng,
+                                           bool hot_modules_to_top = true);
+
+  /// Pack every die and write shapes + die assignments into `fp`.
+  void apply_to(Floorplan3D& fp) const;
+};
+
+struct AnnealOptions {
+  double initial_accept = 0.85;   ///< target acceptance at T0
+  /// Geometric stage cooling factor; 0 (default) derives the factor so
+  /// the temperature decays to final_temp_ratio * T0 over the stages.
+  double cooling = 0.0;
+  double final_temp_ratio = 1e-3;
+  std::size_t stages = 50;
+  /// Total SA moves; 0 = auto-scale with the design size
+  /// (8000 + 150 * #modules).
+  std::size_t total_moves = 0;
+  std::size_t full_eval_interval = 150;  ///< moves between voltage refresh
+  /// Moves between fast-thermal/correlation refreshes.  0 disables the
+  /// intermediate level (thermal terms then refresh with the full eval).
+  std::size_t thermal_eval_interval = 0;
+  /// Fraction of the stages run greedily (T ~ 0) at the end.
+  double greedy_tail = 0.15;
+  double transfer_prob = 0.12;    ///< inter-die transfer moves
+  double exchange_prob = 0.08;    ///< inter-die exchange moves
+  double resize_prob = 0.20;      ///< soft resize / hard rotate moves
+  /// Fixed-outline pressure: whenever a stage ends without the outline
+  /// met, the outline weight is multiplied by this factor (1 disables),
+  /// up to outline_cap_factor times its starting value.
+  double outline_escalation = 1.35;
+  double outline_cap_factor = 256.0;
+  /// If the annealed search never met the outline, run this fraction of
+  /// total_moves as a greedy legalization pass that accepts only moves
+  /// reducing the outline violation (ties broken by total cost).
+  double repair_fraction = 0.25;
+};
+
+struct AnnealStats {
+  std::size_t moves = 0;
+  std::size_t accepted = 0;
+  std::size_t full_evals = 0;
+  std::size_t repair_moves = 0;  ///< greedy legalization moves run
+  double initial_temperature = 0.0;
+  double best_cost = 0.0;
+  bool found_legal = false;   ///< some visited state fit the outline
+  CostBreakdown best_breakdown;
+};
+
+class Annealer {
+ public:
+  Annealer(Floorplan3D& fp, CostEvaluator& evaluator,
+           AnnealOptions options = {});
+
+  /// Anneal `state` in place; on return `state` is the best solution
+  /// found and has been applied to the floorplan.
+  AnnealStats run(LayoutState& state, Rng& rng);
+
+ private:
+  /// Apply one random move; returns an undo closure index (see .cpp).
+  struct Undo;
+  void random_move(LayoutState& state, Rng& rng, Undo& undo) const;
+
+  Floorplan3D& fp_;
+  CostEvaluator& eval_;
+  AnnealOptions opt_;
+};
+
+}  // namespace tsc3d::floorplan

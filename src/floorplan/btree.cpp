@@ -1,0 +1,217 @@
+#include "floorplan/btree.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <map>
+#include <stdexcept>
+
+namespace tsc3d::floorplan {
+
+BTree::BTree(std::size_t n) {
+  if (n == 0) throw std::invalid_argument("BTree: empty module set");
+  nodes_.resize(n);
+  for (std::size_t i = 0; i < n; ++i) {
+    nodes_[i].module = i;
+    if (i > 0) {
+      nodes_[i].parent = i - 1;
+      nodes_[i - 1].left = i;
+    }
+  }
+  root_ = 0;
+}
+
+BTree::BTree(std::size_t n, Rng& rng) : BTree(n) {
+  // Shuffle by applying random moves to the chain.
+  for (std::size_t k = 0; k < 4 * n; ++k) move_random(rng);
+}
+
+std::vector<PackedBlock> BTree::pack(const std::vector<double>& width,
+                                     const std::vector<double>& height,
+                                     double& bbox_w, double& bbox_h) const {
+  if (width.size() != nodes_.size() || height.size() != nodes_.size())
+    throw std::invalid_argument("BTree::pack: extent size mismatch");
+
+  std::vector<PackedBlock> placed(nodes_.size());
+  // Horizontal contour: x -> top y over [x, next_x).  Map from interval
+  // start to height; query = max height over [x0, x1).
+  std::map<double, double> contour;
+  contour[0.0] = 0.0;
+
+  const auto contour_max = [&](double x0, double x1) {
+    auto it = contour.upper_bound(x0);
+    --it;  // segment containing x0
+    double top = 0.0;
+    for (; it != contour.end() && it->first < x1; ++it)
+      top = std::max(top, it->second);
+    return top;
+  };
+  const auto contour_set = [&](double x0, double x1, double top) {
+    // Value that resumes after x1 (height of the segment containing x1).
+    auto after = contour.upper_bound(x1);
+    --after;
+    const double resume = after->second;
+    // Erase all segment starts in [x0, x1).
+    auto it = contour.lower_bound(x0);
+    while (it != contour.end() && it->first < x1) it = contour.erase(it);
+    contour[x0] = top;
+    if (!contour.contains(x1)) contour[x1] = resume;
+  };
+
+  bbox_w = 0.0;
+  bbox_h = 0.0;
+  // DFS from the root; parents always pack before their children.
+  std::vector<std::pair<std::size_t, double>> stack;  // node, x position
+  stack.push_back({root_, 0.0});
+  while (!stack.empty()) {
+    const auto [node, x] = stack.back();
+    stack.pop_back();
+    const Node& nd = nodes_[node];
+    const double w = width[nd.module];
+    const double h = height[nd.module];
+    const double y = contour_max(x, x + w);
+    placed[nd.module] = PackedBlock{nd.module, Rect{x, y, w, h}};
+    contour_set(x, x + w, y + h);
+    bbox_w = std::max(bbox_w, x + w);
+    bbox_h = std::max(bbox_h, y + h);
+    if (nd.left != kInvalidIndex) stack.push_back({nd.left, x + w});
+    if (nd.right != kInvalidIndex) stack.push_back({nd.right, x});
+  }
+  return placed;
+}
+
+void BTree::detach(std::size_t node) {
+  Node& nd = nodes_[node];
+  // Splice: replace this node by one of its children (prefer left);
+  // the displaced other child is re-hung on the promoted subtree's
+  // leftmost free slot.
+  const std::size_t child =
+      nd.left != kInvalidIndex ? nd.left : nd.right;
+  const std::size_t other =
+      nd.left != kInvalidIndex ? nd.right : kInvalidIndex;
+
+  if (child != kInvalidIndex) nodes_[child].parent = nd.parent;
+  if (nd.parent != kInvalidIndex) {
+    Node& p = nodes_[nd.parent];
+    (p.left == node ? p.left : p.right) = child;
+  } else {
+    root_ = child;
+  }
+
+  if (other != kInvalidIndex) {
+    // Hang `other` under the promoted child's leftmost descendant.
+    std::size_t host = child;
+    while (nodes_[host].left != kInvalidIndex) host = nodes_[host].left;
+    nodes_[host].left = other;
+    nodes_[other].parent = host;
+  }
+
+  nd.parent = nd.left = nd.right = kInvalidIndex;
+}
+
+void BTree::attach(std::size_t node, std::size_t parent, bool as_left) {
+  Node& p = nodes_[parent];
+  std::size_t& slot = as_left ? p.left : p.right;
+  if (slot != kInvalidIndex) {
+    // Push the existing child down under the inserted node (same side,
+    // preserving its relative packing direction).
+    (as_left ? nodes_[node].left : nodes_[node].right) = slot;
+    nodes_[slot].parent = node;
+  }
+  slot = node;
+  nodes_[node].parent = parent;
+}
+
+void BTree::swap_random(Rng& rng) {
+  if (nodes_.size() < 2) return;
+  const std::size_t a = rng.index(nodes_.size());
+  std::size_t b = rng.index(nodes_.size());
+  while (b == a) b = rng.index(nodes_.size());
+  std::swap(nodes_[a].module, nodes_[b].module);
+}
+
+void BTree::move_random(Rng& rng) {
+  if (nodes_.size() < 2) return;
+  const std::size_t node = rng.index(nodes_.size());
+  detach(node);
+  if (root_ == kInvalidIndex) {
+    // Tree had one node; re-root it.
+    root_ = node;
+    return;
+  }
+  std::size_t parent = rng.index(nodes_.size());
+  while (parent == node) parent = rng.index(nodes_.size());
+  attach(node, parent, rng.bernoulli(0.5));
+}
+
+bool BTree::valid() const {
+  std::vector<bool> module_seen(nodes_.size(), false);
+  std::vector<bool> visited(nodes_.size(), false);
+  // Walk from the root; count reachable nodes and check link mutuality.
+  std::vector<std::size_t> stack{root_};
+  std::size_t reached = 0;
+  if (root_ == kInvalidIndex || nodes_[root_].parent != kInvalidIndex)
+    return false;
+  while (!stack.empty()) {
+    const std::size_t n = stack.back();
+    stack.pop_back();
+    if (n >= nodes_.size() || visited[n]) return false;
+    visited[n] = true;
+    ++reached;
+    const Node& nd = nodes_[n];
+    if (nd.module >= nodes_.size() || module_seen[nd.module]) return false;
+    module_seen[nd.module] = true;
+    for (const std::size_t child : {nd.left, nd.right}) {
+      if (child == kInvalidIndex) continue;
+      if (child >= nodes_.size() || nodes_[child].parent != n) return false;
+      stack.push_back(child);
+    }
+  }
+  return reached == nodes_.size();
+}
+
+PackingQuality optimize_btree(BTree& tree, const std::vector<double>& width,
+                              const std::vector<double>& height,
+                              std::size_t moves, Rng& rng) {
+  double module_area = 0.0;
+  for (std::size_t i = 0; i < width.size(); ++i)
+    module_area += width[i] * height[i];
+
+  double bw = 0.0, bh = 0.0;
+  (void)tree.pack(width, height, bw, bh);
+  double current_area = bw * bh;
+  double best = current_area;
+  BTree best_tree = tree;
+
+  // Greedy SA with a short geometric schedule, mirroring the budget the
+  // sequence-pair comparison receives.
+  double temperature = 0.2 * best;
+  const double cooling = std::pow(1e-3, 1.0 / std::max<double>(1.0, moves));
+  for (std::size_t mv = 0; mv < moves; ++mv) {
+    BTree candidate = tree;
+    if (rng.bernoulli(0.5))
+      candidate.swap_random(rng);
+    else
+      candidate.move_random(rng);
+    (void)candidate.pack(width, height, bw, bh);
+    const double area = bw * bh;
+    const double delta = area - current_area;
+    if (delta <= 0.0 ||
+        rng.uniform() < std::exp(-delta / std::max(temperature, 1e-9))) {
+      tree = std::move(candidate);
+      current_area = area;
+      if (area < best) {
+        best = area;
+        best_tree = tree;
+      }
+    }
+    temperature *= cooling;
+  }
+  tree = std::move(best_tree);
+
+  PackingQuality q;
+  q.bbox_area = best;
+  q.module_area = module_area;
+  return q;
+}
+
+}  // namespace tsc3d::floorplan

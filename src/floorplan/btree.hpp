@@ -1,0 +1,92 @@
+// tsc3d -- thermal side-channel-aware 3D floorplanning.
+//
+// B*-tree floorplan representation with contour-based packing -- the
+// classic alternative to the sequence pair used by our annealer.  The
+// paper's host floorplanner Corblivar is built on a corner-block-list
+// style representation; sequence pairs and B*-trees are the other two
+// standard complete representations for compacted placements.  We ship
+// the B*-tree alongside the sequence pair so the representation choice
+// is ablatable (bench/ablation_representation): same instances, same
+// move budget, compare packing density and runtime.
+//
+// Semantics (Chang et al., DAC 2000): a binary tree over the modules;
+// the root packs at the origin, a left child packs to the RIGHT of its
+// parent (x = parent.x + parent.w), a right child packs ABOVE its parent
+// at the same x.  The y coordinate is resolved against a horizontal
+// contour structure, giving an admissible, compacted placement in
+// amortized O(n) per packing.
+#pragma once
+
+#include <cstddef>
+#include <vector>
+
+#include "core/floorplan.hpp"
+#include "core/rng.hpp"
+
+namespace tsc3d::floorplan {
+
+/// One packed rectangle of a B*-tree evaluation.
+struct PackedBlock {
+  std::size_t module = 0;  ///< index into the width/height arrays
+  Rect shape;
+};
+
+/// A B*-tree over n modules (indices 0..n-1).
+class BTree {
+ public:
+  /// A left-skewed initial chain (modules packed in a row).
+  explicit BTree(std::size_t n);
+
+  /// A random topology.
+  BTree(std::size_t n, Rng& rng);
+
+  [[nodiscard]] std::size_t size() const { return nodes_.size(); }
+
+  /// Pack with the given module extents; returns one PackedBlock per
+  /// module plus the bounding box via the out parameters.
+  [[nodiscard]] std::vector<PackedBlock> pack(
+      const std::vector<double>& width, const std::vector<double>& height,
+      double& bbox_w, double& bbox_h) const;
+
+  // --- local-search moves (each preserves tree validity) ----------------
+  /// Swap the modules stored at two random nodes.
+  void swap_random(Rng& rng);
+  /// Remove a random node and re-insert it at a random free child slot.
+  void move_random(Rng& rng);
+
+  /// Validity invariant (every module appears exactly once, child/parent
+  /// links are mutual); exercised by tests after move sequences.
+  [[nodiscard]] bool valid() const;
+
+ private:
+  struct Node {
+    std::size_t module;                 ///< module stored at this node
+    std::size_t parent = kInvalidIndex;
+    std::size_t left = kInvalidIndex;   ///< packs right of this node
+    std::size_t right = kInvalidIndex;  ///< packs above this node
+  };
+
+  void detach(std::size_t node);
+  void attach(std::size_t node, std::size_t parent, bool as_left);
+
+  std::size_t root_ = 0;
+  std::vector<Node> nodes_;
+};
+
+/// Pack quality summary for the representation ablation.
+struct PackingQuality {
+  double bbox_area = 0.0;
+  double module_area = 0.0;
+  [[nodiscard]] double dead_space() const {
+    return bbox_area > 0.0 ? 1.0 - module_area / bbox_area : 0.0;
+  }
+};
+
+/// Greedy-SA local search minimizing the bounding-box area of one die's
+/// packing; shared harness for the representation comparison.
+[[nodiscard]] PackingQuality optimize_btree(BTree& tree,
+                                            const std::vector<double>& width,
+                                            const std::vector<double>& height,
+                                            std::size_t moves, Rng& rng);
+
+}  // namespace tsc3d::floorplan

@@ -1,0 +1,202 @@
+#include "floorplan/cost.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <numeric>
+
+#include "leakage/pearson.hpp"
+#include "tsv/planner.hpp"
+
+namespace tsc3d::floorplan {
+
+CostWeights power_aware_weights() {
+  CostWeights w;  // classical criteria equally weighted; no leakage terms
+  return w;
+}
+
+CostWeights tsc_aware_weights() {
+  CostWeights w;
+  // The paper evaluates the leakage analysis inside every loop iteration;
+  // our expensive terms refresh at an interval instead, so the
+  // correlation term carries extra weight to compensate for the
+  // staleness between refreshes.
+  w.correlation = 2.5;
+  w.entropy = 1.0;
+  w.power_gradient = 1.0;
+  return w;
+}
+
+CostEvaluator::CostEvaluator(Floorplan3D& fp, const thermal::PowerBlur& blur,
+                             Options options)
+    : fp_(fp),
+      blur_(blur),
+      opt_(std::move(options)),
+      timing_(fp, opt_.timing) {
+  opt_.voltage.objective = opt_.voltage_objective;
+  cached_correlation_.assign(fp_.tech().num_dies, 0.0);
+  cached_entropy_.assign(fp_.tech().num_dies, 0.0);
+}
+
+void CostEvaluator::measure_cheap(CostBreakdown& c) const {
+  const Rect outline = fp_.outline();
+  const double out_area = outline.area();
+  c.bbox_area_ratio = 0.0;
+  c.outline_penalty = 0.0;
+  c.fits_outline = true;
+  for (std::size_t d = 0; d < fp_.tech().num_dies; ++d) {
+    double w = 0.0, h = 0.0;
+    for (const std::size_t i : fp_.modules_on_die(d)) {
+      const Module& m = fp_.modules()[i];
+      w = std::max(w, m.shape.right());
+      h = std::max(h, m.shape.top());
+    }
+    c.bbox_area_ratio += (w * h) / out_area;
+    const double over_w = std::max(0.0, w - outline.w) / outline.w;
+    const double over_h = std::max(0.0, h - outline.h) / outline.h;
+    c.outline_penalty += over_w + over_h + over_w * over_h;
+    if (over_w > 0.0 || over_h > 0.0) c.fits_outline = false;
+  }
+  c.wirelength_um = fp_.hpwl();
+  c.delay_ns = timing_.analyze().critical_delay_ns;
+
+  // Spatial entropy is the paper's cheap per-iteration leakage proxy
+  // (Sec. 4.2): it needs no thermal analysis, so it is evaluated on
+  // every move when the setup weights it.
+  if (opt_.weights.entropy != 0.0) {
+    const std::size_t g = opt_.leakage_grid;
+    c.entropy.clear();
+    for (std::size_t d = 0; d < fp_.tech().num_dies; ++d) {
+      c.entropy.push_back(leakage::spatial_entropy(
+          fp_.power_map(d, g, g), opt_.entropy_options));
+    }
+  }
+}
+
+void CostEvaluator::measure_voltage(CostBreakdown& c) {
+  power::VoltageAssigner assigner(fp_, timing_, opt_.voltage);
+  const power::VoltageAssignment va = assigner.assign();
+  c.power_w = va.total_power_w;
+  c.num_volumes = static_cast<double>(va.num_volumes());
+  c.power_gradient = va.intra_density_stddev + va.inter_density_stddev;
+  cached_power_ = c.power_w;
+  cached_volumes_ = c.num_volumes;
+  cached_gradient_ = c.power_gradient;
+}
+
+void CostEvaluator::measure_thermal(CostBreakdown& c) {
+  // Fig. 3 inner flow: TSV placement -> fast thermal -> leakage analysis.
+  tsv::place_signal_tsvs(fp_);
+
+  const std::size_t g = opt_.leakage_grid;
+  std::vector<GridD> power_maps;
+  power_maps.reserve(fp_.tech().num_dies);
+  for (std::size_t d = 0; d < fp_.tech().num_dies; ++d)
+    power_maps.push_back(fp_.power_map(d, g, g));
+  const GridD tsv_map = fp_.tsv_density_map(g, g);
+  const std::vector<GridD> temps = blur_.estimate(power_maps, tsv_map);
+
+  double peak = 0.0;
+  c.correlation.clear();
+  c.entropy.clear();
+  for (std::size_t d = 0; d < fp_.tech().num_dies; ++d) {
+    peak = std::max(peak, temps[d].max());
+    c.correlation.push_back(leakage::pearson(power_maps[d], temps[d]));
+    c.entropy.push_back(
+        leakage::spatial_entropy(power_maps[d], opt_.entropy_options));
+  }
+  c.peak_k_rise = std::max(0.0, peak - temps[0].min());
+
+  cached_peak_rise_ = c.peak_k_rise;
+  cached_correlation_ = c.correlation;
+  cached_entropy_ = c.entropy;
+}
+
+void CostEvaluator::init_normalizers(const CostBreakdown& c) {
+  auto guard = [](double v) { return v > 1e-12 ? v : 1.0; };
+  norm_.area = guard(c.bbox_area_ratio);
+  norm_.wl = guard(c.wirelength_um);
+  norm_.delay = guard(c.delay_ns);
+  norm_.peak = guard(c.peak_k_rise);
+  norm_.power = guard(c.power_w);
+  norm_.volumes = guard(c.num_volumes);
+  norm_.gradient = guard(c.power_gradient);
+  double corr = 0.0, ent = 0.0;
+  for (const double r : c.correlation) corr += std::abs(r);
+  for (const double s : c.entropy) ent += s;
+  norm_.corr = guard(corr / guard(static_cast<double>(c.correlation.size())));
+  norm_.entropy = guard(ent / guard(static_cast<double>(c.entropy.size())));
+  norm_.ready = true;
+}
+
+double CostEvaluator::combine(const CostBreakdown& c) const {
+  const CostWeights& w = opt_.weights;
+  double corr = 0.0;
+  for (const double r : c.correlation) corr += std::abs(r);
+  if (!c.correlation.empty()) corr /= static_cast<double>(c.correlation.size());
+  double ent = 0.0;
+  for (const double s : c.entropy) ent += s;
+  if (!c.entropy.empty()) ent /= static_cast<double>(c.entropy.size());
+
+  return w.area * (c.bbox_area_ratio / norm_.area) +
+         w.outline * c.outline_penalty +
+         w.wirelength * (c.wirelength_um / norm_.wl) +
+         w.delay * (c.delay_ns / norm_.delay) +
+         w.peak_temp * (c.peak_k_rise / norm_.peak) +
+         w.power * (c.power_w / norm_.power) +
+         w.volumes * (c.num_volumes / norm_.volumes) +
+         w.power_gradient * (c.power_gradient / norm_.gradient) +
+         w.correlation * (corr / norm_.corr) +
+         w.entropy * (ent / norm_.entropy);
+}
+
+CostBreakdown CostEvaluator::evaluate_cheap() {
+  CostBreakdown c;
+  measure_cheap(c);
+  // Carry the cached expensive terms (entropy is cheap and was measured
+  // live above whenever its weight is active).
+  c.peak_k_rise = cached_peak_rise_;
+  c.power_w = cached_power_;
+  c.num_volumes = cached_volumes_;
+  c.power_gradient = cached_gradient_;
+  c.correlation = cached_correlation_;
+  if (c.entropy.empty()) c.entropy = cached_entropy_;
+  if (!have_expensive_) {
+    // First contact: populate the caches so the totals are meaningful.
+    measure_voltage(c);
+    measure_thermal(c);
+    have_expensive_ = true;
+  }
+  if (!norm_.ready) init_normalizers(c);
+  c.total = combine(c);
+  return c;
+}
+
+CostBreakdown CostEvaluator::evaluate_thermal() {
+  CostBreakdown c;
+  measure_cheap(c);
+  if (!have_expensive_) {
+    measure_voltage(c);
+    have_expensive_ = true;
+  } else {
+    c.power_w = cached_power_;
+    c.num_volumes = cached_volumes_;
+    c.power_gradient = cached_gradient_;
+  }
+  measure_thermal(c);
+  if (!norm_.ready) init_normalizers(c);
+  c.total = combine(c);
+  return c;
+}
+
+CostBreakdown CostEvaluator::evaluate_full() {
+  CostBreakdown c;
+  measure_cheap(c);
+  measure_voltage(c);
+  measure_thermal(c);
+  have_expensive_ = true;
+  if (!norm_.ready) init_normalizers(c);
+  c.total = combine(c);
+  return c;
+}
+
+}  // namespace tsc3d::floorplan

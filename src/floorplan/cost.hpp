@@ -1,0 +1,137 @@
+// tsc3d -- thermal side-channel-aware 3D floorplanning.
+//
+// Multi-objective floorplanning cost (Sec. 7 setups):
+//
+//  * power-aware (PA): packing density, wirelength, critical delay, peak
+//    temperature, and voltage assignment (overall power + number of
+//    volumes), all weighted equally -- the paper's competitive baseline.
+//  * TSC-aware: the same criteria PLUS the average Eq.-1 correlation
+//    coefficients and the average spatial entropies; the voltage
+//    objective switches to volume count + power-gradient uniformity.
+//
+// Terms are adaptively normalized to the value of the first evaluation so
+// the weights express relative importance, as in Corblivar.  Cheap terms
+// (packing, outline, wirelength, delay) are evaluated per move; expensive
+// terms (voltage assignment, fast thermal, correlation, entropy) are
+// refreshed at a configurable cadence (see annealer.hpp).
+#pragma once
+
+#include <cstddef>
+#include <vector>
+
+#include "core/floorplan.hpp"
+#include "leakage/spatial_entropy.hpp"
+#include "power/timing.hpp"
+#include "power/voltage.hpp"
+#include "thermal/power_blur.hpp"
+
+namespace tsc3d::floorplan {
+
+/// Relative weights of the cost terms.  Zero disables a term.
+struct CostWeights {
+  double area = 1.0;         ///< packing bounding-box area
+  double outline = 8.0;      ///< fixed-outline violation (hard-ish)
+  double wirelength = 1.0;
+  double delay = 1.0;
+  double peak_temp = 1.0;
+  double power = 1.0;        ///< overall power after voltage assignment
+  double volumes = 1.0;      ///< number of voltage volumes
+  double correlation = 0.0;  ///< avg per-die Eq. 1 correlation
+  double entropy = 0.0;      ///< avg per-die spatial entropy
+  double power_gradient = 0.0;  ///< intra/inter volume density stddev
+};
+
+/// The PA setup: all classical criteria weighted equally (Sec. 7 (i)).
+[[nodiscard]] CostWeights power_aware_weights();
+
+/// The TSC setup: classical criteria plus leakage terms (Sec. 7 (ii)).
+[[nodiscard]] CostWeights tsc_aware_weights();
+
+/// All raw term values of one evaluation.
+struct CostBreakdown {
+  double bbox_area_ratio = 0.0;   ///< sum of die bbox areas / outline areas
+  double outline_penalty = 0.0;   ///< relative overhang beyond the outline
+  double wirelength_um = 0.0;
+  double delay_ns = 0.0;
+  double peak_k_rise = 0.0;       ///< peak temperature above ambient (fast)
+  double power_w = 0.0;
+  double num_volumes = 0.0;
+  double power_gradient = 0.0;
+  std::vector<double> correlation;  ///< per die, fast thermal estimate
+  std::vector<double> entropy;      ///< per die
+  double total = 0.0;
+  bool fits_outline = false;
+};
+
+/// Evaluator bound to one floorplan database.  The annealer mutates the
+/// floorplan (via LayoutState::apply_to) and calls evaluate_*().
+class CostEvaluator {
+ public:
+  struct Options {
+    CostWeights weights;
+    power::VoltageObjective voltage_objective =
+        power::VoltageObjective::power_aware;
+    power::TimingOptions timing;
+    power::VoltageOptions voltage;
+    std::size_t leakage_grid = 32;  ///< fast-analysis grid resolution
+    leakage::SpatialEntropyOptions entropy_options;
+  };
+
+  /// `blur` provides the calibrated fast thermal model (32x32 by default).
+  CostEvaluator(Floorplan3D& fp, const thermal::PowerBlur& blur,
+                Options options);
+
+  /// Cheap terms only; thermal and voltage terms are carried over from
+  /// the last refresh (their cached raw values are reused).
+  [[nodiscard]] CostBreakdown evaluate_cheap();
+
+  /// Cheap terms + TSV planning + fast thermal + correlation refresh;
+  /// voltage-assignment terms stay cached.  Cheap enough to run every
+  /// few moves when the setup weights the correlation.
+  [[nodiscard]] CostBreakdown evaluate_thermal();
+
+  /// All terms: additionally re-runs the voltage assignment.
+  [[nodiscard]] CostBreakdown evaluate_full();
+
+  [[nodiscard]] const Options& options() const { return opt_; }
+
+  /// Current fixed-outline violation weight.  The annealer escalates it
+  /// when the search lingers in illegal (overhanging) regions of the
+  /// space -- the standard fixed-outline SA remedy.
+  [[nodiscard]] double outline_weight() const { return opt_.weights.outline; }
+  void scale_outline_weight(double factor) {
+    opt_.weights.outline *= factor;
+  }
+
+ private:
+  void measure_cheap(CostBreakdown& c) const;
+  void measure_thermal(CostBreakdown& c);
+  void measure_voltage(CostBreakdown& c);
+  [[nodiscard]] double combine(const CostBreakdown& c) const;
+  void init_normalizers(const CostBreakdown& c);
+
+  Floorplan3D& fp_;
+  const thermal::PowerBlur& blur_;
+  Options opt_;
+  /// Net topology is static during annealing; the timing engine is built
+  /// once and reads module positions live.
+  power::ElmoreTiming timing_;
+
+  // Cached raw values of the expensive terms between refreshes.
+  double cached_peak_rise_ = 0.0;
+  double cached_power_ = 0.0;
+  double cached_volumes_ = 0.0;
+  double cached_gradient_ = 0.0;
+  std::vector<double> cached_correlation_;
+  std::vector<double> cached_entropy_;
+  bool have_expensive_ = false;
+
+  // Adaptive normalizers (value of the first full evaluation).
+  struct Normalizers {
+    double area = 1.0, wl = 1.0, delay = 1.0, peak = 1.0, power = 1.0,
+           volumes = 1.0, corr = 1.0, entropy = 1.0, gradient = 1.0;
+    bool ready = false;
+  } norm_;
+};
+
+}  // namespace tsc3d::floorplan

@@ -1,0 +1,106 @@
+// tsc3d -- thermal side-channel-aware 3D floorplanning.
+//
+// Floorplanner: the complete flow of Fig. 3.
+//
+//   3D floorplanning input
+//     -> [SA loop] layout generation -> TSV placement -> leakage-aware
+//        power/thermal management (voltage assignment) -> fast thermal
+//        analysis -> leakage analysis (Eq. 1 correlation + Eq. 3 spatial
+//        entropy) -> evaluation of timing paths -> cost -> adapt solution
+//     -> [post-processing] sampling of Gaussian-distributed activities ->
+//        correlation-based insertion of dummy thermal TSVs (sweet-spot
+//        stop criterion)
+//     -> detailed thermal analysis (HotSpot-style grid solver) ->
+//        verification of correlation
+//
+// Two presets reproduce the paper's experimental setups: power-aware
+// floorplanning (PA, the baseline) and TSC-aware floorplanning.
+#pragma once
+
+#include <cstddef>
+#include <vector>
+
+#include "core/floorplan.hpp"
+#include "core/rng.hpp"
+#include "floorplan/annealer.hpp"
+#include "floorplan/cost.hpp"
+#include "tsv/dummy_inserter.hpp"
+
+namespace tsc3d::floorplan {
+
+enum class FlowMode {
+  power_aware,  ///< setup (i) of Sec. 7
+  tsc_aware,    ///< setup (ii) of Sec. 7
+};
+
+struct FloorplannerOptions {
+  FlowMode mode = FlowMode::power_aware;
+  AnnealOptions anneal;
+  power::TimingOptions timing;
+  power::VoltageOptions voltage;
+  leakage::SpatialEntropyOptions entropy;
+
+  /// Grid resolution of the fast in-loop analysis (power blurring and
+  /// leakage estimation).
+  std::size_t fast_grid = 32;
+  /// Grid resolution of the detailed verification solve.
+  std::size_t verify_grid = 64;
+  /// Grid resolution of the activity-sampling solves (dummy-TSV loop).
+  std::size_t sampling_grid = 32;
+  /// Kernel half-width of the power-blurring masks [bins].
+  std::size_t blur_radius = 12;
+
+  ThermalConfig thermal;  ///< material/boundary parameters (grids overridden)
+  tsv::DummyInsertOptions dummy;
+  /// Run the dummy-TSV post-processing (TSC mode only by default; set
+  /// explicitly to override).
+  bool dummy_insertion = true;
+  /// Apply Corblivar's thermal design rule at initialization.
+  bool hot_modules_to_top = true;
+  /// If > 0, derive the clock period from the initial layout's nominal
+  /// critical delay: clock = factor * delay.  A factor below 1 leaves
+  /// some modules timing-critical after SA shrinks the wirelength, so
+  /// voltage assignment has real slack structure to work with (cf. the
+  /// red high-voltage modules of Fig. 4a).  0 keeps the configured clock.
+  double auto_clock_factor = 0.9;
+};
+
+/// Everything Table 2 reports for one floorplanning run, plus traces.
+struct FloorplanMetrics {
+  // --- leakage (verified with the detailed solver) ----------------------
+  std::vector<double> correlation;  ///< Eq. 1 per die (r1, r2)
+  std::vector<double> entropy;      ///< Eq. 3 per die (S1, S2)
+  // --- design cost --------------------------------------------------------
+  double power_w = 0.0;
+  double critical_delay_ns = 0.0;
+  double wirelength_m = 0.0;
+  double peak_k = 0.0;
+  std::size_t signal_tsvs = 0;
+  std::size_t dummy_tsvs = 0;
+  std::size_t voltage_volumes = 0;
+  double runtime_s = 0.0;
+  bool legal = false;
+  // --- traces ---------------------------------------------------------------
+  AnnealStats anneal;
+  tsv::DummyInsertResult dummy;
+};
+
+class Floorplanner {
+ public:
+  explicit Floorplanner(FloorplannerOptions options = {});
+
+  /// Run the full flow on `fp` (modules get placed, TSVs and voltages
+  /// assigned).  Deterministic for a given floorplan + rng state.
+  FloorplanMetrics run(Floorplan3D& fp, Rng& rng) const;
+
+  [[nodiscard]] const FloorplannerOptions& options() const { return opt_; }
+
+  /// Preset option sets for the two experimental setups of Sec. 7.
+  [[nodiscard]] static FloorplannerOptions power_aware_setup();
+  [[nodiscard]] static FloorplannerOptions tsc_aware_setup();
+
+ private:
+  FloorplannerOptions opt_;
+};
+
+}  // namespace tsc3d::floorplan

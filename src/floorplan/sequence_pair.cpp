@@ -1,0 +1,56 @@
+#include "floorplan/sequence_pair.hpp"
+
+#include <stdexcept>
+
+namespace tsc3d::floorplan {
+
+SequencePair::SequencePair(std::vector<std::size_t> members)
+    : positive_(members), negative_(std::move(members)) {}
+
+void SequencePair::shuffle(Rng& rng) {
+  rng.shuffle(positive_);
+  rng.shuffle(negative_);
+}
+
+void SequencePair::swap_positive(std::size_t i, std::size_t j) {
+  std::swap(positive_.at(i), positive_.at(j));
+}
+
+void SequencePair::swap_negative(std::size_t i, std::size_t j) {
+  std::swap(negative_.at(i), negative_.at(j));
+}
+
+void SequencePair::swap_both(std::size_t module_a, std::size_t module_b) {
+  for (auto* seq : {&positive_, &negative_}) {
+    std::size_t ia = seq->size(), ib = seq->size();
+    for (std::size_t s = 0; s < seq->size(); ++s) {
+      if ((*seq)[s] == module_a) ia = s;
+      if ((*seq)[s] == module_b) ib = s;
+    }
+    if (ia == seq->size() || ib == seq->size())
+      throw std::invalid_argument("SequencePair::swap_both: module not found");
+    std::swap((*seq)[ia], (*seq)[ib]);
+  }
+}
+
+void SequencePair::remove(std::size_t module) {
+  for (auto* seq : {&positive_, &negative_}) {
+    const auto it = std::find(seq->begin(), seq->end(), module);
+    if (it != seq->end()) seq->erase(it);
+  }
+}
+
+void SequencePair::insert(std::size_t module, std::size_t pos_slot,
+                          std::size_t neg_slot) {
+  pos_slot = std::min(pos_slot, positive_.size());
+  neg_slot = std::min(neg_slot, negative_.size());
+  positive_.insert(positive_.begin() + static_cast<long>(pos_slot), module);
+  negative_.insert(negative_.begin() + static_cast<long>(neg_slot), module);
+}
+
+bool SequencePair::contains(std::size_t module) const {
+  return std::find(positive_.begin(), positive_.end(), module) !=
+         positive_.end();
+}
+
+}  // namespace tsc3d::floorplan

@@ -1,0 +1,157 @@
+// tsc3d -- thermal side-channel-aware 3D floorplanning.
+//
+// Sequence-pair floorplan representation with O(n log n) packing
+// evaluation (the FAST-SP longest-common-subsequence scheme of Tang &
+// Wong, using a Fenwick tree for prefix-maximum queries).
+//
+// Corblivar itself uses a corner-block-list representation; the sequence
+// pair is an equivalent complete representation for packings and keeps
+// the evaluation simple and fast.  One SequencePair describes the block
+// arrangement on ONE die; the 3D floorplanner holds one per die plus the
+// inter-die assignment (see LayoutState in annealer.hpp).
+#pragma once
+
+#include <algorithm>
+#include <cstddef>
+#include <utility>
+#include <vector>
+
+#include "core/geometry.hpp"
+#include "core/rng.hpp"
+
+namespace tsc3d::floorplan {
+
+/// Result of packing one die.
+struct Packing {
+  /// Lower-left coordinates per sequence member, in the order of
+  /// SequencePair::members().
+  std::vector<Point> position;
+  double width = 0.0;   ///< bounding-box extent of the packing
+  double height = 0.0;
+};
+
+class SequencePair {
+ public:
+  SequencePair() = default;
+
+  /// Create from an initial member list (global module ids); both
+  /// sequences start in the given order and are typically shuffled by the
+  /// caller.
+  explicit SequencePair(std::vector<std::size_t> members);
+
+  [[nodiscard]] std::size_t size() const { return positive_.size(); }
+  [[nodiscard]] bool empty() const { return positive_.empty(); }
+  [[nodiscard]] const std::vector<std::size_t>& positive() const {
+    return positive_;
+  }
+  [[nodiscard]] const std::vector<std::size_t>& negative() const {
+    return negative_;
+  }
+  /// Members in positive-sequence order (alias of positive()).
+  [[nodiscard]] const std::vector<std::size_t>& members() const {
+    return positive_;
+  }
+
+  /// Shuffle both sequences independently.
+  void shuffle(Rng& rng);
+
+  // --- simulated-annealing moves ----------------------------------------
+  void swap_positive(std::size_t i, std::size_t j);
+  void swap_negative(std::size_t i, std::size_t j);
+  /// Swap the same two MODULES (not slots) in both sequences.
+  void swap_both(std::size_t module_a, std::size_t module_b);
+  /// Remove a module (no-op if absent); O(n).
+  void remove(std::size_t module);
+  /// Insert a module at the given sequence slots (clamped); O(n).
+  void insert(std::size_t module, std::size_t pos_slot, std::size_t neg_slot);
+  [[nodiscard]] bool contains(std::size_t module) const;
+
+  /// Pack the die: `width_of(id)` / `height_of(id)` supply the current
+  /// block extents by global id.  Runs in O(n log n).
+  template <typename WidthFn, typename HeightFn>
+  [[nodiscard]] Packing pack(WidthFn&& width_of, HeightFn&& height_of) const;
+
+ private:
+  // Fenwick tree for prefix maxima over sequence slots.
+  class PrefixMax {
+   public:
+    explicit PrefixMax(std::size_t n) : tree_(n + 1, 0.0) {}
+    /// max over slots [0, slot]; slot == npos yields 0.
+    [[nodiscard]] double query(std::size_t slot_plus_one) const {
+      double best = 0.0;
+      for (std::size_t i = slot_plus_one; i > 0; i -= i & (~i + 1))
+        best = std::max(best, tree_[i]);
+      return best;
+    }
+    void update(std::size_t slot, double value) {
+      for (std::size_t i = slot + 1; i < tree_.size(); i += i & (~i + 1))
+        tree_[i] = std::max(tree_[i], value);
+    }
+
+   private:
+    std::vector<double> tree_;
+  };
+
+  [[nodiscard]] std::vector<std::size_t> negative_slot_of() const;
+
+  std::vector<std::size_t> positive_;
+  std::vector<std::size_t> negative_;
+};
+
+template <typename WidthFn, typename HeightFn>
+Packing SequencePair::pack(WidthFn&& width_of, HeightFn&& height_of) const {
+  Packing out;
+  const std::size_t n = positive_.size();
+  out.position.assign(n, Point{});
+  if (n == 0) return out;
+
+  // Map each module to its slot in the negative sequence.  Modules are
+  // identified by global id; build a local lookup over the members.
+  // (Slots are dense 0..n-1, ids may be sparse.)
+  std::vector<std::size_t> neg_slot(n, 0);
+  {
+    // position of module in negative sequence, resolved through a sorted
+    // id -> slot map to avoid assuming dense ids.
+    std::vector<std::pair<std::size_t, std::size_t>> id_slot(n);
+    for (std::size_t s = 0; s < n; ++s) id_slot[s] = {negative_[s], s};
+    std::sort(id_slot.begin(), id_slot.end());
+    auto slot_of = [&](std::size_t id) {
+      const auto it = std::lower_bound(
+          id_slot.begin(), id_slot.end(), std::make_pair(id, std::size_t{0}));
+      return it->second;
+    };
+    for (std::size_t i = 0; i < n; ++i) neg_slot[i] = slot_of(positive_[i]);
+  }
+
+  // x-coordinates: blocks earlier in BOTH sequences are to the left.
+  {
+    PrefixMax bit(n);
+    for (std::size_t i = 0; i < n; ++i) {
+      const std::size_t id = positive_[i];
+      const std::size_t q = neg_slot[i];
+      const double x = bit.query(q);  // max over slots < q (tree is 1-based)
+      out.position[i].x = x;
+      const double right = x + width_of(id);
+      bit.update(q, right);
+      out.width = std::max(out.width, right);
+    }
+  }
+  // y-coordinates: blocks later in the positive but earlier in the
+  // negative sequence are below; process the positive sequence in reverse.
+  {
+    PrefixMax bit(n);
+    for (std::size_t i = n; i > 0; --i) {
+      const std::size_t idx = i - 1;
+      const std::size_t id = positive_[idx];
+      const std::size_t q = neg_slot[idx];
+      const double y = bit.query(q);
+      out.position[idx].y = y;
+      const double top = y + height_of(id);
+      bit.update(q, top);
+      out.height = std::max(out.height, top);
+    }
+  }
+  return out;
+}
+
+}  // namespace tsc3d::floorplan

@@ -1,0 +1,128 @@
+#include "leakage/mutual_information.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <stdexcept>
+
+namespace tsc3d::leakage {
+
+namespace {
+
+/// Map each value onto a bin index in [0, bins).  Returns false if the
+/// sample is constant (no spread to bin).
+bool bin_values(const std::vector<double>& v, std::size_t bins,
+                Binning binning, std::vector<std::size_t>& out) {
+  const auto [mn_it, mx_it] = std::minmax_element(v.begin(), v.end());
+  const double mn = *mn_it, mx = *mx_it;
+  if (mx <= mn) return false;
+  out.resize(v.size());
+  if (binning == Binning::equal_width) {
+    const double scale = static_cast<double>(bins) / (mx - mn);
+    for (std::size_t i = 0; i < v.size(); ++i) {
+      auto b = static_cast<std::size_t>((v[i] - mn) * scale);
+      out[i] = std::min(b, bins - 1);
+    }
+    return true;
+  }
+  // Equal-frequency: bin by rank.  Ties share the rank of their first
+  // occurrence so that equal values always land in the same bin (this is
+  // what makes the estimate monotone-transform invariant).
+  std::vector<std::size_t> order(v.size());
+  for (std::size_t i = 0; i < order.size(); ++i) order[i] = i;
+  std::sort(order.begin(), order.end(),
+            [&](std::size_t a, std::size_t b) { return v[a] < v[b]; });
+  std::vector<std::size_t> rank(v.size());
+  for (std::size_t pos = 0; pos < order.size(); ++pos) {
+    if (pos > 0 && v[order[pos]] == v[order[pos - 1]])
+      rank[order[pos]] = rank[order[pos - 1]];
+    else
+      rank[order[pos]] = pos;
+  }
+  const double scale =
+      static_cast<double>(bins) / static_cast<double>(v.size());
+  for (std::size_t i = 0; i < v.size(); ++i) {
+    auto b = static_cast<std::size_t>(static_cast<double>(rank[i]) * scale);
+    out[i] = std::min(b, bins - 1);
+  }
+  return true;
+}
+
+double plogp_sum_bits(const std::vector<double>& counts, double m) {
+  double h = 0.0;
+  for (double c : counts) {
+    if (c > 0.0) {
+      const double p = c / m;
+      h -= p * std::log2(p);
+    }
+  }
+  return h;
+}
+
+}  // namespace
+
+double shannon_entropy(const std::vector<double>& a, std::size_t bins,
+                       bool miller_madow) {
+  if (bins == 0) throw std::invalid_argument("shannon_entropy: bins == 0");
+  if (a.empty()) return 0.0;
+  std::vector<std::size_t> idx;
+  if (!bin_values(a, bins, Binning::equal_width, idx)) return 0.0;
+  std::vector<double> counts(bins, 0.0);
+  for (auto i : idx) counts[i] += 1.0;
+  const auto m = static_cast<double>(a.size());
+  double h = plogp_sum_bits(counts, m);
+  if (miller_madow) {
+    const auto occupied = static_cast<double>(
+        std::count_if(counts.begin(), counts.end(),
+                      [](double c) { return c > 0.0; }));
+    h += (occupied - 1.0) / (2.0 * m * std::log(2.0));
+  }
+  return h;
+}
+
+double mutual_information(const std::vector<double>& a,
+                          const std::vector<double>& b,
+                          const MutualInformationOptions& opt) {
+  if (a.size() != b.size())
+    throw std::invalid_argument("mutual_information: size mismatch");
+  if (opt.bins_x == 0 || opt.bins_y == 0)
+    throw std::invalid_argument("mutual_information: zero bins");
+  if (a.size() < 2) return 0.0;
+
+  std::vector<std::size_t> ia, ib;
+  if (!bin_values(a, opt.bins_x, opt.binning, ia) ||
+      !bin_values(b, opt.bins_y, opt.binning, ib))
+    return 0.0;  // a constant marginal carries no information
+
+  const std::size_t kx = opt.bins_x, ky = opt.bins_y;
+  std::vector<double> joint(kx * ky, 0.0), ma(kx, 0.0), mb(ky, 0.0);
+  for (std::size_t i = 0; i < a.size(); ++i) {
+    joint[ib[i] * kx + ia[i]] += 1.0;
+    ma[ia[i]] += 1.0;
+    mb[ib[i]] += 1.0;
+  }
+  const auto m = static_cast<double>(a.size());
+  // I(A;B) = H(A) + H(B) - H(A,B)
+  double mi = plogp_sum_bits(ma, m) + plogp_sum_bits(mb, m) -
+              plogp_sum_bits(joint, m);
+  if (opt.miller_madow) {
+    const auto occ = [](const std::vector<double>& c) {
+      return static_cast<double>(std::count_if(
+          c.begin(), c.end(), [](double v) { return v > 0.0; }));
+    };
+    // Miller-Madow: H_hat += (K-1)/(2m); applied to each entropy term.
+    const double corr =
+        ((occ(joint) - 1.0) - (occ(ma) - 1.0) - (occ(mb) - 1.0)) /
+        (2.0 * m * std::log(2.0));
+    mi += corr;
+  }
+  return std::max(mi, 0.0);
+}
+
+double mutual_information(const GridD& a, const GridD& b,
+                          const MutualInformationOptions& opt) {
+  if (a.nx() != b.nx() || a.ny() != b.ny())
+    throw std::invalid_argument("mutual_information: grid dimension mismatch");
+  return mutual_information(a.data(), b.data(), opt);
+}
+
+}  // namespace tsc3d::leakage

@@ -1,0 +1,87 @@
+#include "leakage/pearson.hpp"
+
+#include <cmath>
+#include <stdexcept>
+
+namespace tsc3d::leakage {
+
+double pearson(const std::vector<double>& a, const std::vector<double>& b) {
+  if (a.size() != b.size())
+    throw std::invalid_argument("pearson: length mismatch");
+  const auto n = static_cast<double>(a.size());
+  if (a.empty()) return 0.0;
+  double sum_a = 0.0, sum_b = 0.0;
+  for (std::size_t i = 0; i < a.size(); ++i) {
+    sum_a += a[i];
+    sum_b += b[i];
+  }
+  const double mean_a = sum_a / n;
+  const double mean_b = sum_b / n;
+  double cov = 0.0, var_a = 0.0, var_b = 0.0;
+  for (std::size_t i = 0; i < a.size(); ++i) {
+    const double da = a[i] - mean_a;
+    const double db = b[i] - mean_b;
+    cov += da * db;
+    var_a += da * da;
+    var_b += db * db;
+  }
+  if (var_a <= 0.0 || var_b <= 0.0) return 0.0;
+  return cov / (std::sqrt(var_a) * std::sqrt(var_b));
+}
+
+double pearson(const GridD& power, const GridD& thermal) {
+  if (power.nx() != thermal.nx() || power.ny() != thermal.ny())
+    throw std::invalid_argument("pearson: grid dimension mismatch");
+  return pearson(power.data(), thermal.data());
+}
+
+StabilityAccumulator::StabilityAccumulator(std::size_t nx, std::size_t ny)
+    : nx_(nx), ny_(ny) {
+  const std::size_t n = nx * ny;
+  if (n == 0)
+    throw std::invalid_argument("StabilityAccumulator: empty grid");
+  sum_p_.assign(n, 0.0);
+  sum_t_.assign(n, 0.0);
+  sum_pp_.assign(n, 0.0);
+  sum_tt_.assign(n, 0.0);
+  sum_pt_.assign(n, 0.0);
+}
+
+void StabilityAccumulator::add(const GridD& power, const GridD& thermal) {
+  if (power.nx() != nx_ || power.ny() != ny_ || thermal.nx() != nx_ ||
+      thermal.ny() != ny_)
+    throw std::invalid_argument("StabilityAccumulator: grid mismatch");
+  for (std::size_t i = 0; i < nx_ * ny_; ++i) {
+    const double p = power[i];
+    const double t = thermal[i];
+    sum_p_[i] += p;
+    sum_t_[i] += t;
+    sum_pp_[i] += p * p;
+    sum_tt_[i] += t * t;
+    sum_pt_[i] += p * t;
+  }
+  ++m_;
+}
+
+GridD StabilityAccumulator::stability() const {
+  GridD r(nx_, ny_, 0.0);
+  if (m_ < 2) return r;
+  const auto m = static_cast<double>(m_);
+  for (std::size_t i = 0; i < nx_ * ny_; ++i) {
+    const double cov = sum_pt_[i] - sum_p_[i] * sum_t_[i] / m;
+    const double var_p = sum_pp_[i] - sum_p_[i] * sum_p_[i] / m;
+    const double var_t = sum_tt_[i] - sum_t_[i] * sum_t_[i] / m;
+    if (var_p <= 1e-30 || var_t <= 1e-30) continue;
+    r[i] = cov / (std::sqrt(var_p) * std::sqrt(var_t));
+  }
+  return r;
+}
+
+double StabilityAccumulator::mean_abs_stability() const {
+  const GridD r = stability();
+  double sum = 0.0;
+  for (const double v : r) sum += std::abs(v);
+  return r.size() > 0 ? sum / static_cast<double>(r.size()) : 0.0;
+}
+
+}  // namespace tsc3d::leakage

@@ -1,0 +1,58 @@
+// tsc3d -- thermal side-channel-aware 3D floorplanning.
+//
+// Thermal-leakage correlation metrics (Sec. 4.1 of the paper):
+//
+//  * pearson()               -- Eq. 1: steady-state correlation r_d between
+//                               the power map and the thermal map of die d.
+//                               This is the paper's key leakage metric and
+//                               the basis of the side-channel vulnerability
+//                               factor (SVF) [23].
+//  * StabilityAccumulator    -- Eq. 2: per-bin correlation r_{d,x,y} over m
+//                               activity samples ("correlation stability").
+//                               Streaming implementation: samples are fed
+//                               one at a time, nothing is retained but the
+//                               sufficient statistics.
+#pragma once
+
+#include <cstddef>
+#include <vector>
+
+#include "core/grid.hpp"
+
+namespace tsc3d::leakage {
+
+/// Pearson correlation coefficient between two equally sized grids
+/// (Eq. 1).  If either grid has zero variance the correlation is
+/// undefined; we return 0 (no exploitable relationship).
+[[nodiscard]] double pearson(const GridD& power, const GridD& thermal);
+
+/// Pearson correlation between two raw vectors of equal length.
+[[nodiscard]] double pearson(const std::vector<double>& a,
+                             const std::vector<double>& b);
+
+/// Streaming computation of the per-bin correlation stability map
+/// (Eq. 2).  Feed one (power map, thermal map) pair per activity sample;
+/// stability() yields r_{d,x,y} for every bin.
+class StabilityAccumulator {
+ public:
+  StabilityAccumulator(std::size_t nx, std::size_t ny);
+
+  /// Add one activity sample's maps (both nx-by-ny).
+  void add(const GridD& power, const GridD& thermal);
+
+  [[nodiscard]] std::size_t samples() const { return m_; }
+
+  /// Per-bin correlation over the samples added so far.  Bins whose power
+  /// or temperature never varied yield 0 (no leakage observable there).
+  [[nodiscard]] GridD stability() const;
+
+  /// Mean of |r_{x,y}| over all bins: the scalar the dummy-TSV insertion
+  /// loop monitors (Sec. 6.2).
+  [[nodiscard]] double mean_abs_stability() const;
+
+ private:
+  std::size_t nx_, ny_, m_ = 0;
+  std::vector<double> sum_p_, sum_t_, sum_pp_, sum_tt_, sum_pt_;
+};
+
+}  // namespace tsc3d::leakage

@@ -1,0 +1,94 @@
+#include "leakage/svf.hpp"
+
+#include <cmath>
+#include <stdexcept>
+
+#include "leakage/pearson.hpp"
+
+namespace tsc3d::leakage {
+
+namespace {
+
+void check_same_size(const std::vector<double>& a,
+                     const std::vector<double>& b) {
+  if (a.size() != b.size())
+    throw std::invalid_argument("phase_similarity: vector size mismatch");
+}
+
+}  // namespace
+
+double phase_similarity(const std::vector<double>& a,
+                        const std::vector<double>& b,
+                        PhaseSimilarity measure) {
+  check_same_size(a, b);
+  switch (measure) {
+    case PhaseSimilarity::negative_euclidean: {
+      double ss = 0.0;
+      for (std::size_t i = 0; i < a.size(); ++i) {
+        const double d = a[i] - b[i];
+        ss += d * d;
+      }
+      return -std::sqrt(ss);
+    }
+    case PhaseSimilarity::pearson:
+      return pearson(a, b);
+    case PhaseSimilarity::cosine: {
+      double dot = 0.0, na = 0.0, nb = 0.0;
+      for (std::size_t i = 0; i < a.size(); ++i) {
+        dot += a[i] * b[i];
+        na += a[i] * a[i];
+        nb += b[i] * b[i];
+      }
+      if (na == 0.0 || nb == 0.0) return 0.0;
+      return dot / (std::sqrt(na) * std::sqrt(nb));
+    }
+  }
+  throw std::logic_error("phase_similarity: unknown measure");
+}
+
+SvfAccumulator::SvfAccumulator(SvfOptions options) : options_(options) {}
+
+void SvfAccumulator::add_phase(const std::vector<double>& oracle,
+                               const std::vector<double>& side) {
+  if (!oracle_.empty()) {
+    if (oracle.size() != oracle_.front().size())
+      throw std::invalid_argument("SvfAccumulator: oracle phase size changed");
+    if (side.size() != side_.front().size())
+      throw std::invalid_argument("SvfAccumulator: side phase size changed");
+  }
+  if (oracle.empty() || side.empty())
+    throw std::invalid_argument("SvfAccumulator: empty phase vector");
+  oracle_.push_back(oracle);
+  side_.push_back(side);
+}
+
+void SvfAccumulator::add_phase(const std::vector<double>& oracle,
+                               const GridD& side) {
+  add_phase(oracle, side.data());
+}
+
+std::pair<std::vector<double>, std::vector<double>>
+SvfAccumulator::similarity_vectors() const {
+  const std::size_t m = oracle_.size();
+  std::vector<double> sim_oracle, sim_side;
+  sim_oracle.reserve(m * (m - 1) / 2);
+  sim_side.reserve(m * (m - 1) / 2);
+  for (std::size_t i = 0; i + 1 < m; ++i) {
+    for (std::size_t j = i + 1; j < m; ++j) {
+      sim_oracle.push_back(
+          phase_similarity(oracle_[i], oracle_[j], options_.similarity));
+      sim_side.push_back(
+          phase_similarity(side_[i], side_[j], options_.similarity));
+    }
+  }
+  return {std::move(sim_oracle), std::move(sim_side)};
+}
+
+double SvfAccumulator::svf() const {
+  if (phases() < 3)
+    throw std::logic_error("SvfAccumulator: need at least 3 phases");
+  const auto [sim_oracle, sim_side] = similarity_vectors();
+  return pearson(sim_oracle, sim_side);
+}
+
+}  // namespace tsc3d::leakage

@@ -1,0 +1,80 @@
+// tsc3d -- thermal side-channel-aware 3D floorplanning.
+//
+// Side-channel vulnerability factor (SVF), after Demme et al. [23].  The
+// paper adopts the Pearson correlation of power and thermal maps (Eq. 1)
+// "the underlying measure for the side-channel vulnerability factor",
+// and argues the two are comparably meaningful under its attacker model.
+// We implement the full SVF as well so that claim can be checked
+// experimentally (bench/attack_success, tests/test_svf.cpp).
+//
+// SVF is computed from two execution traces observed over the same m
+// "phases" (here: activity samples):
+//
+//   * the oracle trace  -- ground-truth victim state per phase (here the
+//     per-module power vector, which is what the attacker wants);
+//   * the side trace    -- attacker-visible observation per phase (here
+//     the thermal map, or the sensor readings derived from it).
+//
+// For each trace a pairwise phase-similarity vector is built over all
+// (i, j), i < j, and SVF is the Pearson correlation between the two
+// similarity vectors.  SVF in [~0, 1]: 1 means phase structure leaks
+// perfectly through the side channel, 0 means no exploitable structure.
+#pragma once
+
+#include <cstddef>
+#include <vector>
+
+#include "core/grid.hpp"
+
+namespace tsc3d::leakage {
+
+/// Similarity measure between two phases of a trace.
+enum class PhaseSimilarity {
+  negative_euclidean,  ///< -||a - b||_2 (Demme et al.'s distance-based form)
+  pearson,             ///< Pearson correlation of the two phase vectors
+  cosine,              ///< cosine similarity
+};
+
+struct SvfOptions {
+  PhaseSimilarity similarity = PhaseSimilarity::negative_euclidean;
+};
+
+/// Accumulates phases of the oracle and side traces, then computes the
+/// side-channel vulnerability factor.  Phase vectors may differ in length
+/// between oracle and side traces (e.g. #modules vs #thermal bins), but
+/// each trace's own phases must be consistently sized.
+class SvfAccumulator {
+ public:
+  explicit SvfAccumulator(SvfOptions options = {});
+
+  /// Add one phase: the ground-truth vector and the observed vector.
+  void add_phase(const std::vector<double>& oracle,
+                 const std::vector<double>& side);
+
+  /// Convenience overload: thermal-map observation.
+  void add_phase(const std::vector<double>& oracle, const GridD& side);
+
+  [[nodiscard]] std::size_t phases() const { return oracle_.size(); }
+
+  /// Side-channel vulnerability factor over the phases added so far.
+  /// Requires at least 3 phases (fewer yield a degenerate similarity
+  /// vector); throws std::logic_error otherwise.
+  [[nodiscard]] double svf() const;
+
+  /// The two pairwise similarity vectors (oracle first), mainly for
+  /// inspection and tests.  Ordered (0,1), (0,2), ..., (m-2,m-1).
+  [[nodiscard]] std::pair<std::vector<double>, std::vector<double>>
+  similarity_vectors() const;
+
+ private:
+  SvfOptions options_;
+  std::vector<std::vector<double>> oracle_;
+  std::vector<std::vector<double>> side_;
+};
+
+/// Similarity between two equally sized phase vectors under `measure`.
+[[nodiscard]] double phase_similarity(const std::vector<double>& a,
+                                      const std::vector<double>& b,
+                                      PhaseSimilarity measure);
+
+}  // namespace tsc3d::leakage

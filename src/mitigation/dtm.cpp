@@ -1,0 +1,196 @@
+#include "mitigation/dtm.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <numeric>
+#include <stdexcept>
+
+namespace tsc3d::mitigation {
+
+ScalarKalman::ScalarKalman(double initial_k, double process_var,
+                           double measurement_var)
+    : x_(initial_k), q_(process_var), r_(measurement_var) {
+  if (process_var < 0.0 || measurement_var < 0.0)
+    throw std::invalid_argument("ScalarKalman: negative variance");
+}
+
+void ScalarKalman::predict() { p_ += q_; }
+
+void ScalarKalman::update(double z_k) {
+  // With r == 0 the reading is exact: adopt it outright.
+  if (r_ == 0.0) {
+    x_ = z_k;
+    p_ = 0.0;
+    return;
+  }
+  const double k = p_ / (p_ + r_);
+  x_ += k * (z_k - x_);
+  p_ *= (1.0 - k);
+}
+
+RampKalman::RampKalman(double initial_k, double temp_process_var,
+                       double slope_process_var, double measurement_var)
+    : x_(initial_k),
+      qx_(temp_process_var),
+      qv_(slope_process_var),
+      r_(measurement_var) {
+  if (temp_process_var < 0.0 || slope_process_var < 0.0 ||
+      measurement_var < 0.0)
+    throw std::invalid_argument("RampKalman: negative variance");
+}
+
+void RampKalman::predict() {
+  // F = [[1, 1], [0, 1]]: x += v per control period.
+  x_ += v_;
+  const double p00 = p00_ + 2.0 * p01_ + p11_ + qx_;
+  const double p01 = p01_ + p11_;
+  const double p11 = p11_ + qv_;
+  p00_ = p00;
+  p01_ = p01;
+  p11_ = p11;
+}
+
+void RampKalman::update(double z_k) {
+  if (!initialized_) {
+    // Track-initiation: adopt the first reading as the level (a cold
+    // simulation start is a step the constant-velocity model would
+    // otherwise convert into a huge phantom slope).
+    initialized_ = true;
+    x_ = z_k;
+    v_ = 0.0;
+    p00_ = r_ > 0.0 ? r_ : 0.0;
+    p01_ = 0.0;
+    return;
+  }
+  if (r_ == 0.0) {
+    // Exact reading: adopt the level, learn the slope from the jump.
+    v_ += 0.5 * (z_k - x_);
+    x_ = z_k;
+    p00_ = p01_ = 0.0;
+    return;
+  }
+  const double s = p00_ + r_;
+  const double k0 = p00_ / s;
+  const double k1 = p01_ / s;
+  const double innovation = z_k - x_;
+  x_ += k0 * innovation;
+  v_ += k1 * innovation;
+  const double p00 = (1.0 - k0) * p00_;
+  const double p01 = (1.0 - k0) * p01_;
+  const double p11 = p11_ - k1 * p01_;
+  p00_ = p00;
+  p01_ = p01;
+  p11_ = p11;
+}
+
+DtmResult run_dtm(const Floorplan3D& fp, const thermal::GridSolver& solver,
+                  double duration_s, double dt_s, Rng& rng,
+                  const DtmOptions& options) {
+  if (duration_s <= 0.0 || dt_s <= 0.0)
+    throw std::invalid_argument("run_dtm: non-positive time");
+  if (options.control_period_s < dt_s)
+    throw std::invalid_argument("run_dtm: control period below dt");
+  if (options.throttle_scale <= 0.0 || options.throttle_scale > 1.0)
+    throw std::invalid_argument("run_dtm: throttle_scale out of (0, 1]");
+  if (options.release_k > options.trigger_k)
+    throw std::invalid_argument("run_dtm: release above trigger");
+
+  const std::size_t nx = solver.nx(), ny = solver.ny();
+  const std::size_t dies = fp.tech().num_dies;
+  const GridD tsv_density = fp.tsv_density_map(nx, ny);
+
+  // Hottest modules first (by nominal power density).
+  std::vector<std::size_t> order(fp.modules().size());
+  std::iota(order.begin(), order.end(), std::size_t{0});
+  std::sort(order.begin(), order.end(), [&](std::size_t a, std::size_t b) {
+    return fp.modules()[a].power_density() > fp.modules()[b].power_density();
+  });
+  const auto throttled_count = static_cast<std::size_t>(
+      options.throttled_fraction * static_cast<double>(order.size()) + 0.5);
+  std::vector<bool> throttleable(fp.modules().size(), false);
+  for (std::size_t i = 0; i < std::min(throttled_count, order.size()); ++i)
+    throttleable[order[i]] = true;
+
+  std::vector<double> nominal(fp.modules().size());
+  for (std::size_t i = 0; i < nominal.size(); ++i)
+    nominal[i] = fp.effective_power(i);
+
+  // Controller state, mutated by the feedback callback.
+  RampKalman filter(293.15, options.kalman_process_var,
+                    options.kalman_slope_var,
+                    options.sensor_noise_k * options.sensor_noise_k);
+  bool throttled = false;
+  double next_control_s = 0.0;
+  double prev_estimate_k = 0.0;
+  bool have_prev_estimate = false;
+  DtmResult result;
+  double rmse_acc = 0.0;
+  std::size_t rmse_n = 0;
+
+  const auto power_at = [&](double time_s,
+                            const std::vector<GridD>& die_temp_prev) {
+    // True peak over all dies (ground truth for the result metrics).
+    double true_peak = 293.15;
+    for (const auto& map : die_temp_prev)
+      true_peak = std::max(true_peak, map.max());
+    result.peak_k = std::max(result.peak_k, true_peak);
+    if (true_peak > options.trigger_k) result.time_over_trigger_s += dt_s;
+    if (throttled) {
+      result.throttled_time_s += dt_s;
+      result.performance_loss += (1.0 - options.throttle_scale) * dt_s;
+    }
+
+    if (time_s >= next_control_s) {
+      next_control_s += options.control_period_s;
+      // Noisy sensor read of the observed peak.
+      const double reading =
+          true_peak + rng.gaussian(0.0, options.sensor_noise_k);
+      double estimate;
+      double decision_value;
+      if (options.use_kalman) {
+        filter.predict();
+        filter.update(reading);
+        estimate = filter.state_k();
+        // Proactive lead straight from the filter's slope state [14].
+        decision_value = options.lookahead_periods > 0.0
+                             ? filter.extrapolate(options.lookahead_periods)
+                             : estimate;
+      } else {
+        estimate = reading;
+        decision_value = estimate;
+        // Raw mode: finite-difference extrapolation of the readings.
+        if (options.lookahead_periods > 0.0 && have_prev_estimate)
+          decision_value +=
+              options.lookahead_periods * (estimate - prev_estimate_k);
+      }
+      rmse_acc += (estimate - true_peak) * (estimate - true_peak);
+      ++rmse_n;
+      prev_estimate_k = estimate;
+      have_prev_estimate = true;
+
+      const bool was_throttled = throttled;
+      if (!throttled && decision_value > options.trigger_k) throttled = true;
+      if (throttled && decision_value < options.release_k) throttled = false;
+      if (was_throttled != throttled) ++result.control_actions;
+    }
+
+    std::vector<double> power = nominal;
+    if (throttled)
+      for (std::size_t i = 0; i < power.size(); ++i)
+        if (throttleable[i]) power[i] *= options.throttle_scale;
+    std::vector<GridD> maps;
+    maps.reserve(dies);
+    for (std::size_t d = 0; d < dies; ++d)
+      maps.push_back(fp.power_map(d, nx, ny, &power));
+    return maps;
+  };
+
+  (void)solver.solve_transient_feedback(power_at, tsv_density, duration_s,
+                                        dt_s);
+  result.performance_loss /= duration_s;
+  result.estimate_rmse_k =
+      rmse_n > 0 ? std::sqrt(rmse_acc / static_cast<double>(rmse_n)) : 0.0;
+  return result;
+}
+
+}  // namespace tsc3d::mitigation

@@ -1,0 +1,125 @@
+// tsc3d -- thermal side-channel-aware 3D floorplanning.
+//
+// Runtime thermal management for 3D ICs, after Zhu et al. [13] and the
+// Kalman predictor-based proactive DTM of Fu et al. [14].  The paper
+// leans on this infrastructure twice: 3D ICs "will require runtime
+// capabilities for thermal management, based on embedded on-chip thermal
+// sensors" (Sec. 1) -- and those same sensors are the attacker's thermal
+// side channel (Sec. 2.1).  Implementing the DTM loop therefore gives us
+// both the defender's temperature control and the realistic noisy-sensor
+// substrate the attacks read through.
+//
+// Components:
+//  * ScalarKalman     -- per-sensor random-walk Kalman filter; the
+//                        predictor of [14] that sees through read noise.
+//  * DtmController    -- reactive or proactive threshold throttling: when
+//                        the (predicted) hottest sensor exceeds the
+//                        trigger, the hottest modules' power is scaled
+//                        down (DVFS-style) until the stack cools.
+//  * run_dtm          -- closed-loop transient simulation of the
+//                        controller against a floorplan.
+#pragma once
+
+#include <cstddef>
+#include <vector>
+
+#include "core/floorplan.hpp"
+#include "core/grid.hpp"
+#include "core/rng.hpp"
+#include "thermal/grid_solver.hpp"
+
+namespace tsc3d::mitigation {
+
+/// One-dimensional random-walk Kalman filter: state x = temperature of a
+/// sensor site, process noise q (thermal drift between control periods),
+/// measurement noise r (sensor read noise).
+class ScalarKalman {
+ public:
+  ScalarKalman(double initial_k, double process_var, double measurement_var);
+
+  /// Time update: variance grows by the process noise.
+  void predict();
+  /// Measurement update with reading z [K].
+  void update(double z_k);
+
+  [[nodiscard]] double state_k() const { return x_; }
+  [[nodiscard]] double variance() const { return p_; }
+
+ private:
+  double x_;
+  double p_ = 1.0;
+  double q_;
+  double r_;
+};
+
+/// Two-state (temperature, slope) constant-velocity Kalman filter -- the
+/// predictor of [14].  Unlike the random-walk ScalarKalman it tracks the
+/// heating/cooling ramps of thermal transients without steady-state lag,
+/// and extrapolate() provides the proactive lookahead directly.
+class RampKalman {
+ public:
+  RampKalman(double initial_k, double temp_process_var,
+             double slope_process_var, double measurement_var);
+
+  void predict();
+  void update(double z_k);
+
+  [[nodiscard]] double state_k() const { return x_; }
+  [[nodiscard]] double slope_k_per_period() const { return v_; }
+  /// Predicted temperature `periods` control periods ahead.
+  [[nodiscard]] double extrapolate(double periods) const {
+    return x_ + periods * v_;
+  }
+
+ private:
+  double x_;
+  double v_ = 0.0;
+  bool initialized_ = false;  ///< first update adopts the reading outright
+  // Covariance [[p00, p01], [p01, p11]].  The prior is deliberately
+  // uninformed (large) so the filter adapts quickly during the steep
+  // initial heating transient instead of trusting the initial guess.
+  double p00_ = 25.0, p01_ = 0.0, p11_ = 25.0;
+  double qx_, qv_, r_;
+};
+
+struct DtmOptions {
+  double trigger_k = 345.0;        ///< throttle when estimate exceeds this
+  double release_k = 342.0;        ///< un-throttle below this (hysteresis)
+  double throttle_scale = 0.5;     ///< power multiplier while throttled
+  /// Fraction of modules (hottest first, by power density) throttled.
+  double throttled_fraction = 0.3;
+  double control_period_s = 0.01;  ///< sensor read + decision cadence
+  double sensor_noise_k = 0.5;     ///< Gaussian read noise per sample
+  bool use_kalman = true;          ///< [14]-style predictor vs raw reads
+  double kalman_process_var = 0.05;  ///< temperature process noise
+  /// Slope process noise.  Thermal transients are saturating
+  /// exponentials, so the slope genuinely changes between control
+  /// periods; a too-small value makes the filter cling to stale slopes
+  /// and overshoot the knee of the heating curve.
+  double kalman_slope_var = 0.5;
+  /// Proactive lead: throttle when the extrapolation this many control
+  /// periods ahead crosses the trigger.  0 = reactive [13].  With the
+  /// Kalman predictor the filter's own slope state is extrapolated; with
+  /// raw reads a finite difference of consecutive readings is used.
+  double lookahead_periods = 1.0;
+};
+
+/// Closed-loop outcome.
+struct DtmResult {
+  double time_over_trigger_s = 0.0;  ///< true peak above trigger_k
+  double peak_k = 0.0;               ///< true peak over the whole run
+  double throttled_time_s = 0.0;     ///< time spent throttled
+  double performance_loss = 0.0;     ///< mean power reduction fraction
+  double estimate_rmse_k = 0.0;      ///< sensor estimate vs true peak
+  std::size_t control_actions = 0;   ///< throttle state toggles
+};
+
+/// Simulate `duration_s` of the DTM loop on the floorplan's nominal
+/// activity.  The controller reads the hottest die's peak through a noisy
+/// sensor each control period and throttles the hottest modules.
+[[nodiscard]] DtmResult run_dtm(const Floorplan3D& fp,
+                                const thermal::GridSolver& solver,
+                                double duration_s, double dt_s, Rng& rng,
+                                const DtmOptions& options = {});
+
+}  // namespace tsc3d::mitigation

@@ -1,0 +1,147 @@
+#include "power/timing.hpp"
+
+#include <algorithm>
+#include <set>
+
+namespace tsc3d::power {
+
+namespace {
+constexpr double kSecToNs = 1e9;
+}
+
+ElmoreTiming::ElmoreTiming(const Floorplan3D& fp, TimingOptions options)
+    : fp_(fp), opt_(options) {
+  nets_of_module_.assign(fp_.modules().size(), {});
+  for (std::size_t n = 0; n < fp_.nets().size(); ++n) {
+    for (const NetPin& pin : fp_.nets()[n].pins) {
+      if (!pin.is_terminal()) nets_of_module_[pin.module].push_back(n);
+    }
+  }
+}
+
+double ElmoreTiming::wire_length_um(const Net& net) const {
+  // HPWL of the net's projected pin positions: the standard block-level
+  // length estimate.
+  double x0 = 0.0, x1 = 0.0, y0 = 0.0, y1 = 0.0;
+  bool first = true;
+  for (const NetPin& pin : net.pins) {
+    const Point p = pin.is_terminal()
+                        ? fp_.terminals()[pin.terminal].position
+                        : fp_.modules()[pin.module].shape.center();
+    if (first) {
+      x0 = x1 = p.x;
+      y0 = y1 = p.y;
+      first = false;
+    } else {
+      x0 = std::min(x0, p.x);
+      x1 = std::max(x1, p.x);
+      y0 = std::min(y0, p.y);
+      y1 = std::max(y1, p.y);
+    }
+  }
+  return (x1 - x0) + (y1 - y0);
+}
+
+std::size_t ElmoreTiming::dies_spanned(const Net& net) const {
+  std::set<std::size_t> dies;
+  for (const NetPin& pin : net.pins) {
+    dies.insert(pin.is_terminal() ? fp_.terminals()[pin.terminal].die
+                                  : fp_.modules()[pin.module].die);
+  }
+  return dies.size();
+}
+
+double ElmoreTiming::net_delay_ns(const Net& net) const {
+  const double len = wire_length_um(net);
+  const double r_wire = opt_.r_wire_ohm_per_um * len;
+  const double c_wire = opt_.c_wire_f_per_um * len;
+  const auto sinks = static_cast<double>(
+      net.pins.size() > 1 ? net.pins.size() - 1 : 1);
+  const double c_sinks = opt_.sink_c_f * sinks;
+
+  // TSV hops: a net spanning k dies needs k-1 vertical hops in series.
+  const std::size_t span = dies_spanned(net);
+  const auto hops = static_cast<double>(span > 1 ? span - 1 : 0);
+  const double r_tsv = opt_.r_tsv_ohm * hops;
+  const double c_tsv = opt_.c_tsv_f * hops;
+
+  // Elmore delay of driver resistance + distributed RC line + lumped TSV
+  // and sink loads: R_d*(C_w + C_tsv + C_s) + R_w*(C_w/2 + C_tsv + C_s)
+  // + R_tsv*(C_tsv/2 + C_s).
+  const double d = opt_.driver_r_ohm * (c_wire + c_tsv + c_sinks) +
+                   r_wire * (c_wire / 2.0 + c_tsv + c_sinks) +
+                   r_tsv * (c_tsv / 2.0 + c_sinks);
+  return d * kSecToNs;
+}
+
+double ElmoreTiming::module_delay_ns(std::size_t m, std::size_t vi) const {
+  const Module& mod = fp_.modules()[m];
+  const auto& levels = fp_.tech().voltages;
+  const std::size_t v = std::min(vi, levels.size() - 1);
+  return mod.intrinsic_delay_ns * levels[v].delay_scale;
+}
+
+double ElmoreTiming::stage_delay_ns(const Net& net) const {
+  return stage_delay_ns(net, kInvalidIndex, 0);
+}
+
+double ElmoreTiming::stage_delay_ns(const Net& net, std::size_t m,
+                                    std::size_t vi) const {
+  // Driver: the first module pin of the net (terminals never drive
+  // module-internal logic in this model).
+  std::size_t driver = kInvalidIndex;
+  double worst_sink = 0.0;
+  for (const NetPin& pin : net.pins) {
+    if (pin.is_terminal()) continue;
+    const std::size_t mod = pin.module;
+    const std::size_t v =
+        mod == m ? vi : fp_.modules()[mod].voltage_index;
+    const double d = module_delay_ns(mod, v);
+    if (driver == kInvalidIndex) {
+      driver = mod;
+      worst_sink = 0.0;  // driver delay handled below
+      continue;
+    }
+    worst_sink = std::max(worst_sink, d);
+  }
+  double total = net_delay_ns(net) + worst_sink;
+  if (driver != kInvalidIndex) {
+    const std::size_t v =
+        driver == m ? vi : fp_.modules()[driver].voltage_index;
+    total += module_delay_ns(driver, v);
+  }
+  return total;
+}
+
+TimingReport ElmoreTiming::analyze() const {
+  TimingReport report;
+  report.stage_delay_ns.reserve(fp_.nets().size());
+  for (std::size_t n = 0; n < fp_.nets().size(); ++n) {
+    const double d = stage_delay_ns(fp_.nets()[n]);
+    report.stage_delay_ns.push_back(d);
+    if (d > report.critical_delay_ns) {
+      report.critical_delay_ns = d;
+      report.critical_net = n;
+    }
+  }
+  return report;
+}
+
+bool ElmoreTiming::voltage_feasible(std::size_t m, std::size_t vi,
+                                    double clock_ns) const {
+  for (const std::size_t n : nets_of_module_[m]) {
+    if (stage_delay_ns(fp_.nets()[n], m, vi) > clock_ns) return false;
+  }
+  return true;
+}
+
+unsigned ElmoreTiming::feasible_voltages(std::size_t m,
+                                         double clock_ns) const {
+  unsigned mask = 0;
+  for (std::size_t vi = 0; vi < fp_.tech().voltages.size(); ++vi) {
+    if (voltage_feasible(m, vi, clock_ns)) mask |= 1u << vi;
+  }
+  return mask;
+}
+
+}  // namespace tsc3d::power

@@ -1,0 +1,84 @@
+// tsc3d -- thermal side-channel-aware 3D floorplanning.
+//
+// Block-level timing estimation (Sec. 6.1): "For any floorplan layout, we
+// initially estimate the timing paths ... We estimate the net delays via
+// the well-known Elmore delays (here with consideration of wires and
+// TSVs), and the delays of modules are estimated as proposed in [27]."
+//
+// At block level each register-to-register stage is one driver module,
+// one net (wires + possibly a TSV hop), and one sink module.  The critical
+// delay is the worst stage over all nets; per-module timing slack follows
+// from the stages the module participates in.  Module and net delays
+// scale with the assigned voltage level's delay factor.
+#pragma once
+
+#include <cstddef>
+#include <vector>
+
+#include "core/floorplan.hpp"
+
+namespace tsc3d::power {
+
+/// Electrical parameters of the 90 nm interconnect model.
+struct TimingOptions {
+  double r_wire_ohm_per_um = 0.10;   ///< unit wire resistance
+  double c_wire_f_per_um = 0.20e-15; ///< unit wire capacitance
+  double r_tsv_ohm = 0.05;           ///< resistance of one TSV
+  double c_tsv_f = 35e-15;           ///< capacitance of one TSV
+  double driver_r_ohm = 200.0;       ///< lumped driver output resistance
+  double sink_c_f = 5e-15;           ///< lumped sink input capacitance
+};
+
+/// Timing report for one floorplan state.
+struct TimingReport {
+  double critical_delay_ns = 0.0;
+  std::size_t critical_net = kInvalidIndex;
+  std::vector<double> stage_delay_ns;  ///< per net
+};
+
+class ElmoreTiming {
+ public:
+  ElmoreTiming(const Floorplan3D& fp, TimingOptions options = {});
+
+  /// Elmore delay of a net's interconnect only [ns]: driver resistance
+  /// charging the distributed wire plus TSV hops for dies spanned.
+  [[nodiscard]] double net_delay_ns(const Net& net) const;
+
+  /// Full stage delay [ns]: driver-module delay + interconnect + worst
+  /// sink-module delay, each module scaled by its voltage level.
+  [[nodiscard]] double stage_delay_ns(const Net& net) const;
+
+  /// Stage delay with module `m` hypothetically at voltage index `vi`
+  /// (other modules keep their current assignment).
+  [[nodiscard]] double stage_delay_ns(const Net& net, std::size_t m,
+                                      std::size_t vi) const;
+
+  /// Evaluate all stages and the critical delay.
+  [[nodiscard]] TimingReport analyze() const;
+
+  /// True if assigning voltage index `vi` to module `m` keeps every stage
+  /// through `m` within the clock period.
+  [[nodiscard]] bool voltage_feasible(std::size_t m, std::size_t vi,
+                                      double clock_ns) const;
+
+  /// Bitmask of feasible voltage indices for module `m` (bit i = level i).
+  [[nodiscard]] unsigned feasible_voltages(std::size_t m,
+                                           double clock_ns) const;
+
+  /// Nets that have at least one pin on module `m`.
+  [[nodiscard]] const std::vector<std::size_t>& nets_of_module(
+      std::size_t m) const {
+    return nets_of_module_.at(m);
+  }
+
+ private:
+  [[nodiscard]] double module_delay_ns(std::size_t m, std::size_t vi) const;
+  [[nodiscard]] double wire_length_um(const Net& net) const;
+  [[nodiscard]] std::size_t dies_spanned(const Net& net) const;
+
+  const Floorplan3D& fp_;
+  TimingOptions opt_;
+  std::vector<std::vector<std::size_t>> nets_of_module_;
+};
+
+}  // namespace tsc3d::power

@@ -1,0 +1,233 @@
+#include "power/voltage.hpp"
+
+#include <algorithm>
+#include <array>
+#include <cmath>
+#include <deque>
+#include <numeric>
+
+namespace tsc3d::power {
+
+VoltageAssigner::VoltageAssigner(Floorplan3D& fp, const ElmoreTiming& timing,
+                                 VoltageOptions options)
+    : fp_(fp), timing_(timing), opt_(options) {}
+
+bool VoltageAssigner::adjacent(std::size_t a, std::size_t b) const {
+  const Module& ma = fp_.modules()[a];
+  const Module& mb = fp_.modules()[b];
+  if (ma.die == mb.die) {
+    // Same die: edge-to-edge distance within tolerance.  Expand one
+    // rectangle by the tolerance and test for overlap.
+    Rect grown = ma.shape;
+    grown.x -= opt_.adjacency_tolerance_um;
+    grown.y -= opt_.adjacency_tolerance_um;
+    grown.w += 2.0 * opt_.adjacency_tolerance_um;
+    grown.h += 2.0 * opt_.adjacency_tolerance_um;
+    return grown.overlaps(mb.shape);
+  }
+  // Different dies: vertically adjacent if footprints overlap.
+  return ma.shape.overlaps(mb.shape);
+}
+
+std::size_t VoltageAssigner::pick_voltage(unsigned mask, double volume_area,
+                                          double volume_power_nominal,
+                                          double target_density) const {
+  const auto& levels = fp_.tech().voltages;
+  std::size_t best = 1;
+  bool found = false;
+  double best_key = 0.0;
+  for (std::size_t vi = 0; vi < levels.size(); ++vi) {
+    if ((mask & (1u << vi)) == 0) continue;
+    double key = 0.0;
+    switch (opt_.objective) {
+      case VoltageObjective::power_aware:
+        // Lowest power wins.
+        key = volume_power_nominal * levels[vi].power_scale;
+        break;
+      case VoltageObjective::tsc_aware: {
+        // Density closest to the chip-wide target wins (smooth gradients
+        // across volumes), but up-scaling cool volumes toward the target
+        // is penalized: burning extra power for smoothness contradicts
+        // the paper's low overhead (+5.4% power) and merely trades one
+        // leakage source for higher temperatures.  Down-scaling hot
+        // volumes both smooths and saves power.
+        const double density =
+            volume_area > 0.0
+                ? volume_power_nominal * levels[vi].power_scale / volume_area
+                : 0.0;
+        const double up_scaling_penalty =
+            std::max(0.0, levels[vi].power_scale - 1.0) * target_density;
+        key = std::abs(density - target_density) + up_scaling_penalty;
+        break;
+      }
+    }
+    if (!found || key < best_key) {
+      best = vi;
+      best_key = key;
+      found = true;
+    }
+  }
+  // If the mask was empty (fully constrained module), stay at nominal.
+  return found ? best : 1;
+}
+
+VoltageAssignment VoltageAssigner::assign() {
+  const std::size_t n = fp_.modules().size();
+  const auto& levels = fp_.tech().voltages;
+  const double clock = fp_.tech().clock_period_ns;
+
+  // Feasible voltages per module, evaluated against the current state
+  // (the floorplanning loop re-runs assignment each iteration, cf. Fig. 3).
+  std::vector<unsigned> feasible(n, 0);
+  for (std::size_t m = 0; m < n; ++m)
+    feasible[m] = timing_.feasible_voltages(m, clock);
+
+  // Adjacency lists (same-die abutment or cross-die overlap).  Candidate
+  // pairs come from a uniform spatial hash so large designs avoid the
+  // quadratic all-pairs sweep.
+  std::vector<std::vector<std::size_t>> adj(n);
+  {
+    constexpr std::size_t kBuckets = 16;
+    const double bw = fp_.tech().die_width_um / kBuckets;
+    const double bh = fp_.tech().die_height_um / kBuckets;
+    std::vector<std::vector<std::size_t>> bucket(kBuckets * kBuckets);
+    auto span = [&](const Rect& r, double grow) {
+      const auto clamp_idx = [](double v, double unit) {
+        return static_cast<std::size_t>(std::clamp(
+            v / unit, 0.0, static_cast<double>(kBuckets - 1)));
+      };
+      return std::array<std::size_t, 4>{
+          clamp_idx(r.x - grow, bw), clamp_idx(r.right() + grow, bw),
+          clamp_idx(r.y - grow, bh), clamp_idx(r.top() + grow, bh)};
+    };
+    for (std::size_t m = 0; m < n; ++m) {
+      const auto [x0, x1, y0, y1] =
+          span(fp_.modules()[m].shape, opt_.adjacency_tolerance_um);
+      for (std::size_t by = y0; by <= y1; ++by)
+        for (std::size_t bx = x0; bx <= x1; ++bx)
+          bucket[by * kBuckets + bx].push_back(m);
+    }
+    for (const auto& cell : bucket) {
+      for (std::size_t i = 0; i < cell.size(); ++i) {
+        for (std::size_t j = i + 1; j < cell.size(); ++j) {
+          const std::size_t a = std::min(cell[i], cell[j]);
+          const std::size_t b = std::max(cell[i], cell[j]);
+          // Dedupe: a pair may share several buckets.
+          if (std::find(adj[a].begin(), adj[a].end(), b) != adj[a].end())
+            continue;
+          if (adjacent(a, b)) {
+            adj[a].push_back(b);
+            adj[b].push_back(a);
+          }
+        }
+      }
+    }
+  }
+
+  // Chip-wide target density for the TSC objective.
+  double total_area = 0.0;
+  double total_power_nominal = 0.0;
+  for (const Module& m : fp_.modules()) {
+    total_area += m.shape.area();
+    total_power_nominal += m.power_w;
+  }
+  const double target_density =
+      total_area > 0.0 ? total_power_nominal / total_area : 0.0;
+
+  // Seed order: PA grows volumes from the largest modules (fewest
+  // volumes); TSC seeds by power density so similar regimes cluster.
+  std::vector<std::size_t> order(n);
+  std::iota(order.begin(), order.end(), 0);
+  if (opt_.objective == VoltageObjective::power_aware) {
+    std::sort(order.begin(), order.end(), [&](std::size_t a, std::size_t b) {
+      return fp_.modules()[a].shape.area() > fp_.modules()[b].shape.area();
+    });
+  } else {
+    std::sort(order.begin(), order.end(), [&](std::size_t a, std::size_t b) {
+      return fp_.modules()[a].power_density() >
+             fp_.modules()[b].power_density();
+    });
+  }
+
+  VoltageAssignment result;
+  std::vector<bool> assigned(n, false);
+  for (const std::size_t seed : order) {
+    if (assigned[seed]) continue;
+    // BFS growth from the seed, intersecting feasible-voltage sets; the
+    // multi-branch tree of Sec. 6.1 collapses to its accepted frontier.
+    VoltageVolume vol;
+    unsigned mask = feasible[seed] != 0 ? feasible[seed] : (1u << 1);
+    double power_nominal = 0.0;
+    double density_sum = 0.0;
+    std::deque<std::size_t> queue{seed};
+    assigned[seed] = true;
+    while (!queue.empty()) {
+      const std::size_t m = queue.front();
+      queue.pop_front();
+      const Module& mod = fp_.modules()[m];
+      vol.modules.push_back(m);
+      vol.area_um2 += mod.shape.area();
+      power_nominal += mod.power_w;
+      density_sum += mod.power_density();
+      for (const std::size_t nb : adj[m]) {
+        if (assigned[nb]) continue;
+        const unsigned joint =
+            mask & (feasible[nb] != 0 ? feasible[nb] : (1u << 1));
+        if (joint == 0) continue;  // no common feasible voltage
+        if (opt_.objective == VoltageObjective::tsc_aware) {
+          const double mean_density =
+              density_sum / static_cast<double>(vol.modules.size());
+          const double nb_density = fp_.modules()[nb].power_density();
+          const double band = opt_.density_band * std::max(mean_density,
+                                                           target_density);
+          if (std::abs(nb_density - mean_density) > band) continue;
+        }
+        mask = joint;
+        assigned[nb] = true;
+        queue.push_back(nb);
+      }
+    }
+    vol.voltage_index =
+        pick_voltage(mask, vol.area_um2, power_nominal, target_density);
+    vol.power_w = power_nominal * levels[vol.voltage_index].power_scale;
+    std::size_t die0 = fp_.modules()[vol.modules.front()].die;
+    vol.spans_dies = std::any_of(
+        vol.modules.begin(), vol.modules.end(),
+        [&](std::size_t m) { return fp_.modules()[m].die != die0; });
+    result.volumes.push_back(std::move(vol));
+  }
+
+  // Write the assignment back and collect the statistics.
+  double intra_sum = 0.0;
+  std::vector<double> volume_density;
+  for (const VoltageVolume& vol : result.volumes) {
+    for (const std::size_t m : vol.modules)
+      fp_.modules()[m].voltage_index = vol.voltage_index;
+    result.total_power_w += vol.power_w;
+    volume_density.push_back(vol.density());
+    // Within-volume density stddev at the assigned voltage.
+    const double scale = levels[vol.voltage_index].power_scale;
+    double mean = 0.0;
+    for (const std::size_t m : vol.modules)
+      mean += fp_.modules()[m].power_density() * scale;
+    mean /= static_cast<double>(vol.modules.size());
+    double var = 0.0;
+    for (const std::size_t m : vol.modules) {
+      const double d = fp_.modules()[m].power_density() * scale - mean;
+      var += d * d;
+    }
+    intra_sum += std::sqrt(var / static_cast<double>(vol.modules.size()));
+  }
+  result.intra_density_stddev =
+      intra_sum / static_cast<double>(result.volumes.size());
+  const double vd_mean =
+      std::accumulate(volume_density.begin(), volume_density.end(), 0.0) /
+      static_cast<double>(volume_density.size());
+  double vd_var = 0.0;
+  for (const double d : volume_density) vd_var += (d - vd_mean) * (d - vd_mean);
+  result.inter_density_stddev =
+      std::sqrt(vd_var / static_cast<double>(volume_density.size()));
+  return result;
+}
+
+}  // namespace tsc3d::power

@@ -1,0 +1,88 @@
+// tsc3d -- thermal side-channel-aware 3D floorplanning.
+//
+// Floorplanning-centric voltage assignment (Sec. 6.1).  Voltage volumes
+// are the 3D generalization of voltage domains: contiguous groups of
+// modules -- possibly spanning both dies -- that share one supply.
+//
+// Construction follows the paper: starting from individual modules,
+// volumes grow by breadth-first search across spatially adjacent modules
+// while the running intersection of feasible voltages (from timing slack)
+// stays non-empty.  Selection then differs by setup:
+//   * power-aware (PA):  minimize overall power and the number of volumes
+//     (each volume takes its lowest feasible voltage);
+//   * TSC-aware:        minimize the number of volumes and the standard
+//     deviation of power densities within and across volumes, yielding
+//     locally uniform power and small cross-volume gradients -- the
+//     decorrelation lever identified in Sec. 3.
+#pragma once
+
+#include <cstddef>
+#include <vector>
+
+#include "core/floorplan.hpp"
+#include "power/timing.hpp"
+
+namespace tsc3d::power {
+
+enum class VoltageObjective {
+  power_aware,  ///< PA setup of Sec. 7
+  tsc_aware,    ///< TSC setup of Sec. 7
+};
+
+struct VoltageOptions {
+  VoltageObjective objective = VoltageObjective::power_aware;
+  /// Modules closer than this (edge-to-edge, same die) count as adjacent.
+  double adjacency_tolerance_um = 100.0;
+  /// TSC setup: a module may join a volume if its power density deviates
+  /// from the volume's mean density by at most this relative band.
+  double density_band = 0.75;
+};
+
+/// One selected voltage volume.
+struct VoltageVolume {
+  std::vector<std::size_t> modules;
+  std::size_t voltage_index = 1;
+  bool spans_dies = false;
+  double power_w = 0.0;      ///< at the assigned voltage
+  double area_um2 = 0.0;
+  [[nodiscard]] double density() const {
+    return area_um2 > 0.0 ? power_w / area_um2 : 0.0;
+  }
+};
+
+/// Result of one assignment pass.
+struct VoltageAssignment {
+  std::vector<VoltageVolume> volumes;
+  double total_power_w = 0.0;
+  /// Mean of per-volume stddevs of module power density (intra-volume
+  /// uniformity; lower = smoother local power).
+  double intra_density_stddev = 0.0;
+  /// Stddev of volume mean densities (cross-volume gradients).
+  double inter_density_stddev = 0.0;
+  [[nodiscard]] std::size_t num_volumes() const { return volumes.size(); }
+};
+
+class VoltageAssigner {
+ public:
+  VoltageAssigner(Floorplan3D& fp, const ElmoreTiming& timing,
+                  VoltageOptions options = {});
+
+  /// Construct volumes, pick voltages, and write the assignment into the
+  /// floorplan's modules.
+  VoltageAssignment assign();
+
+  /// Spatial adjacency used for volume growth; exposed for tests.
+  [[nodiscard]] bool adjacent(std::size_t a, std::size_t b) const;
+
+ private:
+  [[nodiscard]] std::size_t pick_voltage(unsigned mask,
+                                         double volume_area,
+                                         double volume_power_nominal,
+                                         double target_density) const;
+
+  Floorplan3D& fp_;
+  const ElmoreTiming& timing_;
+  VoltageOptions opt_;
+};
+
+}  // namespace tsc3d::power

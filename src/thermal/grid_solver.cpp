@@ -1,0 +1,349 @@
+#include "thermal/grid_solver.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <stdexcept>
+
+namespace tsc3d::thermal {
+
+namespace {
+constexpr std::size_t kNoDie = static_cast<std::size_t>(-1);
+}
+
+/// Precomputed conductance network.  Node index: (l * ny + iy) * nx + ix.
+struct GridSolver::Assembly {
+  std::size_t nx = 0, ny = 0, nl = 0;
+  double cell_w = 0.0, cell_h = 0.0;       // lateral cell size [m]
+  std::vector<double> g_lat_x;             // per layer: conductance to x+1
+  std::vector<double> g_lat_y;             // per layer: conductance to y+1
+  std::vector<std::vector<double>> g_up;   // per layer: per-cell cond. to l+1
+  std::vector<double> g_sink;              // per-cell convection (top layer)
+  std::vector<double> g_pkg;               // per-cell secondary path (layer 0)
+  std::vector<std::vector<double>> cap;    // per layer: per-cell capacitance
+
+  [[nodiscard]] std::size_t node(std::size_t l, std::size_t ix,
+                                 std::size_t iy) const {
+    return (l * ny + iy) * nx + ix;
+  }
+  [[nodiscard]] std::size_t num_nodes() const { return nl * nx * ny; }
+};
+
+GridSolver::GridSolver(const TechnologyConfig& tech, const ThermalConfig& cfg)
+    : tech_(tech), cfg_(cfg), stack_(build_stack(tech, cfg)) {
+  tech_.validate();
+  cfg_.validate();
+}
+
+void GridSolver::check_inputs(const std::vector<GridD>& die_power_w,
+                              const GridD& tsv_density) const {
+  if (die_power_w.size() != tech_.num_dies)
+    throw std::invalid_argument("GridSolver: one power map per die required");
+  for (const GridD& p : die_power_w) {
+    if (p.nx() != cfg_.grid_nx || p.ny() != cfg_.grid_ny)
+      throw std::invalid_argument("GridSolver: power-map grid mismatch");
+  }
+  if (tsv_density.nx() != cfg_.grid_nx || tsv_density.ny() != cfg_.grid_ny)
+    throw std::invalid_argument("GridSolver: TSV-map grid mismatch");
+}
+
+GridSolver::Assembly GridSolver::assemble(const GridD& tsv_density) const {
+  Assembly a;
+  a.nx = cfg_.grid_nx;
+  a.ny = cfg_.grid_ny;
+  a.nl = stack_.layers.size();
+  a.cell_w = stack_.width_m / static_cast<double>(a.nx);
+  a.cell_h = stack_.height_m / static_cast<double>(a.ny);
+  const double cell_area = a.cell_w * a.cell_h;
+  const auto ncells = static_cast<double>(a.nx * a.ny);
+
+  // Per-cell vertical conductivity of each layer; only TSV layers vary.
+  // TSVs blend the layer material toward copper by the cell's area
+  // fraction f: k_v = (1 - f) * k_layer + f * k_copper.
+  std::vector<std::vector<double>> k_vert(a.nl);
+  for (std::size_t l = 0; l < a.nl; ++l) {
+    const Layer& layer = stack_.layers[l];
+    k_vert[l].assign(a.nx * a.ny, layer.k_w_per_mk);
+    if (layer.tsv_layer) {
+      for (std::size_t i = 0; i < a.nx * a.ny; ++i) {
+        const double f = std::clamp(tsv_density[i], 0.0, 1.0);
+        k_vert[l][i] = (1.0 - f) * layer.k_w_per_mk + f * cfg_.k_tsv_copper;
+      }
+    }
+  }
+
+  a.g_lat_x.resize(a.nl);
+  a.g_lat_y.resize(a.nl);
+  a.cap.resize(a.nl);
+  for (std::size_t l = 0; l < a.nl; ++l) {
+    const Layer& layer = stack_.layers[l];
+    // Lateral conduction uses the base material: TSVs are discrete
+    // vertical pillars and contribute no continuous lateral path.
+    a.g_lat_x[l] = layer.k_w_per_mk * layer.thickness_m * a.cell_h / a.cell_w;
+    a.g_lat_y[l] = layer.k_w_per_mk * layer.thickness_m * a.cell_w / a.cell_h;
+    const double cell_volume = cell_area * layer.thickness_m;
+    a.cap[l].assign(a.nx * a.ny, layer.c_j_per_m3k * cell_volume);
+    if (layer.tsv_layer) {
+      for (std::size_t i = 0; i < a.nx * a.ny; ++i) {
+        const double f = std::clamp(tsv_density[i], 0.0, 1.0);
+        a.cap[l][i] = ((1.0 - f) * layer.c_j_per_m3k + f * cfg_.c_tsv_copper) *
+                      cell_volume;
+      }
+    }
+  }
+
+  // Vertical conductances: half-thickness resistances in series.
+  a.g_up.assign(a.nl, {});
+  for (std::size_t l = 0; l + 1 < a.nl; ++l) {
+    a.g_up[l].assign(a.nx * a.ny, 0.0);
+    const double t0 = stack_.layers[l].thickness_m;
+    const double t1 = stack_.layers[l + 1].thickness_m;
+    for (std::size_t i = 0; i < a.nx * a.ny; ++i) {
+      const double r = 0.5 * t0 / k_vert[l][i] + 0.5 * t1 / k_vert[l + 1][i];
+      a.g_up[l][i] = cell_area / r;
+    }
+  }
+
+  // Boundary paths: convection atop the sink, lumped package resistance
+  // below layer 0.  A lumped resistance R over N parallel cells gives
+  // R_cell = R * N, i.e. g_cell = 1 / (R * N).
+  a.g_sink.assign(a.nx * a.ny, 1.0 / (cfg_.r_convec_k_per_w * ncells));
+  a.g_pkg.assign(a.nx * a.ny, 1.0 / (cfg_.r_package_k_per_w * ncells));
+  return a;
+}
+
+namespace {
+
+/// One SOR sweep of the steady-state (or implicit-Euler step) system.
+/// Returns the maximum absolute temperature update.  (Template on the
+/// assembly type: GridSolver::Assembly is private to the class.)
+template <typename AssemblyT>
+double sor_sweep(const AssemblyT& a, const std::vector<double>& rhs,
+                 const std::vector<double>& extra_diag, double omega,
+                 std::vector<double>& temp) {
+  double max_delta = 0.0;
+  const std::size_t nx = a.nx, ny = a.ny, nl = a.nl;
+  for (std::size_t l = 0; l < nl; ++l) {
+    for (std::size_t iy = 0; iy < ny; ++iy) {
+      for (std::size_t ix = 0; ix < nx; ++ix) {
+        const std::size_t i = a.node(l, ix, iy);
+        const std::size_t cell = iy * nx + ix;
+        double g_sum = extra_diag[i];
+        double flux = rhs[i];
+        if (ix > 0) {
+          const double g = a.g_lat_x[l];
+          g_sum += g;
+          flux += g * temp[i - 1];
+        }
+        if (ix + 1 < nx) {
+          const double g = a.g_lat_x[l];
+          g_sum += g;
+          flux += g * temp[i + 1];
+        }
+        if (iy > 0) {
+          const double g = a.g_lat_y[l];
+          g_sum += g;
+          flux += g * temp[i - nx];
+        }
+        if (iy + 1 < ny) {
+          const double g = a.g_lat_y[l];
+          g_sum += g;
+          flux += g * temp[i + nx];
+        }
+        if (l > 0) {
+          const double g = a.g_up[l - 1][cell];
+          g_sum += g;
+          flux += g * temp[i - nx * ny];
+        }
+        if (l + 1 < nl) {
+          const double g = a.g_up[l][cell];
+          g_sum += g;
+          flux += g * temp[i + nx * ny];
+        }
+        const double t_new = flux / g_sum;
+        const double delta = t_new - temp[i];
+        temp[i] += omega * delta;
+        max_delta = std::max(max_delta, std::abs(delta));
+      }
+    }
+  }
+  return max_delta;
+}
+
+}  // namespace
+
+ThermalResult GridSolver::solve_steady(const std::vector<GridD>& die_power_w,
+                                       const GridD& tsv_density) const {
+  check_inputs(die_power_w, tsv_density);
+  const Assembly a = assemble(tsv_density);
+  const std::size_t n = a.num_nodes();
+  const std::size_t nx = a.nx, ny = a.ny, nl = a.nl;
+
+  // rhs_i = P_i + g_boundary * T_amb; extra_diag_i = g_boundary.
+  std::vector<double> rhs(n, 0.0);
+  std::vector<double> extra_diag(n, 0.0);
+  for (std::size_t l = 0; l < nl; ++l) {
+    const Layer& layer = stack_.layers[l];
+    if (layer.has_power()) {
+      const GridD& p = die_power_w[layer.power_die];
+      for (std::size_t c = 0; c < nx * ny; ++c)
+        rhs[a.node(l, c % nx, c / nx)] += p[c];
+    }
+  }
+  for (std::size_t c = 0; c < nx * ny; ++c) {
+    const std::size_t top = a.node(nl - 1, c % nx, c / nx);
+    extra_diag[top] += a.g_sink[c];
+    rhs[top] += a.g_sink[c] * cfg_.ambient_k;
+    const std::size_t bottom = a.node(0, c % nx, c / nx);
+    extra_diag[bottom] += a.g_pkg[c];
+    rhs[bottom] += a.g_pkg[c] * cfg_.ambient_k;
+  }
+
+  std::vector<double> temp(n, cfg_.ambient_k);
+  ThermalResult result;
+  for (std::size_t it = 0; it < cfg_.max_iterations; ++it) {
+    const double delta = sor_sweep(a, rhs, extra_diag, cfg_.sor_omega, temp);
+    result.iterations = it + 1;
+    if (delta < cfg_.tolerance_k) {
+      result.converged = true;
+      break;
+    }
+  }
+
+  result.layer_temperature.reserve(nl);
+  result.peak_k = cfg_.ambient_k;
+  for (std::size_t l = 0; l < nl; ++l) {
+    GridD map(nx, ny, 0.0);
+    for (std::size_t c = 0; c < nx * ny; ++c) {
+      map[c] = temp[a.node(l, c % nx, c / nx)];
+      result.peak_k = std::max(result.peak_k, map[c]);
+    }
+    result.layer_temperature.push_back(std::move(map));
+  }
+  result.die_temperature.reserve(tech_.num_dies);
+  for (std::size_t d = 0; d < tech_.num_dies; ++d)
+    result.die_temperature.push_back(
+        result.layer_temperature[stack_.layer_of_die[d]]);
+
+  for (std::size_t c = 0; c < nx * ny; ++c) {
+    result.heat_to_sink_w +=
+        a.g_sink[c] *
+        (temp[a.node(nl - 1, c % nx, c / nx)] - cfg_.ambient_k);
+    result.heat_to_package_w +=
+        a.g_pkg[c] * (temp[a.node(0, c % nx, c / nx)] - cfg_.ambient_k);
+  }
+  return result;
+}
+
+TransientResult GridSolver::solve_transient(
+    const std::function<std::vector<GridD>(double)>& power_at,
+    const GridD& tsv_density, double t_end_s, double dt_s,
+    std::size_t record_stride) const {
+  return solve_transient_feedback(
+      [&](double t, const std::vector<GridD>&) { return power_at(t); },
+      tsv_density, t_end_s, dt_s, record_stride);
+}
+
+TransientResult GridSolver::solve_transient_feedback(
+    const FeedbackPower& power_at, const GridD& tsv_density, double t_end_s,
+    double dt_s, std::size_t record_stride) const {
+  if (t_end_s <= 0.0 || dt_s <= 0.0)
+    throw std::invalid_argument("solve_transient: non-positive time");
+  if (record_stride == 0) record_stride = 1;
+  const Assembly a = assemble(tsv_density);
+  const std::size_t n = a.num_nodes();
+  const std::size_t nx = a.nx, ny = a.ny, nl = a.nl;
+
+  std::vector<double> temp(n, cfg_.ambient_k);
+  std::vector<double> rhs(n, 0.0);
+  std::vector<double> extra_diag(n, 0.0);
+
+  // Constant boundary contribution to the diagonal; C/dt is added per node.
+  std::vector<double> boundary_diag(n, 0.0);
+  for (std::size_t c = 0; c < nx * ny; ++c) {
+    boundary_diag[a.node(nl - 1, c % nx, c / nx)] += a.g_sink[c];
+    boundary_diag[a.node(0, c % nx, c / nx)] += a.g_pkg[c];
+  }
+  std::vector<double> cap_over_dt(n, 0.0);
+  for (std::size_t l = 0; l < nl; ++l)
+    for (std::size_t c = 0; c < nx * ny; ++c)
+      cap_over_dt[a.node(l, c % nx, c / nx)] = a.cap[l][c] / dt_s;
+
+  TransientResult out;
+  // Per-die temperature maps of the previous step, for the feedback
+  // callback; starts at ambient.
+  std::vector<GridD> die_temp_prev(tech_.num_dies,
+                                   GridD(nx, ny, cfg_.ambient_k));
+  const auto steps = static_cast<std::size_t>(std::ceil(t_end_s / dt_s));
+  for (std::size_t step = 0; step < steps; ++step) {
+    const double t_now = static_cast<double>(step + 1) * dt_s;
+    const std::vector<GridD> power = power_at(t_now, die_temp_prev);
+    check_inputs(power, tsv_density);
+
+    // Implicit Euler: (G + C/dt) T_new = P + G_b T_amb + (C/dt) T_old.
+    for (std::size_t i = 0; i < n; ++i) {
+      extra_diag[i] = boundary_diag[i] + cap_over_dt[i];
+      rhs[i] = cap_over_dt[i] * temp[i];
+    }
+    for (std::size_t c = 0; c < nx * ny; ++c) {
+      const std::size_t top = a.node(nl - 1, c % nx, c / nx);
+      rhs[top] += a.g_sink[c] * cfg_.ambient_k;
+      const std::size_t bottom = a.node(0, c % nx, c / nx);
+      rhs[bottom] += a.g_pkg[c] * cfg_.ambient_k;
+    }
+    for (std::size_t l = 0; l < nl; ++l) {
+      const Layer& layer = stack_.layers[l];
+      if (!layer.has_power()) continue;
+      const GridD& p = power[layer.power_die];
+      for (std::size_t c = 0; c < nx * ny; ++c)
+        rhs[a.node(l, c % nx, c / nx)] += p[c];
+    }
+    for (std::size_t it = 0; it < cfg_.max_iterations; ++it) {
+      if (sor_sweep(a, rhs, extra_diag, cfg_.sor_omega, temp) <
+          cfg_.tolerance_k)
+        break;
+    }
+
+    for (std::size_t d = 0; d < tech_.num_dies; ++d) {
+      const std::size_t l = stack_.layer_of_die[d];
+      for (std::size_t c = 0; c < nx * ny; ++c)
+        die_temp_prev[d][c] = temp[a.node(l, c % nx, c / nx)];
+    }
+
+    if (step % record_stride == 0 || step + 1 == steps) {
+      TransientSample s;
+      s.time_s = t_now;
+      for (std::size_t d = 0; d < tech_.num_dies; ++d) {
+        const std::size_t l = stack_.layer_of_die[d];
+        double peak = 0.0, sum = 0.0;
+        for (std::size_t c = 0; c < nx * ny; ++c) {
+          const double v = temp[a.node(l, c % nx, c / nx)];
+          peak = std::max(peak, v);
+          sum += v;
+        }
+        s.die_peak_k.push_back(peak);
+        s.die_mean_k.push_back(sum / static_cast<double>(nx * ny));
+        s.die_power_w.push_back(power[d].sum());
+      }
+      out.trace.push_back(std::move(s));
+    }
+  }
+
+  // Final snapshot as a full ThermalResult (already-converged state).
+  out.final_state.layer_temperature.reserve(nl);
+  out.final_state.peak_k = cfg_.ambient_k;
+  for (std::size_t l = 0; l < nl; ++l) {
+    GridD map(nx, ny, 0.0);
+    for (std::size_t c = 0; c < nx * ny; ++c) {
+      map[c] = temp[a.node(l, c % nx, c / nx)];
+      out.final_state.peak_k = std::max(out.final_state.peak_k, map[c]);
+    }
+    out.final_state.layer_temperature.push_back(std::move(map));
+  }
+  for (std::size_t d = 0; d < tech_.num_dies; ++d)
+    out.final_state.die_temperature.push_back(
+        out.final_state.layer_temperature[stack_.layer_of_die[d]]);
+  out.final_state.converged = true;
+  return out;
+}
+
+}  // namespace tsc3d::thermal

@@ -1,0 +1,98 @@
+// tsc3d -- thermal side-channel-aware 3D floorplanning.
+//
+// GridSolver: a HotSpot-style finite-volume thermal solver on the layered
+// 3D-IC stack.  This is our stand-in for HotSpot 6.0 [22]: same physics
+// (heat equation discretized on a per-layer grid, conductances derived
+// from material properties, convection atop the heatsink, a lumped
+// secondary path into the package), same role (detailed/verification
+// analysis, Sec. 6), and the same interface shape (power maps in, thermal
+// maps out).
+//
+// Steady-state solves use Gauss-Seidel with successive over-relaxation;
+// transient solves use implicit Euler time stepping (unconditionally
+// stable, so millisecond steps are fine for the slow thermal dynamics the
+// paper's Fig. 1 illustrates).
+#pragma once
+
+#include <cstddef>
+#include <functional>
+#include <vector>
+
+#include "core/config.hpp"
+#include "core/grid.hpp"
+#include "thermal/stack.hpp"
+
+namespace tsc3d::thermal {
+
+/// Output of a steady-state solve.
+struct ThermalResult {
+  /// Temperature map of each die's power layer [K], die 0 first.
+  std::vector<GridD> die_temperature;
+  /// Temperature maps of every stack layer, bottom to top [K].
+  std::vector<GridD> layer_temperature;
+  double peak_k = 0.0;            ///< hottest node anywhere in the stack
+  std::size_t iterations = 0;     ///< SOR sweeps used
+  bool converged = false;
+  double heat_to_sink_w = 0.0;    ///< power leaving through the heatsink
+  double heat_to_package_w = 0.0; ///< power leaving via the secondary path
+};
+
+/// One recorded snapshot of a transient solve.
+struct TransientSample {
+  double time_s = 0.0;
+  std::vector<double> die_peak_k;  ///< per-die peak temperature
+  std::vector<double> die_mean_k;  ///< per-die mean temperature
+  std::vector<double> die_power_w; ///< per-die total power at this instant
+};
+
+/// Output of a transient solve.
+struct TransientResult {
+  std::vector<TransientSample> trace;
+  ThermalResult final_state;
+};
+
+class GridSolver {
+ public:
+  GridSolver(const TechnologyConfig& tech, const ThermalConfig& cfg);
+
+  [[nodiscard]] std::size_t nx() const { return cfg_.grid_nx; }
+  [[nodiscard]] std::size_t ny() const { return cfg_.grid_ny; }
+  [[nodiscard]] const LayerStack& stack() const { return stack_; }
+
+  /// Steady-state solve.  `die_power_w` holds one nx-by-ny map per die with
+  /// power in watts per bin; `tsv_density` holds the fraction of each bin
+  /// covered by TSV cells (affects the bond and upper-bulk layers).
+  [[nodiscard]] ThermalResult solve_steady(
+      const std::vector<GridD>& die_power_w, const GridD& tsv_density) const;
+
+  /// Transient solve with implicit Euler.  `power_at` is sampled once per
+  /// step; a snapshot is recorded every `record_stride` steps.  The initial
+  /// condition is the ambient temperature everywhere.
+  [[nodiscard]] TransientResult solve_transient(
+      const std::function<std::vector<GridD>(double time_s)>& power_at,
+      const GridD& tsv_density, double t_end_s, double dt_s,
+      std::size_t record_stride = 1) const;
+
+  /// Closed-loop variant: the power callback additionally receives the
+  /// previous step's per-die temperature maps, so runtime controllers
+  /// (DTM throttling, noise injectors, covert-channel receivers with
+  /// feedback) can react to the thermal state they caused.
+  using FeedbackPower = std::function<std::vector<GridD>(
+      double time_s, const std::vector<GridD>& die_temp_prev)>;
+  [[nodiscard]] TransientResult solve_transient_feedback(
+      const FeedbackPower& power_at, const GridD& tsv_density,
+      double t_end_s, double dt_s, std::size_t record_stride = 1) const;
+
+ private:
+  struct Assembly;  // conductance network for one TSV distribution
+
+  void check_inputs(const std::vector<GridD>& die_power_w,
+                    const GridD& tsv_density) const;
+  [[nodiscard]] Assembly assemble(const GridD& tsv_density) const;
+
+  TechnologyConfig tech_;
+  ThermalConfig cfg_;
+  LayerStack stack_;
+};
+
+}  // namespace tsc3d::thermal

@@ -1,0 +1,83 @@
+#include "thermal/stack.hpp"
+
+#include <stdexcept>
+
+namespace tsc3d::thermal {
+
+namespace {
+constexpr double kUmToM = 1e-6;
+}
+
+LayerStack build_stack(const TechnologyConfig& tech,
+                       const ThermalConfig& thermal) {
+  tech.validate();
+  thermal.validate();
+  if (tech.num_dies < 1)
+    throw std::invalid_argument("build_stack: need at least one die");
+
+  LayerStack stack;
+  stack.width_m = tech.die_width_um * kUmToM;
+  stack.height_m = tech.die_height_um * kUmToM;
+  stack.layer_of_die.assign(tech.num_dies, 0);
+
+  const bool monolithic = tech.flavor == IntegrationFlavor::monolithic;
+  const double bulk_thickness_um =
+      monolithic ? tech.monolithic_tier_thickness_um : tech.die_thickness_um;
+  const double gap_thickness_um =
+      monolithic ? thermal.ild_thickness_um : thermal.bond_thickness_um;
+  const double k_gap = monolithic ? thermal.k_ild : thermal.k_bond;
+  const double c_gap = monolithic ? thermal.c_ild : thermal.c_bond;
+
+  // Bottom-up: die 0 sits closest to the package.
+  for (std::size_t d = 0; d < tech.num_dies; ++d) {
+    Layer bulk;
+    bulk.name = "die" + std::to_string(d) + "_bulk";
+    bulk.thickness_m = bulk_thickness_um * kUmToM;
+    bulk.k_w_per_mk = thermal.k_silicon;
+    bulk.c_j_per_m3k = thermal.c_silicon;
+    bulk.power_die = d;
+    // Vias from the gap below traverse every bulk except the bottom die's
+    // (die 0 is the landing die; vias run gap -> upper bulk).
+    bulk.tsv_layer = (d > 0);
+    stack.layer_of_die[d] = stack.layers.size();
+    stack.layers.push_back(bulk);
+
+    if (d + 1 < tech.num_dies) {
+      // TSV flavor: bond/BEOL layer crossed by copper TSVs.  Monolithic
+      // flavor: thin inter-tier dielectric crossed by MIVs.
+      Layer gap;
+      gap.name = (monolithic ? "ild" : "bond") + std::to_string(d) +
+                 std::to_string(d + 1);
+      gap.thickness_m = gap_thickness_um * kUmToM;
+      gap.k_w_per_mk = k_gap;
+      gap.c_j_per_m3k = c_gap;
+      gap.tsv_layer = true;
+      stack.layers.push_back(gap);
+    }
+  }
+
+  Layer tim;
+  tim.name = "tim";
+  tim.thickness_m = thermal.tim_thickness_um * kUmToM;
+  tim.k_w_per_mk = thermal.k_tim;
+  tim.c_j_per_m3k = thermal.c_tim;
+  stack.layers.push_back(tim);
+
+  Layer spreader;
+  spreader.name = "spreader";
+  spreader.thickness_m = thermal.spreader_thickness_um * kUmToM;
+  spreader.k_w_per_mk = thermal.k_spreader;
+  spreader.c_j_per_m3k = thermal.c_spreader;
+  stack.layers.push_back(spreader);
+
+  Layer sink;
+  sink.name = "sink";
+  sink.thickness_m = thermal.sink_thickness_um * kUmToM;
+  sink.k_w_per_mk = thermal.k_sink;
+  sink.c_j_per_m3k = thermal.c_sink;
+  stack.layers.push_back(sink);
+
+  return stack;
+}
+
+}  // namespace tsc3d::thermal

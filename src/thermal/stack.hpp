@@ -1,0 +1,60 @@
+// tsc3d -- thermal side-channel-aware 3D floorplanning.
+//
+// Layer-stack construction for the thermal model of a two-die,
+// face-to-back, TSV-based 3D IC (Sec. 3 of the paper):
+//
+//   ambient  <- r_convec
+//   heatsink
+//   heat spreader
+//   TIM
+//   die 1 bulk Si      (top die; its active layer faces the TIM)   [power]
+//   bond / BEOL layer  (TSVs act as vertical "heat pipes")         [TSVs]
+//   die 0 bulk Si      (bottom die; active layer faces the bond)   [power]
+//   package  -> ambient via r_package (secondary heat path)
+//
+// TSVs traverse the bond layer and the top die's bulk; in both layers the
+// local vertical conductivity is raised according to the copper fraction
+// of each grid cell.
+#pragma once
+
+#include <cstddef>
+#include <string>
+#include <vector>
+
+#include "core/config.hpp"
+
+namespace tsc3d::thermal {
+
+/// One laterally homogeneous layer of the stack (TSV cells excepted).
+struct Layer {
+  std::string name;
+  double thickness_m = 0.0;
+  double k_w_per_mk = 0.0;       ///< thermal conductivity
+  double c_j_per_m3k = 0.0;      ///< volumetric heat capacity
+  /// Die whose power map is injected into this layer, or kInvalidIndex.
+  std::size_t power_die = static_cast<std::size_t>(-1);
+  /// True if TSVs traverse this layer (vertical conductivity is locally
+  /// blended toward copper by the cell's TSV area fraction).
+  bool tsv_layer = false;
+  [[nodiscard]] bool has_power() const {
+    return power_die != static_cast<std::size_t>(-1);
+  }
+};
+
+/// The full stack, bottom (package side) to top (heatsink side).
+struct LayerStack {
+  std::vector<Layer> layers;
+  /// Index of the layer carrying each die's power (layer_of_die[d]).
+  std::vector<std::size_t> layer_of_die;
+  /// Chip footprint [m].
+  double width_m = 0.0;
+  double height_m = 0.0;
+};
+
+/// Build the default two-die face-to-back stack described above.  Supports
+/// num_dies >= 2 by repeating the (bulk, bond) pair, covering the paper's
+/// future-work direction of larger stacks.
+[[nodiscard]] LayerStack build_stack(const TechnologyConfig& tech,
+                                     const ThermalConfig& thermal);
+
+}  // namespace tsc3d::thermal

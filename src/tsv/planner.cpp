@@ -1,0 +1,181 @@
+#include "tsv/planner.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <map>
+#include <set>
+
+namespace tsc3d::tsv {
+
+namespace {
+
+/// Clamp a point into the die outline with a margin for the TSV body.
+Point clamp_into(const Floorplan3D& fp, Point p) {
+  const double margin = fp.tech().tsv.cell_edge_um();
+  const Rect o = fp.outline();
+  p.x = std::clamp(p.x, o.x + margin, o.right() - margin);
+  p.y = std::clamp(p.y, o.y + margin, o.top() - margin);
+  return p;
+}
+
+}  // namespace
+
+void clear_tsvs(Floorplan3D& fp, TsvKind kind) {
+  auto& tsvs = fp.tsvs();
+  tsvs.erase(std::remove_if(tsvs.begin(), tsvs.end(),
+                            [&](const Tsv& t) { return t.kind == kind; }),
+             tsvs.end());
+}
+
+PlanResult place_signal_tsvs(Floorplan3D& fp, const PlannerOptions& opt) {
+  clear_tsvs(fp, TsvKind::signal);
+  PlanResult result;
+
+  // Collect one desired TSV position per die-crossing net.
+  std::vector<std::pair<NetId, Point>> wanted;
+  for (const Net& net : fp.nets()) {
+    std::set<std::size_t> dies;
+    double x0 = 0.0, x1 = 0.0, y0 = 0.0, y1 = 0.0;
+    bool first = true;
+    for (const NetPin& pin : net.pins) {
+      Point p;
+      std::size_t die = 0;
+      if (pin.is_terminal()) {
+        const Terminal& t = fp.terminals()[pin.terminal];
+        p = t.position;
+        die = t.die;
+      } else {
+        const Module& m = fp.modules()[pin.module];
+        p = m.shape.center();
+        die = m.die;
+      }
+      dies.insert(die);
+      if (first) {
+        x0 = x1 = p.x;
+        y0 = y1 = p.y;
+        first = false;
+      } else {
+        x0 = std::min(x0, p.x);
+        x1 = std::max(x1, p.x);
+        y0 = std::min(y0, p.y);
+        y1 = std::max(y1, p.y);
+      }
+    }
+    if (dies.size() < 2) continue;
+    ++result.crossing_nets;
+    wanted.emplace_back(net.id,
+                        clamp_into(fp, {(x0 + x1) / 2.0, (y0 + y1) / 2.0}));
+  }
+
+  if (opt.island_grid == 0) {
+    // One (irregular) TSV per crossing net.
+    for (const auto& [net_id, pos] : wanted) {
+      Tsv t;
+      t.position = pos;
+      t.count = 1;
+      t.kind = TsvKind::signal;
+      t.net = net_id;
+      fp.tsvs().push_back(t);
+    }
+    result.tsvs_placed = wanted.size();
+    result.islands = wanted.size();
+    return result;
+  }
+
+  // Cluster into islands on a coarse grid: all TSVs falling into one
+  // cluster cell merge into a single island at their centroid.
+  struct Cluster {
+    double sx = 0.0, sy = 0.0;
+    std::size_t n = 0;
+    NetId first_net = 0;
+  };
+  std::map<std::pair<std::size_t, std::size_t>, Cluster> clusters;
+  const double cw = fp.tech().die_width_um / static_cast<double>(opt.island_grid);
+  const double ch =
+      fp.tech().die_height_um / static_cast<double>(opt.island_grid);
+  for (const auto& [net_id, pos] : wanted) {
+    const auto cx = static_cast<std::size_t>(
+        std::clamp(pos.x / cw, 0.0, static_cast<double>(opt.island_grid - 1)));
+    const auto cy = static_cast<std::size_t>(
+        std::clamp(pos.y / ch, 0.0, static_cast<double>(opt.island_grid - 1)));
+    Cluster& c = clusters[{cx, cy}];
+    if (c.n == 0) c.first_net = net_id;
+    c.sx += pos.x;
+    c.sy += pos.y;
+    ++c.n;
+  }
+  for (const auto& [cell, c] : clusters) {
+    (void)cell;
+    Tsv t;
+    t.position = clamp_into(
+        fp, {c.sx / static_cast<double>(c.n), c.sy / static_cast<double>(c.n)});
+    t.count = c.n;
+    t.kind = TsvKind::signal;
+    t.net = c.first_net;
+    fp.tsvs().push_back(t);
+    ++result.islands;
+    result.tsvs_placed += c.n;
+  }
+  return result;
+}
+
+void fill_max_density(Floorplan3D& fp) {
+  const double cell = fp.tech().tsv.cell_edge_um();
+  const auto nx =
+      static_cast<std::size_t>(fp.tech().die_width_um / cell);
+  const auto ny =
+      static_cast<std::size_t>(fp.tech().die_height_um / cell);
+  // One island per coarse tile keeps the TSV list small while covering
+  // 100% of the area: tile of k*k cells -> island of k*k TSVs.
+  const std::size_t tile = 16;
+  for (std::size_t ty = 0; ty < ny / tile; ++ty) {
+    for (std::size_t tx = 0; tx < nx / tile; ++tx) {
+      Tsv t;
+      t.position = {(static_cast<double>(tx) + 0.5) * cell * tile,
+                    (static_cast<double>(ty) + 0.5) * cell * tile};
+      t.count = tile * tile;
+      t.kind = TsvKind::signal;
+      fp.tsvs().push_back(t);
+    }
+  }
+}
+
+void add_regular_grid(Floorplan3D& fp, std::size_t nx, std::size_t ny) {
+  for (std::size_t iy = 0; iy < ny; ++iy) {
+    for (std::size_t ix = 0; ix < nx; ++ix) {
+      Tsv t;
+      t.position = {(static_cast<double>(ix) + 0.5) * fp.tech().die_width_um /
+                        static_cast<double>(nx),
+                    (static_cast<double>(iy) + 0.5) * fp.tech().die_height_um /
+                        static_cast<double>(ny)};
+      t.count = 1;
+      t.kind = TsvKind::signal;
+      fp.tsvs().push_back(t);
+    }
+  }
+}
+
+void add_irregular(Floorplan3D& fp, std::size_t count, Rng& rng) {
+  for (std::size_t i = 0; i < count; ++i) {
+    Tsv t;
+    t.position = clamp_into(fp, {rng.uniform(0.0, fp.tech().die_width_um),
+                                 rng.uniform(0.0, fp.tech().die_height_um)});
+    t.count = 1;
+    t.kind = TsvKind::signal;
+    fp.tsvs().push_back(t);
+  }
+}
+
+void add_islands(Floorplan3D& fp, std::size_t islands, std::size_t per_island,
+                 Rng& rng) {
+  for (std::size_t i = 0; i < islands; ++i) {
+    Tsv t;
+    t.position = clamp_into(fp, {rng.uniform(0.0, fp.tech().die_width_um),
+                                 rng.uniform(0.0, fp.tech().die_height_um)});
+    t.count = per_island;
+    t.kind = TsvKind::signal;
+    fp.tsvs().push_back(t);
+  }
+}
+
+}  // namespace tsc3d::tsv

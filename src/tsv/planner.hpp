@@ -1,0 +1,60 @@
+// tsc3d -- thermal side-channel-aware 3D floorplanning.
+//
+// Signal-TSV planning and TSV pattern generation.
+//
+// Every net whose pins span both dies needs (at least) one signal TSV.
+// The planner places one TSV per crossing net at the net's bounding-box
+// center and can optionally cluster nearby TSVs into islands -- the two
+// arrangements whose leakage behaviour Sec. 3 contrasts ("irregular TSVs"
+// vs "TSV islands").
+//
+// The free-standing pattern generators reproduce the six TSV
+// distributions of the Fig. 2 exploration: none, maximal density,
+// irregular, irregular+regular, islands, islands+regular.
+#pragma once
+
+#include <cstddef>
+
+#include "core/floorplan.hpp"
+#include "core/rng.hpp"
+
+namespace tsc3d::tsv {
+
+struct PlannerOptions {
+  /// If > 0, cluster signal TSVs into islands on a clustering grid with
+  /// this many cells per axis (0 = keep one TSV per net, irregular).
+  std::size_t island_grid = 0;
+};
+
+/// Statistics of one planning pass.
+struct PlanResult {
+  std::size_t crossing_nets = 0;  ///< nets spanning both dies
+  std::size_t tsvs_placed = 0;    ///< total signal TSVs
+  std::size_t islands = 0;        ///< TSV groups (== tsvs if unclustered)
+};
+
+/// Replace all signal TSVs of `fp` according to the current placement.
+/// Dummy TSVs are preserved.
+PlanResult place_signal_tsvs(Floorplan3D& fp, const PlannerOptions& opt = {});
+
+// --- exploratory pattern generators (Sec. 3 / Fig. 2) --------------------
+
+/// Remove all TSVs (pattern "no TSVs").
+void clear_tsvs(Floorplan3D& fp, TsvKind kind);
+
+/// Pattern "maximal TSV density": 100% of the die area covered by TSV
+/// cells and their keep-out zones.
+void fill_max_density(Floorplan3D& fp);
+
+/// Pattern "regular TSVs": an nx-by-ny array of single TSVs.
+void add_regular_grid(Floorplan3D& fp, std::size_t nx, std::size_t ny);
+
+/// Pattern "irregular TSVs": `count` single TSVs at random positions.
+void add_irregular(Floorplan3D& fp, std::size_t count, Rng& rng);
+
+/// Pattern "TSV islands": `islands` groups of `per_island` densely packed
+/// TSVs at random positions.
+void add_islands(Floorplan3D& fp, std::size_t islands, std::size_t per_island,
+                 Rng& rng);
+
+}  // namespace tsc3d::tsv

@@ -1,0 +1,171 @@
+// Tests of the sensor model and the thermal side-channel attacks.
+#include <gtest/gtest.h>
+
+#include "attack/attacks.hpp"
+
+namespace tsc3d::attack {
+namespace {
+
+/// Four well-separated, strongly powered modules: a very leaky target.
+Floorplan3D leaky_design() {
+  TechnologyConfig tech;
+  tech.die_width_um = tech.die_height_um = 2000.0;
+  Floorplan3D fp(tech);
+  const double positions[4][2] = {
+      {200, 200}, {1400, 200}, {200, 1400}, {1400, 1400}};
+  for (int i = 0; i < 4; ++i) {
+    Module m;
+    m.name = "m" + std::to_string(i);
+    m.shape = {positions[i][0], positions[i][1], 400.0, 400.0};
+    m.area_um2 = 400.0 * 400.0;
+    m.power_w = 1.0;
+    m.die = 0;
+    fp.modules().push_back(m);
+  }
+  return fp;
+}
+
+ThermalConfig small_cfg() {
+  ThermalConfig c;
+  c.grid_nx = c.grid_ny = 16;
+  return c;
+}
+
+TEST(SensorGrid, NoiselessReadingMatchesTruth) {
+  SensorOptions opt;
+  opt.noise_sigma_k = 0.0;
+  const SensorGrid sensors(opt);
+  GridD thermal(16, 16, 300.0);
+  // Sensor sites on a 16-bin axis with 8 sensors sit at bins 1,3,...,15;
+  // put the hotspot on a sampled bin.
+  thermal.at(9, 9) = 310.0;
+  Rng rng(1);
+  const GridD readings = sensors.read(thermal, rng);
+  EXPECT_EQ(readings.nx(), 8u);
+  // The sensor covering the hotspot must see it.
+  EXPECT_NEAR(readings.max(), 310.0, 1e-9);
+  EXPECT_NEAR(readings.min(), 300.0, 1e-9);
+}
+
+TEST(SensorGrid, NoiseScalesWithAveraging) {
+  SensorOptions noisy;
+  noisy.noise_sigma_k = 1.0;
+  noisy.reads_averaged = 1;
+  SensorOptions averaged = noisy;
+  averaged.reads_averaged = 16;
+  const GridD thermal(16, 16, 300.0);
+  auto stddev = [&](const SensorOptions& o, std::uint64_t seed) {
+    const SensorGrid s(o);
+    Rng rng(seed);
+    double sum2 = 0.0;
+    int n = 0;
+    for (int rep = 0; rep < 200; ++rep) {
+      const GridD r = s.read(thermal, rng);
+      for (const double v : r) {
+        sum2 += (v - 300.0) * (v - 300.0);
+        ++n;
+      }
+    }
+    return std::sqrt(sum2 / n);
+  };
+  EXPECT_NEAR(stddev(noisy, 2), 1.0, 0.05);
+  EXPECT_NEAR(stddev(averaged, 3), 0.25, 0.02);
+}
+
+TEST(SensorGrid, ObserveReturnsFullResolution) {
+  const SensorGrid sensors(SensorOptions{});
+  const GridD thermal(32, 32, 305.0);
+  Rng rng(4);
+  const GridD view = sensors.observe(thermal, 32, 32, rng);
+  EXPECT_EQ(view.nx(), 32u);
+  EXPECT_EQ(view.ny(), 32u);
+  EXPECT_NEAR(view.mean(), 305.0, 0.1);
+}
+
+TEST(SensorGrid, InvalidOptionsThrow) {
+  SensorOptions bad;
+  bad.sensors_x = 1;
+  EXPECT_THROW(SensorGrid{bad}, std::invalid_argument);
+  SensorOptions zero_reads;
+  zero_reads.reads_averaged = 0;
+  EXPECT_THROW(SensorGrid{zero_reads}, std::invalid_argument);
+}
+
+TEST(Attacks, LocalizationSucceedsOnLeakyDesign) {
+  const Floorplan3D fp = leaky_design();
+  const thermal::GridSolver solver(fp.tech(), small_cfg());
+  Rng rng(5);
+  AttackOptions opt;
+  opt.max_modules = 4;
+  opt.activity_boost = 2.0;
+  opt.sensors.noise_sigma_k = 0.01;
+  const LocalizationResult res =
+      run_localization_attack(fp, solver, rng, opt);
+  EXPECT_EQ(res.modules_tested, 4u);
+  // Well-separated hotspots with low noise: the attacker wins.
+  EXPECT_GE(res.success_rate(), 0.75);
+  EXPECT_EQ(res.die_correct, 4u);
+}
+
+TEST(Attacks, HeavyNoiseDegradesLocalization) {
+  const Floorplan3D fp = leaky_design();
+  const thermal::GridSolver solver(fp.tech(), small_cfg());
+  AttackOptions clean;
+  clean.max_modules = 4;
+  clean.activity_boost = 1.0;
+  clean.sensors.noise_sigma_k = 0.001;
+  AttackOptions noisy = clean;
+  noisy.sensors.noise_sigma_k = 50.0;  // drown the signal
+  Rng rng_a(6), rng_b(6);
+  const double clean_err =
+      run_localization_attack(fp, solver, rng_a, clean).mean_error_um;
+  const double noisy_err =
+      run_localization_attack(fp, solver, rng_b, noisy).mean_error_um;
+  EXPECT_LT(clean_err, noisy_err);
+}
+
+TEST(Attacks, CharacterizationModelsLinearSystem) {
+  const Floorplan3D fp = leaky_design();
+  const thermal::GridSolver solver(fp.tech(), small_cfg());
+  Rng rng(7);
+  AttackOptions opt;
+  opt.max_modules = 4;
+  opt.test_patterns = 6;
+  opt.pattern_modules = 2;
+  opt.sensors.noise_sigma_k = 0.005;
+  const CharacterizationResult res =
+      run_characterization_attack(fp, solver, rng, opt);
+  EXPECT_EQ(res.modules_profiled, 4u);
+  // Steady-state conduction is linear: superposition must predict well.
+  EXPECT_GT(res.r2, 0.9);
+  EXPECT_GT(res.signature_separation, 0.0);
+}
+
+TEST(Attacks, MonitoringDistinguishesDistantModules) {
+  const Floorplan3D fp = leaky_design();
+  const thermal::GridSolver solver(fp.tech(), small_cfg());
+  Rng rng(8);
+  AttackOptions opt;
+  opt.activity_boost = 2.0;
+  opt.sensors.noise_sigma_k = 0.01;
+  const MonitoringResult res =
+      run_monitoring_attack(fp, solver, 0, 3, 20, rng, opt);
+  EXPECT_EQ(res.trials, 20u);
+  EXPECT_GE(res.accuracy(), 0.9);
+}
+
+TEST(Attacks, MonitoringAtChanceUnderExtremeNoise) {
+  const Floorplan3D fp = leaky_design();
+  const thermal::GridSolver solver(fp.tech(), small_cfg());
+  Rng rng(9);
+  AttackOptions opt;
+  opt.activity_boost = 0.01;        // barely any signal
+  opt.sensors.noise_sigma_k = 100.0;  // huge noise
+  const MonitoringResult res =
+      run_monitoring_attack(fp, solver, 0, 1, 30, rng, opt);
+  EXPECT_GE(res.accuracy(), 0.2);
+  EXPECT_LE(res.accuracy(), 0.8);
+}
+
+}  // namespace
+}  // namespace tsc3d::attack

@@ -1,0 +1,146 @@
+// Tests for the B*-tree representation (floorplan/btree.hpp): packing
+// admissibility, move validity, and local-search behaviour.
+#include "floorplan/btree.hpp"
+
+#include <gtest/gtest.h>
+
+namespace tsc3d::floorplan {
+namespace {
+
+std::vector<double> random_extents(std::size_t n, Rng& rng, double lo,
+                                   double hi) {
+  std::vector<double> v(n);
+  for (auto& x : v) x = rng.uniform(lo, hi);
+  return v;
+}
+
+bool no_overlaps(const std::vector<PackedBlock>& blocks) {
+  for (std::size_t i = 0; i < blocks.size(); ++i)
+    for (std::size_t j = i + 1; j < blocks.size(); ++j)
+      if (blocks[i].shape.overlaps(blocks[j].shape)) return false;
+  return true;
+}
+
+TEST(BTree, ChainPacksInARow) {
+  BTree tree(4);
+  const std::vector<double> w{10, 20, 30, 40}, h{5, 5, 5, 5};
+  double bw = 0, bh = 0;
+  const auto blocks = tree.pack(w, h, bw, bh);
+  EXPECT_DOUBLE_EQ(bw, 100.0);
+  EXPECT_DOUBLE_EQ(bh, 5.0);
+  // Left children pack to the right of their parents, in order.
+  EXPECT_DOUBLE_EQ(blocks[0].shape.x, 0.0);
+  EXPECT_DOUBLE_EQ(blocks[1].shape.x, 10.0);
+  EXPECT_DOUBLE_EQ(blocks[2].shape.x, 30.0);
+  EXPECT_DOUBLE_EQ(blocks[3].shape.x, 60.0);
+}
+
+TEST(BTree, SingleModule) {
+  BTree tree(1);
+  double bw = 0, bh = 0;
+  const auto blocks = tree.pack({7.0}, {3.0}, bw, bh);
+  EXPECT_DOUBLE_EQ(bw, 7.0);
+  EXPECT_DOUBLE_EQ(bh, 3.0);
+  EXPECT_DOUBLE_EQ(blocks[0].shape.x, 0.0);
+  EXPECT_DOUBLE_EQ(blocks[0].shape.y, 0.0);
+}
+
+TEST(BTree, EmptyThrows) { EXPECT_THROW(BTree tree(0), std::invalid_argument); }
+
+TEST(BTree, ExtentMismatchThrows) {
+  BTree tree(3);
+  double bw = 0, bh = 0;
+  EXPECT_THROW((void)tree.pack({1.0}, {1.0, 1.0, 1.0}, bw, bh),
+               std::invalid_argument);
+}
+
+TEST(BTree, RandomTreesPackWithoutOverlap) {
+  Rng rng(5);
+  for (int trial = 0; trial < 20; ++trial) {
+    BTree tree(12, rng);
+    ASSERT_TRUE(tree.valid());
+    const auto w = random_extents(12, rng, 5.0, 50.0);
+    const auto h = random_extents(12, rng, 5.0, 50.0);
+    double bw = 0, bh = 0;
+    const auto blocks = tree.pack(w, h, bw, bh);
+    EXPECT_TRUE(no_overlaps(blocks)) << "trial " << trial;
+    // Every block inside the bounding box; area lower bound respected.
+    double module_area = 0.0;
+    for (const auto& b : blocks) {
+      EXPECT_GE(b.shape.x, 0.0);
+      EXPECT_GE(b.shape.y, 0.0);
+      EXPECT_LE(b.shape.right(), bw + 1e-9);
+      EXPECT_LE(b.shape.top(), bh + 1e-9);
+      module_area += b.shape.area();
+    }
+    EXPECT_GE(bw * bh, module_area - 1e-9);
+  }
+}
+
+TEST(BTree, MovesPreserveValidityAndPackability) {
+  Rng rng(7);
+  BTree tree(16, rng);
+  const auto w = random_extents(16, rng, 5.0, 40.0);
+  const auto h = random_extents(16, rng, 5.0, 40.0);
+  for (int k = 0; k < 500; ++k) {
+    if (rng.bernoulli(0.5))
+      tree.swap_random(rng);
+    else
+      tree.move_random(rng);
+    ASSERT_TRUE(tree.valid()) << "after move " << k;
+  }
+  double bw = 0, bh = 0;
+  const auto blocks = tree.pack(w, h, bw, bh);
+  EXPECT_TRUE(no_overlaps(blocks));
+}
+
+TEST(BTree, PackIsDeterministic) {
+  Rng rng(9);
+  BTree tree(10, rng);
+  const auto w = random_extents(10, rng, 5.0, 30.0);
+  const auto h = random_extents(10, rng, 5.0, 30.0);
+  double bw1 = 0, bh1 = 0, bw2 = 0, bh2 = 0;
+  const auto a = tree.pack(w, h, bw1, bh1);
+  const auto b = tree.pack(w, h, bw2, bh2);
+  EXPECT_DOUBLE_EQ(bw1, bw2);
+  for (std::size_t i = 0; i < a.size(); ++i) {
+    EXPECT_DOUBLE_EQ(a[i].shape.x, b[i].shape.x);
+    EXPECT_DOUBLE_EQ(a[i].shape.y, b[i].shape.y);
+  }
+}
+
+TEST(BTree, OptimizeReducesDeadSpace) {
+  Rng rng(11);
+  BTree tree(20, rng);
+  const auto w = random_extents(20, rng, 5.0, 50.0);
+  const auto h = random_extents(20, rng, 5.0, 50.0);
+  double bw = 0, bh = 0;
+  (void)tree.pack(w, h, bw, bh);
+  const double initial_area = bw * bh;
+  const auto quality = optimize_btree(tree, w, h, 2000, rng);
+  EXPECT_LE(quality.bbox_area, initial_area);
+  EXPECT_GE(quality.dead_space(), 0.0);
+  EXPECT_LT(quality.dead_space(), 0.5);
+  // The returned tree is the best one found.
+  (void)tree.pack(w, h, bw, bh);
+  EXPECT_NEAR(bw * bh, quality.bbox_area, 1e-9);
+}
+
+class BTreeSizeSweep : public ::testing::TestWithParam<std::size_t> {};
+
+TEST_P(BTreeSizeSweep, AdmissibleAcrossSizes) {
+  Rng rng(GetParam());
+  BTree tree(GetParam(), rng);
+  const auto w = random_extents(GetParam(), rng, 1.0, 100.0);
+  const auto h = random_extents(GetParam(), rng, 1.0, 100.0);
+  double bw = 0, bh = 0;
+  const auto blocks = tree.pack(w, h, bw, bh);
+  EXPECT_TRUE(no_overlaps(blocks));
+  EXPECT_TRUE(tree.valid());
+}
+
+INSTANTIATE_TEST_SUITE_P(Sizes, BTreeSizeSweep,
+                         ::testing::Values(1, 2, 3, 5, 8, 16, 40, 100));
+
+}  // namespace
+}  // namespace tsc3d::floorplan

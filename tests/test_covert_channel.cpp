@@ -1,0 +1,139 @@
+// Tests for the thermal covert channel (attack/covert_channel.hpp).
+#include "attack/covert_channel.hpp"
+
+#include <gtest/gtest.h>
+
+namespace tsc3d::attack {
+namespace {
+
+/// One strong sender module plus a quiet background module per die.
+Floorplan3D channel_design() {
+  TechnologyConfig tech;
+  tech.die_width_um = tech.die_height_um = 2000.0;
+  Floorplan3D fp(tech);
+  Module sender;
+  sender.name = "sender";
+  sender.shape = {400.0, 400.0, 800.0, 800.0};
+  sender.area_um2 = sender.shape.area();
+  sender.power_w = 2.0;
+  sender.die = 0;
+  fp.modules().push_back(sender);
+  Module quiet;
+  quiet.name = "quiet";
+  quiet.shape = {1400.0, 1400.0, 400.0, 400.0};
+  quiet.area_um2 = quiet.shape.area();
+  quiet.power_w = 0.2;
+  quiet.die = 1;
+  fp.modules().push_back(quiet);
+  return fp;
+}
+
+thermal::GridSolver small_solver(const Floorplan3D& fp) {
+  ThermalConfig cfg;
+  cfg.grid_nx = cfg.grid_ny = 12;
+  return {fp.tech(), cfg};
+}
+
+TEST(BinaryEntropy, KnownValues) {
+  EXPECT_DOUBLE_EQ(binary_entropy(0.0), 0.0);
+  EXPECT_DOUBLE_EQ(binary_entropy(1.0), 0.0);
+  EXPECT_DOUBLE_EQ(binary_entropy(0.5), 1.0);
+  EXPECT_NEAR(binary_entropy(0.11), 0.4999, 5e-4);  // H2(0.11) ~ 0.5
+}
+
+TEST(BinaryEntropy, ClampsOutOfRange) {
+  EXPECT_DOUBLE_EQ(binary_entropy(-0.3), 0.0);
+  EXPECT_DOUBLE_EQ(binary_entropy(1.7), 0.0);
+}
+
+TEST(CovertChannel, SlowChannelDecodesReliably) {
+  // At a generous bit period the thermal response settles per symbol and
+  // the receiver must decode essentially error-free.
+  const auto fp = channel_design();
+  const auto solver = small_solver(fp);
+  Rng rng(42);
+  CovertChannelOptions opt;
+  opt.bits = 24;
+  opt.bit_period_s = 0.5;
+  opt.dt_s = 0.025;
+  opt.power_boost = 3.0;
+  const auto result = run_covert_channel(fp, solver, 0, rng, opt);
+  EXPECT_GT(result.bits_sent, 5u);
+  EXPECT_LT(result.bit_error_rate, 0.15);
+  EXPECT_GT(result.signal_swing_k, 0.0);
+}
+
+TEST(CovertChannel, CapacityReflectsBitPeriod) {
+  // An error-free slow channel still has low capacity: rate is bounded
+  // by 1/(2*T_bit).
+  const auto fp = channel_design();
+  const auto solver = small_solver(fp);
+  Rng rng(43);
+  CovertChannelOptions opt;
+  opt.bits = 16;
+  opt.bit_period_s = 0.5;
+  opt.dt_s = 0.025;
+  opt.power_boost = 3.0;
+  const auto result = run_covert_channel(fp, solver, 0, rng, opt);
+  EXPECT_LE(result.capacity_bps, 1.0 / (2.0 * opt.bit_period_s) + 1e-9);
+}
+
+TEST(CovertChannel, TooFastChannelDegrades) {
+  // Pushing the symbol rate far above the thermal bandwidth must cost
+  // accuracy or swing: the low-pass behaviour of Fig. 1.
+  const auto fp = channel_design();
+  const auto solver = small_solver(fp);
+  Rng rng(44);
+  CovertChannelOptions slow, fast;
+  slow.bits = fast.bits = 24;
+  slow.power_boost = fast.power_boost = 3.0;
+  slow.bit_period_s = 0.5;
+  slow.dt_s = 0.025;
+  fast.bit_period_s = 0.004;
+  fast.dt_s = 0.001;
+  const auto r_slow = run_covert_channel(fp, solver, 0, rng, slow);
+  const auto r_fast = run_covert_channel(fp, solver, 0, rng, fast);
+  EXPECT_LT(r_fast.signal_swing_k, r_slow.signal_swing_k);
+}
+
+TEST(CovertChannel, InvalidArgumentsThrow) {
+  const auto fp = channel_design();
+  const auto solver = small_solver(fp);
+  Rng rng(45);
+  EXPECT_THROW((void)run_covert_channel(fp, solver, 99, rng),
+               std::invalid_argument);
+  CovertChannelOptions bad;
+  bad.bits = 0;
+  EXPECT_THROW((void)run_covert_channel(fp, solver, 0, rng, bad),
+               std::invalid_argument);
+  bad = {};
+  bad.dt_s = 1.0;
+  bad.bit_period_s = 0.1;
+  EXPECT_THROW((void)run_covert_channel(fp, solver, 0, rng, bad),
+               std::invalid_argument);
+}
+
+TEST(CovertChannel, SweepReturnsOneResultPerPeriod) {
+  const auto fp = channel_design();
+  const auto solver = small_solver(fp);
+  Rng rng(46);
+  CovertChannelOptions opt;
+  opt.bits = 8;
+  opt.dt_s = 0.02;
+  const std::vector<double> periods{0.2, 0.4};
+  const auto results =
+      sweep_covert_channel(fp, solver, 0, periods, rng, opt);
+  ASSERT_EQ(results.size(), 2u);
+  for (const auto& r : results) EXPECT_GE(r.bits_sent, 1u);
+}
+
+TEST(CovertChannel, SweepRejectsEmptyPeriods) {
+  const auto fp = channel_design();
+  const auto solver = small_solver(fp);
+  Rng rng(47);
+  EXPECT_THROW((void)sweep_covert_channel(fp, solver, 0, {}, rng),
+               std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace tsc3d::attack

@@ -1,0 +1,232 @@
+// Tests for runtime thermal management (mitigation/dtm.hpp): the scalar
+// Kalman filter of [14] and the closed-loop throttling controller.
+#include "mitigation/dtm.hpp"
+
+#include <cmath>
+#include <gtest/gtest.h>
+
+namespace tsc3d::mitigation {
+namespace {
+
+TEST(ScalarKalman, ConvergesToConstantSignal) {
+  ScalarKalman kf(300.0, 0.0, 1.0);
+  Rng rng(3);
+  for (int i = 0; i < 200; ++i) {
+    kf.predict();
+    kf.update(310.0 + rng.gaussian(0.0, 1.0));
+  }
+  EXPECT_NEAR(kf.state_k(), 310.0, 0.5);
+  // With zero process noise the variance must collapse.
+  EXPECT_LT(kf.variance(), 0.1);
+}
+
+TEST(ScalarKalman, TracksARamp) {
+  ScalarKalman kf(300.0, 0.5, 0.25);
+  double truth = 300.0;
+  Rng rng(4);
+  for (int i = 0; i < 300; ++i) {
+    truth += 0.05;
+    kf.predict();
+    kf.update(truth + rng.gaussian(0.0, 0.5));
+  }
+  EXPECT_NEAR(kf.state_k(), truth, 1.0);
+}
+
+TEST(ScalarKalman, FiltersNoiseBelowRawReadings) {
+  // The estimator's RMSE must beat the raw sensor's over a noisy
+  // constant signal.
+  Rng rng(5);
+  ScalarKalman kf(305.0, 0.01, 4.0);
+  double kf_se = 0.0, raw_se = 0.0;
+  const int n = 500;
+  for (int i = 0; i < n; ++i) {
+    const double reading = 305.0 + rng.gaussian(0.0, 2.0);
+    kf.predict();
+    kf.update(reading);
+    kf_se += (kf.state_k() - 305.0) * (kf.state_k() - 305.0);
+    raw_se += (reading - 305.0) * (reading - 305.0);
+  }
+  EXPECT_LT(std::sqrt(kf_se / n), std::sqrt(raw_se / n));
+}
+
+TEST(ScalarKalman, ExactSensorIsAdoptedOutright) {
+  ScalarKalman kf(300.0, 0.1, 0.0);
+  kf.predict();
+  kf.update(333.0);
+  EXPECT_DOUBLE_EQ(kf.state_k(), 333.0);
+  EXPECT_DOUBLE_EQ(kf.variance(), 0.0);
+}
+
+TEST(ScalarKalman, NegativeVarianceThrows) {
+  EXPECT_THROW(ScalarKalman(300.0, -1.0, 1.0), std::invalid_argument);
+  EXPECT_THROW(ScalarKalman(300.0, 1.0, -1.0), std::invalid_argument);
+}
+
+TEST(RampKalman, TracksARampWithoutLag) {
+  // The constant-velocity model must track a ramp with zero steady-state
+  // lag -- the property the random-walk filter lacks.
+  RampKalman kf(300.0, 0.01, 0.01, 1.0);
+  double truth = 300.0;
+  Rng rng(6);
+  // Average the tail: the instantaneous slope estimate fluctuates with
+  // the read noise, its mean must sit on the true slope.
+  double slope_acc = 0.0;
+  int slope_n = 0;
+  for (int i = 0; i < 1200; ++i) {
+    truth += 0.2;
+    kf.predict();
+    kf.update(truth + rng.gaussian(0.0, 1.0));
+    if (i >= 600) {
+      slope_acc += kf.slope_k_per_period();
+      ++slope_n;
+    }
+  }
+  EXPECT_NEAR(kf.state_k(), truth, 1.0);
+  EXPECT_NEAR(slope_acc / slope_n, 0.2, 0.05);
+}
+
+TEST(RampKalman, ExtrapolationUsesTheSlope) {
+  RampKalman kf(300.0, 0.01, 0.01, 0.5);
+  double truth = 300.0;
+  Rng rng(7);
+  for (int i = 0; i < 300; ++i) {
+    truth += 0.1;
+    kf.predict();
+    kf.update(truth + rng.gaussian(0.0, 0.5));
+  }
+  EXPECT_NEAR(kf.extrapolate(10.0), truth + 1.0, 1.0);
+}
+
+TEST(RampKalman, ExactSensorAdoptsReading) {
+  RampKalman kf(300.0, 0.1, 0.1, 0.0);
+  kf.predict();
+  kf.update(310.0);
+  EXPECT_DOUBLE_EQ(kf.state_k(), 310.0);
+}
+
+TEST(RampKalman, NegativeVarianceThrows) {
+  EXPECT_THROW(RampKalman(300.0, -1.0, 1.0, 1.0), std::invalid_argument);
+  EXPECT_THROW(RampKalman(300.0, 1.0, -1.0, 1.0), std::invalid_argument);
+  EXPECT_THROW(RampKalman(300.0, 1.0, 1.0, -1.0), std::invalid_argument);
+}
+
+/// A hot design that will cross a conservative trigger quickly.
+Floorplan3D hot_design() {
+  TechnologyConfig tech;
+  tech.die_width_um = tech.die_height_um = 2000.0;
+  Floorplan3D fp(tech);
+  for (int i = 0; i < 3; ++i) {
+    Module m;
+    m.name = "m" + std::to_string(i);
+    m.shape = {200.0 + 600.0 * i, 400.0, 500.0, 1000.0};
+    m.area_um2 = m.shape.area();
+    m.power_w = i == 0 ? 4.0 : 1.0;  // m0 is the hotspot
+    m.die = static_cast<std::size_t>(i % 2);
+    fp.modules().push_back(m);
+  }
+  return fp;
+}
+
+thermal::GridSolver small_solver(const Floorplan3D& fp) {
+  ThermalConfig cfg;
+  cfg.grid_nx = cfg.grid_ny = 12;
+  return {fp.tech(), cfg};
+}
+
+TEST(Dtm, ThrottlingLimitsPeakTemperature) {
+  const auto fp = hot_design();
+  const auto solver = small_solver(fp);
+  DtmOptions off;
+  off.trigger_k = 1e6;  // never throttle
+  off.release_k = 1e6 - 1.0;
+  DtmOptions on;
+  on.trigger_k = 320.0;
+  on.release_k = 318.0;
+  on.throttle_scale = 0.4;
+  on.throttled_fraction = 0.5;
+  Rng rng_a(7), rng_b(7);
+  const auto uncontrolled = run_dtm(fp, solver, 1.0, 0.01, rng_a, off);
+  const auto controlled = run_dtm(fp, solver, 1.0, 0.01, rng_b, on);
+  EXPECT_LT(controlled.peak_k, uncontrolled.peak_k);
+  EXPECT_GT(controlled.throttled_time_s, 0.0);
+  EXPECT_GT(controlled.performance_loss, 0.0);
+  EXPECT_DOUBLE_EQ(uncontrolled.performance_loss, 0.0);
+}
+
+TEST(Dtm, KalmanBeatsRawSensorOnEstimateRmse) {
+  // Run long enough that the saturating heating transient (where any
+  // level+slope model pays a curvature penalty) does not dominate the
+  // steady phase the filter denoises.
+  const auto fp = hot_design();
+  const auto solver = small_solver(fp);
+  DtmOptions raw;
+  raw.use_kalman = false;
+  raw.sensor_noise_k = 1.5;
+  raw.trigger_k = 1e6;
+  raw.release_k = 1e6 - 1.0;
+  raw.control_period_s = 0.02;
+  DtmOptions kalman = raw;
+  kalman.use_kalman = true;
+  // Slope process noise scales with the square of the control period
+  // (the slope state is per-period); 0.02 s periods need a larger value
+  // than the 0.01 s default assumes.
+  kalman.kalman_slope_var = 2.0;
+  Rng rng_a(11), rng_b(11);
+  const auto r_raw = run_dtm(fp, solver, 4.0, 0.02, rng_a, raw);
+  const auto r_kf = run_dtm(fp, solver, 4.0, 0.02, rng_b, kalman);
+  EXPECT_LT(r_kf.estimate_rmse_k, r_raw.estimate_rmse_k);
+}
+
+TEST(Dtm, ProactiveControllerActsEarlier) {
+  // With lookahead the controller throttles before the trigger is truly
+  // crossed, cutting the time spent above it.
+  const auto fp = hot_design();
+  const auto solver = small_solver(fp);
+  DtmOptions reactive;
+  reactive.trigger_k = 316.0;
+  reactive.release_k = 314.0;
+  reactive.lookahead_periods = 0.0;
+  reactive.sensor_noise_k = 0.05;
+  DtmOptions proactive = reactive;
+  proactive.lookahead_periods = 3.0;
+  Rng rng_a(13), rng_b(13);
+  const auto r_re = run_dtm(fp, solver, 1.0, 0.01, rng_a, reactive);
+  const auto r_pro = run_dtm(fp, solver, 1.0, 0.01, rng_b, proactive);
+  EXPECT_LE(r_pro.time_over_trigger_s, r_re.time_over_trigger_s + 1e-9);
+}
+
+TEST(Dtm, HysteresisBoundsControlActions) {
+  const auto fp = hot_design();
+  const auto solver = small_solver(fp);
+  DtmOptions opt;
+  opt.trigger_k = 316.0;
+  opt.release_k = 310.0;  // wide hysteresis band
+  opt.sensor_noise_k = 0.1;
+  Rng rng(17);
+  const auto result = run_dtm(fp, solver, 1.0, 0.01, rng, opt);
+  // With a wide band the controller cannot chatter every period.
+  EXPECT_LT(result.control_actions, 20u);
+}
+
+TEST(Dtm, InvalidOptionsThrow) {
+  const auto fp = hot_design();
+  const auto solver = small_solver(fp);
+  Rng rng(19);
+  EXPECT_THROW((void)run_dtm(fp, solver, 0.0, 0.01, rng),
+               std::invalid_argument);
+  DtmOptions bad;
+  bad.control_period_s = 0.001;
+  EXPECT_THROW((void)run_dtm(fp, solver, 1.0, 0.01, rng, bad),
+               std::invalid_argument);
+  bad = {};
+  bad.throttle_scale = 0.0;
+  EXPECT_THROW((void)run_dtm(fp, solver, 1.0, 0.01, rng, bad),
+               std::invalid_argument);
+  bad = {};
+  bad.release_k = bad.trigger_k + 1.0;
+  EXPECT_THROW((void)run_dtm(fp, solver, 1.0, 0.01, rng, bad),
+               std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace tsc3d::mitigation

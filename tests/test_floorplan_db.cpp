@@ -1,0 +1,201 @@
+#include "core/floorplan.hpp"
+
+#include <gtest/gtest.h>
+
+namespace tsc3d {
+namespace {
+
+TechnologyConfig small_tech() {
+  TechnologyConfig t;
+  t.die_width_um = 1000.0;
+  t.die_height_um = 1000.0;
+  return t;
+}
+
+Module make_module(std::string name, Rect shape, double power,
+                   std::size_t die) {
+  Module m;
+  m.name = std::move(name);
+  m.shape = shape;
+  m.area_um2 = shape.area();
+  m.power_w = power;
+  m.die = die;
+  return m;
+}
+
+TEST(FloorplanDB, PowerMapIntegratesToTotalPower) {
+  Floorplan3D fp(small_tech());
+  fp.modules().push_back(make_module("a", {100, 100, 200, 200}, 1.5, 0));
+  fp.modules().push_back(make_module("b", {500, 500, 300, 100}, 2.5, 0));
+  fp.modules().push_back(make_module("c", {0, 0, 400, 400}, 4.0, 1));
+  const GridD p0 = fp.power_map(0, 16, 16);
+  const GridD p1 = fp.power_map(1, 16, 16);
+  EXPECT_NEAR(p0.sum(), 4.0, 1e-9);
+  EXPECT_NEAR(p1.sum(), 4.0, 1e-9);
+}
+
+TEST(FloorplanDB, PowerMapConservedAcrossResolutions) {
+  Floorplan3D fp(small_tech());
+  fp.modules().push_back(make_module("a", {123, 241, 333, 137}, 3.3, 0));
+  for (const std::size_t g : {8u, 16u, 32u, 64u, 128u}) {
+    EXPECT_NEAR(fp.power_map(0, g, g).sum(), 3.3, 1e-9)
+        << "grid " << g;
+  }
+}
+
+TEST(FloorplanDB, PowerMapUsesOverrideVector) {
+  Floorplan3D fp(small_tech());
+  fp.modules().push_back(make_module("a", {0, 0, 100, 100}, 1.0, 0));
+  const std::vector<double> boost{5.0};
+  EXPECT_NEAR(fp.power_map(0, 8, 8, &boost).sum(), 5.0, 1e-9);
+}
+
+TEST(FloorplanDB, EffectivePowerScalesWithVoltage) {
+  Floorplan3D fp(small_tech());
+  fp.modules().push_back(make_module("a", {0, 0, 100, 100}, 1.0, 0));
+  fp.modules()[0].voltage_index = 0;  // 0.8 V
+  EXPECT_NEAR(fp.effective_power(0), 0.817, 1e-12);
+  fp.modules()[0].voltage_index = 2;  // 1.2 V
+  EXPECT_NEAR(fp.effective_power(0), 1.496, 1e-12);
+  fp.modules()[0].voltage_index = 1;  // 1.0 V
+  EXPECT_NEAR(fp.effective_power(0), 1.0, 1e-12);
+}
+
+TEST(FloorplanDB, UtilizationPerDie) {
+  Floorplan3D fp(small_tech());
+  fp.modules().push_back(make_module("a", {0, 0, 500, 500}, 1.0, 0));
+  fp.modules().push_back(make_module("b", {0, 0, 500, 200}, 1.0, 1));
+  EXPECT_NEAR(fp.utilization(0), 0.25, 1e-12);
+  EXPECT_NEAR(fp.utilization(1), 0.10, 1e-12);
+}
+
+TEST(FloorplanDB, TsvDensityIntegratesToIslandArea) {
+  Floorplan3D fp(small_tech());
+  Tsv t;
+  t.position = {500.0, 500.0};
+  t.count = 4;
+  fp.tsvs().push_back(t);
+  const GridD d = fp.tsv_density_map(20, 20);
+  const double bin_area = (1000.0 / 20) * (1000.0 / 20);
+  const double covered = d.sum() * bin_area;
+  const Rect island = fp.tsv_island_rect(t);
+  EXPECT_NEAR(covered, island.area(), 1e-6);
+}
+
+TEST(FloorplanDB, TsvDensityClampedToOne) {
+  Floorplan3D fp(small_tech());
+  Tsv t;
+  t.position = {500.0, 500.0};
+  t.count = 10000;  // gigantic island
+  fp.tsvs().push_back(t);
+  const GridD d = fp.tsv_density_map(10, 10);
+  for (const double v : d) EXPECT_LE(v, 1.0);
+}
+
+TEST(FloorplanDB, TsvCountByKind) {
+  Floorplan3D fp(small_tech());
+  Tsv s;
+  s.count = 3;
+  s.kind = TsvKind::signal;
+  Tsv d;
+  d.count = 16;
+  d.kind = TsvKind::dummy;
+  fp.tsvs().push_back(s);
+  fp.tsvs().push_back(d);
+  EXPECT_EQ(fp.tsv_count(TsvKind::signal), 3u);
+  EXPECT_EQ(fp.tsv_count(TsvKind::dummy), 16u);
+}
+
+TEST(FloorplanDB, DummyTsvsExcludableFromDensity) {
+  Floorplan3D fp(small_tech());
+  Tsv d;
+  d.position = {500.0, 500.0};
+  d.count = 9;
+  d.kind = TsvKind::dummy;
+  fp.tsvs().push_back(d);
+  EXPECT_GT(fp.tsv_density_map(10, 10, true).sum(), 0.0);
+  EXPECT_DOUBLE_EQ(fp.tsv_density_map(10, 10, false).sum(), 0.0);
+}
+
+TEST(FloorplanDB, HpwlTwoPinNet) {
+  Floorplan3D fp(small_tech());
+  fp.modules().push_back(make_module("a", {0, 0, 100, 100}, 1, 0));
+  fp.modules().push_back(make_module("b", {300, 400, 100, 100}, 1, 0));
+  Net n;
+  n.pins.push_back({0, kInvalidIndex});
+  n.pins.push_back({1, kInvalidIndex});
+  fp.nets().push_back(n);
+  // centers (50,50) and (350,450): HPWL = 300 + 400.
+  EXPECT_NEAR(fp.hpwl(), 700.0, 1e-9);
+}
+
+TEST(FloorplanDB, HpwlIncludesTerminalsAndWeights) {
+  Floorplan3D fp(small_tech());
+  fp.modules().push_back(make_module("a", {0, 0, 100, 100}, 1, 0));
+  Terminal t;
+  t.position = {1000.0, 50.0};
+  fp.terminals().push_back(t);
+  Net n;
+  n.weight = 2.0;
+  n.pins.push_back({0, kInvalidIndex});
+  NetPin tp;
+  tp.terminal = 0;
+  n.pins.push_back(tp);
+  fp.nets().push_back(n);
+  EXPECT_NEAR(fp.hpwl(), 2.0 * (950.0 + 0.0), 1e-9);
+}
+
+TEST(FloorplanDB, SinglePinNetContributesNothing) {
+  Floorplan3D fp(small_tech());
+  fp.modules().push_back(make_module("a", {0, 0, 100, 100}, 1, 0));
+  Net n;
+  n.pins.push_back({0, kInvalidIndex});
+  fp.nets().push_back(n);
+  EXPECT_DOUBLE_EQ(fp.hpwl(), 0.0);
+}
+
+TEST(FloorplanDB, LegalityDetectsOverlap) {
+  Floorplan3D fp(small_tech());
+  fp.modules().push_back(make_module("a", {0, 0, 100, 100}, 1, 0));
+  fp.modules().push_back(make_module("b", {50, 50, 100, 100}, 1, 0));
+  const LegalityReport rep = fp.check_legality();
+  EXPECT_FALSE(rep.legal);
+  EXPECT_EQ(rep.overlap_count, 1u);
+  EXPECT_NEAR(rep.overlap_area_um2, 2500.0, 1e-9);
+}
+
+TEST(FloorplanDB, LegalityIgnoresCrossDieOverlap) {
+  Floorplan3D fp(small_tech());
+  fp.modules().push_back(make_module("a", {0, 0, 100, 100}, 1, 0));
+  fp.modules().push_back(make_module("b", {0, 0, 100, 100}, 1, 1));
+  EXPECT_TRUE(fp.check_legality().legal);
+}
+
+TEST(FloorplanDB, LegalityDetectsOutlineViolation) {
+  Floorplan3D fp(small_tech());
+  fp.modules().push_back(make_module("a", {950, 0, 100, 100}, 1, 0));
+  const LegalityReport rep = fp.check_legality();
+  EXPECT_FALSE(rep.legal);
+  EXPECT_EQ(rep.outline_violations, 1u);
+  EXPECT_NEAR(rep.outline_excess_um2, 5000.0, 1e-9);
+}
+
+TEST(FloorplanDB, ModulesOnDie) {
+  Floorplan3D fp(small_tech());
+  fp.modules().push_back(make_module("a", {0, 0, 1, 1}, 1, 0));
+  fp.modules().push_back(make_module("b", {0, 0, 1, 1}, 1, 1));
+  fp.modules().push_back(make_module("c", {0, 0, 1, 1}, 1, 0));
+  const auto on0 = fp.modules_on_die(0);
+  ASSERT_EQ(on0.size(), 2u);
+  EXPECT_EQ(on0[0], 0u);
+  EXPECT_EQ(on0[1], 2u);
+}
+
+TEST(FloorplanDB, InvalidTechThrows) {
+  TechnologyConfig t;
+  t.die_width_um = -5.0;
+  EXPECT_THROW(Floorplan3D{t}, std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace tsc3d

@@ -1,0 +1,99 @@
+#include "core/geometry.hpp"
+
+#include <gtest/gtest.h>
+
+#include <tuple>
+
+namespace tsc3d {
+namespace {
+
+TEST(Geometry, RectBasics) {
+  const Rect r{10.0, 20.0, 30.0, 40.0};
+  EXPECT_DOUBLE_EQ(r.area(), 1200.0);
+  EXPECT_DOUBLE_EQ(r.right(), 40.0);
+  EXPECT_DOUBLE_EQ(r.top(), 60.0);
+  EXPECT_DOUBLE_EQ(r.center().x, 25.0);
+  EXPECT_DOUBLE_EQ(r.center().y, 40.0);
+  EXPECT_DOUBLE_EQ(r.aspect_ratio(), 0.75);
+}
+
+TEST(Geometry, DegenerateRectHasZeroArea) {
+  EXPECT_DOUBLE_EQ((Rect{0, 0, 0, 10}.area()), 0.0);
+  EXPECT_DOUBLE_EQ((Rect{0, 0, 10, 0}.area()), 0.0);
+}
+
+TEST(Geometry, ContainsPoint) {
+  const Rect r{0.0, 0.0, 10.0, 10.0};
+  EXPECT_TRUE(r.contains(Point{5.0, 5.0}));
+  EXPECT_TRUE(r.contains(Point{0.0, 0.0}));    // closed boundary
+  EXPECT_TRUE(r.contains(Point{10.0, 10.0}));
+  EXPECT_FALSE(r.contains(Point{10.001, 5.0}));
+  EXPECT_FALSE(r.contains(Point{-0.001, 5.0}));
+}
+
+TEST(Geometry, ContainsRect) {
+  const Rect outer{0.0, 0.0, 100.0, 100.0};
+  EXPECT_TRUE(outer.contains(Rect{10.0, 10.0, 20.0, 20.0}));
+  EXPECT_TRUE(outer.contains(outer));
+  EXPECT_FALSE(outer.contains(Rect{90.0, 90.0, 20.0, 20.0}));
+  EXPECT_FALSE(outer.contains(Rect{-1.0, 0.0, 5.0, 5.0}));
+}
+
+TEST(Geometry, AbuttingRectsDoNotOverlap) {
+  const Rect a{0.0, 0.0, 10.0, 10.0};
+  const Rect b{10.0, 0.0, 10.0, 10.0};  // shares the x=10 edge
+  EXPECT_FALSE(a.overlaps(b));
+  EXPECT_FALSE(b.overlaps(a));
+  EXPECT_DOUBLE_EQ(overlap_area(a, b), 0.0);
+}
+
+TEST(Geometry, OverlapAreaIsCorrect) {
+  const Rect a{0.0, 0.0, 10.0, 10.0};
+  const Rect b{5.0, 5.0, 10.0, 10.0};
+  EXPECT_DOUBLE_EQ(overlap_area(a, b), 25.0);
+  const Rect i = intersection(a, b);
+  EXPECT_EQ(i, (Rect{5.0, 5.0, 5.0, 5.0}));
+}
+
+TEST(Geometry, BoundingBox) {
+  const Rect a{0.0, 0.0, 1.0, 1.0};
+  const Rect b{5.0, 7.0, 2.0, 3.0};
+  const Rect bb = bounding_box(a, b);
+  EXPECT_EQ(bb, (Rect{0.0, 0.0, 7.0, 10.0}));
+}
+
+TEST(Geometry, Distances) {
+  const Point a{0.0, 0.0};
+  const Point b{3.0, 4.0};
+  EXPECT_DOUBLE_EQ(euclidean(a, b), 5.0);
+  EXPECT_DOUBLE_EQ(manhattan(a, b), 7.0);
+}
+
+// Property sweep: overlap is symmetric and overlap area never exceeds
+// either rectangle's own area.
+class OverlapProperty
+    : public ::testing::TestWithParam<std::tuple<double, double, double>> {};
+
+TEST_P(OverlapProperty, SymmetricAndBounded) {
+  const auto [dx, dy, scale] = GetParam();
+  const Rect a{0.0, 0.0, 10.0, 8.0};
+  const Rect b{dx, dy, 10.0 * scale, 8.0 * scale};
+  EXPECT_EQ(a.overlaps(b), b.overlaps(a));
+  const double ov = overlap_area(a, b);
+  EXPECT_DOUBLE_EQ(ov, overlap_area(b, a));
+  EXPECT_LE(ov, a.area() + 1e-12);
+  EXPECT_LE(ov, b.area() + 1e-12);
+  EXPECT_GE(ov, 0.0);
+  // Consistency: positive overlap area iff overlaps() is true.
+  EXPECT_EQ(ov > 0.0, a.overlaps(b));
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Offsets, OverlapProperty,
+    ::testing::Combine(::testing::Values(-12.0, -5.0, 0.0, 5.0, 9.999, 10.0,
+                                         15.0),
+                       ::testing::Values(-9.0, 0.0, 4.0, 8.0, 12.0),
+                       ::testing::Values(0.5, 1.0, 2.0)));
+
+}  // namespace
+}  // namespace tsc3d

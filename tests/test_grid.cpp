@@ -1,0 +1,109 @@
+#include "core/grid.hpp"
+
+#include <gtest/gtest.h>
+
+namespace tsc3d {
+namespace {
+
+TEST(Grid2D, ConstructionAndAccess) {
+  Grid2D<double> g(4, 3, 1.5);
+  EXPECT_EQ(g.nx(), 4u);
+  EXPECT_EQ(g.ny(), 3u);
+  EXPECT_EQ(g.size(), 12u);
+  EXPECT_DOUBLE_EQ(g.at(0, 0), 1.5);
+  g.at(2, 1) = 7.0;
+  EXPECT_DOUBLE_EQ(g.at(2, 1), 7.0);
+  // Row-major flat indexing: (ix, iy) -> iy * nx + ix.
+  EXPECT_DOUBLE_EQ(g[1 * 4 + 2], 7.0);
+}
+
+TEST(Grid2D, ZeroDimensionThrows) {
+  EXPECT_THROW(Grid2D<double>(0, 4), std::invalid_argument);
+  EXPECT_THROW(Grid2D<double>(4, 0), std::invalid_argument);
+}
+
+TEST(Grid2D, Statistics) {
+  GridD g(2, 2, 0.0);
+  g.at(0, 0) = 1.0;
+  g.at(1, 0) = 2.0;
+  g.at(0, 1) = 3.0;
+  g.at(1, 1) = 4.0;
+  EXPECT_DOUBLE_EQ(g.min(), 1.0);
+  EXPECT_DOUBLE_EQ(g.max(), 4.0);
+  EXPECT_DOUBLE_EQ(g.sum(), 10.0);
+  EXPECT_DOUBLE_EQ(g.mean(), 2.5);
+}
+
+TEST(Grid2D, Arithmetic) {
+  GridD a(2, 2, 1.0);
+  GridD b(2, 2, 2.0);
+  a += b;
+  EXPECT_DOUBLE_EQ(a.at(1, 1), 3.0);
+  a -= b;
+  EXPECT_DOUBLE_EQ(a.at(0, 0), 1.0);
+  a *= 4.0;
+  EXPECT_DOUBLE_EQ(a.at(0, 1), 4.0);
+}
+
+TEST(Grid2D, DimensionMismatchThrows) {
+  GridD a(2, 2);
+  GridD b(3, 2);
+  EXPECT_THROW(a += b, std::invalid_argument);
+  EXPECT_THROW(a -= b, std::invalid_argument);
+}
+
+TEST(Grid2D, ResamplePreservesConstantField) {
+  GridD src(8, 8, 3.25);
+  const GridD dst = resample(src, 32, 32);
+  EXPECT_EQ(dst.nx(), 32u);
+  for (const double v : dst) EXPECT_NEAR(v, 3.25, 1e-12);
+}
+
+TEST(Grid2D, ResampleIdentity) {
+  GridD src(4, 4);
+  for (std::size_t i = 0; i < src.size(); ++i)
+    src[i] = static_cast<double>(i);
+  const GridD same = resample(src, 4, 4);
+  for (std::size_t i = 0; i < src.size(); ++i)
+    EXPECT_NEAR(same[i], src[i], 1e-12);
+}
+
+TEST(Grid2D, ResampleInterpolatesGradientLinearly) {
+  // A linear ramp in x stays a linear ramp after upsampling (interior).
+  GridD src(4, 1 + 3);  // 4x4
+  for (std::size_t iy = 0; iy < 4; ++iy)
+    for (std::size_t ix = 0; ix < 4; ++ix)
+      src.at(ix, iy) = static_cast<double>(ix);
+  const GridD up = resample(src, 8, 8);
+  for (std::size_t iy = 0; iy < 8; ++iy) {
+    for (std::size_t ix = 1; ix < 7; ++ix) {
+      const double expected =
+          std::clamp((static_cast<double>(ix) + 0.5) / 8.0 * 4.0 - 0.5, 0.0,
+                     3.0);
+      EXPECT_NEAR(up.at(ix, iy), expected, 1e-9);
+    }
+  }
+}
+
+// Property: resampling conserves the mean of a constant-per-half field
+// reasonably (no overshoot beyond the input range).
+class ResampleRange : public ::testing::TestWithParam<std::size_t> {};
+
+TEST_P(ResampleRange, OutputWithinInputRange) {
+  const std::size_t n = GetParam();
+  GridD src(6, 6, 0.0);
+  for (std::size_t iy = 0; iy < 6; ++iy)
+    for (std::size_t ix = 0; ix < 6; ++ix)
+      src.at(ix, iy) = (ix < 3) ? 1.0 : 9.0;
+  const GridD dst = resample(src, n, n);
+  for (const double v : dst) {
+    EXPECT_GE(v, 1.0 - 1e-12);
+    EXPECT_LE(v, 9.0 + 1e-12);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Sizes, ResampleRange,
+                         ::testing::Values(2, 3, 6, 7, 12, 48));
+
+}  // namespace
+}  // namespace tsc3d

@@ -1,0 +1,139 @@
+// Failure-injection tests for the GSRC bookshelf reader: real benchmark
+// files come with warts, so the documented behaviour is "skip what can
+// be skipped, throw on what cannot".
+#include <filesystem>
+#include <fstream>
+#include <gtest/gtest.h>
+
+#include "benchgen/gsrc_io.hpp"
+
+namespace tsc3d::benchgen {
+namespace {
+
+class GsrcFailures : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    dir_ = std::filesystem::temp_directory_path() / "tsc3d_gsrc_failures";
+    std::filesystem::create_directories(dir_);
+  }
+  void TearDown() override { std::filesystem::remove_all(dir_); }
+
+  std::filesystem::path write(const std::string& name,
+                              const std::string& content) {
+    const auto path = dir_ / name;
+    std::ofstream out(path);
+    out << content;
+    return path;
+  }
+
+  TechnologyConfig tech_;
+  std::filesystem::path dir_;
+};
+
+TEST_F(GsrcFailures, EmptyBlocksFileYieldsEmptyFloorplan) {
+  const auto blocks = write("empty.blocks", "");
+  const auto fp = read_bundle(tech_, blocks);
+  EXPECT_TRUE(fp.modules().empty());
+  EXPECT_TRUE(fp.nets().empty());
+}
+
+TEST_F(GsrcFailures, HeaderOnlyBlocksFileYieldsEmptyFloorplan) {
+  const auto blocks = write("hdr.blocks",
+                            "UCSC blocks 1.0\n"
+                            "NumSoftRectangularBlocks : 0\n"
+                            "NumHardRectilinearBlocks : 0\n"
+                            "NumTerminals : 0\n");
+  const auto fp = read_bundle(tech_, blocks);
+  EXPECT_TRUE(fp.modules().empty());
+}
+
+TEST_F(GsrcFailures, UnknownBlockKindIsSkipped) {
+  const auto blocks = write("weird.blocks",
+                            "sb0 softrectangular 10000 0.5 2.0\n"
+                            "sb1 dodecahedral 10000 0.5 2.0\n"
+                            "sb2 softrectangular 20000 0.5 2.0\n");
+  const auto fp = read_bundle(tech_, blocks);
+  EXPECT_EQ(fp.modules().size(), 2u);
+}
+
+TEST_F(GsrcFailures, NetPinsOnUnknownObjectsAreSkipped) {
+  const auto blocks = write("a.blocks",
+                            "sb0 softrectangular 10000 0.5 2.0\n"
+                            "sb1 softrectangular 10000 0.5 2.0\n");
+  const auto nets = write("a.nets",
+                          "NetDegree : 3\n"
+                          "sb0 B\n"
+                          "ghost B\n"
+                          "sb1 B\n");
+  const auto fp = read_bundle(tech_, blocks, nets);
+  ASSERT_EQ(fp.nets().size(), 1u);
+  EXPECT_EQ(fp.nets()[0].pins.size(), 2u);
+}
+
+TEST_F(GsrcFailures, SinglePinNetsAreDropped) {
+  const auto blocks =
+      write("b.blocks", "sb0 softrectangular 10000 0.5 2.0\n");
+  const auto nets = write("b.nets",
+                          "NetDegree : 2\n"
+                          "sb0 B\n"
+                          "ghost B\n");
+  const auto fp = read_bundle(tech_, blocks, nets);
+  EXPECT_TRUE(fp.nets().empty());
+}
+
+TEST_F(GsrcFailures, MalformedNetDegreeThrows) {
+  const auto blocks =
+      write("c.blocks", "sb0 softrectangular 10000 0.5 2.0\n");
+  const auto nets = write("c.nets", "NetDegree : banana\n");
+  EXPECT_ANY_THROW((void)read_bundle(tech_, blocks, nets));
+}
+
+TEST_F(GsrcFailures, PlacementWithoutDieColumnDefaultsToDieZero) {
+  const auto blocks =
+      write("d.blocks", "sb0 softrectangular 10000 0.5 2.0\n");
+  const auto pl = write("d.pl", "sb0 120.5 340.25\n");
+  const auto fp = read_bundle(tech_, blocks, {}, pl);
+  ASSERT_EQ(fp.modules().size(), 1u);
+  EXPECT_DOUBLE_EQ(fp.modules()[0].shape.x, 120.5);
+  EXPECT_DOUBLE_EQ(fp.modules()[0].shape.y, 340.25);
+  EXPECT_EQ(fp.modules()[0].die, 0u);
+}
+
+TEST_F(GsrcFailures, PlacementOfUnknownModuleIsIgnored) {
+  const auto blocks =
+      write("e.blocks", "sb0 softrectangular 10000 0.5 2.0\n");
+  const auto pl = write("e.pl", "nosuch 1 2\nsb0 3 4 1\n");
+  const auto fp = read_bundle(tech_, blocks, {}, pl);
+  ASSERT_EQ(fp.modules().size(), 1u);
+  EXPECT_EQ(fp.modules()[0].die, 1u);
+}
+
+TEST_F(GsrcFailures, PowerSidecarForUnknownModulesIsIgnored) {
+  const auto blocks =
+      write("f.blocks", "sb0 softrectangular 10000 0.5 2.0\n");
+  const auto power = write("f.power", "nosuch 3.5\nsb0 1.25\n");
+  const auto fp = read_bundle(tech_, blocks, {}, {}, power);
+  ASSERT_EQ(fp.modules().size(), 1u);
+  EXPECT_DOUBLE_EQ(fp.modules()[0].power_w, 1.25);
+}
+
+TEST_F(GsrcFailures, MissingNetsFileThrows) {
+  const auto blocks =
+      write("g.blocks", "sb0 softrectangular 10000 0.5 2.0\n");
+  EXPECT_THROW((void)read_bundle(tech_, blocks, dir_ / "absent.nets"),
+               std::runtime_error);
+}
+
+TEST_F(GsrcFailures, CommentsEverywhereAreHarmless) {
+  const auto blocks = write("h.blocks",
+                            "# leading comment\n"
+                            "sb0 softrectangular 10000 0.5 2.0 # trailing\n"
+                            "\n"
+                            "   # indented comment\n"
+                            "sb1 softrectangular 20000 0.5 2.0\n");
+  const auto fp = read_bundle(tech_, blocks);
+  EXPECT_EQ(fp.modules().size(), 2u);
+}
+
+}  // namespace
+}  // namespace tsc3d::benchgen

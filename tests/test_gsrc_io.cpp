@@ -1,0 +1,123 @@
+// Round-trip tests of the GSRC bookshelf file IO.
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <filesystem>
+#include <fstream>
+
+#include "benchgen/generator.hpp"
+#include "benchgen/gsrc_io.hpp"
+
+namespace tsc3d::benchgen {
+namespace {
+
+class GsrcIoTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    // Unique directory per test case: ctest runs suites in parallel.
+    const auto* info =
+        ::testing::UnitTest::GetInstance()->current_test_info();
+    dir_ = std::filesystem::temp_directory_path() /
+           (std::string("tsc3d_gsrc_") + info->name());
+    std::filesystem::create_directories(dir_);
+  }
+  void TearDown() override { std::filesystem::remove_all(dir_); }
+  std::filesystem::path dir_;
+};
+
+TEST_F(GsrcIoTest, BundleRoundTripPreservesStructure) {
+  Floorplan3D original = generate("n100", 11);
+  // Give the modules a placement so .pl carries real data.
+  double x = 0.0;
+  for (Module& m : original.modules()) {
+    m.shape.x = x;
+    m.shape.y = 2.0 * x;
+    x += 10.0;
+  }
+  write_bundle(original, (dir_ / "n100").string());
+
+  const Floorplan3D loaded = read_bundle(
+      original.tech(), dir_ / "n100.blocks", dir_ / "n100.nets",
+      dir_ / "n100.pl", dir_ / "n100.power");
+
+  ASSERT_EQ(loaded.modules().size(), original.modules().size());
+  ASSERT_EQ(loaded.terminals().size(), original.terminals().size());
+  ASSERT_EQ(loaded.nets().size(), original.nets().size());
+  for (std::size_t i = 0; i < original.modules().size(); ++i) {
+    const Module& a = original.modules()[i];
+    const Module& b = loaded.modules()[i];
+    EXPECT_EQ(a.name, b.name);
+    EXPECT_EQ(a.soft, b.soft);
+    EXPECT_NEAR(a.area_um2, b.area_um2, a.area_um2 * 0.05);
+    EXPECT_NEAR(a.power_w, b.power_w, 1e-6);
+    EXPECT_NEAR(a.shape.x, b.shape.x, 1e-6);
+    EXPECT_NEAR(a.shape.y, b.shape.y, 1e-6);
+    EXPECT_EQ(a.die, b.die);
+  }
+  for (std::size_t i = 0; i < original.nets().size(); ++i)
+    EXPECT_EQ(loaded.nets()[i].pins.size(), original.nets()[i].pins.size());
+}
+
+TEST_F(GsrcIoTest, ReadsHandWrittenGsrcFile) {
+  // A minimal hand-authored .blocks file in the canonical GSRC syntax.
+  {
+    std::ofstream out(dir_ / "mini.blocks");
+    out << "UCSC blocks 1.0\n";
+    out << "# hand written\n\n";
+    out << "NumSoftRectangularBlocks : 2\n";
+    out << "NumHardRectilinearBlocks : 1\n";
+    out << "NumTerminals : 1\n\n";
+    out << "sb0 softrectangular 10000 0.5 2.0\n";
+    out << "sb1 softrectangular 20000 0.333 3.0\n";
+    out << "hb0 hardrectilinear 4 (0, 0) (0, 50) (200, 50) (200, 0)\n\n";
+    out << "p0 terminal\n";
+  }
+  {
+    std::ofstream out(dir_ / "mini.nets");
+    out << "UCLA nets 1.0\n\n";
+    out << "NumNets : 2\nNumPins : 5\n";
+    out << "NetDegree : 3\n";
+    out << "sb0 B\nsb1 B\nhb0 B\n";
+    out << "NetDegree : 2\n";
+    out << "sb0 B\np0 B\n";
+  }
+  TechnologyConfig tech;
+  tech.die_width_um = tech.die_height_um = 1000.0;
+  const Floorplan3D fp =
+      read_bundle(tech, dir_ / "mini.blocks", dir_ / "mini.nets");
+  ASSERT_EQ(fp.modules().size(), 3u);
+  ASSERT_EQ(fp.terminals().size(), 1u);
+  ASSERT_EQ(fp.nets().size(), 2u);
+  EXPECT_TRUE(fp.modules()[0].soft);
+  EXPECT_NEAR(fp.modules()[0].area_um2, 10000.0, 1e-9);
+  EXPECT_NEAR(fp.modules()[0].min_aspect, 0.5, 1e-9);
+  EXPECT_FALSE(fp.modules()[2].soft);
+  EXPECT_NEAR(fp.modules()[2].shape.w, 200.0, 1e-9);
+  EXPECT_NEAR(fp.modules()[2].shape.h, 50.0, 1e-9);
+  EXPECT_EQ(fp.nets()[0].pins.size(), 3u);
+  EXPECT_TRUE(fp.nets()[1].pins[1].is_terminal());
+}
+
+TEST_F(GsrcIoTest, MissingFileThrows) {
+  TechnologyConfig tech;
+  tech.die_width_um = tech.die_height_um = 1000.0;
+  EXPECT_THROW(read_bundle(tech, dir_ / "absent.blocks"),
+               std::runtime_error);
+}
+
+TEST_F(GsrcIoTest, CommentsAndBlanksIgnored) {
+  {
+    std::ofstream out(dir_ / "c.blocks");
+    out << "UCSC blocks 1.0\n";
+    out << "\n\n# lots of commentary\n";
+    out << "NumSoftRectangularBlocks : 1\n";
+    out << "sb0 softrectangular 100 1.0 1.0  # trailing comment\n";
+  }
+  TechnologyConfig tech;
+  tech.die_width_um = tech.die_height_um = 1000.0;
+  const Floorplan3D fp = read_bundle(tech, dir_ / "c.blocks");
+  EXPECT_EQ(fp.modules().size(), 1u);
+}
+
+}  // namespace
+}  // namespace tsc3d::benchgen

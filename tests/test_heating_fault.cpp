@@ -1,0 +1,152 @@
+// Tests for the heating fault attack (attack/heating_fault.hpp).
+#include "attack/heating_fault.hpp"
+
+#include <gtest/gtest.h>
+
+namespace tsc3d::attack {
+namespace {
+
+/// Victim in the center of die 0, accomplices of varying distance and
+/// power around it, one on die 1 directly above the victim.
+Floorplan3D fault_design() {
+  TechnologyConfig tech;
+  tech.die_width_um = tech.die_height_um = 2000.0;
+  Floorplan3D fp(tech);
+  const struct {
+    double x, y, w, h, power;
+    std::size_t die;
+  } specs[] = {
+      {800, 800, 400, 400, 0.3, 0},    // 0: victim (center, die 0)
+      {750, 750, 500, 500, 1.5, 1},    // 1: stacked right above
+      {100, 100, 300, 300, 1.5, 0},    // 2: far corner, same die
+      {1250, 800, 300, 400, 1.0, 0},   // 3: adjacent, same die
+      {1600, 1600, 300, 300, 0.1, 0},  // 4: far and weak
+  };
+  for (const auto& s : specs) {
+    Module m;
+    m.name = "m" + std::to_string(fp.modules().size());
+    m.shape = {s.x, s.y, s.w, s.h};
+    m.area_um2 = m.shape.area();
+    m.power_w = s.power;
+    m.die = s.die;
+    fp.modules().push_back(m);
+  }
+  return fp;
+}
+
+thermal::GridSolver small_solver(const Floorplan3D& fp) {
+  ThermalConfig cfg;
+  cfg.grid_nx = cfg.grid_ny = 16;
+  return {fp.tech(), cfg};
+}
+
+TEST(VictimPeak, ReadsTheFootprintBins) {
+  const auto fp = fault_design();
+  GridD thermal(16, 16, 300.0);
+  // Victim occupies x,y in [800, 1200): bins 7..9 at 2000/16=125 um.
+  thermal.at(7, 7) = 330.0;
+  EXPECT_DOUBLE_EQ(victim_peak_k(fp, thermal, 0), 330.0);
+  // A hotspot outside the footprint is invisible to the victim.
+  thermal.at(7, 7) = 300.0;
+  thermal.at(0, 0) = 340.0;
+  EXPECT_DOUBLE_EQ(victim_peak_k(fp, thermal, 0), 300.0);
+}
+
+TEST(HeatingFault, AttackRaisesVictimTemperature) {
+  const auto fp = fault_design();
+  const auto solver = small_solver(fp);
+  HeatingFaultOptions opt;
+  opt.boost = 3.0;
+  opt.fault_threshold_k = 1e6;  // measure the rise, not the verdict
+  const auto result = run_heating_fault_attack(fp, solver, 0, opt);
+  EXPECT_GT(result.victim_peak_k_attacked, result.victim_peak_k_nominal);
+  EXPECT_GT(result.accomplices_used, 0u);
+  EXPECT_GT(result.attack_power_w, 0.0);
+  EXPECT_FALSE(result.fault_induced);
+}
+
+TEST(HeatingFault, VictimIsNeverItsOwnAccomplice) {
+  const auto fp = fault_design();
+  const auto solver = small_solver(fp);
+  const auto result = run_heating_fault_attack(fp, solver, 0);
+  for (const auto accomplice : result.accomplices)
+    EXPECT_NE(accomplice, 0u);
+}
+
+TEST(HeatingFault, PrefersThermallyCloseAccomplices) {
+  // The stacked module (1) and the adjacent module (3) influence the
+  // victim more than the far, weak module (4); with two accomplice
+  // slots the attack must pick from the close ones.
+  const auto fp = fault_design();
+  const auto solver = small_solver(fp);
+  HeatingFaultOptions opt;
+  opt.max_accomplices = 2;
+  // A loose stealth budget isolates the influence ranking (a tight one
+  // makes the greedy skip expensive strong accomplices for cheap weak
+  // ones -- covered by StealthBudgetLimitsTheAttack).
+  opt.power_budget_fraction = 10.0;
+  const auto result = run_heating_fault_attack(fp, solver, 0, opt);
+  ASSERT_EQ(result.accomplices.size(), 2u);
+  for (const auto accomplice : result.accomplices)
+    EXPECT_NE(accomplice, 4u);
+}
+
+TEST(HeatingFault, StealthBudgetLimitsTheAttack) {
+  const auto fp = fault_design();
+  const auto solver = small_solver(fp);
+  HeatingFaultOptions tight;
+  tight.power_budget_fraction = 0.2;
+  HeatingFaultOptions loose;
+  loose.power_budget_fraction = 10.0;
+  const auto r_tight = run_heating_fault_attack(fp, solver, 0, tight);
+  const auto r_loose = run_heating_fault_attack(fp, solver, 0, loose);
+  EXPECT_LE(r_tight.attack_power_w, r_loose.attack_power_w);
+  EXPECT_LE(r_tight.victim_peak_k_attacked,
+            r_loose.victim_peak_k_attacked + 1e-9);
+  // The budget bound itself holds.
+  double nominal_total = 0.0;
+  for (std::size_t i = 0; i < fp.modules().size(); ++i)
+    nominal_total += fp.effective_power(i);
+  EXPECT_LE(r_tight.attack_power_w, 0.2 * nominal_total + 1e-9);
+}
+
+TEST(HeatingFault, FaultVerdictFollowsThreshold) {
+  const auto fp = fault_design();
+  const auto solver = small_solver(fp);
+  HeatingFaultOptions opt;
+  const auto probe = run_heating_fault_attack(fp, solver, 0, opt);
+  HeatingFaultOptions low = opt, high = opt;
+  low.fault_threshold_k = probe.victim_peak_k_attacked - 1.0;
+  high.fault_threshold_k = probe.victim_peak_k_attacked + 1.0;
+  EXPECT_TRUE(run_heating_fault_attack(fp, solver, 0, low).fault_induced);
+  EXPECT_FALSE(run_heating_fault_attack(fp, solver, 0, high).fault_induced);
+}
+
+TEST(HeatingFault, MoreBoostHeatsMore) {
+  const auto fp = fault_design();
+  const auto solver = small_solver(fp);
+  HeatingFaultOptions mild, strong;
+  mild.boost = 1.5;
+  strong.boost = 4.0;
+  const auto r_mild = run_heating_fault_attack(fp, solver, 0, mild);
+  const auto r_strong = run_heating_fault_attack(fp, solver, 0, strong);
+  EXPECT_GT(r_strong.victim_peak_k_attacked, r_mild.victim_peak_k_attacked);
+}
+
+TEST(HeatingFault, InvalidArgumentsThrow) {
+  const auto fp = fault_design();
+  const auto solver = small_solver(fp);
+  EXPECT_THROW((void)run_heating_fault_attack(fp, solver, 99),
+               std::invalid_argument);
+  HeatingFaultOptions bad;
+  bad.boost = 1.0;
+  EXPECT_THROW((void)run_heating_fault_attack(fp, solver, 0, bad),
+               std::invalid_argument);
+  bad = {};
+  bad.max_accomplices = 0;
+  EXPECT_THROW((void)run_heating_fault_attack(fp, solver, 0, bad),
+               std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace tsc3d::attack

@@ -1,0 +1,141 @@
+// End-to-end integration: config file -> options -> generate -> full
+// Fig. 3 flow -> metrics -> GSRC export -> re-import -> same leakage
+// numbers.  This is the pipeline a downstream user scripts against.
+#include <filesystem>
+#include <fstream>
+#include <gtest/gtest.h>
+
+#include "benchgen/generator.hpp"
+#include "benchgen/gsrc_io.hpp"
+#include "config/apply.hpp"
+#include "config/config_file.hpp"
+#include "floorplan/floorplanner.hpp"
+#include "leakage/pearson.hpp"
+#include "thermal/grid_solver.hpp"
+
+namespace tsc3d {
+namespace {
+
+class IntegrationFlow : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    dir_ = std::filesystem::temp_directory_path() / "tsc3d_integration";
+    std::filesystem::create_directories(dir_);
+  }
+  void TearDown() override { std::filesystem::remove_all(dir_); }
+  std::filesystem::path dir_;
+};
+
+TEST_F(IntegrationFlow, ConfigDrivenTscFlowProducesConsistentArtifacts) {
+  // 1. Options from a config string, exactly as the CLI does.
+  const auto cfg = config::ConfigFile::parse(
+      "[floorplanning]\n"
+      "mode = tsc\n"
+      "sa_moves = 2500\n"
+      "fast_grid = 16\n"
+      "verify_grid = 32\n"
+      "sampling_grid = 16\n"
+      "dummy_max_iterations = 3\n"
+      "dummy_samples = 6\n"
+      "[thermal]\n"
+      "grid_nx = 32\n"
+      "grid_ny = 32\n");
+  auto options = config::make_floorplanner_options(cfg);
+  options.anneal.stages = 15;
+  EXPECT_TRUE(cfg.unused_keys().empty());
+
+  // 2. Generate and floorplan a small instance.
+  benchgen::BenchmarkSpec spec;
+  spec.name = "itest";
+  spec.soft_modules = 24;
+  spec.num_nets = 40;
+  spec.num_terminals = 6;
+  spec.outline_mm2 = 4.0;
+  spec.power_w = 2.0;
+  Floorplan3D fp = benchgen::generate(spec, 31);
+  Rng rng(31);
+  const floorplan::Floorplanner planner(options);
+  const auto metrics = planner.run(fp, rng);
+
+  // 3. Metrics are internally consistent.
+  ASSERT_EQ(metrics.correlation.size(), 2u);
+  EXPECT_GE(std::abs(metrics.correlation[0]), 0.0);
+  EXPECT_LE(std::abs(metrics.correlation[0]), 1.0);
+  EXPECT_GT(metrics.power_w, 0.0);
+  EXPECT_GT(metrics.peak_k, 293.0);
+  EXPECT_EQ(metrics.signal_tsvs, fp.tsv_count(TsvKind::signal));
+  EXPECT_EQ(metrics.dummy_tsvs, fp.tsv_count(TsvKind::dummy));
+
+  // 4. Export the placed design and re-import it.
+  benchgen::write_bundle(fp, dir_ / "chip");
+  const Floorplan3D back = benchgen::read_bundle(
+      fp.tech(), dir_ / "chip.blocks", dir_ / "chip.nets",
+      dir_ / "chip.pl", dir_ / "chip.power");
+  ASSERT_EQ(back.modules().size(), fp.modules().size());
+  ASSERT_EQ(back.nets().size(), fp.nets().size());
+
+  // 5. The re-imported design yields the same per-die correlation
+  //    (positions, dies, and powers survived the round trip; TSVs are
+  //    design data, so reuse the original density map).
+  ThermalConfig cfg2 = options.thermal;
+  const thermal::GridSolver solver(fp.tech(), cfg2);
+  const std::size_t nx = cfg2.grid_nx, ny = cfg2.grid_ny;
+  const GridD tsv = fp.tsv_density_map(nx, ny);
+  for (std::size_t d = 0; d < 2; ++d) {
+    const GridD p_orig = fp.power_map(d, nx, ny);
+    const GridD p_back = back.power_map(d, nx, ny);
+    for (std::size_t i = 0; i < p_orig.size(); ++i)
+      ASSERT_NEAR(p_back[i], p_orig[i], 1e-6);
+  }
+  const auto t_orig = solver.solve_steady(
+      {fp.power_map(0, nx, ny), fp.power_map(1, nx, ny)}, tsv);
+  const auto t_back = solver.solve_steady(
+      {back.power_map(0, nx, ny), back.power_map(1, nx, ny)}, tsv);
+  for (std::size_t d = 0; d < 2; ++d) {
+    const double r_orig =
+        leakage::pearson(fp.power_map(d, nx, ny), t_orig.die_temperature[d]);
+    const double r_back = leakage::pearson(back.power_map(d, nx, ny),
+                                           t_back.die_temperature[d]);
+    EXPECT_NEAR(r_back, r_orig, 1e-6);
+  }
+}
+
+TEST_F(IntegrationFlow, MonolithicConfigRunsTheFlowEndToEnd) {
+  const auto cfg = config::ConfigFile::parse(
+      "[floorplanning]\n"
+      "mode = tsc\n"
+      "sa_moves = 1500\n"
+      "fast_grid = 16\n"
+      "verify_grid = 16\n"
+      "dummy_insertion = false\n"
+      "[technology]\n"
+      "flavor = monolithic\n"
+      "[thermal]\n"
+      "grid_nx = 16\n"
+      "grid_ny = 16\n");
+  auto options = config::make_floorplanner_options(cfg);
+  options.anneal.stages = 10;
+  TechnologyConfig tech;
+  config::apply_technology(cfg, tech);
+
+  benchgen::BenchmarkSpec spec;
+  spec.name = "mono";
+  spec.soft_modules = 16;
+  spec.num_nets = 24;
+  spec.num_terminals = 4;
+  spec.outline_mm2 = 4.0;
+  spec.power_w = 1.5;
+  Floorplan3D fp = benchgen::generate(spec, 37);
+  fp.tech() = tech;
+  fp.tech().die_width_um = 2000.0;
+  fp.tech().die_height_um = 2000.0;
+
+  Rng rng(37);
+  const auto metrics = floorplan::Floorplanner(options).run(fp, rng);
+  EXPECT_EQ(metrics.dummy_tsvs, 0u);  // disabled above
+  EXPECT_GT(metrics.peak_k, 293.0);
+  EXPECT_EQ(metrics.correlation.size(), 2u);
+}
+
+}  // namespace
+}  // namespace tsc3d

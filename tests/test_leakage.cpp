@@ -1,0 +1,209 @@
+// Tests of the leakage metrics: Pearson correlation (Eq. 1), correlation
+// stability (Eq. 2), and the Gaussian activity model (Sec. 6.2).
+#include <gtest/gtest.h>
+
+#include "core/rng.hpp"
+#include "leakage/activity.hpp"
+#include "leakage/pearson.hpp"
+
+namespace tsc3d::leakage {
+namespace {
+
+TEST(Pearson, PerfectPositiveCorrelation) {
+  const std::vector<double> a{1, 2, 3, 4, 5};
+  const std::vector<double> b{10, 20, 30, 40, 50};
+  EXPECT_NEAR(pearson(a, b), 1.0, 1e-12);
+}
+
+TEST(Pearson, PerfectNegativeCorrelation) {
+  const std::vector<double> a{1, 2, 3, 4};
+  const std::vector<double> b{8, 6, 4, 2};
+  EXPECT_NEAR(pearson(a, b), -1.0, 1e-12);
+}
+
+TEST(Pearson, KnownValue) {
+  const std::vector<double> a{1, 2, 3, 4, 5};
+  const std::vector<double> b{2, 1, 4, 3, 5};
+  // Hand-computed: cov = 8/5, sd_a = sd_b = sqrt(2).
+  EXPECT_NEAR(pearson(a, b), 0.8, 1e-12);
+}
+
+TEST(Pearson, ZeroVarianceYieldsZero) {
+  const std::vector<double> a{3, 3, 3};
+  const std::vector<double> b{1, 2, 3};
+  EXPECT_DOUBLE_EQ(pearson(a, b), 0.0);
+  EXPECT_DOUBLE_EQ(pearson(b, a), 0.0);
+}
+
+TEST(Pearson, InvariantUnderAffineTransform) {
+  Rng rng(77);
+  std::vector<double> a(50), b(50);
+  for (std::size_t i = 0; i < 50; ++i) {
+    a[i] = rng.uniform();
+    b[i] = 0.5 * a[i] + rng.gaussian(0.0, 0.2);
+  }
+  const double r = pearson(a, b);
+  std::vector<double> a2 = a, b2 = b;
+  for (double& v : a2) v = 3.0 * v + 17.0;   // positive affine map
+  for (double& v : b2) v = 0.1 * v - 4.0;
+  EXPECT_NEAR(pearson(a2, b2), r, 1e-9);
+}
+
+TEST(Pearson, SymmetricInArguments) {
+  Rng rng(5);
+  std::vector<double> a(30), b(30);
+  for (std::size_t i = 0; i < 30; ++i) {
+    a[i] = rng.uniform();
+    b[i] = rng.uniform();
+  }
+  EXPECT_NEAR(pearson(a, b), pearson(b, a), 1e-15);
+}
+
+TEST(Pearson, BoundedInUnitInterval) {
+  Rng rng(6);
+  for (int trial = 0; trial < 20; ++trial) {
+    std::vector<double> a(40), b(40);
+    for (std::size_t i = 0; i < 40; ++i) {
+      a[i] = rng.gaussian();
+      b[i] = rng.gaussian();
+    }
+    const double r = pearson(a, b);
+    EXPECT_GE(r, -1.0 - 1e-12);
+    EXPECT_LE(r, 1.0 + 1e-12);
+  }
+}
+
+TEST(Pearson, GridOverloadMatchesVectorOverload) {
+  GridD p(3, 2), t(3, 2);
+  for (std::size_t i = 0; i < 6; ++i) {
+    p[i] = static_cast<double>(i * i);
+    t[i] = 5.0 - static_cast<double>(i);
+  }
+  EXPECT_DOUBLE_EQ(pearson(p, t), pearson(p.data(), t.data()));
+}
+
+TEST(Pearson, LengthMismatchThrows) {
+  EXPECT_THROW(pearson(std::vector<double>{1, 2}, std::vector<double>{1}),
+               std::invalid_argument);
+}
+
+TEST(StabilityAccumulator, PerfectlyLinearBinGivesOne) {
+  StabilityAccumulator acc(2, 2);
+  for (int s = 1; s <= 10; ++s) {
+    GridD p(2, 2, 0.0), t(2, 2, 0.0);
+    p.at(0, 0) = s;
+    t.at(0, 0) = 3.0 * s + 1.0;  // exact linear relation
+    p.at(1, 1) = s;
+    t.at(1, 1) = -2.0 * s;       // exact inverse relation
+    acc.add(p, t);
+  }
+  const GridD r = acc.stability();
+  EXPECT_NEAR(r.at(0, 0), 1.0, 1e-9);
+  EXPECT_NEAR(r.at(1, 1), -1.0, 1e-9);
+  // Bins that never varied carry no signal.
+  EXPECT_DOUBLE_EQ(r.at(1, 0), 0.0);
+  EXPECT_DOUBLE_EQ(r.at(0, 1), 0.0);
+}
+
+TEST(StabilityAccumulator, FewerThanTwoSamplesYieldsZeros) {
+  StabilityAccumulator acc(2, 2);
+  GridD p(2, 2, 1.0), t(2, 2, 2.0);
+  acc.add(p, t);
+  const GridD r = acc.stability();
+  for (const double v : r) EXPECT_DOUBLE_EQ(v, 0.0);
+}
+
+TEST(StabilityAccumulator, MeanAbsStability) {
+  StabilityAccumulator acc(1, 2);
+  for (int s = 1; s <= 5; ++s) {
+    GridD p(1, 2, 0.0), t(1, 2, 0.0);
+    p.at(0, 0) = s;
+    t.at(0, 0) = s;      // r = +1
+    p.at(0, 1) = s;
+    t.at(0, 1) = -s;     // r = -1
+    acc.add(p, t);
+  }
+  EXPECT_NEAR(acc.mean_abs_stability(), 1.0, 1e-9);
+}
+
+TEST(StabilityAccumulator, NoisyBinHasLowerStabilityThanCleanBin) {
+  Rng rng(123);
+  StabilityAccumulator acc(2, 1);
+  for (int s = 0; s < 200; ++s) {
+    GridD p(2, 1, 0.0), t(2, 1, 0.0);
+    const double x = rng.uniform();
+    p.at(0, 0) = x;
+    t.at(0, 0) = x;                          // clean
+    p.at(1, 0) = x;
+    t.at(1, 0) = x + rng.gaussian(0.0, 2.0); // drowned in noise
+    acc.add(p, t);
+  }
+  const GridD r = acc.stability();
+  EXPECT_GT(r.at(0, 0), 0.99);
+  EXPECT_LT(std::abs(r.at(1, 0)), 0.5);
+}
+
+TEST(StabilityAccumulator, GridMismatchThrows) {
+  StabilityAccumulator acc(2, 2);
+  EXPECT_THROW(acc.add(GridD(3, 2), GridD(2, 2)), std::invalid_argument);
+}
+
+TEST(ActivityModel, SampleMatchesNominalStatistics) {
+  TechnologyConfig tech;
+  tech.die_width_um = tech.die_height_um = 1000.0;
+  Floorplan3D fp(tech);
+  Module m;
+  m.name = "a";
+  m.shape = {0, 0, 100, 100};
+  m.area_um2 = 1e4;
+  m.power_w = 2.0;
+  m.voltage_index = 1;
+  fp.modules().push_back(m);
+
+  ActivityModel model;
+  Rng rng(42);
+  double sum = 0.0, sum2 = 0.0;
+  const int n = 20000;
+  for (int i = 0; i < n; ++i) {
+    const auto p = model.sample(fp, rng);
+    sum += p[0];
+    sum2 += (p[0] - 2.0) * (p[0] - 2.0);
+  }
+  EXPECT_NEAR(sum / n, 2.0, 0.01);
+  EXPECT_NEAR(std::sqrt(sum2 / n), 0.2, 0.01);  // sigma = 10% of nominal
+}
+
+TEST(ActivityModel, SamplesAreNonNegative) {
+  TechnologyConfig tech;
+  tech.die_width_um = tech.die_height_um = 1000.0;
+  Floorplan3D fp(tech);
+  Module m;
+  m.power_w = 0.001;  // tiny power: truncation must kick in sometimes
+  m.shape = {0, 0, 10, 10};
+  fp.modules().push_back(m);
+  ActivityModel model;
+  model.sigma_fraction = 5.0;  // huge spread to force negatives
+  Rng rng(1);
+  for (int i = 0; i < 1000; ++i)
+    EXPECT_GE(model.sample(fp, rng)[0], 0.0);
+}
+
+TEST(ActivityModel, VoltageScalingShiftsMean) {
+  TechnologyConfig tech;
+  tech.die_width_um = tech.die_height_um = 1000.0;
+  Floorplan3D fp(tech);
+  Module m;
+  m.power_w = 1.0;
+  m.shape = {0, 0, 10, 10};
+  m.voltage_index = 2;  // 1.2 V -> power x1.496
+  fp.modules().push_back(m);
+  ActivityModel model;
+  Rng rng(9);
+  double sum = 0.0;
+  const int n = 20000;
+  for (int i = 0; i < n; ++i) sum += model.sample(fp, rng)[0];
+  EXPECT_NEAR(sum / n, 1.496, 0.01);
+}
+
+}  // namespace
+}  // namespace tsc3d::leakage

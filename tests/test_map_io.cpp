@@ -1,0 +1,79 @@
+// Tests of the map export/import helpers (CSV + PGM).
+#include <gtest/gtest.h>
+
+#include <filesystem>
+#include <fstream>
+
+#include "core/map_io.hpp"
+
+namespace tsc3d {
+namespace {
+
+class MapIoTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    const auto* info =
+        ::testing::UnitTest::GetInstance()->current_test_info();
+    dir_ = std::filesystem::temp_directory_path() /
+           (std::string("tsc3d_mapio_") + info->name());
+    std::filesystem::create_directories(dir_);
+  }
+  void TearDown() override { std::filesystem::remove_all(dir_); }
+  std::filesystem::path dir_;
+};
+
+TEST_F(MapIoTest, CsvRoundTrip) {
+  GridD map(5, 3);
+  for (std::size_t i = 0; i < map.size(); ++i)
+    map[i] = 0.25 * static_cast<double>(i) - 1.0;
+  write_csv(map, dir_ / "m.csv");
+  const GridD back = read_csv(dir_ / "m.csv");
+  ASSERT_EQ(back.nx(), 5u);
+  ASSERT_EQ(back.ny(), 3u);
+  for (std::size_t i = 0; i < map.size(); ++i)
+    EXPECT_NEAR(back[i], map[i], 1e-12);
+}
+
+TEST_F(MapIoTest, PgmHeaderAndSize) {
+  GridD map(8, 4, 0.0);
+  map.at(7, 3) = 1.0;
+  write_pgm(map, dir_ / "m.pgm");
+  std::ifstream in(dir_ / "m.pgm", std::ios::binary);
+  std::string magic;
+  std::size_t w = 0, h = 0;
+  int maxval = 0;
+  in >> magic >> w >> h >> maxval;
+  EXPECT_EQ(magic, "P5");
+  EXPECT_EQ(w, 8u);
+  EXPECT_EQ(h, 4u);
+  EXPECT_EQ(maxval, 255);
+  in.get();  // single whitespace after header
+  std::vector<char> pixels(w * h);
+  in.read(pixels.data(), static_cast<std::streamsize>(pixels.size()));
+  EXPECT_EQ(in.gcount(), static_cast<std::streamsize>(w * h));
+  // y-flip: the hot pixel at (7, 3) lands in the FIRST written row.
+  EXPECT_EQ(static_cast<unsigned char>(pixels[7]), 255u);
+}
+
+TEST_F(MapIoTest, ConstantMapDoesNotDivideByZero) {
+  GridD map(4, 4, 3.0);
+  write_pgm(map, dir_ / "c.pgm");  // must not crash
+  EXPECT_TRUE(std::filesystem::exists(dir_ / "c.pgm"));
+}
+
+TEST_F(MapIoTest, ReadCsvRejectsRaggedRows) {
+  {
+    std::ofstream out(dir_ / "bad.csv");
+    out << "1,2,3\n1,2\n";
+  }
+  EXPECT_THROW(read_csv(dir_ / "bad.csv"), std::runtime_error);
+}
+
+TEST_F(MapIoTest, MissingFileThrows) {
+  EXPECT_THROW(read_csv(dir_ / "absent.csv"), std::runtime_error);
+  EXPECT_THROW(write_csv(GridD(2, 2), dir_ / "no_dir" / "x.csv"),
+               std::runtime_error);
+}
+
+}  // namespace
+}  // namespace tsc3d

@@ -1,0 +1,176 @@
+// Tests for the monolithic 3D integration flavor (paper future work,
+// Sec. 8): sequential tiers, thin inter-tier dielectric, nanoscale MIVs.
+#include <gtest/gtest.h>
+
+#include "core/floorplan.hpp"
+#include "leakage/pearson.hpp"
+#include "thermal/grid_solver.hpp"
+#include "thermal/stack.hpp"
+
+namespace tsc3d::thermal {
+namespace {
+
+TechnologyConfig tsv_tech() {
+  TechnologyConfig tech;
+  tech.die_width_um = tech.die_height_um = 2000.0;
+  return tech;
+}
+
+ThermalConfig small_cfg() {
+  ThermalConfig cfg;
+  cfg.grid_nx = cfg.grid_ny = 16;
+  return cfg;
+}
+
+TEST(MonolithicStack, UsesIldAndTierThickness) {
+  const auto tech = make_monolithic(tsv_tech());
+  const auto stack = build_stack(tech, small_cfg());
+  bool found_ild = false;
+  for (const auto& layer : stack.layers) {
+    EXPECT_EQ(layer.name.find("bond"), std::string::npos);
+    if (layer.name.rfind("ild", 0) == 0) {
+      found_ild = true;
+      EXPECT_NEAR(layer.thickness_m, 0.5e-6, 1e-12);
+      EXPECT_TRUE(layer.tsv_layer);
+    }
+    if (layer.name.rfind("die", 0) == 0)
+      EXPECT_NEAR(layer.thickness_m, 1.0e-6, 1e-12);
+  }
+  EXPECT_TRUE(found_ild);
+}
+
+TEST(MonolithicStack, TsvFlavorKeepsBondLayer) {
+  const auto stack = build_stack(tsv_tech(), small_cfg());
+  bool found_bond = false;
+  for (const auto& layer : stack.layers)
+    if (layer.name.rfind("bond", 0) == 0) found_bond = true;
+  EXPECT_TRUE(found_bond);
+}
+
+TEST(MonolithicStack, MakeMonolithicSwapsViaGeometry) {
+  const auto tech = make_monolithic(tsv_tech());
+  EXPECT_EQ(tech.flavor, IntegrationFlavor::monolithic);
+  EXPECT_LT(tech.tsv.diameter_um, 1.0);
+  EXPECT_LT(tech.tsv.cell_area_um2(), 1.0);
+  // Other parameters must survive the conversion.
+  EXPECT_DOUBLE_EQ(tech.die_width_um, 2000.0);
+}
+
+TEST(MonolithicStack, LayerCountMatchesTsvFlavor) {
+  // Same structure, different materials/thicknesses.
+  const auto a = build_stack(tsv_tech(), small_cfg());
+  const auto b = build_stack(make_monolithic(tsv_tech()), small_cfg());
+  EXPECT_EQ(a.layers.size(), b.layers.size());
+  EXPECT_EQ(a.layer_of_die, b.layer_of_die);
+}
+
+/// One hot module on the bottom die, quiet upper die.
+Floorplan3D hot_bottom_design(const TechnologyConfig& tech) {
+  Floorplan3D fp(tech);
+  Module hot;
+  hot.name = "hot";
+  hot.shape = {200.0, 200.0, 600.0, 600.0};
+  hot.area_um2 = hot.shape.area();
+  hot.power_w = 3.0;
+  hot.die = 0;
+  fp.modules().push_back(hot);
+  Module quiet;
+  quiet.name = "quiet";
+  quiet.shape = {1200.0, 1200.0, 600.0, 600.0};
+  quiet.area_um2 = quiet.shape.area();
+  quiet.power_w = 0.3;
+  quiet.die = 1;
+  fp.modules().push_back(quiet);
+  return fp;
+}
+
+TEST(MonolithicThermal, TiersCoupleMoreStronglyThanDies) {
+  // The thin ILD couples tiers far more strongly than a 20 um bond
+  // couples dies: the upper layer must mirror the lower layer's hotspot
+  // more faithfully in the monolithic stack.
+  const auto cfg = small_cfg();
+  const auto tech_tsv = tsv_tech();
+  const auto tech_mono = make_monolithic(tsv_tech());
+
+  const auto correlation_across = [&](const TechnologyConfig& tech) {
+    const Floorplan3D fp = hot_bottom_design(tech);
+    const GridSolver solver(tech, cfg);
+    std::vector<GridD> power;
+    for (std::size_t d = 0; d < tech.num_dies; ++d)
+      power.push_back(fp.power_map(d, cfg.grid_nx, cfg.grid_ny));
+    const auto result =
+        solver.solve_steady(power, fp.tsv_density_map(cfg.grid_nx,
+                                                      cfg.grid_ny));
+    // Correlate the BOTTOM die's power with the TOP die's temperature:
+    // pure inter-layer thermal coupling.
+    return leakage::pearson(power[0], result.die_temperature[1]);
+  };
+
+  EXPECT_GT(correlation_across(tech_mono), correlation_across(tech_tsv));
+}
+
+TEST(MonolithicThermal, SolverConvergesForMonolithicStack) {
+  const auto tech = make_monolithic(tsv_tech());
+  const auto cfg = small_cfg();
+  const Floorplan3D fp = hot_bottom_design(tech);
+  const GridSolver solver(tech, cfg);
+  std::vector<GridD> power;
+  for (std::size_t d = 0; d < tech.num_dies; ++d)
+    power.push_back(fp.power_map(d, cfg.grid_nx, cfg.grid_ny));
+  const auto result = solver.solve_steady(
+      power, fp.tsv_density_map(cfg.grid_nx, cfg.grid_ny));
+  EXPECT_TRUE(result.converged);
+  EXPECT_GT(result.peak_k, cfg.ambient_k);
+  // Energy balance: all dissipated power leaves through the two paths.
+  EXPECT_NEAR(result.heat_to_sink_w + result.heat_to_package_w, 3.3, 0.05);
+}
+
+TEST(MonolithicThermal, MivsBarelyChangeTheThermalMap) {
+  // The decorrelation lever of the paper -- via arrangement -- weakens
+  // under monolithic integration: a dense MIV field changes the map far
+  // less than the same arrangement of TSVs does.
+  const auto cfg = small_cfg();
+
+  const auto map_shift = [&](const TechnologyConfig& tech) {
+    const Floorplan3D fp = hot_bottom_design(tech);
+    const GridSolver solver(tech, cfg);
+    std::vector<GridD> power;
+    for (std::size_t d = 0; d < tech.num_dies; ++d)
+      power.push_back(fp.power_map(d, cfg.grid_nx, cfg.grid_ny));
+    const GridD none(cfg.grid_nx, cfg.grid_ny, 0.0);
+    // A via field covering 30% of every bin vs no vias at all.
+    const GridD dense(cfg.grid_nx, cfg.grid_ny, 0.3);
+    const auto base = solver.solve_steady(power, none);
+    const auto vias = solver.solve_steady(power, dense);
+    double shift = 0.0;
+    for (std::size_t i = 0; i < base.die_temperature[0].size(); ++i)
+      shift += std::abs(base.die_temperature[0][i] -
+                        vias.die_temperature[0][i]);
+    return shift / static_cast<double>(base.die_temperature[0].size());
+  };
+
+  const double tsv_shift = map_shift(tsv_tech());
+  const double miv_shift = map_shift(make_monolithic(tsv_tech()));
+  EXPECT_LT(miv_shift, tsv_shift);
+}
+
+class MonolithicTierSweep : public ::testing::TestWithParam<std::size_t> {};
+
+TEST_P(MonolithicTierSweep, StackBuildsAndSolvesForNTiers) {
+  auto tech = make_monolithic(tsv_tech());
+  tech.num_dies = GetParam();
+  const auto cfg = small_cfg();
+  const GridSolver solver(tech, cfg);
+  std::vector<GridD> power(tech.num_dies,
+                           GridD(cfg.grid_nx, cfg.grid_ny, 1e-3));
+  const GridD none(cfg.grid_nx, cfg.grid_ny, 0.0);
+  const auto result = solver.solve_steady(power, none);
+  EXPECT_TRUE(result.converged);
+  EXPECT_EQ(result.die_temperature.size(), tech.num_dies);
+}
+
+INSTANTIATE_TEST_SUITE_P(Tiers, MonolithicTierSweep,
+                         ::testing::Values(2, 3, 4));
+
+}  // namespace
+}  // namespace tsc3d::thermal

@@ -1,0 +1,176 @@
+// Tests for the mutual-information estimator
+// (leakage/mutual_information.hpp).
+#include "leakage/mutual_information.hpp"
+
+#include <cmath>
+#include <gtest/gtest.h>
+
+#include "core/rng.hpp"
+
+namespace tsc3d::leakage {
+namespace {
+
+std::vector<double> uniform_sample(std::size_t n, Rng& rng) {
+  std::vector<double> v(n);
+  for (auto& x : v) x = rng.uniform(0.0, 1.0);
+  return v;
+}
+
+TEST(MutualInformation, IdenticalSignalsCarryFullEntropy) {
+  Rng rng(5);
+  const auto a = uniform_sample(4096, rng);
+  const double mi = mutual_information(a, a);
+  const double h = shannon_entropy(a);
+  // I(A;A) = H(A); estimator noise only.
+  EXPECT_NEAR(mi, h, 0.05 * h);
+  EXPECT_GT(mi, 3.0);  // 16 equal bins of uniform data ~ 4 bits
+}
+
+TEST(MutualInformation, IndependentSignalsHaveNearZeroMI) {
+  Rng rng(6);
+  const auto a = uniform_sample(4096, rng);
+  const auto b = uniform_sample(4096, rng);
+  EXPECT_LT(mutual_information(a, b), 0.1);
+}
+
+TEST(MutualInformation, RankBinningIsInvariantUnderMonotoneTransform) {
+  // MI must see through the nonlinearity that kills Pearson correlation.
+  // Only equal-frequency (rank) binning has this property exactly.
+  Rng rng(7);
+  const auto a = uniform_sample(4096, rng);
+  std::vector<double> cubed(a.size());
+  for (std::size_t i = 0; i < a.size(); ++i)
+    cubed[i] = a[i] * a[i] * a[i];
+  MutualInformationOptions opt;
+  opt.binning = Binning::equal_frequency;
+  const double mi_lin = mutual_information(a, a, opt);
+  const double mi_cub = mutual_information(a, cubed, opt);
+  EXPECT_NEAR(mi_cub, mi_lin, 1e-9);
+  EXPECT_GT(mi_lin, 3.0);
+}
+
+TEST(MutualInformation, EqualWidthBinningDegradesUnderSkewButStaysHigh) {
+  // Equal-width binning loses resolution when one marginal is skewed,
+  // but a strong dependence must still register well above independence.
+  Rng rng(7);
+  const auto a = uniform_sample(4096, rng);
+  std::vector<double> cubed(a.size());
+  for (std::size_t i = 0; i < a.size(); ++i)
+    cubed[i] = a[i] * a[i] * a[i];
+  const double mi_cub = mutual_information(a, cubed);
+  EXPECT_GT(mi_cub, 1.5);
+}
+
+TEST(MutualInformation, ConstantSignalYieldsZero) {
+  const std::vector<double> c(100, 3.5);
+  Rng rng(8);
+  const auto a = uniform_sample(100, rng);
+  EXPECT_DOUBLE_EQ(mutual_information(a, c), 0.0);
+  EXPECT_DOUBLE_EQ(mutual_information(c, a), 0.0);
+}
+
+TEST(MutualInformation, NonNegative) {
+  Rng rng(9);
+  for (int trial = 0; trial < 20; ++trial) {
+    const auto a = uniform_sample(64, rng);
+    const auto b = uniform_sample(64, rng);
+    EXPECT_GE(mutual_information(a, b), 0.0);
+  }
+}
+
+TEST(MutualInformation, SymmetricInArguments) {
+  Rng rng(10);
+  const auto a = uniform_sample(512, rng);
+  std::vector<double> b(a.size());
+  for (std::size_t i = 0; i < a.size(); ++i)
+    b[i] = 0.7 * a[i] + rng.gaussian(0.0, 0.1);
+  MutualInformationOptions opt;
+  opt.bins_x = opt.bins_y = 12;
+  EXPECT_NEAR(mutual_information(a, b, opt), mutual_information(b, a, opt),
+              1e-12);
+}
+
+TEST(MutualInformation, MoreNoiseMeansLessInformation) {
+  Rng rng(11);
+  const auto a = uniform_sample(2048, rng);
+  double prev = 1e9;
+  for (double noise : {0.01, 0.2, 2.0}) {
+    std::vector<double> b(a.size());
+    for (std::size_t i = 0; i < a.size(); ++i)
+      b[i] = a[i] + rng.gaussian(0.0, noise);
+    const double mi = mutual_information(a, b);
+    EXPECT_LT(mi, prev) << "noise=" << noise;
+    prev = mi;
+  }
+}
+
+TEST(MutualInformation, SizeMismatchThrows) {
+  EXPECT_THROW((void)mutual_information(std::vector<double>{1.0, 2.0},
+                                  std::vector<double>{1.0}),
+               std::invalid_argument);
+}
+
+TEST(MutualInformation, ZeroBinsThrows) {
+  MutualInformationOptions opt;
+  opt.bins_x = 0;
+  EXPECT_THROW((void)mutual_information(std::vector<double>{1.0, 2.0},
+                                  std::vector<double>{1.0, 2.0}, opt),
+               std::invalid_argument);
+}
+
+TEST(MutualInformation, GridOverloadChecksDimensions) {
+  GridD a(4, 4), b(4, 5);
+  EXPECT_THROW((void)mutual_information(a, b), std::invalid_argument);
+}
+
+TEST(MutualInformation, GridOverloadMatchesVectorOverload) {
+  Rng rng(12);
+  GridD a(8, 8), b(8, 8);
+  for (auto& v : a) v = rng.uniform(0.0, 1.0);
+  for (auto& v : b) v = rng.uniform(0.0, 1.0);
+  EXPECT_DOUBLE_EQ(mutual_information(a, b),
+                   mutual_information(a.data(), b.data()));
+}
+
+TEST(ShannonEntropy, UniformDataApproachesLogBins) {
+  Rng rng(13);
+  const auto a = uniform_sample(1 << 16, rng);
+  EXPECT_NEAR(shannon_entropy(a, 16), 4.0, 0.05);
+}
+
+TEST(ShannonEntropy, ConstantDataIsZero) {
+  EXPECT_DOUBLE_EQ(shannon_entropy(std::vector<double>(50, 1.0)), 0.0);
+}
+
+TEST(ShannonEntropy, EmptyIsZero) {
+  EXPECT_DOUBLE_EQ(shannon_entropy({}), 0.0);
+}
+
+TEST(ShannonEntropy, ZeroBinsThrows) {
+  EXPECT_THROW((void)shannon_entropy(std::vector<double>{1.0}, 0),
+               std::invalid_argument);
+}
+
+class MiBinsSweep : public ::testing::TestWithParam<std::size_t> {};
+
+TEST_P(MiBinsSweep, BoundedByMinMarginalEntropy) {
+  // I(A;B) <= min(H(A), H(B)) must hold for every bin count.
+  Rng rng(17);
+  const auto a = uniform_sample(1024, rng);
+  std::vector<double> b(a.size());
+  for (std::size_t i = 0; i < a.size(); ++i)
+    b[i] = a[i] + rng.gaussian(0.0, 0.3);
+  MutualInformationOptions opt;
+  opt.bins_x = opt.bins_y = GetParam();
+  opt.miller_madow = false;  // the bound is exact only without correction
+  const double mi = mutual_information(a, b, opt);
+  const double ha = shannon_entropy(a, GetParam(), false);
+  const double hb = shannon_entropy(b, GetParam(), false);
+  EXPECT_LE(mi, std::min(ha, hb) + 1e-9);
+}
+
+INSTANTIATE_TEST_SUITE_P(Bins, MiBinsSweep,
+                         ::testing::Values(2, 4, 8, 16, 32, 64));
+
+}  // namespace
+}  // namespace tsc3d::leakage

@@ -1,0 +1,189 @@
+// Tests for temperature-to-power inversion (attack/power_inversion.hpp).
+#include "attack/power_inversion.hpp"
+
+#include <gtest/gtest.h>
+
+#include "core/rng.hpp"
+#include "leakage/pearson.hpp"
+
+namespace tsc3d::attack {
+namespace {
+
+/// A power map with a few well-separated blocks, like a floorplan.
+GridD blocky_power(std::size_t n, Rng& rng) {
+  GridD p(n, n, 0.05);
+  const std::size_t block = n / 4;
+  for (int b = 0; b < 4; ++b) {
+    const std::size_t bx = rng.index(n - block);
+    const std::size_t by = rng.index(n - block);
+    const double level = rng.uniform(0.5, 2.0);
+    for (std::size_t iy = by; iy < by + block; ++iy)
+      for (std::size_t ix = bx; ix < bx + block; ++ix)
+        p.at(ix, iy) += level;
+  }
+  return p;
+}
+
+TEST(Diffuse, PreservesTotalEnergyInInterior) {
+  // The normalized kernel conserves the sum for a source away from the
+  // borders (replicate padding only distorts near edges).
+  GridD p(32, 32, 0.0);
+  p.at(16, 16) = 10.0;
+  const GridD t = diffuse(p, 2.0, 6);
+  EXPECT_NEAR(t.sum(), 10.0, 1e-6);
+}
+
+TEST(Diffuse, SmoothsPeaks) {
+  GridD p(16, 16, 0.0);
+  p.at(8, 8) = 1.0;
+  const GridD t = diffuse(p, 1.5, 4);
+  EXPECT_LT(t.max(), 1.0);
+  EXPECT_GT(t.at(8, 8), t.at(0, 0));
+}
+
+TEST(Diffuse, InvalidArgsThrow) {
+  const GridD p(4, 4, 1.0);
+  EXPECT_THROW((void)diffuse(p, 0.0, 3), std::invalid_argument);
+  EXPECT_THROW((void)diffuse(p, -1.0, 3), std::invalid_argument);
+  EXPECT_THROW((void)diffuse(p, 1.0, 0), std::invalid_argument);
+}
+
+TEST(InvertPower, RecoversBlockyMapFromItsOwnForwardModel) {
+  // When the attacker's kernel assumption is exact, inversion must
+  // recover the power map almost perfectly (modulo regularization bias).
+  Rng rng(21);
+  const GridD p = blocky_power(32, rng);
+  const GridD t = diffuse(p, 2.0, 6);
+  InversionOptions opt;
+  opt.kernel_sigma_bins = 2.0;
+  const auto result = invert_power(t, opt);
+  EXPECT_GT(inversion_correlation(p, result.power_estimate), 0.9);
+}
+
+TEST(InvertPower, BeatsRawThermalCorrelation) {
+  // The whole point of inversion: the estimate correlates with power
+  // better than the blurred thermal map itself does.
+  Rng rng(22);
+  const GridD p = blocky_power(32, rng);
+  const GridD t = diffuse(p, 3.0, 9);
+  InversionOptions opt;
+  opt.kernel_sigma_bins = 3.0;
+  opt.kernel_radius = 9;
+  const auto result = invert_power(t, opt);
+  const double raw = leakage::pearson(p, t);
+  const double inverted = inversion_correlation(p, result.power_estimate);
+  EXPECT_GT(inverted, raw);
+}
+
+TEST(InvertPower, WrongKernelAssumptionDegradesRecovery) {
+  // The paper's mitigation rests on breaking the attacker's homogeneous
+  // diffusion assumption.  Model that directly: blur each half of the map
+  // with a very different kernel (heterogeneous heat paths) and invert
+  // with a single homogeneous kernel.
+  Rng rng(23);
+  const GridD p = blocky_power(32, rng);
+  const GridD t_homogeneous = diffuse(p, 2.0, 6);
+
+  GridD left = p, right = p;
+  const GridD l_blur = diffuse(left, 1.0, 6);
+  const GridD r_blur = diffuse(right, 5.0, 15);
+  GridD t_heterogeneous(p.nx(), p.ny());
+  for (std::size_t iy = 0; iy < p.ny(); ++iy)
+    for (std::size_t ix = 0; ix < p.nx(); ++ix)
+      t_heterogeneous.at(ix, iy) =
+          ix < p.nx() / 2 ? l_blur.at(ix, iy) : r_blur.at(ix, iy);
+
+  InversionOptions opt;
+  opt.kernel_sigma_bins = 2.0;
+  const double good = inversion_correlation(
+      p, invert_power(t_homogeneous, opt).power_estimate);
+  const double bad = inversion_correlation(
+      p, invert_power(t_heterogeneous, opt).power_estimate);
+  EXPECT_GT(good, bad);
+}
+
+TEST(InvertPower, EstimateIsNonNegative) {
+  Rng rng(24);
+  GridD t(16, 16);
+  for (auto& v : t) v = rng.uniform(300.0, 310.0);
+  const auto result = invert_power(t);
+  EXPECT_GE(result.power_estimate.min(), 0.0);
+}
+
+TEST(InvertPower, OffsetInvariant) {
+  // Adding a constant (ambient shift) must not change the estimate.
+  Rng rng(25);
+  const GridD p = blocky_power(16, rng);
+  GridD t = diffuse(p, 1.5, 4);
+  GridD t_shifted = t;
+  for (auto& v : t_shifted) v += 293.0;
+  InversionOptions opt;
+  opt.kernel_sigma_bins = 1.5;
+  opt.kernel_radius = 4;
+  const auto a = invert_power(t, opt);
+  const auto b = invert_power(t_shifted, opt);
+  for (std::size_t i = 0; i < a.power_estimate.size(); ++i)
+    EXPECT_NEAR(a.power_estimate[i], b.power_estimate[i], 1e-9);
+}
+
+TEST(InvertPower, MoreIterationsReduceResidual) {
+  Rng rng(26);
+  const GridD p = blocky_power(16, rng);
+  const GridD t = diffuse(p, 1.5, 4);
+  InversionOptions few, many;
+  few.iterations = 10;
+  many.iterations = 400;
+  EXPECT_GE(invert_power(t, few).residual_norm,
+            invert_power(t, many).residual_norm);
+}
+
+TEST(InvertPower, StrongerSmoothingFlattensEstimate) {
+  Rng rng(27);
+  const GridD p = blocky_power(16, rng);
+  const GridD t = diffuse(p, 1.5, 4);
+  InversionOptions none, strong;
+  none.lambda_smooth = 0.0;
+  strong.lambda_smooth = 5.0;
+  const GridD sharp = invert_power(t, none).power_estimate;
+  const GridD flat = invert_power(t, strong).power_estimate;
+  EXPECT_LT(flat.max() - flat.min(), sharp.max() - sharp.min());
+}
+
+TEST(InvertPower, InvalidInputsThrow) {
+  EXPECT_THROW((void)invert_power(GridD{}), std::invalid_argument);
+  GridD t(4, 4, 300.0);
+  InversionOptions opt;
+  opt.kernel_sigma_bins = 0.0;
+  EXPECT_THROW((void)invert_power(t, opt), std::invalid_argument);
+  opt.kernel_sigma_bins = 1.0;
+  opt.kernel_radius = 0;
+  EXPECT_THROW((void)invert_power(t, opt), std::invalid_argument);
+}
+
+TEST(InvertPower, ConstantMapYieldsZeroEstimate) {
+  const GridD t(8, 8, 300.0);
+  const auto result = invert_power(t);
+  EXPECT_NEAR(result.power_estimate.max(), 0.0, 1e-12);
+}
+
+class InversionSigmaSweep : public ::testing::TestWithParam<double> {};
+
+TEST_P(InversionSigmaSweep, MatchedKernelRecoversAcrossWidths) {
+  Rng rng(31);
+  const GridD p = blocky_power(32, rng);
+  const double sigma = GetParam();
+  const auto radius = static_cast<std::size_t>(3.0 * sigma) + 1;
+  const GridD t = diffuse(p, sigma, radius);
+  InversionOptions opt;
+  opt.kernel_sigma_bins = sigma;
+  opt.kernel_radius = radius;
+  const auto result = invert_power(t, opt);
+  EXPECT_GT(inversion_correlation(p, result.power_estimate), 0.85)
+      << "sigma=" << sigma;
+}
+
+INSTANTIATE_TEST_SUITE_P(Sigmas, InversionSigmaSweep,
+                         ::testing::Values(1.0, 1.5, 2.0, 3.0, 4.0));
+
+}  // namespace
+}  // namespace tsc3d::attack

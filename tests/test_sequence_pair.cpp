@@ -1,0 +1,152 @@
+// Tests of the sequence-pair representation and its O(n log n) packing.
+// The key property: a sequence-pair packing NEVER overlaps, for any pair
+// of permutations and any block dimensions.
+#include <gtest/gtest.h>
+
+#include "core/floorplan.hpp"
+#include "floorplan/sequence_pair.hpp"
+
+namespace tsc3d::floorplan {
+namespace {
+
+/// Brute-force overlap check over a packed result.
+bool any_overlap(const SequencePair& sp, const Packing& p,
+                 const std::vector<double>& w,
+                 const std::vector<double>& h) {
+  const auto& order = sp.members();
+  for (std::size_t a = 0; a < order.size(); ++a) {
+    for (std::size_t b = a + 1; b < order.size(); ++b) {
+      const Rect ra{p.position[a].x, p.position[a].y, w[order[a]],
+                    h[order[a]]};
+      const Rect rb{p.position[b].x, p.position[b].y, w[order[b]],
+                    h[order[b]]};
+      if (ra.overlaps(rb)) return true;
+    }
+  }
+  return false;
+}
+
+TEST(SequencePair, SingleBlockAtOrigin) {
+  SequencePair sp(std::vector<std::size_t>{0});
+  const Packing p = sp.pack([](std::size_t) { return 10.0; },
+                            [](std::size_t) { return 5.0; });
+  EXPECT_DOUBLE_EQ(p.position[0].x, 0.0);
+  EXPECT_DOUBLE_EQ(p.position[0].y, 0.0);
+  EXPECT_DOUBLE_EQ(p.width, 10.0);
+  EXPECT_DOUBLE_EQ(p.height, 5.0);
+}
+
+TEST(SequencePair, IdenticalSequencesPackInRow) {
+  // (abc, abc): a left of b left of c.
+  SequencePair sp(std::vector<std::size_t>{0, 1, 2});
+  const Packing p = sp.pack([](std::size_t) { return 4.0; },
+                            [](std::size_t) { return 3.0; });
+  EXPECT_DOUBLE_EQ(p.position[0].x, 0.0);
+  EXPECT_DOUBLE_EQ(p.position[1].x, 4.0);
+  EXPECT_DOUBLE_EQ(p.position[2].x, 8.0);
+  EXPECT_DOUBLE_EQ(p.width, 12.0);
+  EXPECT_DOUBLE_EQ(p.height, 3.0);
+}
+
+TEST(SequencePair, ReversedNegativePacksInColumn) {
+  // (abc, cba): a above b above c.
+  SequencePair sp(std::vector<std::size_t>{0, 1, 2});
+  sp.swap_negative(0, 2);  // cba
+  const Packing p = sp.pack([](std::size_t) { return 4.0; },
+                            [](std::size_t) { return 3.0; });
+  EXPECT_DOUBLE_EQ(p.width, 4.0);
+  EXPECT_DOUBLE_EQ(p.height, 9.0);
+  // Positive order a,b,c with negative order c,b,a: a is topmost.
+  EXPECT_DOUBLE_EQ(p.position[0].y, 6.0);
+  EXPECT_DOUBLE_EQ(p.position[2].y, 0.0);
+}
+
+TEST(SequencePair, SparseGlobalIdsSupported) {
+  SequencePair sp(std::vector<std::size_t>{42, 7, 1000});
+  const Packing p = sp.pack([](std::size_t id) { return id == 7 ? 2.0 : 6.0; },
+                            [](std::size_t) { return 1.0; });
+  EXPECT_DOUBLE_EQ(p.width, 14.0);
+}
+
+TEST(SequencePair, MovesPreservePermutations) {
+  SequencePair sp(std::vector<std::size_t>{0, 1, 2, 3, 4});
+  Rng rng(5);
+  sp.shuffle(rng);
+  sp.swap_positive(0, 3);
+  sp.swap_negative(1, 4);
+  sp.swap_both(2, 0);
+  auto sorted = [](std::vector<std::size_t> v) {
+    std::sort(v.begin(), v.end());
+    return v;
+  };
+  EXPECT_EQ(sorted(sp.positive()), (std::vector<std::size_t>{0, 1, 2, 3, 4}));
+  EXPECT_EQ(sorted(sp.negative()), (std::vector<std::size_t>{0, 1, 2, 3, 4}));
+}
+
+TEST(SequencePair, RemoveAndInsert) {
+  SequencePair sp(std::vector<std::size_t>{0, 1, 2});
+  sp.remove(1);
+  EXPECT_EQ(sp.size(), 2u);
+  EXPECT_FALSE(sp.contains(1));
+  sp.insert(1, 0, 2);
+  EXPECT_EQ(sp.size(), 3u);
+  EXPECT_TRUE(sp.contains(1));
+  EXPECT_EQ(sp.positive()[0], 1u);
+  EXPECT_EQ(sp.negative()[2], 1u);
+}
+
+TEST(SequencePair, InsertSlotsClamped) {
+  SequencePair sp(std::vector<std::size_t>{0});
+  sp.insert(9, 100, 100);  // way out of range: append
+  EXPECT_EQ(sp.positive().back(), 9u);
+  EXPECT_EQ(sp.negative().back(), 9u);
+}
+
+// The central property test: random permutations and random dimensions
+// never produce overlaps, and the bounding box contains every block.
+class PackingProperty : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(PackingProperty, NoOverlapAndBounded) {
+  Rng rng(GetParam());
+  const std::size_t n = 3 + rng.index(40);
+  std::vector<std::size_t> ids(n);
+  for (std::size_t i = 0; i < n; ++i) ids[i] = i;
+  std::vector<double> w(n), h(n);
+  for (std::size_t i = 0; i < n; ++i) {
+    w[i] = rng.uniform(1.0, 50.0);
+    h[i] = rng.uniform(1.0, 50.0);
+  }
+  SequencePair sp(ids);
+  sp.shuffle(rng);
+  // A few random moves on top.
+  for (int mv = 0; mv < 20; ++mv) {
+    const std::size_t i = rng.index(n);
+    const std::size_t j = rng.index(n);
+    if (i == j) continue;
+    switch (rng.index(3)) {
+      case 0: sp.swap_positive(i, j); break;
+      case 1: sp.swap_negative(i, j); break;
+      default: sp.swap_both(sp.positive()[i], sp.positive()[j]); break;
+    }
+  }
+  const Packing p = sp.pack([&](std::size_t id) { return w[id]; },
+                            [&](std::size_t id) { return h[id]; });
+  EXPECT_FALSE(any_overlap(sp, p, w, h));
+  const auto& order = sp.members();
+  for (std::size_t k = 0; k < n; ++k) {
+    EXPECT_GE(p.position[k].x, 0.0);
+    EXPECT_GE(p.position[k].y, 0.0);
+    EXPECT_LE(p.position[k].x + w[order[k]], p.width + 1e-9);
+    EXPECT_LE(p.position[k].y + h[order[k]], p.height + 1e-9);
+  }
+  // The packing is compact: total block area fits in the bounding box.
+  double area = 0.0;
+  for (std::size_t i = 0; i < n; ++i) area += w[i] * h[i];
+  EXPECT_GE(p.width * p.height, area - 1e-9);
+}
+
+INSTANTIATE_TEST_SUITE_P(RandomInstances, PackingProperty,
+                         ::testing::Range<std::uint64_t>(1, 26));
+
+}  // namespace
+}  // namespace tsc3d::floorplan

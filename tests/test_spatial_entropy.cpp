@@ -1,0 +1,165 @@
+// Tests of the spatial entropy of power maps (Eq. 3) and its
+// nested-means classification.
+#include <gtest/gtest.h>
+
+#include "leakage/spatial_entropy.hpp"
+
+namespace tsc3d::leakage {
+namespace {
+
+TEST(NestedMeans, UniformValuesProduceNoCuts) {
+  const std::vector<double> v(64, 2.5);
+  EXPECT_TRUE(nested_means_cuts(v, 0.05, 8).empty());
+}
+
+TEST(NestedMeans, TwoClustersProduceOneSeparatingCut) {
+  std::vector<double> v;
+  for (int i = 0; i < 10; ++i) v.push_back(1.0);
+  for (int i = 0; i < 10; ++i) v.push_back(9.0);
+  const auto cuts = nested_means_cuts(v, 0.05, 8);
+  ASSERT_FALSE(cuts.empty());
+  // Some cut must separate the clusters.
+  bool separates = false;
+  for (const double c : cuts) separates |= (c > 1.0 && c <= 9.0);
+  EXPECT_TRUE(separates);
+}
+
+TEST(NestedMeans, DepthCapBoundsClassCount) {
+  std::vector<double> v;
+  for (int i = 0; i < 256; ++i) v.push_back(static_cast<double>(i));
+  const auto cuts = nested_means_cuts(v, 0.0, 3);
+  EXPECT_LE(cuts.size() + 1, 8u);  // 2^3 classes max
+}
+
+TEST(NestedMeans, CutsAreSortedAscending) {
+  std::vector<double> v;
+  for (int i = 0; i < 100; ++i) v.push_back(static_cast<double>(i % 17));
+  const auto cuts = nested_means_cuts(v, 0.01, 6);
+  for (std::size_t i = 1; i < cuts.size(); ++i)
+    EXPECT_LE(cuts[i - 1], cuts[i]);
+}
+
+TEST(SpatialEntropy, UniformMapHasZeroEntropy) {
+  const GridD p(16, 16, 1.0);
+  EXPECT_DOUBLE_EQ(spatial_entropy(p), 0.0);
+}
+
+TEST(SpatialEntropy, SingleClassReported) {
+  const GridD p(8, 8, 3.0);
+  const SpatialEntropyResult res = spatial_entropy_detailed(p);
+  EXPECT_EQ(res.classes.size(), 1u);
+  EXPECT_EQ(res.classes[0].members, 64u);
+}
+
+TEST(SpatialEntropy, RatioOrientationsMeasureOppositeThings) {
+  // The default (literal Eq. 3) ratio rewards compact, segregated classes
+  // -- the configurations with large coherent thermal gradients (high
+  // leakage).  Claramunt's orientation rewards mixing.  A checkerboard
+  // mixes the two power classes maximally; two separated halves keep
+  // them apart.
+  GridD checker(16, 16, 0.0);
+  GridD halves(16, 16, 0.0);
+  for (std::size_t iy = 0; iy < 16; ++iy) {
+    for (std::size_t ix = 0; ix < 16; ++ix) {
+      checker.at(ix, iy) = ((ix + iy) % 2 == 0) ? 1.0 : 9.0;
+      halves.at(ix, iy) = (ix < 8) ? 1.0 : 9.0;
+    }
+  }
+  // Literal Eq. 3 (default): segregated halves score higher.
+  EXPECT_GT(spatial_entropy(halves), spatial_entropy(checker));
+  // Claramunt orientation: the mixed checkerboard scores higher.
+  SpatialEntropyOptions claramunt;
+  claramunt.ratio = EntropyRatio::claramunt;
+  EXPECT_GT(spatial_entropy(checker, claramunt),
+            spatial_entropy(halves, claramunt));
+}
+
+TEST(SpatialEntropy, ShannonTermMatchesTwoBalancedClasses) {
+  GridD halves(8, 8, 0.0);
+  for (std::size_t iy = 0; iy < 8; ++iy)
+    for (std::size_t ix = 0; ix < 8; ++ix)
+      halves.at(ix, iy) = (ix < 4) ? 1.0 : 9.0;
+  const SpatialEntropyResult res = spatial_entropy_detailed(halves);
+  // Two perfectly balanced classes: plain Shannon entropy = 1 bit.
+  EXPECT_NEAR(res.shannon, 1.0, 1e-9);
+  ASSERT_EQ(res.classes.size(), 2u);
+  EXPECT_EQ(res.classes[0].members, 32u);
+  EXPECT_EQ(res.classes[1].members, 32u);
+}
+
+TEST(SpatialEntropy, ClassDistancesSane) {
+  GridD halves(8, 8, 0.0);
+  for (std::size_t iy = 0; iy < 8; ++iy)
+    for (std::size_t ix = 0; ix < 8; ++ix)
+      halves.at(ix, iy) = (ix < 4) ? 1.0 : 9.0;
+  const SpatialEntropyResult res = spatial_entropy_detailed(halves);
+  for (const PowerClass& c : res.classes) {
+    EXPECT_GT(c.d_intra, 0.0);
+    EXPECT_GT(c.d_inter, 0.0);
+    // Members of a compact half-plane class are mutually closer than they
+    // are to the other half.
+    EXPECT_LT(c.d_intra, c.d_inter);
+  }
+}
+
+TEST(SpatialEntropy, PaperLiteralRatioIsLargerForCompactClasses) {
+  // For compact classes d_inter > d_intra, so the literal Eq. 3 ratio
+  // produces a larger value than the Claramunt orientation.
+  GridD halves(8, 8, 0.0);
+  for (std::size_t iy = 0; iy < 8; ++iy)
+    for (std::size_t ix = 0; ix < 8; ++ix)
+      halves.at(ix, iy) = (ix < 4) ? 1.0 : 9.0;
+  SpatialEntropyOptions claramunt;
+  claramunt.ratio = EntropyRatio::claramunt;
+  SpatialEntropyOptions literal;
+  literal.ratio = EntropyRatio::paper_literal;
+  EXPECT_GT(spatial_entropy(halves, literal),
+            spatial_entropy(halves, claramunt));
+  // And for the perfectly compact split the literal entropy exceeds the
+  // plain Shannon entropy (ratio > 1), as in the paper's S ~ 2.7..4.5
+  // magnitudes.
+  EXPECT_GT(spatial_entropy(halves, literal),
+            spatial_entropy_detailed(halves, literal).shannon);
+}
+
+TEST(SpatialEntropy, MoreClassesMoreEntropyForScatteredValues) {
+  // A map with 4 interleaved regimes should exceed one with 2.
+  GridD two(16, 16, 0.0), four(16, 16, 0.0);
+  for (std::size_t iy = 0; iy < 16; ++iy) {
+    for (std::size_t ix = 0; ix < 16; ++ix) {
+      two.at(ix, iy) = ((ix + iy) % 2 == 0) ? 1.0 : 9.0;
+      four.at(ix, iy) = 1.0 + 3.0 * static_cast<double>((ix + iy) % 4);
+    }
+  }
+  EXPECT_GT(spatial_entropy(four), spatial_entropy(two));
+}
+
+TEST(SpatialEntropy, InsensitiveToUniformScaling) {
+  // Nested means partitions scale with the data, so a uniformly scaled
+  // map yields the same classes and the same entropy.
+  GridD p(8, 8, 0.0);
+  for (std::size_t i = 0; i < p.size(); ++i)
+    p[i] = static_cast<double>(i % 5);
+  GridD scaled = p;
+  scaled *= 42.0;
+  EXPECT_NEAR(spatial_entropy(p), spatial_entropy(scaled), 1e-9);
+}
+
+TEST(SpatialEntropy, SegregatedGradientScoresHigherThanScatteredMix) {
+  // Under the default (literal) orientation, a coarse segregated
+  // gradient -- the leaky configuration per Sec. 3 finding (i) -- scores
+  // HIGHER spatial entropy than the same two power levels scattered
+  // bin-by-bin (which thermal diffusion decorrelates).  This is exactly
+  // the "lower entropy ~ lower correlation" trend of Sec. 4.2.
+  GridD grouped(16, 16, 0.0), scattered(16, 16, 0.0);
+  for (std::size_t iy = 0; iy < 16; ++iy) {
+    for (std::size_t ix = 0; ix < 16; ++ix) {
+      grouped.at(ix, iy) = (iy < 8) ? 2.0 : 8.0;
+      scattered.at(ix, iy) = ((ix * 7 + iy * 13) % 2 == 0) ? 2.0 : 8.0;
+    }
+  }
+  EXPECT_GT(spatial_entropy(grouped), spatial_entropy(scattered));
+}
+
+}  // namespace
+}  // namespace tsc3d::leakage

@@ -1,0 +1,181 @@
+// Tests for the side-channel vulnerability factor (leakage/svf.hpp).
+#include "leakage/svf.hpp"
+
+#include <cmath>
+#include <gtest/gtest.h>
+
+#include "core/rng.hpp"
+
+namespace tsc3d::leakage {
+namespace {
+
+std::vector<double> scaled(const std::vector<double>& v, double k) {
+  std::vector<double> out(v.size());
+  for (std::size_t i = 0; i < v.size(); ++i) out[i] = k * v[i];
+  return out;
+}
+
+TEST(PhaseSimilarity, NegativeEuclideanIsZeroForIdenticalVectors) {
+  const std::vector<double> a{1.0, 2.0, 3.0};
+  EXPECT_DOUBLE_EQ(
+      phase_similarity(a, a, PhaseSimilarity::negative_euclidean), 0.0);
+}
+
+TEST(PhaseSimilarity, NegativeEuclideanMatchesHandComputedDistance) {
+  const std::vector<double> a{0.0, 0.0}, b{3.0, 4.0};
+  EXPECT_DOUBLE_EQ(
+      phase_similarity(a, b, PhaseSimilarity::negative_euclidean), -5.0);
+}
+
+TEST(PhaseSimilarity, CosineOfParallelVectorsIsOne) {
+  const std::vector<double> a{1.0, 2.0, 3.0};
+  EXPECT_NEAR(phase_similarity(a, scaled(a, 7.5), PhaseSimilarity::cosine),
+              1.0, 1e-12);
+}
+
+TEST(PhaseSimilarity, CosineOfOrthogonalVectorsIsZero) {
+  const std::vector<double> a{1.0, 0.0}, b{0.0, 1.0};
+  EXPECT_NEAR(phase_similarity(a, b, PhaseSimilarity::cosine), 0.0, 1e-12);
+}
+
+TEST(PhaseSimilarity, CosineOfZeroVectorIsZero) {
+  const std::vector<double> a{0.0, 0.0}, b{1.0, 1.0};
+  EXPECT_DOUBLE_EQ(phase_similarity(a, b, PhaseSimilarity::cosine), 0.0);
+}
+
+TEST(PhaseSimilarity, SizeMismatchThrows) {
+  const std::vector<double> a{1.0}, b{1.0, 2.0};
+  EXPECT_THROW((void)phase_similarity(a, b, PhaseSimilarity::pearson),
+               std::invalid_argument);
+}
+
+TEST(Svf, PerfectLeakageWhenSideEqualsOracle) {
+  SvfAccumulator acc;
+  Rng rng(7);
+  for (int i = 0; i < 10; ++i) {
+    std::vector<double> phase(8);
+    for (auto& v : phase) v = rng.uniform(0.0, 5.0);
+    acc.add_phase(phase, phase);
+  }
+  EXPECT_NEAR(acc.svf(), 1.0, 1e-9);
+}
+
+TEST(Svf, PerfectLeakageUnderLinearScaling) {
+  // A side channel that is a scaled copy of the oracle leaks the full
+  // phase structure: SVF must still be ~1.
+  SvfAccumulator acc;
+  Rng rng(11);
+  for (int i = 0; i < 12; ++i) {
+    std::vector<double> phase(6);
+    for (auto& v : phase) v = rng.uniform(0.0, 2.0);
+    acc.add_phase(phase, scaled(phase, 3.0));
+  }
+  EXPECT_NEAR(acc.svf(), 1.0, 1e-9);
+}
+
+TEST(Svf, IndependentSideChannelHasLowSvf) {
+  SvfAccumulator acc;
+  Rng rng(13);
+  for (int i = 0; i < 40; ++i) {
+    std::vector<double> oracle(16), side(16);
+    for (auto& v : oracle) v = rng.uniform(0.0, 1.0);
+    for (auto& v : side) v = rng.uniform(0.0, 1.0);
+    acc.add_phase(oracle, side);
+  }
+  EXPECT_LT(std::abs(acc.svf()), 0.25);
+}
+
+TEST(Svf, NoisySideChannelDegradesSvfMonotonically) {
+  // Increasing observation noise must not increase SVF (averaged over
+  // a few seeds to keep the test robust).
+  double prev = 1.1;
+  for (double noise : {0.0, 0.5, 4.0}) {
+    double avg = 0.0;
+    for (std::uint64_t seed = 1; seed <= 3; ++seed) {
+      SvfAccumulator acc;
+      Rng rng(seed);
+      for (int i = 0; i < 30; ++i) {
+        std::vector<double> oracle(12), side(12);
+        for (std::size_t k = 0; k < oracle.size(); ++k) {
+          oracle[k] = rng.uniform(0.0, 1.0);
+          side[k] = oracle[k] + rng.gaussian(0.0, noise);
+        }
+        acc.add_phase(oracle, side);
+      }
+      avg += acc.svf() / 3.0;
+    }
+    EXPECT_LT(avg, prev + 1e-9) << "noise=" << noise;
+    prev = avg;
+  }
+}
+
+TEST(Svf, RequiresThreePhases) {
+  using Vec = std::vector<double>;
+  SvfAccumulator acc;
+  acc.add_phase(Vec{1.0, 2.0}, Vec{1.0, 2.0});
+  acc.add_phase(Vec{2.0, 1.0}, Vec{2.0, 1.0});
+  EXPECT_THROW((void)acc.svf(), std::logic_error);
+  acc.add_phase(Vec{0.5, 0.5}, Vec{0.5, 0.5});
+  EXPECT_NO_THROW((void)acc.svf());
+}
+
+TEST(Svf, PhaseSizeChangeThrows) {
+  using Vec = std::vector<double>;
+  SvfAccumulator acc;
+  acc.add_phase(Vec{1.0, 2.0}, Vec{1.0});
+  EXPECT_THROW(acc.add_phase(Vec{1.0}, Vec{1.0}), std::invalid_argument);
+  EXPECT_THROW(acc.add_phase(Vec{1.0, 2.0}, Vec{1.0, 2.0}),
+               std::invalid_argument);
+}
+
+TEST(Svf, EmptyPhaseThrows) {
+  SvfAccumulator acc;
+  EXPECT_THROW(acc.add_phase(std::vector<double>{},
+                             std::vector<double>{1.0}),
+               std::invalid_argument);
+}
+
+TEST(Svf, SimilarityVectorsHaveChooseTwoEntries) {
+  SvfAccumulator acc;
+  for (int i = 0; i < 5; ++i)
+    acc.add_phase({static_cast<double>(i)}, {static_cast<double>(i)});
+  const auto [so, ss] = acc.similarity_vectors();
+  EXPECT_EQ(so.size(), 10u);
+  EXPECT_EQ(ss.size(), 10u);
+}
+
+TEST(Svf, GridOverloadMatchesVectorOverload) {
+  SvfAccumulator a, b;
+  Rng rng(3);
+  for (int i = 0; i < 6; ++i) {
+    GridD g(3, 3);
+    for (auto& v : g) v = rng.uniform(0.0, 1.0);
+    std::vector<double> oracle{rng.uniform(0.0, 1.0), rng.uniform(0.0, 1.0)};
+    a.add_phase(oracle, g);
+    b.add_phase(oracle, g.data());
+  }
+  EXPECT_DOUBLE_EQ(a.svf(), b.svf());
+}
+
+class SvfSimilarityMeasures
+    : public ::testing::TestWithParam<PhaseSimilarity> {};
+
+TEST_P(SvfSimilarityMeasures, SelfLeakageIsMaximalForEveryMeasure) {
+  SvfAccumulator acc({GetParam()});
+  Rng rng(29);
+  for (int i = 0; i < 15; ++i) {
+    std::vector<double> phase(10);
+    for (auto& v : phase) v = rng.uniform(0.5, 2.0);
+    acc.add_phase(phase, phase);
+  }
+  EXPECT_NEAR(acc.svf(), 1.0, 1e-9);
+}
+
+INSTANTIATE_TEST_SUITE_P(AllMeasures, SvfSimilarityMeasures,
+                         ::testing::Values(
+                             PhaseSimilarity::negative_euclidean,
+                             PhaseSimilarity::pearson,
+                             PhaseSimilarity::cosine));
+
+}  // namespace
+}  // namespace tsc3d::leakage

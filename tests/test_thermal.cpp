@@ -1,0 +1,233 @@
+// Tests of the layer stack and the detailed grid solver: structure,
+// energy conservation, physical monotonicities, and the TSV heat-pipe
+// effect the paper's mitigation builds on.
+#include <gtest/gtest.h>
+
+#include "thermal/grid_solver.hpp"
+#include "thermal/stack.hpp"
+
+namespace tsc3d::thermal {
+namespace {
+
+TechnologyConfig test_tech() {
+  TechnologyConfig t;
+  t.die_width_um = 2000.0;
+  t.die_height_um = 2000.0;
+  return t;
+}
+
+ThermalConfig test_thermal(std::size_t grid = 16) {
+  ThermalConfig c;
+  c.grid_nx = c.grid_ny = grid;
+  return c;
+}
+
+TEST(LayerStack, TwoDieStackStructure) {
+  const LayerStack s = build_stack(test_tech(), test_thermal());
+  // die0_bulk, bond01, die1_bulk, tim, spreader, sink.
+  ASSERT_EQ(s.layers.size(), 6u);
+  EXPECT_EQ(s.layers[0].name, "die0_bulk");
+  EXPECT_EQ(s.layers[1].name, "bond01");
+  EXPECT_EQ(s.layers[2].name, "die1_bulk");
+  EXPECT_EQ(s.layers[3].name, "tim");
+  EXPECT_EQ(s.layers[4].name, "spreader");
+  EXPECT_EQ(s.layers[5].name, "sink");
+  EXPECT_EQ(s.layer_of_die[0], 0u);
+  EXPECT_EQ(s.layer_of_die[1], 2u);
+}
+
+TEST(LayerStack, TsvLayersAreBondAndUpperBulk) {
+  const LayerStack s = build_stack(test_tech(), test_thermal());
+  EXPECT_FALSE(s.layers[0].tsv_layer);  // bottom bulk: TSVs land here
+  EXPECT_TRUE(s.layers[1].tsv_layer);   // bond
+  EXPECT_TRUE(s.layers[2].tsv_layer);   // upper bulk traversed
+  EXPECT_FALSE(s.layers[3].tsv_layer);
+}
+
+TEST(LayerStack, PowerLayersMatchDies) {
+  const LayerStack s = build_stack(test_tech(), test_thermal());
+  EXPECT_EQ(s.layers[0].power_die, 0u);
+  EXPECT_EQ(s.layers[2].power_die, 1u);
+  EXPECT_FALSE(s.layers[1].has_power());
+  EXPECT_FALSE(s.layers[5].has_power());
+}
+
+TEST(LayerStack, FourDieStack) {
+  TechnologyConfig t = test_tech();
+  t.num_dies = 4;
+  const LayerStack s = build_stack(t, test_thermal());
+  // 4 bulks + 3 bonds + tim + spreader + sink = 10 layers.
+  EXPECT_EQ(s.layers.size(), 10u);
+  EXPECT_EQ(s.layer_of_die.size(), 4u);
+}
+
+TEST(GridSolver, ZeroPowerGivesAmbientEverywhere) {
+  const GridSolver solver(test_tech(), test_thermal());
+  const std::vector<GridD> power(2, GridD(16, 16, 0.0));
+  const GridD tsv(16, 16, 0.0);
+  const ThermalResult res = solver.solve_steady(power, tsv);
+  EXPECT_TRUE(res.converged);
+  EXPECT_NEAR(res.peak_k, 293.15, 1e-3);
+  for (const GridD& t : res.die_temperature)
+    for (const double v : t) EXPECT_NEAR(v, 293.15, 1e-3);
+}
+
+TEST(GridSolver, EnergyConservation) {
+  const GridSolver solver(test_tech(), test_thermal());
+  std::vector<GridD> power(2, GridD(16, 16, 0.0));
+  power[0].at(8, 8) = 2.0;
+  power[1].at(4, 4) = 3.0;
+  const ThermalResult res = solver.solve_steady(power, GridD(16, 16, 0.0));
+  ASSERT_TRUE(res.converged);
+  // All injected power must leave through the sink or the package.
+  EXPECT_NEAR(res.heat_to_sink_w + res.heat_to_package_w, 5.0, 0.05);
+}
+
+TEST(GridSolver, PrimaryPathDominates) {
+  // With a strong heatsink and a weak package path, most heat goes up.
+  const GridSolver solver(test_tech(), test_thermal());
+  std::vector<GridD> power(2, GridD(16, 16, 0.0));
+  power[1].at(8, 8) = 5.0;
+  const ThermalResult res = solver.solve_steady(power, GridD(16, 16, 0.0));
+  EXPECT_GT(res.heat_to_sink_w, res.heat_to_package_w);
+}
+
+TEST(GridSolver, TemperatureAboveAmbientAndPeakAtSource) {
+  const GridSolver solver(test_tech(), test_thermal());
+  std::vector<GridD> power(2, GridD(16, 16, 0.0));
+  power[0].at(12, 3) = 4.0;
+  const ThermalResult res = solver.solve_steady(power, GridD(16, 16, 0.0));
+  const GridD& t0 = res.die_temperature[0];
+  double max_v = 0.0;
+  std::size_t max_ix = 0, max_iy = 0;
+  for (std::size_t iy = 0; iy < 16; ++iy)
+    for (std::size_t ix = 0; ix < 16; ++ix) {
+      EXPECT_GT(t0.at(ix, iy), 293.15 - 1e-6);
+      if (t0.at(ix, iy) > max_v) {
+        max_v = t0.at(ix, iy);
+        max_ix = ix;
+        max_iy = iy;
+      }
+    }
+  EXPECT_EQ(max_ix, 12u);
+  EXPECT_EQ(max_iy, 3u);
+}
+
+TEST(GridSolver, LinearityInPower) {
+  // Steady-state heat conduction is linear: doubling power doubles the
+  // temperature rise.
+  const GridSolver solver(test_tech(), test_thermal());
+  std::vector<GridD> p1(2, GridD(16, 16, 0.0));
+  p1[0].at(8, 8) = 1.0;
+  std::vector<GridD> p2(2, GridD(16, 16, 0.0));
+  p2[0].at(8, 8) = 2.0;
+  const GridD tsv(16, 16, 0.0);
+  const ThermalResult r1 = solver.solve_steady(p1, tsv);
+  const ThermalResult r2 = solver.solve_steady(p2, tsv);
+  const double rise1 = r1.peak_k - 293.15;
+  const double rise2 = r2.peak_k - 293.15;
+  EXPECT_NEAR(rise2 / rise1, 2.0, 0.02);
+}
+
+TEST(GridSolver, TsvsCoolTheBottomDie) {
+  // TSVs act as heat pipes toward the heatsink: with full TSV coverage
+  // the bottom-die hotspot must be cooler than without TSVs.
+  const GridSolver solver(test_tech(), test_thermal());
+  std::vector<GridD> power(2, GridD(16, 16, 0.0));
+  power[0].at(8, 8) = 4.0;
+  const ThermalResult bare =
+      solver.solve_steady(power, GridD(16, 16, 0.0));
+  const ThermalResult piped =
+      solver.solve_steady(power, GridD(16, 16, 1.0));
+  EXPECT_LT(piped.die_temperature[0].max(), bare.die_temperature[0].max());
+}
+
+TEST(GridSolver, LocalTsvIslandCreatesLocalCoolSpot) {
+  // Two identical heat sources; a TSV island under one of them lowers its
+  // temperature relative to the other -- the decorrelation mechanism of
+  // Sec. 3 (finding ii).
+  const GridSolver solver(test_tech(), test_thermal());
+  std::vector<GridD> power(2, GridD(16, 16, 0.0));
+  power[0].at(4, 8) = 2.0;
+  power[0].at(12, 8) = 2.0;
+  GridD tsv(16, 16, 0.0);
+  tsv.at(4, 8) = 1.0;  // island above the first source
+  tsv.at(4, 7) = 1.0;
+  tsv.at(4, 9) = 1.0;
+  const ThermalResult res = solver.solve_steady(power, tsv);
+  EXPECT_LT(res.die_temperature[0].at(4, 8),
+            res.die_temperature[0].at(12, 8) - 0.01);
+}
+
+TEST(GridSolver, DiesAreThermallyCoupled) {
+  // Power on the top die heats the bottom die above ambient.
+  const GridSolver solver(test_tech(), test_thermal());
+  std::vector<GridD> power(2, GridD(16, 16, 0.0));
+  power[1].at(8, 8) = 4.0;
+  const ThermalResult res = solver.solve_steady(power, GridD(16, 16, 0.0));
+  EXPECT_GT(res.die_temperature[0].at(8, 8), 293.15 + 0.05);
+}
+
+TEST(GridSolver, BottomDieRunsHotterForSamePower) {
+  // The bottom die is farther from the heatsink: equal power there yields
+  // a higher peak than on the top die (motivates the thermal design rule).
+  const GridSolver solver(test_tech(), test_thermal());
+  std::vector<GridD> bottom(2, GridD(16, 16, 0.0));
+  bottom[0].at(8, 8) = 4.0;
+  std::vector<GridD> top(2, GridD(16, 16, 0.0));
+  top[1].at(8, 8) = 4.0;
+  const GridD tsv(16, 16, 0.0);
+  EXPECT_GT(solver.solve_steady(bottom, tsv).peak_k,
+            solver.solve_steady(top, tsv).peak_k);
+}
+
+TEST(GridSolver, InputValidation) {
+  const GridSolver solver(test_tech(), test_thermal());
+  EXPECT_THROW(
+      solver.solve_steady({GridD(16, 16, 0.0)}, GridD(16, 16, 0.0)),
+      std::invalid_argument);  // one map for two dies
+  EXPECT_THROW(solver.solve_steady(std::vector<GridD>(2, GridD(8, 8, 0.0)),
+                                   GridD(8, 8, 0.0)),
+               std::invalid_argument);  // wrong grid
+}
+
+TEST(GridSolver, TransientApproachesSteadyState) {
+  const GridSolver solver(test_tech(), test_thermal(8));
+  std::vector<GridD> power(2, GridD(8, 8, 0.0));
+  power[0].at(4, 4) = 2.0;
+  const GridD tsv(8, 8, 0.0);
+  const ThermalResult steady = solver.solve_steady(power, tsv);
+  const TransientResult trans = solver.solve_transient(
+      [&](double) { return power; }, tsv, /*t_end=*/50.0, /*dt=*/0.5, 10);
+  EXPECT_NEAR(trans.final_state.peak_k, steady.peak_k, 0.2);
+}
+
+TEST(GridSolver, TransientTemperatureLagsPower) {
+  // Fig. 1: power steps are instantaneous, temperature responds slowly.
+  // Right after a power step the temperature is far from its final value.
+  const GridSolver solver(test_tech(), test_thermal(8));
+  std::vector<GridD> power(2, GridD(8, 8, 0.0));
+  power[0].at(4, 4) = 2.0;
+  const GridD tsv(8, 8, 0.0);
+  const ThermalResult steady = solver.solve_steady(power, tsv);
+  const TransientResult early = solver.solve_transient(
+      [&](double) { return power; }, tsv, /*t_end=*/1e-3, /*dt=*/1e-4, 1);
+  const double steady_rise = steady.peak_k - 293.15;
+  const double early_rise = early.final_state.peak_k - 293.15;
+  EXPECT_LT(early_rise, 0.8 * steady_rise);
+  EXPECT_GT(early_rise, 0.0);
+}
+
+TEST(GridSolver, TransientMonotoneRiseUnderConstantPower) {
+  const GridSolver solver(test_tech(), test_thermal(8));
+  std::vector<GridD> power(2, GridD(8, 8, 0.0));
+  power[1].at(4, 4) = 3.0;
+  const TransientResult res = solver.solve_transient(
+      [&](double) { return power; }, GridD(8, 8, 0.0), 10.0, 0.5, 1);
+  for (std::size_t i = 1; i < res.trace.size(); ++i)
+    EXPECT_GE(res.trace[i].die_peak_k[1] + 1e-9,
+              res.trace[i - 1].die_peak_k[1]);
+}
+
+}  // namespace
+}  // namespace tsc3d::thermal

@@ -1,0 +1,133 @@
+// Tests of the Elmore timing model (Sec. 6.1).
+#include <gtest/gtest.h>
+
+#include "power/timing.hpp"
+
+namespace tsc3d::power {
+namespace {
+
+/// A tiny two-module design on one or two dies.
+Floorplan3D two_module_design(bool cross_die, double distance_um = 1000.0) {
+  TechnologyConfig tech;
+  tech.die_width_um = tech.die_height_um = 4000.0;
+  Floorplan3D fp(tech);
+  for (int i = 0; i < 2; ++i) {
+    Module m;
+    m.name = i == 0 ? "drv" : "snk";
+    m.shape = {i == 0 ? 0.0 : distance_um, 0.0, 100.0, 100.0};
+    m.area_um2 = 1e4;
+    m.intrinsic_delay_ns = 0.2;
+    m.die = (cross_die && i == 1) ? 1 : 0;
+    m.voltage_index = 1;
+    fp.modules().push_back(m);
+  }
+  Net n;
+  n.pins.push_back({0, kInvalidIndex});
+  n.pins.push_back({1, kInvalidIndex});
+  fp.nets().push_back(n);
+  return fp;
+}
+
+TEST(ElmoreTiming, DelayGrowsWithWireLength) {
+  const Floorplan3D near = two_module_design(false, 500.0);
+  const Floorplan3D far = two_module_design(false, 3000.0);
+  const ElmoreTiming t_near(near);
+  const ElmoreTiming t_far(far);
+  EXPECT_LT(t_near.net_delay_ns(near.nets()[0]),
+            t_far.net_delay_ns(far.nets()[0]));
+}
+
+TEST(ElmoreTiming, CrossDieNetPaysTsvDelay)  {
+  // Same planar distance; the 3D net carries one TSV hop worth of RC.
+  const Floorplan3D planar = two_module_design(false);
+  const Floorplan3D stacked = two_module_design(true);
+  const ElmoreTiming t2d(planar);
+  const ElmoreTiming t3d(stacked);
+  EXPECT_GT(t3d.net_delay_ns(stacked.nets()[0]),
+            t2d.net_delay_ns(planar.nets()[0]));
+}
+
+TEST(ElmoreTiming, StageDelayIncludesModules) {
+  const Floorplan3D fp = two_module_design(false);
+  const ElmoreTiming t(fp);
+  const double net = t.net_delay_ns(fp.nets()[0]);
+  const double stage = t.stage_delay_ns(fp.nets()[0]);
+  // driver 0.2 ns + sink 0.2 ns at 1.0 V.
+  EXPECT_NEAR(stage, net + 0.4, 1e-9);
+}
+
+TEST(ElmoreTiming, VoltageScalesModuleDelay) {
+  Floorplan3D fp = two_module_design(false);
+  const ElmoreTiming t(fp);
+  const double nominal = t.stage_delay_ns(fp.nets()[0]);
+  // Hypothetical: driver at 0.8 V -> its 0.2 ns scales by 1.56.
+  const double slow = t.stage_delay_ns(fp.nets()[0], 0, 0);
+  EXPECT_NEAR(slow - nominal, 0.2 * 0.56, 1e-9);
+  // At 1.2 V the module speeds up.
+  const double fast = t.stage_delay_ns(fp.nets()[0], 0, 2);
+  EXPECT_NEAR(nominal - fast, 0.2 * 0.17, 1e-9);
+}
+
+TEST(ElmoreTiming, AnalyzeFindsCriticalNet) {
+  Floorplan3D fp = two_module_design(false, 3500.0);
+  // Add a short second net; the long one must be critical.
+  Module m;
+  m.name = "c";
+  m.shape = {0.0, 200.0, 100.0, 100.0};
+  m.area_um2 = 1e4;
+  m.intrinsic_delay_ns = 0.01;
+  fp.modules().push_back(m);
+  Net n2;
+  n2.pins.push_back({0, kInvalidIndex});
+  n2.pins.push_back({2, kInvalidIndex});
+  n2.id = 1;
+  fp.nets().push_back(n2);
+  const ElmoreTiming t(fp);
+  const TimingReport rep = t.analyze();
+  EXPECT_EQ(rep.critical_net, 0u);
+  EXPECT_EQ(rep.stage_delay_ns.size(), 2u);
+  EXPECT_GT(rep.critical_delay_ns, rep.stage_delay_ns[1]);
+}
+
+TEST(ElmoreTiming, FeasibleVoltagesShrinkWithTightClock) {
+  Floorplan3D fp = two_module_design(false);
+  const ElmoreTiming t(fp);
+  const double stage = t.stage_delay_ns(fp.nets()[0]);
+  // Generous clock: every level feasible.
+  EXPECT_EQ(t.feasible_voltages(0, stage * 2.0), 0b111u);
+  // Clock exactly at nominal: 0.8 V (slower) must be infeasible.
+  const unsigned tight = t.feasible_voltages(0, stage * 1.001);
+  EXPECT_FALSE(tight & 0b001);
+  EXPECT_TRUE(tight & 0b010);
+  // Clock below even the 1.2 V stage delay: nothing fits.
+  EXPECT_EQ(t.feasible_voltages(0, 0.0), 0u);
+}
+
+TEST(ElmoreTiming, NetsOfModuleIndex) {
+  Floorplan3D fp = two_module_design(false);
+  const ElmoreTiming t(fp);
+  ASSERT_EQ(t.nets_of_module(0).size(), 1u);
+  EXPECT_EQ(t.nets_of_module(0)[0], 0u);
+}
+
+TEST(ElmoreTiming, TerminalOnlyPinsDontCrash) {
+  TechnologyConfig tech;
+  tech.die_width_um = tech.die_height_um = 1000.0;
+  Floorplan3D fp(tech);
+  Terminal a, b;
+  a.position = {0, 0};
+  b.position = {500, 0};
+  fp.terminals().push_back(a);
+  fp.terminals().push_back(b);
+  Net n;
+  NetPin p1, p2;
+  p1.terminal = 0;
+  p2.terminal = 1;
+  n.pins = {p1, p2};
+  fp.nets().push_back(n);
+  const ElmoreTiming t(fp);
+  EXPECT_GE(t.stage_delay_ns(fp.nets()[0]), 0.0);
+}
+
+}  // namespace
+}  // namespace tsc3d::power

@@ -1,0 +1,145 @@
+// Tests of signal-TSV planning and the Fig. 2 pattern generators.
+#include <gtest/gtest.h>
+
+#include "tsv/planner.hpp"
+
+namespace tsc3d::tsv {
+namespace {
+
+Floorplan3D stacked_design() {
+  TechnologyConfig tech;
+  tech.die_width_um = tech.die_height_um = 2000.0;
+  Floorplan3D fp(tech);
+  for (int i = 0; i < 4; ++i) {
+    Module m;
+    m.name = "m" + std::to_string(i);
+    m.shape = {100.0 + 400.0 * i, 100.0, 300.0, 300.0};
+    m.area_um2 = 9e4;
+    m.die = static_cast<std::size_t>(i % 2);
+    fp.modules().push_back(m);
+  }
+  // Net 0 crosses dies (m0 on die 0, m1 on die 1); net 1 stays on die 0.
+  Net n0;
+  n0.id = 0;
+  n0.pins.push_back({0, kInvalidIndex});
+  n0.pins.push_back({1, kInvalidIndex});
+  fp.nets().push_back(n0);
+  Net n1;
+  n1.id = 1;
+  n1.pins.push_back({0, kInvalidIndex});
+  n1.pins.push_back({2, kInvalidIndex});
+  fp.nets().push_back(n1);
+  return fp;
+}
+
+TEST(TsvPlanner, OnlyCrossingNetsGetTsvs) {
+  Floorplan3D fp = stacked_design();
+  const PlanResult res = place_signal_tsvs(fp);
+  EXPECT_EQ(res.crossing_nets, 1u);
+  EXPECT_EQ(res.tsvs_placed, 1u);
+  ASSERT_EQ(fp.tsvs().size(), 1u);
+  EXPECT_EQ(fp.tsvs()[0].net, 0u);
+  EXPECT_EQ(fp.tsvs()[0].kind, TsvKind::signal);
+}
+
+TEST(TsvPlanner, TsvAtNetBoundingBoxCenter) {
+  Floorplan3D fp = stacked_design();
+  place_signal_tsvs(fp);
+  // m0 center (250,250), m1 center (650,250) -> TSV at (450,250).
+  EXPECT_NEAR(fp.tsvs()[0].position.x, 450.0, 1e-9);
+  EXPECT_NEAR(fp.tsvs()[0].position.y, 250.0, 1e-9);
+}
+
+TEST(TsvPlanner, ReplanningIsIdempotent) {
+  Floorplan3D fp = stacked_design();
+  place_signal_tsvs(fp);
+  place_signal_tsvs(fp);
+  EXPECT_EQ(fp.tsvs().size(), 1u);
+}
+
+TEST(TsvPlanner, DummyTsvsSurviveReplanning) {
+  Floorplan3D fp = stacked_design();
+  Tsv dummy;
+  dummy.kind = TsvKind::dummy;
+  dummy.count = 8;
+  fp.tsvs().push_back(dummy);
+  place_signal_tsvs(fp);
+  EXPECT_EQ(fp.tsv_count(TsvKind::dummy), 8u);
+  EXPECT_EQ(fp.tsv_count(TsvKind::signal), 1u);
+}
+
+TEST(TsvPlanner, IslandClusteringMergesNearbyTsvs) {
+  Floorplan3D fp = stacked_design();
+  // Make both nets cross by moving m2 to die 1.
+  fp.modules()[2].die = 1;
+  PlannerOptions opt;
+  opt.island_grid = 1;  // single cluster cell: everything merges
+  const PlanResult res = place_signal_tsvs(fp, opt);
+  EXPECT_EQ(res.crossing_nets, 2u);
+  EXPECT_EQ(res.islands, 1u);
+  EXPECT_EQ(res.tsvs_placed, 2u);
+  ASSERT_EQ(fp.tsvs().size(), 1u);
+  EXPECT_EQ(fp.tsvs()[0].count, 2u);
+}
+
+TEST(TsvPlanner, TsvsStayWithinOutline) {
+  Floorplan3D fp = stacked_design();
+  // Put the crossing modules at the chip corner so the bbox center would
+  // land near the boundary.
+  fp.modules()[0].shape = {0.0, 0.0, 50.0, 50.0};
+  fp.modules()[1].shape = {0.0, 0.0, 50.0, 50.0};
+  place_signal_tsvs(fp);
+  const Rect o = fp.outline();
+  for (const Tsv& t : fp.tsvs()) {
+    EXPECT_TRUE(o.contains(t.position));
+    EXPECT_GT(t.position.x, 0.0);
+    EXPECT_GT(t.position.y, 0.0);
+  }
+}
+
+TEST(TsvPatterns, RegularGridCount) {
+  Floorplan3D fp = stacked_design();
+  clear_tsvs(fp, TsvKind::signal);
+  add_regular_grid(fp, 5, 4);
+  EXPECT_EQ(fp.tsv_count(TsvKind::signal), 20u);
+}
+
+TEST(TsvPatterns, IrregularCountAndBounds) {
+  Floorplan3D fp = stacked_design();
+  clear_tsvs(fp, TsvKind::signal);
+  Rng rng(3);
+  add_irregular(fp, 50, rng);
+  EXPECT_EQ(fp.tsv_count(TsvKind::signal), 50u);
+  for (const Tsv& t : fp.tsvs()) EXPECT_TRUE(fp.outline().contains(t.position));
+}
+
+TEST(TsvPatterns, IslandsCarryCounts) {
+  Floorplan3D fp = stacked_design();
+  clear_tsvs(fp, TsvKind::signal);
+  Rng rng(4);
+  add_islands(fp, 3, 25, rng);
+  EXPECT_EQ(fp.tsvs().size(), 3u);
+  EXPECT_EQ(fp.tsv_count(TsvKind::signal), 75u);
+}
+
+TEST(TsvPatterns, MaxDensityCoversMostOfTheDie) {
+  Floorplan3D fp = stacked_design();
+  clear_tsvs(fp, TsvKind::signal);
+  fill_max_density(fp);
+  const GridD d = fp.tsv_density_map(16, 16);
+  EXPECT_GT(d.mean(), 0.8);
+}
+
+TEST(TsvPatterns, ClearRemovesOnlyRequestedKind) {
+  Floorplan3D fp = stacked_design();
+  place_signal_tsvs(fp);
+  Tsv dummy;
+  dummy.kind = TsvKind::dummy;
+  fp.tsvs().push_back(dummy);
+  clear_tsvs(fp, TsvKind::signal);
+  EXPECT_EQ(fp.tsv_count(TsvKind::signal), 0u);
+  EXPECT_EQ(fp.tsvs().size(), 1u);
+}
+
+}  // namespace
+}  // namespace tsc3d::tsv

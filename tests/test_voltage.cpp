@@ -1,0 +1,165 @@
+// Tests of voltage-volume construction and selection (Sec. 6.1).
+#include <gtest/gtest.h>
+
+#include <set>
+
+#include "power/voltage.hpp"
+
+namespace tsc3d::power {
+namespace {
+
+/// A 2x2 arrangement of abutting modules on die 0 plus one module on
+/// die 1 overlapping the first -- a small but complete topology.
+Floorplan3D grid_design() {
+  TechnologyConfig tech;
+  tech.die_width_um = tech.die_height_um = 4000.0;
+  tech.clock_period_ns = 100.0;  // generous: all voltages feasible
+  Floorplan3D fp(tech);
+  const double s = 500.0;
+  int k = 0;
+  for (int iy = 0; iy < 2; ++iy) {
+    for (int ix = 0; ix < 2; ++ix) {
+      Module m;
+      m.name = "m" + std::to_string(k++);
+      m.shape = {ix * s, iy * s, s, s};
+      m.area_um2 = s * s;
+      m.power_w = 1.0;
+      m.intrinsic_delay_ns = 0.1;
+      m.die = 0;
+      fp.modules().push_back(m);
+    }
+  }
+  Module top;
+  top.name = "top";
+  top.shape = {0.0, 0.0, s, s};
+  top.area_um2 = s * s;
+  top.power_w = 1.0;
+  top.intrinsic_delay_ns = 0.1;
+  top.die = 1;
+  fp.modules().push_back(top);
+  // One net tying everything together so timing has stages.
+  Net n;
+  for (std::size_t i = 0; i < 5; ++i) n.pins.push_back({i, kInvalidIndex});
+  fp.nets().push_back(n);
+  return fp;
+}
+
+TEST(VoltageAssigner, AdjacencySameDieAndCrossDie) {
+  Floorplan3D fp = grid_design();
+  const ElmoreTiming t(fp);
+  VoltageOptions opt;
+  opt.adjacency_tolerance_um = 10.0;
+  const VoltageAssigner va(fp, t, opt);
+  EXPECT_TRUE(va.adjacent(0, 1));   // abutting horizontally
+  EXPECT_TRUE(va.adjacent(0, 2));   // abutting vertically
+  EXPECT_TRUE(va.adjacent(0, 4));   // vertical overlap across dies
+  EXPECT_FALSE(va.adjacent(1, 4));  // different die, disjoint footprints
+}
+
+TEST(VoltageAssigner, EveryModuleAssignedExactlyOnce) {
+  Floorplan3D fp = grid_design();
+  const ElmoreTiming t(fp);
+  VoltageAssigner va(fp, t, {});
+  const VoltageAssignment res = va.assign();
+  std::set<std::size_t> seen;
+  for (const VoltageVolume& v : res.volumes)
+    for (const std::size_t m : v.modules)
+      EXPECT_TRUE(seen.insert(m).second) << "module assigned twice";
+  EXPECT_EQ(seen.size(), fp.modules().size());
+}
+
+TEST(VoltageAssigner, PowerAwarePicksLowestFeasibleVoltage) {
+  Floorplan3D fp = grid_design();  // generous clock: 0.8 V feasible
+  const ElmoreTiming t(fp);
+  VoltageOptions opt;
+  opt.objective = VoltageObjective::power_aware;
+  VoltageAssigner va(fp, t, opt);
+  const VoltageAssignment res = va.assign();
+  for (const VoltageVolume& v : res.volumes)
+    EXPECT_EQ(v.voltage_index, 0u);  // 0.8 V
+  for (const Module& m : fp.modules())
+    EXPECT_EQ(m.voltage_index, 0u);
+  // Total power reflects the 0.817 scaling of all 5 modules.
+  EXPECT_NEAR(res.total_power_w, 5.0 * 0.817, 1e-9);
+}
+
+TEST(VoltageAssigner, TightClockForcesNominalOrHigher) {
+  Floorplan3D fp = grid_design();
+  // Clock set so that 0.8 V violates timing but 1.0 V passes.
+  const ElmoreTiming probe(fp);
+  const double nominal_stage = probe.analyze().critical_delay_ns;
+  fp.tech().clock_period_ns = nominal_stage * 1.05;
+  const ElmoreTiming t(fp);
+  VoltageOptions opt;
+  opt.objective = VoltageObjective::power_aware;
+  VoltageAssigner va(fp, t, opt);
+  va.assign();
+  for (const Module& m : fp.modules()) EXPECT_GE(m.voltage_index, 1u);
+}
+
+TEST(VoltageAssigner, TscObjectiveSplitsDissimilarDensities) {
+  // Two abutting modules with a 10x density gap: the TSC objective must
+  // keep them in separate volumes, PA may merge them.
+  TechnologyConfig tech;
+  tech.die_width_um = tech.die_height_um = 4000.0;
+  tech.clock_period_ns = 100.0;
+  Floorplan3D fp(tech);
+  for (int i = 0; i < 2; ++i) {
+    Module m;
+    m.name = "m" + std::to_string(i);
+    m.shape = {i * 500.0, 0.0, 500.0, 500.0};
+    m.area_um2 = 500.0 * 500.0;
+    m.power_w = i == 0 ? 0.2 : 2.0;
+    m.intrinsic_delay_ns = 0.1;
+    fp.modules().push_back(m);
+  }
+  Net n;
+  n.pins.push_back({0, kInvalidIndex});
+  n.pins.push_back({1, kInvalidIndex});
+  fp.nets().push_back(n);
+
+  const ElmoreTiming t(fp);
+  VoltageOptions pa;
+  pa.objective = VoltageObjective::power_aware;
+  VoltageAssigner va_pa(fp, t, pa);
+  const std::size_t pa_volumes = va_pa.assign().num_volumes();
+
+  VoltageOptions tsc;
+  tsc.objective = VoltageObjective::tsc_aware;
+  tsc.density_band = 0.3;
+  VoltageAssigner va_tsc(fp, t, tsc);
+  const std::size_t tsc_volumes = va_tsc.assign().num_volumes();
+
+  EXPECT_EQ(pa_volumes, 1u);
+  EXPECT_EQ(tsc_volumes, 2u);
+}
+
+TEST(VoltageAssigner, VolumeStatisticsConsistent) {
+  Floorplan3D fp = grid_design();
+  const ElmoreTiming t(fp);
+  VoltageAssigner va(fp, t, {});
+  const VoltageAssignment res = va.assign();
+  double power = 0.0, area = 0.0;
+  for (const VoltageVolume& v : res.volumes) {
+    power += v.power_w;
+    area += v.area_um2;
+    EXPECT_GT(v.area_um2, 0.0);
+  }
+  EXPECT_NEAR(power, res.total_power_w, 1e-9);
+  EXPECT_NEAR(area, 5.0 * 500.0 * 500.0, 1e-6);
+}
+
+TEST(VoltageAssigner, CrossDieVolumeFlagged) {
+  Floorplan3D fp = grid_design();
+  const ElmoreTiming t(fp);
+  VoltageAssigner va(fp, t, {});
+  const VoltageAssignment res = va.assign();
+  // Module 4 (top die) overlaps module 0: with the generous clock they
+  // merge into one volume spanning both dies.
+  bool any_spanning = false;
+  for (const VoltageVolume& v : res.volumes) any_spanning |= v.spans_dies;
+  EXPECT_TRUE(any_spanning);
+}
+
+}  // namespace
+}  // namespace tsc3d::power
