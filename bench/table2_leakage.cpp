@@ -91,10 +91,10 @@ int main(int argc, char** argv) {
 
   // --- emit the Table 2 layout ------------------------------------------
   auto emit = [&](const std::string& label, auto selector, int digits) {
-    for (const std::string& setup : {"PA", "TSC"}) {
+    for (const char* setup : {"PA", "TSC"}) {
       std::vector<std::string> row{label, setup};
       double sum = 0.0;
-      for (const std::string& name :
+      for (const char* name :
            {"n100", "n200", "n300", "ibm01", "ibm03", "ibm07"}) {
         if (!results.count(name)) {
           row.push_back("-");

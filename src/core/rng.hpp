@@ -9,9 +9,19 @@
 #include <cmath>
 #include <cstdint>
 #include <limits>
-#include <numbers>
 #include <stdexcept>
 #include <vector>
+
+// <version> is what reliably defines __cpp_lib_math_constants; probe for
+// it first so the C++20 branch below is reachable on every toolchain.
+#if defined(__has_include)
+#if __has_include(<version>)
+#include <version>
+#endif
+#endif
+#if defined(__cpp_lib_math_constants)
+#include <numbers>
+#endif
 
 namespace tsc3d {
 
@@ -85,8 +95,15 @@ class Rng {
     double u1 = uniform();
     while (u1 <= 0.0) u1 = uniform();
     const double u2 = uniform();
+    // std::numbers::pi needs C++20; keep a literal fallback so the header
+    // still compiles (with identical results) on pre-C++20 toolchains.
+#if defined(__cpp_lib_math_constants)
+    constexpr double kPi = std::numbers::pi;
+#else
+    constexpr double kPi = 3.141592653589793238462643383279502884;
+#endif
     const double r = std::sqrt(-2.0 * std::log(u1));
-    const double theta = 2.0 * std::numbers::pi * u2;
+    const double theta = 2.0 * kPi * u2;
     cached_gaussian_ = r * std::sin(theta);
     has_cached_gaussian_ = true;
     return r * std::cos(theta);

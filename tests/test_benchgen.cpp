@@ -21,7 +21,7 @@ TEST(BenchmarkSpec, LookupByName) {
 }
 
 TEST(BenchmarkSpec, UnknownNameThrows) {
-  EXPECT_THROW(spec_by_name("n999"), std::out_of_range);
+  EXPECT_THROW((void)spec_by_name("n999"), std::out_of_range);
 }
 
 TEST(BenchmarkSpec, DieEdgeFromOutline) {
@@ -128,7 +128,9 @@ TEST(Generator, TerminalsOnBoundary) {
 TEST(Generator, HardModulesHaveFixedAspect) {
   const Floorplan3D fp = generate("ibm01", 9);
   for (const Module& m : fp.modules()) {
-    if (!m.soft) EXPECT_DOUBLE_EQ(m.min_aspect, m.max_aspect);
+    if (!m.soft) {
+      EXPECT_DOUBLE_EQ(m.min_aspect, m.max_aspect);
+    }
   }
 }
 

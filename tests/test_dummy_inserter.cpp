@@ -93,9 +93,11 @@ TEST(DummyInserter, FocusRegionsRestrictPlacement) {
   opt.max_iterations = 4;
   const Rect focus{1200.0, 1200.0, 800.0, 800.0};  // around the hotspot
   opt.focus_regions.push_back(focus);
-  insert_dummy_tsvs(fp, solver, rng, opt);
+  (void)insert_dummy_tsvs(fp, solver, rng, opt);
   for (const Tsv& t : fp.tsvs()) {
-    if (t.kind == TsvKind::dummy) EXPECT_TRUE(focus.contains(t.position));
+    if (t.kind == TsvKind::dummy) {
+      EXPECT_TRUE(focus.contains(t.position));
+    }
   }
 }
 

@@ -83,7 +83,8 @@ TEST(Pearson, GridOverloadMatchesVectorOverload) {
 }
 
 TEST(Pearson, LengthMismatchThrows) {
-  EXPECT_THROW(pearson(std::vector<double>{1, 2}, std::vector<double>{1}),
+  EXPECT_THROW((void)pearson(std::vector<double>{1, 2},
+                             std::vector<double>{1}),
                std::invalid_argument);
 }
 

@@ -33,8 +33,9 @@ TEST(MonolithicStack, UsesIldAndTierThickness) {
       EXPECT_NEAR(layer.thickness_m, 0.5e-6, 1e-12);
       EXPECT_TRUE(layer.tsv_layer);
     }
-    if (layer.name.rfind("die", 0) == 0)
+    if (layer.name.rfind("die", 0) == 0) {
       EXPECT_NEAR(layer.thickness_m, 1.0e-6, 1e-12);
+    }
   }
   EXPECT_TRUE(found_ild);
 }
