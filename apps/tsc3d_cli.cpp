@@ -23,7 +23,7 @@
 #include "config/config_file.hpp"
 #include "core/map_io.hpp"
 #include "floorplan/floorplanner.hpp"
-#include "thermal/grid_solver.hpp"
+#include "thermal/thermal_engine.hpp"
 
 namespace {
 
@@ -165,13 +165,18 @@ int main(int argc, char** argv) {
       std::filesystem::create_directories(dir);
       benchgen::write_bundle(fp, dir / "floorplan");
 
-      const thermal::GridSolver solver(fp.tech(), opt.thermal);
+      thermal::ThermalEngine engine(fp.tech(), opt.thermal);
       const std::size_t nx = opt.thermal.grid_nx, ny = opt.thermal.grid_ny;
       std::vector<GridD> power;
       for (std::size_t d = 0; d < fp.tech().num_dies; ++d)
         power.push_back(fp.power_map(d, nx, ny));
       const auto thermal_res =
-          solver.solve_steady(power, fp.tsv_density_map(nx, ny));
+          engine.solve_steady(power, fp.tsv_density_map(nx, ny));
+      if (!args.quiet)
+        std::cout << "thermal solve   : " << thermal_res.iterations
+                  << " sweeps, "
+                  << (thermal_res.converged ? "converged" : "NOT CONVERGED")
+                  << " (residual " << thermal_res.residual_k << " K)\n";
       for (std::size_t d = 0; d < fp.tech().num_dies; ++d) {
         const std::string stem = "die" + std::to_string(d);
         write_csv(power[d], dir / (stem + "_power.csv"));

@@ -14,6 +14,7 @@
 #include "floorplan/annealer.hpp"
 #include "leakage/pearson.hpp"
 #include "thermal/power_blur.hpp"
+#include "thermal/thermal_engine.hpp"
 #include "tsv/planner.hpp"
 
 using namespace tsc3d;
@@ -26,8 +27,8 @@ int main(int argc, char** argv) {
   Floorplan3D fp = benchgen::generate("n100", seed);
   ThermalConfig cfg;
   cfg.grid_nx = cfg.grid_ny = 32;
-  const thermal::GridSolver solver(fp.tech(), cfg);
-  const thermal::PowerBlur blur(solver, 10);
+  thermal::ThermalEngine engine(fp.tech(), cfg);
+  const thermal::PowerBlur blur(engine, 10);
 
   Rng rng(seed);
   floorplan::LayoutState state = floorplan::LayoutState::initial(fp, rng);
@@ -63,7 +64,7 @@ int main(int argc, char** argv) {
     std::vector<GridD> power{fp.power_map(0, 32, 32),
                              fp.power_map(1, 32, 32)};
     const GridD tsvs = fp.tsv_density_map(32, 32);
-    const thermal::ThermalResult detailed = solver.solve_steady(power, tsvs);
+    const thermal::ThermalResult detailed = engine.solve_steady(power, tsvs);
     const std::vector<GridD> fast = blur.estimate(power, tsvs);
 
     const double field_corr =

@@ -14,7 +14,7 @@
 #include "core/rng.hpp"
 #include "leakage/pearson.hpp"
 #include "leakage/spatial_entropy.hpp"
-#include "thermal/grid_solver.hpp"
+#include "thermal/thermal_engine.hpp"
 
 using namespace tsc3d;
 
@@ -124,7 +124,9 @@ int main(int argc, char** argv) {
   tech.die_width_um = tech.die_height_um = 4000.0;
   ThermalConfig cfg;
   cfg.grid_nx = cfg.grid_ny = kGrid;
-  const thermal::GridSolver solver(tech, cfg);
+  // One engine for the whole 30-combination sweep: each solve warm-starts
+  // from the previous combination's field.
+  thermal::ThermalEngine engine(tech, cfg);
 
   const std::vector<std::string> power_kinds = {
       "globally_uniform", "locally_uniform", "small_gradients",
@@ -149,7 +151,7 @@ int main(int argc, char** argv) {
       Rng rng(seed);  // same randomness for every combo: fair comparison
       const std::vector<GridD> power = make_power(pk, 8.0, rng);
       const GridD tsvs = make_tsvs(tk, rng);
-      const thermal::ThermalResult res = solver.solve_steady(power, tsvs);
+      const thermal::ThermalResult res = engine.solve_steady(power, tsvs);
       const double r1 = leakage::pearson(power[0], res.die_temperature[0]);
       const double r2 = leakage::pearson(power[1], res.die_temperature[1]);
       row.push_back(bench::fmt(r1, 2) + "/" + bench::fmt(r2, 2));

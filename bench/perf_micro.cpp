@@ -55,6 +55,58 @@ void BM_SteadyStateSolve(benchmark::State& state) {
 BENCHMARK(BM_SteadyStateSolve)->Arg(16)->Arg(32)->Arg(64)
     ->Unit(benchmark::kMillisecond);
 
+/// Cold-start ThermalEngine solves: fresh assembly + ambient initial
+/// guess every iteration (engine.reset()), i.e. what every solve paid
+/// before the engine existed.
+void BM_SolveSteadyCold(benchmark::State& state) {
+  const auto g = static_cast<std::size_t>(state.range(0));
+  TechnologyConfig tech;
+  tech.die_width_um = tech.die_height_um = 4000.0;
+  ThermalConfig cfg;
+  cfg.grid_nx = cfg.grid_ny = g;
+  thermal::ThermalEngine engine(tech, cfg);
+  std::vector<GridD> power(2, GridD(g, g, 0.0));
+  power[0].at(g / 2, g / 2) = 3.0;
+  const GridD tsv(g, g, 0.1);
+  for (auto _ : state) {
+    engine.reset();
+    const auto res = engine.solve_steady(power, tsv);
+    benchmark::DoNotOptimize(res.peak_k);
+  }
+}
+BENCHMARK(BM_SolveSteadyCold)->Arg(16)->Arg(32)->Arg(64)
+    ->Unit(benchmark::kMillisecond);
+
+/// Warm-started ThermalEngine solves over a jittering power map -- the
+/// annealing/sampling-loop workload: cached assembly plus the previous
+/// field as the initial guess.
+void BM_SolveSteadyWarm(benchmark::State& state) {
+  const auto g = static_cast<std::size_t>(state.range(0));
+  TechnologyConfig tech;
+  tech.die_width_um = tech.die_height_um = 4000.0;
+  ThermalConfig cfg;
+  cfg.grid_nx = cfg.grid_ny = g;
+  thermal::ThermalEngine engine(tech, cfg);
+  std::vector<GridD> power(2, GridD(g, g, 0.0));
+  power[0].at(g / 2, g / 2) = 3.0;
+  const GridD tsv(g, g, 0.1);
+  (void)engine.solve_steady(power, tsv);  // prime assembly + field
+  Rng rng(7);
+  for (auto _ : state) {
+    // Perturb one bin per solve, like a single annealing move would; the
+    // bin is restored afterwards so the workload cannot drift (erasing
+    // the hotspot would let warm solves degenerate to ~1 sweep).
+    const std::size_t ix = rng.index(g), iy = rng.index(g);
+    const double saved = power[0].at(ix, iy);
+    power[0].at(ix, iy) = saved + rng.uniform(0.0, 0.2);
+    const auto res = engine.solve_steady(power, tsv);
+    benchmark::DoNotOptimize(res.peak_k);
+    power[0].at(ix, iy) = saved;
+  }
+}
+BENCHMARK(BM_SolveSteadyWarm)->Arg(16)->Arg(32)->Arg(64)
+    ->Unit(benchmark::kMillisecond);
+
 void BM_PowerBlurEstimate(benchmark::State& state) {
   TechnologyConfig tech;
   tech.die_width_um = tech.die_height_um = 4000.0;

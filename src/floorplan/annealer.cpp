@@ -255,18 +255,25 @@ AnnealStats Annealer::run(LayoutState& state, Rng& rng) {
   ++stats.full_evals;
 
   // Calibrate T0 so that `initial_accept` of random uphill moves pass.
+  // The probe walk accumulates moves on a scratch copy, so each move's
+  // uphill delta must be measured against the cost of the walk's previous
+  // state -- not the initial cost, which goes stale as the walk drifts
+  // and would bias T0 toward the (larger) total drift.
   {
     std::vector<double> uphill;
     LayoutState probe = state;
+    double prev_total = current.total;
     for (std::size_t k = 0; k < 60; ++k) {
       Undo undo;
       random_move(probe, rng, undo);
+      if (undo.kind == Undo::Kind::none) continue;
       probe.apply_to(fp_);
       const CostBreakdown c = eval_.evaluate_cheap();
-      const double delta = c.total - current.total;
+      const double delta = c.total - prev_total;
       if (delta > 0.0) uphill.push_back(delta);
+      prev_total = c.total;
     }
-    state.apply_to(fp_);  // restore
+    state.apply_to(fp_);  // restore the floorplan to the starting layout
     const double avg =
         uphill.empty()
             ? 0.1

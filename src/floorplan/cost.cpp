@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <cmath>
 #include <numeric>
+#include <stdexcept>
 
 #include "leakage/pearson.hpp"
 #include "tsv/planner.hpp"
@@ -33,6 +34,11 @@ CostEvaluator::CostEvaluator(Floorplan3D& fp, const thermal::PowerBlur& blur,
       opt_(std::move(options)),
       timing_(fp, opt_.timing) {
   opt_.voltage.objective = opt_.voltage_objective;
+  if (opt_.detailed_engine != nullptr &&
+      (opt_.detailed_engine->nx() != opt_.leakage_grid ||
+       opt_.detailed_engine->ny() != opt_.leakage_grid))
+    throw std::invalid_argument(
+        "CostEvaluator: detailed_engine grid must match leakage_grid");
   cached_correlation_.assign(fp_.tech().num_dies, 0.0);
   cached_entropy_.assign(fp_.tech().num_dies, 0.0);
 }
@@ -93,7 +99,14 @@ void CostEvaluator::measure_thermal(CostBreakdown& c) {
   for (std::size_t d = 0; d < fp_.tech().num_dies; ++d)
     power_maps.push_back(fp_.power_map(d, g, g));
   const GridD tsv_map = fp_.tsv_density_map(g, g);
-  const std::vector<GridD> temps = blur_.estimate(power_maps, tsv_map);
+  // Detailed in-loop thermal when an engine is wired up (successive
+  // layouts differ by one move, so the warm-started solve is cheap);
+  // the power-blurring estimate otherwise.
+  const std::vector<GridD> temps =
+      opt_.detailed_engine != nullptr
+          ? opt_.detailed_engine->solve_steady(power_maps, tsv_map)
+                .die_temperature
+          : blur_.estimate(power_maps, tsv_map);
 
   double peak = 0.0;
   c.correlation.clear();

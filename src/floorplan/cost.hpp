@@ -24,6 +24,7 @@
 #include "power/timing.hpp"
 #include "power/voltage.hpp"
 #include "thermal/power_blur.hpp"
+#include "thermal/thermal_engine.hpp"
 
 namespace tsc3d::floorplan {
 
@@ -75,6 +76,14 @@ class CostEvaluator {
     power::VoltageOptions voltage;
     std::size_t leakage_grid = 32;  ///< fast-analysis grid resolution
     leakage::SpatialEntropyOptions entropy_options;
+    /// When set, evaluate_thermal()/evaluate_full() solve the detailed
+    /// steady state on this engine (at leakage_grid resolution) instead
+    /// of the power-blurring estimate.  The engine's cached assembly and
+    /// warm-started solves keep this affordable inside the annealing
+    /// loop; the paper's fast-vs-detailed quality gap disappears at the
+    /// cost of a few SOR sweeps per refresh.  The engine must outlive the
+    /// evaluator and match leakage_grid.
+    thermal::ThermalEngine* detailed_engine = nullptr;
   };
 
   /// `blur` provides the calibrated fast thermal model (32x32 by default).

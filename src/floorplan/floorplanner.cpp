@@ -38,10 +38,13 @@ FloorplanMetrics Floorplanner::run(Floorplan3D& fp, Rng& rng) const {
   FloorplanMetrics metrics;
 
   // --- fast thermal model, calibrated for this chip ---------------------
+  // One engine serves the whole in-loop resolution: power-blur
+  // calibration and (optionally) the detailed in-loop solves.  Its cached
+  // assembly and warm-start state persist across the annealing run.
   ThermalConfig fast_cfg = opt_.thermal;
   fast_cfg.grid_nx = fast_cfg.grid_ny = opt_.fast_grid;
-  const thermal::GridSolver fast_solver(fp.tech(), fast_cfg);
-  const thermal::PowerBlur blur(fast_solver, opt_.blur_radius);
+  thermal::ThermalEngine fast_engine(fp.tech(), fast_cfg);
+  const thermal::PowerBlur blur(fast_engine, opt_.blur_radius);
 
   // --- cost evaluator with the mode's weights ---------------------------
   CostEvaluator::Options eval_opt;
@@ -53,6 +56,7 @@ FloorplanMetrics Floorplanner::run(Floorplan3D& fp, Rng& rng) const {
   eval_opt.voltage = opt_.voltage;
   eval_opt.leakage_grid = opt_.fast_grid;
   eval_opt.entropy_options = opt_.entropy;
+  if (opt_.detailed_inner_thermal) eval_opt.detailed_engine = &fast_engine;
   CostEvaluator evaluator(fp, blur, eval_opt);
 
   // --- simulated annealing ------------------------------------------------
@@ -84,21 +88,21 @@ FloorplanMetrics Floorplanner::run(Floorplan3D& fp, Rng& rng) const {
   if (do_dummy) {
     ThermalConfig sampling_cfg = opt_.thermal;
     sampling_cfg.grid_nx = sampling_cfg.grid_ny = opt_.sampling_grid;
-    const thermal::GridSolver sampling_solver(fp.tech(), sampling_cfg);
-    metrics.dummy = tsv::insert_dummy_tsvs(fp, sampling_solver, rng,
+    thermal::ThermalEngine sampling_engine(fp.tech(), sampling_cfg);
+    metrics.dummy = tsv::insert_dummy_tsvs(fp, sampling_engine, rng,
                                            opt_.dummy);
   }
 
   // --- detailed verification (Fig. 3, bottom) -----------------------------
   ThermalConfig verify_cfg = opt_.thermal;
   verify_cfg.grid_nx = verify_cfg.grid_ny = opt_.verify_grid;
-  const thermal::GridSolver verify_solver(fp.tech(), verify_cfg);
+  thermal::ThermalEngine verify_engine(fp.tech(), verify_cfg);
   const std::size_t g = opt_.verify_grid;
   std::vector<GridD> power_maps;
   for (std::size_t d = 0; d < fp.tech().num_dies; ++d)
     power_maps.push_back(fp.power_map(d, g, g));
   const thermal::ThermalResult verified =
-      verify_solver.solve_steady(power_maps, fp.tsv_density_map(g, g));
+      verify_engine.solve_steady(power_maps, fp.tsv_density_map(g, g));
 
   for (std::size_t d = 0; d < fp.tech().num_dies; ++d) {
     metrics.correlation.push_back(

@@ -63,6 +63,11 @@ struct FloorplannerOptions {
   /// voltage assignment has real slack structure to work with (cf. the
   /// red high-voltage modules of Fig. 4a).  0 keeps the configured clock.
   double auto_clock_factor = 0.9;
+  /// Replace the power-blurring estimate inside the SA loop with detailed
+  /// warm-started ThermalEngine solves at fast_grid resolution.  Closes
+  /// the fast-vs-detailed quality gap the paper concedes (Sec. 6) at the
+  /// cost of a few SOR sweeps per thermal refresh.
+  bool detailed_inner_thermal = false;
 };
 
 /// Everything Table 2 reports for one floorplanning run, plus traces.

@@ -16,14 +16,14 @@ std::vector<double> ActivityModel::sample(const Floorplan3D& fp,
 }
 
 StabilitySampling run_stability_sampling(const Floorplan3D& fp,
-                                         const thermal::GridSolver& solver,
+                                         thermal::ThermalEngine& engine,
                                          std::size_t samples, Rng& rng,
                                          const ActivityModel& model) {
   if (samples < 2)
     throw std::invalid_argument(
         "run_stability_sampling: need at least 2 samples");
-  const std::size_t nx = solver.nx();
-  const std::size_t ny = solver.ny();
+  const std::size_t nx = engine.nx();
+  const std::size_t ny = engine.ny();
   const std::size_t dies = fp.tech().num_dies;
 
   std::vector<StabilityAccumulator> acc(dies, StabilityAccumulator(nx, ny));
@@ -36,7 +36,7 @@ StabilitySampling run_stability_sampling(const Floorplan3D& fp,
     power.reserve(dies);
     for (std::size_t d = 0; d < dies; ++d)
       power.push_back(fp.power_map(d, nx, ny, &activity));
-    const thermal::ThermalResult res = solver.solve_steady(power, tsv);
+    const thermal::ThermalResult res = engine.solve_steady(power, tsv);
     for (std::size_t d = 0; d < dies; ++d) {
       acc[d].add(power[d], res.die_temperature[d]);
       corr_sum[d] += pearson(power[d], res.die_temperature[d]);
@@ -52,6 +52,13 @@ StabilitySampling run_stability_sampling(const Floorplan3D& fp,
                                    static_cast<double>(samples));
   }
   return out;
+}
+
+StabilitySampling run_stability_sampling(const Floorplan3D& fp,
+                                         const thermal::GridSolver& solver,
+                                         std::size_t samples, Rng& rng,
+                                         const ActivityModel& model) {
+  return run_stability_sampling(fp, solver.engine(), samples, rng, model);
 }
 
 std::vector<double> nominal_correlations(

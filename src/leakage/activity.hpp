@@ -42,7 +42,15 @@ struct StabilitySampling {
 
 /// Run `samples` Gaussian activity samples through the detailed thermal
 /// solver and accumulate the per-die stability maps.  This mirrors the
-/// paper's 100-run HotSpot sweeps.
+/// paper's 100-run HotSpot sweeps.  Successive samples are 10% power
+/// perturbations of each other, so the engine's warm-started solves make
+/// the campaign cheap.
+[[nodiscard]] StabilitySampling run_stability_sampling(
+    const Floorplan3D& fp, thermal::ThermalEngine& engine,
+    std::size_t samples, Rng& rng, const ActivityModel& model = {});
+
+/// Compatibility overload for GridSolver holders; runs on the solver's
+/// underlying engine.
 [[nodiscard]] StabilitySampling run_stability_sampling(
     const Floorplan3D& fp, const thermal::GridSolver& solver,
     std::size_t samples, Rng& rng, const ActivityModel& model = {});

@@ -83,7 +83,7 @@ void RampKalman::update(double z_k) {
   p11_ = p11;
 }
 
-DtmResult run_dtm(const Floorplan3D& fp, const thermal::GridSolver& solver,
+DtmResult run_dtm(const Floorplan3D& fp, thermal::ThermalEngine& engine,
                   double duration_s, double dt_s, Rng& rng,
                   const DtmOptions& options) {
   if (duration_s <= 0.0 || dt_s <= 0.0)
@@ -95,7 +95,8 @@ DtmResult run_dtm(const Floorplan3D& fp, const thermal::GridSolver& solver,
   if (options.release_k > options.trigger_k)
     throw std::invalid_argument("run_dtm: release above trigger");
 
-  const std::size_t nx = solver.nx(), ny = solver.ny();
+  const std::size_t nx = engine.nx(), ny = engine.ny();
+  const double ambient_k = engine.config().ambient_k;
   const std::size_t dies = fp.tech().num_dies;
   const GridD tsv_density = fp.tsv_density_map(nx, ny);
 
@@ -116,7 +117,7 @@ DtmResult run_dtm(const Floorplan3D& fp, const thermal::GridSolver& solver,
     nominal[i] = fp.effective_power(i);
 
   // Controller state, mutated by the feedback callback.
-  RampKalman filter(293.15, options.kalman_process_var,
+  RampKalman filter(ambient_k, options.kalman_process_var,
                     options.kalman_slope_var,
                     options.sensor_noise_k * options.sensor_noise_k);
   bool throttled = false;
@@ -126,25 +127,31 @@ DtmResult run_dtm(const Floorplan3D& fp, const thermal::GridSolver& solver,
   DtmResult result;
   double rmse_acc = 0.0;
   std::size_t rmse_n = 0;
+  /// Throttle state in effect during each step, for the post-hoc time
+  /// accounting below.
+  std::vector<bool> step_throttled;
+  step_throttled.reserve(static_cast<std::size_t>(duration_s / dt_s) + 2);
 
   const auto power_at = [&](double time_s,
                             const std::vector<GridD>& die_temp_prev) {
-    // True peak over all dies (ground truth for the result metrics).
-    double true_peak = 293.15;
+    // Peak over all dies of the state the sensor can observe at this
+    // instant (the field the previous step produced).
+    double observed_peak = ambient_k;
     for (const auto& map : die_temp_prev)
-      true_peak = std::max(true_peak, map.max());
-    result.peak_k = std::max(result.peak_k, true_peak);
-    if (true_peak > options.trigger_k) result.time_over_trigger_s += dt_s;
-    if (throttled) {
-      result.throttled_time_s += dt_s;
-      result.performance_loss += (1.0 - options.throttle_scale) * dt_s;
-    }
+      observed_peak = std::max(observed_peak, map.max());
 
     if (time_s >= next_control_s) {
-      next_control_s += options.control_period_s;
+      // Advance the control clock until it is strictly ahead of the
+      // simulation clock.  The single `+= period` of the old code fell
+      // permanently behind once a step overshot a period boundary (e.g.
+      // dt close to the period), silently turning the controller into a
+      // read-every-step one.
+      while (next_control_s <= time_s)
+        next_control_s += options.control_period_s;
+      ++result.sensor_reads;
       // Noisy sensor read of the observed peak.
       const double reading =
-          true_peak + rng.gaussian(0.0, options.sensor_noise_k);
+          observed_peak + rng.gaussian(0.0, options.sensor_noise_k);
       double estimate;
       double decision_value;
       if (options.use_kalman) {
@@ -163,7 +170,7 @@ DtmResult run_dtm(const Floorplan3D& fp, const thermal::GridSolver& solver,
           decision_value +=
               options.lookahead_periods * (estimate - prev_estimate_k);
       }
-      rmse_acc += (estimate - true_peak) * (estimate - true_peak);
+      rmse_acc += (estimate - observed_peak) * (estimate - observed_peak);
       ++rmse_n;
       prev_estimate_k = estimate;
       have_prev_estimate = true;
@@ -173,6 +180,7 @@ DtmResult run_dtm(const Floorplan3D& fp, const thermal::GridSolver& solver,
       if (throttled && decision_value < options.release_k) throttled = false;
       if (was_throttled != throttled) ++result.control_actions;
     }
+    step_throttled.push_back(throttled);
 
     std::vector<double> power = nominal;
     if (throttled)
@@ -185,12 +193,41 @@ DtmResult run_dtm(const Floorplan3D& fp, const thermal::GridSolver& solver,
     return maps;
   };
 
-  (void)solver.solve_transient_feedback(power_at, tsv_density, duration_s,
-                                        dt_s);
+  const thermal::TransientResult sim = engine.solve_transient_feedback(
+      power_at, tsv_density, duration_s, dt_s, /*record_stride=*/1);
+  result.thermal_converged = sim.unconverged_steps == 0;
+
+  // Time accounting from the per-step trace: sample k holds the
+  // temperatures at the END of step k, so each step's share of the
+  // duration is attributed to the temperature that step actually
+  // produced.  (The old callback-side accounting attributed the PREVIOUS
+  // step's temperatures to the current timestamp and never assessed the
+  // final step's outcome.)  The solver takes ceil(duration/dt) steps, so
+  // the last step only covers the remainder of the duration.
+  for (std::size_t k = 0; k < sim.trace.size(); ++k) {
+    const double step_dt =
+        k + 1 == sim.steps
+            ? duration_s - static_cast<double>(sim.steps - 1) * dt_s
+            : dt_s;
+    double peak = ambient_k;
+    for (const double v : sim.trace[k].die_peak_k) peak = std::max(peak, v);
+    result.peak_k = std::max(result.peak_k, peak);
+    if (peak > options.trigger_k) result.time_over_trigger_s += step_dt;
+    if (k < step_throttled.size() && step_throttled[k]) {
+      result.throttled_time_s += step_dt;
+      result.performance_loss += (1.0 - options.throttle_scale) * step_dt;
+    }
+  }
   result.performance_loss /= duration_s;
   result.estimate_rmse_k =
       rmse_n > 0 ? std::sqrt(rmse_acc / static_cast<double>(rmse_n)) : 0.0;
   return result;
+}
+
+DtmResult run_dtm(const Floorplan3D& fp, const thermal::GridSolver& solver,
+                  double duration_s, double dt_s, Rng& rng,
+                  const DtmOptions& options) {
+  return run_dtm(fp, solver.engine(), duration_s, dt_s, rng, options);
 }
 
 }  // namespace tsc3d::mitigation

@@ -110,13 +110,29 @@ struct DtmResult {
   double peak_k = 0.0;               ///< true peak over the whole run
   double throttled_time_s = 0.0;     ///< time spent throttled
   double performance_loss = 0.0;     ///< mean power reduction fraction
-  double estimate_rmse_k = 0.0;      ///< sensor estimate vs true peak
+  /// RMSE of the controller's estimate against the peak it could observe
+  /// at read time (the field the previous solver step produced).
+  double estimate_rmse_k = 0.0;
   std::size_t control_actions = 0;   ///< throttle state toggles
+  std::size_t sensor_reads = 0;      ///< control-period sensor samples
+  bool thermal_converged = true;     ///< every solver step converged
 };
 
 /// Simulate `duration_s` of the DTM loop on the floorplan's nominal
 /// activity.  The controller reads the hottest die's peak through a noisy
 /// sensor each control period and throttles the hottest modules.
+/// The solver takes ceil(duration_s / dt_s) steps; time accounting is
+/// clamped to `duration_s`, but when duration_s is not a multiple of
+/// dt_s the last (partial) interval is assessed at the temperature the
+/// full final step produced (slightly past duration_s) -- pick dt_s
+/// dividing duration_s for exact-window metrics.
+[[nodiscard]] DtmResult run_dtm(const Floorplan3D& fp,
+                                thermal::ThermalEngine& engine,
+                                double duration_s, double dt_s, Rng& rng,
+                                const DtmOptions& options = {});
+
+/// Compatibility overload for GridSolver holders; runs on the solver's
+/// underlying engine.
 [[nodiscard]] DtmResult run_dtm(const Floorplan3D& fp,
                                 const thermal::GridSolver& solver,
                                 double duration_s, double dt_s, Rng& rng,

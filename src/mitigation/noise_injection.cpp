@@ -35,7 +35,7 @@ std::vector<std::size_t> coolest_bins(const GridD& thermal,
 }  // namespace
 
 InjectionResult run_noise_injection(const Floorplan3D& fp,
-                                    const thermal::GridSolver& solver,
+                                    thermal::ThermalEngine& engine,
                                     const InjectionOptions& options,
                                     const std::vector<double>* module_power_w) {
   if (options.budget_fraction < 0.0)
@@ -46,7 +46,7 @@ InjectionResult run_noise_injection(const Floorplan3D& fp,
   if (options.sites_per_die == 0)
     throw std::invalid_argument("run_noise_injection: no injector sites");
 
-  const std::size_t nx = solver.nx(), ny = solver.ny();
+  const std::size_t nx = engine.nx(), ny = engine.ny();
   const std::size_t dies = fp.tech().num_dies;
   const GridD tsv_density = fp.tsv_density_map(nx, ny);
 
@@ -63,7 +63,7 @@ InjectionResult run_noise_injection(const Floorplan3D& fp,
   result.injected_power_w.assign(dies, GridD(nx, ny, 0.0));
 
   // Baseline solve: correlations the attacker enjoys without mitigation.
-  auto thermal_res = solver.solve_steady(true_power, tsv_density);
+  auto thermal_res = engine.solve_steady(true_power, tsv_density);
   result.peak_k_before = thermal_res.peak_k;
   for (std::size_t d = 0; d < dies; ++d) {
     result.correlation_before.push_back(
@@ -109,7 +109,7 @@ InjectionResult run_noise_injection(const Floorplan3D& fp,
         batch.push_back({{d, i}, dp});
       }
     }
-    auto next_res = solver.solve_steady(total_power, tsv_density);
+    auto next_res = engine.solve_steady(total_power, tsv_density);
     const double next_roughness = mean_roughness(next_res);
     if (options.stop_at_sweet_spot && next_roughness > roughness) {
       for (const auto& [site, dp] : batch) {
@@ -132,6 +132,13 @@ InjectionResult run_noise_injection(const Floorplan3D& fp,
         thermal_roughness(thermal_res.die_temperature[d]));
   }
   return result;
+}
+
+InjectionResult run_noise_injection(const Floorplan3D& fp,
+                                    const thermal::GridSolver& solver,
+                                    const InjectionOptions& options,
+                                    const std::vector<double>* module_power_w) {
+  return run_noise_injection(fp, solver.engine(), options, module_power_w);
 }
 
 }  // namespace tsc3d::mitigation

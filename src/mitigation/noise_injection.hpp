@@ -76,6 +76,15 @@ struct InjectionResult {
 /// Run the smoothing controller on the floorplan's nominal activity.
 /// `module_power_w` optionally supplies one activity sample (as in the
 /// stability campaigns); nominal effective power is used otherwise.
+/// The controller's iterative re-solves share the engine's cached
+/// conductance network and warm-start from each other.
+[[nodiscard]] InjectionResult run_noise_injection(
+    const Floorplan3D& fp, thermal::ThermalEngine& engine,
+    const InjectionOptions& options = {},
+    const std::vector<double>* module_power_w = nullptr);
+
+/// Compatibility overload for GridSolver holders; runs on the solver's
+/// underlying engine.
 [[nodiscard]] InjectionResult run_noise_injection(
     const Floorplan3D& fp, const thermal::GridSolver& solver,
     const InjectionOptions& options = {},

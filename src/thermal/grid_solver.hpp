@@ -8,10 +8,13 @@
 // analysis, Sec. 6), and the same interface shape (power maps in, thermal
 // maps out).
 //
-// Steady-state solves use Gauss-Seidel with successive over-relaxation;
-// transient solves use implicit Euler time stepping (unconditionally
-// stable, so millisecond steps are fine for the slow thermal dynamics the
-// paper's Fig. 1 illustrates).
+// GridSolver is a thin compatibility facade over ThermalEngine (see
+// thermal/thermal_engine.hpp), which owns the cached conductance network
+// and the solver state.  The facade keeps the legacy semantics: every
+// steady-state solve cold-starts from ambient, so results are a pure
+// function of the inputs regardless of call history.  Callers with
+// solve-in-a-loop workloads should hold a ThermalEngine (or use
+// `engine()`) to get assembly reuse plus warm-started solves.
 #pragma once
 
 #include <cstddef>
@@ -21,49 +24,33 @@
 #include "core/config.hpp"
 #include "core/grid.hpp"
 #include "thermal/stack.hpp"
+#include "thermal/thermal_engine.hpp"
 
 namespace tsc3d::thermal {
 
-/// Output of a steady-state solve.
-struct ThermalResult {
-  /// Temperature map of each die's power layer [K], die 0 first.
-  std::vector<GridD> die_temperature;
-  /// Temperature maps of every stack layer, bottom to top [K].
-  std::vector<GridD> layer_temperature;
-  double peak_k = 0.0;            ///< hottest node anywhere in the stack
-  std::size_t iterations = 0;     ///< SOR sweeps used
-  bool converged = false;
-  double heat_to_sink_w = 0.0;    ///< power leaving through the heatsink
-  double heat_to_package_w = 0.0; ///< power leaving via the secondary path
-};
-
-/// One recorded snapshot of a transient solve.
-struct TransientSample {
-  double time_s = 0.0;
-  std::vector<double> die_peak_k;  ///< per-die peak temperature
-  std::vector<double> die_mean_k;  ///< per-die mean temperature
-  std::vector<double> die_power_w; ///< per-die total power at this instant
-};
-
-/// Output of a transient solve.
-struct TransientResult {
-  std::vector<TransientSample> trace;
-  ThermalResult final_state;
-};
-
 class GridSolver {
  public:
-  GridSolver(const TechnologyConfig& tech, const ThermalConfig& cfg);
+  GridSolver(const TechnologyConfig& tech, const ThermalConfig& cfg)
+      : engine_(tech, cfg) {}
 
-  [[nodiscard]] std::size_t nx() const { return cfg_.grid_nx; }
-  [[nodiscard]] std::size_t ny() const { return cfg_.grid_ny; }
-  [[nodiscard]] const LayerStack& stack() const { return stack_; }
+  [[nodiscard]] std::size_t nx() const { return engine_.nx(); }
+  [[nodiscard]] std::size_t ny() const { return engine_.ny(); }
+  [[nodiscard]] const LayerStack& stack() const { return engine_.stack(); }
+
+  /// The underlying engine.  Mutable even through a const GridSolver:
+  /// the facade's const methods already mutate engine scratch state; the
+  /// GridSolver API just guarantees history-independent results.  Like
+  /// the engine itself, this is not thread-safe.
+  [[nodiscard]] ThermalEngine& engine() const { return engine_; }
 
   /// Steady-state solve.  `die_power_w` holds one nx-by-ny map per die with
   /// power in watts per bin; `tsv_density` holds the fraction of each bin
   /// covered by TSV cells (affects the bond and upper-bulk layers).
   [[nodiscard]] ThermalResult solve_steady(
-      const std::vector<GridD>& die_power_w, const GridD& tsv_density) const;
+      const std::vector<GridD>& die_power_w, const GridD& tsv_density) const {
+    return engine_.solve_steady(die_power_w, tsv_density,
+                                ThermalEngine::Start::cold);
+  }
 
   /// Transient solve with implicit Euler.  `power_at` is sampled once per
   /// step; a snapshot is recorded every `record_stride` steps.  The initial
@@ -71,28 +58,25 @@ class GridSolver {
   [[nodiscard]] TransientResult solve_transient(
       const std::function<std::vector<GridD>(double time_s)>& power_at,
       const GridD& tsv_density, double t_end_s, double dt_s,
-      std::size_t record_stride = 1) const;
+      std::size_t record_stride = 1) const {
+    return engine_.solve_transient(power_at, tsv_density, t_end_s, dt_s,
+                                   record_stride);
+  }
 
   /// Closed-loop variant: the power callback additionally receives the
   /// previous step's per-die temperature maps, so runtime controllers
   /// (DTM throttling, noise injectors, covert-channel receivers with
   /// feedback) can react to the thermal state they caused.
-  using FeedbackPower = std::function<std::vector<GridD>(
-      double time_s, const std::vector<GridD>& die_temp_prev)>;
+  using FeedbackPower = ThermalEngine::FeedbackPower;
   [[nodiscard]] TransientResult solve_transient_feedback(
       const FeedbackPower& power_at, const GridD& tsv_density,
-      double t_end_s, double dt_s, std::size_t record_stride = 1) const;
+      double t_end_s, double dt_s, std::size_t record_stride = 1) const {
+    return engine_.solve_transient_feedback(power_at, tsv_density, t_end_s,
+                                            dt_s, record_stride);
+  }
 
  private:
-  struct Assembly;  // conductance network for one TSV distribution
-
-  void check_inputs(const std::vector<GridD>& die_power_w,
-                    const GridD& tsv_density) const;
-  [[nodiscard]] Assembly assemble(const GridD& tsv_density) const;
-
-  TechnologyConfig tech_;
-  ThermalConfig cfg_;
-  LayerStack stack_;
+  mutable ThermalEngine engine_;
 };
 
 }  // namespace tsc3d::thermal

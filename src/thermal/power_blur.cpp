@@ -22,14 +22,18 @@ std::size_t reflect(long i, std::size_t n) {
 }  // namespace
 
 PowerBlur::PowerBlur(const GridSolver& solver, std::size_t kernel_radius)
-    : num_dies_(solver.stack().layer_of_die.size()),
-      nx_(solver.nx()),
-      ny_(solver.ny()),
+    : PowerBlur(solver.engine(), kernel_radius) {}
+
+PowerBlur::PowerBlur(ThermalEngine& engine, std::size_t kernel_radius)
+    : num_dies_(engine.stack().layer_of_die.size()),
+      nx_(engine.nx()),
+      ny_(engine.ny()),
       radius_(std::min({kernel_radius, nx_ / 2, ny_ / 2})) {
   const std::size_t cx = nx_ / 2;
   const std::size_t cy = ny_ / 2;
   constexpr double kImpulseW = 0.1;
 
+  ambient_k_ = engine.config().ambient_k;
   kernels_.assign(2, std::vector<Kernel>(num_dies_ * num_dies_));
   GridD zero_power(nx_, ny_, 0.0);
   for (int tsv_case = 0; tsv_case < 2; ++tsv_case) {
@@ -37,16 +41,7 @@ PowerBlur::PowerBlur(const GridSolver& solver, std::size_t kernel_radius)
     for (std::size_t s = 0; s < num_dies_; ++s) {
       std::vector<GridD> power(num_dies_, zero_power);
       power[s].at(cx, cy) = kImpulseW;
-      const ThermalResult res = solver.solve_steady(power, density);
-      if (ambient_k_ == 0.0) {
-        // Recover the ambient from a far corner minus the far-field rise;
-        // simpler: the solver config is not exposed, so calibrate ambient
-        // from a zero-power solve once.
-        const ThermalResult idle =
-            solver.solve_steady(std::vector<GridD>(num_dies_, zero_power),
-                                density);
-        ambient_k_ = idle.die_temperature[0].at(0, 0);
-      }
+      const ThermalResult res = engine.solve_steady(power, density);
       for (std::size_t d = 0; d < num_dies_; ++d) {
         Kernel& k = kernels_[tsv_case][s * num_dies_ + d];
         const GridD& t = res.die_temperature[d];

@@ -26,8 +26,14 @@ namespace tsc3d::thermal {
 
 class PowerBlur {
  public:
-  /// Calibrate kernels against `solver`.  `kernel_radius` is the kernel
-  /// half-width in grid bins of the solver's resolution.
+  /// Calibrate kernels against `engine`.  `kernel_radius` is the kernel
+  /// half-width in grid bins of the engine's resolution.  Calibration
+  /// runs one impulse-response solve per (TSV regime, source die); the
+  /// engine reuses the assembled network within each regime and
+  /// warm-starts successive solves.
+  explicit PowerBlur(ThermalEngine& engine, std::size_t kernel_radius = 12);
+
+  /// Compatibility overload: calibrate against a GridSolver facade.
   explicit PowerBlur(const GridSolver& solver, std::size_t kernel_radius = 12);
 
   [[nodiscard]] std::size_t nx() const { return nx_; }

@@ -1,0 +1,380 @@
+#include "thermal/thermal_engine.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <stdexcept>
+
+namespace tsc3d::thermal {
+
+ThermalEngine::ThermalEngine(const TechnologyConfig& tech,
+                             const ThermalConfig& cfg)
+    : tech_(tech), cfg_(cfg), stack_(build_stack(tech, cfg)) {
+  tech_.validate();
+  cfg_.validate();
+}
+
+void ThermalEngine::reset() {
+  asm_valid_ = false;
+  field_valid_ = false;
+}
+
+void ThermalEngine::check_inputs(const std::vector<GridD>& die_power_w,
+                                 const GridD& tsv_density) const {
+  if (die_power_w.size() != tech_.num_dies)
+    throw std::invalid_argument("ThermalEngine: one power map per die required");
+  for (const GridD& p : die_power_w) {
+    if (p.nx() != cfg_.grid_nx || p.ny() != cfg_.grid_ny)
+      throw std::invalid_argument("ThermalEngine: power-map grid mismatch");
+  }
+  if (tsv_density.nx() != cfg_.grid_nx || tsv_density.ny() != cfg_.grid_ny)
+    throw std::invalid_argument("ThermalEngine: TSV-map grid mismatch");
+}
+
+const ThermalEngine::Assembly& ThermalEngine::assembly_for(
+    const GridD& tsv_density) {
+  if (tsv_density.nx() != cfg_.grid_nx || tsv_density.ny() != cfg_.grid_ny)
+    throw std::invalid_argument("ThermalEngine: TSV-map grid mismatch");
+  // The density map is the only per-solve input that changes the
+  // conductance matrix; an exact element-wise compare against the map
+  // the cached assembly was built from decides reuse (same O(n) as any
+  // fingerprint, with no collision risk).
+  if (asm_valid_ && tsv_density.data() == asm_tsv_) {
+    ++stats_.assembly_reuses;
+    return asm_;
+  }
+  build_assembly(tsv_density);
+  asm_tsv_ = tsv_density.data();
+  asm_valid_ = true;
+  ++stats_.assembly_builds;
+  return asm_;
+}
+
+void ThermalEngine::build_assembly(const GridD& tsv_density) {
+  Assembly& a = asm_;
+  a.nx = cfg_.grid_nx;
+  a.ny = cfg_.grid_ny;
+  a.nl = stack_.layers.size();
+  const std::size_t nx = a.nx, ny = a.ny, nl = a.nl;
+  const std::size_t nxny = nx * ny;
+  const std::size_t n = a.num_nodes();
+  const double cell_w = stack_.width_m / static_cast<double>(nx);
+  const double cell_h = stack_.height_m / static_cast<double>(ny);
+  const double cell_area = cell_w * cell_h;
+  const auto ncells = static_cast<double>(nxny);
+
+  // Per-cell vertical conductivity of each layer; only TSV layers vary.
+  // TSVs blend the layer material toward copper by the cell's area
+  // fraction f: k_v = (1 - f) * k_layer + f * k_copper.
+  std::vector<std::vector<double>> k_vert(nl);
+  for (std::size_t l = 0; l < nl; ++l) {
+    const Layer& layer = stack_.layers[l];
+    k_vert[l].assign(nxny, layer.k_w_per_mk);
+    if (layer.tsv_layer) {
+      for (std::size_t i = 0; i < nxny; ++i) {
+        const double f = std::clamp(tsv_density[i], 0.0, 1.0);
+        k_vert[l][i] = (1.0 - f) * layer.k_w_per_mk + f * cfg_.k_tsv_copper;
+      }
+    }
+  }
+
+  a.g_xm.assign(n, 0.0);
+  a.g_xp.assign(n, 0.0);
+  a.g_ym.assign(n, 0.0);
+  a.g_yp.assign(n, 0.0);
+  a.g_zm.assign(n, 0.0);
+  a.g_zp.assign(n, 0.0);
+  a.cap.assign(n, 0.0);
+
+  for (std::size_t l = 0; l < nl; ++l) {
+    const Layer& layer = stack_.layers[l];
+    // Lateral conduction uses the base material: TSVs are discrete
+    // vertical pillars and contribute no continuous lateral path.
+    const double g_lat_x = layer.k_w_per_mk * layer.thickness_m * cell_h /
+                           cell_w;
+    const double g_lat_y = layer.k_w_per_mk * layer.thickness_m * cell_w /
+                           cell_h;
+    const double cell_volume = cell_area * layer.thickness_m;
+    const std::size_t base = l * nxny;
+    for (std::size_t iy = 0; iy < ny; ++iy) {
+      for (std::size_t ix = 0; ix < nx; ++ix) {
+        const std::size_t i = base + iy * nx + ix;
+        if (ix > 0) a.g_xm[i] = g_lat_x;
+        if (ix + 1 < nx) a.g_xp[i] = g_lat_x;
+        if (iy > 0) a.g_ym[i] = g_lat_y;
+        if (iy + 1 < ny) a.g_yp[i] = g_lat_y;
+        a.cap[i] = layer.c_j_per_m3k * cell_volume;
+      }
+    }
+    if (layer.tsv_layer) {
+      for (std::size_t c = 0; c < nxny; ++c) {
+        const double f = std::clamp(tsv_density[c], 0.0, 1.0);
+        a.cap[base + c] =
+            ((1.0 - f) * layer.c_j_per_m3k + f * cfg_.c_tsv_copper) *
+            cell_volume;
+      }
+    }
+  }
+
+  // Vertical conductances: half-thickness resistances in series.
+  for (std::size_t l = 0; l + 1 < nl; ++l) {
+    const double t0 = stack_.layers[l].thickness_m;
+    const double t1 = stack_.layers[l + 1].thickness_m;
+    for (std::size_t c = 0; c < nxny; ++c) {
+      const double r = 0.5 * t0 / k_vert[l][c] + 0.5 * t1 / k_vert[l + 1][c];
+      const double g = cell_area / r;
+      a.g_zp[l * nxny + c] = g;
+      a.g_zm[(l + 1) * nxny + c] = g;
+    }
+  }
+
+  // Boundary paths: convection atop the sink, lumped package resistance
+  // below layer 0.  A lumped resistance R over N parallel cells gives
+  // R_cell = R * N, i.e. g_cell = 1 / (R * N).
+  a.g_sink.assign(nxny, 1.0 / (cfg_.r_convec_k_per_w * ncells));
+  a.g_pkg.assign(nxny, 1.0 / (cfg_.r_package_k_per_w * ncells));
+
+  a.diag_static.assign(n, 0.0);
+  a.bound_rhs.assign(n, 0.0);
+  for (std::size_t i = 0; i < n; ++i) {
+    a.diag_static[i] = a.g_xm[i] + a.g_xp[i] + a.g_ym[i] + a.g_yp[i] +
+                       a.g_zm[i] + a.g_zp[i];
+  }
+  for (std::size_t c = 0; c < nxny; ++c) {
+    const std::size_t top = (nl - 1) * nxny + c;
+    a.diag_static[top] += a.g_sink[c];
+    a.bound_rhs[top] += a.g_sink[c] * cfg_.ambient_k;
+    a.diag_static[c] += a.g_pkg[c];
+    a.bound_rhs[c] += a.g_pkg[c] * cfg_.ambient_k;
+  }
+
+  // (Re)size the padded field and scratch.  One layer of padding on both
+  // ends keeps every neighbor read of the sweep inside the buffer; the
+  // matching conductances are zero there.  Resizing invalidates any warm
+  // field (only happens when the grid shape changes).
+  field_offset_ = nxny;
+  if (temp_.size() != n + 2 * nxny) {
+    temp_.assign(n + 2 * nxny, cfg_.ambient_k);
+    field_valid_ = false;
+  }
+  rhs_.resize(n);
+  diag_.resize(n);
+}
+
+double ThermalEngine::sweep(const std::vector<double>& rhs,
+                            const std::vector<double>& diag) {
+  const Assembly& a = asm_;
+  const std::size_t nx = a.nx, ny = a.ny, nl = a.nl;
+  const std::size_t nxny = nx * ny;
+  const double omega = cfg_.sor_omega;
+  double* t = field();
+  const double* gxm = a.g_xm.data();
+  const double* gxp = a.g_xp.data();
+  const double* gym = a.g_ym.data();
+  const double* gyp = a.g_yp.data();
+  const double* gzm = a.g_zm.data();
+  const double* gzp = a.g_zp.data();
+  const double* r = rhs.data();
+  const double* dg = diag.data();
+
+  double max_delta = 0.0;
+  // Red-black ordering: nodes with even (ix+iy+l) first, then odd.  Each
+  // color only reads the other, so the stride-2 inner loop is
+  // dependence-free and vectorizes.
+  for (int color = 0; color < 2; ++color) {
+    for (std::size_t l = 0; l < nl; ++l) {
+      for (std::size_t iy = 0; iy < ny; ++iy) {
+        const std::size_t row = (l * ny + iy) * nx;
+        for (std::size_t ix = (l + iy + static_cast<std::size_t>(color)) & 1;
+             ix < nx; ix += 2) {
+          const std::size_t i = row + ix;
+          const double flux = r[i] + gxm[i] * t[i - 1] + gxp[i] * t[i + 1] +
+                              gym[i] * t[i - nx] + gyp[i] * t[i + nx] +
+                              gzm[i] * t[i - nxny] + gzp[i] * t[i + nxny];
+          const double delta = flux / dg[i] - t[i];
+          t[i] += omega * delta;
+          max_delta = std::max(max_delta, std::abs(delta));
+        }
+      }
+    }
+  }
+  return max_delta;
+}
+
+void ThermalEngine::fill_steady_rhs(const std::vector<GridD>& die_power_w) {
+  const Assembly& a = asm_;
+  const std::size_t nxny = a.nx * a.ny;
+  std::copy(a.bound_rhs.begin(), a.bound_rhs.end(), rhs_.begin());
+  for (std::size_t l = 0; l < a.nl; ++l) {
+    const Layer& layer = stack_.layers[l];
+    if (!layer.has_power()) continue;
+    const GridD& p = die_power_w[layer.power_die];
+    double* dst = rhs_.data() + l * nxny;
+    for (std::size_t c = 0; c < nxny; ++c) dst[c] += p[c];
+  }
+}
+
+void ThermalEngine::extract_field(ThermalResult& result) const {
+  const Assembly& a = asm_;
+  const std::size_t nx = a.nx, ny = a.ny, nl = a.nl;
+  const std::size_t nxny = nx * ny;
+  const double* t = field();
+
+  result.layer_temperature.clear();
+  result.layer_temperature.reserve(nl);
+  result.peak_k = cfg_.ambient_k;
+  for (std::size_t l = 0; l < nl; ++l) {
+    GridD map(nx, ny, 0.0);
+    for (std::size_t c = 0; c < nxny; ++c) {
+      map[c] = t[l * nxny + c];
+      result.peak_k = std::max(result.peak_k, map[c]);
+    }
+    result.layer_temperature.push_back(std::move(map));
+  }
+  result.die_temperature.clear();
+  result.die_temperature.reserve(tech_.num_dies);
+  for (std::size_t d = 0; d < tech_.num_dies; ++d)
+    result.die_temperature.push_back(
+        result.layer_temperature[stack_.layer_of_die[d]]);
+
+  result.heat_to_sink_w = 0.0;
+  result.heat_to_package_w = 0.0;
+  for (std::size_t c = 0; c < nxny; ++c) {
+    result.heat_to_sink_w +=
+        a.g_sink[c] * (t[(nl - 1) * nxny + c] - cfg_.ambient_k);
+    result.heat_to_package_w += a.g_pkg[c] * (t[c] - cfg_.ambient_k);
+  }
+}
+
+ThermalResult ThermalEngine::solve_steady(const std::vector<GridD>& die_power_w,
+                                          const GridD& tsv_density,
+                                          Start start) {
+  check_inputs(die_power_w, tsv_density);
+  const std::size_t reuses_before = stats_.assembly_reuses;
+  const Assembly& a = assembly_for(tsv_density);
+  fill_steady_rhs(die_power_w);
+
+  ThermalResult result;
+  result.assembly_reused = stats_.assembly_reuses > reuses_before;
+
+  const bool warm = start == Start::warm && field_valid_;
+  if (!warm) std::fill(temp_.begin(), temp_.end(), cfg_.ambient_k);
+  result.warm_started = warm;
+
+  for (std::size_t it = 0; it < cfg_.max_iterations; ++it) {
+    const double delta = sweep(rhs_, a.diag_static);
+    result.iterations = it + 1;
+    result.residual_k = delta;
+    if (delta < cfg_.tolerance_k) {
+      result.converged = true;
+      break;
+    }
+  }
+  field_valid_ = true;
+
+  ++stats_.steady_solves;
+  if (warm) ++stats_.warm_starts;
+  stats_.total_sweeps += result.iterations;
+
+  extract_field(result);
+  return result;
+}
+
+TransientResult ThermalEngine::solve_transient(
+    const std::function<std::vector<GridD>(double)>& power_at,
+    const GridD& tsv_density, double t_end_s, double dt_s,
+    std::size_t record_stride) {
+  return solve_transient_feedback(
+      [&](double t, const std::vector<GridD>&) { return power_at(t); },
+      tsv_density, t_end_s, dt_s, record_stride);
+}
+
+TransientResult ThermalEngine::solve_transient_feedback(
+    const FeedbackPower& power_at, const GridD& tsv_density, double t_end_s,
+    double dt_s, std::size_t record_stride) {
+  if (t_end_s <= 0.0 || dt_s <= 0.0)
+    throw std::invalid_argument("solve_transient: non-positive time");
+  if (record_stride == 0) record_stride = 1;
+  const Assembly& a = assembly_for(tsv_density);
+  const std::size_t nx = a.nx, ny = a.ny;
+  const std::size_t nxny = nx * ny;
+  const std::size_t n = a.num_nodes();
+
+  // The initial condition is ambient everywhere: it is part of the
+  // problem statement, not an iteration guess, so no warm start here.
+  std::fill(temp_.begin(), temp_.end(), cfg_.ambient_k);
+  double* t = field();
+
+  // Implicit Euler: (G + C/dt) T_new = P + G_b T_amb + (C/dt) T_old.
+  // cap/dt is hoisted out of the step loop; it feeds both the diagonal
+  // and every step's rhs.
+  std::vector<double> cap_over_dt(n);
+  for (std::size_t i = 0; i < n; ++i) {
+    cap_over_dt[i] = a.cap[i] / dt_s;
+    diag_[i] = a.diag_static[i] + cap_over_dt[i];
+  }
+
+  TransientResult out;
+  std::vector<GridD> die_temp_prev(tech_.num_dies,
+                                   GridD(nx, ny, cfg_.ambient_k));
+  const auto steps = static_cast<std::size_t>(std::ceil(t_end_s / dt_s));
+  out.steps = steps;
+  for (std::size_t step = 0; step < steps; ++step) {
+    const double t_now = static_cast<double>(step + 1) * dt_s;
+    const std::vector<GridD> power = power_at(t_now, die_temp_prev);
+    check_inputs(power, tsv_density);
+
+    for (std::size_t i = 0; i < n; ++i)
+      rhs_[i] = a.bound_rhs[i] + cap_over_dt[i] * t[i];
+    for (std::size_t l = 0; l < a.nl; ++l) {
+      const Layer& layer = stack_.layers[l];
+      if (!layer.has_power()) continue;
+      const GridD& p = power[layer.power_die];
+      double* dst = rhs_.data() + l * nxny;
+      for (std::size_t c = 0; c < nxny; ++c) dst[c] += p[c];
+    }
+
+    bool step_converged = false;
+    std::size_t step_iters = 0;
+    for (std::size_t it = 0; it < cfg_.max_iterations; ++it) {
+      const double delta = sweep(rhs_, diag_);
+      step_iters = it + 1;
+      out.final_state.residual_k = delta;
+      if (delta < cfg_.tolerance_k) {
+        step_converged = true;
+        break;
+      }
+    }
+    out.total_iterations += step_iters;
+    if (!step_converged) ++out.unconverged_steps;
+    ++stats_.transient_steps;
+    stats_.total_sweeps += step_iters;
+
+    for (std::size_t d = 0; d < tech_.num_dies; ++d) {
+      const std::size_t l = stack_.layer_of_die[d];
+      for (std::size_t c = 0; c < nxny; ++c)
+        die_temp_prev[d][c] = t[l * nxny + c];
+    }
+
+    if (step % record_stride == 0 || step + 1 == steps) {
+      TransientSample s;
+      s.time_s = t_now;
+      for (std::size_t d = 0; d < tech_.num_dies; ++d) {
+        const GridD& map = die_temp_prev[d];
+        s.die_peak_k.push_back(map.max());
+        s.die_mean_k.push_back(map.mean());
+        s.die_power_w.push_back(power[d].sum());
+      }
+      out.trace.push_back(std::move(s));
+    }
+  }
+  field_valid_ = true;
+
+  // Final snapshot as a full ThermalResult.  Converged only if every
+  // step's inner loop converged; iterations totals all sweeps.
+  extract_field(out.final_state);
+  out.final_state.converged = out.unconverged_steps == 0;
+  out.final_state.iterations = out.total_iterations;
+  return out;
+}
+
+}  // namespace tsc3d::thermal

@@ -1,0 +1,197 @@
+// tsc3d -- thermal side-channel-aware 3D floorplanning.
+//
+// ThermalEngine: the stateful, reuse-aware core of the HotSpot-style
+// finite-volume thermal solver.  Where the legacy GridSolver facade
+// re-assembles the conductance network and restarts every SOR solve from
+// ambient, the engine
+//
+//  * caches the assembled network and re-validates it with a cheap
+//    fingerprint of the TSV-density map (the only solve input that
+//    changes the matrix), so back-to-back solves over the same TSV
+//    arrangement -- the common case in annealing, activity sampling,
+//    noise injection, and DTM loops -- skip assembly entirely;
+//  * keeps the temperature field of the previous solve and uses it to
+//    warm-start the next one: successive power maps in those loops are
+//    small perturbations of each other, so a warm start typically
+//    converges in a handful of sweeps instead of hundreds;
+//  * sweeps in red-black order over flattened per-node conductance
+//    arrays.  Nodes of one color only read nodes of the other, so the
+//    stride-2 inner loop carries no dependence, vectorizes, and can later
+//    be sharded across threads;
+//  * reports solver effort (sweeps, convergence, residual, reuse) in
+//    ThermalResult / TransientResult so callers and benches can see what
+//    a solve actually cost.
+//
+// The engine is deliberately NOT thread-safe: it owns mutable scratch
+// state.  Use one engine per thread (the assembly could be shared later).
+#pragma once
+
+#include <cstddef>
+#include <functional>
+#include <vector>
+
+#include "core/config.hpp"
+#include "core/grid.hpp"
+#include "thermal/stack.hpp"
+
+namespace tsc3d::thermal {
+
+/// Output of a steady-state solve.
+struct ThermalResult {
+  /// Temperature map of each die's power layer [K], die 0 first.
+  std::vector<GridD> die_temperature;
+  /// Temperature maps of every stack layer, bottom to top [K].
+  std::vector<GridD> layer_temperature;
+  double peak_k = 0.0;            ///< hottest node anywhere in the stack
+  std::size_t iterations = 0;     ///< SOR sweeps used
+  bool converged = false;
+  double heat_to_sink_w = 0.0;    ///< power leaving through the heatsink
+  double heat_to_package_w = 0.0; ///< power leaving via the secondary path
+  // --- solver diagnostics (filled by ThermalEngine) ---------------------
+  double residual_k = 0.0;        ///< max node update of the last sweep
+  bool warm_started = false;      ///< initial guess was a previous field
+  bool assembly_reused = false;   ///< conductance network came from cache
+};
+
+/// One recorded snapshot of a transient solve.
+struct TransientSample {
+  double time_s = 0.0;
+  std::vector<double> die_peak_k;  ///< per-die peak temperature
+  std::vector<double> die_mean_k;  ///< per-die mean temperature
+  std::vector<double> die_power_w; ///< per-die total power at this instant
+};
+
+/// Output of a transient solve.
+struct TransientResult {
+  std::vector<TransientSample> trace;
+  /// Final snapshot.  `converged` is true only if EVERY implicit-Euler
+  /// step's inner SOR loop converged; `iterations` is the total sweep
+  /// count over all steps.
+  ThermalResult final_state;
+  std::size_t steps = 0;               ///< implicit-Euler steps taken
+  std::size_t unconverged_steps = 0;   ///< steps that exhausted max_iterations
+  std::size_t total_iterations = 0;    ///< SOR sweeps summed over all steps
+};
+
+class ThermalEngine {
+ public:
+  /// Initial guess policy for a steady-state solve.
+  enum class Start {
+    warm,  ///< reuse the previous temperature field when available
+    cold,  ///< always restart from ambient (legacy GridSolver semantics)
+  };
+
+  /// Cumulative reuse counters, for benches and diagnostics.
+  struct Stats {
+    std::size_t steady_solves = 0;
+    std::size_t transient_steps = 0;
+    std::size_t warm_starts = 0;
+    std::size_t assembly_builds = 0;
+    std::size_t assembly_reuses = 0;
+    std::size_t total_sweeps = 0;
+  };
+
+  ThermalEngine(const TechnologyConfig& tech, const ThermalConfig& cfg);
+
+  [[nodiscard]] std::size_t nx() const { return cfg_.grid_nx; }
+  [[nodiscard]] std::size_t ny() const { return cfg_.grid_ny; }
+  [[nodiscard]] const LayerStack& stack() const { return stack_; }
+  [[nodiscard]] const ThermalConfig& config() const { return cfg_; }
+  [[nodiscard]] const Stats& stats() const { return stats_; }
+
+  /// Steady-state solve.  `die_power_w` holds one nx-by-ny map per die
+  /// with power in watts per bin; `tsv_density` holds the fraction of
+  /// each bin covered by TSV cells.  With Start::warm (the default) the
+  /// previous field seeds the iteration; warm and cold solves converge
+  /// to the same fixed point and carry the same order of residual error.
+  /// Note the SOR stopping rule bounds the per-sweep update (tolerance_k),
+  /// not the absolute solution error, so warm/cold fields agree to solver
+  /// accuracy -- a small multiple of tolerance_k in practice (the tests
+  /// assert 1e-3 K agreement at tolerance_k = 1e-6) -- not bitwise.
+  [[nodiscard]] ThermalResult solve_steady(
+      const std::vector<GridD>& die_power_w, const GridD& tsv_density,
+      Start start = Start::warm);
+
+  /// Transient solve with implicit Euler.  Always starts from ambient
+  /// (the initial condition is part of the problem statement, not a
+  /// guess); the final field is kept as the warm seed for later
+  /// steady-state solves.  `t_end_s` is rounded UP to a whole number of
+  /// dt_s steps, so the final state is at ceil(t_end/dt) * dt.
+  [[nodiscard]] TransientResult solve_transient(
+      const std::function<std::vector<GridD>(double time_s)>& power_at,
+      const GridD& tsv_density, double t_end_s, double dt_s,
+      std::size_t record_stride = 1);
+
+  /// Closed-loop variant: the power callback additionally receives the
+  /// previous step's per-die temperature maps.
+  using FeedbackPower = std::function<std::vector<GridD>(
+      double time_s, const std::vector<GridD>& die_temp_prev)>;
+  [[nodiscard]] TransientResult solve_transient_feedback(
+      const FeedbackPower& power_at, const GridD& tsv_density,
+      double t_end_s, double dt_s, std::size_t record_stride = 1);
+
+  /// Drop the cached assembly and the warm-start field (counters stay).
+  void reset();
+
+ private:
+  /// Flattened conductance network.  Node index: (l * ny + iy) * nx + ix.
+  /// Neighbor conductances are stored per node with zeros at the domain
+  /// boundary, so the sweep needs no boundary branches.
+  struct Assembly {
+    std::size_t nx = 0, ny = 0, nl = 0;
+    std::vector<double> g_xm, g_xp;   ///< to x-1 / x+1 neighbor
+    std::vector<double> g_ym, g_yp;   ///< to y-1 / y+1 neighbor
+    std::vector<double> g_zm, g_zp;   ///< to layer below / above
+    std::vector<double> diag_static;  ///< sum of the above + boundary paths
+    std::vector<double> bound_rhs;    ///< boundary conductance * T_ambient
+    std::vector<double> cap;          ///< per-node thermal capacitance
+    std::vector<double> g_sink;       ///< per-cell convection (top layer)
+    std::vector<double> g_pkg;        ///< per-cell secondary path (layer 0)
+
+    [[nodiscard]] std::size_t num_nodes() const { return nl * nx * ny; }
+  };
+
+  void check_inputs(const std::vector<GridD>& die_power_w,
+                    const GridD& tsv_density) const;
+  /// Return the cached assembly, rebuilding it iff `tsv_density` differs
+  /// from the map the cache was built from.
+  const Assembly& assembly_for(const GridD& tsv_density);
+  void build_assembly(const GridD& tsv_density);
+  /// One red-black SOR sweep over the padded field; returns the max
+  /// absolute (pre-relaxation) node update.
+  double sweep(const std::vector<double>& rhs,
+               const std::vector<double>& diag);
+  /// Build rhs_ for a steady solve (power injection + boundary terms).
+  void fill_steady_rhs(const std::vector<GridD>& die_power_w);
+  /// Copy the padded field into a ThermalResult (maps, peak, heat flows).
+  void extract_field(ThermalResult& result) const;
+
+  [[nodiscard]] double* field() { return temp_.data() + field_offset_; }
+  [[nodiscard]] const double* field() const {
+    return temp_.data() + field_offset_;
+  }
+
+  TechnologyConfig tech_;
+  ThermalConfig cfg_;
+  LayerStack stack_;
+
+  Assembly asm_;
+  bool asm_valid_ = false;
+  /// The TSV-density data the cached assembly was built from.
+  std::vector<double> asm_tsv_;
+
+  /// Temperature field, padded by one layer of nodes on both ends so the
+  /// sweep's neighbor reads never leave the buffer (the matching
+  /// conductances are zero, so the padded values are never used).
+  std::vector<double> temp_;
+  std::size_t field_offset_ = 0;
+  bool field_valid_ = false;
+
+  // Persistent scratch, sized on first use.
+  std::vector<double> rhs_;
+  std::vector<double> diag_;
+
+  Stats stats_;
+};
+
+}  // namespace tsc3d::thermal

@@ -30,12 +30,12 @@ double average(const std::vector<double>& v) {
 }  // namespace
 
 DummyInsertResult insert_dummy_tsvs(Floorplan3D& fp,
-                                    const thermal::GridSolver& solver,
+                                    thermal::ThermalEngine& engine,
                                     Rng& rng,
                                     const DummyInsertOptions& options) {
   DummyInsertResult result;
-  const std::size_t nx = solver.nx();
-  const std::size_t ny = solver.ny();
+  const std::size_t nx = engine.nx();
+  const std::size_t ny = engine.ny();
   const double bw = fp.tech().die_width_um / static_cast<double>(nx);
   const double bh = fp.tech().die_height_um / static_cast<double>(ny);
 
@@ -46,7 +46,7 @@ DummyInsertResult insert_dummy_tsvs(Floorplan3D& fp,
   auto sample = [&]() {
     Rng paired(sampling_seed);
     return leakage::run_stability_sampling(
-        fp, solver, options.samples_per_iteration, paired);
+        fp, engine, options.samples_per_iteration, paired);
   };
 
   leakage::StabilitySampling sampling = sample();
@@ -109,6 +109,13 @@ DummyInsertResult insert_dummy_tsvs(Floorplan3D& fp,
   result.correlation_after = best_corr;
   result.stability_after = average(sampling.mean_abs_stability);
   return result;
+}
+
+DummyInsertResult insert_dummy_tsvs(Floorplan3D& fp,
+                                    const thermal::GridSolver& solver,
+                                    Rng& rng,
+                                    const DummyInsertOptions& options) {
+  return insert_dummy_tsvs(fp, solver.engine(), rng, options);
 }
 
 }  // namespace tsc3d::tsv

@@ -48,7 +48,16 @@ struct DummyInsertResult {
   std::vector<double> correlation_history;  ///< avg corr per iteration
 };
 
-/// Run the insertion loop on `fp` (adds TsvKind::dummy entries).
+/// Run the insertion loop on `fp` (adds TsvKind::dummy entries).  The
+/// per-iteration sampling campaigns reuse the engine's solver state
+/// (warm-started solves; the conductance network is rebuilt only when a
+/// TSV batch actually lands).
+[[nodiscard]] DummyInsertResult insert_dummy_tsvs(
+    Floorplan3D& fp, thermal::ThermalEngine& engine, Rng& rng,
+    const DummyInsertOptions& options = {});
+
+/// Compatibility overload for GridSolver holders; runs on the solver's
+/// underlying engine.
 [[nodiscard]] DummyInsertResult insert_dummy_tsvs(
     Floorplan3D& fp, const thermal::GridSolver& solver, Rng& rng,
     const DummyInsertOptions& options = {});

@@ -134,6 +134,31 @@ TEST_F(CostFixture, WeightsGateTerms) {
   EXPECT_DOUBLE_EQ(c.total, 0.0);
 }
 
+TEST_F(CostFixture, DetailedEngineReplacesBlurEstimate) {
+  // With a detailed engine wired up, the in-loop thermal term comes from
+  // warm-started grid solves instead of power blurring; the term stays
+  // populated and the engine actually gets used.
+  thermal::ThermalEngine engine(fp_.tech(), thermal_cfg());
+  auto opt = options(tsc_aware_weights());
+  opt.detailed_engine = &engine;
+  CostEvaluator eval(fp_, blur_, opt);
+  const CostBreakdown c = eval.evaluate_full();
+  EXPECT_GT(c.peak_k_rise, 0.0);
+  ASSERT_EQ(c.correlation.size(), 2u);
+  EXPECT_GT(engine.stats().steady_solves, 0u);
+  (void)eval.evaluate_thermal();
+  EXPECT_GT(engine.stats().warm_starts, 0u);
+}
+
+TEST_F(CostFixture, DetailedEngineGridMismatchThrows) {
+  ThermalConfig coarse;
+  coarse.grid_nx = coarse.grid_ny = 8;  // != leakage_grid (16)
+  thermal::ThermalEngine engine(fp_.tech(), coarse);
+  auto opt = options(tsc_aware_weights());
+  opt.detailed_engine = &engine;
+  EXPECT_THROW((CostEvaluator{fp_, blur_, opt}), std::invalid_argument);
+}
+
 TEST_F(CostFixture, PresetWeightsMatchPaperSetups) {
   const CostWeights pa = power_aware_weights();
   EXPECT_DOUBLE_EQ(pa.correlation, 0.0);

@@ -2,6 +2,7 @@
 // Kalman filter of [14] and the closed-loop throttling controller.
 #include "mitigation/dtm.hpp"
 
+#include <algorithm>
 #include <cmath>
 #include <gtest/gtest.h>
 
@@ -206,6 +207,82 @@ TEST(Dtm, HysteresisBoundsControlActions) {
   const auto result = run_dtm(fp, solver, 1.0, 0.01, rng, opt);
   // With a wide band the controller cannot chatter every period.
   EXPECT_LT(result.control_actions, 20u);
+}
+
+TEST(Dtm, SensorReadsEveryStepWhenDtEqualsControlPeriod) {
+  // dt == control period: the controller must read exactly once per step.
+  // (The pre-fix accounting advanced the control deadline by one period
+  // per read, so any step overshooting a deadline dragged the schedule
+  // permanently behind.)  Binary-friendly times keep the test exact.
+  const auto fp = hot_design();
+  const auto solver = small_solver(fp);
+  DtmOptions opt;
+  opt.trigger_k = 1e6;  // observe only, never throttle
+  opt.release_k = 1e6 - 1.0;
+  opt.control_period_s = 0.25;
+  Rng rng(23);
+  const auto result = run_dtm(fp, solver, 5.0, 0.25, rng, opt);
+  EXPECT_EQ(result.sensor_reads, 20u);
+  EXPECT_TRUE(result.thermal_converged);
+}
+
+TEST(Dtm, SensorReadCadenceFollowsControlPeriod) {
+  // dt = 0.25 s, period = 0.75 s, duration 7.5 s: the first read fires at
+  // the first step (t = 0.25, at or past the initial deadline of 0), the
+  // deadline then rebases to 0.75, 1.5, 2.25, ... so reads land at 0.25,
+  // 0.75, 1.5, 2.25, ..., 7.5 -- eleven in total.
+  const auto fp = hot_design();
+  const auto solver = small_solver(fp);
+  DtmOptions opt;
+  opt.trigger_k = 1e6;
+  opt.release_k = 1e6 - 1.0;
+  opt.control_period_s = 0.75;
+  Rng rng(29);
+  const auto result = run_dtm(fp, solver, 7.5, 0.25, rng, opt);
+  EXPECT_EQ(result.sensor_reads, 11u);
+}
+
+TEST(Dtm, FinalStepTemperatureIsAccounted) {
+  // The peak of the run must reflect the LAST step's solved temperatures
+  // too (the pre-fix accounting only ever saw previous-step fields, so
+  // the hottest instant of a monotone heating run went missing).
+  const auto fp = hot_design();
+  const auto solver = small_solver(fp);
+  DtmOptions opt;
+  opt.trigger_k = 1e6;
+  opt.release_k = 1e6 - 1.0;
+  Rng rng(31);
+  const auto result = run_dtm(fp, solver, 0.5, 0.01, rng, opt);
+  // Reference: the same open-loop transient's final state.
+  const GridD tsv = fp.tsv_density_map(solver.nx(), solver.ny());
+  std::vector<GridD> nominal;
+  for (std::size_t d = 0; d < fp.tech().num_dies; ++d)
+    nominal.push_back(fp.power_map(d, solver.nx(), solver.ny()));
+  const auto open_loop = solver.solve_transient(
+      [&](double) { return nominal; }, tsv, 0.5, 0.01);
+  double final_peak = 0.0;
+  for (std::size_t d = 0; d < fp.tech().num_dies; ++d)
+    final_peak =
+        std::max(final_peak, open_loop.final_state.die_temperature[d].max());
+  EXPECT_GE(result.peak_k + 1e-9, final_peak);
+}
+
+TEST(Dtm, AccountedTimeNeverExceedsDuration) {
+  // duration = 0.4 s at dt = 0.25 s takes ceil = 2 solver steps; the
+  // second step must only contribute the 0.15 s remainder, so a run that
+  // is over-trigger (and throttled) throughout reports at most the
+  // requested duration, not steps * dt.
+  const auto fp = hot_design();
+  const auto solver = small_solver(fp);
+  DtmOptions opt;
+  opt.trigger_k = 200.0;  // below ambient: always over, always throttling
+  opt.release_k = 199.0;
+  opt.control_period_s = 0.25;
+  Rng rng(37);
+  const auto result = run_dtm(fp, solver, 0.4, 0.25, rng, opt);
+  EXPECT_NEAR(result.time_over_trigger_s, 0.4, 1e-12);
+  EXPECT_LE(result.throttled_time_s, 0.4 + 1e-12);
+  EXPECT_LE(result.performance_loss, 1.0 - opt.throttle_scale + 1e-12);
 }
 
 TEST(Dtm, InvalidOptionsThrow) {

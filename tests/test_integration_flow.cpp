@@ -19,7 +19,13 @@ namespace {
 class IntegrationFlow : public ::testing::Test {
  protected:
   void SetUp() override {
-    dir_ = std::filesystem::temp_directory_path() / "tsc3d_integration";
+    // ctest runs each case as its own process, in parallel with its
+    // siblings; the artifact directory must be unique per test or one
+    // test's TearDown races another's round trip.
+    const auto* info = ::testing::UnitTest::GetInstance()->current_test_info();
+    dir_ = std::filesystem::temp_directory_path() /
+           (std::string("tsc3d_integration_") + info->name());
+    std::filesystem::remove_all(dir_);
     std::filesystem::create_directories(dir_);
   }
   void TearDown() override { std::filesystem::remove_all(dir_); }
@@ -78,6 +84,9 @@ TEST_F(IntegrationFlow, ConfigDrivenTscFlowProducesConsistentArtifacts) {
   //    (positions, dies, and powers survived the round trip; TSVs are
   //    design data, so reuse the original density map).
   ThermalConfig cfg2 = options.thermal;
+  // The 1e-6 correlation comparison below measures round-trip fidelity;
+  // solve tightly enough that solver error stays well under that bound.
+  cfg2.tolerance_k = 1e-7;
   const thermal::GridSolver solver(fp.tech(), cfg2);
   const std::size_t nx = cfg2.grid_nx, ny = cfg2.grid_ny;
   const GridD tsv = fp.tsv_density_map(nx, ny);

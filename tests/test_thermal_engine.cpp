@@ -1,0 +1,188 @@
+// Tests of the ThermalEngine's reuse machinery: warm-started solves must
+// agree with cold solves within the solver tolerance, the assembly cache
+// must key on the TSV-density map, and convergence diagnostics (steady
+// and per-transient-step) must be reported truthfully.
+#include <gtest/gtest.h>
+
+#include "thermal/grid_solver.hpp"
+#include "thermal/thermal_engine.hpp"
+
+namespace tsc3d::thermal {
+namespace {
+
+TechnologyConfig test_tech() {
+  TechnologyConfig t;
+  t.die_width_um = 2000.0;
+  t.die_height_um = 2000.0;
+  return t;
+}
+
+ThermalConfig test_thermal(std::size_t grid = 16) {
+  ThermalConfig c;
+  c.grid_nx = c.grid_ny = grid;
+  return c;
+}
+
+std::vector<GridD> hotspot_power(std::size_t grid, double watts,
+                                 std::size_t ix, std::size_t iy) {
+  std::vector<GridD> power(2, GridD(grid, grid, 0.0));
+  power[0].at(ix, iy) = watts;
+  return power;
+}
+
+TEST(ThermalEngine, WarmStartMatchesColdSolveOnRepeatedInput) {
+  ThermalConfig cfg = test_thermal();
+  cfg.tolerance_k = 1e-6;
+  ThermalEngine engine(test_tech(), cfg);
+  const GridD tsv(16, 16, 0.1);
+  const auto power = hotspot_power(16, 2.0, 8, 8);
+
+  const ThermalResult cold = engine.solve_steady(power, tsv);
+  EXPECT_FALSE(cold.warm_started);
+  ASSERT_TRUE(cold.converged);
+
+  const ThermalResult warm = engine.solve_steady(power, tsv);
+  EXPECT_TRUE(warm.warm_started);
+  EXPECT_TRUE(warm.assembly_reused);
+  ASSERT_TRUE(warm.converged);
+  // Restarting from the converged field must terminate almost instantly.
+  EXPECT_LT(warm.iterations, cold.iterations / 4);
+
+  for (std::size_t l = 0; l < cold.layer_temperature.size(); ++l)
+    for (std::size_t c = 0; c < cold.layer_temperature[l].size(); ++c)
+      EXPECT_NEAR(warm.layer_temperature[l][c], cold.layer_temperature[l][c],
+                  1e-3);
+}
+
+TEST(ThermalEngine, WarmStartMatchesColdSolveOnPerturbedInput) {
+  ThermalConfig cfg = test_thermal();
+  cfg.tolerance_k = 1e-6;
+  ThermalEngine warm_engine(test_tech(), cfg);
+  ThermalEngine cold_engine(test_tech(), cfg);
+  const GridD tsv(16, 16, 0.2);
+
+  // Walk a sequence of perturbed power maps, as annealing/sampling loops
+  // do, warm-starting each solve from the previous field; a fresh cold
+  // solve of the same input must agree within solver tolerance.
+  auto power = hotspot_power(16, 2.0, 5, 5);
+  for (int step = 0; step < 4; ++step) {
+    power[0].at(5 + static_cast<std::size_t>(step), 5) = 1.5;
+    power[1].at(10, 10) = 0.5 + 0.2 * step;
+    const ThermalResult warm = warm_engine.solve_steady(power, tsv);
+    const ThermalResult cold =
+        cold_engine.solve_steady(power, tsv, ThermalEngine::Start::cold);
+    ASSERT_TRUE(warm.converged);
+    ASSERT_TRUE(cold.converged);
+    if (step > 0) {
+      EXPECT_TRUE(warm.warm_started);
+    }
+    ASSERT_EQ(warm.die_temperature.size(), cold.die_temperature.size());
+    for (std::size_t d = 0; d < cold.die_temperature.size(); ++d)
+      for (std::size_t c = 0; c < cold.die_temperature[d].size(); ++c)
+        EXPECT_NEAR(warm.die_temperature[d][c], cold.die_temperature[d][c],
+                    1e-3);
+  }
+}
+
+TEST(ThermalEngine, AssemblyCacheKeysOnTsvDensity) {
+  ThermalEngine engine(test_tech(), test_thermal());
+  const auto power = hotspot_power(16, 1.0, 8, 8);
+  const GridD tsv_a(16, 16, 0.0);
+  GridD tsv_b(16, 16, 0.0);
+  tsv_b.at(3, 3) = 0.5;
+
+  EXPECT_FALSE(engine.solve_steady(power, tsv_a).assembly_reused);
+  EXPECT_TRUE(engine.solve_steady(power, tsv_a).assembly_reused);
+  // A single changed bin must invalidate the cached network...
+  EXPECT_FALSE(engine.solve_steady(power, tsv_b).assembly_reused);
+  // ...and the new one is cached in turn.
+  EXPECT_TRUE(engine.solve_steady(power, tsv_b).assembly_reused);
+  EXPECT_EQ(engine.stats().assembly_builds, 2u);
+  EXPECT_EQ(engine.stats().assembly_reuses, 2u);
+}
+
+TEST(ThermalEngine, ResetDropsCacheAndWarmState) {
+  ThermalEngine engine(test_tech(), test_thermal());
+  const auto power = hotspot_power(16, 1.0, 8, 8);
+  const GridD tsv(16, 16, 0.0);
+  (void)engine.solve_steady(power, tsv);
+  engine.reset();
+  const ThermalResult res = engine.solve_steady(power, tsv);
+  EXPECT_FALSE(res.warm_started);
+  EXPECT_FALSE(res.assembly_reused);
+}
+
+TEST(ThermalEngine, ExhaustedSteadySolveReportsNotConverged) {
+  ThermalConfig cfg = test_thermal();
+  cfg.max_iterations = 3;
+  cfg.tolerance_k = 1e-12;
+  ThermalEngine engine(test_tech(), cfg);
+  const ThermalResult res =
+      engine.solve_steady(hotspot_power(16, 2.0, 8, 8), GridD(16, 16, 0.0));
+  EXPECT_FALSE(res.converged);
+  EXPECT_EQ(res.iterations, 3u);
+  EXPECT_GT(res.residual_k, 0.0);
+}
+
+TEST(ThermalEngine, NonConvergingTransientReportsNotConverged) {
+  // Starve the per-step SOR loop: with a tiny iteration budget and an
+  // unreachable tolerance, every implicit-Euler step exhausts its budget.
+  // The legacy solver reported converged == true regardless.
+  ThermalConfig cfg = test_thermal(8);
+  cfg.max_iterations = 2;
+  cfg.tolerance_k = 1e-13;
+  ThermalEngine engine(test_tech(), cfg);
+  const auto power = hotspot_power(8, 2.0, 4, 4);
+  const TransientResult res = engine.solve_transient(
+      [&](double) { return power; }, GridD(8, 8, 0.0), 0.05, 0.01);
+  EXPECT_EQ(res.steps, 5u);
+  EXPECT_EQ(res.unconverged_steps, 5u);
+  EXPECT_EQ(res.total_iterations, 10u);
+  EXPECT_FALSE(res.final_state.converged);
+  EXPECT_EQ(res.final_state.iterations, res.total_iterations);
+}
+
+TEST(ThermalEngine, ConvergingTransientReportsPerStepConvergence) {
+  ThermalEngine engine(test_tech(), test_thermal(8));
+  const auto power = hotspot_power(8, 2.0, 4, 4);
+  const TransientResult res = engine.solve_transient(
+      [&](double) { return power; }, GridD(8, 8, 0.0), 0.05, 0.01);
+  EXPECT_EQ(res.steps, 5u);
+  EXPECT_EQ(res.unconverged_steps, 0u);
+  EXPECT_TRUE(res.final_state.converged);
+  EXPECT_GE(res.total_iterations, res.steps);
+}
+
+TEST(ThermalEngine, FacadeColdSolveIsHistoryIndependent) {
+  // GridSolver keeps the legacy contract: results are a pure function of
+  // the inputs, no matter what was solved before.
+  const GridSolver solver(test_tech(), test_thermal());
+  const GridD tsv(16, 16, 0.0);
+  const auto p1 = hotspot_power(16, 2.0, 8, 8);
+  const auto p2 = hotspot_power(16, 0.5, 2, 13);
+
+  const ThermalResult first = solver.solve_steady(p1, tsv);
+  (void)solver.solve_steady(p2, tsv);  // pollute the engine state
+  const ThermalResult again = solver.solve_steady(p1, tsv);
+  EXPECT_FALSE(again.warm_started);
+  EXPECT_EQ(first.iterations, again.iterations);
+  for (std::size_t l = 0; l < first.layer_temperature.size(); ++l)
+    for (std::size_t c = 0; c < first.layer_temperature[l].size(); ++c)
+      EXPECT_DOUBLE_EQ(again.layer_temperature[l][c],
+                       first.layer_temperature[l][c]);
+}
+
+TEST(ThermalEngine, StatsAccumulateAcrossSolves) {
+  ThermalEngine engine(test_tech(), test_thermal());
+  const auto power = hotspot_power(16, 1.0, 8, 8);
+  const GridD tsv(16, 16, 0.0);
+  (void)engine.solve_steady(power, tsv);
+  (void)engine.solve_steady(power, tsv);
+  const ThermalEngine::Stats& s = engine.stats();
+  EXPECT_EQ(s.steady_solves, 2u);
+  EXPECT_EQ(s.warm_starts, 1u);
+  EXPECT_GT(s.total_sweeps, 0u);
+}
+
+}  // namespace
+}  // namespace tsc3d::thermal
