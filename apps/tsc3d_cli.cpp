@@ -5,7 +5,7 @@
 //
 //   tsc3d [--config=FILE] [--benchmark=n100 | --blocks=F [--nets=F]
 //         [--pl=F] [--power=F]] [--mode=power|tsc] [--seed=N]
-//         [--moves=N] [--out=DIR] [--quiet]
+//         [--moves=N] [--threads=N] [--chains=K] [--out=DIR] [--quiet]
 //
 // The design comes either from a named Table 1 benchmark (synthetic,
 // deterministic per seed) or from GSRC bookshelf files.  The flow
@@ -35,6 +35,8 @@ struct CliArgs {
   std::string out;
   std::uint64_t seed = 1;
   std::size_t moves = 0;
+  std::size_t threads = 0;  // 0 = from config / default
+  std::size_t chains = 0;   // 0 = from config / default
   bool quiet = false;
   bool help = false;
 };
@@ -54,6 +56,9 @@ void print_usage() {
       "  --mode=power|tsc  flow preset (overrides config)\n"
       "  --seed=N          RNG seed (default 1)\n"
       "  --moves=N         SA moves (0 = auto)\n"
+      "  --threads=N       sweep threads per thermal engine (default 1;\n"
+      "                    threaded solves are bitwise-identical to serial)\n"
+      "  --chains=K        parallel-tempering annealing chains (default 1)\n"
       "  --out=DIR         write maps + placed GSRC bundle here\n"
       "  --quiet           suppress the per-metric report\n"
       "  --help            this text\n";
@@ -80,6 +85,10 @@ CliArgs parse_args(int argc, char** argv) {
       args.seed = std::stoull(value("--seed="));
     else if (arg.rfind("--moves=", 0) == 0)
       args.moves = std::stoul(value("--moves="));
+    else if (arg.rfind("--threads=", 0) == 0)
+      args.threads = std::stoul(value("--threads="));
+    else if (arg.rfind("--chains=", 0) == 0)
+      args.chains = std::stoul(value("--chains="));
     else if (arg.rfind("--out=", 0) == 0) args.out = value("--out=");
     else
       throw std::runtime_error("unknown argument: " + arg +
@@ -113,6 +122,8 @@ int main(int argc, char** argv) {
     if (!args.mode.empty() && !args.config.empty())
       config::apply_thermal(cfg, opt.thermal);  // keep thermal overrides
     if (args.moves > 0) opt.anneal.total_moves = args.moves;
+    if (args.threads > 0) opt.parallel.threads = args.threads;
+    if (args.chains > 0) opt.chains.chains = args.chains;
 
     TechnologyConfig tech;
     config::apply_technology(cfg, tech);
@@ -158,6 +169,12 @@ int main(int argc, char** argv) {
                 << "\ndummy TSVs      : " << metrics.dummy_tsvs
                 << "\nvoltage volumes : " << metrics.voltage_volumes
                 << "\nruntime [s]     : " << metrics.runtime_s << "\n";
+      if (metrics.chains.chains.size() > 1)
+        std::cout << "tempering       : " << metrics.chains.chains.size()
+                  << " chains, winner " << metrics.chains.winner << ", "
+                  << metrics.chains.exchange.accepts << "/"
+                  << metrics.chains.exchange.attempts
+                  << " exchanges accepted\n";
     }
 
     if (!args.out.empty()) {

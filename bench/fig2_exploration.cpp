@@ -119,14 +119,16 @@ int main(int argc, char** argv) {
   const bench::Flags flags(argc, argv);
   const auto seed = static_cast<std::uint64_t>(flags.get("seed",
                                                          std::size_t{1}));
+  const std::size_t threads = flags.get("threads", std::size_t{1});
 
   TechnologyConfig tech;
   tech.die_width_um = tech.die_height_um = 4000.0;
   ThermalConfig cfg;
   cfg.grid_nx = cfg.grid_ny = kGrid;
   // One engine for the whole 30-combination sweep: each solve warm-starts
-  // from the previous combination's field.
-  thermal::ThermalEngine engine(tech, cfg);
+  // from the previous combination's field.  --threads=N shards the
+  // red-black sweeps (results are bitwise-identical to serial).
+  thermal::ThermalEngine engine(tech, cfg, {.threads = threads});
 
   const std::vector<std::string> power_kinds = {
       "globally_uniform", "locally_uniform", "small_gradients",

@@ -107,6 +107,34 @@ void BM_SolveSteadyWarm(benchmark::State& state) {
 BENCHMARK(BM_SolveSteadyWarm)->Arg(16)->Arg(32)->Arg(64)
     ->Unit(benchmark::kMillisecond);
 
+/// Sharded-sweep scaling: a fixed-work steady solve (the tolerance is
+/// unreachable, so every solve runs exactly max_iterations red-black
+/// sweeps) on a 128x128 grid, with the row ranges of each color sharded
+/// across `threads:N` workers.  Threaded results are bitwise identical
+/// to serial, so this isolates pure sweep scaling; CI gates the
+/// threads:1 / threads:4 ratio at >= 1.8x (scripts/check_perf.py).
+void BM_SolveSteadySharded(benchmark::State& state) {
+  const auto threads = static_cast<std::size_t>(state.range(0));
+  constexpr std::size_t g = 128;
+  TechnologyConfig tech;
+  tech.die_width_um = tech.die_height_um = 4000.0;
+  ThermalConfig cfg;
+  cfg.grid_nx = cfg.grid_ny = g;
+  cfg.max_iterations = 40;   // fixed sweep budget ...
+  cfg.tolerance_k = 0.0;     // ... the stopping rule can never cut short
+  thermal::ThermalEngine engine(tech, cfg, {.threads = threads});
+  std::vector<GridD> power(2, GridD(g, g, 0.0));
+  power[0].at(g / 2, g / 2) = 3.0;
+  const GridD tsv(g, g, 0.1);
+  for (auto _ : state) {
+    const auto res = engine.solve_steady(power, tsv);
+    benchmark::DoNotOptimize(res.peak_k);
+  }
+}
+BENCHMARK(BM_SolveSteadySharded)
+    ->ArgName("threads")->Arg(1)->Arg(2)->Arg(4)
+    ->Unit(benchmark::kMillisecond)->UseRealTime();
+
 void BM_PowerBlurEstimate(benchmark::State& state) {
   TechnologyConfig tech;
   tech.die_width_um = tech.die_height_um = 4000.0;

@@ -1,0 +1,123 @@
+#!/usr/bin/env python3
+"""Perf gates for CI over a google-benchmark JSON report.
+
+Three checks, in order:
+
+1. Warm-start gate (hard): the warm-started steady solve must be at
+   least --min-warm-speedup (default 2.0) times faster than the cold
+   solve at the 64x64 grid -- the ThermalEngine contract since PR 2.
+2. Sweep-scaling gate (hard): the sharded fixed-work solve at 4 threads
+   must be at least --min-scaling (default 1.8) times faster than at 1
+   thread on the 128x128 grid -- the sweep-pool contract.  Skipped with
+   a notice when the report has no sharded entries (machines without
+   the benchmark) unless --require-scaling is given.
+3. Baseline drift (soft by default): benchmarks present in both the
+   report and --baseline are compared; regressions beyond
+   --max-regression (default 2.5x) fail the check.  The generous
+   default tolerates CI-runner variance while still catching
+   catastrophic slowdowns against the committed BENCH_pr2.json.
+
+Usage:
+  check_perf.py RESULT.json [--baseline BENCH_pr2.json] [options]
+"""
+import argparse
+import json
+import sys
+
+# Median aggregates are gated (robust to a noisy repetition); the mean is
+# reported alongside for context.
+AGG = "_median"
+
+
+def load_times(path, agg=AGG):
+    """Map benchmark name (aggregate suffix stripped) -> real_time."""
+    with open(path) as fh:
+        data = json.load(fh)
+    times = {}
+    for bench in data.get("benchmarks", []):
+        name = bench["name"]
+        if not name.endswith(agg):
+            continue
+        times[name[: -len(agg)]] = float(bench["real_time"])
+    return times
+
+
+def main():
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("result", help="google-benchmark JSON report")
+    parser.add_argument("--baseline", help="committed baseline JSON")
+    parser.add_argument("--min-warm-speedup", type=float, default=2.0)
+    parser.add_argument("--min-scaling", type=float, default=1.8)
+    parser.add_argument("--scaling-threads", type=int, default=4)
+    parser.add_argument("--max-regression", type=float, default=2.5)
+    parser.add_argument(
+        "--require-scaling", action="store_true",
+        help="fail (instead of skip) when sharded entries are missing")
+    args = parser.parse_args()
+
+    times = load_times(args.result)
+    failures = []
+
+    # --- 1. warm-start speedup -------------------------------------------
+    cold = times.get("BM_SolveSteadyCold/64")
+    warm = times.get("BM_SolveSteadyWarm/64")
+    if cold is None or warm is None:
+        failures.append("warm-start benchmarks missing from the report")
+    else:
+        speedup = cold / warm
+        print(f"warm-start: cold {cold:.2f} vs warm {warm:.2f} "
+              f"({speedup:.2f}x, gate >= {args.min_warm_speedup:.1f}x)")
+        if speedup < args.min_warm_speedup:
+            failures.append(
+                f"warm-start speedup {speedup:.2f}x below the "
+                f"{args.min_warm_speedup:.1f}x gate")
+
+    # --- 2. sharded-sweep scaling ----------------------------------------
+    base = times.get("BM_SolveSteadySharded/threads:1/real_time")
+    wide = times.get(
+        f"BM_SolveSteadySharded/threads:{args.scaling_threads}/real_time")
+    if base is None or wide is None:
+        msg = "sharded-sweep benchmarks missing from the report"
+        if args.require_scaling:
+            failures.append(msg)
+        else:
+            print(f"scaling: SKIPPED ({msg})")
+    else:
+        scaling = base / wide
+        print(f"scaling: 1 thread {base:.2f} vs {args.scaling_threads} "
+              f"threads {wide:.2f} ({scaling:.2f}x, gate >= "
+              f"{args.min_scaling:.1f}x)")
+        if scaling < args.min_scaling:
+            failures.append(
+                f"sharded-sweep scaling {scaling:.2f}x at "
+                f"{args.scaling_threads} threads below the "
+                f"{args.min_scaling:.1f}x gate")
+
+    # --- 3. drift against the committed baseline -------------------------
+    if args.baseline:
+        baseline = load_times(args.baseline)
+        shared = sorted(set(times) & set(baseline))
+        if not shared:
+            print("baseline: no overlapping benchmarks, nothing to compare")
+        for name in shared:
+            ratio = times[name] / baseline[name]
+            marker = ""
+            if ratio > args.max_regression:
+                failures.append(
+                    f"{name}: {ratio:.2f}x slower than the baseline "
+                    f"(limit {args.max_regression:.1f}x)")
+                marker = "  <-- REGRESSION"
+            print(f"baseline: {name}: {ratio:5.2f}x of recorded "
+                  f"time{marker}")
+
+    if failures:
+        print("\nPERF CHECK FAILED:")
+        for failure in failures:
+            print(f"  - {failure}")
+        return 1
+    print("\nperf check passed")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -88,6 +88,14 @@ floorplan::FloorplannerOptions make_floorplanner_options(
                                         opt.hot_modules_to_top);
   opt.auto_clock_factor = cfg.get_double("floorplanning.auto_clock_factor",
                                          opt.auto_clock_factor);
+  opt.parallel.threads =
+      cfg.get_size("floorplanning.threads", opt.parallel.threads);
+  opt.chains.chains = cfg.get_size("floorplanning.chains", opt.chains.chains);
+  opt.chains.exchange_interval =
+      cfg.get_size("floorplanning.chain_exchange_interval",
+                   opt.chains.exchange_interval);
+  opt.chains.ladder_ratio = cfg.get_double("floorplanning.chain_ladder_ratio",
+                                           opt.chains.ladder_ratio);
   apply_thermal(cfg, opt.thermal);
   return opt;
 }

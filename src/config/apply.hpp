@@ -27,7 +27,9 @@ void apply_thermal(const ConfigFile& cfg, ThermalConfig& thermal);
 /// Build FloorplannerOptions from [floorplanning] keys:
 ///   mode (power | tsc), sa_moves, sa_stages, fast_grid, verify_grid,
 ///   sampling_grid, dummy_insertion, dummy_max_iterations,
-///   dummy_samples, hot_modules_to_top, auto_clock_factor.
+///   dummy_samples, hot_modules_to_top, auto_clock_factor, threads
+///   (sweep threads per thermal engine), chains (parallel-tempering
+///   chains), chain_exchange_interval, chain_ladder_ratio.
 /// The preset for `mode` is applied first, then individual overrides.
 [[nodiscard]] floorplan::FloorplannerOptions make_floorplanner_options(
     const ConfigFile& cfg);

@@ -249,10 +249,18 @@ void Annealer::random_move(LayoutState& s, Rng& rng, Undo& undo) const {
 }
 
 AnnealStats Annealer::run(LayoutState& state, Rng& rng) {
-  AnnealStats stats;
+  AnnealSession session = begin(state, rng);
+  while (run_stage(session, rng)) {
+  }
+  return finish(session, rng);
+}
+
+AnnealSession Annealer::begin(LayoutState& state, Rng& rng) {
+  AnnealSession s;
+  s.state = &state;
   state.apply_to(fp_);
-  CostBreakdown current = eval_.evaluate_full();
-  ++stats.full_evals;
+  s.current = eval_.evaluate_full();
+  ++s.stats.full_evals;
 
   // Calibrate T0 so that `initial_accept` of random uphill moves pass.
   // The probe walk accumulates moves on a scratch copy, so each move's
@@ -262,7 +270,7 @@ AnnealStats Annealer::run(LayoutState& state, Rng& rng) {
   {
     std::vector<double> uphill;
     LayoutState probe = state;
-    double prev_total = current.total;
+    double prev_total = s.current.total;
     for (std::size_t k = 0; k < 60; ++k) {
       Undo undo;
       random_move(probe, rng, undo);
@@ -279,123 +287,156 @@ AnnealStats Annealer::run(LayoutState& state, Rng& rng) {
             ? 0.1
             : std::accumulate(uphill.begin(), uphill.end(), 0.0) /
                   static_cast<double>(uphill.size());
-    stats.initial_temperature = -avg / std::log(opt_.initial_accept);
+    s.stats.initial_temperature = -avg / std::log(opt_.initial_accept);
   }
 
-  LayoutState best = state;
-  CostBreakdown best_cost = current;
-  bool best_legal = current.fits_outline;
-  stats.found_legal = best_legal;
-  const double initial_outline_weight = eval_.outline_weight();
+  s.best = state;
+  s.best_cost = s.current;
+  s.best_legal = s.current.fits_outline;
+  s.stats.found_legal = s.best_legal;
+  s.initial_outline_weight = eval_.outline_weight();
 
-  double temperature = stats.initial_temperature;
-  const std::size_t total_moves =
+  s.temperature = s.stats.initial_temperature;
+  s.total_moves =
       opt_.total_moves > 0
           ? opt_.total_moves
           : 8000 + 150 * fp_.modules().size();  // auto-scaled budget
-  const std::size_t moves_per_stage =
-      std::max<std::size_t>(1, total_moves / std::max<std::size_t>(
-                                                 1, opt_.stages));
-  std::size_t since_full = 0;
-  std::size_t since_thermal = 0;
+  s.moves_per_stage =
+      std::max<std::size_t>(1, s.total_moves / std::max<std::size_t>(
+                                                   1, opt_.stages));
 
   // Cooling factor: either explicit or derived so that the temperature
   // reaches final_temp_ratio * T0 at the end of the annealed stages.
   const auto greedy_stages = static_cast<std::size_t>(
       opt_.greedy_tail * static_cast<double>(opt_.stages));
-  const std::size_t annealed_stages =
+  s.annealed_stages =
       opt_.stages > greedy_stages ? opt_.stages - greedy_stages : 1;
-  const double cooling =
+  s.cooling =
       opt_.cooling > 0.0
           ? opt_.cooling
           : std::pow(opt_.final_temp_ratio,
-                     1.0 / static_cast<double>(annealed_stages));
+                     1.0 / static_cast<double>(s.annealed_stages));
+  return s;
+}
 
-  for (std::size_t stage = 0; stage < opt_.stages; ++stage) {
-    const bool greedy = stage >= annealed_stages;
-    for (std::size_t mv = 0; mv < moves_per_stage; ++mv) {
-      Undo undo;
-      random_move(state, rng, undo);
-      if (undo.kind == Undo::Kind::none) continue;
-      ++stats.moves;
+bool Annealer::run_stage(AnnealSession& s, Rng& rng) {
+  if (s.stage >= opt_.stages) return false;
+  LayoutState& state = *s.state;
 
-      state.apply_to(fp_);
-      CostBreakdown c;
-      ++since_thermal;
-      if (++since_full >= opt_.full_eval_interval) {
-        c = eval_.evaluate_full();
-        since_full = 0;
-        since_thermal = 0;
-        ++stats.full_evals;
-      } else if (opt_.thermal_eval_interval > 0 &&
-                 since_thermal >= opt_.thermal_eval_interval) {
-        c = eval_.evaluate_thermal();
-        since_thermal = 0;
-        ++stats.full_evals;
-      } else {
-        c = eval_.evaluate_cheap();
-      }
-
-      const double delta = c.total - current.total;
-      const bool accept =
-          delta <= 0.0 ||
-          (!greedy && rng.uniform() < std::exp(-delta / temperature));
-      if (accept) {
-        ++stats.accepted;
-        current = c;
-        // Track the best solution; legal (outline-fitting) states always
-        // dominate illegal ones.
-        const bool better =
-            (c.fits_outline && !best_legal) ||
-            (c.fits_outline == best_legal && c.total < best_cost.total);
-        if (better) {
-          best = state;
-          best_cost = c;
-          best_legal = c.fits_outline;
-          stats.found_legal = stats.found_legal || c.fits_outline;
-        }
-      } else {
-        undo.revert(state);
-      }
-    }
-    temperature *= cooling;
-
-    // Fixed-outline pressure: if this stage ends outside the outline (or
-    // no legal state has been seen at all), raise the violation weight so
-    // the remaining stages prioritize legality.  Totals are re-derived
-    // under the new weight so comparisons stay consistent.
-    if (opt_.outline_escalation > 1.0 &&
-        (!current.fits_outline || !best_legal) &&
-        eval_.outline_weight() <
-            initial_outline_weight * opt_.outline_cap_factor) {
-      eval_.scale_outline_weight(opt_.outline_escalation);
-      state.apply_to(fp_);
-      current = eval_.evaluate_cheap();
-      if (!best_legal) {
-        best.apply_to(fp_);
-        best_cost = eval_.evaluate_cheap();
-        state.apply_to(fp_);
-      }
+  // A tempering exchange replaced the state: re-apply it and refresh the
+  // carried cost (the evaluator's cached expensive terms belong to the
+  // state that was swapped away).
+  if (s.refresh_pending) {
+    state.apply_to(fp_);
+    s.current = eval_.evaluate_full();
+    ++s.stats.full_evals;
+    s.since_full = 0;
+    s.since_thermal = 0;
+    s.refresh_pending = false;
+    // The exchanged-in layout may beat everything this chain has seen
+    // (and its donor gave it away); fold it into the best tracking now,
+    // or a subsequent accepted uphill move would lose it for good.
+    const bool better =
+        (s.current.fits_outline && !s.best_legal) ||
+        (s.current.fits_outline == s.best_legal &&
+         s.current.total < s.best_cost.total);
+    if (better) {
+      s.best = state;
+      s.best_cost = s.current;
+      s.best_legal = s.current.fits_outline;
+      s.stats.found_legal = s.stats.found_legal || s.best_legal;
     }
   }
+
+  const bool greedy = s.stage >= s.annealed_stages;
+  for (std::size_t mv = 0; mv < s.moves_per_stage; ++mv) {
+    Undo undo;
+    random_move(state, rng, undo);
+    if (undo.kind == Undo::Kind::none) continue;
+    ++s.stats.moves;
+
+    state.apply_to(fp_);
+    CostBreakdown c;
+    ++s.since_thermal;
+    if (++s.since_full >= opt_.full_eval_interval) {
+      c = eval_.evaluate_full();
+      s.since_full = 0;
+      s.since_thermal = 0;
+      ++s.stats.full_evals;
+    } else if (opt_.thermal_eval_interval > 0 &&
+               s.since_thermal >= opt_.thermal_eval_interval) {
+      c = eval_.evaluate_thermal();
+      s.since_thermal = 0;
+      ++s.stats.full_evals;
+    } else {
+      c = eval_.evaluate_cheap();
+    }
+
+    const double delta = c.total - s.current.total;
+    const bool accept =
+        delta <= 0.0 ||
+        (!greedy && rng.uniform() < std::exp(-delta / s.temperature));
+    if (accept) {
+      ++s.stats.accepted;
+      s.current = c;
+      // Track the best solution; legal (outline-fitting) states always
+      // dominate illegal ones.
+      const bool better =
+          (c.fits_outline && !s.best_legal) ||
+          (c.fits_outline == s.best_legal && c.total < s.best_cost.total);
+      if (better) {
+        s.best = state;
+        s.best_cost = c;
+        s.best_legal = c.fits_outline;
+        s.stats.found_legal = s.stats.found_legal || c.fits_outline;
+      }
+    } else {
+      undo.revert(state);
+    }
+  }
+  s.temperature *= s.cooling;
+
+  // Fixed-outline pressure: if this stage ends outside the outline (or
+  // no legal state has been seen at all), raise the violation weight so
+  // the remaining stages prioritize legality.  Totals are re-derived
+  // under the new weight so comparisons stay consistent.
+  if (opt_.outline_escalation > 1.0 &&
+      (!s.current.fits_outline || !s.best_legal) &&
+      eval_.outline_weight() <
+          s.initial_outline_weight * opt_.outline_cap_factor) {
+    eval_.scale_outline_weight(opt_.outline_escalation);
+    state.apply_to(fp_);
+    s.current = eval_.evaluate_cheap();
+    if (!s.best_legal) {
+      s.best.apply_to(fp_);
+      s.best_cost = eval_.evaluate_cheap();
+      state.apply_to(fp_);
+    }
+  }
+  ++s.stage;
+  return true;
+}
+
+AnnealStats Annealer::finish(AnnealSession& s, Rng& rng) {
+  LayoutState& state = *s.state;
 
   // Greedy legalization: if annealing never met the fixed outline, spend
   // a budgeted tail of moves accepting only outline improvements (ties
   // broken by total cost).  This mirrors the repair passes of
   // fixed-outline floorplanners; the paper's problem statement makes the
   // outline hard ("The resulting die outlines are fixed", Sec. 7).
-  if (!best_legal && opt_.repair_fraction > 0.0) {
-    state = best;
+  if (!s.best_legal && opt_.repair_fraction > 0.0) {
+    state = s.best;
     state.apply_to(fp_);
     CostBreakdown repair_current = eval_.evaluate_cheap();
     const auto repair_budget = static_cast<std::size_t>(
-        opt_.repair_fraction * static_cast<double>(total_moves));
+        opt_.repair_fraction * static_cast<double>(s.total_moves));
     for (std::size_t mv = 0;
          mv < repair_budget && !repair_current.fits_outline; ++mv) {
       Undo undo;
       random_move(state, rng, undo);
       if (undo.kind == Undo::Kind::none) continue;
-      ++stats.repair_moves;
+      ++s.stats.repair_moves;
       state.apply_to(fp_);
       const CostBreakdown c = eval_.evaluate_cheap();
       const bool better =
@@ -409,19 +450,19 @@ AnnealStats Annealer::run(LayoutState& state, Rng& rng) {
       }
     }
     if (repair_current.fits_outline ||
-        repair_current.outline_penalty < best_cost.outline_penalty) {
-      best = state;
-      best_cost = repair_current;
-      best_legal = repair_current.fits_outline;
-      stats.found_legal = stats.found_legal || best_legal;
+        repair_current.outline_penalty < s.best_cost.outline_penalty) {
+      s.best = state;
+      s.best_cost = repair_current;
+      s.best_legal = repair_current.fits_outline;
+      s.stats.found_legal = s.stats.found_legal || s.best_legal;
     }
   }
 
-  state = std::move(best);
+  state = std::move(s.best);
   state.apply_to(fp_);
-  stats.best_cost = best_cost.total;
-  stats.best_breakdown = best_cost;
-  return stats;
+  s.stats.best_cost = s.best_cost.total;
+  s.stats.best_breakdown = s.best_cost;
+  return s.stats;
 }
 
 }  // namespace tsc3d::floorplan

@@ -79,6 +79,33 @@ struct AnnealStats {
   CostBreakdown best_breakdown;
 };
 
+/// Resumable annealing run: everything `Annealer::run` used to keep in
+/// locals, so an external driver (the parallel-tempering orchestrator)
+/// can interleave stages with cross-chain state exchanges.  Produced by
+/// Annealer::begin, advanced by run_stage, closed by finish; plain run()
+/// composes the three and behaves exactly as before.
+struct AnnealSession {
+  LayoutState* state = nullptr;   ///< the state being annealed (chain-owned)
+  CostBreakdown current;          ///< cost of *state under the session's fp
+  LayoutState best;
+  CostBreakdown best_cost;
+  bool best_legal = false;
+  double initial_outline_weight = 0.0;
+  double temperature = 0.0;       ///< current stage temperature (ladder-scalable)
+  double cooling = 0.0;
+  std::size_t total_moves = 0;
+  std::size_t moves_per_stage = 0;
+  std::size_t annealed_stages = 0;
+  std::size_t stage = 0;          ///< next stage to run
+  std::size_t since_full = 0;
+  std::size_t since_thermal = 0;
+  /// Set after *state was replaced from outside (a tempering exchange):
+  /// the next run_stage re-applies the state and refreshes `current`
+  /// with a full evaluation before annealing on.
+  bool refresh_pending = false;
+  AnnealStats stats;
+};
+
 class Annealer {
  public:
   Annealer(Floorplan3D& fp, CostEvaluator& evaluator,
@@ -87,6 +114,17 @@ class Annealer {
   /// Anneal `state` in place; on return `state` is the best solution
   /// found and has been applied to the floorplan.
   AnnealStats run(LayoutState& state, Rng& rng);
+
+  // --- staged interface (see AnnealSession) -----------------------------
+  /// Evaluate `state`, calibrate the initial temperature with a probe
+  /// walk, and return a session positioned before the first stage.
+  AnnealSession begin(LayoutState& state, Rng& rng);
+  /// Run one stage of moves (plus cooling and outline escalation).
+  /// Returns false without consuming randomness once all stages ran.
+  bool run_stage(AnnealSession& session, Rng& rng);
+  /// Greedy legalization tail (if needed) + install the best state into
+  /// `*session.state` and the floorplan; returns the final stats.
+  AnnealStats finish(AnnealSession& session, Rng& rng);
 
  private:
   /// Apply one random move; returns an undo closure index (see .cpp).

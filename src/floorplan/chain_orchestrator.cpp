@@ -1,0 +1,234 @@
+#include "floorplan/chain_orchestrator.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <exception>
+#include <memory>
+#include <stdexcept>
+#include <thread>
+#include <utility>
+
+#include "thermal/power_blur.hpp"
+
+namespace tsc3d::floorplan {
+
+namespace {
+
+/// One tempering chain: a full private copy of the design plus the
+/// thermal/cost/annealing machinery bound to it.  Nothing in here is
+/// shared with another chain, so chains run concurrently without locks.
+struct Chain {
+  explicit Chain(const Floorplan3D& original) : fp(original) {}
+
+  Floorplan3D fp;
+  /// Private engine for the detailed in-loop solves; null when the
+  /// chain runs on the shared power-blurring estimate alone.
+  std::unique_ptr<thermal::ThermalEngine> engine;
+  std::unique_ptr<CostEvaluator> eval;
+  std::unique_ptr<Annealer> annealer;
+  LayoutState state;
+  AnnealSession session;
+  Rng rng;
+  double ladder = 1.0;  ///< temperature multiplier of this rung
+};
+
+/// Cost of a chain's current (or best) state rebased to the outline
+/// weight every chain started from.  Outline escalation is chain-local
+/// (each Annealer raises its own evaluator's weight while it lingers
+/// illegal), so raw totals from different chains can sit on different
+/// scales mid-run; subtracting the escalated-minus-initial share of the
+/// outline term puts them back on one scale.  For legal states the
+/// penalty is zero and this is the raw total.
+double rebased_cost(double total, double outline_penalty,
+                    double current_weight, double initial_weight) {
+  return total - (current_weight - initial_weight) * outline_penalty;
+}
+
+/// Run fn(k) for every chain, on worker threads when `parallel`.  The
+/// chains' work is disjoint by construction; exceptions are collected
+/// and the first one rethrown after all threads joined.
+template <typename Fn>
+void for_each_chain(std::size_t count, bool parallel, Fn&& fn) {
+  if (!parallel || count <= 1) {
+    for (std::size_t k = 0; k < count; ++k) fn(k);
+    return;
+  }
+  std::vector<std::exception_ptr> errors(count);
+  {
+    std::vector<std::jthread> threads;
+    threads.reserve(count);
+    for (std::size_t k = 0; k < count; ++k)
+      threads.emplace_back([&errors, &fn, k] {
+        try {
+          fn(k);
+        } catch (...) {
+          errors[k] = std::current_exception();
+        }
+      });
+  }
+  for (const std::exception_ptr& e : errors)
+    if (e) std::rethrow_exception(e);
+}
+
+}  // namespace
+
+ChainOrchestrator::ChainOrchestrator(ChainSetup setup)
+    : setup_(std::move(setup)) {
+  if (setup_.chains.chains == 0)
+    throw std::invalid_argument("ChainOrchestrator: need at least one chain");
+  if (setup_.chains.ladder_ratio < 1.0)
+    throw std::invalid_argument(
+        "ChainOrchestrator: ladder_ratio must be >= 1");
+}
+
+std::uint64_t ChainOrchestrator::chain_seed(std::uint64_t base,
+                                            std::size_t chain) {
+  // SplitMix64 finalizer over a golden-ratio stride: nearby (base, chain)
+  // pairs map to uncorrelated streams, and the mapping is stable across
+  // platforms (pure 64-bit integer arithmetic).
+  std::uint64_t z =
+      base + 0x9e3779b97f4a7c15ULL * (static_cast<std::uint64_t>(chain) + 1);
+  z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ULL;
+  z = (z ^ (z >> 27)) * 0x94d049bb133111ebULL;
+  return z ^ (z >> 31);
+}
+
+ChainReport ChainOrchestrator::run(Floorplan3D& fp, const LayoutState& initial,
+                                   std::uint64_t seed) {
+  const std::size_t count = setup_.chains.chains;
+  const bool parallel = setup_.chains.parallel;
+
+  // --- calibrate the fast thermal model once -----------------------------
+  // PowerBlur kernels depend only on (tech, thermal config, radius), not
+  // on any chain's layout, and are immutable after construction, so one
+  // calibration pass serves every chain (estimate() is const and
+  // stateless -- safe to share across the chain threads).
+  thermal::ThermalEngine calibration_engine(fp.tech(), setup_.fast_thermal,
+                                            setup_.engine_parallel);
+  const thermal::PowerBlur blur(calibration_engine, setup_.blur_radius);
+
+  // --- equip the chains --------------------------------------------------
+  // All chains start from the same initial state, so every evaluator's
+  // adaptive normalizers initialize from the same first full evaluation
+  // and chain costs stay directly comparable in the exchange rule.
+  std::vector<std::unique_ptr<Chain>> chains;
+  chains.reserve(count);
+  for (std::size_t k = 0; k < count; ++k) {
+    auto chain = std::make_unique<Chain>(fp);
+    CostEvaluator::Options eval_opt = setup_.eval;
+    if (setup_.detailed_inner_thermal) {
+      chain->engine = std::make_unique<thermal::ThermalEngine>(
+          chain->fp.tech(), setup_.fast_thermal, setup_.engine_parallel);
+      eval_opt.detailed_engine = chain->engine.get();
+    } else {
+      eval_opt.detailed_engine = nullptr;
+    }
+    chain->eval = std::make_unique<CostEvaluator>(chain->fp, blur, eval_opt);
+    chain->annealer =
+        std::make_unique<Annealer>(chain->fp, *chain->eval, setup_.anneal);
+    chain->state = initial;
+    chain->rng.reseed(chain_seed(seed, k));
+    chain->ladder =
+        count > 1 ? std::pow(setup_.chains.ladder_ratio,
+                             static_cast<double>(k) /
+                                 static_cast<double>(count - 1))
+                  : 1.0;
+    chains.push_back(std::move(chain));
+  }
+  Rng exchange_rng(chain_seed(seed, count));
+
+  // --- begin: first full eval + T0 probe, then mount the ladder ---------
+  for_each_chain(count, parallel, [&](std::size_t k) {
+    Chain& c = *chains[k];
+    c.session = c.annealer->begin(c.state, c.rng);
+    c.session.temperature *= c.ladder;
+  });
+
+  // --- staged annealing with periodic replica exchange -------------------
+  ChainReport report;
+  const std::size_t stages = setup_.anneal.stages;
+  const std::size_t interval =
+      std::max<std::size_t>(1, setup_.chains.exchange_interval);
+  std::size_t done = 0;
+  std::size_t round = 0;
+  while (done < stages) {
+    const std::size_t todo = std::min(interval, stages - done);
+    for_each_chain(count, parallel, [&](std::size_t k) {
+      Chain& c = *chains[k];
+      for (std::size_t st = 0; st < todo; ++st)
+        if (!c.annealer->run_stage(c.session, c.rng)) break;
+    });
+    done += todo;
+    if (done >= stages || count < 2) continue;
+
+    // Exchange round: alternate even/odd ladder pairs, fixed order, one
+    // dedicated RNG -- deterministic no matter how the segment threads
+    // were scheduled.
+    ++report.exchange.rounds;
+    for (std::size_t i = round % 2; i + 1 < count; i += 2) {
+      Chain& cold = *chains[i];
+      Chain& hot = *chains[i + 1];
+      ++report.exchange.attempts;
+      const double t_cold = cold.session.temperature;
+      const double t_hot = hot.session.temperature;
+      const double e_cold = rebased_cost(
+          cold.session.current.total, cold.session.current.outline_penalty,
+          cold.eval->outline_weight(), cold.session.initial_outline_weight);
+      const double e_hot = rebased_cost(
+          hot.session.current.total, hot.session.current.outline_penalty,
+          hot.eval->outline_weight(), hot.session.initial_outline_weight);
+      if (t_cold <= 0.0 || t_hot <= 0.0) continue;
+      const double log_accept =
+          (1.0 / t_cold - 1.0 / t_hot) * (e_cold - e_hot);
+      const bool accept =
+          log_accept >= 0.0 ||
+          exchange_rng.uniform() < std::exp(log_accept);
+      if (!accept) continue;
+      ++report.exchange.accepts;
+      std::swap(*cold.session.state, *hot.session.state);
+      std::swap(cold.session.current, hot.session.current);
+      cold.session.refresh_pending = true;
+      hot.session.refresh_pending = true;
+    }
+    ++round;
+  }
+
+  // --- finish: repair tails + install each chain's best ------------------
+  for_each_chain(count, parallel, [&](std::size_t k) {
+    Chain& c = *chains[k];
+    c.session.stats = c.annealer->finish(c.session, c.rng);
+  });
+
+  // --- pick the winner ---------------------------------------------------
+  // Legal layouts dominate illegal ones; ties break toward lower cost,
+  // rebased to the shared initial outline weight so chains that
+  // escalated differently compare on one scale (for legal layouts the
+  // outline term is zero and the rebased cost IS the raw total; shared
+  // normalizers cover the rest).
+  const auto chain_cost = [&](const Chain& c) {
+    const CostBreakdown& b = c.session.stats.best_breakdown;
+    return rebased_cost(b.total, b.outline_penalty, c.eval->outline_weight(),
+                        c.session.initial_outline_weight);
+  };
+  std::size_t winner = 0;
+  for (std::size_t k = 1; k < count; ++k) {
+    const bool best_legal =
+        chains[winner]->session.stats.best_breakdown.fits_outline;
+    const bool cand_legal =
+        chains[k]->session.stats.best_breakdown.fits_outline;
+    const bool better =
+        (cand_legal && !best_legal) ||
+        (cand_legal == best_legal &&
+         chain_cost(*chains[k]) < chain_cost(*chains[winner]));
+    if (better) winner = k;
+  }
+
+  chains[winner]->state.apply_to(fp);
+  report.winner = winner;
+  report.chains.reserve(count);
+  for (const auto& chain : chains)
+    report.chains.push_back(chain->session.stats);
+  return report;
+}
+
+}  // namespace tsc3d::floorplan

@@ -1,0 +1,101 @@
+// tsc3d -- thermal side-channel-aware 3D floorplanning.
+//
+// ChainOrchestrator: parallel-tempering simulated annealing.  K
+// independent chains anneal the same design from the same initial state,
+// each on its own Floorplan3D copy with its own ThermalEngine, PowerBlur,
+// CostEvaluator, Annealer, and a deterministic per-chain RNG stream.
+// Chain k runs at temperature ladder_k * T0_k where the ladder rises
+// geometrically from 1 (coldest chain) to `ladder_ratio` (hottest); every
+// `exchange_interval` stages, adjacent ladder neighbors propose to swap
+// their layouts with the standard replica-exchange Metropolis rule
+//
+//   P(accept) = min(1, exp((1/T_cold - 1/T_hot) * (E_cold - E_hot))),
+//
+// so good layouts drift toward the cold chain while hot chains keep
+// exploring -- exactly the fig2-style design-space exploration workload
+// the paper runs over its Table 1 designs, spread over the machine's
+// cores.
+//
+// Determinism: chains only touch chain-local state between exchange
+// barriers, exchanges walk the ladder pairs in a fixed order with a
+// dedicated exchange RNG, and all chain seeds derive from the single
+// caller seed -- so the result is a pure function of (floorplan, initial
+// state, seed), independent of thread scheduling.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <vector>
+
+#include "core/floorplan.hpp"
+#include "core/rng.hpp"
+#include "floorplan/annealer.hpp"
+#include "floorplan/cost.hpp"
+#include "thermal/thermal_engine.hpp"
+
+namespace tsc3d::floorplan {
+
+/// Parallel-tempering configuration.
+struct ChainOptions {
+  /// Number of annealing chains; 1 falls back to a single plain SA run.
+  std::size_t chains = 1;
+  /// Stages between exchange rounds (each chain runs this many stages,
+  /// then the orchestrator proposes ladder-neighbor swaps).
+  std::size_t exchange_interval = 4;
+  /// Temperature multiplier of the hottest chain relative to the coldest.
+  double ladder_ratio = 6.0;
+  /// Run chains on their own threads (false = sequential round-robin,
+  /// same results; useful for debugging and sanitizer isolation).
+  bool parallel = true;
+};
+
+/// Replica-exchange bookkeeping.
+struct ExchangeStats {
+  std::size_t rounds = 0;
+  std::size_t attempts = 0;
+  std::size_t accepts = 0;
+};
+
+/// Outcome of a multi-chain run.
+struct ChainReport {
+  std::size_t winner = 0;              ///< index of the winning chain
+  std::vector<AnnealStats> chains;     ///< per-chain annealing stats
+  ExchangeStats exchange;
+};
+
+/// Everything the orchestrator needs to equip one chain.  Built by the
+/// Floorplanner from its options (kept separate so this header does not
+/// depend on floorplanner.hpp).
+struct ChainSetup {
+  ThermalConfig fast_thermal;        ///< fast-grid thermal config per chain
+  std::size_t blur_radius = 12;
+  /// Feed CostEvaluator::Options::detailed_engine with the chain's engine.
+  bool detailed_inner_thermal = false;
+  thermal::ParallelConfig engine_parallel;  ///< sweep sharding per engine
+  /// Evaluator options; `detailed_engine` is overwritten per chain.
+  CostEvaluator::Options eval;
+  AnnealOptions anneal;
+  ChainOptions chains;
+};
+
+class ChainOrchestrator {
+ public:
+  explicit ChainOrchestrator(ChainSetup setup);
+
+  /// Run the chains from `initial`; on return the winning chain's best
+  /// layout has been applied to `fp`.  Deterministic for a given
+  /// (fp, initial, seed) regardless of scheduling.
+  ChainReport run(Floorplan3D& fp, const LayoutState& initial,
+                  std::uint64_t seed);
+
+  [[nodiscard]] const ChainSetup& setup() const { return setup_; }
+
+  /// Deterministic per-chain seed stream (exposed for tests).
+  [[nodiscard]] static std::uint64_t chain_seed(std::uint64_t base,
+                                                std::size_t chain);
+
+ private:
+  ChainSetup setup_;
+};
+
+}  // namespace tsc3d::floorplan

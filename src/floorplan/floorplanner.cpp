@@ -37,16 +37,9 @@ FloorplanMetrics Floorplanner::run(Floorplan3D& fp, Rng& rng) const {
   const auto t_start = std::chrono::steady_clock::now();
   FloorplanMetrics metrics;
 
-  // --- fast thermal model, calibrated for this chip ---------------------
-  // One engine serves the whole in-loop resolution: power-blur
-  // calibration and (optionally) the detailed in-loop solves.  Its cached
-  // assembly and warm-start state persist across the annealing run.
+  // --- cost evaluator options with the mode's weights -------------------
   ThermalConfig fast_cfg = opt_.thermal;
   fast_cfg.grid_nx = fast_cfg.grid_ny = opt_.fast_grid;
-  thermal::ThermalEngine fast_engine(fp.tech(), fast_cfg);
-  const thermal::PowerBlur blur(fast_engine, opt_.blur_radius);
-
-  // --- cost evaluator with the mode's weights ---------------------------
   CostEvaluator::Options eval_opt;
   eval_opt.weights = opt_.mode == FlowMode::power_aware
                          ? power_aware_weights()
@@ -56,8 +49,6 @@ FloorplanMetrics Floorplanner::run(Floorplan3D& fp, Rng& rng) const {
   eval_opt.voltage = opt_.voltage;
   eval_opt.leakage_grid = opt_.fast_grid;
   eval_opt.entropy_options = opt_.entropy;
-  if (opt_.detailed_inner_thermal) eval_opt.detailed_engine = &fast_engine;
-  CostEvaluator evaluator(fp, blur, eval_opt);
 
   // --- simulated annealing ------------------------------------------------
   LayoutState state = LayoutState::initial(fp, rng, opt_.hot_modules_to_top);
@@ -70,8 +61,32 @@ FloorplanMetrics Floorplanner::run(Floorplan3D& fp, Rng& rng) const {
         opt_.auto_clock_factor * initial_timing.analyze().critical_delay_ns,
         1e-3);
   }
-  Annealer annealer(fp, evaluator, opt_.anneal);
-  metrics.anneal = annealer.run(state, rng);
+  if (opt_.chains.chains > 1) {
+    // Parallel tempering: K chains, each with its own design copy and
+    // thermal/cost machinery, exchange states on a temperature ladder.
+    ChainSetup setup;
+    setup.fast_thermal = fast_cfg;
+    setup.blur_radius = opt_.blur_radius;
+    setup.detailed_inner_thermal = opt_.detailed_inner_thermal;
+    setup.engine_parallel = opt_.parallel;
+    setup.eval = eval_opt;
+    setup.anneal = opt_.anneal;
+    setup.chains = opt_.chains;
+    ChainOrchestrator orchestrator(std::move(setup));
+    metrics.chains = orchestrator.run(fp, state, rng());
+    metrics.anneal = metrics.chains.chains[metrics.chains.winner];
+  } else {
+    // Single chain: one fast engine serves the whole in-loop resolution
+    // (power-blur calibration and, optionally, the detailed in-loop
+    // solves); its cached assembly and warm-start state persist across
+    // the annealing run.
+    thermal::ThermalEngine fast_engine(fp.tech(), fast_cfg, opt_.parallel);
+    const thermal::PowerBlur blur(fast_engine, opt_.blur_radius);
+    if (opt_.detailed_inner_thermal) eval_opt.detailed_engine = &fast_engine;
+    CostEvaluator evaluator(fp, blur, eval_opt);
+    Annealer annealer(fp, evaluator, opt_.anneal);
+    metrics.anneal = annealer.run(state, rng);
+  }
   metrics.legal = fp.check_legality().legal;
 
   // --- final TSV placement and voltage assignment -----------------------
@@ -88,7 +103,8 @@ FloorplanMetrics Floorplanner::run(Floorplan3D& fp, Rng& rng) const {
   if (do_dummy) {
     ThermalConfig sampling_cfg = opt_.thermal;
     sampling_cfg.grid_nx = sampling_cfg.grid_ny = opt_.sampling_grid;
-    thermal::ThermalEngine sampling_engine(fp.tech(), sampling_cfg);
+    thermal::ThermalEngine sampling_engine(fp.tech(), sampling_cfg,
+                                           opt_.parallel);
     metrics.dummy = tsv::insert_dummy_tsvs(fp, sampling_engine, rng,
                                            opt_.dummy);
   }
@@ -96,7 +112,7 @@ FloorplanMetrics Floorplanner::run(Floorplan3D& fp, Rng& rng) const {
   // --- detailed verification (Fig. 3, bottom) -----------------------------
   ThermalConfig verify_cfg = opt_.thermal;
   verify_cfg.grid_nx = verify_cfg.grid_ny = opt_.verify_grid;
-  thermal::ThermalEngine verify_engine(fp.tech(), verify_cfg);
+  thermal::ThermalEngine verify_engine(fp.tech(), verify_cfg, opt_.parallel);
   const std::size_t g = opt_.verify_grid;
   std::vector<GridD> power_maps;
   for (std::size_t d = 0; d < fp.tech().num_dies; ++d)

@@ -23,6 +23,7 @@
 #include "core/floorplan.hpp"
 #include "core/rng.hpp"
 #include "floorplan/annealer.hpp"
+#include "floorplan/chain_orchestrator.hpp"
 #include "floorplan/cost.hpp"
 #include "tsv/dummy_inserter.hpp"
 
@@ -68,6 +69,15 @@ struct FloorplannerOptions {
   /// the fast-vs-detailed quality gap the paper concedes (Sec. 6) at the
   /// cost of a few SOR sweeps per thermal refresh.
   bool detailed_inner_thermal = false;
+  /// Sweep sharding for every ThermalEngine the flow creates (fast,
+  /// sampling, verification).  threads == 1 keeps the serial sweep;
+  /// threaded results are bitwise identical to serial.
+  thermal::ParallelConfig parallel;
+  /// Parallel-tempering annealing: chains.chains > 1 replaces the single
+  /// SA run with that many concurrent chains plus periodic replica
+  /// exchange (see chain_orchestrator.hpp).  Note total thread use is
+  /// chains.chains * parallel.threads when both are raised.
+  ChainOptions chains;
 };
 
 /// Everything Table 2 reports for one floorplanning run, plus traces.
@@ -86,8 +96,10 @@ struct FloorplanMetrics {
   double runtime_s = 0.0;
   bool legal = false;
   // --- traces ---------------------------------------------------------------
-  AnnealStats anneal;
+  AnnealStats anneal;   ///< winning chain's stats when tempering ran
   tsv::DummyInsertResult dummy;
+  /// Multi-chain trace; `chains.chains` is empty for single-chain runs.
+  ChainReport chains;
 };
 
 class Floorplanner {

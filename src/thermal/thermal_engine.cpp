@@ -2,15 +2,179 @@
 
 #include <algorithm>
 #include <cmath>
+#include <condition_variable>
+#include <cstdint>
+#include <mutex>
 #include <stdexcept>
+#include <thread>
 
 namespace tsc3d::thermal {
 
+namespace {
+
+/// Cyclic rendezvous over mutex + condition_variable.  std::barrier would
+/// do, but libstdc++'s futex-based implementation is not reliably modeled
+/// by ThreadSanitizer (phantom races across the barrier), and a blocking
+/// wait also behaves better than a spinning one when the pool is
+/// oversubscribed.  Sweeps are ms-scale, so the condvar overhead is noise.
+class PhaseBarrier {
+ public:
+  explicit PhaseBarrier(std::size_t parties) : parties_(parties) {}
+
+  void arrive_and_wait() {
+    std::unique_lock lock(mutex_);
+    if (aborted_) return;
+    const std::uint64_t phase = phase_;
+    if (++arrived_ == parties_) {
+      arrived_ = 0;
+      ++phase_;
+      cv_.notify_all();
+    } else {
+      cv_.wait(lock, [&] { return phase_ != phase || aborted_; });
+    }
+  }
+
+  /// Permanently release every current and future waiter.  Shutdown
+  /// only: lets the pool unwind even when fewer than `parties` threads
+  /// exist (a worker failed to spawn), where a plain arrival could
+  /// never complete the phase.
+  void abort() {
+    const std::lock_guard lock(mutex_);
+    aborted_ = true;
+    cv_.notify_all();
+  }
+
+ private:
+  std::mutex mutex_;
+  std::condition_variable cv_;
+  std::size_t parties_;
+  std::size_t arrived_ = 0;
+  std::uint64_t phase_ = 0;
+  bool aborted_ = false;
+};
+
+}  // namespace
+
+/// Persistent sweep workers.  One pool serves one engine; jobs are
+/// color-phases of a red-black sweep.  The calling thread acts as shard 0
+/// and threads - 1 std::jthreads take the rest; two barriers bracket
+/// every phase, so no thread is spawned per sweep and the publication of
+/// the job description (and of the other color's node updates) is
+/// sequenced by the barrier synchronization.
+class ThermalEngine::SweepPool {
+ public:
+  explicit SweepPool(std::size_t threads)
+      : shard_delta_(threads), start_(threads), done_(threads) {
+    workers_.reserve(threads - 1);
+    try {
+      for (std::size_t shard = 1; shard < threads; ++shard)
+        workers_.emplace_back(
+            [this, shard](const std::stop_token& st) { worker(st, shard); });
+    } catch (...) {
+      // A worker failed to spawn (thread-resource exhaustion).  The ones
+      // already parked at the start barrier can never be released by a
+      // normal arrival -- the full party count no longer exists -- so
+      // shut down before the jthread destructors join them.
+      shut_down();
+      throw;
+    }
+  }
+
+  ~SweepPool() { shut_down(); }
+
+  SweepPool(const SweepPool&) = delete;
+  SweepPool& operator=(const SweepPool&) = delete;
+
+  [[nodiscard]] std::size_t threads() const { return workers_.size() + 1; }
+
+  /// Sweep one color across all shards; returns the max node update.
+  double sweep_color(ThermalEngine& engine, int color, std::size_t rows,
+                     const double* rhs, const double* diag) {
+    engine_ = &engine;
+    color_ = color;
+    rows_ = rows;
+    rhs_ = rhs;
+    diag_ = diag;
+    start_.arrive_and_wait();
+    run_shard(0);
+    done_.arrive_and_wait();
+    double max_delta = 0.0;
+    for (const ShardDelta& d : shard_delta_)
+      max_delta = std::max(max_delta, d.value);
+    return max_delta;
+  }
+
+ private:
+  /// Padded to a cache line so shards never write-share.
+  struct alignas(64) ShardDelta {
+    double value = 0.0;
+  };
+
+  void run_shard(std::size_t shard) {
+    const std::size_t n = threads();
+    const std::size_t begin = rows_ * shard / n;
+    const std::size_t end = rows_ * (shard + 1) / n;
+    shard_delta_[shard].value =
+        engine_->sweep_rows(color_, begin, end, rhs_, diag_);
+  }
+
+  void worker(const std::stop_token& st, std::size_t shard) {
+    for (;;) {
+      start_.arrive_and_wait();
+      if (st.stop_requested()) return;
+      run_shard(shard);
+      done_.arrive_and_wait();
+    }
+  }
+
+  /// Stop the workers and release them from wherever they are parked.
+  /// Idle workers sit at the start barrier; abort() frees them to
+  /// observe the stop request, and works even when some never spawned.
+  void shut_down() {
+    for (auto& w : workers_) w.request_stop();
+    start_.abort();
+    done_.abort();
+  }
+
+  // Job description, written by the caller before the start barrier.
+  ThermalEngine* engine_ = nullptr;
+  int color_ = 0;
+  std::size_t rows_ = 0;
+  const double* rhs_ = nullptr;
+  const double* diag_ = nullptr;
+
+  std::vector<ShardDelta> shard_delta_;
+  PhaseBarrier start_;
+  PhaseBarrier done_;
+  std::vector<std::jthread> workers_;
+};
+
 ThermalEngine::ThermalEngine(const TechnologyConfig& tech,
-                             const ThermalConfig& cfg)
-    : tech_(tech), cfg_(cfg), stack_(build_stack(tech, cfg)) {
+                             const ThermalConfig& cfg, ParallelConfig parallel)
+    : tech_(tech), cfg_(cfg), stack_(build_stack(tech, cfg)),
+      parallel_(parallel) {
   tech_.validate();
   cfg_.validate();
+  std::size_t threads = parallel_.threads;
+  if (parallel_.min_nodes_per_thread > 0) {
+    // Cap the shard count so each thread has enough rows to amortize the
+    // two barrier rendezvous per color; below the floor the engine simply
+    // runs serial (same results either way).
+    const std::size_t nodes =
+        stack_.layers.size() * cfg_.grid_nx * cfg_.grid_ny;
+    threads = std::min(
+        threads,
+        std::max<std::size_t>(1, nodes / parallel_.min_nodes_per_thread));
+  }
+  if (threads > 1) pool_ = std::make_unique<SweepPool>(threads);
+}
+
+ThermalEngine::~ThermalEngine() = default;
+ThermalEngine::ThermalEngine(ThermalEngine&&) noexcept = default;
+ThermalEngine& ThermalEngine::operator=(ThermalEngine&&) noexcept = default;
+
+std::size_t ThermalEngine::threads() const {
+  return pool_ ? pool_->threads() : 1;
 }
 
 void ThermalEngine::reset() {
@@ -147,24 +311,33 @@ void ThermalEngine::build_assembly(const GridD& tsv_density) {
     a.bound_rhs[c] += a.g_pkg[c] * cfg_.ambient_k;
   }
 
-  // (Re)size the padded field and scratch.  One layer of padding on both
-  // ends keeps every neighbor read of the sweep inside the buffer; the
-  // matching conductances are zero there.  Resizing invalidates any warm
-  // field (only happens when the grid shape changes).
-  field_offset_ = nxny;
-  if (temp_.size() != n + 2 * nxny) {
-    temp_.assign(n + 2 * nxny, cfg_.ambient_k);
+  // (Re)size the halo field and scratch.  One pad column per row, one
+  // pad row per layer, one pad layer on both ends: every boundary
+  // neighbor read of the sweep (all scaled by a structurally zero
+  // conductance) lands in a pad cell, never in a real node -- which
+  // keeps the inner loop branch-free and makes row shards of one color
+  // fully disjoint from each other's writes.  Resizing invalidates any
+  // warm field (only happens when the grid shape changes).
+  const std::size_t padded_layer = (nx + 1) * (ny + 1);
+  field_offset_ = padded_layer;
+  if (temp_.size() != (nl + 2) * padded_layer) {
+    temp_.assign((nl + 2) * padded_layer, cfg_.ambient_k);
     field_valid_ = false;
   }
   rhs_.resize(n);
   diag_.resize(n);
 }
 
-double ThermalEngine::sweep(const std::vector<double>& rhs,
-                            const std::vector<double>& diag) {
+double ThermalEngine::sweep_rows(int color, std::size_t row_begin,
+                                 std::size_t row_end, const double* r,
+                                 const double* dg) {
   const Assembly& a = asm_;
-  const std::size_t nx = a.nx, ny = a.ny, nl = a.nl;
-  const std::size_t nxny = nx * ny;
+  const std::size_t nx = a.nx, ny = a.ny;
+  // Conductance/rhs arrays are compact (stride nx); the field uses the
+  // halo layout (row stride nx + 1, layer stride (nx+1) * (ny+1)), so
+  // the loop advances a compact index i and a padded index p in step.
+  const std::size_t px = nx + 1;
+  const std::size_t ps = px * (ny + 1);
   const double omega = cfg_.sor_omega;
   double* t = field();
   const double* gxm = a.g_xm.data();
@@ -173,29 +346,42 @@ double ThermalEngine::sweep(const std::vector<double>& rhs,
   const double* gyp = a.g_yp.data();
   const double* gzm = a.g_zm.data();
   const double* gzp = a.g_zp.data();
-  const double* r = rhs.data();
-  const double* dg = diag.data();
 
   double max_delta = 0.0;
-  // Red-black ordering: nodes with even (ix+iy+l) first, then odd.  Each
-  // color only reads the other, so the stride-2 inner loop is
-  // dependence-free and vectorizes.
-  for (int color = 0; color < 2; ++color) {
-    for (std::size_t l = 0; l < nl; ++l) {
-      for (std::size_t iy = 0; iy < ny; ++iy) {
-        const std::size_t row = (l * ny + iy) * nx;
-        for (std::size_t ix = (l + iy + static_cast<std::size_t>(color)) & 1;
-             ix < nx; ix += 2) {
-          const std::size_t i = row + ix;
-          const double flux = r[i] + gxm[i] * t[i - 1] + gxp[i] * t[i + 1] +
-                              gym[i] * t[i - nx] + gyp[i] * t[i + nx] +
-                              gzm[i] * t[i - nxny] + gzp[i] * t[i + nxny];
-          const double delta = flux / dg[i] - t[i];
-          t[i] += omega * delta;
-          max_delta = std::max(max_delta, std::abs(delta));
-        }
-      }
+  for (std::size_t gr = row_begin; gr < row_end; ++gr) {
+    const std::size_t l = gr / ny;
+    const std::size_t iy = gr % ny;
+    const std::size_t row = gr * nx;
+    const std::size_t prow = l * ps + iy * px;
+    for (std::size_t ix = (l + iy + static_cast<std::size_t>(color)) & 1;
+         ix < nx; ix += 2) {
+      const std::size_t i = row + ix;
+      const std::size_t p = prow + ix;
+      const double flux = r[i] + gxm[i] * t[p - 1] + gxp[i] * t[p + 1] +
+                          gym[i] * t[p - px] + gyp[i] * t[p + px] +
+                          gzm[i] * t[p - ps] + gzp[i] * t[p + ps];
+      const double delta = flux / dg[i] - t[p];
+      t[p] += omega * delta;
+      max_delta = std::max(max_delta, std::abs(delta));
     }
+  }
+  return max_delta;
+}
+
+double ThermalEngine::sweep(const std::vector<double>& rhs,
+                            const std::vector<double>& diag) {
+  // Red-black ordering: nodes with even (ix+iy+l) first, then odd.  Each
+  // color only reads the other, so the color phase is dependence-free and
+  // may be sharded by rows; the barrier between colors preserves the
+  // serial update order, so sharded and serial sweeps agree bitwise
+  // (node updates are identical and the max reduction is order-free).
+  const std::size_t rows = asm_.nl * asm_.ny;
+  double max_delta = 0.0;
+  for (int color = 0; color < 2; ++color) {
+    const double color_delta =
+        pool_ ? pool_->sweep_color(*this, color, rows, rhs.data(), diag.data())
+              : sweep_rows(color, 0, rows, rhs.data(), diag.data());
+    max_delta = std::max(max_delta, color_delta);
   }
   return max_delta;
 }
@@ -216,7 +402,8 @@ void ThermalEngine::fill_steady_rhs(const std::vector<GridD>& die_power_w) {
 void ThermalEngine::extract_field(ThermalResult& result) const {
   const Assembly& a = asm_;
   const std::size_t nx = a.nx, ny = a.ny, nl = a.nl;
-  const std::size_t nxny = nx * ny;
+  const std::size_t px = nx + 1;
+  const std::size_t ps = px * (ny + 1);
   const double* t = field();
 
   result.layer_temperature.clear();
@@ -224,9 +411,12 @@ void ThermalEngine::extract_field(ThermalResult& result) const {
   result.peak_k = cfg_.ambient_k;
   for (std::size_t l = 0; l < nl; ++l) {
     GridD map(nx, ny, 0.0);
-    for (std::size_t c = 0; c < nxny; ++c) {
-      map[c] = t[l * nxny + c];
-      result.peak_k = std::max(result.peak_k, map[c]);
+    for (std::size_t iy = 0; iy < ny; ++iy) {
+      const double* trow = t + l * ps + iy * px;
+      for (std::size_t ix = 0; ix < nx; ++ix) {
+        map[iy * nx + ix] = trow[ix];
+        result.peak_k = std::max(result.peak_k, trow[ix]);
+      }
     }
     result.layer_temperature.push_back(std::move(map));
   }
@@ -238,10 +428,11 @@ void ThermalEngine::extract_field(ThermalResult& result) const {
 
   result.heat_to_sink_w = 0.0;
   result.heat_to_package_w = 0.0;
-  for (std::size_t c = 0; c < nxny; ++c) {
-    result.heat_to_sink_w +=
-        a.g_sink[c] * (t[(nl - 1) * nxny + c] - cfg_.ambient_k);
-    result.heat_to_package_w += a.g_pkg[c] * (t[c] - cfg_.ambient_k);
+  const GridD& top = result.layer_temperature[nl - 1];
+  const GridD& bottom = result.layer_temperature[0];
+  for (std::size_t c = 0; c < nx * ny; ++c) {
+    result.heat_to_sink_w += a.g_sink[c] * (top[c] - cfg_.ambient_k);
+    result.heat_to_package_w += a.g_pkg[c] * (bottom[c] - cfg_.ambient_k);
   }
 }
 
@@ -298,6 +489,8 @@ TransientResult ThermalEngine::solve_transient_feedback(
   const std::size_t nx = a.nx, ny = a.ny;
   const std::size_t nxny = nx * ny;
   const std::size_t n = a.num_nodes();
+  const std::size_t px = nx + 1;
+  const std::size_t ps = px * (ny + 1);
 
   // The initial condition is ambient everywhere: it is part of the
   // problem statement, not an iteration guess, so no warm start here.
@@ -323,8 +516,14 @@ TransientResult ThermalEngine::solve_transient_feedback(
     const std::vector<GridD> power = power_at(t_now, die_temp_prev);
     check_inputs(power, tsv_density);
 
-    for (std::size_t i = 0; i < n; ++i)
-      rhs_[i] = a.bound_rhs[i] + cap_over_dt[i] * t[i];
+    for (std::size_t l = 0; l < a.nl; ++l)
+      for (std::size_t iy = 0; iy < ny; ++iy) {
+        const std::size_t i0 = (l * ny + iy) * nx;
+        const double* trow = t + l * ps + iy * px;
+        for (std::size_t ix = 0; ix < nx; ++ix)
+          rhs_[i0 + ix] =
+              a.bound_rhs[i0 + ix] + cap_over_dt[i0 + ix] * trow[ix];
+      }
     for (std::size_t l = 0; l < a.nl; ++l) {
       const Layer& layer = stack_.layers[l];
       if (!layer.has_power()) continue;
@@ -351,8 +550,11 @@ TransientResult ThermalEngine::solve_transient_feedback(
 
     for (std::size_t d = 0; d < tech_.num_dies; ++d) {
       const std::size_t l = stack_.layer_of_die[d];
-      for (std::size_t c = 0; c < nxny; ++c)
-        die_temp_prev[d][c] = t[l * nxny + c];
+      for (std::size_t iy = 0; iy < ny; ++iy) {
+        const double* trow = t + l * ps + iy * px;
+        for (std::size_t ix = 0; ix < nx; ++ix)
+          die_temp_prev[d][iy * nx + ix] = trow[ix];
+      }
     }
 
     if (step % record_stride == 0 || step + 1 == steps) {

@@ -16,18 +16,21 @@
 //    converges in a handful of sweeps instead of hundreds;
 //  * sweeps in red-black order over flattened per-node conductance
 //    arrays.  Nodes of one color only read nodes of the other, so the
-//    stride-2 inner loop carries no dependence, vectorizes, and can later
-//    be sharded across threads;
+//    stride-2 inner loop carries no dependence, vectorizes, and shards
+//    row ranges across a persistent worker pool (ParallelConfig);
 //  * reports solver effort (sweeps, convergence, residual, reuse) in
 //    ThermalResult / TransientResult so callers and benches can see what
 //    a solve actually cost.
 //
 // The engine is deliberately NOT thread-safe: it owns mutable scratch
-// state.  Use one engine per thread (the assembly could be shared later).
+// state.  Use one engine per thread; the engine's own sweep workers are
+// internal and synchronized, so a threaded engine is still safe to use
+// from exactly one caller thread at a time.
 #pragma once
 
 #include <cstddef>
 #include <functional>
+#include <memory>
 #include <vector>
 
 #include "core/config.hpp"
@@ -35,6 +38,25 @@
 #include "thermal/stack.hpp"
 
 namespace tsc3d::thermal {
+
+/// Sweep-sharding configuration.  `threads == 1` (the default) keeps the
+/// fully serial sweep; `threads > 1` shards each red-black color's row
+/// range across a persistent pool of threads - 1 workers plus the calling
+/// thread.  Within a color every node only reads the other color, so the
+/// shards are dependence-free and the threaded sweep is bitwise identical
+/// to the serial one for any thread count.
+struct ParallelConfig {
+  std::size_t threads = 1;
+  /// Auto-serialization floor: the engine caps its effective thread
+  /// count at total_nodes / min_nodes_per_thread, so tiny grids (the
+  /// 16x16-ish fast-loop resolutions, where the per-sweep barrier
+  /// rendezvous would cost more than the sharded work saves) stay
+  /// serial no matter what `threads` asks for.  Results are bitwise
+  /// identical at every effective count, so the cap never changes
+  /// numbers -- only speed.  0 disables the floor (used by tests to
+  /// force sharding on deliberately small grids).
+  std::size_t min_nodes_per_thread = 4096;
+};
 
 /// Output of a steady-state solve.
 struct ThermalResult {
@@ -91,10 +113,16 @@ class ThermalEngine {
     std::size_t total_sweeps = 0;
   };
 
-  ThermalEngine(const TechnologyConfig& tech, const ThermalConfig& cfg);
+  ThermalEngine(const TechnologyConfig& tech, const ThermalConfig& cfg,
+                ParallelConfig parallel = {});
+  ~ThermalEngine();
+  ThermalEngine(ThermalEngine&&) noexcept;
+  ThermalEngine& operator=(ThermalEngine&&) noexcept;
 
   [[nodiscard]] std::size_t nx() const { return cfg_.grid_nx; }
   [[nodiscard]] std::size_t ny() const { return cfg_.grid_ny; }
+  /// Effective sweep thread count (1 = serial).
+  [[nodiscard]] std::size_t threads() const;
   [[nodiscard]] const LayerStack& stack() const { return stack_; }
   [[nodiscard]] const ThermalConfig& config() const { return cfg_; }
   [[nodiscard]] const Stats& stats() const { return stats_; }
@@ -158,9 +186,16 @@ class ThermalEngine {
   const Assembly& assembly_for(const GridD& tsv_density);
   void build_assembly(const GridD& tsv_density);
   /// One red-black SOR sweep over the padded field; returns the max
-  /// absolute (pre-relaxation) node update.
+  /// absolute (pre-relaxation) node update.  Dispatches to the worker
+  /// pool when one exists, otherwise runs both colors inline.
   double sweep(const std::vector<double>& rhs,
                const std::vector<double>& diag);
+  /// Sweep one color over the global row range [row_begin, row_end)
+  /// (row index r maps to layer r / ny, row r % ny); returns the shard's
+  /// max node update.  Rows of one color are mutually independent, so
+  /// disjoint ranges may run concurrently.
+  double sweep_rows(int color, std::size_t row_begin, std::size_t row_end,
+                    const double* rhs, const double* diag);
   /// Build rhs_ for a steady solve (power injection + boundary terms).
   void fill_steady_rhs(const std::vector<GridD>& die_power_w);
   /// Copy the padded field into a ThermalResult (maps, peak, heat flows).
@@ -175,16 +210,25 @@ class ThermalEngine {
   ThermalConfig cfg_;
   LayerStack stack_;
 
+  /// Persistent sweep workers (absent when parallel_.threads <= 1).
+  class SweepPool;
+  ParallelConfig parallel_;
+  std::unique_ptr<SweepPool> pool_;
+
   Assembly asm_;
   bool asm_valid_ = false;
   /// The TSV-density data the cached assembly was built from.
   std::vector<double> asm_tsv_;
 
-  /// Temperature field, padded by one layer of nodes on both ends so the
-  /// sweep's neighbor reads never leave the buffer (the matching
-  /// conductances are zero, so the padded values are never used).
+  /// Temperature field in a halo layout: each row carries one pad column
+  /// (stride nx + 1), each layer one pad row (stride (nx+1) * (ny+1)),
+  /// plus one pad layer on both ends.  Every boundary neighbor read of
+  /// the sweep -- all multiplied by a structurally zero conductance --
+  /// lands in a pad cell instead of wrapping into a real node, so the
+  /// inner loop stays branch-free AND shards never read a cell another
+  /// shard may be writing (pads are never written during sweeps).
   std::vector<double> temp_;
-  std::size_t field_offset_ = 0;
+  std::size_t field_offset_ = 0;  ///< padded index of node (0, 0, 0)
   bool field_valid_ = false;
 
   // Persistent scratch, sized on first use.

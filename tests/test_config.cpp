@@ -5,6 +5,7 @@
 #include <cstdio>
 #include <filesystem>
 #include <fstream>
+#include <random>
 
 #include "config/apply.hpp"
 #include "config/config_file.hpp"
@@ -94,8 +95,11 @@ TEST(ConfigFile, UnusedKeysTracksReads) {
 }
 
 TEST(ConfigFile, LoadFromDiskRoundTrips) {
-  const auto path =
-      std::filesystem::temp_directory_path() / "tsc3d_test.conf";
+  // Run-unique filename: a fixed path would race a concurrent run of
+  // this binary (ctest --repeat, sanitizer jobs sharing /tmp).
+  const auto path = std::filesystem::temp_directory_path() /
+                    ("tsc3d_test_" + std::to_string(std::random_device{}()) +
+                     ".conf");
   {
     std::ofstream out(path);
     out << "[s]\nkey = 42\n";

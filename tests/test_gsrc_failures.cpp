@@ -3,6 +3,7 @@
 // be skipped, throw on what cannot".
 #include <filesystem>
 #include <fstream>
+#include <random>
 #include <gtest/gtest.h>
 
 #include "benchgen/gsrc_io.hpp"
@@ -13,7 +14,16 @@ namespace {
 class GsrcFailures : public ::testing::Test {
  protected:
   void SetUp() override {
-    dir_ = std::filesystem::temp_directory_path() / "tsc3d_gsrc_failures";
+    // Unique directory per test case AND per run: ctest -j runs sibling
+    // cases as concurrent processes (a shared directory would let one
+    // case's TearDown delete another's fixture files mid-test), and the
+    // random component keeps concurrent runs of the same binary apart
+    // (sanitizer jobs sharing /tmp).
+    const auto* info =
+        ::testing::UnitTest::GetInstance()->current_test_info();
+    dir_ = std::filesystem::temp_directory_path() /
+           ("tsc3d_gsrc_failures_" +
+            std::to_string(std::random_device{}()) + "_" + info->name());
     std::filesystem::create_directories(dir_);
   }
   void TearDown() override { std::filesystem::remove_all(dir_); }

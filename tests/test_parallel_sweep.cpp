@@ -1,0 +1,153 @@
+// Tests of the sharded red-black sweep: threaded engines must produce
+// BITWISE-identical results to the serial engine for any thread count
+// (the color barrier preserves the serial update order; within a color,
+// nodes only read the other color), across steady, warm-started, and
+// transient solves.  These suites also run under TSan on CI to vet the
+// worker-pool synchronization.
+#include <gtest/gtest.h>
+
+#include "thermal/thermal_engine.hpp"
+
+namespace tsc3d::thermal {
+namespace {
+
+TechnologyConfig test_tech() {
+  TechnologyConfig t;
+  t.die_width_um = 2000.0;
+  t.die_height_um = 2000.0;
+  return t;
+}
+
+ThermalConfig test_thermal(std::size_t grid = 20) {
+  ThermalConfig c;
+  c.grid_nx = c.grid_ny = grid;
+  return c;
+}
+
+std::vector<GridD> test_power(std::size_t grid) {
+  std::vector<GridD> power(2, GridD(grid, grid, 0.0));
+  power[0].at(grid / 2, grid / 2) = 2.0;
+  power[0].at(2, 3) = 0.7;
+  power[1].at(grid - 3, grid - 2) = 1.1;
+  return power;
+}
+
+GridD test_tsv(std::size_t grid) {
+  GridD tsv(grid, grid, 0.1);
+  tsv.at(4, 4) = 0.8;
+  tsv.at(grid - 5, 6) = 0.5;
+  return tsv;
+}
+
+void expect_bitwise_equal(const ThermalResult& a, const ThermalResult& b) {
+  EXPECT_EQ(a.iterations, b.iterations);
+  EXPECT_EQ(a.converged, b.converged);
+  EXPECT_EQ(a.residual_k, b.residual_k);  // exact: same update sequence
+  EXPECT_EQ(a.peak_k, b.peak_k);
+  ASSERT_EQ(a.layer_temperature.size(), b.layer_temperature.size());
+  for (std::size_t l = 0; l < a.layer_temperature.size(); ++l) {
+    ASSERT_EQ(a.layer_temperature[l].size(), b.layer_temperature[l].size());
+    for (std::size_t c = 0; c < a.layer_temperature[l].size(); ++c)
+      ASSERT_EQ(a.layer_temperature[l][c], b.layer_temperature[l][c])
+          << "layer " << l << " cell " << c;
+  }
+}
+
+TEST(ThermalEngineParallel, SteadySolveBitwiseEqualAcrossThreadCounts) {
+  const auto power = test_power(20);
+  const GridD tsv = test_tsv(20);
+  ThermalEngine serial(test_tech(), test_thermal());
+  const ThermalResult reference = serial.solve_steady(power, tsv);
+  ASSERT_TRUE(reference.converged);
+
+  for (const std::size_t threads : {2u, 3u, 4u, 8u}) {
+    ThermalEngine sharded(test_tech(), test_thermal(),
+                          {.threads = threads, .min_nodes_per_thread = 1});
+    EXPECT_EQ(sharded.threads(), threads);
+    const ThermalResult res = sharded.solve_steady(power, tsv);
+    expect_bitwise_equal(reference, res);
+  }
+}
+
+TEST(ThermalEngineParallel, WarmStartedSequenceBitwiseEqual) {
+  // Walk a perturbed-power sequence, warm-starting every solve, on a
+  // serial and a 4-thread engine side by side: every intermediate field
+  // (and thus every sweep count) must match exactly.
+  ThermalEngine serial(test_tech(), test_thermal());
+  ThermalEngine sharded(test_tech(), test_thermal(),
+                        {.threads = 4, .min_nodes_per_thread = 1});
+  auto power = test_power(20);
+  const GridD tsv = test_tsv(20);
+  for (int step = 0; step < 4; ++step) {
+    power[0].at(5 + static_cast<std::size_t>(step), 7) = 0.4 + 0.3 * step;
+    const ThermalResult a = serial.solve_steady(power, tsv);
+    const ThermalResult b = sharded.solve_steady(power, tsv);
+    expect_bitwise_equal(a, b);
+  }
+  EXPECT_EQ(serial.stats().total_sweeps, sharded.stats().total_sweeps);
+}
+
+TEST(ThermalEngineParallel, TransientSolveBitwiseEqual) {
+  ThermalEngine serial(test_tech(), test_thermal(12));
+  ThermalEngine sharded(test_tech(), test_thermal(12),
+                        {.threads = 3, .min_nodes_per_thread = 1});
+  const auto power = test_power(12);
+  const GridD tsv(12, 12, 0.2);
+  const auto at = [&](double) { return power; };
+  const TransientResult a = serial.solve_transient(at, tsv, 0.05, 0.01);
+  const TransientResult b = sharded.solve_transient(at, tsv, 0.05, 0.01);
+  EXPECT_EQ(a.steps, b.steps);
+  EXPECT_EQ(a.total_iterations, b.total_iterations);
+  EXPECT_EQ(a.unconverged_steps, b.unconverged_steps);
+  expect_bitwise_equal(a.final_state, b.final_state);
+  ASSERT_EQ(a.trace.size(), b.trace.size());
+  for (std::size_t i = 0; i < a.trace.size(); ++i)
+    for (std::size_t d = 0; d < a.trace[i].die_peak_k.size(); ++d)
+      EXPECT_EQ(a.trace[i].die_peak_k[d], b.trace[i].die_peak_k[d]);
+}
+
+TEST(ThermalEngineParallel, MoreThreadsThanRowsStillCorrect) {
+  // 4x4 grid: fewer rows per color than workers; some shards are empty.
+  const std::size_t g = 4;
+  std::vector<GridD> power(2, GridD(g, g, 0.0));
+  power[0].at(2, 2) = 1.0;
+  const GridD tsv(g, g, 0.3);
+  ThermalEngine serial(test_tech(), test_thermal(g));
+  ThermalEngine sharded(test_tech(), test_thermal(g),
+                        {.threads = 16, .min_nodes_per_thread = 1});
+  expect_bitwise_equal(serial.solve_steady(power, tsv),
+                       sharded.solve_steady(power, tsv));
+}
+
+TEST(ThermalEngineParallel, PoolPersistsAcrossManySolves) {
+  // Many short solves on one engine: per-sweep spawn would dominate, a
+  // persistent pool must not leak or deadlock.  (Run under TSan on CI.)
+  ThermalEngine engine(test_tech(), test_thermal(8),
+                       {.threads = 4, .min_nodes_per_thread = 1});
+  std::vector<GridD> power(2, GridD(8, 8, 0.0));
+  const GridD tsv(8, 8, 0.1);
+  for (int i = 0; i < 50; ++i) {
+    power[0].at(static_cast<std::size_t>(i) % 8, 3) = 0.5 + 0.01 * i;
+    const ThermalResult res = engine.solve_steady(power, tsv);
+    EXPECT_TRUE(res.converged);
+  }
+  EXPECT_EQ(engine.stats().steady_solves, 50u);
+}
+
+TEST(ThermalEngineParallel, ThreadsOneIsSerial) {
+  ThermalEngine engine(test_tech(), test_thermal(), {.threads = 1});
+  EXPECT_EQ(engine.threads(), 1u);
+}
+
+TEST(ThermalEngineParallel, TinyGridsAutoSerialize) {
+  // The default min_nodes_per_thread floor keeps fast-loop-sized grids
+  // serial (barrier rendezvous would outweigh the sharded work) while
+  // verification-sized grids still shard.
+  ThermalEngine tiny(test_tech(), test_thermal(16), {.threads = 8});
+  EXPECT_EQ(tiny.threads(), 1u);
+  ThermalEngine big(test_tech(), test_thermal(64), {.threads = 4});
+  EXPECT_GT(big.threads(), 1u);
+}
+
+}  // namespace
+}  // namespace tsc3d::thermal
