@@ -5,7 +5,8 @@
 //
 //   tsc3d [--config=FILE] [--benchmark=n100 | --blocks=F [--nets=F]
 //         [--pl=F] [--power=F]] [--mode=power|tsc] [--seed=N]
-//         [--moves=N] [--threads=N] [--chains=K] [--out=DIR] [--quiet]
+//         [--moves=N] [--batch=K] [--threads=N] [--chains=K] [--out=DIR]
+//         [--quiet]
 //
 // The design comes either from a named Table 1 benchmark (synthetic,
 // deterministic per seed) or from GSRC bookshelf files.  The flow
@@ -35,6 +36,7 @@ struct CliArgs {
   std::string out;
   std::uint64_t seed = 1;
   std::size_t moves = 0;
+  std::size_t batch = 0;    // 0 = from config / default
   std::size_t threads = 0;  // 0 = from config / default
   std::size_t chains = 0;   // 0 = from config / default
   bool quiet = false;
@@ -56,12 +58,17 @@ void print_usage() {
       "  --mode=power|tsc  flow preset (overrides config)\n"
       "  --seed=N          RNG seed (default 1)\n"
       "  --moves=N         SA moves (0 = auto)\n"
-      "  --threads=N       sweep threads per thermal engine (default 1;\n"
+      "  --batch=K         candidate moves scored per annealing step\n"
+      "                    (default 1; batches fan out across --threads)\n"
+      "  --threads=N       worker threads per thermal engine (default 1;\n"
       "                    threaded solves are bitwise-identical to serial)\n"
       "  --chains=K        parallel-tempering annealing chains (default 1)\n"
       "  --out=DIR         write maps + placed GSRC bundle here\n"
       "  --quiet           suppress the per-metric report\n"
-      "  --help            this text\n";
+      "  --help            this text\n"
+      "\n"
+      "Config-file keys are documented in docs/CONFIG.md; the\n"
+      "architecture overview lives in docs/ARCHITECTURE.md.\n";
 }
 
 CliArgs parse_args(int argc, char** argv) {
@@ -85,6 +92,8 @@ CliArgs parse_args(int argc, char** argv) {
       args.seed = std::stoull(value("--seed="));
     else if (arg.rfind("--moves=", 0) == 0)
       args.moves = std::stoul(value("--moves="));
+    else if (arg.rfind("--batch=", 0) == 0)
+      args.batch = std::stoul(value("--batch="));
     else if (arg.rfind("--threads=", 0) == 0)
       args.threads = std::stoul(value("--threads="));
     else if (arg.rfind("--chains=", 0) == 0)
@@ -122,6 +131,7 @@ int main(int argc, char** argv) {
     if (!args.mode.empty() && !args.config.empty())
       config::apply_thermal(cfg, opt.thermal);  // keep thermal overrides
     if (args.moves > 0) opt.anneal.total_moves = args.moves;
+    if (args.batch > 0) opt.anneal.batch_candidates = args.batch;
     if (args.threads > 0) opt.parallel.threads = args.threads;
     if (args.chains > 0) opt.chains.chains = args.chains;
 

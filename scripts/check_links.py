@@ -1,0 +1,68 @@
+#!/usr/bin/env python3
+"""Relative-link check for the repo's markdown documentation.
+
+Scans the given markdown files for inline links/images and verifies
+that every relative target exists on disk (resolved against the file
+containing the link, `#fragment` suffixes stripped).  External schemes
+(http/https/mailto) and pure in-page anchors are ignored -- the check
+needs no network and stays cheap enough for a CI step.
+
+Usage:
+  check_links.py README.md docs/*.md
+"""
+import argparse
+import os
+import re
+import sys
+
+# Inline markdown links/images: [text](target) / ![alt](target).
+# Reference-style links are not used in this repo's docs.
+LINK = re.compile(r"!?\[[^\]]*\]\(([^)\s]+)(?:\s+\"[^\"]*\")?\)")
+EXTERNAL = re.compile(r"^[a-z][a-z0-9+.-]*:")  # http:, https:, mailto:, ...
+
+
+def check_file(path):
+    broken = []
+    with open(path, encoding="utf-8") as fh:
+        text = fh.read()
+    base = os.path.dirname(os.path.abspath(path))
+    for match in LINK.finditer(text):
+        target = match.group(1)
+        if EXTERNAL.match(target) or target.startswith("#"):
+            continue
+        resolved = os.path.normpath(
+            os.path.join(base, target.split("#", 1)[0]))
+        if not os.path.exists(resolved):
+            line = text.count("\n", 0, match.start()) + 1
+            broken.append((line, target, resolved))
+    return broken
+
+
+def main():
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("files", nargs="+", help="markdown files to check")
+    args = parser.parse_args()
+
+    failures = 0
+    checked = 0
+    for path in args.files:
+        if not os.path.exists(path):
+            print(f"{path}: file not found")
+            failures += 1
+            continue
+        broken = check_file(path)
+        checked += 1
+        for line, target, resolved in broken:
+            print(f"{path}:{line}: broken link '{target}' "
+                  f"(resolved to {resolved})")
+        failures += len(broken)
+
+    if failures:
+        print(f"\nLINK CHECK FAILED: {failures} broken link(s)")
+        return 1
+    print(f"link check passed ({checked} file(s))")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -1,7 +1,7 @@
 #!/usr/bin/env python3
 """Perf gates for CI over a google-benchmark JSON report.
 
-Three checks, in order:
+Four checks, in order:
 
 1. Warm-start gate (hard): the warm-started steady solve must be at
    least --min-warm-speedup (default 2.0) times faster than the cold
@@ -11,14 +11,23 @@ Three checks, in order:
    thread on the 128x128 grid -- the sweep-pool contract.  Skipped with
    a notice when the report has no sharded entries (machines without
    the benchmark) unless --require-scaling is given.
-3. Baseline drift (soft by default): benchmarks present in both the
+3. Batched-eval gate (hard): scoring 4 candidates in one
+   solve_steady_batch call on 4 threads must be at least
+   --min-batch-speedup (default 1.5) times faster than the 4 sequential
+   solve_steady calls of the unbatched annealing loop (batch:1/threads:1)
+   at the 64x64 grid -- the field-pool contract since PR 4.  The
+   sharded-sequential comparison (batch:1/threads:4) is printed for
+   context but not gated (sweep sharding at 64x64 sits between serial
+   and candidate-parallel).  Skipped like the scaling gate when the
+   entries are missing, unless --require-scaling is given.
+4. Baseline drift (soft by default): benchmarks present in both the
    report and --baseline are compared; regressions beyond
    --max-regression (default 2.5x) fail the check.  The generous
    default tolerates CI-runner variance while still catching
-   catastrophic slowdowns against the committed BENCH_pr2.json.
+   catastrophic slowdowns against the committed BENCH_pr4.json.
 
 Usage:
-  check_perf.py RESULT.json [--baseline BENCH_pr2.json] [options]
+  check_perf.py RESULT.json [--baseline BENCH_pr4.json] [options]
 """
 import argparse
 import json
@@ -49,10 +58,12 @@ def main():
     parser.add_argument("--min-warm-speedup", type=float, default=2.0)
     parser.add_argument("--min-scaling", type=float, default=1.8)
     parser.add_argument("--scaling-threads", type=int, default=4)
+    parser.add_argument("--min-batch-speedup", type=float, default=1.5)
     parser.add_argument("--max-regression", type=float, default=2.5)
     parser.add_argument(
         "--require-scaling", action="store_true",
-        help="fail (instead of skip) when sharded entries are missing")
+        help="fail (instead of skip) when the sharded-sweep or "
+             "batched-eval entries are missing")
     args = parser.parse_args()
 
     times = load_times(args.result)
@@ -93,7 +104,30 @@ def main():
                 f"{args.scaling_threads} threads below the "
                 f"{args.min_scaling:.1f}x gate")
 
-    # --- 3. drift against the committed baseline -------------------------
+    # --- 3. batched candidate evaluation ---------------------------------
+    seq = times.get("BM_BatchedEval/batch:1/threads:1/real_time")
+    sharded_seq = times.get("BM_BatchedEval/batch:1/threads:4/real_time")
+    batched = times.get("BM_BatchedEval/batch:4/threads:4/real_time")
+    if seq is None or batched is None:
+        msg = "batched-eval benchmarks missing from the report"
+        if args.require_scaling:
+            failures.append(msg)
+        else:
+            print(f"batched-eval: SKIPPED ({msg})")
+    else:
+        speedup = seq / batched
+        print(f"batched-eval: sequential {seq:.2f} vs batch-of-4 "
+              f"{batched:.2f} ({speedup:.2f}x, gate >= "
+              f"{args.min_batch_speedup:.1f}x)")
+        if sharded_seq is not None:
+            print(f"batched-eval: vs sharded-sequential {sharded_seq:.2f} "
+                  f"({sharded_seq / batched:.2f}x, informational)")
+        if speedup < args.min_batch_speedup:
+            failures.append(
+                f"batched-eval speedup {speedup:.2f}x below the "
+                f"{args.min_batch_speedup:.1f}x gate")
+
+    # --- 4. drift against the committed baseline -------------------------
     if args.baseline:
         baseline = load_times(args.baseline)
         shared = sorted(set(times) & set(baseline))

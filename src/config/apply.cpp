@@ -88,6 +88,10 @@ floorplan::FloorplannerOptions make_floorplanner_options(
                                         opt.hot_modules_to_top);
   opt.auto_clock_factor = cfg.get_double("floorplanning.auto_clock_factor",
                                          opt.auto_clock_factor);
+  opt.anneal.batch_candidates = cfg.get_size(
+      "floorplanning.batch_candidates", opt.anneal.batch_candidates);
+  opt.detailed_inner_thermal = cfg.get_bool(
+      "floorplanning.detailed_inner_thermal", opt.detailed_inner_thermal);
   opt.parallel.threads =
       cfg.get_size("floorplanning.threads", opt.parallel.threads);
   opt.chains.chains = cfg.get_size("floorplanning.chains", opt.chains.chains);

@@ -319,34 +319,67 @@ AnnealSession Annealer::begin(LayoutState& state, Rng& rng) {
   return s;
 }
 
-bool Annealer::run_stage(AnnealSession& s, Rng& rng) {
-  if (s.stage >= opt_.stages) return false;
-  LayoutState& state = *s.state;
-
+void Annealer::stage_refresh(AnnealSession& s) {
   // A tempering exchange replaced the state: re-apply it and refresh the
   // carried cost (the evaluator's cached expensive terms belong to the
   // state that was swapped away).
-  if (s.refresh_pending) {
+  if (!s.refresh_pending) return;
+  LayoutState& state = *s.state;
+  state.apply_to(fp_);
+  s.current = eval_.evaluate_full();
+  ++s.stats.full_evals;
+  s.since_full = 0;
+  s.since_thermal = 0;
+  s.refresh_pending = false;
+  // The exchanged-in layout may beat everything this chain has seen
+  // (and its donor gave it away); fold it into the best tracking now,
+  // or a subsequent accepted uphill move would lose it for good.
+  track_best(s, s.current);
+}
+
+void Annealer::track_best(AnnealSession& s, const CostBreakdown& c) {
+  // Legal (outline-fitting) states always dominate illegal ones.
+  const bool better =
+      (c.fits_outline && !s.best_legal) ||
+      (c.fits_outline == s.best_legal && c.total < s.best_cost.total);
+  if (better) {
+    s.best = *s.state;
+    s.best_cost = c;
+    s.best_legal = c.fits_outline;
+    s.stats.found_legal = s.stats.found_legal || c.fits_outline;
+  }
+}
+
+void Annealer::stage_cool_and_escalate(AnnealSession& s) {
+  LayoutState& state = *s.state;
+  s.temperature *= s.cooling;
+
+  // Fixed-outline pressure: if this stage ends outside the outline (or
+  // no legal state has been seen at all), raise the violation weight so
+  // the remaining stages prioritize legality.  Totals are re-derived
+  // under the new weight so comparisons stay consistent.
+  if (opt_.outline_escalation > 1.0 &&
+      (!s.current.fits_outline || !s.best_legal) &&
+      eval_.outline_weight() <
+          s.initial_outline_weight * opt_.outline_cap_factor) {
+    eval_.scale_outline_weight(opt_.outline_escalation);
     state.apply_to(fp_);
-    s.current = eval_.evaluate_full();
-    ++s.stats.full_evals;
-    s.since_full = 0;
-    s.since_thermal = 0;
-    s.refresh_pending = false;
-    // The exchanged-in layout may beat everything this chain has seen
-    // (and its donor gave it away); fold it into the best tracking now,
-    // or a subsequent accepted uphill move would lose it for good.
-    const bool better =
-        (s.current.fits_outline && !s.best_legal) ||
-        (s.current.fits_outline == s.best_legal &&
-         s.current.total < s.best_cost.total);
-    if (better) {
-      s.best = state;
-      s.best_cost = s.current;
-      s.best_legal = s.current.fits_outline;
-      s.stats.found_legal = s.stats.found_legal || s.best_legal;
+    s.current = eval_.evaluate_cheap();
+    if (!s.best_legal) {
+      s.best.apply_to(fp_);
+      s.best_cost = eval_.evaluate_cheap();
+      state.apply_to(fp_);
     }
   }
+  ++s.stage;
+}
+
+bool Annealer::run_stage(AnnealSession& s, Rng& rng) {
+  if (opt_.batch_candidates > 1)
+    return run_stage_batched(s, rng, opt_.batch_candidates);
+  if (s.stage >= opt_.stages) return false;
+  LayoutState& state = *s.state;
+  stage_refresh(s);
 
   const bool greedy = s.stage >= s.annealed_stages;
   for (std::size_t mv = 0; mv < s.moves_per_stage; ++mv) {
@@ -379,41 +412,94 @@ bool Annealer::run_stage(AnnealSession& s, Rng& rng) {
     if (accept) {
       ++s.stats.accepted;
       s.current = c;
-      // Track the best solution; legal (outline-fitting) states always
-      // dominate illegal ones.
-      const bool better =
-          (c.fits_outline && !s.best_legal) ||
-          (c.fits_outline == s.best_legal && c.total < s.best_cost.total);
-      if (better) {
-        s.best = state;
-        s.best_cost = c;
-        s.best_legal = c.fits_outline;
-        s.stats.found_legal = s.stats.found_legal || c.fits_outline;
-      }
+      track_best(s, c);
     } else {
       undo.revert(state);
     }
   }
-  s.temperature *= s.cooling;
+  stage_cool_and_escalate(s);
+  return true;
+}
 
-  // Fixed-outline pressure: if this stage ends outside the outline (or
-  // no legal state has been seen at all), raise the violation weight so
-  // the remaining stages prioritize legality.  Totals are re-derived
-  // under the new weight so comparisons stay consistent.
-  if (opt_.outline_escalation > 1.0 &&
-      (!s.current.fits_outline || !s.best_legal) &&
-      eval_.outline_weight() <
-          s.initial_outline_weight * opt_.outline_cap_factor) {
-    eval_.scale_outline_weight(opt_.outline_escalation);
-    state.apply_to(fp_);
-    s.current = eval_.evaluate_cheap();
-    if (!s.best_legal) {
-      s.best.apply_to(fp_);
-      s.best_cost = eval_.evaluate_cheap();
-      state.apply_to(fp_);
-    }
+void Annealer::batched_step(AnnealSession& s, Rng& rng, std::size_t want,
+                            bool greedy) {
+  LayoutState& state = *s.state;
+
+  // --- propose: k independent alternatives to the current state --------
+  // Each move is applied, snapshotted, and reverted, so every candidate
+  // derives from the same base state and the proposal RNG stream matches
+  // the unbatched path move for move.
+  std::vector<LayoutState> candidates;
+  candidates.reserve(want);
+  for (std::size_t j = 0; j < want; ++j) {
+    Undo undo;
+    random_move(state, rng, undo);
+    if (undo.kind == Undo::Kind::none) continue;
+    ++s.stats.moves;
+    candidates.push_back(state);
+    undo.revert(state);
   }
-  ++s.stage;
+  const std::size_t b = candidates.size();
+  if (b == 0) return;
+
+  // --- pick the evaluation level for the whole batch --------------------
+  // The cadence counters advance by the batch size, so refreshes land at
+  // the same per-proposal rate as the unbatched loop; every candidate of
+  // a refresh step is evaluated at the refresh level.
+  s.since_thermal += b;
+  s.since_full += b;
+  CostEvaluator::EvalLevel level = CostEvaluator::EvalLevel::cheap;
+  if (s.since_full >= opt_.full_eval_interval) {
+    level = CostEvaluator::EvalLevel::full;
+    s.since_full = 0;
+    s.since_thermal = 0;
+    s.stats.full_evals += b;
+  } else if (opt_.thermal_eval_interval > 0 &&
+             s.since_thermal >= opt_.thermal_eval_interval) {
+    level = CostEvaluator::EvalLevel::thermal;
+    s.since_thermal = 0;
+    s.stats.full_evals += b;
+  }
+
+  // --- score all candidates in one evaluator batch ----------------------
+  eval_.batch_begin(level, b);
+  for (const LayoutState& candidate : candidates) {
+    candidate.apply_to(fp_);
+    eval_.batch_stage();
+  }
+  const std::vector<CostBreakdown> costs = eval_.batch_evaluate();
+
+  // --- Metropolis over the batch, first accepted candidate wins ---------
+  // Candidates are alternatives to ONE base state, so at most one can be
+  // applied; walking them in proposal order and consuming acceptance
+  // randomness exactly like the unbatched loop keeps the step
+  // deterministic per seed (and bitwise-identical at b == 1).
+  std::size_t adopted = b - 1;  // engine warm field on no acceptance
+  for (std::size_t j = 0; j < b; ++j) {
+    const double delta = costs[j].total - s.current.total;
+    const bool accept =
+        delta <= 0.0 ||
+        (!greedy && rng.uniform() < std::exp(-delta / s.temperature));
+    if (!accept) continue;
+    ++s.stats.accepted;
+    state = std::move(candidates[j]);
+    s.current = costs[j];
+    track_best(s, costs[j]);
+    adopted = j;
+    break;
+  }
+  eval_.batch_adopt(adopted);
+}
+
+bool Annealer::run_stage_batched(AnnealSession& s, Rng& rng, std::size_t k) {
+  if (k == 0) k = 1;
+  if (s.stage >= opt_.stages) return false;
+  stage_refresh(s);
+
+  const bool greedy = s.stage >= s.annealed_stages;
+  for (std::size_t mv = 0; mv < s.moves_per_stage; mv += k)
+    batched_step(s, rng, std::min(k, s.moves_per_stage - mv), greedy);
+  stage_cool_and_escalate(s);
   return true;
 }
 

@@ -69,9 +69,11 @@ struct FloorplannerOptions {
   /// the fast-vs-detailed quality gap the paper concedes (Sec. 6) at the
   /// cost of a few SOR sweeps per thermal refresh.
   bool detailed_inner_thermal = false;
-  /// Sweep sharding for every ThermalEngine the flow creates (fast,
-  /// sampling, verification).  threads == 1 keeps the serial sweep;
-  /// threaded results are bitwise identical to serial.
+  /// Worker threads for every ThermalEngine the flow creates (fast,
+  /// sampling, verification): large single solves shard their sweeps,
+  /// and batched candidate evaluation (anneal.batch_candidates > 1)
+  /// fans its k solves across the same pool.  threads == 1 keeps
+  /// everything serial; threaded results are bitwise identical.
   thermal::ParallelConfig parallel;
   /// Parallel-tempering annealing: chains.chains > 1 replaces the single
   /// SA run with that many concurrent chains plus periodic replica

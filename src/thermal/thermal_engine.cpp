@@ -1,9 +1,11 @@
 #include "thermal/thermal_engine.hpp"
 
 #include <algorithm>
+#include <atomic>
 #include <cmath>
 #include <condition_variable>
 #include <cstdint>
+#include <exception>
 #include <mutex>
 #include <stdexcept>
 #include <thread>
@@ -55,12 +57,14 @@ class PhaseBarrier {
 
 }  // namespace
 
-/// Persistent sweep workers.  One pool serves one engine; jobs are
-/// color-phases of a red-black sweep.  The calling thread acts as shard 0
-/// and threads - 1 std::jthreads take the rest; two barriers bracket
-/// every phase, so no thread is spawned per sweep and the publication of
-/// the job description (and of the other color's node updates) is
-/// sequenced by the barrier synchronization.
+/// Persistent sweep workers.  One pool serves one engine; a job is
+/// either one color-phase of a red-black sweep (sharded by rows) or a
+/// batch of independent per-candidate solves (sharded by candidate via
+/// an atomic task counter).  The calling thread acts as shard 0 and
+/// threads - 1 std::jthreads take the rest; two barriers bracket every
+/// job, so no thread is spawned per sweep and the publication of the job
+/// description (and of the other color's node updates) is sequenced by
+/// the barrier synchronization.
 class ThermalEngine::SweepPool {
  public:
   explicit SweepPool(std::size_t threads)
@@ -87,12 +91,18 @@ class ThermalEngine::SweepPool {
 
   [[nodiscard]] std::size_t threads() const { return workers_.size() + 1; }
 
-  /// Sweep one color across all shards; returns the max node update.
-  double sweep_color(ThermalEngine& engine, int color, std::size_t rows,
-                     const double* rhs, const double* diag) {
+  /// Sweep one color of the field `t`, sharded over `shards` row ranges
+  /// (workers beyond `shards` rendezvous with empty ranges); returns the
+  /// max node update.
+  double sweep_color(const ThermalEngine& engine, double* t, int color,
+                     std::size_t rows, std::size_t shards, const double* rhs,
+                     const double* diag) {
+    job_ = Job::color;
     engine_ = &engine;
+    field_ = t;
     color_ = color;
     rows_ = rows;
+    shards_ = std::max<std::size_t>(1, std::min(shards, threads()));
     rhs_ = rhs;
     diag_ = diag;
     start_.arrive_and_wait();
@@ -104,25 +114,63 @@ class ThermalEngine::SweepPool {
     return max_delta;
   }
 
+  /// Run fn(0) ... fn(count - 1) across the pool, the calling thread
+  /// included; tasks are claimed from an atomic counter, so any mix of
+  /// task durations load-balances.  The tasks must touch disjoint state.
+  /// Rethrows the first task exception after every thread rejoined.
+  void run_tasks(std::size_t count,
+                 const std::function<void(std::size_t)>& fn) {
+    std::vector<std::exception_ptr> errors(count);
+    job_ = Job::tasks;
+    task_fn_ = &fn;
+    task_count_ = count;
+    task_errors_ = &errors;
+    next_task_.store(0, std::memory_order_relaxed);
+    start_.arrive_and_wait();
+    run_task_loop();
+    done_.arrive_and_wait();
+    for (const std::exception_ptr& e : errors)
+      if (e) std::rethrow_exception(e);
+  }
+
  private:
+  enum class Job { color, tasks };
+
   /// Padded to a cache line so shards never write-share.
   struct alignas(64) ShardDelta {
     double value = 0.0;
   };
 
   void run_shard(std::size_t shard) {
-    const std::size_t n = threads();
-    const std::size_t begin = rows_ * shard / n;
-    const std::size_t end = rows_ * (shard + 1) / n;
+    // Clamp so shards beyond the job's width degenerate to empty ranges
+    // (they still rendezvous at the barriers, they just do no work).
+    const std::size_t n = shards_;
+    const std::size_t begin = rows_ * std::min(shard, n) / n;
+    const std::size_t end = rows_ * std::min(shard + 1, n) / n;
     shard_delta_[shard].value =
-        engine_->sweep_rows(color_, begin, end, rhs_, diag_);
+        engine_->sweep_rows(field_, color_, begin, end, rhs_, diag_);
+  }
+
+  void run_task_loop() {
+    for (std::size_t i;
+         (i = next_task_.fetch_add(1, std::memory_order_relaxed)) <
+         task_count_;) {
+      try {
+        (*task_fn_)(i);
+      } catch (...) {
+        (*task_errors_)[i] = std::current_exception();
+      }
+    }
   }
 
   void worker(const std::stop_token& st, std::size_t shard) {
     for (;;) {
       start_.arrive_and_wait();
       if (st.stop_requested()) return;
-      run_shard(shard);
+      if (job_ == Job::tasks)
+        run_task_loop();
+      else
+        run_shard(shard);
       done_.arrive_and_wait();
     }
   }
@@ -137,11 +185,18 @@ class ThermalEngine::SweepPool {
   }
 
   // Job description, written by the caller before the start barrier.
-  ThermalEngine* engine_ = nullptr;
+  Job job_ = Job::color;
+  const ThermalEngine* engine_ = nullptr;
+  double* field_ = nullptr;
   int color_ = 0;
   std::size_t rows_ = 0;
+  std::size_t shards_ = 1;
   const double* rhs_ = nullptr;
   const double* diag_ = nullptr;
+  const std::function<void(std::size_t)>* task_fn_ = nullptr;
+  std::size_t task_count_ = 0;
+  std::vector<std::exception_ptr>* task_errors_ = nullptr;
+  std::atomic<std::size_t> next_task_{0};
 
   std::vector<ShardDelta> shard_delta_;
   PhaseBarrier start_;
@@ -155,27 +210,31 @@ ThermalEngine::ThermalEngine(const TechnologyConfig& tech,
       parallel_(parallel) {
   tech_.validate();
   cfg_.validate();
-  std::size_t threads = parallel_.threads;
+  sweep_threads_ = parallel_.threads;
   if (parallel_.min_nodes_per_thread > 0) {
     // Cap the shard count so each thread has enough rows to amortize the
-    // two barrier rendezvous per color; below the floor the engine simply
-    // runs serial (same results either way).
+    // two barrier rendezvous per color; below the floor single-solve
+    // sweeps simply run serial (same results either way).  Batched
+    // solves are NOT floored -- their unit of work is a whole solve.
     const std::size_t nodes =
         stack_.layers.size() * cfg_.grid_nx * cfg_.grid_ny;
-    threads = std::min(
-        threads,
+    sweep_threads_ = std::min(
+        sweep_threads_,
         std::max<std::size_t>(1, nodes / parallel_.min_nodes_per_thread));
   }
-  if (threads > 1) pool_ = std::make_unique<SweepPool>(threads);
+  // The eager pool is sized at the floored sweep width, so single-solve
+  // sweeps pay exactly the rendezvous they shard across.  The first
+  // batched solve widens it to the REQUESTED thread count (workers
+  // beyond sweep_threads_ then see empty sweep shards) -- see
+  // solve_steady_batch.
+  if (sweep_threads_ > 1) pool_ = std::make_unique<SweepPool>(sweep_threads_);
 }
 
 ThermalEngine::~ThermalEngine() = default;
 ThermalEngine::ThermalEngine(ThermalEngine&&) noexcept = default;
 ThermalEngine& ThermalEngine::operator=(ThermalEngine&&) noexcept = default;
 
-std::size_t ThermalEngine::threads() const {
-  return pool_ ? pool_->threads() : 1;
-}
+std::size_t ThermalEngine::threads() const { return sweep_threads_; }
 
 void ThermalEngine::reset() {
   asm_valid_ = false;
@@ -328,9 +387,9 @@ void ThermalEngine::build_assembly(const GridD& tsv_density) {
   diag_.resize(n);
 }
 
-double ThermalEngine::sweep_rows(int color, std::size_t row_begin,
+double ThermalEngine::sweep_rows(double* t, int color, std::size_t row_begin,
                                  std::size_t row_end, const double* r,
-                                 const double* dg) {
+                                 const double* dg) const {
   const Assembly& a = asm_;
   const std::size_t nx = a.nx, ny = a.ny;
   // Conductance/rhs arrays are compact (stride nx); the field uses the
@@ -339,7 +398,6 @@ double ThermalEngine::sweep_rows(int color, std::size_t row_begin,
   const std::size_t px = nx + 1;
   const std::size_t ps = px * (ny + 1);
   const double omega = cfg_.sor_omega;
-  double* t = field();
   const double* gxm = a.g_xm.data();
   const double* gxp = a.g_xp.data();
   const double* gym = a.g_ym.data();
@@ -368,43 +426,46 @@ double ThermalEngine::sweep_rows(int color, std::size_t row_begin,
   return max_delta;
 }
 
-double ThermalEngine::sweep(const std::vector<double>& rhs,
+double ThermalEngine::sweep(double* t, const std::vector<double>& rhs,
                             const std::vector<double>& diag) {
   // Red-black ordering: nodes with even (ix+iy+l) first, then odd.  Each
   // color only reads the other, so the color phase is dependence-free and
   // may be sharded by rows; the barrier between colors preserves the
   // serial update order, so sharded and serial sweeps agree bitwise
   // (node updates are identical and the max reduction is order-free).
+  const bool shard = pool_ != nullptr && sweep_threads_ > 1;
   const std::size_t rows = asm_.nl * asm_.ny;
   double max_delta = 0.0;
   for (int color = 0; color < 2; ++color) {
     const double color_delta =
-        pool_ ? pool_->sweep_color(*this, color, rows, rhs.data(), diag.data())
-              : sweep_rows(color, 0, rows, rhs.data(), diag.data());
+        shard ? pool_->sweep_color(*this, t, color, rows, sweep_threads_,
+                                   rhs.data(), diag.data())
+              : sweep_rows(t, color, 0, rows, rhs.data(), diag.data());
     max_delta = std::max(max_delta, color_delta);
   }
   return max_delta;
 }
 
-void ThermalEngine::fill_steady_rhs(const std::vector<GridD>& die_power_w) {
+void ThermalEngine::fill_steady_rhs(const std::vector<GridD>& die_power_w,
+                                    std::vector<double>& rhs) const {
   const Assembly& a = asm_;
   const std::size_t nxny = a.nx * a.ny;
-  std::copy(a.bound_rhs.begin(), a.bound_rhs.end(), rhs_.begin());
+  std::copy(a.bound_rhs.begin(), a.bound_rhs.end(), rhs.begin());
   for (std::size_t l = 0; l < a.nl; ++l) {
     const Layer& layer = stack_.layers[l];
     if (!layer.has_power()) continue;
     const GridD& p = die_power_w[layer.power_die];
-    double* dst = rhs_.data() + l * nxny;
+    double* dst = rhs.data() + l * nxny;
     for (std::size_t c = 0; c < nxny; ++c) dst[c] += p[c];
   }
 }
 
-void ThermalEngine::extract_field(ThermalResult& result) const {
+void ThermalEngine::extract_field(const double* t,
+                                  ThermalResult& result) const {
   const Assembly& a = asm_;
   const std::size_t nx = a.nx, ny = a.ny, nl = a.nl;
   const std::size_t px = nx + 1;
   const std::size_t ps = px * (ny + 1);
-  const double* t = field();
 
   result.layer_temperature.clear();
   result.layer_temperature.reserve(nl);
@@ -442,7 +503,7 @@ ThermalResult ThermalEngine::solve_steady(const std::vector<GridD>& die_power_w,
   check_inputs(die_power_w, tsv_density);
   const std::size_t reuses_before = stats_.assembly_reuses;
   const Assembly& a = assembly_for(tsv_density);
-  fill_steady_rhs(die_power_w);
+  fill_steady_rhs(die_power_w, rhs_);
 
   ThermalResult result;
   result.assembly_reused = stats_.assembly_reuses > reuses_before;
@@ -452,7 +513,7 @@ ThermalResult ThermalEngine::solve_steady(const std::vector<GridD>& die_power_w,
   result.warm_started = warm;
 
   for (std::size_t it = 0; it < cfg_.max_iterations; ++it) {
-    const double delta = sweep(rhs_, a.diag_static);
+    const double delta = sweep(field(), rhs_, a.diag_static);
     result.iterations = it + 1;
     result.residual_k = delta;
     if (delta < cfg_.tolerance_k) {
@@ -466,8 +527,93 @@ ThermalResult ThermalEngine::solve_steady(const std::vector<GridD>& die_power_w,
   if (warm) ++stats_.warm_starts;
   stats_.total_sweeps += result.iterations;
 
-  extract_field(result);
+  extract_field(field(), result);
   return result;
+}
+
+void ThermalEngine::solve_field_serial(double* t, const double* rhs,
+                                       const double* diag,
+                                       ThermalResult& result) const {
+  const std::size_t rows = asm_.nl * asm_.ny;
+  for (std::size_t it = 0; it < cfg_.max_iterations; ++it) {
+    double delta = 0.0;
+    for (int color = 0; color < 2; ++color)
+      delta = std::max(delta, sweep_rows(t, color, 0, rows, rhs, diag));
+    result.iterations = it + 1;
+    result.residual_k = delta;
+    if (delta < cfg_.tolerance_k) {
+      result.converged = true;
+      break;
+    }
+  }
+}
+
+std::vector<ThermalResult> ThermalEngine::solve_steady_batch(
+    const std::vector<std::vector<GridD>>& candidate_power_w,
+    const GridD& tsv_density, Start start) {
+  const std::size_t k = candidate_power_w.size();
+  if (k == 0) return {};
+  for (const std::vector<GridD>& power : candidate_power_w)
+    check_inputs(power, tsv_density);
+
+  const std::size_t reuses_before = stats_.assembly_reuses;
+  const Assembly& a = assembly_for(tsv_density);
+  const bool reused = stats_.assembly_reuses > reuses_before;
+  const bool warm = start == Start::warm && field_valid_;
+
+  // Size the context pool and seed every candidate field from the
+  // engine's current field (the accepted state's solution) -- all on the
+  // calling thread, so the fanned-out tasks never allocate or touch
+  // shared mutable state.
+  if (contexts_.size() < k) contexts_.resize(k);
+  batch_size_ = k;
+  std::vector<ThermalResult> results(k);
+  for (std::size_t i = 0; i < k; ++i) {
+    FieldContext& ctx = contexts_[i];
+    if (warm)
+      ctx.temp = temp_;  // reuses capacity after the first batch
+    else
+      ctx.temp.assign(temp_.size(), cfg_.ambient_k);
+    ctx.rhs.resize(a.num_nodes());
+    fill_steady_rhs(candidate_power_w[i], ctx.rhs);
+    results[i].warm_started = warm;
+    results[i].assembly_reused = reused;
+  }
+
+  // Solve the candidates: one task per candidate, each sweeping its own
+  // context serially -- bitwise the same updates as an unbatched solve.
+  // Batching is the one workload that profits from every requested
+  // thread, so (re)create the pool at full width on first use; engines
+  // that never batch keep the narrower (or absent) sweep pool.
+  if (parallel_.threads > 1 && k > 1 &&
+      (pool_ == nullptr || pool_->threads() < parallel_.threads))
+    pool_ = std::make_unique<SweepPool>(parallel_.threads);
+  const auto solve_one = [&](std::size_t i) {
+    FieldContext& ctx = contexts_[i];
+    solve_field_serial(ctx.temp.data() + field_offset_, ctx.rhs.data(),
+                       a.diag_static.data(), results[i]);
+    extract_field(ctx.temp.data() + field_offset_, results[i]);
+  };
+  if (pool_ != nullptr && k > 1) {
+    pool_->run_tasks(k, solve_one);
+  } else {
+    for (std::size_t i = 0; i < k; ++i) solve_one(i);
+  }
+
+  ++stats_.batch_calls;
+  stats_.batch_candidates += k;
+  stats_.steady_solves += k;
+  if (warm) stats_.warm_starts += k;
+  for (const ThermalResult& r : results) stats_.total_sweeps += r.iterations;
+  return results;
+}
+
+void ThermalEngine::adopt_candidate(std::size_t index) {
+  if (index >= batch_size_)
+    throw std::out_of_range(
+        "ThermalEngine::adopt_candidate: index beyond the last batch");
+  temp_ = contexts_[index].temp;  // reuses capacity (sizes match)
+  field_valid_ = true;
 }
 
 TransientResult ThermalEngine::solve_transient(
@@ -535,7 +681,7 @@ TransientResult ThermalEngine::solve_transient_feedback(
     bool step_converged = false;
     std::size_t step_iters = 0;
     for (std::size_t it = 0; it < cfg_.max_iterations; ++it) {
-      const double delta = sweep(rhs_, diag_);
+      const double delta = sweep(t, rhs_, diag_);
       step_iters = it + 1;
       out.final_state.residual_k = delta;
       if (delta < cfg_.tolerance_k) {
@@ -573,7 +719,7 @@ TransientResult ThermalEngine::solve_transient_feedback(
 
   // Final snapshot as a full ThermalResult.  Converged only if every
   // step's inner loop converged; iterations totals all sweeps.
-  extract_field(out.final_state);
+  extract_field(field(), out.final_state);
   out.final_state.converged = out.unconverged_steps == 0;
   out.final_state.iterations = out.total_iterations;
   return out;

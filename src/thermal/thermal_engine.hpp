@@ -18,6 +18,13 @@
 //    arrays.  Nodes of one color only read nodes of the other, so the
 //    stride-2 inner loop carries no dependence, vectorizes, and shards
 //    row ranges across a persistent worker pool (ParallelConfig);
+//  * scores k candidate power maps against ONE shared assembly in a
+//    single call (solve_steady_batch): a pool of per-candidate solve
+//    contexts (temperature field + rhs scratch) is kept alive across
+//    batches, every context warm-starts from the engine's current field,
+//    and the k independent solves fan out across the same worker pool --
+//    one candidate per worker instead of one row shard per worker, so
+//    even grids too small for sweep sharding parallelize perfectly;
 //  * reports solver effort (sweeps, convergence, residual, reuse) in
 //    ThermalResult / TransientResult so callers and benches can see what
 //    a solve actually cost.
@@ -105,12 +112,14 @@ class ThermalEngine {
 
   /// Cumulative reuse counters, for benches and diagnostics.
   struct Stats {
-    std::size_t steady_solves = 0;
+    std::size_t steady_solves = 0;   ///< incl. every batched candidate
     std::size_t transient_steps = 0;
     std::size_t warm_starts = 0;
     std::size_t assembly_builds = 0;
     std::size_t assembly_reuses = 0;
     std::size_t total_sweeps = 0;
+    std::size_t batch_calls = 0;       ///< solve_steady_batch invocations
+    std::size_t batch_candidates = 0;  ///< candidates summed over batches
   };
 
   ThermalEngine(const TechnologyConfig& tech, const ThermalConfig& cfg,
@@ -139,6 +148,32 @@ class ThermalEngine {
   [[nodiscard]] ThermalResult solve_steady(
       const std::vector<GridD>& die_power_w, const GridD& tsv_density,
       Start start = Start::warm);
+
+  /// Batched steady-state solve: score every candidate power-map set
+  /// against ONE conductance assembly (built from `tsv_density`, cached
+  /// as usual).  Each candidate solves on its own context -- a private
+  /// temperature field seeded from the engine's current field (with
+  /// Start::warm; ambient otherwise) plus private rhs scratch -- so the
+  /// k solves are independent and fan out across the worker pool, one
+  /// candidate per thread.  Candidate solves sweep serially within a
+  /// context, and a batch of one is bitwise-identical to solve_steady
+  /// (threaded single-solve sweeps are bitwise-identical to serial).
+  ///
+  /// The engine's own field is NOT advanced: call adopt_candidate(i)
+  /// with the index the caller selected (e.g. the move the annealer
+  /// accepted) to make that candidate's solution the warm seed of
+  /// subsequent solves.  Contexts persist across batches, so steady-state
+  /// batch sizes allocate only on the first call.
+  [[nodiscard]] std::vector<ThermalResult> solve_steady_batch(
+      const std::vector<std::vector<GridD>>& candidate_power_w,
+      const GridD& tsv_density, Start start = Start::warm);
+
+  /// Make candidate `index` of the LAST solve_steady_batch call the
+  /// engine's temperature field (the warm seed of the next solve).
+  void adopt_candidate(std::size_t index);
+
+  /// Candidates scored by the last solve_steady_batch call.
+  [[nodiscard]] std::size_t last_batch_size() const { return batch_size_; }
 
   /// Transient solve with implicit Euler.  Always starts from ambient
   /// (the initial condition is part of the problem statement, not a
@@ -179,27 +214,43 @@ class ThermalEngine {
     [[nodiscard]] std::size_t num_nodes() const { return nl * nx * ny; }
   };
 
+  /// One candidate's private solve state: a padded temperature field
+  /// plus rhs scratch.  Everything else a solve needs (the assembly, the
+  /// static diagonal) is shared read-only, so contexts solve in parallel.
+  struct FieldContext {
+    std::vector<double> temp;
+    std::vector<double> rhs;
+  };
+
   void check_inputs(const std::vector<GridD>& die_power_w,
                     const GridD& tsv_density) const;
   /// Return the cached assembly, rebuilding it iff `tsv_density` differs
   /// from the map the cache was built from.
   const Assembly& assembly_for(const GridD& tsv_density);
   void build_assembly(const GridD& tsv_density);
-  /// One red-black SOR sweep over the padded field; returns the max
+  /// One red-black SOR sweep over the padded field `t`; returns the max
   /// absolute (pre-relaxation) node update.  Dispatches to the worker
-  /// pool when one exists, otherwise runs both colors inline.
-  double sweep(const std::vector<double>& rhs,
+  /// pool when sweep sharding is active, otherwise runs both colors
+  /// inline.
+  double sweep(double* t, const std::vector<double>& rhs,
                const std::vector<double>& diag);
-  /// Sweep one color over the global row range [row_begin, row_end)
-  /// (row index r maps to layer r / ny, row r % ny); returns the shard's
-  /// max node update.  Rows of one color are mutually independent, so
-  /// disjoint ranges may run concurrently.
-  double sweep_rows(int color, std::size_t row_begin, std::size_t row_end,
-                    const double* rhs, const double* diag);
-  /// Build rhs_ for a steady solve (power injection + boundary terms).
-  void fill_steady_rhs(const std::vector<GridD>& die_power_w);
-  /// Copy the padded field into a ThermalResult (maps, peak, heat flows).
-  void extract_field(ThermalResult& result) const;
+  /// Sweep one color of the padded field `t` over the global row range
+  /// [row_begin, row_end) (row index r maps to layer r / ny, row r % ny);
+  /// returns the shard's max node update.  Rows of one color are
+  /// mutually independent, so disjoint ranges may run concurrently.
+  double sweep_rows(double* t, int color, std::size_t row_begin,
+                    std::size_t row_end, const double* rhs,
+                    const double* diag) const;
+  /// Sweep `t` serially until tolerance or max_iterations, writing
+  /// iterations/residual/converged into `result`.  Touches no engine
+  /// state, so batched candidates run it concurrently.
+  void solve_field_serial(double* t, const double* rhs, const double* diag,
+                          ThermalResult& result) const;
+  /// Build `rhs` for a steady solve (power injection + boundary terms).
+  void fill_steady_rhs(const std::vector<GridD>& die_power_w,
+                       std::vector<double>& rhs) const;
+  /// Copy a padded field into a ThermalResult (maps, peak, heat flows).
+  void extract_field(const double* t, ThermalResult& result) const;
 
   [[nodiscard]] double* field() { return temp_.data() + field_offset_; }
   [[nodiscard]] const double* field() const {
@@ -210,10 +261,21 @@ class ThermalEngine {
   ThermalConfig cfg_;
   LayerStack stack_;
 
-  /// Persistent sweep workers (absent when parallel_.threads <= 1).
+  /// Persistent workers, serving both row-sharded sweeps and batched
+  /// per-candidate solves.  Created eagerly at the floored sweep width
+  /// when sharding is active (sweep_threads_ > 1); the first batched
+  /// solve widens it to the REQUESTED thread count -- a grid too small
+  /// to shard profitably still fans batch candidates across all
+  /// requested threads, because one task there is a whole solve, not
+  /// one sweep phase, while engines that never batch never pay
+  /// rendezvous for threads the sweep cannot use.  Absent when
+  /// parallel_.threads <= 1.
   class SweepPool;
   ParallelConfig parallel_;
   std::unique_ptr<SweepPool> pool_;
+  /// Effective sweep-sharding width after the min_nodes_per_thread
+  /// floor; 1 keeps single-solve sweeps serial (see ParallelConfig).
+  std::size_t sweep_threads_ = 1;
 
   Assembly asm_;
   bool asm_valid_ = false;
@@ -234,6 +296,11 @@ class ThermalEngine {
   // Persistent scratch, sized on first use.
   std::vector<double> rhs_;
   std::vector<double> diag_;
+
+  /// Per-candidate solve contexts, kept alive across batches (the field
+  /// pool).  Only the first batch of a given size allocates.
+  std::vector<FieldContext> contexts_;
+  std::size_t batch_size_ = 0;  ///< candidates in the last batch
 
   Stats stats_;
 };

@@ -1,0 +1,449 @@
+// Tests of batched candidate evaluation across its three layers:
+//
+//  * ThermalEngine::solve_steady_batch -- every candidate of a batch
+//    must be BITWISE-identical to an unbatched warm solve from the same
+//    base field (contexts sweep serially, the assembly is shared), for
+//    any thread count, and adopt_candidate must hand the chosen field to
+//    the next solve exactly;
+//  * CostEvaluator's batch_begin/stage/evaluate/adopt protocol -- a
+//    batch of one must leave costs, caches, and the detailed engine's
+//    warm field bitwise-equal to the corresponding evaluate_*() call;
+//  * Annealer::run_stage_batched -- at k = 1 the batched step loop must
+//    bitwise-reproduce the classic unbatched path (same RNG stream, same
+//    accepts, same best layout), and at k > 1 stay deterministic per
+//    seed, including under parallel-tempering chains.
+//
+// The ThermalEngineParallelBatch / ChainOrchestratorBatched suites also
+// run under TSan on CI to vet the task-mode worker-pool synchronization.
+#include <gtest/gtest.h>
+
+#include "benchgen/generator.hpp"
+#include "floorplan/annealer.hpp"
+#include "floorplan/chain_orchestrator.hpp"
+#include "thermal/power_blur.hpp"
+#include "thermal/thermal_engine.hpp"
+
+namespace tsc3d {
+namespace {
+
+TechnologyConfig batch_tech() {
+  TechnologyConfig t;
+  t.die_width_um = 2000.0;
+  t.die_height_um = 2000.0;
+  return t;
+}
+
+ThermalConfig batch_thermal(std::size_t grid) {
+  ThermalConfig c;
+  c.grid_nx = c.grid_ny = grid;
+  return c;
+}
+
+std::vector<GridD> base_power(std::size_t grid) {
+  std::vector<GridD> power(2, GridD(grid, grid, 0.0));
+  power[0].at(grid / 2, grid / 2) = 2.0;
+  power[1].at(2, grid - 3) = 1.1;
+  return power;
+}
+
+/// Candidate j perturbs one bin of the base map, like one annealing move.
+std::vector<GridD> candidate_power(std::size_t grid, std::size_t j) {
+  std::vector<GridD> power = base_power(grid);
+  power[0].at((3 * j + 1) % grid, (5 * j + 2) % grid) += 0.1 + 0.05 * j;
+  return power;
+}
+
+void expect_bitwise_equal(const thermal::ThermalResult& a,
+                          const thermal::ThermalResult& b) {
+  EXPECT_EQ(a.iterations, b.iterations);
+  EXPECT_EQ(a.converged, b.converged);
+  EXPECT_EQ(a.residual_k, b.residual_k);  // exact: same update sequence
+  EXPECT_EQ(a.peak_k, b.peak_k);
+  ASSERT_EQ(a.layer_temperature.size(), b.layer_temperature.size());
+  for (std::size_t l = 0; l < a.layer_temperature.size(); ++l) {
+    ASSERT_EQ(a.layer_temperature[l].size(), b.layer_temperature[l].size());
+    for (std::size_t c = 0; c < a.layer_temperature[l].size(); ++c)
+      ASSERT_EQ(a.layer_temperature[l][c], b.layer_temperature[l][c])
+          << "layer " << l << " cell " << c;
+  }
+}
+
+TEST(ThermalEngineParallelBatch, BatchOfOneBitwiseMatchesSolveSteady) {
+  const std::size_t g = 20;
+  const GridD tsv(g, g, 0.1);
+  thermal::ThermalEngine seq(batch_tech(), batch_thermal(g));
+  thermal::ThermalEngine bat(batch_tech(), batch_thermal(g),
+                             {.threads = 4, .min_nodes_per_thread = 1});
+  // Walk a perturbed sequence on both engines, the second one through
+  // batch-of-one calls with adoption: every field must match exactly.
+  for (std::size_t step = 0; step < 4; ++step) {
+    const auto power = candidate_power(g, step);
+    const thermal::ThermalResult a = seq.solve_steady(power, tsv);
+    const auto b = bat.solve_steady_batch({power}, tsv);
+    ASSERT_EQ(b.size(), 1u);
+    bat.adopt_candidate(0);
+    expect_bitwise_equal(a, b[0]);
+    EXPECT_EQ(a.warm_started, b[0].warm_started);
+    EXPECT_EQ(step > 0, b[0].warm_started);
+  }
+}
+
+TEST(ThermalEngineParallelBatch, CandidatesMatchIndividualWarmSolves) {
+  const std::size_t g = 20;
+  const GridD tsv(g, g, 0.1);
+  const std::size_t k = 4;
+
+  thermal::ThermalEngine batched(batch_tech(), batch_thermal(g),
+                                 {.threads = 4, .min_nodes_per_thread = 1});
+  (void)batched.solve_steady(base_power(g), tsv);  // prime the warm field
+  std::vector<std::vector<GridD>> candidates;
+  for (std::size_t j = 0; j < k; ++j)
+    candidates.push_back(candidate_power(g, j));
+  const auto results = batched.solve_steady_batch(candidates, tsv);
+  ASSERT_EQ(results.size(), k);
+  EXPECT_EQ(batched.last_batch_size(), k);
+  EXPECT_EQ(batched.stats().batch_calls, 1u);
+  EXPECT_EQ(batched.stats().batch_candidates, k);
+
+  // Every candidate must equal a reference engine that solved the same
+  // candidate as its ONLY follow-up to the same base solve.
+  for (std::size_t j = 0; j < k; ++j) {
+    thermal::ThermalEngine reference(batch_tech(), batch_thermal(g));
+    (void)reference.solve_steady(base_power(g), tsv);
+    const thermal::ThermalResult expected =
+        reference.solve_steady(candidates[j], tsv);
+    expect_bitwise_equal(expected, results[j]);
+    EXPECT_TRUE(results[j].warm_started);
+    EXPECT_TRUE(results[j].assembly_reused);
+  }
+}
+
+TEST(ThermalEngineParallelBatch, AdoptCandidateSeedsTheNextSolve) {
+  const std::size_t g = 20;
+  const GridD tsv(g, g, 0.1);
+  thermal::ThermalEngine batched(batch_tech(), batch_thermal(g),
+                                 {.threads = 3, .min_nodes_per_thread = 1});
+  (void)batched.solve_steady(base_power(g), tsv);
+  std::vector<std::vector<GridD>> candidates;
+  for (std::size_t j = 0; j < 3; ++j)
+    candidates.push_back(candidate_power(g, j));
+  (void)batched.solve_steady_batch(candidates, tsv);
+  batched.adopt_candidate(2);
+  const auto follow = candidate_power(g, 7);
+  const thermal::ThermalResult after = batched.solve_steady(follow, tsv);
+
+  thermal::ThermalEngine reference(batch_tech(), batch_thermal(g));
+  (void)reference.solve_steady(base_power(g), tsv);
+  (void)reference.solve_steady(candidates[2], tsv);
+  const thermal::ThermalResult expected = reference.solve_steady(follow, tsv);
+  expect_bitwise_equal(expected, after);
+}
+
+TEST(ThermalEngineParallelBatch, SerialAndPooledBatchesAgreeBitwise) {
+  // A tiny grid floors sweep sharding out entirely (threads() == 1), but
+  // batch candidates still fan across the lazily created pool; both
+  // engines must produce identical batches.
+  const std::size_t g = 16;
+  const GridD tsv(g, g, 0.05);
+  thermal::ThermalEngine serial(batch_tech(), batch_thermal(g));
+  thermal::ThermalEngine pooled(batch_tech(), batch_thermal(g),
+                                {.threads = 4});
+  EXPECT_EQ(pooled.threads(), 1u);  // sharding floored, pool batch-only
+  std::vector<std::vector<GridD>> candidates;
+  for (std::size_t j = 0; j < 6; ++j)
+    candidates.push_back(candidate_power(g, j));
+  const auto a = serial.solve_steady_batch(candidates, tsv);
+  const auto b = pooled.solve_steady_batch(candidates, tsv);
+  ASSERT_EQ(a.size(), b.size());
+  for (std::size_t j = 0; j < a.size(); ++j)
+    expect_bitwise_equal(a[j], b[j]);
+}
+
+TEST(ThermalEngineParallelBatch, ColdBatchesAndEdgeCases) {
+  const std::size_t g = 16;
+  const GridD tsv(g, g, 0.05);
+  thermal::ThermalEngine engine(batch_tech(), batch_thermal(g),
+                                {.threads = 2, .min_nodes_per_thread = 1});
+  EXPECT_TRUE(engine.solve_steady_batch({}, tsv).empty());
+  EXPECT_THROW(engine.adopt_candidate(0), std::out_of_range);
+
+  const auto cold =
+      engine.solve_steady_batch({candidate_power(g, 1)}, tsv,
+                                thermal::ThermalEngine::Start::cold);
+  ASSERT_EQ(cold.size(), 1u);
+  EXPECT_FALSE(cold[0].warm_started);
+  thermal::ThermalEngine reference(batch_tech(), batch_thermal(g));
+  const thermal::ThermalResult expected =
+      reference.solve_steady(candidate_power(g, 1), tsv);
+  expect_bitwise_equal(expected, cold[0]);
+  EXPECT_THROW(engine.adopt_candidate(1), std::out_of_range);
+  engine.adopt_candidate(0);
+}
+
+// ---------------------------------------------------------------------------
+
+namespace fpn = tsc3d::floorplan;
+
+Floorplan3D batch_instance(std::uint64_t seed) {
+  benchgen::BenchmarkSpec spec;
+  spec.name = "tiny";
+  spec.soft_modules = 20;
+  spec.num_nets = 32;
+  spec.num_terminals = 6;
+  spec.outline_mm2 = 4.0;
+  spec.power_w = 2.0;
+  return benchgen::generate(spec, seed);
+}
+
+/// Everything one annealing run produces that determinism can bite on.
+struct AnnealOutcome {
+  fpn::AnnealStats stats;
+  std::vector<double> width, height;
+  std::vector<std::size_t> die_of;
+  std::uint64_t rng_after = 0;  ///< next raw draw: stream-position probe
+};
+
+void expect_same_outcome(const AnnealOutcome& a, const AnnealOutcome& b) {
+  EXPECT_EQ(a.stats.moves, b.stats.moves);
+  EXPECT_EQ(a.stats.accepted, b.stats.accepted);
+  EXPECT_EQ(a.stats.full_evals, b.stats.full_evals);
+  EXPECT_EQ(a.stats.repair_moves, b.stats.repair_moves);
+  EXPECT_EQ(a.stats.found_legal, b.stats.found_legal);
+  EXPECT_EQ(a.stats.initial_temperature, b.stats.initial_temperature);
+  EXPECT_EQ(a.stats.best_cost, b.stats.best_cost);  // bitwise, not ULP-near
+  ASSERT_EQ(a.width.size(), b.width.size());
+  for (std::size_t i = 0; i < a.width.size(); ++i) {
+    EXPECT_EQ(a.width[i], b.width[i]) << "module " << i;
+    EXPECT_EQ(a.height[i], b.height[i]) << "module " << i;
+    EXPECT_EQ(a.die_of[i], b.die_of[i]) << "module " << i;
+  }
+  EXPECT_EQ(a.rng_after, b.rng_after);
+}
+
+/// Run one full anneal with the detailed engine wired in.  `batched`
+/// drives every stage through run_stage_batched(k); k = 0 means the
+/// classic run_stage path.
+AnnealOutcome run_anneal(std::size_t k, std::uint64_t seed) {
+  Floorplan3D fp = batch_instance(4);
+  ThermalConfig cfg;
+  cfg.grid_nx = cfg.grid_ny = 16;
+  thermal::ThermalEngine engine(fp.tech(), cfg,
+                                {.threads = k > 1 ? std::size_t{2}
+                                                  : std::size_t{1}});
+  const thermal::PowerBlur blur(engine, 5);
+  fpn::CostEvaluator::Options eopt;
+  eopt.weights = fpn::tsc_aware_weights();
+  eopt.leakage_grid = 16;
+  eopt.detailed_engine = &engine;
+  fpn::CostEvaluator eval(fp, blur, eopt);
+
+  fpn::AnnealOptions opt;
+  opt.total_moves = 1200;
+  opt.stages = 8;
+  opt.full_eval_interval = 90;
+  opt.thermal_eval_interval = 7;
+  fpn::Annealer annealer(fp, eval, opt);
+
+  Rng rng(seed);
+  fpn::LayoutState state = fpn::LayoutState::initial(fp, rng);
+  fpn::AnnealSession session = annealer.begin(state, rng);
+  if (k == 0) {
+    while (annealer.run_stage(session, rng)) {
+    }
+  } else {
+    while (annealer.run_stage_batched(session, rng, k)) {
+    }
+  }
+  AnnealOutcome out;
+  out.stats = annealer.finish(session, rng);
+  out.width = state.width;
+  out.height = state.height;
+  out.die_of = state.die_of;
+  out.rng_after = rng();
+  return out;
+}
+
+TEST(AnnealerBatched, BatchOfOneBitwiseMatchesUnbatchedPath) {
+  // The acceptance contract of the whole feature: driving every stage
+  // through the batched machinery at k = 1 must reproduce the classic
+  // path bit for bit -- same RNG stream, same costs, same layout.
+  expect_same_outcome(run_anneal(0, 33), run_anneal(1, 33));
+}
+
+TEST(AnnealerBatched, DeterministicPerSeedAtBatchFour) {
+  expect_same_outcome(run_anneal(4, 21), run_anneal(4, 21));
+  const AnnealOutcome a = run_anneal(4, 21);
+  const AnnealOutcome b = run_anneal(4, 22);
+  EXPECT_NE(a.stats.best_cost, b.stats.best_cost);
+}
+
+TEST(AnnealerBatched, BatchedRunFindsLegalFloorplan) {
+  Floorplan3D fp = batch_instance(7);
+  ThermalConfig cfg;
+  cfg.grid_nx = cfg.grid_ny = 16;
+  thermal::ThermalEngine engine(fp.tech(), cfg, {.threads = 2});
+  const thermal::PowerBlur blur(engine, 5);
+  fpn::CostEvaluator::Options eopt;
+  eopt.leakage_grid = 16;
+  fpn::CostEvaluator eval(fp, blur, eopt);
+  fpn::AnnealOptions opt;
+  opt.total_moves = 4000;
+  opt.stages = 20;
+  opt.full_eval_interval = 200;
+  opt.batch_candidates = 3;  // dispatched by plain run_stage via run()
+  fpn::Annealer annealer(fp, eval, opt);
+  Rng rng(7);
+  fpn::LayoutState state = fpn::LayoutState::initial(fp, rng);
+  const fpn::AnnealStats stats = annealer.run(state, rng);
+  EXPECT_GT(stats.moves, 0u);
+  EXPECT_GT(stats.accepted, 0u);
+  EXPECT_TRUE(stats.found_legal);
+  EXPECT_TRUE(fp.check_legality().legal);
+}
+
+// ---------------------------------------------------------------------------
+
+TEST(CostEvaluatorBatch, BatchOfOneMatchesEvaluateThermal) {
+  // Two identical evaluator/engine stacks; one scores a modified layout
+  // with evaluate_thermal, the other through the batch protocol.  Costs,
+  // caches (probed via evaluate_cheap), and the engines' warm fields
+  // (probed via a second evaluate_thermal) must agree bitwise.
+  auto make = [](Floorplan3D& fp, thermal::ThermalEngine& engine,
+                 const thermal::PowerBlur& blur) {
+    fpn::CostEvaluator::Options o;
+    o.weights = fpn::tsc_aware_weights();
+    o.leakage_grid = 16;
+    o.detailed_engine = &engine;
+    return fpn::CostEvaluator(fp, blur, o);
+  };
+  Floorplan3D fp_a = batch_instance(9);
+  Floorplan3D fp_b = batch_instance(9);
+  ThermalConfig cfg;
+  cfg.grid_nx = cfg.grid_ny = 16;
+  thermal::ThermalEngine engine_a(fp_a.tech(), cfg);
+  thermal::ThermalEngine engine_b(fp_b.tech(), cfg, {.threads = 2});
+  const thermal::PowerBlur blur_a(engine_a, 5);
+  const thermal::PowerBlur blur_b(engine_b, 5);
+  fpn::CostEvaluator eval_a = make(fp_a, engine_a, blur_a);
+  fpn::CostEvaluator eval_b = make(fp_b, engine_b, blur_b);
+
+  Rng rng_a(5), rng_b(5);
+  fpn::LayoutState state_a = fpn::LayoutState::initial(fp_a, rng_a);
+  fpn::LayoutState state_b = fpn::LayoutState::initial(fp_b, rng_b);
+  state_a.apply_to(fp_a);
+  state_b.apply_to(fp_b);
+  const fpn::CostBreakdown full_a = eval_a.evaluate_full();
+  const fpn::CostBreakdown full_b = eval_b.evaluate_full();
+  EXPECT_EQ(full_a.total, full_b.total);
+
+  // The same one-module resize on both layouts.
+  std::swap(state_a.width[3], state_a.height[3]);
+  std::swap(state_b.width[3], state_b.height[3]);
+  state_a.apply_to(fp_a);
+  const fpn::CostBreakdown direct = eval_a.evaluate_thermal();
+
+  state_b.apply_to(fp_b);
+  eval_b.batch_begin(fpn::CostEvaluator::EvalLevel::thermal, 1);
+  eval_b.batch_stage();
+  ASSERT_EQ(eval_b.batch_size(), 1u);
+  const std::vector<fpn::CostBreakdown> batch = eval_b.batch_evaluate();
+  ASSERT_EQ(batch.size(), 1u);
+  eval_b.batch_adopt(0);
+
+  EXPECT_EQ(direct.total, batch[0].total);
+  EXPECT_EQ(direct.peak_k_rise, batch[0].peak_k_rise);
+  ASSERT_EQ(direct.correlation.size(), batch[0].correlation.size());
+  for (std::size_t d = 0; d < direct.correlation.size(); ++d)
+    EXPECT_EQ(direct.correlation[d], batch[0].correlation[d]);
+
+  // Cache equality: a cheap eval carries the adopted expensive terms.
+  EXPECT_EQ(eval_a.evaluate_cheap().total, eval_b.evaluate_cheap().total);
+  // Warm-field equality: the next thermal refresh warm-starts from the
+  // adopted candidate's field on both sides.
+  std::swap(state_a.width[5], state_a.height[5]);
+  std::swap(state_b.width[5], state_b.height[5]);
+  state_a.apply_to(fp_a);
+  state_b.apply_to(fp_b);
+  EXPECT_EQ(eval_a.evaluate_thermal().total, eval_b.evaluate_thermal().total);
+}
+
+TEST(CostEvaluatorBatch, ProtocolMisuseThrows) {
+  Floorplan3D fp = batch_instance(3);
+  ThermalConfig cfg;
+  cfg.grid_nx = cfg.grid_ny = 16;
+  thermal::ThermalEngine engine(fp.tech(), cfg);
+  const thermal::PowerBlur blur(engine, 5);
+  fpn::CostEvaluator::Options o;
+  o.leakage_grid = 16;
+  fpn::CostEvaluator eval(fp, blur, o);
+  Rng rng(2);
+  fpn::LayoutState state = fpn::LayoutState::initial(fp, rng);
+  state.apply_to(fp);
+
+  EXPECT_THROW(eval.batch_stage(), std::logic_error);
+  EXPECT_THROW((void)eval.batch_evaluate(), std::logic_error);
+  EXPECT_THROW(eval.batch_adopt(0), std::logic_error);
+
+  eval.batch_begin(fpn::CostEvaluator::EvalLevel::cheap, 2);
+  EXPECT_THROW(eval.batch_begin(fpn::CostEvaluator::EvalLevel::cheap, 2),
+               std::logic_error);
+  eval.batch_stage();
+  (void)eval.batch_evaluate();
+  EXPECT_THROW(eval.batch_adopt(5), std::out_of_range);
+  eval.batch_adopt(0);
+  // Closed: a new batch may start again.
+  eval.batch_begin(fpn::CostEvaluator::EvalLevel::cheap, 1);
+  eval.batch_stage();
+  (void)eval.batch_evaluate();
+  eval.batch_adopt(0);
+}
+
+// ---------------------------------------------------------------------------
+
+fpn::ChainSetup batched_chain_setup(bool parallel) {
+  fpn::ChainSetup s;
+  s.fast_thermal.grid_nx = s.fast_thermal.grid_ny = 16;
+  s.blur_radius = 5;
+  s.detailed_inner_thermal = true;  // exercise the engine batch per chain
+  s.engine_parallel.threads = 2;
+  s.eval.weights = fpn::power_aware_weights();
+  s.eval.leakage_grid = 16;
+  s.anneal.total_moves = 1200;
+  s.anneal.stages = 6;
+  s.anneal.full_eval_interval = 150;
+  s.anneal.thermal_eval_interval = 9;
+  s.anneal.batch_candidates = 3;
+  s.chains.chains = 3;
+  s.chains.exchange_interval = 2;
+  s.chains.ladder_ratio = 4.0;
+  s.chains.parallel = parallel;
+  return s;
+}
+
+TEST(ChainOrchestratorBatched, SchedulingIndependentUnderBatching) {
+  // Batched steps inside parallel-tempering chains: threaded and
+  // sequential chain scheduling must agree exactly, as must a repeat of
+  // the threaded run -- batching keeps everything chain-local.
+  auto run_once = [](bool parallel) {
+    Floorplan3D fp = batch_instance(11);
+    Rng rng(3);
+    const fpn::LayoutState initial = fpn::LayoutState::initial(fp, rng);
+    fpn::ChainOrchestrator orchestrator(batched_chain_setup(parallel));
+    const fpn::ChainReport report = orchestrator.run(fp, initial, 42);
+    std::vector<double> coords;
+    for (const Module& m : fp.modules()) {
+      coords.push_back(m.shape.x);
+      coords.push_back(m.shape.y);
+    }
+    return std::make_tuple(report.winner, report.exchange.accepts, coords,
+                           report.chains.at(report.winner).best_cost);
+  };
+  const auto threaded = run_once(true);
+  const auto sequential = run_once(false);
+  const auto repeat = run_once(true);
+  EXPECT_EQ(threaded, sequential);
+  EXPECT_EQ(threaded, repeat);
+}
+
+}  // namespace
+}  // namespace tsc3d
