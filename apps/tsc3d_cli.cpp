@@ -33,6 +33,7 @@ struct CliArgs {
   std::string benchmark = "n100";
   std::string blocks, nets, pl, power;
   std::string mode;  // empty = from config / default
+  std::string solver;  // empty = from config / default
   std::string out;
   std::uint64_t seed = 1;
   std::size_t moves = 0;
@@ -56,6 +57,8 @@ void print_usage() {
       "  --pl=FILE         GSRC .pl input (initial placement)\n"
       "  --power=FILE      per-module power sidecar\n"
       "  --mode=power|tsc  flow preset (overrides config)\n"
+      "  --solver=NAME     steady-state thermal backend: sor (default) or\n"
+      "                    multigrid (V-cycles; wins on cold/large solves)\n"
       "  --seed=N          RNG seed (default 1)\n"
       "  --moves=N         SA moves (0 = auto)\n"
       "  --batch=K         candidate moves scored per annealing step\n"
@@ -88,6 +91,7 @@ CliArgs parse_args(int argc, char** argv) {
     else if (arg.rfind("--pl=", 0) == 0) args.pl = value("--pl=");
     else if (arg.rfind("--power=", 0) == 0) args.power = value("--power=");
     else if (arg.rfind("--mode=", 0) == 0) args.mode = value("--mode=");
+    else if (arg.rfind("--solver=", 0) == 0) args.solver = value("--solver=");
     else if (arg.rfind("--seed=", 0) == 0)
       args.seed = std::stoull(value("--seed="));
     else if (arg.rfind("--moves=", 0) == 0)
@@ -134,6 +138,12 @@ int main(int argc, char** argv) {
     if (args.batch > 0) opt.anneal.batch_candidates = args.batch;
     if (args.threads > 0) opt.parallel.threads = args.threads;
     if (args.chains > 0) opt.chains.chains = args.chains;
+    if (args.solver == "sor")
+      opt.thermal.solver = SolverBackend::sor;
+    else if (args.solver == "multigrid")
+      opt.thermal.solver = SolverBackend::multigrid;
+    else if (!args.solver.empty())
+      throw std::runtime_error("--solver must be 'sor' or 'multigrid'");
 
     TechnologyConfig tech;
     config::apply_technology(cfg, tech);
@@ -199,11 +209,15 @@ int main(int argc, char** argv) {
         power.push_back(fp.power_map(d, nx, ny));
       const auto thermal_res =
           engine.solve_steady(power, fp.tsv_density_map(nx, ny));
-      if (!args.quiet)
+      if (!args.quiet) {
         std::cout << "thermal solve   : " << thermal_res.iterations
-                  << " sweeps, "
+                  << " sweeps";
+        if (thermal_res.vcycles > 0)
+          std::cout << " (" << thermal_res.vcycles << " V-cycles)";
+        std::cout << ", "
                   << (thermal_res.converged ? "converged" : "NOT CONVERGED")
                   << " (residual " << thermal_res.residual_k << " K)\n";
+      }
       for (std::size_t d = 0; d < fp.tech().num_dies; ++d) {
         const std::string stem = "die" + std::to_string(d);
         write_csv(power[d], dir / (stem + "_power.csv"));

@@ -74,7 +74,33 @@ void BM_SolveSteadyCold(benchmark::State& state) {
     benchmark::DoNotOptimize(res.peak_k);
   }
 }
-BENCHMARK(BM_SolveSteadyCold)->Arg(16)->Arg(32)->Arg(64)
+BENCHMARK(BM_SolveSteadyCold)->Arg(16)->Arg(32)->Arg(64)->Arg(128)
+    ->Unit(benchmark::kMillisecond);
+
+/// Cold multigrid solves: the same workload as BM_SolveSteadyCold but
+/// through the V-cycle backend (engine.reset() forces a fresh hierarchy
+/// and an ambient start every iteration).  Cold solves are exactly where
+/// SOR's smooth-error tail hurts most, so this is the backend's
+/// showcase; CI gates BM_SolveSteadyCold/128 / BM_SolveSteadyMultigrid/128
+/// at >= 2x (scripts/check_perf.py).
+void BM_SolveSteadyMultigrid(benchmark::State& state) {
+  const auto g = static_cast<std::size_t>(state.range(0));
+  TechnologyConfig tech;
+  tech.die_width_um = tech.die_height_um = 4000.0;
+  ThermalConfig cfg;
+  cfg.grid_nx = cfg.grid_ny = g;
+  cfg.solver = SolverBackend::multigrid;
+  thermal::ThermalEngine engine(tech, cfg);
+  std::vector<GridD> power(2, GridD(g, g, 0.0));
+  power[0].at(g / 2, g / 2) = 3.0;
+  const GridD tsv(g, g, 0.1);
+  for (auto _ : state) {
+    engine.reset();
+    const auto res = engine.solve_steady(power, tsv);
+    benchmark::DoNotOptimize(res.peak_k);
+  }
+}
+BENCHMARK(BM_SolveSteadyMultigrid)->Arg(64)->Arg(128)
     ->Unit(benchmark::kMillisecond);
 
 /// Warm-started ThermalEngine solves over a jittering power map -- the

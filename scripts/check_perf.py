@@ -1,7 +1,7 @@
 #!/usr/bin/env python3
 """Perf gates for CI over a google-benchmark JSON report.
 
-Four checks, in order:
+Five checks, in order:
 
 1. Warm-start gate (hard): the warm-started steady solve must be at
    least --min-warm-speedup (default 2.0) times faster than the cold
@@ -20,14 +20,22 @@ Four checks, in order:
    context but not gated (sweep sharding at 64x64 sits between serial
    and candidate-parallel).  Skipped like the scaling gate when the
    entries are missing, unless --require-scaling is given.
-4. Baseline drift (soft by default): benchmarks present in both the
+4. Multigrid gate (hard): the V-cycle backend must solve the 128x128
+   cold steady state at least --min-mg-speedup (default 2.0) times
+   faster than the SOR backend (BM_SolveSteadyCold/128 vs
+   BM_SolveSteadyMultigrid/128) -- the solver-policy contract since
+   PR 5.  Cold solves are where SOR's smooth-error tail is worst; the
+   warm 64x64 gate (check 1) and the drift check keep the warm path
+   honest at the same time.  Skipped like the scaling gate when the
+   entries are missing, unless --require-scaling is given.
+5. Baseline drift (soft by default): benchmarks present in both the
    report and --baseline are compared; regressions beyond
    --max-regression (default 2.5x) fail the check.  The generous
    default tolerates CI-runner variance while still catching
-   catastrophic slowdowns against the committed BENCH_pr4.json.
+   catastrophic slowdowns against the committed BENCH_pr5.json.
 
 Usage:
-  check_perf.py RESULT.json [--baseline BENCH_pr4.json] [options]
+  check_perf.py RESULT.json [--baseline BENCH_pr5.json] [options]
 """
 import argparse
 import json
@@ -59,6 +67,7 @@ def main():
     parser.add_argument("--min-scaling", type=float, default=1.8)
     parser.add_argument("--scaling-threads", type=int, default=4)
     parser.add_argument("--min-batch-speedup", type=float, default=1.5)
+    parser.add_argument("--min-mg-speedup", type=float, default=2.0)
     parser.add_argument("--max-regression", type=float, default=2.5)
     parser.add_argument(
         "--require-scaling", action="store_true",
@@ -127,7 +136,26 @@ def main():
                 f"batched-eval speedup {speedup:.2f}x below the "
                 f"{args.min_batch_speedup:.1f}x gate")
 
-    # --- 4. drift against the committed baseline -------------------------
+    # --- 4. multigrid vs SOR on cold 128x128 solves ----------------------
+    sor_cold = times.get("BM_SolveSteadyCold/128")
+    mg_cold = times.get("BM_SolveSteadyMultigrid/128")
+    if sor_cold is None or mg_cold is None:
+        msg = "multigrid benchmarks missing from the report"
+        if args.require_scaling:
+            failures.append(msg)
+        else:
+            print(f"multigrid: SKIPPED ({msg})")
+    else:
+        speedup = sor_cold / mg_cold
+        print(f"multigrid: SOR cold {sor_cold:.2f} vs V-cycle cold "
+              f"{mg_cold:.2f} ({speedup:.2f}x, gate >= "
+              f"{args.min_mg_speedup:.1f}x)")
+        if speedup < args.min_mg_speedup:
+            failures.append(
+                f"multigrid speedup {speedup:.2f}x below the "
+                f"{args.min_mg_speedup:.1f}x gate")
+
+    # --- 5. drift against the committed baseline -------------------------
     if args.baseline:
         baseline = load_times(args.baseline)
         shared = sorted(set(times) & set(baseline))

@@ -54,6 +54,20 @@ void apply_thermal(const ConfigFile& cfg, ThermalConfig& thermal) {
       cfg.get_double("thermal.tolerance_k", thermal.tolerance_k);
   thermal.max_iterations =
       cfg.get_size("thermal.max_iterations", thermal.max_iterations);
+  const std::string solver = cfg.get_string(
+      "thermal.solver",
+      thermal.solver == SolverBackend::multigrid ? "multigrid" : "sor");
+  if (solver == "sor") {
+    thermal.solver = SolverBackend::sor;
+  } else if (solver == "multigrid") {
+    thermal.solver = SolverBackend::multigrid;
+  } else {
+    throw ConfigError("thermal.solver must be 'sor' or 'multigrid', got '" +
+                      solver + "'");
+  }
+  thermal.mg_levels = cfg.get_size("thermal.mg_levels", thermal.mg_levels);
+  thermal.mg_smooth_sweeps =
+      cfg.get_size("thermal.mg_smooth_sweeps", thermal.mg_smooth_sweeps);
   thermal.validate();
 }
 
@@ -90,6 +104,9 @@ floorplan::FloorplannerOptions make_floorplanner_options(
                                          opt.auto_clock_factor);
   opt.anneal.batch_candidates = cfg.get_size(
       "floorplanning.batch_candidates", opt.anneal.batch_candidates);
+  opt.anneal.inner_tolerance_scale =
+      cfg.get_double("floorplanning.inner_tolerance_scale",
+                     opt.anneal.inner_tolerance_scale);
   opt.detailed_inner_thermal = cfg.get_bool(
       "floorplanning.detailed_inner_thermal", opt.detailed_inner_thermal);
   opt.parallel.threads =

@@ -113,6 +113,27 @@ inline TechnologyConfig make_monolithic(TechnologyConfig tech) {
   return tech;
 }
 
+/// Steady-state solver backend of the thermal engine.
+///
+///  * `sor`: warm-started red-black SOR sweeps until the per-sweep update
+///    drops below `tolerance_k` -- cheap per iteration, and a handful of
+///    sweeps suffice when the previous field seeds the solve (annealing
+///    loops).  The cost tail is cold / large-grid solves, whose error
+///    modes are smooth and decay slowly under point relaxation.
+///  * `multigrid`: geometric V-cycles over a per-assembly hierarchy of
+///    2x-coarsened conductance networks (layers are never coarsened),
+///    with the same red-black sweep as the smoother on every level.
+///    Smooth error that SOR grinds down over hundreds of sweeps is
+///    eliminated on the coarse grids, so cold and large solves converge
+///    in a few cycles; results agree with SOR to solver accuracy (the
+///    same tolerance contract), and sharded sweeps stay bitwise
+///    deterministic.  Grids too small or odd-sized to coarsen fall back
+///    to SOR.
+enum class SolverBackend {
+  sor,
+  multigrid,
+};
+
 /// Material and boundary parameters of the thermal model.  The layer
 /// structure mirrors HotSpot's grid model extended for two stacked dies:
 /// package resistance below (secondary heat path, Sec. 3), TIM + heat
@@ -168,6 +189,12 @@ struct ThermalConfig {
   double sor_omega = 1.8;          ///< SOR over-relaxation factor
   double tolerance_k = 1e-4;       ///< max per-node update at convergence [K]
   std::size_t max_iterations = 20000;
+  SolverBackend solver = SolverBackend::sor;  ///< steady-state backend
+  /// Multigrid depth: number of coarse levels below the solve grid.
+  /// 0 = auto (coarsen 2x in x/y while both extents stay even and >= 4).
+  std::size_t mg_levels = 0;
+  /// Pre- and post-smoothing red-black sweeps per V-cycle level.
+  std::size_t mg_smooth_sweeps = 2;
 
   void validate() const {
     if (grid_nx < 4 || grid_ny < 4)
@@ -176,6 +203,9 @@ struct ThermalConfig {
       throw std::invalid_argument("ThermalConfig: SOR omega out of (0,2)");
     if (r_convec_k_per_w <= 0.0 || r_package_k_per_w <= 0.0)
       throw std::invalid_argument("ThermalConfig: non-positive resistance");
+    if (mg_smooth_sweeps == 0)
+      throw std::invalid_argument(
+          "ThermalConfig: multigrid needs at least one smoothing sweep");
   }
 };
 

@@ -138,6 +138,43 @@ Annealer::Annealer(Floorplan3D& fp, CostEvaluator& evaluator,
                    AnnealOptions options)
     : fp_(fp), eval_(evaluator), opt_(options) {}
 
+double Annealer::move_size_factor(const Undo& undo) {
+  // Thermal reach of a move: how far the power map can shift.  A resize
+  // nudges one module's footprint, an intra-die swap relocates one or
+  // two modules within a die, a transfer moves a module's whole power
+  // budget to another die, and an exchange does that twice.
+  switch (undo.kind) {
+    case Undo::Kind::resize:
+      return 0.25;
+    case Undo::Kind::swap_pos:
+    case Undo::Kind::swap_neg:
+    case Undo::Kind::swap_both:
+      return 0.5;
+    case Undo::Kind::transfer:
+      return 0.75;
+    case Undo::Kind::exchange:
+      return 1.0;
+    case Undo::Kind::none:
+      break;
+  }
+  return 0.0;
+}
+
+void Annealer::apply_tolerance_schedule(const AnnealSession& s,
+                                        double move_factor) {
+  if (opt_.inner_tolerance_scale <= 1.0) return;  // schedule disabled
+  const double t0 = s.stats.initial_temperature;
+  const double ratio =
+      t0 > 0.0 ? std::clamp(s.temperature / t0, 0.0, 1.0) : 0.0;
+  // sqrt: the geometric cooling collapses T/T0 within a few stages, long
+  // before the search stops making K-scale moves; the square root keeps
+  // the coarse-solve regime through the hot half of the schedule while
+  // still converging to scale 1 in the endgame.
+  eval_.set_thermal_tolerance_scale(
+      1.0 +
+      (opt_.inner_tolerance_scale - 1.0) * std::sqrt(ratio) * move_factor);
+}
+
 void Annealer::random_move(LayoutState& s, Rng& rng, Undo& undo) const {
   const std::size_t dies = s.die_sp.size();
   undo.kind = Undo::Kind::none;
@@ -259,6 +296,7 @@ AnnealSession Annealer::begin(LayoutState& state, Rng& rng) {
   AnnealSession s;
   s.state = &state;
   state.apply_to(fp_);
+  eval_.set_thermal_tolerance_scale(1.0);  // authoritative baseline eval
   s.current = eval_.evaluate_full();
   ++s.stats.full_evals;
 
@@ -326,6 +364,7 @@ void Annealer::stage_refresh(AnnealSession& s) {
   if (!s.refresh_pending) return;
   LayoutState& state = *s.state;
   state.apply_to(fp_);
+  eval_.set_thermal_tolerance_scale(1.0);  // rebase exchanges exactly
   s.current = eval_.evaluate_full();
   ++s.stats.full_evals;
   s.since_full = 0;
@@ -392,12 +431,14 @@ bool Annealer::run_stage(AnnealSession& s, Rng& rng) {
     CostBreakdown c;
     ++s.since_thermal;
     if (++s.since_full >= opt_.full_eval_interval) {
+      apply_tolerance_schedule(s, move_size_factor(undo));
       c = eval_.evaluate_full();
       s.since_full = 0;
       s.since_thermal = 0;
       ++s.stats.full_evals;
     } else if (opt_.thermal_eval_interval > 0 &&
                s.since_thermal >= opt_.thermal_eval_interval) {
+      apply_tolerance_schedule(s, move_size_factor(undo));
       c = eval_.evaluate_thermal();
       s.since_thermal = 0;
       ++s.stats.full_evals;
@@ -431,12 +472,17 @@ void Annealer::batched_step(AnnealSession& s, Rng& rng, std::size_t want,
   // the unbatched path move for move.
   std::vector<LayoutState> candidates;
   candidates.reserve(want);
+  double batch_move_factor = 0.0;
   for (std::size_t j = 0; j < want; ++j) {
     Undo undo;
     random_move(state, rng, undo);
     if (undo.kind == Undo::Kind::none) continue;
     ++s.stats.moves;
     candidates.push_back(state);
+    // One batched solve scores all candidates, so the schedule follows
+    // the widest-reaching move of the batch (max == the move's own
+    // factor at b == 1, keeping the k=1 path bitwise-identical).
+    batch_move_factor = std::max(batch_move_factor, move_size_factor(undo));
     undo.revert(state);
   }
   const std::size_t b = candidates.size();
@@ -462,6 +508,8 @@ void Annealer::batched_step(AnnealSession& s, Rng& rng, std::size_t want,
   }
 
   // --- score all candidates in one evaluator batch ----------------------
+  if (level != CostEvaluator::EvalLevel::cheap)
+    apply_tolerance_schedule(s, batch_move_factor);
   eval_.batch_begin(level, b);
   for (const LayoutState& candidate : candidates) {
     candidate.apply_to(fp_);
@@ -546,6 +594,18 @@ AnnealStats Annealer::finish(AnnealSession& s, Rng& rng) {
 
   state = std::move(s.best);
   state.apply_to(fp_);
+  if (opt_.inner_tolerance_scale > 1.0 &&
+      eval_.options().detailed_engine != nullptr) {
+    // The tracked best may have been scored under a loosened tolerance
+    // (an under-converged solve can flatter a candidate), and the
+    // tempering orchestrator compares best breakdowns ACROSS chains.
+    // The install is an authoritative evaluation: re-measure the final
+    // state at scale 1 so the reported best never carries schedule
+    // noise.  No RNG is consumed, so move streams are unaffected.
+    eval_.set_thermal_tolerance_scale(1.0);
+    s.best_cost = eval_.evaluate_full();
+    ++s.stats.full_evals;
+  }
   s.stats.best_cost = s.best_cost.total;
   s.stats.best_breakdown = s.best_cost;
   return s.stats;

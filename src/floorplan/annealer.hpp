@@ -76,6 +76,24 @@ struct AnnealOptions {
   /// one-move-per-step path (and run_stage_batched(k=1) is
   /// bitwise-identical to it, see tests/test_batched_eval.cpp).
   std::size_t batch_candidates = 1;
+  /// Adaptive tolerance for the detailed in-loop thermal solves: the
+  /// maximum factor by which the engine's stopping tolerance is loosened
+  /// while the search is hot.  Per refresh the annealer sets
+  ///
+  ///   scale = 1 + (inner_tolerance_scale - 1) * sqrt(T / T0) * move_size
+  ///
+  /// (the square root because geometric cooling collapses T/T0 within a
+  /// few stages, long before the search stops making K-scale moves)
+  /// where move_size in (0, 1] grades the proposed move's thermal reach
+  /// (resize < intra-die swap < transfer < exchange): early, large moves
+  /// change the cost by whole Kelvin and rank correctly under a coarse
+  /// solve, while the cooled-down endgame tightens back to the
+  /// configured tolerance_k.  Authoritative evaluations (session begin,
+  /// tempering-exchange refreshes, the final install) always run at
+  /// scale 1.  1 disables the schedule; the verification solve is on a
+  /// separate engine and never sees it.  Deterministic: the scale is a
+  /// pure function of (stage, move), not of timing.
+  double inner_tolerance_scale = 32.0;
 };
 
 struct AnnealStats {
@@ -146,6 +164,13 @@ class Annealer {
   /// Apply one random move; returns an undo closure index (see .cpp).
   struct Undo;
   void random_move(LayoutState& state, Rng& rng, Undo& undo) const;
+  /// Thermal reach of a move kind, in (0, 1] (see
+  /// AnnealOptions::inner_tolerance_scale).
+  static double move_size_factor(const Undo& undo);
+  /// Install the tolerance schedule for an in-stage thermal refresh:
+  /// scale = 1 + (max - 1) * sqrt(T / T0) * move_factor.
+  void apply_tolerance_schedule(const AnnealSession& session,
+                                double move_factor);
   /// Re-apply + fully re-evaluate the state after a tempering exchange.
   void stage_refresh(AnnealSession& session);
   /// Stage-end cooling + fixed-outline weight escalation.

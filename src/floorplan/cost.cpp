@@ -43,6 +43,11 @@ CostEvaluator::CostEvaluator(Floorplan3D& fp, const thermal::PowerBlur& blur,
   cached_entropy_.assign(fp_.tech().num_dies, 0.0);
 }
 
+void CostEvaluator::set_thermal_tolerance_scale(double scale) {
+  if (opt_.detailed_engine != nullptr)
+    opt_.detailed_engine->set_tolerance_scale(scale);
+}
+
 void CostEvaluator::measure_cheap(CostBreakdown& c) const {
   const Rect outline = fp_.outline();
   const double out_area = outline.area();

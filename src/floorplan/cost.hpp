@@ -137,6 +137,14 @@ class CostEvaluator {
 
   [[nodiscard]] const Options& options() const { return opt_; }
 
+  /// Forward a tolerance-schedule scale to the detailed in-loop engine
+  /// (no-op on the power-blurring path): subsequent thermal solves stop
+  /// at tolerance_k * max(1, scale).  The annealer drives this per step
+  /// -- coarse solves while the search is hot and the proposed move is
+  /// large, full accuracy toward convergence -- while verification
+  /// engines (owned elsewhere) always keep scale 1.
+  void set_thermal_tolerance_scale(double scale);
+
   /// Current fixed-outline violation weight.  The annealer escalates it
   /// when the search lingers in illegal (overhanging) regions of the
   /// space -- the standard fixed-outline SA remedy.

@@ -66,9 +66,15 @@ struct FloorplannerOptions {
   double auto_clock_factor = 0.9;
   /// Replace the power-blurring estimate inside the SA loop with detailed
   /// warm-started ThermalEngine solves at fast_grid resolution.  Closes
-  /// the fast-vs-detailed quality gap the paper concedes (Sec. 6) at the
-  /// cost of a few SOR sweeps per thermal refresh.
-  bool detailed_inner_thermal = false;
+  /// the fast-vs-detailed quality gap the paper concedes (Sec. 6):
+  /// across Table 1 it lowers the verified peak temperature.  On by
+  /// default since PR 5 -- warm starts, batched candidate fan-out, and
+  /// the move/temperature-aware tolerance schedule
+  /// (AnnealOptions::inner_tolerance_scale) keep the detailed loop
+  /// within ~1.1-1.3x of the blurred loop's runtime at an equal move
+  /// budget (see README "Performance").  Set false to restore the
+  /// paper's fast estimate.
+  bool detailed_inner_thermal = true;
   /// Worker threads for every ThermalEngine the flow creates (fast,
   /// sampling, verification): large single solves shard their sweeps,
   /// and batched candidate evaluation (anneal.batch_candidates > 1)

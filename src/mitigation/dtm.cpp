@@ -85,7 +85,7 @@ void RampKalman::update(double z_k) {
 
 DtmResult run_dtm(const Floorplan3D& fp, thermal::ThermalEngine& engine,
                   double duration_s, double dt_s, Rng& rng,
-                  const DtmOptions& options) {
+                  const DtmOptions& options, DtmCheckpoint* checkpoint) {
   if (duration_s <= 0.0 || dt_s <= 0.0)
     throw std::invalid_argument("run_dtm: non-positive time");
   if (options.control_period_s < dt_s)
@@ -193,9 +193,76 @@ DtmResult run_dtm(const Floorplan3D& fp, thermal::ThermalEngine& engine,
     return maps;
   };
 
-  const thermal::TransientResult sim = engine.solve_transient_feedback(
-      power_at, tsv_density, duration_s, dt_s, /*record_stride=*/1);
-  result.thermal_converged = sim.unconverged_steps == 0;
+  // --- step 1 (t = 0+), checkpointable ---------------------------------
+  // The first step's controller decision is computed up front (same RNG
+  // draws and filter updates as the in-solve callback would make), so a
+  // checkpointed field can stand in for the solve itself whenever the
+  // decision -- and therefore the step-1 power -- matches bitwise.
+  const auto total_steps =
+      static_cast<std::size_t>(std::ceil(duration_s / dt_s));
+  const std::vector<GridD> ambient_maps(dies, GridD(nx, ny, ambient_k));
+  const std::vector<GridD> first_power = power_at(dt_s, ambient_maps);
+
+  thermal::TransientSample first_sample;
+  bool first_converged = true;
+  if (checkpoint != nullptr && checkpoint->valid &&
+      checkpoint->dt_s == dt_s && checkpoint->ambient_k == ambient_k &&
+      checkpoint->nx == nx && checkpoint->ny == ny &&
+      checkpoint->tsv == tsv_density.data() &&
+      checkpoint->first_power == first_power) {
+    engine.restore_field(checkpoint->field);
+    first_sample = checkpoint->first_sample;
+    first_converged = checkpoint->first_step_converged;
+    result.checkpoint_reused = true;
+  } else {
+    const auto first_cb = [&](double, const std::vector<GridD>&) {
+      return first_power;  // decision already made; do not redraw RNG
+    };
+    const thermal::TransientResult sim1 = engine.solve_transient_feedback(
+        first_cb, tsv_density, dt_s, dt_s, /*record_stride=*/1);
+    first_sample = sim1.trace.front();
+    first_converged = sim1.unconverged_steps == 0;
+    if (checkpoint != nullptr) {
+      checkpoint->valid = true;
+      checkpoint->dt_s = dt_s;
+      checkpoint->ambient_k = ambient_k;
+      checkpoint->nx = nx;
+      checkpoint->ny = ny;
+      checkpoint->tsv = tsv_density.data();
+      checkpoint->first_power = first_power;
+      checkpoint->field = engine.save_field();
+      checkpoint->first_sample = first_sample;
+      checkpoint->first_step_converged = first_converged;
+      result.checkpoint_captured = true;
+    }
+  }
+
+  // --- steps 2..N: continuation from the step-1 field ------------------
+  // A warm transient recomputes the same implicit-Euler system and steps
+  // from the installed field, so splitting the run is bitwise-identical
+  // to the single solve_transient_feedback call it replaces -- including
+  // the controller's time arithmetic: the callback reconstructs each
+  // global timestamp as the same (step + 1) * dt_s product the monolithic
+  // run computed (adding dt_s to the engine's relative time can be 1 ulp
+  // off and shift a control read), and the continuation's step count is
+  // pinned to exactly total_steps - 1 by asking for a mid-step t_end
+  // (ceil() of a near-integer quotient could otherwise round a step up).
+  thermal::TransientResult sim;
+  if (total_steps > 1) {
+    std::size_t cont_step = 0;  // continuation steps completed so far
+    const auto rest_cb = [&](double /*time_s*/,
+                             const std::vector<GridD>& die_temp_prev) {
+      ++cont_step;
+      return power_at(static_cast<double>(cont_step + 1) * dt_s,
+                      die_temp_prev);
+    };
+    const double cont_end_s =
+        (static_cast<double>(total_steps - 1) - 0.5) * dt_s;
+    sim = engine.solve_transient_feedback(
+        rest_cb, tsv_density, cont_end_s, dt_s, /*record_stride=*/1,
+        thermal::ThermalEngine::Start::warm);
+  }
+  result.thermal_converged = first_converged && sim.unconverged_steps == 0;
 
   // Time accounting from the per-step trace: sample k holds the
   // temperatures at the END of step k, so each step's share of the
@@ -204,13 +271,16 @@ DtmResult run_dtm(const Floorplan3D& fp, thermal::ThermalEngine& engine,
   // step's temperatures to the current timestamp and never assessed the
   // final step's outcome.)  The solver takes ceil(duration/dt) steps, so
   // the last step only covers the remainder of the duration.
-  for (std::size_t k = 0; k < sim.trace.size(); ++k) {
+  const std::size_t accounted = std::min(total_steps, sim.trace.size() + 1);
+  for (std::size_t k = 0; k < accounted; ++k) {
+    const thermal::TransientSample& sample =
+        k == 0 ? first_sample : sim.trace[k - 1];
     const double step_dt =
-        k + 1 == sim.steps
-            ? duration_s - static_cast<double>(sim.steps - 1) * dt_s
+        k + 1 == total_steps
+            ? duration_s - static_cast<double>(total_steps - 1) * dt_s
             : dt_s;
     double peak = ambient_k;
-    for (const double v : sim.trace[k].die_peak_k) peak = std::max(peak, v);
+    for (const double v : sample.die_peak_k) peak = std::max(peak, v);
     result.peak_k = std::max(result.peak_k, peak);
     if (peak > options.trigger_k) result.time_over_trigger_s += step_dt;
     if (k < step_throttled.size() && step_throttled[k]) {
@@ -226,8 +296,9 @@ DtmResult run_dtm(const Floorplan3D& fp, thermal::ThermalEngine& engine,
 
 DtmResult run_dtm(const Floorplan3D& fp, const thermal::GridSolver& solver,
                   double duration_s, double dt_s, Rng& rng,
-                  const DtmOptions& options) {
-  return run_dtm(fp, solver.engine(), duration_s, dt_s, rng, options);
+                  const DtmOptions& options, DtmCheckpoint* checkpoint) {
+  return run_dtm(fp, solver.engine(), duration_s, dt_s, rng, options,
+                 checkpoint);
 }
 
 }  // namespace tsc3d::mitigation

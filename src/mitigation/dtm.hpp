@@ -116,6 +116,32 @@ struct DtmResult {
   std::size_t control_actions = 0;   ///< throttle state toggles
   std::size_t sensor_reads = 0;      ///< control-period sensor samples
   bool thermal_converged = true;     ///< every solver step converged
+  bool checkpoint_reused = false;    ///< t=0+ field came from a checkpoint
+  bool checkpoint_captured = false;  ///< this run filled the checkpoint
+};
+
+/// Cross-run checkpoint of the t = 0+ solver state: the temperature
+/// field after the FIRST implicit-Euler step.  DTM parameter sweeps
+/// (trigger, lookahead, Kalman tuning, ...) re-run the same heating
+/// transient from ambient; the first step's power is
+/// controller-independent whenever the controller does not throttle at
+/// the initial ambient read, so its (cold, expensive) solve can be done
+/// once and replayed.  run_dtm validates the checkpoint against the
+/// current run -- grid shape, dt, TSV map, ambient, and the BITWISE
+/// step-1 power maps the current controller actually produces -- and
+/// silently falls back to a fresh solve on any mismatch, so reuse never
+/// changes results (tests assert bitwise-equal DtmResult either way).
+/// Reuse it only with the same floorplan + engine configuration.
+struct DtmCheckpoint {
+  bool valid = false;
+  double dt_s = 0.0;
+  double ambient_k = 0.0;
+  std::size_t nx = 0, ny = 0;
+  std::vector<double> tsv;                ///< density map of the run
+  std::vector<GridD> first_power;         ///< step-1 per-die power maps
+  thermal::FieldSnapshot field;           ///< field after step 1
+  thermal::TransientSample first_sample;  ///< step-1 trace entry
+  bool first_step_converged = true;
 };
 
 /// Simulate `duration_s` of the DTM loop on the floorplan's nominal
@@ -126,16 +152,23 @@ struct DtmResult {
 /// dt_s the last (partial) interval is assessed at the temperature the
 /// full final step produced (slightly past duration_s) -- pick dt_s
 /// dividing duration_s for exact-window metrics.
+///
+/// `checkpoint` (optional) warm-starts parameter sweeps: an invalid
+/// checkpoint is filled from this run's first transient step, a valid
+/// matching one replaces that step's solve (see DtmCheckpoint); the
+/// result reports which happened and is bitwise-identical either way.
 [[nodiscard]] DtmResult run_dtm(const Floorplan3D& fp,
                                 thermal::ThermalEngine& engine,
                                 double duration_s, double dt_s, Rng& rng,
-                                const DtmOptions& options = {});
+                                const DtmOptions& options = {},
+                                DtmCheckpoint* checkpoint = nullptr);
 
 /// Compatibility overload for GridSolver holders; runs on the solver's
 /// underlying engine.
 [[nodiscard]] DtmResult run_dtm(const Floorplan3D& fp,
                                 const thermal::GridSolver& solver,
                                 double duration_s, double dt_s, Rng& rng,
-                                const DtmOptions& options = {});
+                                const DtmOptions& options = {},
+                                DtmCheckpoint* checkpoint = nullptr);
 
 }  // namespace tsc3d::mitigation

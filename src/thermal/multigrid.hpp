@@ -1,0 +1,115 @@
+// tsc3d -- thermal side-channel-aware 3D floorplanning.
+//
+// Geometric multigrid for the steady-state thermal solve.  The engine's
+// red-black SOR sweep is an excellent smoother -- it kills oscillatory
+// error in a few sweeps -- but grinds down the smooth error modes of
+// cold or large solves over hundreds of iterations.  A V-cycle moves
+// exactly those modes to coarser grids where they become oscillatory
+// (and cheap) again:
+//
+//  * MultigridHierarchy coarsens the engine's cached Assembly 2x in
+//    x/y per level, Galerkin-style, by aggregating conductances: the
+//    four vertical/boundary paths of a 2x2 block add in parallel, and
+//    the two lateral paths crossing a coarse interface add in parallel
+//    after their series length doubles -- for uniform material this
+//    reproduces the direct coarse-grid discretization exactly.  Layers
+//    are NEVER coarsened: the stack has O(10) physically distinct
+//    layers, and the z coupling strengthens 4x relative to lateral per
+//    level, so the coarse grids also repair the fine grid's lateral/
+//    vertical anisotropy.
+//  * Residuals restrict by full weighting (the adjoint of cell-centered
+//    bilinear interpolation, per layer, boundary-clamped) and
+//    corrections prolongate bilinearly -- both over the same halo field
+//    layout the sweep uses, so every level smooths with the identical
+//    branch-free red-black kernel (sweep_color_rows).
+//  * The engine drives the cycle: fine-level smoothing goes through its
+//    (possibly pool-sharded) sweep; everything below is serial and
+//    reads only the immutable hierarchy plus per-solve MgScratch, so
+//    batched candidates V-cycle concurrently.
+//
+// Determinism: coarsening, transfers, and smoothing are fixed-order
+// serial loops; the sharded fine sweep is bitwise-identical to serial.
+// Multigrid results therefore match across 1-N threads bitwise, and
+// agree with the SOR backend to solver accuracy (same stopping rule).
+#pragma once
+
+#include <cstddef>
+#include <vector>
+
+#include "thermal/thermal_engine.hpp"
+
+namespace tsc3d::thermal {
+
+/// Immutable-after-build coarse hierarchy below one fine assembly.
+/// levels()[0] is the FIRST coarse level (half the fine resolution);
+/// the fine assembly itself stays with the engine.
+class MultigridHierarchy {
+ public:
+  struct Level {
+    Assembly a;
+  };
+
+  /// Coarsen `fine` while both extents are even and at least 2 * kMinExtent,
+  /// up to `max_levels` coarse levels (0 = no cap).  A grid that admits no
+  /// coarse level leaves the hierarchy empty (usable() == false) and the
+  /// engine falls back to SOR.
+  void build(const Assembly& fine, std::size_t max_levels);
+
+  [[nodiscard]] const std::vector<Level>& levels() const { return levels_; }
+  [[nodiscard]] bool usable() const { return !levels_.empty(); }
+
+  /// Smallest x/y extent a coarse grid may have.
+  static constexpr std::size_t kMinExtent = 4;
+
+ private:
+  std::vector<Level> levels_;
+};
+
+/// Per-solve V-cycle scratch: one halo-layout correction field and one
+/// compact restricted-residual rhs per coarse level, plus a shared
+/// compact residual buffer (sized for the fine level, the largest).
+/// Owned per solve context so batched candidates never share mutable
+/// state.
+struct MgScratch {
+  struct Level {
+    std::vector<double> field;  ///< halo layout, pads stay zero
+    std::vector<double> rhs;    ///< compact
+  };
+  std::vector<Level> level;
+  std::vector<double> resid;  ///< compact residual of the level above
+
+  /// Size the buffers for `fine` + `hierarchy` (idempotent).
+  void ensure(const Assembly& fine, const MultigridHierarchy& hierarchy);
+};
+
+/// Compact steady-state residual r = rhs + sum(g * t_nb) - diag * t of a
+/// halo-layout field.
+void mg_residual(const Assembly& a, const double* t, const double* rhs,
+                 const double* diag, double* resid);
+
+/// Full-weighting restriction of a compact fine residual onto the coarse
+/// grid's compact rhs (adjoint of bilinear prolongation, per layer,
+/// boundary-clamped; each fine residual's weights sum to 1, so the total
+/// injected flux is conserved -- matching the aggregated conductances).
+void mg_restrict(const Assembly& fine, const double* resid_fine,
+                 const Assembly& coarse, double* rhs_coarse);
+
+/// Bilinearly interpolate the coarse correction (halo layout) and ADD it
+/// into the fine field (halo layout), per layer.
+void mg_prolong_add(const Assembly& coarse, const double* e_coarse,
+                    const Assembly& fine, double* t_fine);
+
+/// `nsweeps` serial red-black sweeps over one level; returns the last
+/// sweep's max node update.
+double mg_smooth(const Assembly& a, double* t, const double* rhs,
+                 const double* diag, double omega, std::size_t nsweeps);
+
+/// Recursive V-cycle below the fine level: solves A_l e = rhs for the
+/// correction at coarse level `l` (scratch.level[l].rhs must hold the
+/// restricted residual; the correction is left in scratch.level[l].field).
+/// The coarsest level is smoothed to near-exactness (relative update
+/// drop of 1e-3, capped); all sweeps are serial and fixed-order.
+void mg_coarse_solve(const MultigridHierarchy& hierarchy, MgScratch& scratch,
+                     std::size_t l, std::size_t smooth_sweeps, double omega);
+
+}  // namespace tsc3d::thermal

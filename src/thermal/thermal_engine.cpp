@@ -10,9 +10,19 @@
 #include <stdexcept>
 #include <thread>
 
+#include "thermal/multigrid.hpp"
+
 namespace tsc3d::thermal {
 
 namespace {
+
+/// Smoothing relaxation factor of the multigrid backend.  Over-relaxation
+/// (sor_omega ~ 1.8) accelerates SOR as a SOLVER but ruins the smoothing
+/// property multigrid relies on; plain red-black Gauss-Seidel (omega = 1)
+/// damps oscillatory error per sweep near-optimally, and the coarse grids
+/// take care of the smooth error SOR would have needed the large omega
+/// for.
+constexpr double kSmoothOmega = 1.0;
 
 /// Cyclic rendezvous over mutex + condition_variable.  std::barrier would
 /// do, but libstdc++'s futex-based implementation is not reliably modeled
@@ -57,6 +67,43 @@ class PhaseBarrier {
 
 }  // namespace
 
+double sweep_color_rows(const Assembly& a, double omega, double* t, int color,
+                        std::size_t row_begin, std::size_t row_end,
+                        const double* r, const double* dg) {
+  const std::size_t nx = a.nx, ny = a.ny;
+  // Conductance/rhs arrays are compact (stride nx); the field uses the
+  // halo layout (row stride nx + 1, layer stride (nx+1) * (ny+1)), so
+  // the loop advances a compact index i and a padded index p in step.
+  const std::size_t px = nx + 1;
+  const std::size_t ps = px * (ny + 1);
+  const double* gxm = a.g_xm.data();
+  const double* gxp = a.g_xp.data();
+  const double* gym = a.g_ym.data();
+  const double* gyp = a.g_yp.data();
+  const double* gzm = a.g_zm.data();
+  const double* gzp = a.g_zp.data();
+
+  double max_delta = 0.0;
+  for (std::size_t gr = row_begin; gr < row_end; ++gr) {
+    const std::size_t l = gr / ny;
+    const std::size_t iy = gr % ny;
+    const std::size_t row = gr * nx;
+    const std::size_t prow = l * ps + iy * px;
+    for (std::size_t ix = (l + iy + static_cast<std::size_t>(color)) & 1;
+         ix < nx; ix += 2) {
+      const std::size_t i = row + ix;
+      const std::size_t p = prow + ix;
+      const double flux = r[i] + gxm[i] * t[p - 1] + gxp[i] * t[p + 1] +
+                          gym[i] * t[p - px] + gyp[i] * t[p + px] +
+                          gzm[i] * t[p - ps] + gzp[i] * t[p + ps];
+      const double delta = flux / dg[i] - t[p];
+      t[p] += omega * delta;
+      max_delta = std::max(max_delta, std::abs(delta));
+    }
+  }
+  return max_delta;
+}
+
 /// Persistent sweep workers.  One pool serves one engine; a job is
 /// either one color-phase of a red-black sweep (sharded by rows) or a
 /// batch of independent per-candidate solves (sharded by candidate via
@@ -96,7 +143,7 @@ class ThermalEngine::SweepPool {
   /// max node update.
   double sweep_color(const ThermalEngine& engine, double* t, int color,
                      std::size_t rows, std::size_t shards, const double* rhs,
-                     const double* diag) {
+                     const double* diag, double omega) {
     job_ = Job::color;
     engine_ = &engine;
     field_ = t;
@@ -105,6 +152,7 @@ class ThermalEngine::SweepPool {
     shards_ = std::max<std::size_t>(1, std::min(shards, threads()));
     rhs_ = rhs;
     diag_ = diag;
+    omega_ = omega;
     start_.arrive_and_wait();
     run_shard(0);
     done_.arrive_and_wait();
@@ -148,7 +196,7 @@ class ThermalEngine::SweepPool {
     const std::size_t begin = rows_ * std::min(shard, n) / n;
     const std::size_t end = rows_ * std::min(shard + 1, n) / n;
     shard_delta_[shard].value =
-        engine_->sweep_rows(field_, color_, begin, end, rhs_, diag_);
+        engine_->sweep_rows(field_, color_, begin, end, rhs_, diag_, omega_);
   }
 
   void run_task_loop() {
@@ -193,6 +241,7 @@ class ThermalEngine::SweepPool {
   std::size_t shards_ = 1;
   const double* rhs_ = nullptr;
   const double* diag_ = nullptr;
+  double omega_ = 1.0;
   const std::function<void(std::size_t)>* task_fn_ = nullptr;
   std::size_t task_count_ = 0;
   std::vector<std::exception_ptr>* task_errors_ = nullptr;
@@ -207,7 +256,7 @@ class ThermalEngine::SweepPool {
 ThermalEngine::ThermalEngine(const TechnologyConfig& tech,
                              const ThermalConfig& cfg, ParallelConfig parallel)
     : tech_(tech), cfg_(cfg), stack_(build_stack(tech, cfg)),
-      parallel_(parallel) {
+      policy_(SolverPolicy::from_config(cfg)), parallel_(parallel) {
   tech_.validate();
   cfg_.validate();
   sweep_threads_ = parallel_.threads;
@@ -239,6 +288,17 @@ std::size_t ThermalEngine::threads() const { return sweep_threads_; }
 void ThermalEngine::reset() {
   asm_valid_ = false;
   field_valid_ = false;
+  mg_.reset();
+}
+
+void ThermalEngine::set_policy(const SolverPolicy& policy) {
+  policy_ = policy;
+  // The hierarchy depends on the policy's depth/backend; rebuild lazily.
+  mg_.reset();
+}
+
+void ThermalEngine::set_tolerance_scale(double scale) {
+  policy_.tolerance.scale = scale > 1.0 ? scale : 1.0;
 }
 
 void ThermalEngine::check_inputs(const std::vector<GridD>& die_power_w,
@@ -253,8 +313,7 @@ void ThermalEngine::check_inputs(const std::vector<GridD>& die_power_w,
     throw std::invalid_argument("ThermalEngine: TSV-map grid mismatch");
 }
 
-const ThermalEngine::Assembly& ThermalEngine::assembly_for(
-    const GridD& tsv_density) {
+const Assembly& ThermalEngine::assembly_for(const GridD& tsv_density) {
   if (tsv_density.nx() != cfg_.grid_nx || tsv_density.ny() != cfg_.grid_ny)
     throw std::invalid_argument("ThermalEngine: TSV-map grid mismatch");
   // The density map is the only per-solve input that changes the
@@ -284,6 +343,10 @@ void ThermalEngine::build_assembly(const GridD& tsv_density) {
   const double cell_h = stack_.height_m / static_cast<double>(ny);
   const double cell_area = cell_w * cell_h;
   const auto ncells = static_cast<double>(nxny);
+
+  // The coarsened-conductance hierarchy derives from this assembly;
+  // whatever was built for the previous one is stale now.
+  mg_.reset();
 
   // Per-cell vertical conductivity of each layer; only TSV layers vary.
   // TSVs blend the layer material toward copper by the cell's area
@@ -387,47 +450,24 @@ void ThermalEngine::build_assembly(const GridD& tsv_density) {
   diag_.resize(n);
 }
 
-double ThermalEngine::sweep_rows(double* t, int color, std::size_t row_begin,
-                                 std::size_t row_end, const double* r,
-                                 const double* dg) const {
-  const Assembly& a = asm_;
-  const std::size_t nx = a.nx, ny = a.ny;
-  // Conductance/rhs arrays are compact (stride nx); the field uses the
-  // halo layout (row stride nx + 1, layer stride (nx+1) * (ny+1)), so
-  // the loop advances a compact index i and a padded index p in step.
-  const std::size_t px = nx + 1;
-  const std::size_t ps = px * (ny + 1);
-  const double omega = cfg_.sor_omega;
-  const double* gxm = a.g_xm.data();
-  const double* gxp = a.g_xp.data();
-  const double* gym = a.g_ym.data();
-  const double* gyp = a.g_yp.data();
-  const double* gzm = a.g_zm.data();
-  const double* gzp = a.g_zp.data();
-
-  double max_delta = 0.0;
-  for (std::size_t gr = row_begin; gr < row_end; ++gr) {
-    const std::size_t l = gr / ny;
-    const std::size_t iy = gr % ny;
-    const std::size_t row = gr * nx;
-    const std::size_t prow = l * ps + iy * px;
-    for (std::size_t ix = (l + iy + static_cast<std::size_t>(color)) & 1;
-         ix < nx; ix += 2) {
-      const std::size_t i = row + ix;
-      const std::size_t p = prow + ix;
-      const double flux = r[i] + gxm[i] * t[p - 1] + gxp[i] * t[p + 1] +
-                          gym[i] * t[p - px] + gyp[i] * t[p + px] +
-                          gzm[i] * t[p - ps] + gzp[i] * t[p + ps];
-      const double delta = flux / dg[i] - t[p];
-      t[p] += omega * delta;
-      max_delta = std::max(max_delta, std::abs(delta));
-    }
+void ThermalEngine::ensure_hierarchy() {
+  if (policy_.backend != SolverBackend::multigrid || !asm_valid_) return;
+  if (mg_ == nullptr) {
+    mg_ = std::make_unique<MultigridHierarchy>();
+    mg_->build(asm_, policy_.mg_levels);
   }
-  return max_delta;
+  if (mg_scratch_ == nullptr) mg_scratch_ = std::make_unique<MgScratch>();
 }
 
-double ThermalEngine::sweep(double* t, const std::vector<double>& rhs,
-                            const std::vector<double>& diag) {
+double ThermalEngine::sweep_rows(double* t, int color, std::size_t row_begin,
+                                 std::size_t row_end, const double* rhs,
+                                 const double* diag, double omega) const {
+  return sweep_color_rows(asm_, omega, t, color, row_begin, row_end, rhs,
+                          diag);
+}
+
+double ThermalEngine::sweep(double* t, const double* rhs, const double* diag,
+                            double omega) {
   // Red-black ordering: nodes with even (ix+iy+l) first, then odd.  Each
   // color only reads the other, so the color phase is dependence-free and
   // may be sharded by rows; the barrier between colors preserves the
@@ -439,8 +479,8 @@ double ThermalEngine::sweep(double* t, const std::vector<double>& rhs,
   for (int color = 0; color < 2; ++color) {
     const double color_delta =
         shard ? pool_->sweep_color(*this, t, color, rows, sweep_threads_,
-                                   rhs.data(), diag.data())
-              : sweep_rows(t, color, 0, rows, rhs.data(), diag.data());
+                                   rhs, diag, omega)
+              : sweep_color_rows(asm_, omega, t, color, 0, rows, rhs, diag);
     max_delta = std::max(max_delta, color_delta);
   }
   return max_delta;
@@ -457,6 +497,22 @@ void ThermalEngine::fill_steady_rhs(const std::vector<GridD>& die_power_w,
     const GridD& p = die_power_w[layer.power_die];
     double* dst = rhs.data() + l * nxny;
     for (std::size_t c = 0; c < nxny; ++c) dst[c] += p[c];
+  }
+}
+
+void ThermalEngine::extract_die_maps(const double* t,
+                                     std::vector<GridD>& maps) const {
+  const Assembly& a = asm_;
+  const std::size_t nx = a.nx, ny = a.ny;
+  const std::size_t px = nx + 1;
+  const std::size_t ps = px * (ny + 1);
+  for (std::size_t d = 0; d < tech_.num_dies; ++d) {
+    const std::size_t l = stack_.layer_of_die[d];
+    for (std::size_t iy = 0; iy < ny; ++iy) {
+      const double* trow = t + l * ps + iy * px;
+      for (std::size_t ix = 0; ix < nx; ++ix)
+        maps[d][iy * nx + ix] = trow[ix];
+    }
   }
 }
 
@@ -497,12 +553,103 @@ void ThermalEngine::extract_field(const double* t,
   }
 }
 
+double ThermalEngine::vcycle(double* t, const double* rhs, MgScratch& scratch,
+                             const std::function<double()>& fine_sweep) const {
+  const Assembly& fine = asm_;
+  const std::size_t nu = policy_.mg_smooth_sweeps;
+  for (std::size_t i = 0; i < nu; ++i) (void)fine_sweep();
+  mg_residual(fine, t, rhs, fine.diag_static.data(), scratch.resid.data());
+  const Assembly& c0 = mg_->levels()[0].a;
+  mg_restrict(fine, scratch.resid.data(), c0, scratch.level[0].rhs.data());
+  mg_coarse_solve(*mg_, scratch, 0, nu, kSmoothOmega);
+  mg_prolong_add(c0, scratch.level[0].field.data() + c0.field_offset(), fine,
+                 t);
+  // The last post-smoothing sweep doubles as the convergence measure:
+  // the same per-node-update stopping rule the SOR backend uses.
+  double delta = 0.0;
+  for (std::size_t i = 0; i < nu; ++i) delta = fine_sweep();
+  return delta;
+}
+
+void ThermalEngine::solve_field(double* t, const double* rhs,
+                                ThermalResult& result) {
+  const double* diag = asm_.diag_static.data();
+  const double tol = policy_.tolerance.tolerance_for(cfg_.tolerance_k);
+  const bool mg_on = policy_.backend == SolverBackend::multigrid &&
+                     mg_ != nullptr && mg_->usable();
+  if (mg_on) {
+    mg_scratch_->ensure(asm_, *mg_);
+    const std::size_t nu = policy_.mg_smooth_sweeps;
+    const auto fine_sweep = [&] { return sweep(t, rhs, diag, kSmoothOmega); };
+    while (result.iterations < cfg_.max_iterations) {
+      const double delta = vcycle(t, rhs, *mg_scratch_, fine_sweep);
+      result.iterations += 2 * nu;  // fine-level sweeps of this cycle
+      ++result.vcycles;
+      result.residual_k = delta;
+      if (delta < tol) {
+        result.converged = true;
+        break;
+      }
+    }
+  } else {
+    for (std::size_t it = 0; it < cfg_.max_iterations; ++it) {
+      const double delta = sweep(t, rhs, diag, cfg_.sor_omega);
+      result.iterations = it + 1;
+      result.residual_k = delta;
+      if (delta < tol) {
+        result.converged = true;
+        break;
+      }
+    }
+  }
+}
+
+void ThermalEngine::solve_field_serial(double* t, const double* rhs,
+                                       MgScratch* mg,
+                                       ThermalResult& result) const {
+  const double* diag = asm_.diag_static.data();
+  const double tol = policy_.tolerance.tolerance_for(cfg_.tolerance_k);
+  const std::size_t rows = asm_.nl * asm_.ny;
+  const bool mg_on = policy_.backend == SolverBackend::multigrid &&
+                     mg_ != nullptr && mg_->usable() && mg != nullptr;
+  if (mg_on) {
+    const std::size_t nu = policy_.mg_smooth_sweeps;
+    const auto fine_sweep = [&] {
+      return mg_smooth(asm_, t, rhs, diag, kSmoothOmega, 1);
+    };
+    while (result.iterations < cfg_.max_iterations) {
+      const double delta = vcycle(t, rhs, *mg, fine_sweep);
+      result.iterations += 2 * nu;
+      ++result.vcycles;
+      result.residual_k = delta;
+      if (delta < tol) {
+        result.converged = true;
+        break;
+      }
+    }
+  } else {
+    for (std::size_t it = 0; it < cfg_.max_iterations; ++it) {
+      double delta = 0.0;
+      for (int color = 0; color < 2; ++color)
+        delta = std::max(delta, sweep_color_rows(asm_, cfg_.sor_omega, t,
+                                                 color, 0, rows, rhs, diag));
+      result.iterations = it + 1;
+      result.residual_k = delta;
+      if (delta < tol) {
+        result.converged = true;
+        break;
+      }
+    }
+  }
+}
+
 ThermalResult ThermalEngine::solve_steady(const std::vector<GridD>& die_power_w,
                                           const GridD& tsv_density,
                                           Start start) {
   check_inputs(die_power_w, tsv_density);
   const std::size_t reuses_before = stats_.assembly_reuses;
-  const Assembly& a = assembly_for(tsv_density);
+  (void)assembly_for(tsv_density);
+  ensure_hierarchy();
   fill_steady_rhs(die_power_w, rhs_);
 
   ThermalResult result;
@@ -512,40 +659,16 @@ ThermalResult ThermalEngine::solve_steady(const std::vector<GridD>& die_power_w,
   if (!warm) std::fill(temp_.begin(), temp_.end(), cfg_.ambient_k);
   result.warm_started = warm;
 
-  for (std::size_t it = 0; it < cfg_.max_iterations; ++it) {
-    const double delta = sweep(field(), rhs_, a.diag_static);
-    result.iterations = it + 1;
-    result.residual_k = delta;
-    if (delta < cfg_.tolerance_k) {
-      result.converged = true;
-      break;
-    }
-  }
+  solve_field(field(), rhs_.data(), result);
   field_valid_ = true;
 
   ++stats_.steady_solves;
   if (warm) ++stats_.warm_starts;
   stats_.total_sweeps += result.iterations;
+  stats_.vcycles += result.vcycles;
 
   extract_field(field(), result);
   return result;
-}
-
-void ThermalEngine::solve_field_serial(double* t, const double* rhs,
-                                       const double* diag,
-                                       ThermalResult& result) const {
-  const std::size_t rows = asm_.nl * asm_.ny;
-  for (std::size_t it = 0; it < cfg_.max_iterations; ++it) {
-    double delta = 0.0;
-    for (int color = 0; color < 2; ++color)
-      delta = std::max(delta, sweep_rows(t, color, 0, rows, rhs, diag));
-    result.iterations = it + 1;
-    result.residual_k = delta;
-    if (delta < cfg_.tolerance_k) {
-      result.converged = true;
-      break;
-    }
-  }
 }
 
 std::vector<ThermalResult> ThermalEngine::solve_steady_batch(
@@ -558,8 +681,11 @@ std::vector<ThermalResult> ThermalEngine::solve_steady_batch(
 
   const std::size_t reuses_before = stats_.assembly_reuses;
   const Assembly& a = assembly_for(tsv_density);
+  ensure_hierarchy();
   const bool reused = stats_.assembly_reuses > reuses_before;
   const bool warm = start == Start::warm && field_valid_;
+  const bool mg_on = policy_.backend == SolverBackend::multigrid &&
+                     mg_ != nullptr && mg_->usable();
 
   // Size the context pool and seed every candidate field from the
   // engine's current field (the accepted state's solution) -- all on the
@@ -576,6 +702,10 @@ std::vector<ThermalResult> ThermalEngine::solve_steady_batch(
       ctx.temp.assign(temp_.size(), cfg_.ambient_k);
     ctx.rhs.resize(a.num_nodes());
     fill_steady_rhs(candidate_power_w[i], ctx.rhs);
+    if (mg_on) {
+      if (ctx.mg == nullptr) ctx.mg = std::make_unique<MgScratch>();
+      ctx.mg->ensure(a, *mg_);
+    }
     results[i].warm_started = warm;
     results[i].assembly_reused = reused;
   }
@@ -591,7 +721,7 @@ std::vector<ThermalResult> ThermalEngine::solve_steady_batch(
   const auto solve_one = [&](std::size_t i) {
     FieldContext& ctx = contexts_[i];
     solve_field_serial(ctx.temp.data() + field_offset_, ctx.rhs.data(),
-                       a.diag_static.data(), results[i]);
+                       ctx.mg.get(), results[i]);
     extract_field(ctx.temp.data() + field_offset_, results[i]);
   };
   if (pool_ != nullptr && k > 1) {
@@ -604,7 +734,10 @@ std::vector<ThermalResult> ThermalEngine::solve_steady_batch(
   stats_.batch_candidates += k;
   stats_.steady_solves += k;
   if (warm) stats_.warm_starts += k;
-  for (const ThermalResult& r : results) stats_.total_sweeps += r.iterations;
+  for (const ThermalResult& r : results) {
+    stats_.total_sweeps += r.iterations;
+    stats_.vcycles += r.vcycles;
+  }
   return results;
 }
 
@@ -613,6 +746,27 @@ void ThermalEngine::adopt_candidate(std::size_t index) {
     throw std::out_of_range(
         "ThermalEngine::adopt_candidate: index beyond the last batch");
   temp_ = contexts_[index].temp;  // reuses capacity (sizes match)
+  field_valid_ = true;
+}
+
+FieldSnapshot ThermalEngine::save_field() const {
+  if (!field_valid_)
+    throw std::logic_error(
+        "ThermalEngine::save_field: no solve has produced a field yet");
+  return FieldSnapshot{temp_};
+}
+
+void ThermalEngine::restore_field(const FieldSnapshot& snapshot) {
+  if (snapshot.empty())
+    throw std::invalid_argument(
+        "ThermalEngine::restore_field: empty snapshot");
+  // Before the first assembly the padded size is unknown; accept the
+  // snapshot as-is (build_assembly keeps a field whose size matches the
+  // grid shape it derives).
+  if (!temp_.empty() && snapshot.temp.size() != temp_.size())
+    throw std::invalid_argument(
+        "ThermalEngine::restore_field: snapshot grid shape mismatch");
+  temp_ = snapshot.temp;
   field_valid_ = true;
 }
 
@@ -627,7 +781,7 @@ TransientResult ThermalEngine::solve_transient(
 
 TransientResult ThermalEngine::solve_transient_feedback(
     const FeedbackPower& power_at, const GridD& tsv_density, double t_end_s,
-    double dt_s, std::size_t record_stride) {
+    double dt_s, std::size_t record_stride, Start start) {
   if (t_end_s <= 0.0 || dt_s <= 0.0)
     throw std::invalid_argument("solve_transient: non-positive time");
   if (record_stride == 0) record_stride = 1;
@@ -638,14 +792,23 @@ TransientResult ThermalEngine::solve_transient_feedback(
   const std::size_t px = nx + 1;
   const std::size_t ps = px * (ny + 1);
 
-  // The initial condition is ambient everywhere: it is part of the
-  // problem statement, not an iteration guess, so no warm start here.
-  std::fill(temp_.begin(), temp_.end(), cfg_.ambient_k);
+  // Start::cold is the physical problem statement -- ambient everywhere.
+  // Start::warm continues an earlier trajectory from the engine's
+  // current field (a restore_field checkpoint or a previous transient's
+  // final state); the arithmetic from that state on is identical to the
+  // steps a single longer transient would have taken.
+  const bool warm = start == Start::warm;
+  if (warm && !field_valid_)
+    throw std::logic_error(
+        "solve_transient_feedback: Start::warm without a current field");
+  if (!warm) std::fill(temp_.begin(), temp_.end(), cfg_.ambient_k);
   double* t = field();
 
   // Implicit Euler: (G + C/dt) T_new = P + G_b T_amb + (C/dt) T_old.
   // cap/dt is hoisted out of the step loop; it feeds both the diagonal
-  // and every step's rhs.
+  // and every step's rhs.  Transient steps always use the SOR sweep:
+  // each step warm-starts from the previous one, so the smooth-error
+  // tail multigrid targets never builds up.
   std::vector<double> cap_over_dt(n);
   for (std::size_t i = 0; i < n; ++i) {
     cap_over_dt[i] = a.cap[i] / dt_s;
@@ -655,6 +818,7 @@ TransientResult ThermalEngine::solve_transient_feedback(
   TransientResult out;
   std::vector<GridD> die_temp_prev(tech_.num_dies,
                                    GridD(nx, ny, cfg_.ambient_k));
+  if (warm) extract_die_maps(t, die_temp_prev);
   const auto steps = static_cast<std::size_t>(std::ceil(t_end_s / dt_s));
   out.steps = steps;
   for (std::size_t step = 0; step < steps; ++step) {
@@ -681,7 +845,8 @@ TransientResult ThermalEngine::solve_transient_feedback(
     bool step_converged = false;
     std::size_t step_iters = 0;
     for (std::size_t it = 0; it < cfg_.max_iterations; ++it) {
-      const double delta = sweep(t, rhs_, diag_);
+      const double delta = sweep(t, rhs_.data(), diag_.data(),
+                                 cfg_.sor_omega);
       step_iters = it + 1;
       out.final_state.residual_k = delta;
       if (delta < cfg_.tolerance_k) {
@@ -694,14 +859,7 @@ TransientResult ThermalEngine::solve_transient_feedback(
     ++stats_.transient_steps;
     stats_.total_sweeps += step_iters;
 
-    for (std::size_t d = 0; d < tech_.num_dies; ++d) {
-      const std::size_t l = stack_.layer_of_die[d];
-      for (std::size_t iy = 0; iy < ny; ++iy) {
-        const double* trow = t + l * ps + iy * px;
-        for (std::size_t ix = 0; ix < nx; ++ix)
-          die_temp_prev[d][iy * nx + ix] = trow[ix];
-      }
-    }
+    extract_die_maps(t, die_temp_prev);
 
     if (step % record_stride == 0 || step + 1 == steps) {
       TransientSample s;

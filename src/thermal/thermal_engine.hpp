@@ -18,6 +18,13 @@
 //    arrays.  Nodes of one color only read nodes of the other, so the
 //    stride-2 inner loop carries no dependence, vectorizes, and shards
 //    row ranges across a persistent worker pool (ParallelConfig);
+//  * dispatches every steady-state solve through a SolverPolicy: the
+//    red-black SOR backend, or a geometric multigrid V-cycle over a
+//    per-assembly hierarchy of coarsened conductance networks (see
+//    thermal/multigrid.hpp) that reuses the same red-black sweep as the
+//    smoother on every level -- so sweep sharding and batched solves
+//    work unchanged on the fine level.  A ToleranceSchedule lets hot
+//    loops trade stopping accuracy for sweeps per solve;
 //  * scores k candidate power maps against ONE shared assembly in a
 //    single call (solve_steady_batch): a pool of per-candidate solve
 //    contexts (temperature field + rhs scratch) is kept alive across
@@ -65,6 +72,86 @@ struct ParallelConfig {
   std::size_t min_nodes_per_thread = 4096;
 };
 
+/// Per-solve stopping-rule relaxation.  The steady-state stopping rule
+/// is `max per-node update of a sweep < tolerance_k * scale`: scale 1
+/// (the default) keeps the configured accuracy; a caller that only
+/// needs a coarse ranking of candidate fields (the annealing fast loop)
+/// raises the scale and pays fewer sweeps per solve.  Verification
+/// solves must leave the scale at 1.
+struct ToleranceSchedule {
+  double scale = 1.0;
+
+  /// Effective stopping tolerance for a base accuracy of `base_k`.
+  /// Scales below 1 are clamped: the schedule only ever loosens.
+  [[nodiscard]] double tolerance_for(double base_k) const {
+    return base_k * (scale > 1.0 ? scale : 1.0);
+  }
+};
+
+/// How a steady-state solve is driven: the backend (red-black SOR sweeps
+/// or geometric multigrid V-cycles smoothed by the same sweep) plus the
+/// tolerance schedule.  Derived from ThermalConfig at construction;
+/// the tolerance scale is the one knob callers adjust per solve phase.
+struct SolverPolicy {
+  SolverBackend backend = SolverBackend::sor;
+  /// Coarse levels below the solve grid; 0 = auto (full depth).
+  std::size_t mg_levels = 0;
+  /// Pre- and post-smoothing sweeps per V-cycle level.
+  std::size_t mg_smooth_sweeps = 2;
+  ToleranceSchedule tolerance;
+
+  [[nodiscard]] static SolverPolicy from_config(const ThermalConfig& cfg) {
+    SolverPolicy p;
+    p.backend = cfg.solver;
+    p.mg_levels = cfg.mg_levels;
+    p.mg_smooth_sweeps = cfg.mg_smooth_sweeps;
+    return p;
+  }
+};
+
+/// Flattened conductance network.  Node index: (l * ny + iy) * nx + ix.
+/// Neighbor conductances are stored per node with zeros at the domain
+/// boundary, so the sweep needs no boundary branches.  The multigrid
+/// hierarchy coarsens instances of this struct (2x in x/y, layers kept),
+/// which is why it lives at namespace scope rather than inside the
+/// engine.
+struct Assembly {
+  std::size_t nx = 0, ny = 0, nl = 0;
+  std::vector<double> g_xm, g_xp;   ///< to x-1 / x+1 neighbor
+  std::vector<double> g_ym, g_yp;   ///< to y-1 / y+1 neighbor
+  std::vector<double> g_zm, g_zp;   ///< to layer below / above
+  std::vector<double> diag_static;  ///< sum of the above + boundary paths
+  std::vector<double> bound_rhs;    ///< boundary conductance * T_ambient
+  std::vector<double> cap;          ///< per-node thermal capacitance
+  std::vector<double> g_sink;       ///< per-cell convection (top layer)
+  std::vector<double> g_pkg;        ///< per-cell secondary path (layer 0)
+
+  [[nodiscard]] std::size_t num_nodes() const { return nl * nx * ny; }
+  // Halo field layout for this grid shape: one pad column per row, one
+  // pad row per layer, one pad layer on both ends (see ThermalEngine).
+  [[nodiscard]] std::size_t padded_layer() const {
+    return (nx + 1) * (ny + 1);
+  }
+  [[nodiscard]] std::size_t padded_size() const {
+    return (nl + 2) * padded_layer();
+  }
+  /// Padded index of node (0, 0, 0).
+  [[nodiscard]] std::size_t field_offset() const { return padded_layer(); }
+};
+
+/// One red-black color sweep over rows [row_begin, row_end) of a
+/// halo-layout field (row index r maps to layer r / ny, row r % ny);
+/// returns the shard's max absolute pre-relaxation node update.  Rows of
+/// one color are mutually independent, so disjoint ranges may run
+/// concurrently.  Shared by the engine's (possibly sharded) fine-level
+/// sweeps and the multigrid coarse-level smoothing.
+double sweep_color_rows(const Assembly& a, double omega, double* t, int color,
+                        std::size_t row_begin, std::size_t row_end,
+                        const double* rhs, const double* diag);
+
+class MultigridHierarchy;
+struct MgScratch;
+
 /// Output of a steady-state solve.
 struct ThermalResult {
   /// Temperature map of each die's power layer [K], die 0 first.
@@ -72,7 +159,7 @@ struct ThermalResult {
   /// Temperature maps of every stack layer, bottom to top [K].
   std::vector<GridD> layer_temperature;
   double peak_k = 0.0;            ///< hottest node anywhere in the stack
-  std::size_t iterations = 0;     ///< SOR sweeps used
+  std::size_t iterations = 0;     ///< fine-level red-black sweeps used
   bool converged = false;
   double heat_to_sink_w = 0.0;    ///< power leaving through the heatsink
   double heat_to_package_w = 0.0; ///< power leaving via the secondary path
@@ -80,6 +167,7 @@ struct ThermalResult {
   double residual_k = 0.0;        ///< max node update of the last sweep
   bool warm_started = false;      ///< initial guess was a previous field
   bool assembly_reused = false;   ///< conductance network came from cache
+  std::size_t vcycles = 0;        ///< multigrid V-cycles (0 on the SOR path)
 };
 
 /// One recorded snapshot of a transient solve.
@@ -102,9 +190,23 @@ struct TransientResult {
   std::size_t total_iterations = 0;    ///< SOR sweeps summed over all steps
 };
 
+/// Opaque copy of the engine's padded temperature field, taken with
+/// ThermalEngine::save_field and reinstalled with restore_field.  Lets
+/// callers checkpoint a solver state and replay continuations from it
+/// (e.g. DTM parameter sweeps reusing the t = 0+ heating step).
+struct FieldSnapshot {
+  std::vector<double> temp;
+
+  [[nodiscard]] bool empty() const { return temp.empty(); }
+};
+
 class ThermalEngine {
  public:
-  /// Initial guess policy for a steady-state solve.
+  /// Initial guess policy for a steady-state solve.  For a transient
+  /// solve the same enum selects the initial CONDITION: cold starts the
+  /// trajectory from ambient (the default physical problem statement),
+  /// warm continues it from the engine's current field (a checkpointed
+  /// earlier transient).
   enum class Start {
     warm,  ///< reuse the previous temperature field when available
     cold,  ///< always restart from ambient (legacy GridSolver semantics)
@@ -120,6 +222,7 @@ class ThermalEngine {
     std::size_t total_sweeps = 0;
     std::size_t batch_calls = 0;       ///< solve_steady_batch invocations
     std::size_t batch_candidates = 0;  ///< candidates summed over batches
+    std::size_t vcycles = 0;           ///< multigrid V-cycles run
   };
 
   ThermalEngine(const TechnologyConfig& tech, const ThermalConfig& cfg,
@@ -136,15 +239,28 @@ class ThermalEngine {
   [[nodiscard]] const ThermalConfig& config() const { return cfg_; }
   [[nodiscard]] const Stats& stats() const { return stats_; }
 
+  /// The solve dispatch policy (backend + tolerance schedule), derived
+  /// from ThermalConfig at construction.
+  [[nodiscard]] const SolverPolicy& policy() const { return policy_; }
+  /// Replace the policy wholesale (the multigrid hierarchy is rebuilt
+  /// lazily when its parameters changed).
+  void set_policy(const SolverPolicy& policy);
+  /// Adjust only the tolerance schedule: subsequent steady solves stop
+  /// at tolerance_k * max(1, scale).  The annealer loosens this for
+  /// fast-loop solves (scaled by move size and temperature stage);
+  /// verification engines never touch it.
+  void set_tolerance_scale(double scale);
+
   /// Steady-state solve.  `die_power_w` holds one nx-by-ny map per die
   /// with power in watts per bin; `tsv_density` holds the fraction of
   /// each bin covered by TSV cells.  With Start::warm (the default) the
   /// previous field seeds the iteration; warm and cold solves converge
   /// to the same fixed point and carry the same order of residual error.
-  /// Note the SOR stopping rule bounds the per-sweep update (tolerance_k),
-  /// not the absolute solution error, so warm/cold fields agree to solver
-  /// accuracy -- a small multiple of tolerance_k in practice (the tests
-  /// assert 1e-3 K agreement at tolerance_k = 1e-6) -- not bitwise.
+  /// Note the stopping rule bounds the per-sweep update (tolerance_k),
+  /// not the absolute solution error, so warm/cold fields -- and SOR vs
+  /// multigrid fields -- agree to solver accuracy, a small multiple of
+  /// tolerance_k in practice (the tests assert 1e-3 K agreement at
+  /// tolerance_k = 1e-6), not bitwise.
   [[nodiscard]] ThermalResult solve_steady(
       const std::vector<GridD>& die_power_w, const GridD& tsv_density,
       Start start = Start::warm);
@@ -157,7 +273,8 @@ class ThermalEngine {
   /// k solves are independent and fan out across the worker pool, one
   /// candidate per thread.  Candidate solves sweep serially within a
   /// context, and a batch of one is bitwise-identical to solve_steady
-  /// (threaded single-solve sweeps are bitwise-identical to serial).
+  /// (threaded single-solve sweeps are bitwise-identical to serial);
+  /// both hold for either solver backend.
   ///
   /// The engine's own field is NOT advanced: call adopt_candidate(i)
   /// with the index the caller selected (e.g. the move the annealer
@@ -175,51 +292,53 @@ class ThermalEngine {
   /// Candidates scored by the last solve_steady_batch call.
   [[nodiscard]] std::size_t last_batch_size() const { return batch_size_; }
 
-  /// Transient solve with implicit Euler.  Always starts from ambient
-  /// (the initial condition is part of the problem statement, not a
-  /// guess); the final field is kept as the warm seed for later
-  /// steady-state solves.  `t_end_s` is rounded UP to a whole number of
-  /// dt_s steps, so the final state is at ceil(t_end/dt) * dt.
+  /// Copy of the engine's current temperature field (throws
+  /// std::logic_error when no solve has produced one yet).
+  [[nodiscard]] FieldSnapshot save_field() const;
+  /// Install a snapshot as the engine's current field: the warm seed of
+  /// the next steady solve, or the initial condition of a Start::warm
+  /// transient.  The snapshot must come from an engine with the same
+  /// grid shape (size-checked).
+  void restore_field(const FieldSnapshot& snapshot);
+
+  /// Transient solve with implicit Euler.  Starts from ambient (the
+  /// initial condition is part of the problem statement, not a guess);
+  /// the final field is kept as the warm seed for later steady-state
+  /// solves.  `t_end_s` is rounded UP to a whole number of dt_s steps,
+  /// so the final state is at ceil(t_end/dt) * dt.
   [[nodiscard]] TransientResult solve_transient(
       const std::function<std::vector<GridD>(double time_s)>& power_at,
       const GridD& tsv_density, double t_end_s, double dt_s,
       std::size_t record_stride = 1);
 
   /// Closed-loop variant: the power callback additionally receives the
-  /// previous step's per-die temperature maps.
+  /// previous step's per-die temperature maps.  `start` selects the
+  /// initial condition: Start::cold (the default) is the ambient initial
+  /// condition; Start::warm continues the trajectory from the engine's
+  /// current field (e.g. a restore_field checkpoint), with the first
+  /// callback observing that field -- exactly as if the earlier steps
+  /// had run in the same call.  Time stamps still begin at dt_s; the
+  /// caller offsets them when stitching a continuation.
   using FeedbackPower = std::function<std::vector<GridD>(
       double time_s, const std::vector<GridD>& die_temp_prev)>;
   [[nodiscard]] TransientResult solve_transient_feedback(
       const FeedbackPower& power_at, const GridD& tsv_density,
-      double t_end_s, double dt_s, std::size_t record_stride = 1);
+      double t_end_s, double dt_s, std::size_t record_stride = 1,
+      Start start = Start::cold);
 
   /// Drop the cached assembly and the warm-start field (counters stay).
   void reset();
 
  private:
-  /// Flattened conductance network.  Node index: (l * ny + iy) * nx + ix.
-  /// Neighbor conductances are stored per node with zeros at the domain
-  /// boundary, so the sweep needs no boundary branches.
-  struct Assembly {
-    std::size_t nx = 0, ny = 0, nl = 0;
-    std::vector<double> g_xm, g_xp;   ///< to x-1 / x+1 neighbor
-    std::vector<double> g_ym, g_yp;   ///< to y-1 / y+1 neighbor
-    std::vector<double> g_zm, g_zp;   ///< to layer below / above
-    std::vector<double> diag_static;  ///< sum of the above + boundary paths
-    std::vector<double> bound_rhs;    ///< boundary conductance * T_ambient
-    std::vector<double> cap;          ///< per-node thermal capacitance
-    std::vector<double> g_sink;       ///< per-cell convection (top layer)
-    std::vector<double> g_pkg;        ///< per-cell secondary path (layer 0)
-
-    [[nodiscard]] std::size_t num_nodes() const { return nl * nx * ny; }
-  };
-
   /// One candidate's private solve state: a padded temperature field
-  /// plus rhs scratch.  Everything else a solve needs (the assembly, the
-  /// static diagonal) is shared read-only, so contexts solve in parallel.
+  /// plus rhs scratch and (for the multigrid backend) per-level
+  /// correction scratch.  Everything else a solve needs (the assembly,
+  /// the level hierarchy, the static diagonal) is shared read-only, so
+  /// contexts solve in parallel.
   struct FieldContext {
     std::vector<double> temp;
     std::vector<double> rhs;
+    std::unique_ptr<MgScratch> mg;
   };
 
   void check_inputs(const std::vector<GridD>& die_power_w,
@@ -228,29 +347,43 @@ class ThermalEngine {
   /// from the map the cache was built from.
   const Assembly& assembly_for(const GridD& tsv_density);
   void build_assembly(const GridD& tsv_density);
-  /// One red-black SOR sweep over the padded field `t`; returns the max
-  /// absolute (pre-relaxation) node update.  Dispatches to the worker
-  /// pool when sweep sharding is active, otherwise runs both colors
-  /// inline.
-  double sweep(double* t, const std::vector<double>& rhs,
-               const std::vector<double>& diag);
-  /// Sweep one color of the padded field `t` over the global row range
-  /// [row_begin, row_end) (row index r maps to layer r / ny, row r % ny);
-  /// returns the shard's max node update.  Rows of one color are
-  /// mutually independent, so disjoint ranges may run concurrently.
+  /// Build the multigrid hierarchy for the current assembly if the
+  /// policy asks for it and it is not valid yet.
+  void ensure_hierarchy();
+  /// One red-black sweep (both colors, over-relaxation `omega`) over the
+  /// padded field `t`; returns the max absolute (pre-relaxation) node
+  /// update.  Dispatches each color to the worker pool when sweep
+  /// sharding is active, otherwise runs inline.
+  double sweep(double* t, const double* rhs, const double* diag,
+               double omega);
+  /// Pool entry point: sweep one color over the global row range
+  /// [row_begin, row_end) at the pool job's omega.
   double sweep_rows(double* t, int color, std::size_t row_begin,
                     std::size_t row_end, const double* rhs,
-                    const double* diag) const;
-  /// Sweep `t` serially until tolerance or max_iterations, writing
-  /// iterations/residual/converged into `result`.  Touches no engine
-  /// state, so batched candidates run it concurrently.
-  void solve_field_serial(double* t, const double* rhs, const double* diag,
+                    const double* diag, double omega) const;
+  /// Steady-state solve of one field through the policy backend with
+  /// strictly serial sweeps; writes iterations/residual/converged/
+  /// vcycles into `result`.  Touches no engine state beyond the shared
+  /// read-only assembly/hierarchy, so batched candidates run it
+  /// concurrently (each with its own `mg` scratch).
+  void solve_field_serial(double* t, const double* rhs, MgScratch* mg,
                           ThermalResult& result) const;
+  /// The engine's own steady solve loop: policy dispatch with sharded
+  /// fine-level sweeps.
+  void solve_field(double* t, const double* rhs, ThermalResult& result);
+  /// One multigrid V-cycle on the fine field `t`.  `fine_sweep` performs
+  /// one full red-black sweep on the fine level (sharded or serial);
+  /// coarse levels always smooth serially.  Returns the last
+  /// post-smoothing sweep's max node update (the convergence measure).
+  double vcycle(double* t, const double* rhs, MgScratch& scratch,
+                const std::function<double()>& fine_sweep) const;
   /// Build `rhs` for a steady solve (power injection + boundary terms).
   void fill_steady_rhs(const std::vector<GridD>& die_power_w,
                        std::vector<double>& rhs) const;
   /// Copy a padded field into a ThermalResult (maps, peak, heat flows).
   void extract_field(const double* t, ThermalResult& result) const;
+  /// Extract the per-die temperature maps of a padded field.
+  void extract_die_maps(const double* t, std::vector<GridD>& maps) const;
 
   [[nodiscard]] double* field() { return temp_.data() + field_offset_; }
   [[nodiscard]] const double* field() const {
@@ -260,6 +393,7 @@ class ThermalEngine {
   TechnologyConfig tech_;
   ThermalConfig cfg_;
   LayerStack stack_;
+  SolverPolicy policy_;
 
   /// Persistent workers, serving both row-sharded sweeps and batched
   /// per-candidate solves.  Created eagerly at the floored sweep width
@@ -281,6 +415,14 @@ class ThermalEngine {
   bool asm_valid_ = false;
   /// The TSV-density data the cached assembly was built from.
   std::vector<double> asm_tsv_;
+
+  /// Coarsened-conductance hierarchy for the multigrid backend, built
+  /// lazily per assembly (invalidated whenever the assembly rebuilds)
+  /// and shared read-only by batched candidate solves.
+  std::unique_ptr<MultigridHierarchy> mg_;
+  /// The engine's own per-level V-cycle scratch (batched candidates
+  /// carry their own in their FieldContext).
+  std::unique_ptr<MgScratch> mg_scratch_;
 
   /// Temperature field in a halo layout: each row carries one pad column
   /// (stride nx + 1), each layer one pad row (stride (nx+1) * (ny+1)),

@@ -158,6 +158,40 @@ TEST(ApplyThermal, OverlaysAndValidates) {
   EXPECT_THROW(apply_thermal(bad, t2), std::invalid_argument);
 }
 
+TEST(ApplyThermal, SolverBackendSelection) {
+  const auto cfg = ConfigFile::parse(
+      "[thermal]\n"
+      "solver = multigrid\n"
+      "mg_levels = 3\n"
+      "mg_smooth_sweeps = 1\n");
+  ThermalConfig thermal;
+  apply_thermal(cfg, thermal);
+  EXPECT_EQ(thermal.solver, SolverBackend::multigrid);
+  EXPECT_EQ(thermal.mg_levels, 3u);
+  EXPECT_EQ(thermal.mg_smooth_sweeps, 1u);
+
+  ThermalConfig defaults;
+  apply_thermal(ConfigFile::parse(""), defaults);
+  EXPECT_EQ(defaults.solver, SolverBackend::sor);
+
+  const auto bad = ConfigFile::parse("[thermal]\nsolver = jacobi\n");
+  ThermalConfig t2;
+  EXPECT_THROW(apply_thermal(bad, t2), ConfigError);
+
+  const auto zero_sweeps =
+      ConfigFile::parse("[thermal]\nmg_smooth_sweeps = 0\n");
+  ThermalConfig t3;
+  EXPECT_THROW(apply_thermal(zero_sweeps, t3), std::invalid_argument);
+}
+
+TEST(MakeFloorplannerOptions, InnerToleranceScaleOverlay) {
+  const auto cfg = ConfigFile::parse(
+      "[floorplanning]\n"
+      "inner_tolerance_scale = 5\n");
+  const auto opt = make_floorplanner_options(cfg);
+  EXPECT_DOUBLE_EQ(opt.anneal.inner_tolerance_scale, 5.0);
+}
+
 TEST(MakeFloorplannerOptions, ModePresetThenOverrides) {
   const auto cfg = ConfigFile::parse(
       "[floorplanning]\n"

@@ -305,5 +305,99 @@ TEST(Dtm, InvalidOptionsThrow) {
                std::invalid_argument);
 }
 
+void expect_bitwise_equal(const DtmResult& a, const DtmResult& b) {
+  EXPECT_EQ(a.time_over_trigger_s, b.time_over_trigger_s);
+  EXPECT_EQ(a.peak_k, b.peak_k);
+  EXPECT_EQ(a.throttled_time_s, b.throttled_time_s);
+  EXPECT_EQ(a.performance_loss, b.performance_loss);
+  EXPECT_EQ(a.estimate_rmse_k, b.estimate_rmse_k);
+  EXPECT_EQ(a.control_actions, b.control_actions);
+  EXPECT_EQ(a.sensor_reads, b.sensor_reads);
+  EXPECT_EQ(a.thermal_converged, b.thermal_converged);
+}
+
+TEST(Dtm, CheckpointReuseIsBitwiseEquivalent) {
+  // A DTM parameter sweep re-runs the same t = 0+ heating step; the
+  // checkpoint replaces that solve on the second run and must change
+  // NOTHING about the results -- same RNG stream, same controller
+  // trajectory, same temperatures, bit for bit.
+  const auto fp = hot_design();
+  DtmOptions opt;
+  opt.trigger_k = 316.0;
+  opt.release_k = 314.0;
+  opt.sensor_noise_k = 0.5;
+
+  DtmCheckpoint checkpoint;
+  Rng rng_a(31), rng_b(31);
+  const auto solver_a = small_solver(fp);
+  const auto fresh = run_dtm(fp, solver_a, 1.0, 0.01, rng_a, opt,
+                             &checkpoint);
+  EXPECT_FALSE(fresh.checkpoint_reused);
+  EXPECT_TRUE(fresh.checkpoint_captured);
+  ASSERT_TRUE(checkpoint.valid);
+
+  const auto solver_b = small_solver(fp);
+  const auto reused = run_dtm(fp, solver_b, 1.0, 0.01, rng_b, opt,
+                              &checkpoint);
+  EXPECT_TRUE(reused.checkpoint_reused);
+  EXPECT_FALSE(reused.checkpoint_captured);
+  expect_bitwise_equal(fresh, reused);
+
+  // And with different controller parameters (the sweep case): reuse
+  // still fires -- the first step is controller-independent -- and the
+  // result matches a fresh run under the same parameters exactly.
+  DtmOptions proactive = opt;
+  proactive.lookahead_periods = 3.0;
+  proactive.trigger_k = 320.0;
+  proactive.release_k = 318.0;
+  Rng rng_c(31), rng_d(31);
+  const auto swept = run_dtm(fp, small_solver(fp), 1.0, 0.01, rng_c,
+                             proactive, &checkpoint);
+  EXPECT_TRUE(swept.checkpoint_reused);
+  const auto swept_fresh =
+      run_dtm(fp, small_solver(fp), 1.0, 0.01, rng_d, proactive);
+  expect_bitwise_equal(swept, swept_fresh);
+}
+
+TEST(Dtm, CheckpointMismatchFallsBackToFreshSolve) {
+  const auto fp = hot_design();
+  DtmOptions opt;
+  opt.trigger_k = 1e6;
+  opt.release_k = 1e6 - 1.0;
+  opt.control_period_s = 0.05;  // above both dt values used below
+
+  DtmCheckpoint checkpoint;
+  Rng rng_a(37);
+  (void)run_dtm(fp, small_solver(fp), 1.0, 0.01, rng_a, opt, &checkpoint);
+  ASSERT_TRUE(checkpoint.valid);
+
+  // A different dt invalidates the checkpoint: the run must fall back
+  // (and recapture), matching a checkpoint-free run bitwise.
+  Rng rng_b(37), rng_c(37);
+  const auto other_dt = run_dtm(fp, small_solver(fp), 1.0, 0.02, rng_b, opt,
+                                &checkpoint);
+  EXPECT_FALSE(other_dt.checkpoint_reused);
+  EXPECT_TRUE(other_dt.checkpoint_captured);
+  const auto plain = run_dtm(fp, small_solver(fp), 1.0, 0.02, rng_c, opt);
+  expect_bitwise_equal(other_dt, plain);
+  EXPECT_EQ(checkpoint.dt_s, 0.02);  // recaptured for the new sweep
+}
+
+TEST(Dtm, CheckpointlessRunsUnaffectedByApi) {
+  // nullptr checkpoint (every pre-existing caller): identical to a run
+  // that captures -- capturing is observation only.
+  const auto fp = hot_design();
+  DtmOptions opt;
+  opt.trigger_k = 316.0;
+  opt.release_k = 314.0;
+  DtmCheckpoint checkpoint;
+  Rng rng_a(41), rng_b(41);
+  const auto with = run_dtm(fp, small_solver(fp), 0.5, 0.01, rng_a, opt,
+                            &checkpoint);
+  const auto without = run_dtm(fp, small_solver(fp), 0.5, 0.01, rng_b, opt);
+  EXPECT_FALSE(without.checkpoint_captured);
+  expect_bitwise_equal(with, without);
+}
+
 }  // namespace
 }  // namespace tsc3d::mitigation
