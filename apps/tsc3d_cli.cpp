@@ -34,6 +34,7 @@ struct CliArgs {
   std::string blocks, nets, pl, power;
   std::string mode;  // empty = from config / default
   std::string solver;  // empty = from config / default
+  std::string incremental;  // empty = from config / default
   std::string out;
   std::uint64_t seed = 1;
   std::size_t moves = 0;
@@ -59,6 +60,10 @@ void print_usage() {
       "  --mode=power|tsc  flow preset (overrides config)\n"
       "  --solver=NAME     steady-state thermal backend: sor (default) or\n"
       "                    multigrid (V-cycles; wins on cold/large solves)\n"
+      "  --incremental=on|off\n"
+      "                    incremental move evaluation (dirty-die repack +\n"
+      "                    cached wirelength/delay/outline; default on,\n"
+      "                    bitwise-identical results either way)\n"
       "  --seed=N          RNG seed (default 1)\n"
       "  --moves=N         SA moves (0 = auto)\n"
       "  --batch=K         candidate moves scored per annealing step\n"
@@ -92,6 +97,8 @@ CliArgs parse_args(int argc, char** argv) {
     else if (arg.rfind("--power=", 0) == 0) args.power = value("--power=");
     else if (arg.rfind("--mode=", 0) == 0) args.mode = value("--mode=");
     else if (arg.rfind("--solver=", 0) == 0) args.solver = value("--solver=");
+    else if (arg.rfind("--incremental=", 0) == 0)
+      args.incremental = value("--incremental=");
     else if (arg.rfind("--seed=", 0) == 0)
       args.seed = std::stoull(value("--seed="));
     else if (arg.rfind("--moves=", 0) == 0)
@@ -144,6 +151,12 @@ int main(int argc, char** argv) {
       opt.thermal.solver = SolverBackend::multigrid;
     else if (!args.solver.empty())
       throw std::runtime_error("--solver must be 'sor' or 'multigrid'");
+    if (args.incremental == "on")
+      opt.incremental_eval = true;
+    else if (args.incremental == "off")
+      opt.incremental_eval = false;
+    else if (!args.incremental.empty())
+      throw std::runtime_error("--incremental must be 'on' or 'off'");
 
     TechnologyConfig tech;
     config::apply_technology(cfg, tech);

@@ -35,7 +35,8 @@ void BM_SequencePairPack(benchmark::State& state) {
   }
   state.SetComplexityN(static_cast<int64_t>(n));
 }
-BENCHMARK(BM_SequencePairPack)->Arg(50)->Arg(200)->Arg(800)->Complexity();
+BENCHMARK(BM_SequencePairPack)
+    ->Arg(50)->Arg(200)->Arg(800)->Arg(2000)->Arg(5000)->Complexity();
 
 void BM_SteadyStateSolve(benchmark::State& state) {
   const auto g = static_cast<std::size_t>(state.range(0));
@@ -274,6 +275,148 @@ void BM_CheapCostEvaluation(benchmark::State& state) {
   }
 }
 BENCHMARK(BM_CheapCostEvaluation)->Unit(benchmark::kMicrosecond);
+
+/// The n800 scale instance the incremental-evaluation gate runs on:
+/// GSRC-style, all soft, net/terminal/outline/power densities on the
+/// n300 -> n1000 trend (see benchgen::scale_specs).
+const benchgen::BenchmarkSpec& n800_spec() {
+  static const benchgen::BenchmarkSpec spec{"n800",  0,     800, 10.0,
+                                            5040,    600,   61.44, 34.8};
+  return spec;
+}
+
+/// The annealer's cheap-evaluation inner loop at n800: real proposal
+/// moves (run_stage with a huge full-eval interval, so every move is
+/// move -> apply_to -> evaluate_cheap -> Metropolis), with the
+/// incremental pipeline on (incremental:1) or the seed's
+/// rescan-everything path (incremental:0).  items_per_second is
+/// annealing moves per second; scripts/check_perf.py gates
+/// incremental:1's absolute moves/sec (--min-moves-per-sec) plus the
+/// step-level speedup, and gates the >= 5x cheap-eval ratio on
+/// BM_CheapEval (the evaluator call isolated from move proposal and
+/// repacking, which the incremental pipeline cannot skip).
+void BM_AnnealStepCheap(benchmark::State& state) {
+  const bool incremental = state.range(0) != 0;
+  Floorplan3D fp = benchgen::generate(n800_spec(), 1);
+  ThermalConfig cfg;
+  cfg.grid_nx = cfg.grid_ny = 32;
+  const thermal::GridSolver solver(fp.tech(), cfg);
+  const thermal::PowerBlur blur(solver, 10);
+  floorplan::CostEvaluator::Options eval_opt;
+  eval_opt.leakage_grid = 32;
+  eval_opt.incremental = incremental;
+  eval_opt.cross_check_interval = 0;  // measure the pipeline, not the guard
+  floorplan::CostEvaluator eval(fp, blur, eval_opt);
+
+  constexpr std::size_t kMovesPerStage = 16;
+  floorplan::AnnealOptions aopt;
+  aopt.stages = 1u << 26;  // never exhausted within the benchmark
+  aopt.total_moves = aopt.stages * kMovesPerStage;
+  aopt.full_eval_interval = ~std::size_t{0};  // cheap evals only
+  aopt.thermal_eval_interval = 0;
+  floorplan::Annealer annealer(fp, eval, aopt);
+
+  Rng rng(1);
+  floorplan::LayoutState s = floorplan::LayoutState::initial(fp, rng);
+  if (!incremental) s.disable_tracking();  // seed path: repack everything
+  floorplan::AnnealSession session = annealer.begin(s, rng);
+  for (auto _ : state) {
+    annealer.run_stage(session, rng);
+    benchmark::DoNotOptimize(session.current.total);
+  }
+  state.SetItemsProcessed(static_cast<int64_t>(state.iterations()) *
+                          static_cast<int64_t>(kMovesPerStage));
+}
+BENCHMARK(BM_AnnealStepCheap)
+    ->ArgName("incremental")->Arg(0)->Arg(1)
+    ->Unit(benchmark::kMillisecond)->UseRealTime();
+
+/// Cheap-evaluation throughput at n800 -- the tentpole's gated quantity.
+/// Each iteration proposes and applies a real layout perturbation (an
+/// intra-die sequence swap or a rotate, the annealer's dominant move
+/// kinds) with the timer PAUSED, then times only evaluate_cheap():
+/// incremental:1 recomputes dirty nets and re-sums in canonical order,
+/// incremental:0 rescans every net and rebuilds every die span (the seed
+/// path).  scripts/check_perf.py gates incremental:1 over incremental:0
+/// at >= 5x.
+void BM_CheapEval(benchmark::State& state) {
+  const bool incremental = state.range(0) != 0;
+  Floorplan3D fp = benchgen::generate(n800_spec(), 1);
+  ThermalConfig cfg;
+  cfg.grid_nx = cfg.grid_ny = 32;
+  const thermal::GridSolver solver(fp.tech(), cfg);
+  const thermal::PowerBlur blur(solver, 10);
+  floorplan::CostEvaluator::Options eval_opt;
+  eval_opt.leakage_grid = 32;
+  eval_opt.incremental = incremental;
+  eval_opt.cross_check_interval = 0;  // measure the pipeline, not the guard
+  floorplan::CostEvaluator eval(fp, blur, eval_opt);
+  Rng rng(1);
+  floorplan::LayoutState s = floorplan::LayoutState::initial(fp, rng);
+  if (!incremental) s.disable_tracking();  // seed path: repack everything
+  s.apply_to(fp);
+  benchmark::DoNotOptimize(eval.evaluate_cheap().total);  // prime caches
+  for (auto _ : state) {
+    state.PauseTiming();
+    if (rng.uniform() < 0.8) {
+      floorplan::SequencePair& sp = s.die_sp[rng.index(s.die_sp.size())];
+      const std::size_t i = rng.index(sp.size());
+      std::size_t j = rng.index(sp.size() - 1);
+      if (j >= i) ++j;
+      sp.swap_both(sp.positive()[i], sp.positive()[j]);
+      s.touch_die(s.die_of[sp.positive()[i]]);
+    } else {
+      const std::size_t id = rng.index(s.width.size());
+      std::swap(s.width[id], s.height[id]);
+      s.touch_die(s.die_of[id]);
+    }
+    s.apply_to(fp);
+    state.ResumeTiming();
+    benchmark::DoNotOptimize(eval.evaluate_cheap().total);
+  }
+  state.SetItemsProcessed(static_cast<int64_t>(state.iterations()));
+}
+BENCHMARK(BM_CheapEval)
+    ->ArgName("incremental")->Arg(0)->Arg(1)
+    ->Unit(benchmark::kMicrosecond);
+
+/// One-module perturbation -> hpwl_cached(): the dirty-net recompute plus
+/// the canonical re-sum, i.e. the per-move wirelength cost of the
+/// incremental pipeline.
+void BM_IncrementalHpwl(benchmark::State& state) {
+  Floorplan3D fp = benchgen::generate(n800_spec(), 1);
+  Rng rng(1);
+  floorplan::LayoutState s = floorplan::LayoutState::initial(fp, rng);
+  s.apply_to(fp);
+  benchmark::DoNotOptimize(fp.hpwl_cached());  // prime the per-net cache
+  double delta = 0.25;
+  for (auto _ : state) {
+    const std::size_t id = rng.index(fp.modules().size());
+    fp.modules()[id].shape.x += delta;
+    delta = -delta;  // alternate so the layout cannot drift
+    fp.note_module_moved(id);
+    benchmark::DoNotOptimize(fp.hpwl_cached());
+  }
+}
+BENCHMARK(BM_IncrementalHpwl)->Unit(benchmark::kMicrosecond);
+
+/// The same perturbation through the full rescan -- the baseline
+/// BM_IncrementalHpwl replaces (reported for context; the end-to-end
+/// ratio is gated via BM_AnnealStepCheap).
+void BM_FullHpwl(benchmark::State& state) {
+  Floorplan3D fp = benchgen::generate(n800_spec(), 1);
+  Rng rng(1);
+  floorplan::LayoutState s = floorplan::LayoutState::initial(fp, rng);
+  s.apply_to(fp);
+  double delta = 0.25;
+  for (auto _ : state) {
+    const std::size_t id = rng.index(fp.modules().size());
+    fp.modules()[id].shape.x += delta;
+    delta = -delta;
+    benchmark::DoNotOptimize(fp.hpwl());
+  }
+}
+BENCHMARK(BM_FullHpwl)->Unit(benchmark::kMicrosecond);
 
 }  // namespace
 

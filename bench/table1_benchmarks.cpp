@@ -14,34 +14,41 @@ int main(int argc, char** argv) {
                                                          std::size_t{1}));
 
   std::cout << "=== Table 1: benchmark properties (spec vs generated) ===\n\n";
-  bench::Table table({"name", "modules (h/s)", "scale", "#nets", "#pins",
-                      "#terminals", "outline [mm2]", "power@1.0V [W]"});
   bool all_match = true;
-  for (const benchgen::BenchmarkSpec& spec : benchgen::table1_specs()) {
-    const Floorplan3D fp = benchgen::generate(spec, seed);
-    std::size_t hard = 0;
-    double power = 0.0;
-    for (const Module& m : fp.modules()) {
-      hard += m.soft ? 0 : 1;
-      power += m.power_w;
+  const auto check_tier = [&](const std::vector<benchgen::BenchmarkSpec>&
+                                  specs) {
+    bench::Table table({"name", "modules (h/s)", "scale", "#nets", "#pins",
+                        "#terminals", "outline [mm2]", "power@1.0V [W]"});
+    for (const benchgen::BenchmarkSpec& spec : specs) {
+      const Floorplan3D fp = benchgen::generate(spec, seed);
+      std::size_t hard = 0;
+      double power = 0.0;
+      for (const Module& m : fp.modules()) {
+        hard += m.soft ? 0 : 1;
+        power += m.power_w;
+      }
+      std::size_t pins = 0;
+      for (const Net& n : fp.nets()) pins += n.pins.size();
+      table.add_row({spec.name,
+                     std::to_string(hard) + "/" +
+                         std::to_string(fp.modules().size() - hard),
+                     bench::fmt(spec.scale_factor, 0),
+                     std::to_string(fp.nets().size()), std::to_string(pins),
+                     std::to_string(fp.terminals().size()),
+                     bench::fmt(spec.outline_mm2, 2), bench::fmt(power, 2)});
+      all_match &= hard == spec.hard_modules &&
+                   fp.modules().size() == spec.total_modules() &&
+                   fp.nets().size() == spec.num_nets &&
+                   fp.terminals().size() == spec.num_terminals &&
+                   std::abs(power - spec.power_w) < 1e-6;
     }
-    std::size_t pins = 0;
-    for (const Net& n : fp.nets()) pins += n.pins.size();
-    table.add_row({spec.name,
-                   std::to_string(hard) + "/" +
-                       std::to_string(fp.modules().size() - hard),
-                   bench::fmt(spec.scale_factor, 0),
-                   std::to_string(fp.nets().size()), std::to_string(pins),
-                   std::to_string(fp.terminals().size()),
-                   bench::fmt(spec.outline_mm2, 2), bench::fmt(power, 2)});
-    all_match &= hard == spec.hard_modules &&
-                 fp.modules().size() == spec.total_modules() &&
-                 fp.nets().size() == spec.num_nets &&
-                 fp.terminals().size() == spec.num_terminals &&
-                 std::abs(power - spec.power_w) < 1e-6;
-  }
-  table.print();
-  std::cout << "\nall instances match Table 1 specs: "
+    table.print();
+  };
+  check_tier(benchgen::table1_specs());
+  std::cout << "\n--- scale tier (beyond the paper; incremental-eval "
+               "workloads) ---\n";
+  check_tier(benchgen::scale_specs());
+  std::cout << "\nall instances match their specs: "
             << (all_match ? "YES" : "NO") << "\n";
   return all_match ? 0 : 1;
 }

@@ -1,7 +1,7 @@
 #!/usr/bin/env python3
 """Perf gates for CI over a google-benchmark JSON report.
 
-Five checks, in order:
+Seven checks, in order:
 
 1. Warm-start gate (hard): the warm-started steady solve must be at
    least --min-warm-speedup (default 2.0) times faster than the cold
@@ -28,14 +28,27 @@ Five checks, in order:
    warm 64x64 gate (check 1) and the drift check keep the warm path
    honest at the same time.  Skipped like the scaling gate when the
    entries are missing, unless --require-scaling is given.
-5. Baseline drift (soft by default): benchmarks present in both the
+5. Cheap-eval gate (hard): the incremental cheap evaluation at n800
+   (BM_CheapEval/incremental:1 -- per-net HPWL/delay caches plus
+   dirty-die bounds, isolated from move proposal and repacking) must be
+   at least --min-cheap-eval-speedup (default 5.0) times faster than
+   the full-rescan path (incremental:0) -- the incremental-evaluation
+   contract since PR 6.  Skipped like the scaling gate when the entries
+   are missing, unless --require-scaling is given.
+6. Moves/sec gate (hard): the end-to-end annealing step loop at n800
+   with the incremental pipeline on (BM_AnnealStepCheap/incremental:1)
+   must sustain at least --min-moves-per-sec moves per second (default
+   1500; the step-level speedup over incremental:0 is printed for
+   context).  Skipped like the scaling gate when the entries are
+   missing, unless --require-scaling is given.
+7. Baseline drift (soft by default): benchmarks present in both the
    report and --baseline are compared; regressions beyond
    --max-regression (default 2.5x) fail the check.  The generous
    default tolerates CI-runner variance while still catching
-   catastrophic slowdowns against the committed BENCH_pr5.json.
+   catastrophic slowdowns against the committed BENCH_pr6.json.
 
 Usage:
-  check_perf.py RESULT.json [--baseline BENCH_pr5.json] [options]
+  check_perf.py RESULT.json [--baseline BENCH_pr6.json] [options]
 """
 import argparse
 import json
@@ -48,15 +61,31 @@ AGG = "_median"
 
 def load_times(path, agg=AGG):
     """Map benchmark name (aggregate suffix stripped) -> real_time."""
+    return {name: t for name, (t, _) in load_report(path, agg).items()}
+
+
+def load_report(path, agg=AGG):
+    """Map name (aggregate stripped) -> (real_time, items_per_second).
+
+    items_per_second is None for benchmarks without SetItemsProcessed.
+    Unaggregated reports (no repetitions) fall back to the plain entries.
+    """
     with open(path) as fh:
         data = json.load(fh)
-    times = {}
+    report = {}
+    plain = {}
     for bench in data.get("benchmarks", []):
         name = bench["name"]
-        if not name.endswith(agg):
-            continue
-        times[name[: -len(agg)]] = float(bench["real_time"])
-    return times
+        if "real_time" not in bench:
+            continue  # complexity-fit entries (_BigO/_RMS) have no time
+        ips = bench.get("items_per_second")
+        row = (float(bench["real_time"]),
+               float(ips) if ips is not None else None)
+        if name.endswith(agg):
+            report[name[: -len(agg)]] = row
+        elif bench.get("run_type", "iteration") == "iteration":
+            plain[name] = row
+    return report or plain
 
 
 def main():
@@ -68,6 +97,8 @@ def main():
     parser.add_argument("--scaling-threads", type=int, default=4)
     parser.add_argument("--min-batch-speedup", type=float, default=1.5)
     parser.add_argument("--min-mg-speedup", type=float, default=2.0)
+    parser.add_argument("--min-cheap-eval-speedup", type=float, default=5.0)
+    parser.add_argument("--min-moves-per-sec", type=float, default=1500.0)
     parser.add_argument("--max-regression", type=float, default=2.5)
     parser.add_argument(
         "--require-scaling", action="store_true",
@@ -75,7 +106,8 @@ def main():
              "batched-eval entries are missing")
     args = parser.parse_args()
 
-    times = load_times(args.result)
+    report = load_report(args.result)
+    times = {name: t for name, (t, _) in report.items()}
     failures = []
 
     # --- 1. warm-start speedup -------------------------------------------
@@ -155,7 +187,48 @@ def main():
                 f"multigrid speedup {speedup:.2f}x below the "
                 f"{args.min_mg_speedup:.1f}x gate")
 
-    # --- 5. drift against the committed baseline -------------------------
+    # --- 5. incremental cheap-eval speedup at n800 -----------------------
+    full_eval = times.get("BM_CheapEval/incremental:0")
+    inc_eval = times.get("BM_CheapEval/incremental:1")
+    if full_eval is None or inc_eval is None:
+        msg = "cheap-eval benchmarks missing from the report"
+        if args.require_scaling:
+            failures.append(msg)
+        else:
+            print(f"cheap-eval: SKIPPED ({msg})")
+    else:
+        speedup = full_eval / inc_eval
+        print(f"cheap-eval: full rescan {full_eval:.2f} vs incremental "
+              f"{inc_eval:.2f} ({speedup:.2f}x, gate >= "
+              f"{args.min_cheap_eval_speedup:.1f}x)")
+        if speedup < args.min_cheap_eval_speedup:
+            failures.append(
+                f"cheap-eval speedup {speedup:.2f}x below the "
+                f"{args.min_cheap_eval_speedup:.1f}x gate")
+
+    # --- 6. absolute annealing throughput at n800 ------------------------
+    step_name = "BM_AnnealStepCheap/incremental:1/real_time"
+    step_seed = "BM_AnnealStepCheap/incremental:0/real_time"
+    moves_per_sec = report.get(step_name, (None, None))[1]
+    if moves_per_sec is None:
+        msg = "annealing-step benchmarks missing from the report"
+        if args.require_scaling:
+            failures.append(msg)
+        else:
+            print(f"moves/sec: SKIPPED ({msg})")
+    else:
+        print(f"moves/sec: {moves_per_sec:.0f} at n800 incremental "
+              f"(gate >= {args.min_moves_per_sec:.0f})")
+        if step_name in times and step_seed in times:
+            print(f"moves/sec: step-level speedup over the seed path "
+                  f"{times[step_seed] / times[step_name]:.2f}x "
+                  f"(informational)")
+        if moves_per_sec < args.min_moves_per_sec:
+            failures.append(
+                f"annealing throughput {moves_per_sec:.0f} moves/sec "
+                f"below the {args.min_moves_per_sec:.0f} gate")
+
+    # --- 7. drift against the committed baseline -------------------------
     if args.baseline:
         baseline = load_times(args.baseline)
         shared = sorted(set(times) & set(baseline))

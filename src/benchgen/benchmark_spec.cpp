@@ -22,8 +22,22 @@ const std::vector<BenchmarkSpec>& table1_specs() {
   return specs;
 }
 
+const std::vector<BenchmarkSpec>& scale_specs() {
+  // Extrapolated GSRC-style rows: nets ~6.3/module (n300's ratio), one
+  // terminal per ~1.9 modules capped near the GSRC plateau, outline and
+  // power scaled with module count at n300's per-module density.
+  static const std::vector<BenchmarkSpec> specs = {
+      {"n1000", 0, 1000, 10.0, 6300, 600, 76.8, 43.5},
+      {"n2000", 0, 2000, 10.0, 12600, 640, 153.6, 87.0},
+  };
+  return specs;
+}
+
 const BenchmarkSpec& spec_by_name(const std::string& name) {
   for (const BenchmarkSpec& s : table1_specs()) {
+    if (s.name == name) return s;
+  }
+  for (const BenchmarkSpec& s : scale_specs()) {
     if (s.name == name) return s;
   }
   throw std::out_of_range("unknown benchmark: " + name);

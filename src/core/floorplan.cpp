@@ -127,33 +127,188 @@ std::size_t Floorplan3D::tsv_count(TsvKind kind) const {
   return n;
 }
 
-double Floorplan3D::hpwl() const {
-  double total = 0.0;
-  for (const Net& net : nets_) {
-    if (net.pins.size() < 2) continue;
-    double x0 = 0.0, x1 = 0.0, y0 = 0.0, y1 = 0.0;
-    bool first = true;
-    for (const NetPin& pin : net.pins) {
-      Point p;
-      if (pin.is_terminal()) {
-        p = terminals_.at(pin.terminal).position;
-      } else {
-        p = modules_.at(pin.module).shape.center();
-      }
-      if (first) {
-        x0 = x1 = p.x;
-        y0 = y1 = p.y;
-        first = false;
-      } else {
-        x0 = std::min(x0, p.x);
-        x1 = std::max(x1, p.x);
-        y0 = std::min(y0, p.y);
-        y1 = std::max(y1, p.y);
-      }
+double Floorplan3D::net_box_len(const Net& net) const {
+  double x0 = 0.0, x1 = 0.0, y0 = 0.0, y1 = 0.0;
+  bool first = true;
+  for (const NetPin& pin : net.pins) {
+    Point p;
+    if (pin.is_terminal()) {
+      p = terminals_.at(pin.terminal).position;
+    } else {
+      p = modules_.at(pin.module).shape.center();
     }
-    total += net.weight * ((x1 - x0) + (y1 - y0));
+    if (first) {
+      x0 = x1 = p.x;
+      y0 = y1 = p.y;
+      first = false;
+    } else {
+      x0 = std::min(x0, p.x);
+      x1 = std::max(x1, p.x);
+      y0 = std::min(y0, p.y);
+      y1 = std::max(y1, p.y);
+    }
+  }
+  return (x1 - x0) + (y1 - y0);
+}
+
+double Floorplan3D::net_hpwl(const Net& net) const {
+  if (net.pins.size() < 2) return 0.0;
+  return net.weight * net_box_len(net);
+}
+
+double Floorplan3D::hpwl() const {
+  // Full recompute, summing per-net boxes in canonical net order.  The
+  // incremental hpwl_cached() recomputes only dirty nets with the SAME
+  // per-net arithmetic and re-sums in the SAME order, so the two are
+  // bitwise-equal whenever the tracking invariant holds.
+  double total = 0.0;
+  for (const Net& net : nets_) total += net_hpwl(net);
+  return total;
+}
+
+// --- incremental layout tracking -----------------------------------------
+
+void Floorplan3D::ensure_net_index() const {
+  if (net_index_ready_ && nets_of_module_.size() == modules_.size() &&
+      net_epoch_.size() == nets_.size())
+    return;
+  nets_of_module_.assign(modules_.size(), {});
+  for (std::size_t n = 0; n < nets_.size(); ++n) {
+    for (const NetPin& pin : nets_[n].pins) {
+      if (!pin.is_terminal() && pin.module < modules_.size())
+        nets_of_module_[pin.module].push_back(n);
+    }
+  }
+  // Fresh epochs strictly above anything handed out before, so every
+  // external per-net cache keyed on old epochs misses after a rebuild.
+  net_epoch_.assign(nets_.size(), ++layout_epoch_);
+  net_die_epoch_.assign(nets_.size(), layout_epoch_);
+  net_index_ready_ = true;
+}
+
+void Floorplan3D::ensure_die_caches() const {
+  if (die_bounds_.size() != tech_.num_dies) {
+    die_bounds_.assign(tech_.num_dies, DieBounds{});
+    die_bounds_valid_.assign(tech_.num_dies, false);
+    die_stamp_.assign(tech_.num_dies, LayoutStamp{});
+  }
+}
+
+void Floorplan3D::note_module_moved(std::size_t i, bool die_changed) {
+  ensure_net_index();
+  ensure_die_caches();
+  ++layout_epoch_;
+  for (const std::size_t n : nets_of_module_[i]) {
+    net_epoch_[n] = layout_epoch_;
+    if (die_changed) net_die_epoch_[n] = layout_epoch_;
+  }
+  const std::size_t d = modules_[i].die;
+  if (d < die_bounds_valid_.size()) die_bounds_valid_[d] = false;
+}
+
+const std::vector<std::size_t>& Floorplan3D::nets_of_module(
+    std::size_t i) const {
+  ensure_net_index();
+  return nets_of_module_.at(i);
+}
+
+std::uint64_t Floorplan3D::net_epoch(std::size_t n) const {
+  ensure_net_index();
+  return net_epoch_.at(n);
+}
+
+std::uint64_t Floorplan3D::net_die_epoch(std::size_t n) const {
+  ensure_net_index();
+  return net_die_epoch_.at(n);
+}
+
+const std::vector<std::uint64_t>& Floorplan3D::net_epochs() const {
+  ensure_net_index();
+  return net_epoch_;
+}
+
+const std::vector<std::uint64_t>& Floorplan3D::net_die_epochs() const {
+  ensure_net_index();
+  return net_die_epoch_;
+}
+
+double Floorplan3D::hpwl_cached() {
+  ensure_net_index();
+  if (net_hpwl_cache_.size() != nets_.size()) {
+    net_hpwl_cache_.assign(nets_.size(), 0.0);
+    net_len_cache_.assign(nets_.size(), 0.0);
+    net_hpwl_epoch_.assign(nets_.size(), 0);
+  }
+  double total = 0.0;
+  for (std::size_t n = 0; n < nets_.size(); ++n) {
+    if (net_hpwl_epoch_[n] != net_epoch_[n]) {
+      // One scan serves both the weighted HPWL term and, via
+      // net_length_cached(), the timing engine's wire length.
+      const double len = net_box_len(nets_[n]);
+      net_len_cache_[n] = len;
+      net_hpwl_cache_[n] =
+          nets_[n].pins.size() < 2 ? 0.0 : nets_[n].weight * len;
+      net_hpwl_epoch_[n] = net_epoch_[n];
+    }
+    total += net_hpwl_cache_[n];
   }
   return total;
+}
+
+bool Floorplan3D::net_length_cached(std::size_t n, double& len_um) const {
+  if (n >= net_hpwl_epoch_.size() || n >= net_len_cache_.size() ||
+      n >= net_epoch_.size() || net_hpwl_epoch_[n] != net_epoch_[n])
+    return false;
+  len_um = net_len_cache_[n];
+  return true;
+}
+
+Floorplan3D::DieBounds Floorplan3D::die_bounds(std::size_t d) const {
+  ensure_die_caches();
+  if (!die_bounds_valid_.at(d)) {
+    DieBounds b;
+    for (const Module& m : modules_) {
+      if (m.die != d) continue;
+      b.width = std::max(b.width, m.shape.right());
+      b.height = std::max(b.height, m.shape.top());
+    }
+    die_bounds_[d] = b;
+    die_bounds_valid_[d] = true;
+  }
+  return die_bounds_[d];
+}
+
+void Floorplan3D::set_die_bounds(std::size_t d, double width, double height) {
+  ensure_die_caches();
+  die_bounds_.at(d) = DieBounds{width, height};
+  die_bounds_valid_[d] = true;
+}
+
+bool Floorplan3D::layout_stamp_matches(std::size_t d, std::uint64_t family,
+                                       std::uint64_t version) const {
+  ensure_die_caches();
+  if (family == 0 || d >= die_stamp_.size()) return false;
+  return die_stamp_[d].family == family && die_stamp_[d].version == version;
+}
+
+void Floorplan3D::set_layout_stamp(std::size_t d, std::uint64_t family,
+                                   std::uint64_t version) {
+  ensure_die_caches();
+  if (d < die_stamp_.size()) die_stamp_[d] = LayoutStamp{family, version};
+}
+
+void Floorplan3D::invalidate_layout_caches() {
+  net_index_ready_ = false;
+  nets_of_module_.clear();
+  net_epoch_.clear();
+  net_die_epoch_.clear();
+  net_hpwl_cache_.clear();
+  net_len_cache_.clear();
+  net_hpwl_epoch_.clear();
+  die_stamp_.clear();
+  die_bounds_.clear();
+  die_bounds_valid_.clear();
+  ++layout_epoch_;
 }
 
 LegalityReport Floorplan3D::check_legality() const {

@@ -7,6 +7,7 @@
 #pragma once
 
 #include <cstddef>
+#include <cstdint>
 #include <optional>
 #include <string>
 #include <vector>
@@ -94,6 +95,113 @@ class Floorplan3D {
   /// the bounding box spans the projected positions of all pins.
   [[nodiscard]] double hpwl() const;
 
+  /// Weighted HPWL of one net (the per-net contribution hpwl() sums).
+  [[nodiscard]] double net_hpwl(const Net& net) const;
+
+  /// Unweighted half-perimeter of the net's pin bounding box [um]: the
+  /// scan net_hpwl() weights, shared so other per-net consumers (the
+  /// Elmore timing engine's wire-length estimate) run the IDENTICAL
+  /// arithmetic and can reuse cached values bitwise.
+  [[nodiscard]] double net_box_len(const Net& net) const;
+
+  // --- incremental layout tracking ---------------------------------------
+  // The annealing hot path rewrites only the modules of dies a move
+  // perturbed (LayoutState::apply_to) and reports every rewritten module
+  // through note_module_moved().  The database turns those notes into
+  // per-net dirty epochs (via a module -> nets incidence index) and
+  // per-die bounding-box invalidations, so consumers can recompute only
+  // what a move touched:
+  //
+  //  * hpwl_cached() recomputes dirty nets' boxes with the same
+  //    arithmetic as hpwl() and re-sums the per-net array in canonical
+  //    net order -- bitwise-equal to a full recompute by construction;
+  //  * die_bounds() serves the packing-fed (or scanned) per-die bbox for
+  //    the outline/area terms;
+  //  * net_epoch()/layout_epoch() let external per-net caches (the Elmore
+  //    timing engine) key their own entries.
+  //
+  // Invariant: between apply_to()-driven rewrites the net topology and
+  // module positions are not mutated behind the database's back.  Code
+  // that moves modules directly must call note_module_moved() per module
+  // (or invalidate_layout_caches() wholesale); CostEvaluator's debug
+  // cross-check (floorplanning.cross_check_interval) guards the invariant
+  // in the annealing loop.
+
+  /// Record that module `i`'s position/shape/die was (re)written: bumps
+  /// the epoch of every incident net and invalidates the die bbox cache
+  /// of the module's current die.  `die_changed == false` promises the
+  /// module stayed on its die (an intra-die reposition/resize), letting
+  /// per-net die-span caches survive; when unsure, keep the default.
+  void note_module_moved(std::size_t i, bool die_changed = true);
+
+  /// Nets with at least one pin on module `i` (lazily built incidence).
+  [[nodiscard]] const std::vector<std::size_t>& nets_of_module(
+      std::size_t i) const;
+
+  /// Monotone per-net dirty epoch (starts at 1; 0 never occurs, so 0 is a
+  /// safe "never seen" sentinel for external caches).
+  [[nodiscard]] std::uint64_t net_epoch(std::size_t n) const;
+
+  /// Like net_epoch, but advanced only when an incident module changed
+  /// DIE (not merely position/shape): while it holds still, the set of
+  /// dies a net spans is unchanged, so per-net TSV-hop/span caches stay
+  /// exact.  Same >= 1 / 0-sentinel convention as net_epoch.
+  [[nodiscard]] std::uint64_t net_die_epoch(std::size_t n) const;
+
+  /// Bulk views of the per-net epoch arrays (indexed by net, same values
+  /// as net_epoch()/net_die_epoch()): lets per-net cache sweeps hoist the
+  /// lazy-index check out of their loop.  Invalidated by the same events
+  /// that grow/shrink the net list.
+  [[nodiscard]] const std::vector<std::uint64_t>& net_epochs() const;
+  [[nodiscard]] const std::vector<std::uint64_t>& net_die_epochs() const;
+
+  /// Monotone global layout epoch: bumped by every note_module_moved()
+  /// and by invalidate_layout_caches().
+  [[nodiscard]] std::uint64_t layout_epoch() const { return layout_epoch_; }
+
+  /// Incrementally maintained hpwl(): recomputes only nets whose epoch
+  /// advanced since the last call, then re-sums per-net values in net
+  /// order.  Bitwise-equal to hpwl() as long as the tracking invariant
+  /// above holds.
+  [[nodiscard]] double hpwl_cached();
+
+  /// Serve net `n`'s cached unweighted box length if it is current (its
+  /// cache entry was computed at the net's present epoch).  Returns false
+  /// when stale or never computed -- the caller recomputes via
+  /// net_box_len(), which yields the identical bits.  hpwl_cached() fills
+  /// this cache as it recomputes dirty nets, so evaluation pipelines that
+  /// run the HPWL term first get every dirty net's length for free.
+  [[nodiscard]] bool net_length_cached(std::size_t n, double& len_um) const;
+
+  /// Bounding-box extent (max right / max top over modules) of die `d`.
+  /// Served from the cache when valid (fed by LayoutState::apply_to with
+  /// the packing result, or by a previous scan), recomputed by scanning
+  /// the modules otherwise -- both produce the identical max.
+  struct DieBounds {
+    double width = 0.0;
+    double height = 0.0;
+  };
+  [[nodiscard]] DieBounds die_bounds(std::size_t d) const;
+
+  /// Install die `d`'s bbox (the packer's bounding box equals the module
+  /// scan bitwise: same set of right/top values, max is order-free).
+  void set_die_bounds(std::size_t d, double width, double height);
+
+  /// Per-die stamp of the last LayoutState write (see
+  /// LayoutState::apply_to): a (family, version) pair uniquely
+  /// identifying the die content some layout state wrote.  family == 0
+  /// never matches.
+  [[nodiscard]] bool layout_stamp_matches(std::size_t d, std::uint64_t family,
+                                          std::uint64_t version) const;
+  void set_layout_stamp(std::size_t d, std::uint64_t family,
+                        std::uint64_t version);
+
+  /// Drop every incremental cache: incidence index, net epochs (all nets
+  /// dirty), die bounds, and layout stamps.  Call after mutating nets,
+  /// terminals, or module placements outside apply_to()/
+  /// note_module_moved().
+  void invalidate_layout_caches();
+
   /// Bounding-box footprint of a TSV island placed at `t.position`.
   [[nodiscard]] Rect tsv_island_rect(const Tsv& t) const;
 
@@ -101,11 +209,34 @@ class Floorplan3D {
   [[nodiscard]] LegalityReport check_legality() const;
 
  private:
+  void ensure_net_index() const;
+  void ensure_die_caches() const;
+
   TechnologyConfig tech_;
   std::vector<Module> modules_;
   std::vector<Net> nets_;
   std::vector<Terminal> terminals_;
   std::vector<Tsv> tsvs_;
+
+  // --- incremental layout caches (see "incremental layout tracking") ----
+  // All mutable: they are derived data, maintained lazily behind const
+  // accessors.  Copying the database copies them (they stay coherent with
+  // the copied modules/nets).
+  mutable std::vector<std::vector<std::size_t>> nets_of_module_;
+  mutable bool net_index_ready_ = false;
+  mutable std::vector<std::uint64_t> net_epoch_;     ///< per net, >= 1
+  mutable std::vector<std::uint64_t> net_die_epoch_; ///< per net, >= 1
+  mutable std::uint64_t layout_epoch_ = 1;
+  std::vector<double> net_hpwl_cache_;               ///< weighted per-net hpwl
+  std::vector<double> net_len_cache_;                ///< unweighted box length
+  std::vector<std::uint64_t> net_hpwl_epoch_;        ///< epoch at compute, 0 = never
+  struct LayoutStamp {
+    std::uint64_t family = 0;  ///< 0 = no layout state wrote this die
+    std::uint64_t version = 0;
+  };
+  mutable std::vector<LayoutStamp> die_stamp_;       ///< per die
+  mutable std::vector<DieBounds> die_bounds_;        ///< per die
+  mutable std::vector<bool> die_bounds_valid_;
 };
 
 }  // namespace tsc3d

@@ -68,23 +68,79 @@ LayoutState LayoutState::initial(const Floorplan3D& fp, Rng& rng,
     sp.shuffle(rng);
     s.die_sp.push_back(std::move(sp));
   }
+  s.init_tracking(dies);
   return s;
 }
 
+void LayoutState::init_tracking(std::size_t dies) {
+  // Family ids are process-unique so stamps from one family can never
+  // match another family's writes; copies share the id AND the counter,
+  // so every version value is handed out exactly once per family.
+  static std::atomic<std::uint64_t> next_family{1};
+  family = next_family.fetch_add(1, std::memory_order_relaxed);
+  version_counter = std::make_shared<std::atomic<std::uint64_t>>(0);
+  die_version.assign(dies, 0);
+  packing_cache.assign(dies, Packing{});
+  packing_version.assign(dies, 0);
+  for (std::size_t d = 0; d < dies; ++d) touch_die(d);
+}
+
+void LayoutState::touch_die(std::size_t d) {
+  if (version_counter == nullptr || d >= die_version.size()) return;
+  die_version[d] =
+      version_counter->fetch_add(1, std::memory_order_relaxed) + 1;
+}
+
+void LayoutState::disable_tracking() {
+  family = 0;
+  version_counter.reset();
+  die_version.clear();
+  packing_cache.clear();
+  packing_version.clear();
+}
+
 void LayoutState::apply_to(Floorplan3D& fp) const {
+  const bool use_stamps =
+      tracked() && die_version.size() == die_sp.size();
   for (std::size_t d = 0; d < die_sp.size(); ++d) {
+    if (use_stamps && fp.layout_stamp_matches(d, family, die_version[d]))
+      continue;  // fp already holds exactly this die content, bitwise
     const SequencePair& sp = die_sp[d];
-    const Packing p = sp.pack([&](std::size_t id) { return width[id]; },
-                              [&](std::size_t id) { return height[id]; });
+    const bool cache_ok = use_stamps && d < packing_version.size() &&
+                          packing_version[d] == die_version[d];
+    if (!cache_ok) {
+      if (packing_cache.size() != die_sp.size()) {
+        packing_cache.assign(die_sp.size(), Packing{});
+        packing_version.assign(die_sp.size(), 0);
+      }
+      packing_cache[d] =
+          sp.pack([&](std::size_t id) { return width[id]; },
+                  [&](std::size_t id) { return height[id]; });
+      packing_version[d] = use_stamps ? die_version[d] : 0;
+    }
+    const Packing& p = packing_cache[d];
     const auto& order = sp.members();
     for (std::size_t k = 0; k < order.size(); ++k) {
       Module& m = fp.modules()[order[k]];
+      // Announce the write only when a value actually changes: a repack
+      // typically moves few of the die's modules, and unchanged modules
+      // leave their incident nets' cached boxes exact.
+      const bool die_changed = m.die != d;
+      const bool changed =
+          die_changed || m.shape.x != p.position[k].x ||
+          m.shape.y != p.position[k].y || m.shape.w != width[order[k]] ||
+          m.shape.h != height[order[k]];
       m.die = d;
       m.shape.x = p.position[k].x;
       m.shape.y = p.position[k].y;
       m.shape.w = width[order[k]];
       m.shape.h = height[order[k]];
+      if (changed) fp.note_module_moved(order[k], die_changed);
     }
+    // The packer's bounding box equals the module scan bitwise (max over
+    // the same right/top values), so the outline term can reuse it.
+    fp.set_die_bounds(d, p.width, p.height);
+    if (use_stamps) fp.set_layout_stamp(d, family, die_version[d]);
   }
 }
 
@@ -101,26 +157,35 @@ struct Annealer::Undo {
   std::size_t old_pos_slot_b = 0, old_neg_slot_b = 0;
 
   void revert(LayoutState& s) const {
+    // Reverts re-dirty the dies they restore: versions never repeat, so
+    // the restored content gets a FRESH version (the cached packing goes
+    // stale, but stamp equality stays sound -- see the LayoutState doc).
     switch (kind) {
       case Kind::none:
         break;
       case Kind::swap_pos:
         s.die_sp[die_a].swap_positive(slot_i, slot_j);
+        s.touch_die(die_a);
         break;
       case Kind::swap_neg:
         s.die_sp[die_a].swap_negative(slot_i, slot_j);
+        s.touch_die(die_a);
         break;
       case Kind::swap_both:
         s.die_sp[die_a].swap_both(module_a, module_b);
+        s.touch_die(die_a);
         break;
       case Kind::resize:
         s.width[module_a] = old_w;
         s.height[module_a] = old_h;
+        s.touch_die(s.die_of[module_a]);
         break;
       case Kind::transfer:
         s.die_sp[die_b].remove(module_a);
         s.die_sp[die_a].insert(module_a, old_pos_slot, old_neg_slot);
         s.die_of[module_a] = die_a;
+        s.touch_die(die_a);
+        s.touch_die(die_b);
         break;
       case Kind::exchange:
         s.die_sp[die_b].remove(module_a);
@@ -129,6 +194,8 @@ struct Annealer::Undo {
         s.die_sp[die_b].insert(module_b, old_pos_slot_b, old_neg_slot_b);
         s.die_of[module_a] = die_a;
         s.die_of[module_b] = die_b;
+        s.touch_die(die_a);
+        s.touch_die(die_b);
         break;
     }
   }
@@ -195,6 +262,7 @@ void Annealer::random_move(LayoutState& s, Rng& rng, Undo& undo) const {
     } else {
       std::swap(s.width[id], s.height[id]);
     }
+    s.touch_die(s.die_of[id]);
     return;
   }
   if (dies > 1 && roll < opt_.resize_prob + opt_.transfer_prob) {
@@ -219,6 +287,8 @@ void Annealer::random_move(LayoutState& s, Rng& rng, Undo& undo) const {
       s.die_sp[to].insert(id, rng.index(s.die_sp[to].size() + 1),
                           rng.index(s.die_sp[to].size() + 1));
       s.die_of[id] = to;
+      s.touch_die(from);
+      s.touch_die(to);
       return;
     }
   }
@@ -251,6 +321,8 @@ void Annealer::random_move(LayoutState& s, Rng& rng, Undo& undo) const {
                           rng.index(s.die_sp[da].size() + 1));
       s.die_of[a] = db;
       s.die_of[b] = da;
+      s.touch_die(da);
+      s.touch_die(db);
       return;
     }
   }
@@ -283,6 +355,7 @@ void Annealer::random_move(LayoutState& s, Rng& rng, Undo& undo) const {
       sp.swap_both(undo.module_a, undo.module_b);
       break;
   }
+  s.touch_die(d);
 }
 
 AnnealStats Annealer::run(LayoutState& state, Rng& rng) {

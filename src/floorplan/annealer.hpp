@@ -9,8 +9,10 @@
 // the 3D design space", Sec. 7.3).
 #pragma once
 
+#include <atomic>
 #include <cstddef>
 #include <cstdint>
+#include <memory>
 #include <vector>
 
 #include "core/floorplan.hpp"
@@ -21,6 +23,21 @@
 namespace tsc3d::floorplan {
 
 /// The mutable floorplanning state the annealer works on.
+///
+/// Incremental packing: each die carries a content version (bumped by
+/// touch_die whenever its sequences, a member's extents, or its module
+/// set change) drawn from a counter shared by every copy of the state
+/// ("family").  apply_to() stamps the floorplan with the (family,
+/// version) it wrote per die and, on the next call, skips any die whose
+/// stamp still matches -- those module positions are bitwise-untouched
+/// by construction, since an unchanged (family, version) pair uniquely
+/// identifies the die content that produced them.  The per-die Packing
+/// is cached at its version, so a revert back to a previously packed
+/// version still repacks (versions never repeat) but clean dies cost
+/// nothing at all.  The shared counter is atomic, so states exchanged
+/// between parallel-tempering chains stay sound; version VALUES may
+/// depend on scheduling, but only stamp EQUALITY is ever consulted, and
+/// equal stamps imply identical content -- results stay deterministic.
 struct LayoutState {
   std::vector<SequencePair> die_sp;    ///< one sequence pair per die
   std::vector<double> width;           ///< chosen extents per module id
@@ -34,8 +51,41 @@ struct LayoutState {
   [[nodiscard]] static LayoutState initial(const Floorplan3D& fp, Rng& rng,
                                            bool hot_modules_to_top = true);
 
-  /// Pack every die and write shapes + die assignments into `fp`.
+  /// Pack every die whose stamp no longer matches `fp` and write shapes +
+  /// die assignments + per-die bounds for exactly those dies; dies whose
+  /// stamp matches are skipped (their positions in `fp` are already this
+  /// state's, bitwise).  States without tracking (not built by initial())
+  /// pack and write everything.
   void apply_to(Floorplan3D& fp) const;
+
+  /// Mark die `d` dirty: bumps its content version to a fresh value and
+  /// drops its cached packing.  Every mutation of die_sp[d], of a member
+  /// module's width/height, or of the die's member set MUST be announced
+  /// here (the annealer's moves and undos do).
+  void touch_die(std::size_t d);
+
+  /// Allocate a fresh tracking family covering `dies` dies (initial()
+  /// calls this; exposed for tests building states by hand).
+  void init_tracking(std::size_t dies);
+
+  /// Drop tracking entirely: apply_to() reverts to the seed behavior of
+  /// packing every die and writing every module on every call (copies of
+  /// an untracked state stay untracked).  The floorplanner uses this
+  /// when incremental evaluation is disabled, so --incremental=off is an
+  /// end-to-end A/B of the seed path.
+  void disable_tracking();
+
+  /// True when apply_to() may skip clean dies (tracking allocated).
+  [[nodiscard]] bool tracked() const { return version_counter != nullptr; }
+
+  // --- incremental-packing bookkeeping (see class comment) --------------
+  std::uint64_t family = 0;                 ///< 0 = untracked
+  std::vector<std::uint64_t> die_version;   ///< content version per die
+  /// Shared, monotone version source for the whole copy-family.
+  std::shared_ptr<std::atomic<std::uint64_t>> version_counter;
+  /// Cached packing per die, valid while packing_version == die_version.
+  mutable std::vector<Packing> packing_cache;
+  mutable std::vector<std::uint64_t> packing_version;  ///< 0 = invalid
 };
 
 struct AnnealOptions {

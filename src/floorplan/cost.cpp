@@ -48,7 +48,7 @@ void CostEvaluator::set_thermal_tolerance_scale(double scale) {
     opt_.detailed_engine->set_tolerance_scale(scale);
 }
 
-void CostEvaluator::measure_cheap(CostBreakdown& c) const {
+void CostEvaluator::measure_layout_terms_full(CostBreakdown& c) const {
   const Rect outline = fp_.outline();
   const double out_area = outline.area();
   c.bbox_area_ratio = 0.0;
@@ -69,6 +69,51 @@ void CostEvaluator::measure_cheap(CostBreakdown& c) const {
   }
   c.wirelength_um = fp_.hpwl();
   c.delay_ns = timing_.analyze().critical_delay_ns;
+}
+
+void CostEvaluator::measure_layout_terms_incremental(CostBreakdown& c) {
+  // Identical arithmetic over identical values: die_bounds() serves the
+  // same max-right/max-top pair the rescan derives, hpwl_cached() and
+  // analyze_cached() recompute exactly the dirty nets and re-reduce in
+  // canonical net order -- so every term is bitwise-equal to
+  // measure_layout_terms_full (the cross-check enforces it).
+  const Rect outline = fp_.outline();
+  const double out_area = outline.area();
+  c.bbox_area_ratio = 0.0;
+  c.outline_penalty = 0.0;
+  c.fits_outline = true;
+  for (std::size_t d = 0; d < fp_.tech().num_dies; ++d) {
+    const Floorplan3D::DieBounds b = fp_.die_bounds(d);
+    c.bbox_area_ratio += (b.width * b.height) / out_area;
+    const double over_w = std::max(0.0, b.width - outline.w) / outline.w;
+    const double over_h = std::max(0.0, b.height - outline.h) / outline.h;
+    c.outline_penalty += over_w + over_h + over_w * over_h;
+    if (over_w > 0.0 || over_h > 0.0) c.fits_outline = false;
+  }
+  c.wirelength_um = fp_.hpwl_cached();
+  c.delay_ns = timing_.analyze_cached().critical_delay_ns;
+}
+
+void CostEvaluator::measure_cheap(CostBreakdown& c) {
+  if (opt_.incremental) {
+    measure_layout_terms_incremental(c);
+    if (opt_.cross_check_interval > 0 &&
+        ++cheap_evals_ % opt_.cross_check_interval == 0) {
+      CostBreakdown ref;
+      measure_layout_terms_full(ref);
+      if (ref.bbox_area_ratio != c.bbox_area_ratio ||
+          ref.outline_penalty != c.outline_penalty ||
+          ref.fits_outline != c.fits_outline ||
+          ref.wirelength_um != c.wirelength_um ||
+          ref.delay_ns != c.delay_ns)
+        throw std::logic_error(
+            "CostEvaluator: incremental cheap terms diverged from the full "
+            "recompute -- some code moved modules without "
+            "note_module_moved()/invalidate_layout_caches()");
+    }
+  } else {
+    measure_layout_terms_full(c);
+  }
 
   // Spatial entropy is the paper's cheap per-iteration leakage proxy
   // (Sec. 4.2): it needs no thermal analysis, so it is evaluated on
@@ -86,6 +131,9 @@ void CostEvaluator::measure_cheap(CostBreakdown& c) const {
 void CostEvaluator::measure_voltage_raw(CostBreakdown& c) {
   power::VoltageAssigner assigner(fp_, timing_, opt_.voltage);
   const power::VoltageAssignment va = assigner.assign();
+  // assign() rewrites Module::voltage_index, which scales every module
+  // delay: drop the timing engine's cached per-net stage delays.
+  timing_.note_voltages_changed();
   c.power_w = va.total_power_w;
   c.num_volumes = static_cast<double>(va.num_volumes());
   c.power_gradient = va.intra_density_stddev + va.inter_density_stddev;

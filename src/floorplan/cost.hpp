@@ -84,6 +84,23 @@ class CostEvaluator {
     /// cost of a few SOR sweeps per refresh.  The engine must outlive the
     /// evaluator and match leakage_grid.
     thermal::ThermalEngine* detailed_engine = nullptr;
+    /// Serve the cheap terms from the floorplan's incremental caches
+    /// (per-die bounds fed by the packer, per-net HPWL boxes, per-net
+    /// Elmore stage delays) instead of rescanning every module and net
+    /// per move.  Bitwise-equal to the full recompute as long as layout
+    /// writes go through LayoutState::apply_to / note_module_moved (see
+    /// floorplan.hpp, "incremental layout tracking"); the cross-check
+    /// below guards that invariant.
+    bool incremental = true;
+    /// Every Nth incremental measure_cheap, recompute the cheap terms
+    /// from scratch and throw std::logic_error on any bitwise mismatch
+    /// (a mismatch means some code moved modules without announcing it).
+    /// 0 disables; defaults on in debug builds.
+#ifndef NDEBUG
+    std::size_t cross_check_interval = 256;
+#else
+    std::size_t cross_check_interval = 0;
+#endif
   };
 
   /// `blur` provides the calibrated fast thermal model (32x32 by default).
@@ -161,7 +178,14 @@ class CostEvaluator {
     GridD tsv_map;
   };
 
-  void measure_cheap(CostBreakdown& c) const;
+  void measure_cheap(CostBreakdown& c);
+  /// The cheap layout terms (bbox/outline, wirelength, delay) by full
+  /// rescan -- the seed path, kept verbatim as the incremental path's
+  /// reference.
+  void measure_layout_terms_full(CostBreakdown& c) const;
+  /// The same terms from the incremental caches; bitwise-equal to the
+  /// full rescan under the tracking invariant.
+  void measure_layout_terms_incremental(CostBreakdown& c);
   void measure_thermal(CostBreakdown& c);
   void measure_voltage(CostBreakdown& c);
   /// measure_voltage without the cache update (batched staging defers
@@ -176,6 +200,8 @@ class CostEvaluator {
   /// Net topology is static during annealing; the timing engine is built
   /// once and reads module positions live.
   power::ElmoreTiming timing_;
+
+  std::size_t cheap_evals_ = 0;  ///< cross-check cadence counter
 
   // Cached raw values of the expensive terms between refreshes.
   double cached_peak_rise_ = 0.0;

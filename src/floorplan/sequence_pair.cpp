@@ -21,16 +21,25 @@ void SequencePair::swap_negative(std::size_t i, std::size_t j) {
 }
 
 void SequencePair::swap_both(std::size_t module_a, std::size_t module_b) {
-  for (auto* seq : {&positive_, &negative_}) {
-    std::size_t ia = seq->size(), ib = seq->size();
-    for (std::size_t s = 0; s < seq->size(); ++s) {
-      if ((*seq)[s] == module_a) ia = s;
-      if ((*seq)[s] == module_b) ib = s;
+  // Resolve every slot BEFORE mutating anything: throwing after the
+  // positive sequence was already swapped would leave the pair
+  // inconsistent (the two sequences describing different module sets).
+  std::size_t slots[2][2];
+  const std::vector<std::size_t>* seqs[2] = {&positive_, &negative_};
+  for (std::size_t q = 0; q < 2; ++q) {
+    const std::vector<std::size_t>& seq = *seqs[q];
+    std::size_t ia = seq.size(), ib = seq.size();
+    for (std::size_t s = 0; s < seq.size(); ++s) {
+      if (seq[s] == module_a) ia = s;
+      if (seq[s] == module_b) ib = s;
     }
-    if (ia == seq->size() || ib == seq->size())
+    if (ia == seq.size() || ib == seq.size())
       throw std::invalid_argument("SequencePair::swap_both: module not found");
-    std::swap((*seq)[ia], (*seq)[ib]);
+    slots[q][0] = ia;
+    slots[q][1] = ib;
   }
+  std::swap(positive_[slots[0][0]], positive_[slots[0][1]]);
+  std::swap(negative_[slots[1][0]], negative_[slots[1][1]]);
 }
 
 void SequencePair::remove(std::size_t module) {

@@ -12,6 +12,7 @@
 #pragma once
 
 #include <algorithm>
+#include <cassert>
 #include <cstddef>
 #include <utility>
 #include <vector>
@@ -118,6 +119,12 @@ Packing SequencePair::pack(WidthFn&& width_of, HeightFn&& height_of) const {
     auto slot_of = [&](std::size_t id) {
       const auto it = std::lower_bound(
           id_slot.begin(), id_slot.end(), std::make_pair(id, std::size_t{0}));
+      // Invariant: positive_ and negative_ hold the SAME module set (all
+      // mutators preserve it), so every positive id resolves to a
+      // negative slot.  If the sequences ever disagreed, the unchecked
+      // dereference would be UB -- fail loudly instead.
+      assert(it != id_slot.end() && it->first == id &&
+             "SequencePair: positive/negative sequences disagree on membership");
       return it->second;
     };
     for (std::size_t i = 0; i < n; ++i) neg_slot[i] = slot_of(positive_[i]);

@@ -21,25 +21,10 @@ ElmoreTiming::ElmoreTiming(const Floorplan3D& fp, TimingOptions options)
 
 double ElmoreTiming::wire_length_um(const Net& net) const {
   // HPWL of the net's projected pin positions: the standard block-level
-  // length estimate.
-  double x0 = 0.0, x1 = 0.0, y0 = 0.0, y1 = 0.0;
-  bool first = true;
-  for (const NetPin& pin : net.pins) {
-    const Point p = pin.is_terminal()
-                        ? fp_.terminals()[pin.terminal].position
-                        : fp_.modules()[pin.module].shape.center();
-    if (first) {
-      x0 = x1 = p.x;
-      y0 = y1 = p.y;
-      first = false;
-    } else {
-      x0 = std::min(x0, p.x);
-      x1 = std::max(x1, p.x);
-      y0 = std::min(y0, p.y);
-      y1 = std::max(y1, p.y);
-    }
-  }
-  return (x1 - x0) + (y1 - y0);
+  // length estimate.  Delegates to the floorplan's canonical box scan so
+  // cached lengths (Floorplan3D::net_length_cached) are bitwise
+  // interchangeable with a fresh recompute.
+  return fp_.net_box_len(net);
 }
 
 std::size_t ElmoreTiming::dies_spanned(const Net& net) const {
@@ -52,7 +37,15 @@ std::size_t ElmoreTiming::dies_spanned(const Net& net) const {
 }
 
 double ElmoreTiming::net_delay_ns(const Net& net) const {
-  const double len = wire_length_um(net);
+  return net_delay_ns(net, dies_spanned(net));
+}
+
+double ElmoreTiming::net_delay_ns(const Net& net, std::size_t span) const {
+  return net_delay_ns(net, span, wire_length_um(net));
+}
+
+double ElmoreTiming::net_delay_ns(const Net& net, std::size_t span,
+                                  double len) const {
   const double r_wire = opt_.r_wire_ohm_per_um * len;
   const double c_wire = opt_.c_wire_f_per_um * len;
   const auto sinks = static_cast<double>(
@@ -60,7 +53,6 @@ double ElmoreTiming::net_delay_ns(const Net& net) const {
   const double c_sinks = opt_.sink_c_f * sinks;
 
   // TSV hops: a net spanning k dies needs k-1 vertical hops in series.
-  const std::size_t span = dies_spanned(net);
   const auto hops = static_cast<double>(span > 1 ? span - 1 : 0);
   const double r_tsv = opt_.r_tsv_ohm * hops;
   const double c_tsv = opt_.c_tsv_f * hops;
@@ -83,6 +75,35 @@ double ElmoreTiming::module_delay_ns(std::size_t m, std::size_t vi) const {
 
 double ElmoreTiming::stage_delay_ns(const Net& net) const {
   return stage_delay_ns(net, kInvalidIndex, 0);
+}
+
+double ElmoreTiming::stage_delay_ns_with_span(const Net& net,
+                                              std::size_t span,
+                                              double len) const {
+  // Body of stage_delay_ns(net, kInvalidIndex, 0) with the die span and
+  // wire length precomputed: the span is the only set-building step of
+  // the stage arithmetic (served from a cache valid while no incident
+  // module changes die, net_die_epoch) and the length is the box scan
+  // hpwl_cached() already ran for the same dirty net.
+  std::size_t driver = kInvalidIndex;
+  double worst_sink = 0.0;
+  for (const NetPin& pin : net.pins) {
+    if (pin.is_terminal()) continue;
+    const std::size_t mod = pin.module;
+    const double d =
+        module_delay_ns(mod, fp_.modules()[mod].voltage_index);
+    if (driver == kInvalidIndex) {
+      driver = mod;
+      worst_sink = 0.0;  // driver delay handled below
+      continue;
+    }
+    worst_sink = std::max(worst_sink, d);
+  }
+  double total = net_delay_ns(net, span, len) + worst_sink;
+  if (driver != kInvalidIndex) {
+    total += module_delay_ns(driver, fp_.modules()[driver].voltage_index);
+  }
+  return total;
 }
 
 double ElmoreTiming::stage_delay_ns(const Net& net, std::size_t m,
@@ -125,6 +146,54 @@ TimingReport ElmoreTiming::analyze() const {
     }
   }
   return report;
+}
+
+const TimingReport& ElmoreTiming::analyze_cached() {
+  const std::size_t num_nets = fp_.nets().size();
+  if (cached_report_.stage_delay_ns.size() != num_nets) {
+    cached_report_.stage_delay_ns.assign(num_nets, 0.0);
+    stage_net_epoch_.assign(num_nets, 0);
+    stage_voltage_epoch_.assign(num_nets, 0);
+    stage_span_.assign(num_nets, 0);
+    stage_die_epoch_.assign(num_nets, 0);
+  }
+  const std::vector<std::uint64_t>& epochs = fp_.net_epochs();
+  const std::vector<std::uint64_t>& die_epochs = fp_.net_die_epochs();
+  // Single walk in canonical net order: refresh dirty entries, then fold
+  // each (now final) value into the same strict-greater max scan
+  // analyze() runs -- first maximum in net order wins, bitwise.
+  cached_report_.critical_delay_ns = 0.0;
+  cached_report_.critical_net = kInvalidIndex;
+  for (std::size_t n = 0; n < num_nets; ++n) {
+    const std::uint64_t epoch = epochs[n];
+    if (stage_net_epoch_[n] != epoch ||
+        stage_voltage_epoch_[n] != voltage_epoch_) {
+      // The die span only changes when an incident module changes die
+      // (net_die_epoch); intra-die moves reuse the cached integer and
+      // skip dies_spanned()'s set building -- the dominant cost of a
+      // stage recompute.
+      if (stage_die_epoch_[n] != die_epochs[n]) {
+        stage_span_[n] = dies_spanned(fp_.nets()[n]);
+        stage_die_epoch_[n] = die_epochs[n];
+      }
+      // Reuse the box scan hpwl_cached() ran for this dirty net when the
+      // evaluation pipeline computed the HPWL term first; a cache miss
+      // recomputes the identical bits.
+      double len = 0.0;
+      if (!fp_.net_length_cached(n, len))
+        len = wire_length_um(fp_.nets()[n]);
+      cached_report_.stage_delay_ns[n] =
+          stage_delay_ns_with_span(fp_.nets()[n], stage_span_[n], len);
+      stage_net_epoch_[n] = epoch;
+      stage_voltage_epoch_[n] = voltage_epoch_;
+    }
+    const double d = cached_report_.stage_delay_ns[n];
+    if (d > cached_report_.critical_delay_ns) {
+      cached_report_.critical_delay_ns = d;
+      cached_report_.critical_net = n;
+    }
+  }
+  return cached_report_;
 }
 
 bool ElmoreTiming::voltage_feasible(std::size_t m, std::size_t vi,

@@ -13,6 +13,7 @@
 #pragma once
 
 #include <cstddef>
+#include <cstdint>
 #include <vector>
 
 #include "core/floorplan.hpp"
@@ -56,6 +57,22 @@ class ElmoreTiming {
   /// Evaluate all stages and the critical delay.
   [[nodiscard]] TimingReport analyze() const;
 
+  /// Incrementally maintained analyze(): per-net stage delays are cached
+  /// and recomputed only for nets whose placement epoch
+  /// (Floorplan3D::net_epoch, bumped when an incident module moves) or
+  /// whose voltage epoch (note_voltages_changed) advanced; the critical
+  /// delay is re-derived by scanning the per-net array in canonical net
+  /// order.  Bitwise-equal to analyze() -- dirty nets run the identical
+  /// stage_delay_ns arithmetic, clean nets return the identical cached
+  /// double, and the max scan matches analyze()'s.  The returned
+  /// reference stays valid until the next analyze_cached() call.
+  [[nodiscard]] const TimingReport& analyze_cached();
+
+  /// Invalidate every cached stage delay that depends on module voltage
+  /// assignments.  Call after any pass that mutates
+  /// Module::voltage_index (the voltage assigner).
+  void note_voltages_changed() { ++voltage_epoch_; }
+
   /// True if assigning voltage index `vi` to module `m` keeps every stage
   /// through `m` within the clock period.
   [[nodiscard]] bool voltage_feasible(std::size_t m, std::size_t vi,
@@ -75,10 +92,27 @@ class ElmoreTiming {
   [[nodiscard]] double module_delay_ns(std::size_t m, std::size_t vi) const;
   [[nodiscard]] double wire_length_um(const Net& net) const;
   [[nodiscard]] std::size_t dies_spanned(const Net& net) const;
+  [[nodiscard]] double net_delay_ns(const Net& net, std::size_t span) const;
+  [[nodiscard]] double net_delay_ns(const Net& net, std::size_t span,
+                                    double len_um) const;
+  /// stage_delay_ns at the nets' current voltages with the die span and
+  /// wire length precomputed; bitwise-equal to stage_delay_ns(net) given
+  /// the true span and length (see analyze_cached).
+  [[nodiscard]] double stage_delay_ns_with_span(const Net& net,
+                                                std::size_t span,
+                                                double len_um) const;
 
   const Floorplan3D& fp_;
   TimingOptions opt_;
   std::vector<std::vector<std::size_t>> nets_of_module_;
+
+  // --- incremental analyze() cache (see analyze_cached) ------------------
+  TimingReport cached_report_;
+  std::vector<std::uint64_t> stage_net_epoch_;      ///< 0 = never computed
+  std::vector<std::uint64_t> stage_voltage_epoch_;
+  std::vector<std::size_t> stage_span_;             ///< cached dies_spanned
+  std::vector<std::uint64_t> stage_die_epoch_;      ///< 0 = never computed
+  std::uint64_t voltage_epoch_ = 1;
 };
 
 }  // namespace tsc3d::power

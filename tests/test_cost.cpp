@@ -76,7 +76,10 @@ TEST_F(CostFixture, CheapEvalTracksGeometryChanges) {
   CostEvaluator eval(fp_, blur_, options(power_aware_weights()));
   const CostBreakdown before = eval.evaluate_full();
   // Stretch a module far outside the outline: cheap terms must react.
+  // Direct mutations must be announced (see "incremental layout
+  // tracking" in core/floorplan.hpp) so the cached cheap terms refresh.
   fp_.modules()[0].shape.x = fp_.tech().die_width_um * 2.0;
+  fp_.note_module_moved(0);
   const CostBreakdown after = eval.evaluate_cheap();
   EXPECT_GT(after.outline_penalty, before.outline_penalty);
   EXPECT_GT(after.wirelength_um, before.wirelength_um);
@@ -104,6 +107,7 @@ TEST_F(CostFixture, EntropyIsLiveInCheapPathForTscWeights) {
       m.shape.y = 0.0;
     }
   }
+  fp_.invalidate_layout_caches();  // bulk move outside apply_to
   const CostBreakdown after = eval.evaluate_cheap();
   EXPECT_NE(before.entropy[0], after.entropy[0]);
 }
@@ -120,6 +124,7 @@ TEST_F(CostFixture, ThermalEvalRefreshesCorrelation) {
       m.shape.y = 100.0;
     }
   }
+  fp_.invalidate_layout_caches();  // bulk move outside apply_to
   const CostBreakdown after = eval.evaluate_thermal();
   EXPECT_NE(before.correlation[0], after.correlation[0]);
 }

@@ -1,0 +1,379 @@
+// Tests of the incremental move-evaluation pipeline across its layers:
+//
+//  * Floorplan3D's per-net HPWL / box-length / die-bounds caches and
+//    ElmoreTiming::analyze_cached must stay BITWISE-equal to the full
+//    rescans through thousands of randomized mixed moves (sequence
+//    swaps, resizes, transfers, exchanges), including reverts and
+//    batched-style snapshot/restore staging across LayoutState copies;
+//  * whole annealing runs (classic and batched) with the incremental
+//    pipeline ON must bitwise-reproduce runs with it OFF -- same RNG
+//    stream, same accepts, same best layout;
+//  * the debug cross-check must stay silent on a clean run and throw
+//    std::logic_error when layout writes bypass note_module_moved;
+//  * the IncrementalEvalParallel suite drives incremental state through
+//    batched parallel-tempering chains (runs under TSan on CI).
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cstdint>
+#include <functional>
+#include <stdexcept>
+#include <tuple>
+#include <vector>
+
+#include "benchgen/generator.hpp"
+#include "floorplan/annealer.hpp"
+#include "floorplan/chain_orchestrator.hpp"
+#include "floorplan/cost.hpp"
+#include "power/timing.hpp"
+#include "thermal/power_blur.hpp"
+
+namespace tsc3d {
+namespace {
+
+namespace fpn = tsc3d::floorplan;
+
+Floorplan3D small_instance(std::uint64_t seed) {
+  benchgen::BenchmarkSpec spec;
+  spec.name = "inc_eval";
+  spec.soft_modules = 24;
+  spec.num_nets = 40;
+  spec.num_terminals = 6;
+  spec.outline_mm2 = 4.0;
+  spec.power_w = 2.0;
+  return benchgen::generate(spec, seed);
+}
+
+/// Assert every incrementally maintained quantity equals its full
+/// recompute, bitwise: per-net HPWL total, per-net stage delays and the
+/// critical stage, and the per-die bounding boxes.
+void expect_caches_match_full(Floorplan3D& fp, power::ElmoreTiming& timing) {
+  ASSERT_EQ(fp.hpwl_cached(), fp.hpwl());
+  const power::TimingReport full = timing.analyze();
+  const power::TimingReport& cached = timing.analyze_cached();
+  ASSERT_EQ(cached.critical_delay_ns, full.critical_delay_ns);
+  ASSERT_EQ(cached.critical_net, full.critical_net);
+  ASSERT_EQ(cached.stage_delay_ns.size(), full.stage_delay_ns.size());
+  for (std::size_t n = 0; n < full.stage_delay_ns.size(); ++n)
+    ASSERT_EQ(cached.stage_delay_ns[n], full.stage_delay_ns[n])
+        << "net " << n;
+  for (std::size_t d = 0; d < fp.tech().num_dies; ++d) {
+    const Floorplan3D::DieBounds b = fp.die_bounds(d);
+    double w = 0.0, h = 0.0;
+    for (const Module& m : fp.modules()) {
+      if (m.die != d) continue;
+      w = std::max(w, m.shape.right());
+      h = std::max(h, m.shape.top());
+    }
+    ASSERT_EQ(b.width, w) << "die " << d;
+    ASSERT_EQ(b.height, h) << "die " << d;
+  }
+}
+
+TEST(IncrementalEval, MixedMovesWithRevertsKeepCachesExact) {
+  Floorplan3D fp = small_instance(5);
+  Rng rng(17);
+  fpn::LayoutState s = fpn::LayoutState::initial(fp, rng);
+  s.apply_to(fp);
+  power::ElmoreTiming timing(fp);
+  expect_caches_match_full(fp, timing);
+
+  // Thousands of mixed moves through the public state API; roughly a
+  // third are reverted right after being checked (exercising the
+  // fresh-version revert path), mirroring SA rejection.
+  for (std::size_t step = 0; step < 2000; ++step) {
+    const double roll = rng.uniform();
+    // The revert closure undoes the move through the same public ops.
+    std::function<void()> revert;
+    if (roll < 0.25) {
+      // Resize (rotate) one module.
+      const std::size_t id = rng.index(s.width.size());
+      std::swap(s.width[id], s.height[id]);
+      s.touch_die(s.die_of[id]);
+      revert = [&s, id] {
+        std::swap(s.width[id], s.height[id]);
+        s.touch_die(s.die_of[id]);
+      };
+    } else if (roll < 0.40 && s.die_sp.size() > 1) {
+      // Transfer a module to the other die.
+      const std::size_t id = rng.index(s.die_of.size());
+      const std::size_t from = s.die_of[id];
+      if (s.die_sp[from].size() < 2) continue;
+      std::size_t to = rng.index(s.die_sp.size() - 1);
+      if (to >= from) ++to;
+      const auto& pos = s.die_sp[from].positive();
+      const auto& neg = s.die_sp[from].negative();
+      const auto pos_slot = static_cast<std::size_t>(
+          std::find(pos.begin(), pos.end(), id) - pos.begin());
+      const auto neg_slot = static_cast<std::size_t>(
+          std::find(neg.begin(), neg.end(), id) - neg.begin());
+      s.die_sp[from].remove(id);
+      const std::size_t ins_pos = rng.index(s.die_sp[to].size() + 1);
+      const std::size_t ins_neg = rng.index(s.die_sp[to].size() + 1);
+      s.die_sp[to].insert(id, ins_pos, ins_neg);
+      s.die_of[id] = to;
+      s.touch_die(from);
+      s.touch_die(to);
+      revert = [&s, id, from, to, pos_slot, neg_slot] {
+        s.die_sp[to].remove(id);
+        s.die_sp[from].insert(id, pos_slot, neg_slot);
+        s.die_of[id] = from;
+        s.touch_die(from);
+        s.touch_die(to);
+      };
+    } else {
+      // Intra-die sequence swap (positive, negative, or both).
+      const std::size_t d = rng.index(s.die_sp.size());
+      fpn::SequencePair& sp = s.die_sp[d];
+      if (sp.size() < 2) continue;
+      const std::size_t i = rng.index(sp.size());
+      std::size_t j = rng.index(sp.size() - 1);
+      if (j >= i) ++j;
+      switch (rng.index(3)) {
+        case 0:
+          sp.swap_positive(i, j);
+          revert = [&sp, &s, d, i, j] {
+            sp.swap_positive(i, j);
+            s.touch_die(d);
+          };
+          break;
+        case 1:
+          sp.swap_negative(i, j);
+          revert = [&sp, &s, d, i, j] {
+            sp.swap_negative(i, j);
+            s.touch_die(d);
+          };
+          break;
+        default: {
+          const std::size_t a = sp.positive()[i];
+          const std::size_t b = sp.positive()[j];
+          sp.swap_both(a, b);
+          revert = [&sp, &s, d, a, b] {
+            sp.swap_both(a, b);
+            s.touch_die(d);
+          };
+          break;
+        }
+      }
+      s.touch_die(d);
+    }
+
+    s.apply_to(fp);
+    expect_caches_match_full(fp, timing);
+    if (rng.uniform() < 0.33) {
+      revert();
+      s.apply_to(fp);
+      expect_caches_match_full(fp, timing);
+    }
+  }
+}
+
+TEST(IncrementalEval, BatchedStagingAcrossCopiesKeepsCachesExact) {
+  // The batched path snapshots the base state, applies candidate copies,
+  // and finally adopts one (or re-applies the base): stamps must keep
+  // every write exact across the copy family.
+  Floorplan3D fp = small_instance(8);
+  Rng rng(23);
+  fpn::LayoutState base = fpn::LayoutState::initial(fp, rng);
+  base.apply_to(fp);
+  power::ElmoreTiming timing(fp);
+
+  for (std::size_t round = 0; round < 200; ++round) {
+    std::vector<fpn::LayoutState> candidates;
+    for (std::size_t j = 0; j < 3; ++j) {
+      // Derive each candidate from the base by one swap move.
+      fpn::LayoutState cand = base;
+      fpn::SequencePair& sp = cand.die_sp[rng.index(cand.die_sp.size())];
+      if (sp.size() < 2) continue;
+      const std::size_t i = rng.index(sp.size());
+      std::size_t k = rng.index(sp.size() - 1);
+      if (k >= i) ++k;
+      sp.swap_both(sp.positive()[i], sp.positive()[k]);
+      cand.touch_die(cand.die_of[sp.positive()[i]]);
+      candidates.push_back(std::move(cand));
+    }
+    for (const fpn::LayoutState& cand : candidates) {
+      cand.apply_to(fp);
+      expect_caches_match_full(fp, timing);
+    }
+    // Adopt the last candidate (if any) or fall back to the base.
+    if (!candidates.empty() && rng.uniform() < 0.5)
+      base = std::move(candidates.back());
+    base.apply_to(fp);
+    expect_caches_match_full(fp, timing);
+  }
+}
+
+// ---------------------------------------------------------------------------
+
+/// Everything one annealing run produces that determinism can bite on.
+struct AnnealOutcome {
+  fpn::AnnealStats stats;
+  std::vector<double> width, height;
+  std::vector<std::size_t> die_of;
+  std::vector<double> coords;   ///< final module x/y as applied to the fp
+  std::uint64_t rng_after = 0;  ///< next raw draw: stream-position probe
+};
+
+void expect_same_outcome(const AnnealOutcome& a, const AnnealOutcome& b) {
+  EXPECT_EQ(a.stats.moves, b.stats.moves);
+  EXPECT_EQ(a.stats.accepted, b.stats.accepted);
+  EXPECT_EQ(a.stats.full_evals, b.stats.full_evals);
+  EXPECT_EQ(a.stats.repair_moves, b.stats.repair_moves);
+  EXPECT_EQ(a.stats.found_legal, b.stats.found_legal);
+  EXPECT_EQ(a.stats.initial_temperature, b.stats.initial_temperature);
+  EXPECT_EQ(a.stats.best_cost, b.stats.best_cost);  // bitwise, not ULP-near
+  ASSERT_EQ(a.width.size(), b.width.size());
+  for (std::size_t i = 0; i < a.width.size(); ++i) {
+    EXPECT_EQ(a.width[i], b.width[i]) << "module " << i;
+    EXPECT_EQ(a.height[i], b.height[i]) << "module " << i;
+    EXPECT_EQ(a.die_of[i], b.die_of[i]) << "module " << i;
+  }
+  ASSERT_EQ(a.coords.size(), b.coords.size());
+  for (std::size_t i = 0; i < a.coords.size(); ++i)
+    EXPECT_EQ(a.coords[i], b.coords[i]) << "coord " << i;
+  EXPECT_EQ(a.rng_after, b.rng_after);
+}
+
+/// One full anneal; `incremental` toggles the whole pipeline exactly as
+/// the floorplanner does (evaluator dispatch AND dirty-die packing).
+/// k == 0 is the classic step loop, k > 1 the batched one.
+AnnealOutcome run_anneal(bool incremental, std::size_t k,
+                         std::uint64_t seed) {
+  Floorplan3D fp = small_instance(4);
+  ThermalConfig cfg;
+  cfg.grid_nx = cfg.grid_ny = 16;
+  thermal::GridSolver solver(fp.tech(), cfg);
+  const thermal::PowerBlur blur(solver, 5);
+  fpn::CostEvaluator::Options eopt;
+  eopt.weights = fpn::tsc_aware_weights();
+  eopt.leakage_grid = 16;
+  eopt.incremental = incremental;
+  fpn::CostEvaluator eval(fp, blur, eopt);
+
+  fpn::AnnealOptions opt;
+  opt.total_moves = 1600;
+  opt.stages = 8;
+  opt.full_eval_interval = 90;
+  fpn::Annealer annealer(fp, eval, opt);
+
+  Rng rng(seed);
+  fpn::LayoutState state = fpn::LayoutState::initial(fp, rng);
+  if (!incremental) state.disable_tracking();  // end-to-end seed path
+  fpn::AnnealSession session = annealer.begin(state, rng);
+  if (k == 0) {
+    while (annealer.run_stage(session, rng)) {
+    }
+  } else {
+    while (annealer.run_stage_batched(session, rng, k)) {
+    }
+  }
+  AnnealOutcome out;
+  out.stats = annealer.finish(session, rng);
+  out.width = state.width;
+  out.height = state.height;
+  out.die_of = state.die_of;
+  for (const Module& m : fp.modules()) {
+    out.coords.push_back(m.shape.x);
+    out.coords.push_back(m.shape.y);
+  }
+  out.rng_after = rng();
+  return out;
+}
+
+TEST(IncrementalEval, FullRunBitwiseMatchesNonIncremental) {
+  // The tentpole's acceptance contract: the incremental pipeline must be
+  // an optimization, not a behavior change -- whole runs agree bit for
+  // bit with the rescan-everything path.
+  expect_same_outcome(run_anneal(true, 0, 33), run_anneal(false, 0, 33));
+}
+
+TEST(IncrementalEval, BatchedRunBitwiseMatchesNonIncremental) {
+  expect_same_outcome(run_anneal(true, 4, 21), run_anneal(false, 4, 21));
+}
+
+// ---------------------------------------------------------------------------
+
+TEST(IncrementalEval, CrossCheckSilentOnCleanRunThrowsOnCorruption) {
+  Floorplan3D fp = small_instance(6);
+  ThermalConfig cfg;
+  cfg.grid_nx = cfg.grid_ny = 16;
+  thermal::GridSolver solver(fp.tech(), cfg);
+  const thermal::PowerBlur blur(solver, 5);
+  fpn::CostEvaluator::Options eopt;
+  eopt.leakage_grid = 16;
+  eopt.cross_check_interval = 1;  // verify EVERY cheap evaluation
+  fpn::CostEvaluator eval(fp, blur, eopt);
+
+  Rng rng(3);
+  fpn::LayoutState s = fpn::LayoutState::initial(fp, rng);
+  s.apply_to(fp);
+  (void)eval.evaluate_full();
+  // A clean move/eval loop must never trip the guard.
+  for (std::size_t step = 0; step < 50; ++step) {
+    fpn::SequencePair& sp = s.die_sp[rng.index(s.die_sp.size())];
+    const std::size_t i = rng.index(sp.size());
+    std::size_t j = rng.index(sp.size() - 1);
+    if (j >= i) ++j;
+    sp.swap_both(sp.positive()[i], sp.positive()[j]);
+    s.touch_die(s.die_of[sp.positive()[i]]);
+    s.apply_to(fp);
+    EXPECT_NO_THROW((void)eval.evaluate_cheap());
+  }
+  // Moving a module behind the database's back must be caught.  The
+  // offset is a full die width so the bbox/outline terms diverge no
+  // matter where the module sat.
+  fp.modules()[0].shape.x += fp.tech().die_width_um;  // no note: corruption
+  EXPECT_THROW((void)eval.evaluate_cheap(), std::logic_error);
+}
+
+// ---------------------------------------------------------------------------
+
+TEST(IncrementalEvalParallel, BatchedChainsDeterministicAndMatchSeedPath) {
+  // Incremental state flowing through batched parallel-tempering chains:
+  // threaded and sequential scheduling must agree exactly, a threaded
+  // repeat must agree, and the whole thing must equal the
+  // rescan-everything pipeline.  Runs under TSan on CI.
+  auto setup = [](bool parallel, bool incremental) {
+    fpn::ChainSetup s;
+    s.fast_thermal.grid_nx = s.fast_thermal.grid_ny = 16;
+    s.blur_radius = 5;
+    s.detailed_inner_thermal = true;
+    s.engine_parallel.threads = 2;
+    s.eval.weights = fpn::power_aware_weights();
+    s.eval.leakage_grid = 16;
+    s.eval.incremental = incremental;
+    s.anneal.total_moves = 1000;
+    s.anneal.stages = 5;
+    s.anneal.full_eval_interval = 150;
+    s.anneal.thermal_eval_interval = 9;
+    s.anneal.batch_candidates = 3;
+    s.chains.chains = 3;
+    s.chains.exchange_interval = 2;
+    s.chains.ladder_ratio = 4.0;
+    s.chains.parallel = parallel;
+    return s;
+  };
+  auto run_once = [&](bool parallel, bool incremental) {
+    Floorplan3D fp = small_instance(11);
+    Rng rng(3);
+    fpn::LayoutState initial = fpn::LayoutState::initial(fp, rng);
+    if (!incremental) initial.disable_tracking();
+    fpn::ChainOrchestrator orchestrator(setup(parallel, incremental));
+    const fpn::ChainReport report = orchestrator.run(fp, initial, 42);
+    std::vector<double> coords;
+    for (const Module& m : fp.modules()) {
+      coords.push_back(m.shape.x);
+      coords.push_back(m.shape.y);
+    }
+    return std::make_tuple(report.winner, report.exchange.accepts, coords,
+                           report.chains.at(report.winner).best_cost);
+  };
+  const auto threaded = run_once(true, true);
+  EXPECT_EQ(threaded, run_once(false, true));   // scheduling-independent
+  EXPECT_EQ(threaded, run_once(true, true));    // repeatable
+  EXPECT_EQ(threaded, run_once(false, false));  // equals the seed path
+}
+
+}  // namespace
+}  // namespace tsc3d

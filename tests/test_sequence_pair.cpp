@@ -3,6 +3,8 @@
 // of permutations and any block dimensions.
 #include <gtest/gtest.h>
 
+#include <stdexcept>
+
 #include "core/floorplan.hpp"
 #include "floorplan/sequence_pair.hpp"
 
@@ -81,6 +83,22 @@ TEST(SequencePair, MovesPreservePermutations) {
   };
   EXPECT_EQ(sorted(sp.positive()), (std::vector<std::size_t>{0, 1, 2, 3, 4}));
   EXPECT_EQ(sorted(sp.negative()), (std::vector<std::size_t>{0, 1, 2, 3, 4}));
+}
+
+TEST(SequencePair, SwapBothUnknownModuleLeavesPairIntact) {
+  // Strong exception guarantee: a swap naming an absent module must throw
+  // WITHOUT mutating either sequence -- a half-applied swap would leave
+  // the two sequences describing different arrangements.
+  SequencePair sp(std::vector<std::size_t>{0, 1, 2, 3});
+  Rng rng(9);
+  sp.shuffle(rng);
+  const std::vector<std::size_t> pos = sp.positive();
+  const std::vector<std::size_t> neg = sp.negative();
+  EXPECT_THROW(sp.swap_both(1, 99), std::invalid_argument);
+  EXPECT_THROW(sp.swap_both(99, 1), std::invalid_argument);
+  EXPECT_THROW(sp.swap_both(98, 99), std::invalid_argument);
+  EXPECT_EQ(sp.positive(), pos);
+  EXPECT_EQ(sp.negative(), neg);
 }
 
 TEST(SequencePair, RemoveAndInsert) {
