@@ -41,6 +41,8 @@ struct CliArgs {
   std::size_t batch = 0;    // 0 = from config / default
   std::size_t threads = 0;  // 0 = from config / default
   std::size_t chains = 0;   // 0 = from config / default
+  // SIZE_MAX = from config / default (0 is meaningful: checks off).
+  std::size_t cross_check = static_cast<std::size_t>(-1);
   bool quiet = false;
   bool help = false;
 };
@@ -64,6 +66,10 @@ void print_usage() {
       "                    incremental move evaluation (dirty-die repack +\n"
       "                    cached wirelength/delay/outline; default on,\n"
       "                    bitwise-identical results either way)\n"
+      "  --cross-check=N   every Nth incremental cheap evaluation, verify\n"
+      "                    the cached terms against a full rescan and abort\n"
+      "                    on any bitwise mismatch (0 = off; defaults to\n"
+      "                    256 in debug builds, 0 in release)\n"
       "  --seed=N          RNG seed (default 1)\n"
       "  --moves=N         SA moves (0 = auto)\n"
       "  --batch=K         candidate moves scored per annealing step\n"
@@ -99,6 +105,8 @@ CliArgs parse_args(int argc, char** argv) {
     else if (arg.rfind("--solver=", 0) == 0) args.solver = value("--solver=");
     else if (arg.rfind("--incremental=", 0) == 0)
       args.incremental = value("--incremental=");
+    else if (arg.rfind("--cross-check=", 0) == 0)
+      args.cross_check = std::stoul(value("--cross-check="));
     else if (arg.rfind("--seed=", 0) == 0)
       args.seed = std::stoull(value("--seed="));
     else if (arg.rfind("--moves=", 0) == 0)
@@ -157,6 +165,8 @@ int main(int argc, char** argv) {
       opt.incremental_eval = false;
     else if (!args.incremental.empty())
       throw std::runtime_error("--incremental must be 'on' or 'off'");
+    if (args.cross_check != static_cast<std::size_t>(-1))
+      opt.cross_check_interval = args.cross_check;
 
     TechnologyConfig tech;
     config::apply_technology(cfg, tech);

@@ -6,6 +6,7 @@
 
 #include "benchgen/generator.hpp"
 #include "floorplan/annealer.hpp"
+#include "floorplan/move_transaction.hpp"
 #include "floorplan/sequence_pair.hpp"
 #include "leakage/pearson.hpp"
 #include "leakage/spatial_entropy.hpp"
@@ -287,12 +288,13 @@ const benchgen::BenchmarkSpec& n800_spec() {
 
 /// The annealer's cheap-evaluation inner loop at n800: real proposal
 /// moves (run_stage with a huge full-eval interval, so every move is
-/// move -> apply_to -> evaluate_cheap -> Metropolis), with the
-/// incremental pipeline on (incremental:1) or the seed's
-/// rescan-everything path (incremental:0).  items_per_second is
-/// annealing moves per second; scripts/check_perf.py gates
-/// incremental:1's absolute moves/sec (--min-moves-per-sec) plus the
-/// step-level speedup, and gates the >= 5x cheap-eval ratio on
+/// move -> stage -> evaluate_cheap -> Metropolis), with the incremental
+/// pipeline on (incremental:1 -- since PR 7 this routes through
+/// MoveTransaction, so rejected moves roll their caches back instead of
+/// re-packing) or the seed's rescan-everything path (incremental:0).
+/// items_per_second is annealing moves per second; scripts/check_perf.py
+/// gates incremental:1's absolute moves/sec (--min-moves-per-sec) plus
+/// the step-level speedup, and gates the >= 5x cheap-eval ratio on
 /// BM_CheapEval (the evaluator call isolated from move proposal and
 /// repacking, which the incremental pipeline cannot skip).
 void BM_AnnealStepCheap(benchmark::State& state) {
@@ -322,7 +324,13 @@ void BM_AnnealStepCheap(benchmark::State& state) {
   floorplan::AnnealSession session = annealer.begin(s, rng);
   for (auto _ : state) {
     annealer.run_stage(session, rng);
-    benchmark::DoNotOptimize(session.current.total);
+    // Hand DoNotOptimize a dead copy, never live annealer state: the
+    // lvalue overload's read-write "+m,r" asm constraint can write the
+    // value back through a scratch register (observed corrupting
+    // session.current.total under GCC 12, which sent the Metropolis
+    // loop into a reject-everything spiral and halved the measurement).
+    double observed_total = session.current.total;
+    benchmark::DoNotOptimize(observed_total);
   }
   state.SetItemsProcessed(static_cast<int64_t>(state.iterations()) *
                           static_cast<int64_t>(kMovesPerStage));
@@ -417,6 +425,112 @@ void BM_FullHpwl(benchmark::State& state) {
   }
 }
 BENCHMARK(BM_FullHpwl)->Unit(benchmark::kMicrosecond);
+
+/// The reject path in isolation at n800: a forced-reject move stream
+/// where every iteration proposes a real intra-die swap, publishes it,
+/// prices it with evaluate_cheap(), and throws it away.
+/// transactional:0 is the classic pattern -- revert() mints fresh die
+/// versions, so the rejected die is re-packed and its nets re-priced on
+/// the NEXT publication (the double-apply_to cost the transaction
+/// removes).  transactional:1 runs the same stream through
+/// MoveTransaction: rollback restores the journaled cache cells and the
+/// die versions, so the next apply_to() skips the rejected die
+/// outright.  Consecutive moves alternate dies deterministically: when
+/// the next move lands on the SAME die, the classic re-pack coalesces
+/// with the new move's own repack, which at D dies happens with
+/// probability 1/D -- alternation prices the common D-die case instead
+/// of the 2-die lucky one.  scripts/check_perf.py gates the
+/// transactional:0 / transactional:1 ratio (--min-reject-speedup).
+void BM_AnnealStepReject(benchmark::State& state) {
+  const bool transactional = state.range(0) != 0;
+  Floorplan3D fp = benchgen::generate(n800_spec(), 1);
+  ThermalConfig cfg;
+  cfg.grid_nx = cfg.grid_ny = 32;
+  const thermal::GridSolver solver(fp.tech(), cfg);
+  const thermal::PowerBlur blur(solver, 10);
+  floorplan::CostEvaluator::Options eval_opt;
+  eval_opt.leakage_grid = 32;
+  eval_opt.incremental = true;
+  eval_opt.cross_check_interval = 0;  // measure the pipeline, not the guard
+  floorplan::CostEvaluator eval(fp, blur, eval_opt);
+  Rng rng(1);
+  floorplan::LayoutState s = floorplan::LayoutState::initial(fp, rng);
+  s.apply_to(fp);
+  benchmark::DoNotOptimize(eval.evaluate_cheap().total);  // prime caches
+  floorplan::MoveTransaction txn(fp, eval);
+  std::size_t next_die = 0;
+  for (auto _ : state) {
+    floorplan::MoveRecord rec;
+    rec.kind = floorplan::MoveRecord::Kind::swap_both;
+    rec.die_a = next_die;
+    next_die = (next_die + 1) % s.die_sp.size();
+    floorplan::SequencePair& sp = s.die_sp[rec.die_a];
+    const std::size_t i = rng.index(sp.size());
+    std::size_t j = rng.index(sp.size() - 1);
+    if (j >= i) ++j;
+    rec.module_a = sp.positive()[i];
+    rec.module_b = sp.positive()[j];
+    if (transactional) {
+      txn.open(s);
+      sp.swap_both(rec.module_a, rec.module_b);
+      s.touch_die(rec.die_a);
+      txn.stage();
+      benchmark::DoNotOptimize(eval.evaluate_cheap().total);
+      txn.rollback(rec);
+    } else {
+      sp.swap_both(rec.module_a, rec.module_b);
+      s.touch_die(rec.die_a);
+      s.apply_to(fp);
+      benchmark::DoNotOptimize(eval.evaluate_cheap().total);
+      rec.revert(s);  // fresh versions: the next apply_to() re-packs
+    }
+  }
+  state.SetItemsProcessed(static_cast<int64_t>(state.iterations()));
+}
+BENCHMARK(BM_AnnealStepReject)
+    ->ArgName("transactional")->Arg(0)->Arg(1)
+    ->Unit(benchmark::kMicrosecond)->UseRealTime();
+
+/// The bare transaction bracket at n800: open -> mutate -> stage ->
+/// rollback with no evaluation in between, i.e. the journaling +
+/// dirty-die repack + bitwise restore a speculative move costs before
+/// any cost term is read.  Reported for context (the end-to-end reject
+/// ratio is gated via BM_AnnealStepReject).
+void BM_TrialMove(benchmark::State& state) {
+  Floorplan3D fp = benchgen::generate(n800_spec(), 1);
+  ThermalConfig cfg;
+  cfg.grid_nx = cfg.grid_ny = 32;
+  const thermal::GridSolver solver(fp.tech(), cfg);
+  const thermal::PowerBlur blur(solver, 10);
+  floorplan::CostEvaluator::Options eval_opt;
+  eval_opt.leakage_grid = 32;
+  eval_opt.incremental = true;
+  eval_opt.cross_check_interval = 0;
+  floorplan::CostEvaluator eval(fp, blur, eval_opt);
+  Rng rng(1);
+  floorplan::LayoutState s = floorplan::LayoutState::initial(fp, rng);
+  s.apply_to(fp);
+  benchmark::DoNotOptimize(eval.evaluate_cheap().total);  // prime caches
+  floorplan::MoveTransaction txn(fp, eval);
+  for (auto _ : state) {
+    floorplan::MoveRecord rec;
+    rec.kind = floorplan::MoveRecord::Kind::swap_both;
+    rec.die_a = rng.index(s.die_sp.size());
+    floorplan::SequencePair& sp = s.die_sp[rec.die_a];
+    const std::size_t i = rng.index(sp.size());
+    std::size_t j = rng.index(sp.size() - 1);
+    if (j >= i) ++j;
+    rec.module_a = sp.positive()[i];
+    rec.module_b = sp.positive()[j];
+    txn.open(s);
+    sp.swap_both(rec.module_a, rec.module_b);
+    s.touch_die(rec.die_a);
+    txn.stage();
+    txn.rollback(rec);
+  }
+  state.SetItemsProcessed(static_cast<int64_t>(state.iterations()));
+}
+BENCHMARK(BM_TrialMove)->Unit(benchmark::kMicrosecond);
 
 }  // namespace
 

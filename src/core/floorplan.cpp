@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <cmath>
 #include <sstream>
+#include <stdexcept>
 
 namespace tsc3d {
 
@@ -199,11 +200,15 @@ void Floorplan3D::note_module_moved(std::size_t i, bool die_changed) {
   ensure_die_caches();
   ++layout_epoch_;
   for (const std::size_t n : nets_of_module_[i]) {
+    if (trial_active_) trial_save_net(n);
     net_epoch_[n] = layout_epoch_;
     if (die_changed) net_die_epoch_[n] = layout_epoch_;
   }
   const std::size_t d = modules_[i].die;
-  if (d < die_bounds_valid_.size()) die_bounds_valid_[d] = false;
+  if (d < die_bounds_valid_.size()) {
+    if (trial_active_) trial_save_die(d);
+    die_bounds_valid_[d] = false;
+  }
 }
 
 const std::vector<std::size_t>& Floorplan3D::nets_of_module(
@@ -242,6 +247,7 @@ double Floorplan3D::hpwl_cached() {
   double total = 0.0;
   for (std::size_t n = 0; n < nets_.size(); ++n) {
     if (net_hpwl_epoch_[n] != net_epoch_[n]) {
+      if (trial_active_) trial_save_net(n);
       // One scan serves both the weighted HPWL term and, via
       // net_length_cached(), the timing engine's wire length.
       const double len = net_box_len(nets_[n]);
@@ -266,6 +272,7 @@ bool Floorplan3D::net_length_cached(std::size_t n, double& len_um) const {
 Floorplan3D::DieBounds Floorplan3D::die_bounds(std::size_t d) const {
   ensure_die_caches();
   if (!die_bounds_valid_.at(d)) {
+    if (trial_active_) trial_save_die(d);
     DieBounds b;
     for (const Module& m : modules_) {
       if (m.die != d) continue;
@@ -280,6 +287,7 @@ Floorplan3D::DieBounds Floorplan3D::die_bounds(std::size_t d) const {
 
 void Floorplan3D::set_die_bounds(std::size_t d, double width, double height) {
   ensure_die_caches();
+  if (trial_active_) trial_save_die(d);
   die_bounds_.at(d) = DieBounds{width, height};
   die_bounds_valid_[d] = true;
 }
@@ -294,10 +302,112 @@ bool Floorplan3D::layout_stamp_matches(std::size_t d, std::uint64_t family,
 void Floorplan3D::set_layout_stamp(std::size_t d, std::uint64_t family,
                                    std::uint64_t version) {
   ensure_die_caches();
-  if (d < die_stamp_.size()) die_stamp_[d] = LayoutStamp{family, version};
+  if (d < die_stamp_.size()) {
+    if (trial_active_) trial_save_die(d);
+    die_stamp_[d] = LayoutStamp{family, version};
+  }
+}
+
+// --- trial (speculative) layout mutation ----------------------------------
+
+void Floorplan3D::begin_trial() {
+  if (trial_active_)
+    throw std::logic_error("Floorplan3D::begin_trial: trial already open");
+  // Build the lazy structures now: a mid-trial rebuild would reassign
+  // every net epoch and could not be unwound.
+  ensure_net_index();
+  ensure_die_caches();
+  if (trial_mark_module_.size() != modules_.size())
+    trial_mark_module_.assign(modules_.size(), 0);
+  if (trial_mark_net_.size() != nets_.size())
+    trial_mark_net_.assign(nets_.size(), 0);
+  if (trial_mark_die_.size() != tech_.num_dies)
+    trial_mark_die_.assign(tech_.num_dies, 0);
+  ++trial_id_;
+  trial_modules_.clear();
+  trial_nets_.clear();
+  trial_dies_.clear();
+  trial_active_ = true;
+}
+
+void Floorplan3D::commit_trial() {
+  if (!trial_active_)
+    throw std::logic_error("Floorplan3D::commit_trial: no trial open");
+  trial_active_ = false;
+  trial_modules_.clear();
+  trial_nets_.clear();
+  trial_dies_.clear();
+}
+
+void Floorplan3D::rollback_trial() {
+  if (!trial_active_)
+    throw std::logic_error("Floorplan3D::rollback_trial: no trial open");
+  trial_active_ = false;
+  for (const TrialModule& jm : trial_modules_) {
+    modules_[jm.i].shape = jm.shape;
+    modules_[jm.i].die = jm.die;
+  }
+  for (const TrialNet& jn : trial_nets_) {
+    net_epoch_[jn.n] = jn.epoch;
+    net_die_epoch_[jn.n] = jn.die_epoch;
+    if (jn.n < net_hpwl_epoch_.size()) {
+      if (jn.had_hpwl) {
+        net_hpwl_epoch_[jn.n] = jn.hpwl_epoch;
+        net_hpwl_cache_[jn.n] = jn.hpwl;
+        net_len_cache_[jn.n] = jn.len;
+      } else {
+        // The cache rows were created mid-trial; mark never-computed so
+        // the next hpwl_cached() recomputes from the restored positions.
+        net_hpwl_epoch_[jn.n] = 0;
+      }
+    }
+  }
+  for (const TrialDie& jd : trial_dies_) {
+    die_bounds_[jd.d] = jd.bounds;
+    die_bounds_valid_[jd.d] = jd.bounds_valid;
+    die_stamp_[jd.d] = jd.stamp;
+  }
+  trial_modules_.clear();
+  trial_nets_.clear();
+  trial_dies_.clear();
+}
+
+void Floorplan3D::trial_save_module(std::size_t i) {
+  if (!trial_active_ || trial_mark_module_[i] == trial_id_) return;
+  trial_mark_module_[i] = trial_id_;
+  trial_modules_.push_back(
+      TrialModule{i, modules_[i].shape, modules_[i].die});
+}
+
+void Floorplan3D::trial_save_net(std::size_t n) const {
+  if (trial_mark_net_[n] == trial_id_) return;
+  trial_mark_net_[n] = trial_id_;
+  TrialNet jn;
+  jn.n = n;
+  jn.epoch = net_epoch_[n];
+  jn.die_epoch = net_die_epoch_[n];
+  if (n < net_hpwl_epoch_.size()) {
+    jn.had_hpwl = true;
+    jn.hpwl_epoch = net_hpwl_epoch_[n];
+    jn.hpwl = net_hpwl_cache_[n];
+    jn.len = net_len_cache_[n];
+  }
+  trial_nets_.push_back(jn);
+}
+
+void Floorplan3D::trial_save_die(std::size_t d) const {
+  if (trial_mark_die_[d] == trial_id_) return;
+  trial_mark_die_[d] = trial_id_;
+  trial_dies_.push_back(
+      TrialDie{d, die_bounds_[d], die_bounds_valid_[d] != false,
+               die_stamp_[d]});
 }
 
 void Floorplan3D::invalidate_layout_caches() {
+  if (trial_active_)
+    throw std::logic_error(
+        "Floorplan3D::invalidate_layout_caches: trial open -- commit or "
+        "roll back first");
   net_index_ready_ = false;
   nets_of_module_.clear();
   net_epoch_.clear();

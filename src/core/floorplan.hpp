@@ -199,8 +199,36 @@ class Floorplan3D {
   /// Drop every incremental cache: incidence index, net epochs (all nets
   /// dirty), die bounds, and layout stamps.  Call after mutating nets,
   /// terminals, or module placements outside apply_to()/
-  /// note_module_moved().
+  /// note_module_moved().  Illegal while a trial is open.
   void invalidate_layout_caches();
+
+  // --- trial (speculative) layout mutation --------------------------------
+  // A trial brackets one speculative move: between begin_trial() and
+  // commit_trial()/rollback_trial(), every mutation of module placements
+  // and of the incremental caches above journals its pre-trial value on
+  // first touch.  commit_trial() drops the journal (the mutations stand);
+  // rollback_trial() restores every journaled module shape/die, net
+  // epoch, per-net HPWL cache entry, die bbox, and layout stamp to its
+  // pre-trial bits -- so a rejected move leaves the database exactly as
+  // if it never happened, including the stamps that let the next
+  // LayoutState::apply_to skip the dies entirely.  The global
+  // layout_epoch_ is deliberately NOT rolled back: it stays monotone, so
+  // epochs minted inside an abandoned trial can never collide with
+  // later ones.  Trials do not nest.
+
+  /// Open a trial.  Builds the incidence index and die caches up front so
+  /// no lazy rebuild (which resets every net epoch) can fire mid-trial.
+  void begin_trial();
+  /// Keep every mutation since begin_trial(); drops the journal.
+  void commit_trial();
+  /// Undo every journaled mutation since begin_trial(), bitwise.
+  void rollback_trial();
+  [[nodiscard]] bool in_trial() const { return trial_active_; }
+
+  /// Journal module `i`'s shape and die before an in-trial write.  Called
+  /// by LayoutState::apply_to ahead of each module it rewrites; no-op
+  /// outside a trial or on a module already journaled this trial.
+  void trial_save_module(std::size_t i);
 
   /// Bounding-box footprint of a TSV island placed at `t.position`.
   [[nodiscard]] Rect tsv_island_rect(const Tsv& t) const;
@@ -237,6 +265,43 @@ class Floorplan3D {
   mutable std::vector<LayoutStamp> die_stamp_;       ///< per die
   mutable std::vector<DieBounds> die_bounds_;        ///< per die
   mutable std::vector<bool> die_bounds_valid_;
+
+  // --- trial journal (see "trial (speculative) layout mutation") ---------
+  // First-touch journaling: mark arrays compare against trial_id_ (bumped
+  // per begin_trial, so clearing them is O(1)); each journal entry holds
+  // the complete pre-trial state of one module / net cache row / die
+  // cache row.  Mutable because const readers (the die_bounds lazy scan)
+  // also write cache rows and must journal them.
+  struct TrialModule {
+    std::size_t i = 0;
+    Rect shape;
+    std::size_t die = 0;
+  };
+  struct TrialNet {
+    std::size_t n = 0;
+    std::uint64_t epoch = 0;
+    std::uint64_t die_epoch = 0;
+    bool had_hpwl = false;  ///< hpwl cache rows existed at capture time
+    std::uint64_t hpwl_epoch = 0;
+    double hpwl = 0.0;
+    double len = 0.0;
+  };
+  struct TrialDie {
+    std::size_t d = 0;
+    DieBounds bounds;
+    bool bounds_valid = false;
+    LayoutStamp stamp;
+  };
+  void trial_save_net(std::size_t n) const;
+  void trial_save_die(std::size_t d) const;
+  bool trial_active_ = false;
+  mutable std::uint64_t trial_id_ = 0;
+  mutable std::vector<std::uint64_t> trial_mark_module_;
+  mutable std::vector<std::uint64_t> trial_mark_net_;
+  mutable std::vector<std::uint64_t> trial_mark_die_;
+  mutable std::vector<TrialModule> trial_modules_;
+  mutable std::vector<TrialNet> trial_nets_;
+  mutable std::vector<TrialDie> trial_dies_;
 };
 
 }  // namespace tsc3d

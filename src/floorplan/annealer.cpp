@@ -4,6 +4,8 @@
 #include <cmath>
 #include <numeric>
 
+#include "floorplan/move_transaction.hpp"
+
 namespace tsc3d::floorplan {
 
 LayoutState LayoutState::initial(const Floorplan3D& fp, Rng& rng,
@@ -130,6 +132,10 @@ void LayoutState::apply_to(Floorplan3D& fp) const {
           die_changed || m.shape.x != p.position[k].x ||
           m.shape.y != p.position[k].y || m.shape.w != width[order[k]] ||
           m.shape.h != height[order[k]];
+      // Under a trial bracket, journal the module's pre-move shape/die
+      // before the first write so a rollback can restore it bitwise
+      // (unchanged modules rewrite identical values and need no journal).
+      if (changed && fp.in_trial()) fp.trial_save_module(order[k]);
       m.die = d;
       m.shape.x = p.position[k].x;
       m.shape.y = p.position[k].y;
@@ -144,87 +150,38 @@ void LayoutState::apply_to(Floorplan3D& fp) const {
   }
 }
 
-/// Undo record: enough information to revert any single move.
-struct Annealer::Undo {
-  enum class Kind { none, swap_pos, swap_neg, swap_both, resize, transfer,
-                    exchange };
-  Kind kind = Kind::none;
-  std::size_t die_a = 0, die_b = 0;
-  std::size_t slot_i = 0, slot_j = 0;
-  std::size_t module_a = 0, module_b = 0;
-  double old_w = 0.0, old_h = 0.0;
-  std::size_t old_pos_slot = 0, old_neg_slot = 0;
-  std::size_t old_pos_slot_b = 0, old_neg_slot_b = 0;
-
-  void revert(LayoutState& s) const {
-    // Reverts re-dirty the dies they restore: versions never repeat, so
-    // the restored content gets a FRESH version (the cached packing goes
-    // stale, but stamp equality stays sound -- see the LayoutState doc).
-    switch (kind) {
-      case Kind::none:
-        break;
-      case Kind::swap_pos:
-        s.die_sp[die_a].swap_positive(slot_i, slot_j);
-        s.touch_die(die_a);
-        break;
-      case Kind::swap_neg:
-        s.die_sp[die_a].swap_negative(slot_i, slot_j);
-        s.touch_die(die_a);
-        break;
-      case Kind::swap_both:
-        s.die_sp[die_a].swap_both(module_a, module_b);
-        s.touch_die(die_a);
-        break;
-      case Kind::resize:
-        s.width[module_a] = old_w;
-        s.height[module_a] = old_h;
-        s.touch_die(s.die_of[module_a]);
-        break;
-      case Kind::transfer:
-        s.die_sp[die_b].remove(module_a);
-        s.die_sp[die_a].insert(module_a, old_pos_slot, old_neg_slot);
-        s.die_of[module_a] = die_a;
-        s.touch_die(die_a);
-        s.touch_die(die_b);
-        break;
-      case Kind::exchange:
-        s.die_sp[die_b].remove(module_a);
-        s.die_sp[die_a].remove(module_b);
-        s.die_sp[die_a].insert(module_a, old_pos_slot, old_neg_slot);
-        s.die_sp[die_b].insert(module_b, old_pos_slot_b, old_neg_slot_b);
-        s.die_of[module_a] = die_a;
-        s.die_of[module_b] = die_b;
-        s.touch_die(die_a);
-        s.touch_die(die_b);
-        break;
-    }
-  }
-};
-
 Annealer::Annealer(Floorplan3D& fp, CostEvaluator& evaluator,
                    AnnealOptions options)
     : fp_(fp), eval_(evaluator), opt_(options) {}
 
-double Annealer::move_size_factor(const Undo& undo) {
+double Annealer::move_size_factor(const MoveRecord& rec) {
   // Thermal reach of a move: how far the power map can shift.  A resize
   // nudges one module's footprint, an intra-die swap relocates one or
   // two modules within a die, a transfer moves a module's whole power
   // budget to another die, and an exchange does that twice.
-  switch (undo.kind) {
-    case Undo::Kind::resize:
+  switch (rec.kind) {
+    case MoveRecord::Kind::resize:
       return 0.25;
-    case Undo::Kind::swap_pos:
-    case Undo::Kind::swap_neg:
-    case Undo::Kind::swap_both:
+    case MoveRecord::Kind::swap_pos:
+    case MoveRecord::Kind::swap_neg:
+    case MoveRecord::Kind::swap_both:
       return 0.5;
-    case Undo::Kind::transfer:
+    case MoveRecord::Kind::transfer:
       return 0.75;
-    case Undo::Kind::exchange:
+    case MoveRecord::Kind::exchange:
       return 1.0;
-    case Undo::Kind::none:
+    case MoveRecord::Kind::none:
       break;
   }
   return 0.0;
+}
+
+bool Annealer::use_transactions(const LayoutState& state) const {
+  // Transactions lean on the incremental machinery: rollback restores
+  // journaled cache cells and the state's die versions so the floorplan
+  // stamps keep matching.  Without tracking or incremental caches there
+  // is nothing to skip, and the classic loops are the honest baseline.
+  return opt_.transactional && eval_.options().incremental && state.tracked();
 }
 
 void Annealer::apply_tolerance_schedule(const AnnealSession& s,
@@ -242,19 +199,19 @@ void Annealer::apply_tolerance_schedule(const AnnealSession& s,
       (opt_.inner_tolerance_scale - 1.0) * std::sqrt(ratio) * move_factor);
 }
 
-void Annealer::random_move(LayoutState& s, Rng& rng, Undo& undo) const {
+void Annealer::random_move(LayoutState& s, Rng& rng, MoveRecord& rec) const {
   const std::size_t dies = s.die_sp.size();
-  undo.kind = Undo::Kind::none;
+  rec.kind = MoveRecord::Kind::none;
   const double roll = rng.uniform();
 
   if (roll < opt_.resize_prob) {
     // Resize a soft module / rotate a hard one.
     const std::size_t id = rng.index(s.width.size());
     const Module& m = fp_.modules()[id];
-    undo.kind = Undo::Kind::resize;
-    undo.module_a = id;
-    undo.old_w = s.width[id];
-    undo.old_h = s.height[id];
+    rec.kind = MoveRecord::Kind::resize;
+    rec.module_a = id;
+    rec.old_w = s.width[id];
+    rec.old_h = s.height[id];
     if (m.soft && m.max_aspect > m.min_aspect) {
       const double ar = rng.uniform(m.min_aspect, m.max_aspect);
       s.width[id] = std::sqrt(m.area_um2 * ar);
@@ -262,6 +219,8 @@ void Annealer::random_move(LayoutState& s, Rng& rng, Undo& undo) const {
     } else {
       std::swap(s.width[id], s.height[id]);
     }
+    rec.new_w = s.width[id];
+    rec.new_h = s.height[id];
     s.touch_die(s.die_of[id]);
     return;
   }
@@ -275,17 +234,21 @@ void Annealer::random_move(LayoutState& s, Rng& rng, Undo& undo) const {
       // Remember the module's slots for the revert.
       const auto& pos = s.die_sp[from].positive();
       const auto& neg = s.die_sp[from].negative();
-      undo.old_pos_slot = static_cast<std::size_t>(
+      rec.old_pos_slot = static_cast<std::size_t>(
           std::find(pos.begin(), pos.end(), id) - pos.begin());
-      undo.old_neg_slot = static_cast<std::size_t>(
+      rec.old_neg_slot = static_cast<std::size_t>(
           std::find(neg.begin(), neg.end(), id) - neg.begin());
-      undo.kind = Undo::Kind::transfer;
-      undo.module_a = id;
-      undo.die_a = from;
-      undo.die_b = to;
+      rec.kind = MoveRecord::Kind::transfer;
+      rec.module_a = id;
+      rec.die_a = from;
+      rec.die_b = to;
       s.die_sp[from].remove(id);
-      s.die_sp[to].insert(id, rng.index(s.die_sp[to].size() + 1),
-                          rng.index(s.die_sp[to].size() + 1));
+      // The in-argument assignments capture the drawn slots for replay()
+      // without touching the argument evaluation order the unbatched
+      // move stream was calibrated against.
+      s.die_sp[to].insert(id,
+                          rec.ins_pos = rng.index(s.die_sp[to].size() + 1),
+                          rec.ins_neg = rng.index(s.die_sp[to].size() + 1));
       s.die_of[id] = to;
       s.touch_die(from);
       s.touch_die(to);
@@ -300,25 +263,27 @@ void Annealer::random_move(LayoutState& s, Rng& rng, Undo& undo) const {
     if (s.die_of[a] != s.die_of[b]) {
       const std::size_t da = s.die_of[a];
       const std::size_t db = s.die_of[b];
-      undo.kind = Undo::Kind::exchange;
-      undo.module_a = a;
-      undo.module_b = b;
-      undo.die_a = da;
-      undo.die_b = db;
+      rec.kind = MoveRecord::Kind::exchange;
+      rec.module_a = a;
+      rec.module_b = b;
+      rec.die_a = da;
+      rec.die_b = db;
       auto slot = [](const std::vector<std::size_t>& seq, std::size_t id) {
         return static_cast<std::size_t>(
             std::find(seq.begin(), seq.end(), id) - seq.begin());
       };
-      undo.old_pos_slot = slot(s.die_sp[da].positive(), a);
-      undo.old_neg_slot = slot(s.die_sp[da].negative(), a);
-      undo.old_pos_slot_b = slot(s.die_sp[db].positive(), b);
-      undo.old_neg_slot_b = slot(s.die_sp[db].negative(), b);
+      rec.old_pos_slot = slot(s.die_sp[da].positive(), a);
+      rec.old_neg_slot = slot(s.die_sp[da].negative(), a);
+      rec.old_pos_slot_b = slot(s.die_sp[db].positive(), b);
+      rec.old_neg_slot_b = slot(s.die_sp[db].negative(), b);
       s.die_sp[da].remove(a);
       s.die_sp[db].remove(b);
-      s.die_sp[db].insert(a, rng.index(s.die_sp[db].size() + 1),
-                          rng.index(s.die_sp[db].size() + 1));
-      s.die_sp[da].insert(b, rng.index(s.die_sp[da].size() + 1),
-                          rng.index(s.die_sp[da].size() + 1));
+      s.die_sp[db].insert(a,
+                          rec.ins_pos = rng.index(s.die_sp[db].size() + 1),
+                          rec.ins_neg = rng.index(s.die_sp[db].size() + 1));
+      s.die_sp[da].insert(b,
+                          rec.ins_pos_b = rng.index(s.die_sp[da].size() + 1),
+                          rec.ins_neg_b = rng.index(s.die_sp[da].size() + 1));
       s.die_of[a] = db;
       s.die_of[b] = da;
       s.touch_die(da);
@@ -334,25 +299,25 @@ void Annealer::random_move(LayoutState& s, Rng& rng, Undo& undo) const {
   const std::size_t i = rng.index(sp.size());
   std::size_t j = rng.index(sp.size() - 1);
   if (j >= i) ++j;
-  undo.die_a = d;
+  rec.die_a = d;
   switch (rng.index(3)) {
     case 0:
-      undo.kind = Undo::Kind::swap_pos;
-      undo.slot_i = i;
-      undo.slot_j = j;
+      rec.kind = MoveRecord::Kind::swap_pos;
+      rec.slot_i = i;
+      rec.slot_j = j;
       sp.swap_positive(i, j);
       break;
     case 1:
-      undo.kind = Undo::Kind::swap_neg;
-      undo.slot_i = i;
-      undo.slot_j = j;
+      rec.kind = MoveRecord::Kind::swap_neg;
+      rec.slot_i = i;
+      rec.slot_j = j;
       sp.swap_negative(i, j);
       break;
     default:
-      undo.kind = Undo::Kind::swap_both;
-      undo.module_a = sp.positive()[i];
-      undo.module_b = sp.positive()[j];
-      sp.swap_both(undo.module_a, undo.module_b);
+      rec.kind = MoveRecord::Kind::swap_both;
+      rec.module_a = sp.positive()[i];
+      rec.module_b = sp.positive()[j];
+      sp.swap_both(rec.module_a, rec.module_b);
       break;
   }
   s.touch_die(d);
@@ -383,9 +348,9 @@ AnnealSession Annealer::begin(LayoutState& state, Rng& rng) {
     LayoutState probe = state;
     double prev_total = s.current.total;
     for (std::size_t k = 0; k < 60; ++k) {
-      Undo undo;
-      random_move(probe, rng, undo);
-      if (undo.kind == Undo::Kind::none) continue;
+      MoveRecord rec;
+      random_move(probe, rng, rec);
+      if (rec.kind == MoveRecord::Kind::none) continue;
       probe.apply_to(fp_);
       const CostBreakdown c = eval_.evaluate_cheap();
       const double delta = c.total - prev_total;
@@ -486,6 +451,30 @@ void Annealer::stage_cool_and_escalate(AnnealSession& s) {
   ++s.stage;
 }
 
+CostBreakdown Annealer::evaluate_move(AnnealSession& s, double move_factor) {
+  // The full/thermal/cheap cadence of the one-move-per-step loops; the
+  // transactional and classic branches share it so the refresh points --
+  // and therefore the measured values -- land move-for-move identically.
+  CostBreakdown c;
+  ++s.since_thermal;
+  if (++s.since_full >= opt_.full_eval_interval) {
+    apply_tolerance_schedule(s, move_factor);
+    c = eval_.evaluate_full();
+    s.since_full = 0;
+    s.since_thermal = 0;
+    ++s.stats.full_evals;
+  } else if (opt_.thermal_eval_interval > 0 &&
+             s.since_thermal >= opt_.thermal_eval_interval) {
+    apply_tolerance_schedule(s, move_factor);
+    c = eval_.evaluate_thermal();
+    s.since_thermal = 0;
+    ++s.stats.full_evals;
+  } else {
+    c = eval_.evaluate_cheap();
+  }
+  return c;
+}
+
 bool Annealer::run_stage(AnnealSession& s, Rng& rng) {
   if (opt_.batch_candidates > 1)
     return run_stage_batched(s, rng, opt_.batch_candidates);
@@ -494,41 +483,61 @@ bool Annealer::run_stage(AnnealSession& s, Rng& rng) {
   stage_refresh(s);
 
   const bool greedy = s.stage >= s.annealed_stages;
-  for (std::size_t mv = 0; mv < s.moves_per_stage; ++mv) {
-    Undo undo;
-    random_move(state, rng, undo);
-    if (undo.kind == Undo::Kind::none) continue;
-    ++s.stats.moves;
+  if (use_transactions(state)) {
+    // Transactional loop: speculatively stage the move, evaluate, then
+    // commit or roll back.  A rollback restores every journaled cache
+    // cell AND the state's die versions, so the floorplan stamps still
+    // match and the next move's apply_to() skips the rejected move's
+    // dies outright -- the classic loop re-packs them on the next
+    // apply_to just to rediscover the old positions.
+    MoveTransaction txn(fp_, eval_);
+    for (std::size_t mv = 0; mv < s.moves_per_stage; ++mv) {
+      txn.open(state);
+      MoveRecord rec;
+      random_move(state, rng, rec);
+      if (rec.kind == MoveRecord::Kind::none) {
+        txn.abort();
+        continue;
+      }
+      ++s.stats.moves;
 
-    state.apply_to(fp_);
-    CostBreakdown c;
-    ++s.since_thermal;
-    if (++s.since_full >= opt_.full_eval_interval) {
-      apply_tolerance_schedule(s, move_size_factor(undo));
-      c = eval_.evaluate_full();
-      s.since_full = 0;
-      s.since_thermal = 0;
-      ++s.stats.full_evals;
-    } else if (opt_.thermal_eval_interval > 0 &&
-               s.since_thermal >= opt_.thermal_eval_interval) {
-      apply_tolerance_schedule(s, move_size_factor(undo));
-      c = eval_.evaluate_thermal();
-      s.since_thermal = 0;
-      ++s.stats.full_evals;
-    } else {
-      c = eval_.evaluate_cheap();
+      txn.stage();
+      const CostBreakdown c = evaluate_move(s, move_size_factor(rec));
+
+      const double delta = c.total - s.current.total;
+      const bool accept =
+          delta <= 0.0 ||
+          (!greedy && rng.uniform() < std::exp(-delta / s.temperature));
+      if (accept) {
+        txn.commit();
+        ++s.stats.accepted;
+        s.current = c;
+        track_best(s, c);
+      } else {
+        txn.rollback(rec);
+      }
     }
+  } else {
+    for (std::size_t mv = 0; mv < s.moves_per_stage; ++mv) {
+      MoveRecord rec;
+      random_move(state, rng, rec);
+      if (rec.kind == MoveRecord::Kind::none) continue;
+      ++s.stats.moves;
 
-    const double delta = c.total - s.current.total;
-    const bool accept =
-        delta <= 0.0 ||
-        (!greedy && rng.uniform() < std::exp(-delta / s.temperature));
-    if (accept) {
-      ++s.stats.accepted;
-      s.current = c;
-      track_best(s, c);
-    } else {
-      undo.revert(state);
+      state.apply_to(fp_);
+      const CostBreakdown c = evaluate_move(s, move_size_factor(rec));
+
+      const double delta = c.total - s.current.total;
+      const bool accept =
+          delta <= 0.0 ||
+          (!greedy && rng.uniform() < std::exp(-delta / s.temperature));
+      if (accept) {
+        ++s.stats.accepted;
+        s.current = c;
+        track_best(s, c);
+      } else {
+        rec.revert(state);
+      }
     }
   }
   stage_cool_and_escalate(s);
@@ -538,27 +547,47 @@ bool Annealer::run_stage(AnnealSession& s, Rng& rng) {
 void Annealer::batched_step(AnnealSession& s, Rng& rng, std::size_t want,
                             bool greedy) {
   LayoutState& state = *s.state;
+  const bool txn_path = use_transactions(state);
 
   // --- propose: k independent alternatives to the current state --------
-  // Each move is applied, snapshotted, and reverted, so every candidate
-  // derives from the same base state and the proposal RNG stream matches
-  // the unbatched path move for move.
-  std::vector<LayoutState> candidates;
-  candidates.reserve(want);
+  // Each move is proposed against the same base state and immediately
+  // taken back, so the proposal RNG stream matches the unbatched path
+  // move for move.  The classic path snapshots a full LayoutState copy
+  // per candidate; the transactional path keeps only the MoveRecord
+  // (replayed below) and restores content AND die versions in place --
+  // k lightweight records instead of k deep copies.
+  std::vector<LayoutState> candidates;  // classic path only
+  std::vector<MoveRecord> recs;         // transactional path only
   double batch_move_factor = 0.0;
-  for (std::size_t j = 0; j < want; ++j) {
-    Undo undo;
-    random_move(state, rng, undo);
-    if (undo.kind == Undo::Kind::none) continue;
-    ++s.stats.moves;
-    candidates.push_back(state);
-    // One batched solve scores all candidates, so the schedule follows
-    // the widest-reaching move of the batch (max == the move's own
-    // factor at b == 1, keeping the k=1 path bitwise-identical).
-    batch_move_factor = std::max(batch_move_factor, move_size_factor(undo));
-    undo.revert(state);
+  if (txn_path) {
+    recs.reserve(want);
+    const std::vector<std::uint64_t> base_versions = state.die_version;
+    for (std::size_t j = 0; j < want; ++j) {
+      MoveRecord rec;
+      random_move(state, rng, rec);
+      if (rec.kind == MoveRecord::Kind::none) continue;
+      ++s.stats.moves;
+      batch_move_factor = std::max(batch_move_factor, move_size_factor(rec));
+      rec.revert_slots(state);
+      state.die_version = base_versions;
+      recs.push_back(rec);
+    }
+  } else {
+    candidates.reserve(want);
+    for (std::size_t j = 0; j < want; ++j) {
+      MoveRecord rec;
+      random_move(state, rng, rec);
+      if (rec.kind == MoveRecord::Kind::none) continue;
+      ++s.stats.moves;
+      candidates.push_back(state);
+      // One batched solve scores all candidates, so the schedule follows
+      // the widest-reaching move of the batch (max == the move's own
+      // factor at b == 1, keeping the k=1 path bitwise-identical).
+      batch_move_factor = std::max(batch_move_factor, move_size_factor(rec));
+      rec.revert(state);
+    }
   }
-  const std::size_t b = candidates.size();
+  const std::size_t b = txn_path ? recs.size() : candidates.size();
   if (b == 0) return;
 
   // --- pick the evaluation level for the whole batch --------------------
@@ -584,9 +613,25 @@ void Annealer::batched_step(AnnealSession& s, Rng& rng, std::size_t want,
   if (level != CostEvaluator::EvalLevel::cheap)
     apply_tolerance_schedule(s, batch_move_factor);
   eval_.batch_begin(level, b);
-  for (const LayoutState& candidate : candidates) {
-    candidate.apply_to(fp_);
-    eval_.batch_stage();
+  if (txn_path) {
+    // Stage each proposal inside its own trial bracket: replay the move
+    // on the base state, publish it, capture the candidate's terms/maps,
+    // then roll everything back.  Each trial re-packs only its own
+    // move's dies (the classic path re-packs every die the PREVIOUS
+    // candidate touched as well, since the floorplan still holds it).
+    MoveTransaction txn(fp_, eval_);
+    for (const MoveRecord& rec : recs) {
+      txn.open(state);
+      rec.replay(state);
+      txn.stage();
+      eval_.batch_stage();
+      txn.rollback(rec);
+    }
+  } else {
+    for (const LayoutState& candidate : candidates) {
+      candidate.apply_to(fp_);
+      eval_.batch_stage();
+    }
   }
   const std::vector<CostBreakdown> costs = eval_.batch_evaluate();
 
@@ -603,7 +648,14 @@ void Annealer::batched_step(AnnealSession& s, Rng& rng, std::size_t want,
         (!greedy && rng.uniform() < std::exp(-delta / s.temperature));
     if (!accept) continue;
     ++s.stats.accepted;
-    state = std::move(candidates[j]);
+    if (txn_path) {
+      // Re-apply the winning proposal from its record (no randomness);
+      // the floorplan still holds the base layout and syncs on the next
+      // apply_to, exactly like the classic path defers its sync.
+      recs[j].replay(state);
+    } else {
+      state = std::move(candidates[j]);
+    }
     s.current = costs[j];
     track_best(s, costs[j]);
     adopted = j;
@@ -638,22 +690,49 @@ AnnealStats Annealer::finish(AnnealSession& s, Rng& rng) {
     CostBreakdown repair_current = eval_.evaluate_cheap();
     const auto repair_budget = static_cast<std::size_t>(
         opt_.repair_fraction * static_cast<double>(s.total_moves));
-    for (std::size_t mv = 0;
-         mv < repair_budget && !repair_current.fits_outline; ++mv) {
-      Undo undo;
-      random_move(state, rng, undo);
-      if (undo.kind == Undo::Kind::none) continue;
-      ++s.stats.repair_moves;
-      state.apply_to(fp_);
-      const CostBreakdown c = eval_.evaluate_cheap();
-      const bool better =
-          c.outline_penalty < repair_current.outline_penalty - 1e-12 ||
-          (c.outline_penalty < repair_current.outline_penalty + 1e-12 &&
-           c.total < repair_current.total);
-      if (better) {
-        repair_current = c;
-      } else {
-        undo.revert(state);
+    if (use_transactions(state)) {
+      MoveTransaction txn(fp_, eval_);
+      for (std::size_t mv = 0;
+           mv < repair_budget && !repair_current.fits_outline; ++mv) {
+        txn.open(state);
+        MoveRecord rec;
+        random_move(state, rng, rec);
+        if (rec.kind == MoveRecord::Kind::none) {
+          txn.abort();
+          continue;
+        }
+        ++s.stats.repair_moves;
+        txn.stage();
+        const CostBreakdown c = eval_.evaluate_cheap();
+        const bool better =
+            c.outline_penalty < repair_current.outline_penalty - 1e-12 ||
+            (c.outline_penalty < repair_current.outline_penalty + 1e-12 &&
+             c.total < repair_current.total);
+        if (better) {
+          txn.commit();
+          repair_current = c;
+        } else {
+          txn.rollback(rec);
+        }
+      }
+    } else {
+      for (std::size_t mv = 0;
+           mv < repair_budget && !repair_current.fits_outline; ++mv) {
+        MoveRecord rec;
+        random_move(state, rng, rec);
+        if (rec.kind == MoveRecord::Kind::none) continue;
+        ++s.stats.repair_moves;
+        state.apply_to(fp_);
+        const CostBreakdown c = eval_.evaluate_cheap();
+        const bool better =
+            c.outline_penalty < repair_current.outline_penalty - 1e-12 ||
+            (c.outline_penalty < repair_current.outline_penalty + 1e-12 &&
+             c.total < repair_current.total);
+        if (better) {
+          repair_current = c;
+        } else {
+          rec.revert(state);
+        }
       }
     }
     if (repair_current.fits_outline ||

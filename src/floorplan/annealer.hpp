@@ -22,6 +22,8 @@
 
 namespace tsc3d::floorplan {
 
+struct MoveRecord;  // full definition in floorplan/move_transaction.hpp
+
 /// The mutable floorplanning state the annealer works on.
 ///
 /// Incremental packing: each die carries a content version (bumped by
@@ -144,6 +146,15 @@ struct AnnealOptions {
   /// separate engine and never sees it.  Deterministic: the scale is a
   /// pure function of (stage, move), not of timing.
   double inner_tolerance_scale = 32.0;
+  /// Run the move loops through MoveTransaction (speculative
+  /// evaluate/commit/rollback, see floorplan/move_transaction.hpp)
+  /// instead of the apply/snapshot/revert/apply pattern.  Requires
+  /// incremental evaluation and a tracked state; otherwise the classic
+  /// loops run regardless of this flag.  Both paths are bitwise-identical
+  /// per seed, including the RNG stream position
+  /// (tests/test_incremental_eval.cpp); this switch exists as an A/B
+  /// lever and an escape hatch, not as a quality trade-off.
+  bool transactional = true;
 };
 
 struct AnnealStats {
@@ -211,12 +222,20 @@ class Annealer {
   AnnealStats finish(AnnealSession& session, Rng& rng);
 
  private:
-  /// Apply one random move; returns an undo closure index (see .cpp).
-  struct Undo;
-  void random_move(LayoutState& state, Rng& rng, Undo& undo) const;
+  /// Apply one random move and fill `rec` with enough data to revert it
+  /// (classic loops) or replay it without randomness (batched
+  /// transactional accept).  rec.kind == none means no move was possible.
+  void random_move(LayoutState& state, Rng& rng, MoveRecord& rec) const;
   /// Thermal reach of a move kind, in (0, 1] (see
   /// AnnealOptions::inner_tolerance_scale).
-  static double move_size_factor(const Undo& undo);
+  static double move_size_factor(const MoveRecord& rec);
+  /// Shared evaluation cadence of the one-move-per-step loops: full /
+  /// thermal / cheap by the session's interval counters.  Identical
+  /// arithmetic for the transactional and classic branches.
+  CostBreakdown evaluate_move(AnnealSession& session, double move_factor);
+  /// True when run_stage/finish should route moves through
+  /// MoveTransaction (see AnnealOptions::transactional).
+  [[nodiscard]] bool use_transactions(const LayoutState& state) const;
   /// Install the tolerance schedule for an in-stage thermal refresh:
   /// scale = 1 + (max - 1) * sqrt(T / T0) * move_factor.
   void apply_tolerance_schedule(const AnnealSession& session,

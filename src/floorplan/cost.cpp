@@ -77,21 +77,74 @@ void CostEvaluator::measure_layout_terms_incremental(CostBreakdown& c) {
   // analyze_cached() recompute exactly the dirty nets and re-reduce in
   // canonical net order -- so every term is bitwise-equal to
   // measure_layout_terms_full (the cross-check enforces it).
+  //
+  // Delta form: the per-die area/outline contributions are cached against
+  // the bounds values they were derived from, so only the dies the move
+  // actually changed re-run the division/max arithmetic; the totals are
+  // re-summed over all dies in die order, keeping the reduction order --
+  // and therefore the bits -- identical to the full rescan.
   const Rect outline = fp_.outline();
   const double out_area = outline.area();
+  if (die_terms_.size() != fp_.tech().num_dies ||
+      die_terms_outline_w_ != outline.w || die_terms_outline_h_ != outline.h) {
+    die_terms_.assign(fp_.tech().num_dies, DieTermCache{});
+    die_terms_outline_w_ = outline.w;
+    die_terms_outline_h_ = outline.h;
+  }
   c.bbox_area_ratio = 0.0;
   c.outline_penalty = 0.0;
   c.fits_outline = true;
   for (std::size_t d = 0; d < fp_.tech().num_dies; ++d) {
     const Floorplan3D::DieBounds b = fp_.die_bounds(d);
-    c.bbox_area_ratio += (b.width * b.height) / out_area;
-    const double over_w = std::max(0.0, b.width - outline.w) / outline.w;
-    const double over_h = std::max(0.0, b.height - outline.h) / outline.h;
-    c.outline_penalty += over_w + over_h + over_w * over_h;
-    if (over_w > 0.0 || over_h > 0.0) c.fits_outline = false;
+    DieTermCache& t = die_terms_[d];
+    if (b.width != t.width || b.height != t.height) {
+      t.width = b.width;
+      t.height = b.height;
+      t.area_ratio = (b.width * b.height) / out_area;
+      t.over_w = std::max(0.0, b.width - outline.w) / outline.w;
+      t.over_h = std::max(0.0, b.height - outline.h) / outline.h;
+    }
+    c.bbox_area_ratio += t.area_ratio;
+    c.outline_penalty += t.over_w + t.over_h + t.over_w * t.over_h;
+    if (t.over_w > 0.0 || t.over_h > 0.0) c.fits_outline = false;
   }
   c.wirelength_um = fp_.hpwl_cached();
   c.delay_ns = timing_.analyze_cached().critical_delay_ns;
+}
+
+// --- trial (speculative) evaluation --------------------------------------
+
+void CostEvaluator::trial_begin() {
+  fp_.begin_trial();
+  timing_.begin_trial();
+}
+
+void CostEvaluator::trial_commit() {
+  fp_.commit_trial();
+  timing_.commit_trial();
+}
+
+void CostEvaluator::trial_rollback() {
+  fp_.rollback_trial();
+  timing_.rollback_trial();
+}
+
+bool CostEvaluator::in_trial() const { return fp_.in_trial(); }
+
+void CostEvaluator::scale_outline_weight(double factor) {
+  // Raw-term caches store weight-independent values and combine() applies
+  // the weights fresh per call, so no invalidation is needed -- but
+  // escalating inside a batch or trial bracket would price members of one
+  // comparison set under different weights.  Make that misuse loud.
+  if (batch_active_)
+    throw std::logic_error(
+        "CostEvaluator::scale_outline_weight: a batch is active -- staged "
+        "candidates were priced under the old weight");
+  if (in_trial())
+    throw std::logic_error(
+        "CostEvaluator::scale_outline_weight: a move transaction is open -- "
+        "escalate only between transactions");
+  opt_.weights.outline *= factor;
 }
 
 void CostEvaluator::measure_cheap(CostBreakdown& c) {

@@ -152,6 +152,29 @@ class CostEvaluator {
   /// Candidates staged in the active batch.
   [[nodiscard]] std::size_t batch_size() const { return batch_.size(); }
 
+  // --- trial (speculative) evaluation ------------------------------------
+  // One bracket around a speculative move (see
+  // floorplan/move_transaction.hpp): trial_begin() opens the journaling
+  // trial on the floorplan AND the timing engine, so every incremental
+  // cache cell the staged move dirties is captured before its first
+  // rewrite; trial_rollback() restores them bitwise and trial_commit()
+  // drops the journals.  The evaluator's own state needs no journal: the
+  // expensive-term caches are refresh-cadence state that a rejected move
+  // leaves untouched in the classic loop too, and the per-die layout-term
+  // cache below is keyed on the cached bounds VALUES, so it self-heals
+  // after a rollback.  Trials do not nest and cannot overlap a batch
+  // bracket's begin (batched staging runs each candidate inside its own
+  // trial -- trial around batch_stage is the supported composition).
+
+  /// Open the speculative bracket (floorplan + timing journaling on).
+  void trial_begin();
+  /// Keep the staged move: drop the journals.
+  void trial_commit();
+  /// Reject the staged move: restore every journaled cache cell bitwise.
+  void trial_rollback();
+  /// True while a trial bracket is open.
+  [[nodiscard]] bool in_trial() const;
+
   [[nodiscard]] const Options& options() const { return opt_; }
 
   /// Forward a tolerance-schedule scale to the detailed in-loop engine
@@ -166,9 +189,13 @@ class CostEvaluator {
   /// when the search lingers in illegal (overhanging) regions of the
   /// space -- the standard fixed-outline SA remedy.
   [[nodiscard]] double outline_weight() const { return opt_.weights.outline; }
-  void scale_outline_weight(double factor) {
-    opt_.weights.outline *= factor;
-  }
+  /// Multiply the outline weight.  Safe between evaluations because
+  /// combine() applies the weights fresh on every call and every raw-term
+  /// cache in this class stores weight-INDEPENDENT values -- no cache
+  /// invalidation is needed.  Throws std::logic_error while a batch or a
+  /// trial bracket is open: staged candidates were priced under the old
+  /// weight and mixing weights within one comparison set is a bug.
+  void scale_outline_weight(double factor);
 
  private:
   /// One staged candidate of an active batch.
@@ -202,6 +229,23 @@ class CostEvaluator {
   power::ElmoreTiming timing_;
 
   std::size_t cheap_evals_ = 0;  ///< cross-check cadence counter
+
+  // --- delta-form per-die layout terms (see measure_layout_terms_... ) --
+  // The area and outline contributions of each die, cached against the
+  // die bounds they were derived from.  A move touches one or two dies;
+  // the untouched dies' bounds come back bitwise-identical from
+  // die_bounds(), so their terms are reused and only the touched dies
+  // re-run the (identical) arithmetic.  Keyed on VALUES (bounds + the
+  // fixed outline), not on epochs, so the cache is self-healing under
+  // trial rollback -- a restored bound simply hits again.
+  struct DieTermCache {
+    double width = -1.0, height = -1.0;  ///< bounds the entry was built from
+    double area_ratio = 0.0;             ///< (w * h) / outline area
+    double over_w = 0.0, over_h = 0.0;   ///< relative outline overhang
+  };
+  std::vector<DieTermCache> die_terms_;
+  double die_terms_outline_w_ = -1.0;  ///< outline the cache was built for
+  double die_terms_outline_h_ = -1.0;
 
   // Cached raw values of the expensive terms between refreshes.
   double cached_peak_rise_ = 0.0;

@@ -5,41 +5,58 @@
 namespace tsc3d::floorplan {
 
 SequencePair::SequencePair(std::vector<std::size_t> members)
-    : positive_(members), negative_(std::move(members)) {}
+    : positive_(members), negative_(std::move(members)) {
+  rebuild_slot_maps();
+}
+
+void SequencePair::rebuild_slot_maps() {
+  std::size_t max_id = 0;
+  for (const std::size_t id : positive_) max_id = std::max(max_id, id);
+  const std::size_t span = positive_.empty() ? 0 : max_id + 1;
+  pos_slot_of_.assign(span, kNoSlot);
+  neg_slot_of_.assign(span, kNoSlot);
+  for (std::size_t s = 0; s < positive_.size(); ++s)
+    pos_slot_of_[positive_[s]] = s;
+  for (std::size_t s = 0; s < negative_.size(); ++s)
+    neg_slot_of_[negative_[s]] = s;
+}
 
 void SequencePair::shuffle(Rng& rng) {
   rng.shuffle(positive_);
   rng.shuffle(negative_);
+  rebuild_slot_maps();
 }
 
 void SequencePair::swap_positive(std::size_t i, std::size_t j) {
   std::swap(positive_.at(i), positive_.at(j));
+  pos_slot_of_[positive_[i]] = i;
+  pos_slot_of_[positive_[j]] = j;
 }
 
 void SequencePair::swap_negative(std::size_t i, std::size_t j) {
   std::swap(negative_.at(i), negative_.at(j));
+  neg_slot_of_[negative_[i]] = i;
+  neg_slot_of_[negative_[j]] = j;
 }
 
 void SequencePair::swap_both(std::size_t module_a, std::size_t module_b) {
   // Resolve every slot BEFORE mutating anything: throwing after the
   // positive sequence was already swapped would leave the pair
   // inconsistent (the two sequences describing different module sets).
-  std::size_t slots[2][2];
-  const std::vector<std::size_t>* seqs[2] = {&positive_, &negative_};
-  for (std::size_t q = 0; q < 2; ++q) {
-    const std::vector<std::size_t>& seq = *seqs[q];
-    std::size_t ia = seq.size(), ib = seq.size();
-    for (std::size_t s = 0; s < seq.size(); ++s) {
-      if (seq[s] == module_a) ia = s;
-      if (seq[s] == module_b) ib = s;
-    }
-    if (ia == seq.size() || ib == seq.size())
-      throw std::invalid_argument("SequencePair::swap_both: module not found");
-    slots[q][0] = ia;
-    slots[q][1] = ib;
-  }
-  std::swap(positive_[slots[0][0]], positive_[slots[0][1]]);
-  std::swap(negative_[slots[1][0]], negative_[slots[1][1]]);
+  const std::size_t span = pos_slot_of_.size();
+  if (module_a >= span || module_b >= span ||
+      pos_slot_of_[module_a] == kNoSlot || pos_slot_of_[module_b] == kNoSlot)
+    throw std::invalid_argument("SequencePair::swap_both: module not found");
+  const std::size_t pa = pos_slot_of_[module_a];
+  const std::size_t pb = pos_slot_of_[module_b];
+  const std::size_t na = neg_slot_of_[module_a];
+  const std::size_t nb = neg_slot_of_[module_b];
+  std::swap(positive_[pa], positive_[pb]);
+  std::swap(negative_[na], negative_[nb]);
+  pos_slot_of_[module_a] = pb;
+  pos_slot_of_[module_b] = pa;
+  neg_slot_of_[module_a] = nb;
+  neg_slot_of_[module_b] = na;
 }
 
 void SequencePair::remove(std::size_t module) {
@@ -47,6 +64,7 @@ void SequencePair::remove(std::size_t module) {
     const auto it = std::find(seq->begin(), seq->end(), module);
     if (it != seq->end()) seq->erase(it);
   }
+  rebuild_slot_maps();
 }
 
 void SequencePair::insert(std::size_t module, std::size_t pos_slot,
@@ -55,11 +73,11 @@ void SequencePair::insert(std::size_t module, std::size_t pos_slot,
   neg_slot = std::min(neg_slot, negative_.size());
   positive_.insert(positive_.begin() + static_cast<long>(pos_slot), module);
   negative_.insert(negative_.begin() + static_cast<long>(neg_slot), module);
+  rebuild_slot_maps();
 }
 
 bool SequencePair::contains(std::size_t module) const {
-  return std::find(positive_.begin(), positive_.end(), module) !=
-         positive_.end();
+  return module < pos_slot_of_.size() && pos_slot_of_[module] != kNoSlot;
 }
 
 }  // namespace tsc3d::floorplan

@@ -59,7 +59,8 @@ class SequencePair {
   // --- simulated-annealing moves ----------------------------------------
   void swap_positive(std::size_t i, std::size_t j);
   void swap_negative(std::size_t i, std::size_t j);
-  /// Swap the same two MODULES (not slots) in both sequences.
+  /// Swap the same two MODULES (not slots) in both sequences; O(1) via
+  /// the maintained id -> slot maps.
   void swap_both(std::size_t module_a, std::size_t module_b);
   /// Remove a module (no-op if absent); O(n).
   void remove(std::size_t module);
@@ -95,8 +96,22 @@ class SequencePair {
 
   [[nodiscard]] std::vector<std::size_t> negative_slot_of() const;
 
+  static constexpr std::size_t kNoSlot = static_cast<std::size_t>(-1);
+
+  /// Rebuild both id -> slot maps from the sequences (structural edits:
+  /// construction, shuffle, remove, insert).
+  void rebuild_slot_maps();
+
   std::vector<std::size_t> positive_;
   std::vector<std::size_t> negative_;
+  // id -> slot per sequence, indexed by global module id and maintained
+  // by every mutator: the swap moves update the two touched entries in
+  // O(1), structural edits rebuild.  pack() reads the negative map
+  // directly -- the slot values are the same integers the former
+  // sort + lower_bound lookup produced, so packings are bitwise
+  // unchanged -- and swap_both() resolves modules without scanning.
+  std::vector<std::size_t> pos_slot_of_;
+  std::vector<std::size_t> neg_slot_of_;
 };
 
 template <typename WidthFn, typename HeightFn>
@@ -106,28 +121,17 @@ Packing SequencePair::pack(WidthFn&& width_of, HeightFn&& height_of) const {
   out.position.assign(n, Point{});
   if (n == 0) return out;
 
-  // Map each module to its slot in the negative sequence.  Modules are
-  // identified by global id; build a local lookup over the members.
-  // (Slots are dense 0..n-1, ids may be sparse.)
+  // Map each module to its slot in the negative sequence via the
+  // maintained id -> slot map (slots are dense 0..n-1, ids may be
+  // sparse).  Invariant: positive_ and negative_ hold the SAME module
+  // set (all mutators preserve it and keep the maps in sync), so every
+  // positive id resolves to a negative slot.
   std::vector<std::size_t> neg_slot(n, 0);
-  {
-    // position of module in negative sequence, resolved through a sorted
-    // id -> slot map to avoid assuming dense ids.
-    std::vector<std::pair<std::size_t, std::size_t>> id_slot(n);
-    for (std::size_t s = 0; s < n; ++s) id_slot[s] = {negative_[s], s};
-    std::sort(id_slot.begin(), id_slot.end());
-    auto slot_of = [&](std::size_t id) {
-      const auto it = std::lower_bound(
-          id_slot.begin(), id_slot.end(), std::make_pair(id, std::size_t{0}));
-      // Invariant: positive_ and negative_ hold the SAME module set (all
-      // mutators preserve it), so every positive id resolves to a
-      // negative slot.  If the sequences ever disagreed, the unchecked
-      // dereference would be UB -- fail loudly instead.
-      assert(it != id_slot.end() && it->first == id &&
-             "SequencePair: positive/negative sequences disagree on membership");
-      return it->second;
-    };
-    for (std::size_t i = 0; i < n; ++i) neg_slot[i] = slot_of(positive_[i]);
+  for (std::size_t i = 0; i < n; ++i) {
+    const std::size_t id = positive_[i];
+    assert(id < neg_slot_of_.size() && neg_slot_of_[id] != kNoSlot &&
+           "SequencePair: positive/negative sequences disagree on membership");
+    neg_slot[i] = neg_slot_of_[id];
   }
 
   // x-coordinates: blocks earlier in BOTH sequences are to the left.

@@ -2,6 +2,7 @@
 
 #include <algorithm>
 #include <set>
+#include <stdexcept>
 
 namespace tsc3d::power {
 
@@ -168,6 +169,21 @@ const TimingReport& ElmoreTiming::analyze_cached() {
     const std::uint64_t epoch = epochs[n];
     if (stage_net_epoch_[n] != epoch ||
         stage_voltage_epoch_[n] != voltage_epoch_) {
+      // Journal only rows whose NET epoch moved -- placement dirt the
+      // rollback must undo.  A row that is merely catching up with a
+      // voltage-epoch bump recomputes from untouched positions and the
+      // persisted voltage assignment (which rollback deliberately keeps,
+      // same as the classic reject), so the refreshed value is valid
+      // across the trial boundary.  Journaling it would re-stale ALL
+      // rows on every rollback and turn each rejected move after a
+      // voltage refresh into a full O(nets) recompute.
+      if (trial_active_ && stage_net_epoch_[n] != epoch &&
+          trial_mark_[n] != trial_id_) {
+        trial_mark_[n] = trial_id_;
+        trial_journal_.push_back(TrialStage{
+            n, cached_report_.stage_delay_ns[n], stage_net_epoch_[n],
+            stage_voltage_epoch_[n], stage_span_[n], stage_die_epoch_[n]});
+      }
       // The die span only changes when an incident module changes die
       // (net_die_epoch); intra-die moves reuse the cached integer and
       // skip dies_spanned()'s set building -- the dominant cost of a
@@ -194,6 +210,37 @@ const TimingReport& ElmoreTiming::analyze_cached() {
     }
   }
   return cached_report_;
+}
+
+void ElmoreTiming::begin_trial() {
+  if (trial_active_)
+    throw std::logic_error("ElmoreTiming::begin_trial: trial already open");
+  if (trial_mark_.size() != fp_.nets().size())
+    trial_mark_.assign(fp_.nets().size(), 0);
+  ++trial_id_;
+  trial_journal_.clear();
+  trial_active_ = true;
+}
+
+void ElmoreTiming::commit_trial() {
+  if (!trial_active_)
+    throw std::logic_error("ElmoreTiming::commit_trial: no trial open");
+  trial_active_ = false;
+  trial_journal_.clear();
+}
+
+void ElmoreTiming::rollback_trial() {
+  if (!trial_active_)
+    throw std::logic_error("ElmoreTiming::rollback_trial: no trial open");
+  trial_active_ = false;
+  for (const TrialStage& js : trial_journal_) {
+    cached_report_.stage_delay_ns[js.n] = js.delay;
+    stage_net_epoch_[js.n] = js.net_epoch;
+    stage_voltage_epoch_[js.n] = js.volt_epoch;
+    stage_span_[js.n] = js.span;
+    stage_die_epoch_[js.n] = js.die_epoch;
+  }
+  trial_journal_.clear();
 }
 
 bool ElmoreTiming::voltage_feasible(std::size_t m, std::size_t vi,

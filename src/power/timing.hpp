@@ -73,6 +73,25 @@ class ElmoreTiming {
   /// Module::voltage_index (the voltage assigner).
   void note_voltages_changed() { ++voltage_epoch_; }
 
+  // --- trial (speculative) evaluation -------------------------------------
+  // Mirrors Floorplan3D's trial bracket: between begin_trial() and
+  // commit_trial()/rollback_trial(), analyze_cached() journals each
+  // per-net cache row it rewrites for PLACEMENT dirt (net-epoch
+  // mismatch, first touch only), and rollback restores those rows
+  // bitwise, so a rejected move leaves the stage-delay cache warm with
+  // its pre-trial values.  Rows refreshed only because the voltage
+  // epoch advanced are NOT journaled: their recompute reads untouched
+  // positions and the persisted voltage assignment, so the value stays
+  // valid after rollback (journaling them would re-stale every row on
+  // each rejection after a voltage refresh).  The critical delay/net
+  // are re-derived on every call and need no journal; voltage_epoch_
+  // stays monotone (voltage assignment is not unwound on reject --
+  // same semantics as the non-transactional loop).
+  void begin_trial();
+  void commit_trial();
+  void rollback_trial();
+  [[nodiscard]] bool in_trial() const { return trial_active_; }
+
   /// True if assigning voltage index `vi` to module `m` keeps every stage
   /// through `m` within the clock period.
   [[nodiscard]] bool voltage_feasible(std::size_t m, std::size_t vi,
@@ -113,6 +132,20 @@ class ElmoreTiming {
   std::vector<std::size_t> stage_span_;             ///< cached dies_spanned
   std::vector<std::uint64_t> stage_die_epoch_;      ///< 0 = never computed
   std::uint64_t voltage_epoch_ = 1;
+
+  // --- trial journal (see "trial (speculative) evaluation") --------------
+  struct TrialStage {
+    std::size_t n = 0;
+    double delay = 0.0;
+    std::uint64_t net_epoch = 0;
+    std::uint64_t volt_epoch = 0;
+    std::size_t span = 0;
+    std::uint64_t die_epoch = 0;
+  };
+  bool trial_active_ = false;
+  std::uint64_t trial_id_ = 0;
+  std::vector<std::uint64_t> trial_mark_;
+  std::vector<TrialStage> trial_journal_;
 };
 
 }  // namespace tsc3d::power

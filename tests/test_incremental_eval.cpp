@@ -15,6 +15,7 @@
 #include <gtest/gtest.h>
 
 #include <algorithm>
+#include <cmath>
 #include <cstdint>
 #include <functional>
 #include <stdexcept>
@@ -25,6 +26,7 @@
 #include "floorplan/annealer.hpp"
 #include "floorplan/chain_orchestrator.hpp"
 #include "floorplan/cost.hpp"
+#include "floorplan/move_transaction.hpp"
 #include "power/timing.hpp"
 #include "thermal/power_blur.hpp"
 
@@ -238,8 +240,10 @@ void expect_same_outcome(const AnnealOutcome& a, const AnnealOutcome& b) {
 /// One full anneal; `incremental` toggles the whole pipeline exactly as
 /// the floorplanner does (evaluator dispatch AND dirty-die packing).
 /// k == 0 is the classic step loop, k > 1 the batched one.
+/// `transactional` routes moves through MoveTransaction (PR 7) or the
+/// classic apply/revert/apply loops.
 AnnealOutcome run_anneal(bool incremental, std::size_t k,
-                         std::uint64_t seed) {
+                         std::uint64_t seed, bool transactional = true) {
   Floorplan3D fp = small_instance(4);
   ThermalConfig cfg;
   cfg.grid_nx = cfg.grid_ny = 16;
@@ -255,6 +259,7 @@ AnnealOutcome run_anneal(bool incremental, std::size_t k,
   opt.total_moves = 1600;
   opt.stages = 8;
   opt.full_eval_interval = 90;
+  opt.transactional = transactional;
   fpn::Annealer annealer(fp, eval, opt);
 
   Rng rng(seed);
@@ -292,6 +297,22 @@ TEST(IncrementalEval, BatchedRunBitwiseMatchesNonIncremental) {
   expect_same_outcome(run_anneal(true, 4, 21), run_anneal(false, 4, 21));
 }
 
+TEST(IncrementalEval, TransactionalRunBitwiseMatchesRevertLoop) {
+  // The PR 7 contract: routing every move through MoveTransaction
+  // (speculative stage -> evaluate -> commit/rollback) must reproduce
+  // the classic incremental apply/revert/apply loop bit for bit,
+  // including the RNG stream position (rng_after probes it).
+  expect_same_outcome(run_anneal(true, 0, 33, true),
+                      run_anneal(true, 0, 33, false));
+}
+
+TEST(IncrementalEval, TransactionalBatchedRunBitwiseMatchesCopyLoop) {
+  // Batched flavor: k record/replay transactions against one base state
+  // must match the k-deep-copies staging loop bit for bit.
+  expect_same_outcome(run_anneal(true, 4, 21, true),
+                      run_anneal(true, 4, 21, false));
+}
+
 // ---------------------------------------------------------------------------
 
 TEST(IncrementalEval, CrossCheckSilentOnCleanRunThrowsOnCorruption) {
@@ -325,6 +346,199 @@ TEST(IncrementalEval, CrossCheckSilentOnCleanRunThrowsOnCorruption) {
   // matter where the module sat.
   fp.modules()[0].shape.x += fp.tech().die_width_um;  // no note: corruption
   EXPECT_THROW((void)eval.evaluate_cheap(), std::logic_error);
+}
+
+// ---------------------------------------------------------------------------
+
+TEST(MoveTransaction, EscalationBetweenCachedEvalsStaysExact) {
+  // Outline-weight escalation between cached evaluations: the raw-term
+  // caches store weight-independent values, so escalating must neither
+  // corrupt them (the every-eval cross-check would throw) nor change the
+  // raw terms; only the weighted total moves.
+  Floorplan3D fp = small_instance(6);
+  ThermalConfig cfg;
+  cfg.grid_nx = cfg.grid_ny = 16;
+  thermal::GridSolver solver(fp.tech(), cfg);
+  const thermal::PowerBlur blur(solver, 5);
+  fpn::CostEvaluator::Options eopt;
+  eopt.leakage_grid = 16;
+  eopt.cross_check_interval = 1;  // verify EVERY cheap evaluation
+  fpn::CostEvaluator eval(fp, blur, eopt);
+
+  Rng rng(9);
+  fpn::LayoutState s = fpn::LayoutState::initial(fp, rng);
+  s.apply_to(fp);
+  (void)eval.evaluate_full();
+  // Warm the per-die term caches with a few move/eval rounds.
+  for (std::size_t step = 0; step < 10; ++step) {
+    fpn::SequencePair& sp = s.die_sp[rng.index(s.die_sp.size())];
+    const std::size_t i = rng.index(sp.size());
+    std::size_t j = rng.index(sp.size() - 1);
+    if (j >= i) ++j;
+    sp.swap_both(sp.positive()[i], sp.positive()[j]);
+    s.touch_die(s.die_of[sp.positive()[i]]);
+    s.apply_to(fp);
+    (void)eval.evaluate_cheap();
+  }
+  const fpn::CostBreakdown before = eval.evaluate_cheap();
+  const double w_before = eval.outline_weight();
+  eval.scale_outline_weight(1.35);
+  EXPECT_EQ(eval.outline_weight(), w_before * 1.35);
+  const fpn::CostBreakdown after = eval.evaluate_cheap();  // cross-checked
+  // Raw terms are weight-independent and served from the warm caches.
+  EXPECT_EQ(after.bbox_area_ratio, before.bbox_area_ratio);
+  EXPECT_EQ(after.outline_penalty, before.outline_penalty);
+  EXPECT_EQ(after.wirelength_um, before.wirelength_um);
+  EXPECT_EQ(after.delay_ns, before.delay_ns);
+  EXPECT_EQ(after.fits_outline, before.fits_outline);
+  // Only the weighted total moved, by exactly the outline re-pricing.
+  EXPECT_NEAR(after.total - before.total,
+              (eval.outline_weight() - w_before) * before.outline_penalty,
+              1e-9 * std::max(1.0, std::abs(before.total)));
+}
+
+TEST(MoveTransaction, EscalationRefusedMidTrialAndMidBatch) {
+  Floorplan3D fp = small_instance(6);
+  ThermalConfig cfg;
+  cfg.grid_nx = cfg.grid_ny = 16;
+  thermal::GridSolver solver(fp.tech(), cfg);
+  const thermal::PowerBlur blur(solver, 5);
+  fpn::CostEvaluator::Options eopt;
+  eopt.leakage_grid = 16;
+  fpn::CostEvaluator eval(fp, blur, eopt);
+  Rng rng(9);
+  fpn::LayoutState s = fpn::LayoutState::initial(fp, rng);
+  s.apply_to(fp);
+  (void)eval.evaluate_full();
+
+  eval.trial_begin();
+  EXPECT_THROW(eval.scale_outline_weight(2.0), std::logic_error);
+  eval.trial_rollback();
+  EXPECT_NO_THROW(eval.scale_outline_weight(2.0));
+
+  eval.batch_begin(fpn::CostEvaluator::EvalLevel::cheap, 1);
+  EXPECT_THROW(eval.scale_outline_weight(2.0), std::logic_error);
+  eval.batch_stage();
+  (void)eval.batch_evaluate();
+  eval.batch_adopt(0);
+  EXPECT_NO_THROW(eval.scale_outline_weight(2.0));
+}
+
+TEST(MoveTransaction, PhaseMisuseThrows) {
+  Floorplan3D fp = small_instance(6);
+  ThermalConfig cfg;
+  cfg.grid_nx = cfg.grid_ny = 16;
+  thermal::GridSolver solver(fp.tech(), cfg);
+  const thermal::PowerBlur blur(solver, 5);
+  fpn::CostEvaluator::Options eopt;
+  eopt.leakage_grid = 16;
+  fpn::CostEvaluator eval(fp, blur, eopt);
+  Rng rng(9);
+  fpn::LayoutState s = fpn::LayoutState::initial(fp, rng);
+  s.apply_to(fp);
+
+  fpn::MoveTransaction txn(fp, eval);
+  fpn::MoveRecord rec;
+  EXPECT_THROW(txn.stage(), std::logic_error);     // nothing open
+  EXPECT_THROW(txn.commit(), std::logic_error);    // nothing staged
+  EXPECT_THROW(txn.rollback(rec), std::logic_error);
+  EXPECT_THROW(txn.abort(), std::logic_error);
+  txn.open(s);
+  EXPECT_THROW(txn.open(s), std::logic_error);     // no nesting
+  EXPECT_THROW(txn.commit(), std::logic_error);    // open but not staged
+  txn.stage();
+  EXPECT_THROW(txn.abort(), std::logic_error);     // staged aborts are
+  txn.rollback(rec);                               // rollbacks (rec: none)
+  // Floorplan trial brackets refuse nesting and wholesale invalidation.
+  fp.begin_trial();
+  EXPECT_THROW(fp.begin_trial(), std::logic_error);
+  EXPECT_THROW(fp.invalidate_layout_caches(), std::logic_error);
+  fp.rollback_trial();
+  EXPECT_THROW(fp.rollback_trial(), std::logic_error);
+  EXPECT_NO_THROW(fp.invalidate_layout_caches());
+}
+
+TEST(MoveTransaction, TrackingOnOffBitwiseAtN1000) {
+  // Randomized A/B at a real benchmark size: a tracked (stamped,
+  // transactional) run and a disable_tracking() run must produce the
+  // SAME final layout bit for bit -- tracking and transactions are pure
+  // optimizations at any scale, not behavior changes.
+  for (const std::uint64_t seed : {7ull, 19ull}) {
+    auto run_once = [&](bool tracked) {
+      Floorplan3D fp = benchgen::generate("n1000", 2);
+      ThermalConfig cfg;
+      cfg.grid_nx = cfg.grid_ny = 16;
+      thermal::GridSolver solver(fp.tech(), cfg);
+      const thermal::PowerBlur blur(solver, 5);
+      fpn::CostEvaluator::Options eopt;
+      eopt.weights = fpn::power_aware_weights();
+      eopt.leakage_grid = 16;
+      eopt.incremental = tracked;
+      fpn::CostEvaluator eval(fp, blur, eopt);
+      fpn::AnnealOptions opt;
+      opt.total_moves = 600;
+      opt.stages = 3;
+      opt.full_eval_interval = 200;
+      fpn::Annealer annealer(fp, eval, opt);
+      Rng rng(seed);
+      fpn::LayoutState state = fpn::LayoutState::initial(fp, rng);
+      if (!tracked) state.disable_tracking();
+      AnnealOutcome out;
+      out.stats = annealer.run(state, rng);
+      out.width = state.width;
+      out.height = state.height;
+      out.die_of = state.die_of;
+      for (const Module& m : fp.modules()) {
+        out.coords.push_back(m.shape.x);
+        out.coords.push_back(m.shape.y);
+      }
+      out.rng_after = rng();
+      return out;
+    };
+    expect_same_outcome(run_once(true), run_once(false));
+  }
+}
+
+// ---------------------------------------------------------------------------
+
+TEST(MoveTransactionParallel, TransactionalChainsMatchRevertPathUnderThreads) {
+  // Transactions under batched parallel tempering: threaded and
+  // sequential chain scheduling must agree, and both must equal the
+  // transactional-OFF (classic revert) pipeline.  Runs under TSan on CI.
+  auto run_once = [](bool parallel, bool transactional) {
+    fpn::ChainSetup s;
+    s.fast_thermal.grid_nx = s.fast_thermal.grid_ny = 16;
+    s.blur_radius = 5;
+    s.detailed_inner_thermal = true;
+    s.engine_parallel.threads = 2;
+    s.eval.weights = fpn::power_aware_weights();
+    s.eval.leakage_grid = 16;
+    s.anneal.total_moves = 1000;
+    s.anneal.stages = 5;
+    s.anneal.full_eval_interval = 150;
+    s.anneal.thermal_eval_interval = 9;
+    s.anneal.batch_candidates = 3;
+    s.anneal.transactional = transactional;
+    s.chains.chains = 3;
+    s.chains.exchange_interval = 2;
+    s.chains.ladder_ratio = 4.0;
+    s.chains.parallel = parallel;
+    Floorplan3D fp = small_instance(11);
+    Rng rng(3);
+    fpn::LayoutState initial = fpn::LayoutState::initial(fp, rng);
+    fpn::ChainOrchestrator orchestrator(s);
+    const fpn::ChainReport report = orchestrator.run(fp, initial, 42);
+    std::vector<double> coords;
+    for (const Module& m : fp.modules()) {
+      coords.push_back(m.shape.x);
+      coords.push_back(m.shape.y);
+    }
+    return std::make_tuple(report.winner, report.exchange.accepts, coords,
+                           report.chains.at(report.winner).best_cost);
+  };
+  const auto threaded = run_once(true, true);
+  EXPECT_EQ(threaded, run_once(false, true));  // scheduling-independent
+  EXPECT_EQ(threaded, run_once(true, false));  // equals the revert path
 }
 
 // ---------------------------------------------------------------------------
