@@ -1,0 +1,35 @@
+# End-to-end smoke for tsc3d_batch: enqueue two seeds of a small
+# benchmark, drain the queue, re-drain (idempotent, cache satisfied),
+# and check the status report.  Driven by CTest with -DBATCH=<binary>
+# and -DQUEUE=<scratch dir>.
+file(REMOVE_RECURSE "${QUEUE}")
+file(WRITE "${QUEUE}.conf" "[floorplanning]\nsa_moves = 2000\n")
+
+function(run_step)
+  execute_process(COMMAND ${ARGV} RESULT_VARIABLE rc
+                  OUTPUT_VARIABLE out ERROR_VARIABLE err)
+  if(NOT rc EQUAL 0)
+    message(FATAL_ERROR "step failed (${rc}): ${ARGV}\n${out}\n${err}")
+  endif()
+  set(step_output "${out}" PARENT_SCOPE)
+endfunction()
+
+run_step("${BATCH}" enqueue "--queue=${QUEUE}" "--config=${QUEUE}.conf"
+         --benchmark=n100 --seeds=1-2)
+run_step("${BATCH}" work "--queue=${QUEUE}")
+if(NOT step_output MATCHES "2 job\\(s\\) attempted, 0 failed")
+  message(FATAL_ERROR "first drain did not finish both jobs:\n${step_output}")
+endif()
+
+# Re-enqueueing finished jobs is a no-op; the queue stays drained.
+run_step("${BATCH}" enqueue "--queue=${QUEUE}" "--config=${QUEUE}.conf"
+         --benchmark=n100 --seeds=1-2)
+run_step("${BATCH}" work "--queue=${QUEUE}")
+if(NOT step_output MATCHES "0 job\\(s\\) attempted, 0 failed")
+  message(FATAL_ERROR "re-enqueue was not idempotent:\n${step_output}")
+endif()
+
+run_step("${BATCH}" status "--queue=${QUEUE}")
+if(NOT step_output MATCHES "done            : 2")
+  message(FATAL_ERROR "status does not show 2 done jobs:\n${step_output}")
+endif()

@@ -1,0 +1,215 @@
+// tsc3d -- thermal side-channel-aware 3D floorplanning.
+//
+// Batch design-space-exploration driver: a durable job queue of
+// (design, config, seed) explorations drained by worker processes, with
+// crash-safe annealing checkpoints and a content-addressed result
+// cache.  Operator guide: docs/JOBS.md.
+//
+//   tsc3d_batch enqueue --queue=DIR [--config=FILE]
+//                       (--benchmark=NAME | --blocks=F [--nets=F]
+//                        [--pl=F] [--power=F]) --seeds=A[-B]
+//   tsc3d_batch work    --queue=DIR [--config=FILE] [--max-jobs=N]
+//   tsc3d_batch status  --queue=DIR [--config=FILE]
+//
+// Exit codes: 0 on success (work: all attempted jobs succeeded, even if
+// some floorplans came out illegal -- illegality is a RESULT, not an
+// error), 1 on usage/config/queue errors or any failed job.
+#include <fstream>
+#include <iostream>
+#include <sstream>
+#include <string>
+
+#include "config/apply.hpp"
+#include "config/config_file.hpp"
+#include "service/job_queue.hpp"
+#include "service/worker.hpp"
+
+namespace {
+
+struct BatchArgs {
+  std::string command;
+  std::string config;
+  std::string queue;
+  std::string benchmark;
+  std::string blocks, nets, pl, power;
+  std::string seeds = "1";
+  std::size_t max_jobs = 0;  // 0 = drain until empty
+  std::size_t checkpoint_interval = 0;  // 0 = from config / default
+  double lease = -1.0;  // <0 = from config / default
+  bool no_cache = false;
+  bool help = false;
+};
+
+void print_usage() {
+  std::cout <<
+      "tsc3d_batch: durable batch exploration for tsc3d (see docs/JOBS.md)\n"
+      "\n"
+      "usage: tsc3d_batch <enqueue|work|status> [options]\n"
+      "  enqueue   add one job per seed to the queue (idempotent)\n"
+      "  work      claim + run jobs until the queue is empty\n"
+      "  status    print queue occupancy\n"
+      "\n"
+      "options:\n"
+      "  --queue=DIR       queue directory (default tsc3d-queue; also\n"
+      "                    service.queue_dir in the config)\n"
+      "  --config=FILE     Corblivar-style config; its text is embedded\n"
+      "                    verbatim in enqueued jobs and hashed into the\n"
+      "                    cache key\n"
+      "  --benchmark=NAME  Table 1 benchmark to enqueue\n"
+      "  --blocks=FILE     GSRC .blocks input (with --nets/--pl/--power)\n"
+      "  --nets=FILE --pl=FILE --power=FILE\n"
+      "  --seeds=A[-B]     seed or inclusive seed range (default 1)\n"
+      "  --max-jobs=N      work: stop after N jobs (default: drain)\n"
+      "  --checkpoint-interval=N\n"
+      "                    checkpoint every N annealing stages\n"
+      "  --lease=SECONDS   claim lease before a job is presumed orphaned\n"
+      "  --no-cache        bypass the result cache\n"
+      "  --help            this text\n"
+      "\n"
+      "Queue layout, checkpoint/resume semantics and cache-key rules are\n"
+      "documented in docs/JOBS.md; config keys in docs/CONFIG.md.\n";
+}
+
+BatchArgs parse_args(int argc, char** argv) {
+  BatchArgs args;
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    const auto value = [&](const std::string& prefix) {
+      return arg.substr(prefix.size());
+    };
+    if (arg == "--help" || arg == "-h") args.help = true;
+    else if (arg == "--no-cache") args.no_cache = true;
+    else if (arg.rfind("--queue=", 0) == 0) args.queue = value("--queue=");
+    else if (arg.rfind("--config=", 0) == 0) args.config = value("--config=");
+    else if (arg.rfind("--benchmark=", 0) == 0)
+      args.benchmark = value("--benchmark=");
+    else if (arg.rfind("--blocks=", 0) == 0) args.blocks = value("--blocks=");
+    else if (arg.rfind("--nets=", 0) == 0) args.nets = value("--nets=");
+    else if (arg.rfind("--pl=", 0) == 0) args.pl = value("--pl=");
+    else if (arg.rfind("--power=", 0) == 0) args.power = value("--power=");
+    else if (arg.rfind("--seeds=", 0) == 0) args.seeds = value("--seeds=");
+    else if (arg.rfind("--max-jobs=", 0) == 0)
+      args.max_jobs = std::stoul(value("--max-jobs="));
+    else if (arg.rfind("--checkpoint-interval=", 0) == 0)
+      args.checkpoint_interval =
+          std::stoul(value("--checkpoint-interval="));
+    else if (arg.rfind("--lease=", 0) == 0)
+      args.lease = std::stod(value("--lease="));
+    else if (arg.rfind("--", 0) == 0)
+      throw std::runtime_error("unknown argument: " + arg + " (try --help)");
+    else if (args.command.empty())
+      args.command = arg;
+    else
+      throw std::runtime_error("unexpected argument: " + arg);
+  }
+  return args;
+}
+
+std::pair<std::uint64_t, std::uint64_t> parse_seed_range(
+    const std::string& spec) {
+  const auto dash = spec.find('-');
+  const std::uint64_t lo = std::stoull(spec.substr(0, dash));
+  const std::uint64_t hi =
+      dash == std::string::npos ? lo : std::stoull(spec.substr(dash + 1));
+  if (hi < lo)
+    throw std::runtime_error("--seeds range must be ascending: " + spec);
+  return {lo, hi};
+}
+
+std::string read_file(const std::string& path) {
+  std::ifstream in(path, std::ios::binary);
+  if (!in) throw std::runtime_error("cannot read " + path);
+  std::ostringstream ss;
+  ss << in.rdbuf();
+  return ss.str();
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  using namespace tsc3d;
+  try {
+    const BatchArgs args = parse_args(argc, argv);
+    if (args.help || args.command.empty()) {
+      print_usage();
+      return args.help ? 0 : 1;
+    }
+
+    const std::string config_text =
+        args.config.empty() ? std::string() : read_file(args.config);
+    const config::ConfigFile cfg =
+        config::ConfigFile::parse(config_text, args.config);
+    service::ServiceOptions opt = config::make_service_options(cfg);
+    if (!args.queue.empty()) opt.queue_dir = args.queue;
+    if (args.checkpoint_interval > 0)
+      opt.checkpoint_interval = args.checkpoint_interval;
+    if (args.lease >= 0.0) opt.claim_lease_s = args.lease;
+    if (args.no_cache) opt.cache = false;
+
+    service::JobQueue queue(opt);
+
+    if (args.command == "enqueue") {
+      if (args.benchmark.empty() && args.blocks.empty())
+        throw std::runtime_error("enqueue needs --benchmark or --blocks");
+      const auto [lo, hi] = parse_seed_range(args.seeds);
+      service::JobSpec job;
+      job.benchmark = args.blocks.empty() ? args.benchmark : std::string();
+      job.blocks = args.blocks;
+      job.nets = args.nets;
+      job.pl = args.pl;
+      job.power = args.power;
+      job.config_text = config_text;
+      for (std::uint64_t seed = lo; seed <= hi; ++seed) {
+        job.seed = seed;
+        std::cout << "enqueued " << queue.enqueue(job) << " (seed " << seed
+                  << ")\n";
+      }
+      return 0;
+    }
+
+    if (args.command == "work") {
+      std::size_t attempted = 0, failed = 0;
+      while (args.max_jobs == 0 || attempted < args.max_jobs) {
+        const auto report = service::work_one(queue);
+        if (!report) break;  // queue drained
+        ++attempted;
+        std::cout << "job " << report->id << ": "
+                  << (report->ok
+                          ? (report->cache_hit ? "cache hit"
+                             : report->resumed ? "done (resumed)"
+                                               : "done")
+                          : "FAILED")
+                  << (report->ok
+                          ? (report->legal ? ", legal" : ", NOT legal")
+                          : "")
+                  << (report->ok && !report->cache_hit
+                          ? ", " + std::to_string(report->sa_moves) +
+                                " SA moves"
+                          : "")
+                  << (report->ok ? "" : ": " + report->error) << "\n";
+        if (!report->ok) ++failed;
+      }
+      std::cout << attempted << " job(s) attempted, " << failed
+                << " failed\n";
+      return failed == 0 ? 0 : 1;
+    }
+
+    if (args.command == "status") {
+      const service::QueueStatus s = queue.status();
+      std::cout << "queue           : " << queue.root().string() << "\n"
+                << "pending         : " << s.pending << "\n"
+                << "claimed         : " << s.claimed << "\n"
+                << "checkpoints     : " << s.checkpoints << "\n"
+                << "done            : " << s.done << "\n"
+                << "failed          : " << s.failed << "\n"
+                << "cached results  : " << s.cached << "\n";
+      return 0;
+    }
+
+    throw std::runtime_error("unknown command '" + args.command +
+                             "' (try --help)");
+  } catch (const std::exception& e) {
+    std::cerr << "error: " << e.what() << "\n";
+    return 1;
+  }
+}

@@ -82,7 +82,9 @@ void print_usage() {
       "  --help            this text\n"
       "\n"
       "Config-file keys are documented in docs/CONFIG.md; the\n"
-      "architecture overview lives in docs/ARCHITECTURE.md.\n";
+      "architecture overview lives in docs/ARCHITECTURE.md.  Batch\n"
+      "sweeps with checkpoint/resume and result caching run through the\n"
+      "tsc3d_batch companion binary, documented in docs/JOBS.md.\n";
 }
 
 CliArgs parse_args(int argc, char** argv) {

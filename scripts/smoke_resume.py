@@ -1,0 +1,142 @@
+#!/usr/bin/env python3
+"""Crash-resume smoke test for tsc3d_batch (the real-signal variant of
+tests/test_service.cpp's in-process crash test).
+
+Scenario:
+  1. run a job uninterrupted in a reference queue,
+  2. enqueue the identical job in a fresh queue, start a worker
+     subprocess, SIGKILL it as soon as the first checkpoint file lands,
+  3. run a second worker (lease 0, so the dead worker's claim is
+     instantly stale) to resume and finish,
+  4. compare the two result files BYTE for byte,
+  5. re-enqueue and re-drain: the rerun must be served from the result
+     cache with zero SA moves.
+
+Usage:
+  smoke_resume.py /path/to/tsc3d_batch [--workdir DIR]
+
+Exit code 0 on success; non-zero with a diagnostic otherwise.
+"""
+import argparse
+import os
+import shutil
+import signal
+import subprocess
+import sys
+import time
+
+CONFIG = """\
+[floorplanning]
+sa_moves = 9000
+sa_stages = 30
+fast_grid = 16
+verify_grid = 24
+sampling_grid = 16
+"""
+
+BENCH = "n100"
+SEED = 5
+
+
+def run(binary, *args, check=True):
+    proc = subprocess.run([binary, *args], capture_output=True, text=True)
+    if check and proc.returncode != 0:
+        sys.exit(f"FAIL: {' '.join(args)} -> rc {proc.returncode}\n"
+                 f"{proc.stdout}{proc.stderr}")
+    return proc
+
+
+def single_result_file(queue):
+    results = os.path.join(queue, "results")
+    files = [f for f in os.listdir(results) if f.endswith(".res")]
+    if len(files) != 1:
+        sys.exit(f"FAIL: expected exactly one result in {results}, "
+                 f"got {files}")
+    return os.path.join(results, files[0])
+
+
+def read_bytes(path):
+    with open(path, "rb") as fh:
+        return fh.read()
+
+
+def main():
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("binary", help="path to tsc3d_batch")
+    parser.add_argument("--workdir", default="smoke_resume_work")
+    args = parser.parse_args()
+
+    work = os.path.abspath(args.workdir)
+    shutil.rmtree(work, ignore_errors=True)
+    os.makedirs(work)
+    conf = os.path.join(work, "sweep.conf")
+    with open(conf, "w") as fh:
+        fh.write(CONFIG)
+
+    common = [f"--config={conf}", f"--benchmark={BENCH}",
+              f"--seeds={SEED}"]
+
+    # 1. Uninterrupted reference run.
+    ref_queue = os.path.join(work, "ref-queue")
+    run(args.binary, "enqueue", f"--queue={ref_queue}", *common)
+    run(args.binary, "work", f"--queue={ref_queue}")
+    ref_result = single_result_file(ref_queue)
+
+    # 2. Fresh queue; start a worker and SIGKILL it mid-anneal.  The
+    #    reference cache must not leak in (separate queue dirs), so the
+    #    resumed run genuinely anneals.
+    queue = os.path.join(work, "queue")
+    run(args.binary, "enqueue", f"--queue={queue}", *common)
+    ckp_dir = os.path.join(queue, "checkpoints")
+    worker = subprocess.Popen(
+        [args.binary, "work", f"--queue={queue}"],
+        stdout=subprocess.DEVNULL, stderr=subprocess.DEVNULL)
+    deadline = time.time() + 120
+    while time.time() < deadline:
+        if worker.poll() is not None:
+            sys.exit("FAIL: worker finished before it could be killed; "
+                     "raise sa_moves in the smoke config")
+        if any(f.endswith(".ckp") for f in os.listdir(ckp_dir)):
+            break
+        time.sleep(0.02)
+    else:
+        sys.exit("FAIL: no checkpoint appeared within 120 s")
+    worker.send_signal(signal.SIGKILL)
+    worker.wait()
+
+    status = run(args.binary, "status", f"--queue={queue}").stdout
+    if "pending         : 1" not in status:
+        sys.exit(f"FAIL: killed job is not pending again:\n{status}")
+
+    # 3. Resume with a zero lease so the dead worker's claim is stale.
+    out = run(args.binary, "work", f"--queue={queue}", "--lease=0").stdout
+    if "done (resumed)" not in out:
+        sys.exit(f"FAIL: second worker did not resume from the "
+                 f"checkpoint:\n{out}")
+
+    # 4. The crash must be invisible in the bytes.
+    resumed_result = single_result_file(queue)
+    if read_bytes(ref_result) != read_bytes(resumed_result):
+        sys.exit("FAIL: resumed result differs from the uninterrupted "
+                 f"reference ({ref_result} vs {resumed_result})")
+
+    # 5. Cache leg: re-run the finished job (the documented operator
+    #    recipe: move its file from done/ back to jobs/) -- it must be
+    #    served from the cache.
+    done_dir = os.path.join(queue, "done")
+    for name in os.listdir(done_dir):
+        if name.endswith(".job"):
+            shutil.move(os.path.join(done_dir, name),
+                        os.path.join(queue, "jobs", name))
+    out = run(args.binary, "work", f"--queue={queue}").stdout
+    if "cache hit" not in out:
+        sys.exit(f"FAIL: rerun of a finished job was not served from "
+                 f"the cache:\n{out}")
+
+    print("smoke_resume: SIGKILL resume bitwise-identical, cache hit OK")
+    shutil.rmtree(work, ignore_errors=True)
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -127,4 +127,20 @@ floorplan::FloorplannerOptions make_floorplanner_options(
   return opt;
 }
 
+service::ServiceOptions make_service_options(const ConfigFile& cfg) {
+  service::ServiceOptions opt;
+  opt.queue_dir = cfg.get_string("service.queue_dir", opt.queue_dir);
+  opt.cache_dir = cfg.get_string("service.cache_dir", opt.cache_dir);
+  opt.cache = cfg.get_bool("service.cache", opt.cache);
+  opt.checkpoint_interval = cfg.get_size("service.checkpoint_interval",
+                                         opt.checkpoint_interval);
+  opt.claim_lease_s =
+      cfg.get_double("service.claim_lease_s", opt.claim_lease_s);
+  if (opt.checkpoint_interval == 0)
+    throw ConfigError("service.checkpoint_interval must be >= 1");
+  if (opt.claim_lease_s < 0.0)
+    throw ConfigError("service.claim_lease_s must be >= 0");
+  return opt;
+}
+
 }  // namespace tsc3d::config

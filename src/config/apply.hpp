@@ -9,6 +9,7 @@
 #include "config/config_file.hpp"
 #include "core/config.hpp"
 #include "floorplan/floorplanner.hpp"
+#include "service/options.hpp"
 
 namespace tsc3d::config {
 
@@ -32,6 +33,11 @@ void apply_thermal(const ConfigFile& cfg, ThermalConfig& thermal);
 ///   chains), chain_exchange_interval, chain_ladder_ratio.
 /// The preset for `mode` is applied first, then individual overrides.
 [[nodiscard]] floorplan::FloorplannerOptions make_floorplanner_options(
+    const ConfigFile& cfg);
+
+/// Build batch-service options from [service] keys:
+///   queue_dir, cache_dir, cache, checkpoint_interval, claim_lease_s.
+[[nodiscard]] service::ServiceOptions make_service_options(
     const ConfigFile& cfg);
 
 }  // namespace tsc3d::config

@@ -153,4 +153,15 @@ std::vector<std::string> ConfigFile::keys() const {
   return out;
 }
 
+std::string ConfigFile::canonical() const {
+  std::string out;
+  for (const auto& [key, value] : values_) {  // std::map: sorted order
+    out += key;
+    out += " = ";
+    out += value;
+    out += "\n";
+  }
+  return out;
+}
+
 }  // namespace tsc3d::config

@@ -68,6 +68,13 @@ class ConfigFile {
   /// All keys, for introspection.
   [[nodiscard]] std::vector<std::string> keys() const;
 
+  /// Canonical text form: one "section.key = value" line per entry in
+  /// sorted key order, independent of source formatting, comments, or
+  /// section ordering.  Two configs with identical semantics render
+  /// identically, so the batch service hashes this to build cache keys.
+  /// Does not mark any key used.
+  [[nodiscard]] std::string canonical() const;
+
  private:
   void insert(const std::string& key, const std::string& value,
               std::size_t line);

@@ -32,6 +32,18 @@ class Rng {
  public:
   using result_type = std::uint64_t;
 
+  /// Complete stream position: the 256-bit xoshiro state plus the
+  /// Box-Muller gaussian cache.  Capturing and later restoring a State
+  /// resumes the stream bitwise -- including a pending cached gaussian,
+  /// which a bare reseed() would drop.
+  struct State {
+    std::uint64_t s[4] = {};
+    double cached_gaussian = 0.0;
+    bool has_cached_gaussian = false;
+
+    [[nodiscard]] bool operator==(const State&) const = default;
+  };
+
   explicit Rng(std::uint64_t seed = 0x9e3779b97f4a7c15ULL) { reseed(seed); }
 
   void reseed(std::uint64_t seed) {
@@ -117,6 +129,22 @@ class Rng {
   /// Log-normal sample parameterized by the underlying normal's mu/sigma.
   double lognormal(double mu, double sigma) {
     return std::exp(gaussian(mu, sigma));
+  }
+
+  /// Snapshot the exact stream position (see State).
+  [[nodiscard]] State state() const {
+    State st;
+    for (int i = 0; i < 4; ++i) st.s[i] = state_[i];
+    st.cached_gaussian = cached_gaussian_;
+    st.has_cached_gaussian = has_cached_gaussian_;
+    return st;
+  }
+
+  /// Resume from a snapshot; subsequent draws continue the stream bitwise.
+  void set_state(const State& st) {
+    for (int i = 0; i < 4; ++i) state_[i] = st.s[i];
+    cached_gaussian_ = st.cached_gaussian;
+    has_cached_gaussian_ = st.has_cached_gaussian;
   }
 
   /// Fisher-Yates shuffle.

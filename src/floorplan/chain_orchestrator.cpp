@@ -8,6 +8,7 @@
 #include <thread>
 #include <utility>
 
+#include "floorplan/exploration_checkpoint.hpp"
 #include "thermal/power_blur.hpp"
 
 namespace tsc3d::floorplan {
@@ -95,6 +96,13 @@ std::uint64_t ChainOrchestrator::chain_seed(std::uint64_t base,
 
 ChainReport ChainOrchestrator::run(Floorplan3D& fp, const LayoutState& initial,
                                    std::uint64_t seed) {
+  return run(fp, initial, seed, nullptr, Rng::State{});
+}
+
+ChainReport ChainOrchestrator::run(Floorplan3D& fp, const LayoutState& initial,
+                                   std::uint64_t seed,
+                                   const ExplorationHooks* hooks,
+                                   const Rng::State& flow_rng) {
   const std::size_t count = setup_.chains.chains;
   const bool parallel = setup_.chains.parallel;
 
@@ -137,13 +145,6 @@ ChainReport ChainOrchestrator::run(Floorplan3D& fp, const LayoutState& initial,
   }
   Rng exchange_rng(chain_seed(seed, count));
 
-  // --- begin: first full eval + T0 probe, then mount the ladder ---------
-  for_each_chain(count, parallel, [&](std::size_t k) {
-    Chain& c = *chains[k];
-    c.session = c.annealer->begin(c.state, c.rng);
-    c.session.temperature *= c.ladder;
-  });
-
   // --- staged annealing with periodic replica exchange -------------------
   ChainReport report;
   const std::size_t stages = setup_.anneal.stages;
@@ -151,6 +152,37 @@ ChainReport ChainOrchestrator::run(Floorplan3D& fp, const LayoutState& initial,
       std::max<std::size_t>(1, setup_.chains.exchange_interval);
   std::size_t done = 0;
   std::size_t round = 0;
+
+  if (hooks != nullptr && hooks->resume != nullptr) {
+    // Resume: every chain continues from its checkpointed session; the
+    // begin() calibration already ran in the original run and its RNG
+    // draws are part of the restored stream positions.
+    const ExplorationCheckpoint& ck = *hooks->resume;
+    if (!ck.tempering || ck.chains.size() != count)
+      throw std::invalid_argument(
+          "ChainOrchestrator: resume checkpoint does not match the chain "
+          "setup");
+    for_each_chain(count, parallel, [&](std::size_t k) {
+      Chain& c = *chains[k];
+      restore_chain(ck.chains[k], c.session, c.state, c.rng, *c.eval,
+                    c.engine.get(), c.fp);
+    });
+    exchange_rng.set_state(ck.exchange_rng);
+    done = static_cast<std::size_t>(ck.done_stages);
+    round = static_cast<std::size_t>(ck.round);
+    report.exchange = ck.exchange;
+  } else {
+    // --- begin: first full eval + T0 probe, then mount the ladder -------
+    for_each_chain(count, parallel, [&](std::size_t k) {
+      Chain& c = *chains[k];
+      c.session = c.annealer->begin(c.state, c.rng);
+      c.session.temperature *= c.ladder;
+    });
+  }
+
+  const std::size_t save_interval =
+      hooks != nullptr ? std::max<std::size_t>(1, hooks->checkpoint_interval)
+                       : 1;
   while (done < stages) {
     const std::size_t todo = std::min(interval, stages - done);
     for_each_chain(count, parallel, [&](std::size_t k) {
@@ -159,38 +191,61 @@ ChainReport ChainOrchestrator::run(Floorplan3D& fp, const LayoutState& initial,
         if (!c.annealer->run_stage(c.session, c.rng)) break;
     });
     done += todo;
-    if (done >= stages || count < 2) continue;
 
-    // Exchange round: alternate even/odd ladder pairs, fixed order, one
-    // dedicated RNG -- deterministic no matter how the segment threads
-    // were scheduled.
-    ++report.exchange.rounds;
-    for (std::size_t i = round % 2; i + 1 < count; i += 2) {
-      Chain& cold = *chains[i];
-      Chain& hot = *chains[i + 1];
-      ++report.exchange.attempts;
-      const double t_cold = cold.session.temperature;
-      const double t_hot = hot.session.temperature;
-      const double e_cold = rebased_cost(
-          cold.session.current.total, cold.session.current.outline_penalty,
-          cold.eval->outline_weight(), cold.session.initial_outline_weight);
-      const double e_hot = rebased_cost(
-          hot.session.current.total, hot.session.current.outline_penalty,
-          hot.eval->outline_weight(), hot.session.initial_outline_weight);
-      if (t_cold <= 0.0 || t_hot <= 0.0) continue;
-      const double log_accept =
-          (1.0 / t_cold - 1.0 / t_hot) * (e_cold - e_hot);
-      const bool accept =
-          log_accept >= 0.0 ||
-          exchange_rng.uniform() < std::exp(log_accept);
-      if (!accept) continue;
-      ++report.exchange.accepts;
-      std::swap(*cold.session.state, *hot.session.state);
-      std::swap(cold.session.current, hot.session.current);
-      cold.session.refresh_pending = true;
-      hot.session.refresh_pending = true;
+    if (done < stages && count >= 2) {
+      // Exchange round: alternate even/odd ladder pairs, fixed order, one
+      // dedicated RNG -- deterministic no matter how the segment threads
+      // were scheduled.
+      ++report.exchange.rounds;
+      for (std::size_t i = round % 2; i + 1 < count; i += 2) {
+        Chain& cold = *chains[i];
+        Chain& hot = *chains[i + 1];
+        ++report.exchange.attempts;
+        const double t_cold = cold.session.temperature;
+        const double t_hot = hot.session.temperature;
+        const double e_cold = rebased_cost(
+            cold.session.current.total, cold.session.current.outline_penalty,
+            cold.eval->outline_weight(), cold.session.initial_outline_weight);
+        const double e_hot = rebased_cost(
+            hot.session.current.total, hot.session.current.outline_penalty,
+            hot.eval->outline_weight(), hot.session.initial_outline_weight);
+        if (t_cold <= 0.0 || t_hot <= 0.0) continue;
+        const double log_accept =
+            (1.0 / t_cold - 1.0 / t_hot) * (e_cold - e_hot);
+        const bool accept =
+            log_accept >= 0.0 ||
+            exchange_rng.uniform() < std::exp(log_accept);
+        if (!accept) continue;
+        ++report.exchange.accepts;
+        std::swap(*cold.session.state, *hot.session.state);
+        std::swap(cold.session.current, hot.session.current);
+        cold.session.refresh_pending = true;
+        hot.session.refresh_pending = true;
+      }
+      ++round;
     }
-    ++round;
+
+    // Checkpoint at the barrier: every bracket is closed, exchanges (and
+    // the round counter) for this barrier are already folded in, so a
+    // resume re-enters exactly at the top of this loop.
+    if (hooks != nullptr && hooks->save &&
+        (done % save_interval == 0 || done >= stages)) {
+      ExplorationCheckpoint ck;
+      ck.tempering = true;
+      ck.clock_period_ns = fp.tech().clock_period_ns;
+      ck.flow_rng = flow_rng;
+      ck.chains.reserve(count);
+      for (std::size_t k = 0; k < count; ++k) {
+        Chain& c = *chains[k];
+        ck.chains.push_back(capture_chain(c.session, c.rng, *c.eval,
+                                          c.engine.get(), c.fp));
+      }
+      ck.exchange_rng = exchange_rng.state();
+      ck.done_stages = done;
+      ck.round = round;
+      ck.exchange = report.exchange;
+      hooks->save(ck);
+    }
   }
 
   // --- finish: repair tails + install each chain's best ------------------

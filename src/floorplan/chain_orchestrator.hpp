@@ -78,6 +78,8 @@ struct ChainSetup {
   ChainOptions chains;
 };
 
+struct ExplorationHooks;  // full definition in exploration_checkpoint.hpp
+
 class ChainOrchestrator {
  public:
   explicit ChainOrchestrator(ChainSetup setup);
@@ -87,6 +89,16 @@ class ChainOrchestrator {
   /// (fp, initial, seed) regardless of scheduling.
   ChainReport run(Floorplan3D& fp, const LayoutState& initial,
                   std::uint64_t seed);
+
+  /// Checkpointing variant: when `hooks->save` is set, snapshot every
+  /// chain at exchange barriers (each checkpoint embeds `flow_rng`, the
+  /// caller RNG's position, so the flow can be resumed end to end); when
+  /// `hooks->resume` is set, skip begin() and continue from the
+  /// checkpoint -- `initial` and `seed` are then ignored.  Resumed runs
+  /// are bitwise-identical to uninterrupted ones.
+  ChainReport run(Floorplan3D& fp, const LayoutState& initial,
+                  std::uint64_t seed, const ExplorationHooks* hooks,
+                  const Rng::State& flow_rng);
 
   [[nodiscard]] const ChainSetup& setup() const { return setup_; }
 

@@ -464,4 +464,61 @@ void CostEvaluator::batch_adopt(std::size_t index) {
   batch_evaluated_ = false;
 }
 
+CostEvaluator::CheckpointState CostEvaluator::checkpoint_state() const {
+  if (batch_active_ || in_trial())
+    throw std::logic_error(
+        "CostEvaluator: cannot checkpoint inside a batch or trial bracket");
+  CheckpointState st;
+  st.outline_weight = opt_.weights.outline;
+  st.peak_rise = cached_peak_rise_;
+  st.power = cached_power_;
+  st.volumes = cached_volumes_;
+  st.gradient = cached_gradient_;
+  st.correlation = cached_correlation_;
+  st.entropy = cached_entropy_;
+  st.have_expensive = have_expensive_;
+  st.cheap_evals = cheap_evals_;
+  st.norm_area = norm_.area;
+  st.norm_wl = norm_.wl;
+  st.norm_delay = norm_.delay;
+  st.norm_peak = norm_.peak;
+  st.norm_power = norm_.power;
+  st.norm_volumes = norm_.volumes;
+  st.norm_corr = norm_.corr;
+  st.norm_entropy = norm_.entropy;
+  st.norm_gradient = norm_.gradient;
+  st.norm_ready = norm_.ready;
+  return st;
+}
+
+void CostEvaluator::restore_checkpoint_state(const CheckpointState& st) {
+  if (batch_active_ || in_trial())
+    throw std::logic_error(
+        "CostEvaluator: cannot restore inside a batch or trial bracket");
+  opt_.weights.outline = st.outline_weight;
+  cached_peak_rise_ = st.peak_rise;
+  cached_power_ = st.power;
+  cached_volumes_ = st.volumes;
+  cached_gradient_ = st.gradient;
+  cached_correlation_ = st.correlation;
+  cached_entropy_ = st.entropy;
+  have_expensive_ = st.have_expensive;
+  cheap_evals_ = st.cheap_evals;
+  norm_.area = st.norm_area;
+  norm_.wl = st.norm_wl;
+  norm_.delay = st.norm_delay;
+  norm_.peak = st.norm_peak;
+  norm_.power = st.norm_power;
+  norm_.volumes = st.norm_volumes;
+  norm_.corr = st.norm_corr;
+  norm_.entropy = st.norm_entropy;
+  norm_.gradient = st.norm_gradient;
+  norm_.ready = st.norm_ready;
+  // The value-keyed die-term cache self-heals; clear it so the first
+  // post-resume evaluation recomputes from the repacked bounds.
+  die_terms_.clear();
+  die_terms_outline_w_ = -1.0;
+  die_terms_outline_h_ = -1.0;
+}
+
 }  // namespace tsc3d::floorplan

@@ -17,6 +17,7 @@
 #pragma once
 
 #include <cstddef>
+#include <cstdint>
 #include <vector>
 
 #include "core/floorplan.hpp"
@@ -176,6 +177,35 @@ class CostEvaluator {
   [[nodiscard]] bool in_trial() const;
 
   [[nodiscard]] const Options& options() const { return opt_; }
+
+  // --- checkpointing ------------------------------------------------------
+  // The evaluator state a resumed annealing session must carry to stay
+  // bitwise-identical to an uninterrupted run: the adaptive normalizers
+  // (frozen at the first full evaluation), the cached raw values of the
+  // expensive terms between refreshes, the escalated outline weight, and
+  // the cross-check cadence counter.  The value-keyed per-die layout-term
+  // cache is deliberately absent -- it self-heals from the repacked
+  // bounds with identical arithmetic.
+
+  /// Everything restore_checkpoint_state() needs (see above).
+  struct CheckpointState {
+    double outline_weight = 0.0;
+    double peak_rise = 0.0, power = 0.0, volumes = 0.0, gradient = 0.0;
+    std::vector<double> correlation, entropy;
+    bool have_expensive = false;
+    std::uint64_t cheap_evals = 0;
+    double norm_area = 1.0, norm_wl = 1.0, norm_delay = 1.0, norm_peak = 1.0,
+           norm_power = 1.0, norm_volumes = 1.0, norm_corr = 1.0,
+           norm_entropy = 1.0, norm_gradient = 1.0;
+    bool norm_ready = false;
+  };
+
+  /// Snapshot the resumable state.  Throws std::logic_error while a
+  /// batch or trial bracket is open (checkpoints live at stage
+  /// boundaries, never mid-bracket).
+  [[nodiscard]] CheckpointState checkpoint_state() const;
+  /// Restore a snapshot taken by checkpoint_state().  Same bracket rule.
+  void restore_checkpoint_state(const CheckpointState& st);
 
   /// Forward a tolerance-schedule scale to the detailed in-loop engine
   /// (no-op on the power-blurring path): subsequent thermal solves stop

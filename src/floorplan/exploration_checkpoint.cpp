@@ -1,0 +1,118 @@
+#include "floorplan/exploration_checkpoint.hpp"
+
+#include <stdexcept>
+
+namespace tsc3d::floorplan {
+
+LayoutStateImage capture_layout(const LayoutState& state) {
+  LayoutStateImage img;
+  img.tracked = state.tracked();
+  img.positive.reserve(state.die_sp.size());
+  img.negative.reserve(state.die_sp.size());
+  for (const SequencePair& sp : state.die_sp) {
+    img.positive.push_back(sp.positive());
+    img.negative.push_back(sp.negative());
+  }
+  img.width = state.width;
+  img.height = state.height;
+  img.die_of = state.die_of;
+  return img;
+}
+
+LayoutState restore_layout(const LayoutStateImage& image) {
+  if (image.positive.size() != image.negative.size())
+    throw std::invalid_argument(
+        "restore_layout: positive/negative die count mismatch");
+  if (image.width.size() != image.height.size() ||
+      image.width.size() != image.die_of.size())
+    throw std::invalid_argument("restore_layout: module array size mismatch");
+  LayoutState s;
+  s.die_sp.reserve(image.positive.size());
+  for (std::size_t d = 0; d < image.positive.size(); ++d)
+    s.die_sp.push_back(
+        SequencePair::restore(image.positive[d], image.negative[d]));
+  s.width = image.width;
+  s.height = image.height;
+  s.die_of = image.die_of;
+  if (image.tracked) s.init_tracking(s.die_sp.size());
+  return s;
+}
+
+ChainCheckpoint capture_chain(const AnnealSession& session, const Rng& rng,
+                              const CostEvaluator& eval,
+                              const thermal::ThermalEngine* engine,
+                              const Floorplan3D& fp) {
+  if (session.state == nullptr)
+    throw std::logic_error("capture_chain: session has no state");
+  ChainCheckpoint ck;
+  ck.state = capture_layout(*session.state);
+  ck.best = capture_layout(session.best);
+  ck.current = session.current;
+  ck.best_cost = session.best_cost;
+  ck.best_legal = session.best_legal;
+  ck.initial_outline_weight = session.initial_outline_weight;
+  ck.temperature = session.temperature;
+  ck.cooling = session.cooling;
+  ck.total_moves = session.total_moves;
+  ck.moves_per_stage = session.moves_per_stage;
+  ck.annealed_stages = session.annealed_stages;
+  ck.stage = session.stage;
+  ck.since_full = session.since_full;
+  ck.since_thermal = session.since_thermal;
+  ck.refresh_pending = session.refresh_pending;
+  ck.stats = session.stats;
+  ck.rng = rng.state();
+  ck.eval = eval.checkpoint_state();
+  if (engine != nullptr && engine->stats().steady_solves > 0) {
+    ck.has_field = true;
+    ck.field = engine->save_field();
+  }
+  ck.voltage_index.reserve(fp.modules().size());
+  for (const Module& m : fp.modules())
+    ck.voltage_index.push_back(m.voltage_index);
+  return ck;
+}
+
+void restore_chain(const ChainCheckpoint& ck, AnnealSession& session,
+                   LayoutState& state_storage, Rng& rng, CostEvaluator& eval,
+                   thermal::ThermalEngine* engine, Floorplan3D& fp) {
+  if (ck.voltage_index.size() != fp.modules().size())
+    throw std::invalid_argument(
+        "restore_chain: checkpoint module count does not match the design");
+  for (std::size_t i = 0; i < ck.voltage_index.size(); ++i)
+    fp.modules()[i].voltage_index =
+        static_cast<std::size_t>(ck.voltage_index[i]);
+
+  eval.restore_checkpoint_state(ck.eval);
+
+  state_storage = restore_layout(ck.state);
+  session = AnnealSession{};
+  session.state = &state_storage;
+  session.current = ck.current;
+  session.best = restore_layout(ck.best);
+  session.best_cost = ck.best_cost;
+  session.best_legal = ck.best_legal;
+  session.initial_outline_weight = ck.initial_outline_weight;
+  session.temperature = ck.temperature;
+  session.cooling = ck.cooling;
+  session.total_moves = static_cast<std::size_t>(ck.total_moves);
+  session.moves_per_stage = static_cast<std::size_t>(ck.moves_per_stage);
+  session.annealed_stages = static_cast<std::size_t>(ck.annealed_stages);
+  session.stage = static_cast<std::size_t>(ck.stage);
+  session.since_full = static_cast<std::size_t>(ck.since_full);
+  session.since_thermal = static_cast<std::size_t>(ck.since_thermal);
+  session.refresh_pending = ck.refresh_pending;
+  session.stats = ck.stats;
+
+  rng.set_state(ck.rng);
+  if (engine != nullptr && ck.has_field) engine->restore_field(ck.field);
+
+  // Publish the restored layout before the first move: the floorplan
+  // still holds the design-file positions, and the transactional loop's
+  // journal-on-first-touch staging must never capture those as the
+  // "pre-move" content.  The fresh tracking family forces a full repack,
+  // whose positions are bitwise-identical to the capture-time layout.
+  state_storage.apply_to(fp);
+}
+
+}  // namespace tsc3d::floorplan

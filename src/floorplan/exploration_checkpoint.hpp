@@ -1,0 +1,138 @@
+// tsc3d -- thermal side-channel-aware 3D floorplanning.
+//
+// Durable annealing checkpoints: everything a resumed exploration needs
+// to continue bitwise-identically to an uninterrupted run.  A checkpoint
+// is taken at a stage boundary (single chain) or an exchange barrier
+// (parallel tempering) -- the two places where no batch or trial bracket
+// is open and no move is half-applied -- and covers, per chain:
+//
+//   * the layout state and the tracked best (sequence pairs, extents,
+//     die assignment),
+//   * the full AnnealSession bookkeeping (temperatures, cadence
+//     counters, stats, the current/best cost breakdowns),
+//   * the RNG stream position (including a pending cached gaussian),
+//   * the CostEvaluator's resumable state (adaptive normalizers, cached
+//     expensive terms, escalated outline weight),
+//   * the detailed in-loop engine's warm-start temperature field, and
+//   * the per-module voltage assignment the last full evaluation wrote
+//     into the floorplan.
+//
+// Tempering checkpoints additionally carry the exchange RNG, the
+// completed-stage/round counters and the exchange stats.  The restored
+// layout gets a FRESH tracking family, so the first apply_to() fully
+// repacks every die -- bitwise-identical positions by the incremental-
+// packing parity contract (positions are a pure function of sequences
+// and extents; see tests/test_incremental_eval.cpp).
+//
+// The on-disk encoding (versioned, checksummed, validated against the
+// job identity) lives in src/service/checkpoint_io.hpp; this header is
+// the in-memory contract between the annealing stack and that service
+// layer.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <functional>
+#include <vector>
+
+#include "core/floorplan.hpp"
+#include "core/rng.hpp"
+#include "floorplan/annealer.hpp"
+#include "floorplan/chain_orchestrator.hpp"
+#include "floorplan/cost.hpp"
+#include "thermal/thermal_engine.hpp"
+
+namespace tsc3d::floorplan {
+
+/// Value snapshot of a LayoutState: the per-die sequence pairs (both
+/// sequences), module extents and die assignment.  Tracking bookkeeping
+/// is NOT captured -- restore_layout() allocates a fresh family.
+struct LayoutStateImage {
+  bool tracked = true;  ///< restore with incremental tracking enabled
+  std::vector<std::vector<std::size_t>> positive;  ///< per die
+  std::vector<std::vector<std::size_t>> negative;  ///< per die
+  std::vector<double> width;
+  std::vector<double> height;
+  std::vector<std::size_t> die_of;
+};
+
+[[nodiscard]] LayoutStateImage capture_layout(const LayoutState& state);
+/// Rebuild a LayoutState from an image.  Throws std::invalid_argument on
+/// inconsistent sequences (see SequencePair::restore).
+[[nodiscard]] LayoutState restore_layout(const LayoutStateImage& image);
+
+/// One chain's complete resumable state (see file comment).
+struct ChainCheckpoint {
+  LayoutStateImage state;
+  LayoutStateImage best;
+  CostBreakdown current;
+  CostBreakdown best_cost;
+  bool best_legal = false;
+  double initial_outline_weight = 0.0;
+  double temperature = 0.0;
+  double cooling = 0.0;
+  std::uint64_t total_moves = 0;
+  std::uint64_t moves_per_stage = 0;
+  std::uint64_t annealed_stages = 0;
+  std::uint64_t stage = 0;
+  std::uint64_t since_full = 0;
+  std::uint64_t since_thermal = 0;
+  bool refresh_pending = false;
+  AnnealStats stats;
+  Rng::State rng;
+  CostEvaluator::CheckpointState eval;
+  bool has_field = false;            ///< detailed engine warm field present
+  thermal::FieldSnapshot field;
+  std::vector<std::uint64_t> voltage_index;  ///< per module, from the fp
+};
+
+/// A whole exploration at a checkpointable boundary: the flow-level
+/// state (clock budget, outer RNG) plus one ChainCheckpoint per chain.
+struct ExplorationCheckpoint {
+  bool tempering = false;       ///< chains.size() > 1 path
+  double clock_period_ns = 0.0; ///< auto-derived timing budget
+  /// The flow RNG's position: for a single chain this is the (only)
+  /// move RNG, duplicated in chains[0].rng; for tempering it is the
+  /// caller RNG after the orchestrator seed draw (consumed again by the
+  /// dummy-TSV post-processing).
+  Rng::State flow_rng;
+  std::vector<ChainCheckpoint> chains;
+  // --- tempering only ---------------------------------------------------
+  Rng::State exchange_rng;
+  std::uint64_t done_stages = 0;
+  std::uint64_t round = 0;
+  ExchangeStats exchange;
+};
+
+/// Checkpoint plumbing for Floorplanner::run: `save` (when set) is
+/// called at every stage boundary / exchange barrier where the completed
+/// stage count is a multiple of `checkpoint_interval`, plus the final
+/// boundary before finish(); `resume` (when set) skips initialization
+/// and continues from the checkpoint instead.  The caller owns matching
+/// the resume checkpoint to the (design, options, seed) of the run --
+/// the service layer does so by hashing all three into the file identity.
+struct ExplorationHooks {
+  std::size_t checkpoint_interval = 1;  ///< stages between saves
+  std::function<void(const ExplorationCheckpoint&)> save;
+  const ExplorationCheckpoint* resume = nullptr;
+};
+
+/// Snapshot one chain at a stage boundary.  `engine` is the evaluator's
+/// detailed in-loop engine or null; `fp` is the chain's floorplan (for
+/// the voltage assignment).  Throws std::logic_error if the evaluator
+/// has an open batch or trial bracket.
+[[nodiscard]] ChainCheckpoint capture_chain(const AnnealSession& session,
+                                            const Rng& rng,
+                                            const CostEvaluator& eval,
+                                            const thermal::ThermalEngine* engine,
+                                            const Floorplan3D& fp);
+
+/// Restore one chain: rebuilds `state_storage` and `session` (pointing
+/// at it), repositions `rng`, reinstates the evaluator/engine/voltage
+/// state, and applies the restored layout to `fp` so the first
+/// post-resume move sees exactly the positions the capture-time run saw.
+void restore_chain(const ChainCheckpoint& ck, AnnealSession& session,
+                   LayoutState& state_storage, Rng& rng, CostEvaluator& eval,
+                   thermal::ThermalEngine* engine, Floorplan3D& fp);
+
+}  // namespace tsc3d::floorplan

@@ -1,6 +1,8 @@
 #include "floorplan/floorplanner.hpp"
 
+#include <algorithm>
 #include <chrono>
+#include <stdexcept>
 
 #include "leakage/activity.hpp"
 #include "leakage/pearson.hpp"
@@ -34,8 +36,14 @@ FloorplannerOptions Floorplanner::tsc_aware_setup() {
 }
 
 FloorplanMetrics Floorplanner::run(Floorplan3D& fp, Rng& rng) const {
+  return run(fp, rng, ExplorationHooks{});
+}
+
+FloorplanMetrics Floorplanner::run(Floorplan3D& fp, Rng& rng,
+                                   const ExplorationHooks& hooks) const {
   const auto t_start = std::chrono::steady_clock::now();
   FloorplanMetrics metrics;
+  const ExplorationCheckpoint* resume = hooks.resume;
 
   // --- cost evaluator options with the mode's weights -------------------
   ThermalConfig fast_cfg = opt_.thermal;
@@ -53,21 +61,35 @@ FloorplanMetrics Floorplanner::run(Floorplan3D& fp, Rng& rng) const {
   eval_opt.cross_check_interval = opt_.cross_check_interval;
 
   // --- simulated annealing ------------------------------------------------
-  LayoutState state = LayoutState::initial(fp, rng, opt_.hot_modules_to_top);
-  // incremental_eval == false is a full A/B of the seed pipeline: cached
-  // cheap terms off (above) AND dirty-die packing off, so every apply
-  // packs and rewrites everything exactly as before.
-  if (!opt_.incremental_eval) state.disable_tracking();
-  if (opt_.auto_clock_factor > 0.0) {
-    // Timing budget derived from the initial layout (all modules at the
-    // nominal voltage); see FloorplannerOptions::auto_clock_factor.
-    state.apply_to(fp);
-    const power::ElmoreTiming initial_timing(fp, opt_.timing);
-    fp.tech().clock_period_ns = std::max(
-        opt_.auto_clock_factor * initial_timing.analyze().critical_delay_ns,
-        1e-3);
+  LayoutState state;
+  if (resume == nullptr) {
+    state = LayoutState::initial(fp, rng, opt_.hot_modules_to_top);
+    // incremental_eval == false is a full A/B of the seed pipeline: cached
+    // cheap terms off (above) AND dirty-die packing off, so every apply
+    // packs and rewrites everything exactly as before.
+    if (!opt_.incremental_eval) state.disable_tracking();
+    if (opt_.auto_clock_factor > 0.0) {
+      // Timing budget derived from the initial layout (all modules at the
+      // nominal voltage); see FloorplannerOptions::auto_clock_factor.
+      state.apply_to(fp);
+      const power::ElmoreTiming initial_timing(fp, opt_.timing);
+      fp.tech().clock_period_ns = std::max(
+          opt_.auto_clock_factor * initial_timing.analyze().critical_delay_ns,
+          1e-3);
+    }
+  } else {
+    // Resume: the initial-layout construction, the auto-clock derivation
+    // and (for tempering) the orchestrator seed draw all consumed RNG in
+    // the original run; their outcomes -- and the stream position after
+    // them -- come back from the checkpoint instead of being replayed.
+    fp.tech().clock_period_ns = resume->clock_period_ns;
+    rng.set_state(resume->flow_rng);
   }
   if (opt_.chains.chains > 1) {
+    if (resume != nullptr && !resume->tempering)
+      throw std::invalid_argument(
+          "Floorplanner: single-chain checkpoint cannot resume a tempering "
+          "run");
     // Parallel tempering: K chains, each with its own design copy and
     // thermal/cost machinery, exchange states on a temperature ladder.
     ChainSetup setup;
@@ -79,9 +101,18 @@ FloorplanMetrics Floorplanner::run(Floorplan3D& fp, Rng& rng) const {
     setup.anneal = opt_.anneal;
     setup.chains = opt_.chains;
     ChainOrchestrator orchestrator(std::move(setup));
-    metrics.chains = orchestrator.run(fp, state, rng());
+    if (hooks.save || resume != nullptr) {
+      const std::uint64_t seed = resume == nullptr ? rng() : 0;
+      metrics.chains = orchestrator.run(fp, state, seed, &hooks, rng.state());
+    } else {
+      metrics.chains = orchestrator.run(fp, state, rng());
+    }
     metrics.anneal = metrics.chains.chains[metrics.chains.winner];
   } else {
+    if (resume != nullptr && (resume->tempering || resume->chains.size() != 1))
+      throw std::invalid_argument(
+          "Floorplanner: tempering checkpoint cannot resume a single-chain "
+          "run");
     // Single chain: one fast engine serves the whole in-loop resolution
     // (power-blur calibration and, optionally, the detailed in-loop
     // solves); its cached assembly and warm-start state persist across
@@ -91,7 +122,32 @@ FloorplanMetrics Floorplanner::run(Floorplan3D& fp, Rng& rng) const {
     if (opt_.detailed_inner_thermal) eval_opt.detailed_engine = &fast_engine;
     CostEvaluator evaluator(fp, blur, eval_opt);
     Annealer annealer(fp, evaluator, opt_.anneal);
-    metrics.anneal = annealer.run(state, rng);
+    thermal::ThermalEngine* engine = eval_opt.detailed_engine;
+    AnnealSession session;
+    if (resume != nullptr) {
+      restore_chain(resume->chains[0], session, state, rng, evaluator,
+                    engine, fp);
+    } else {
+      session = annealer.begin(state, rng);
+    }
+    const std::size_t save_interval =
+        std::max<std::size_t>(1, hooks.checkpoint_interval);
+    while (annealer.run_stage(session, rng)) {
+      // Checkpoint at the stage boundary (no bracket open, no move
+      // half-applied); the final boundary always saves so a crash during
+      // finish() resumes with zero stages left to redo.
+      if (hooks.save && (session.stage % save_interval == 0 ||
+                         session.stage >= opt_.anneal.stages)) {
+        ExplorationCheckpoint ck;
+        ck.tempering = false;
+        ck.clock_period_ns = fp.tech().clock_period_ns;
+        ck.flow_rng = rng.state();
+        ck.chains.push_back(
+            capture_chain(session, rng, evaluator, engine, fp));
+        hooks.save(ck);
+      }
+    }
+    metrics.anneal = annealer.finish(session, rng);
   }
   metrics.legal = fp.check_legality().legal;
 

@@ -25,6 +25,7 @@
 #include "floorplan/annealer.hpp"
 #include "floorplan/chain_orchestrator.hpp"
 #include "floorplan/cost.hpp"
+#include "floorplan/exploration_checkpoint.hpp"
 #include "tsv/dummy_inserter.hpp"
 
 namespace tsc3d::floorplan {
@@ -130,6 +131,17 @@ class Floorplanner {
   /// Run the full flow on `fp` (modules get placed, TSVs and voltages
   /// assigned).  Deterministic for a given floorplan + rng state.
   FloorplanMetrics run(Floorplan3D& fp, Rng& rng) const;
+
+  /// Checkpointing variant (see exploration_checkpoint.hpp): `hooks.save`
+  /// snapshots the annealing state at stage boundaries (single chain) or
+  /// exchange barriers (tempering); `hooks.resume` continues from a
+  /// snapshot instead of initializing -- the resumed flow's final layout,
+  /// metrics (runtime aside) and RNG position are bitwise-identical to an
+  /// uninterrupted run's.  The caller guarantees the checkpoint belongs
+  /// to this exact (design, options, seed); the batch service does so by
+  /// hashing all three into the checkpoint file identity (docs/JOBS.md).
+  FloorplanMetrics run(Floorplan3D& fp, Rng& rng,
+                       const ExplorationHooks& hooks) const;
 
   [[nodiscard]] const FloorplannerOptions& options() const { return opt_; }
 

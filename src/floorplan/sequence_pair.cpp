@@ -9,6 +9,27 @@ SequencePair::SequencePair(std::vector<std::size_t> members)
   rebuild_slot_maps();
 }
 
+SequencePair SequencePair::restore(std::vector<std::size_t> positive,
+                                   std::vector<std::size_t> negative) {
+  // Validate BEFORE rebuild_slot_maps: the maps are sized from the
+  // positive sequence, so a rogue negative id would write out of bounds.
+  std::vector<std::size_t> a = positive;
+  std::vector<std::size_t> b = negative;
+  std::sort(a.begin(), a.end());
+  std::sort(b.begin(), b.end());
+  if (a != b)
+    throw std::invalid_argument(
+        "SequencePair::restore: sequences disagree on membership");
+  if (std::adjacent_find(a.begin(), a.end()) != a.end())
+    throw std::invalid_argument(
+        "SequencePair::restore: duplicate module id");
+  SequencePair sp;
+  sp.positive_ = std::move(positive);
+  sp.negative_ = std::move(negative);
+  sp.rebuild_slot_maps();
+  return sp;
+}
+
 void SequencePair::rebuild_slot_maps() {
   std::size_t max_id = 0;
   for (const std::size_t id : positive_) max_id = std::max(max_id, id);

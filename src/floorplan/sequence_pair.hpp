@@ -40,6 +40,12 @@ class SequencePair {
   /// caller.
   explicit SequencePair(std::vector<std::size_t> members);
 
+  /// Rebuild a pair from previously captured sequences (checkpoint
+  /// restore).  Both vectors must hold the same module set; throws
+  /// std::invalid_argument otherwise.
+  static SequencePair restore(std::vector<std::size_t> positive,
+                              std::vector<std::size_t> negative);
+
   [[nodiscard]] std::size_t size() const { return positive_.size(); }
   [[nodiscard]] bool empty() const { return positive_.empty(); }
   [[nodiscard]] const std::vector<std::size_t>& positive() const {

@@ -1,0 +1,63 @@
+// tsc3d -- thermal side-channel-aware 3D floorplanning.
+//
+// Durable on-disk encoding of floorplan::ExplorationCheckpoint, plus the
+// artifact identity every service file carries.
+//
+// File layout (all integers little-endian):
+//
+//   magic    "TSC3DCKP"                      8 bytes
+//   version  u64 (kCheckpointFormatVersion)
+//   size     u64 (payload byte count)
+//   checksum u64 (FNV-1a 64 of the payload)
+//   payload  ArtifactContext + ExplorationCheckpoint
+//
+// Loading follows the DtmCheckpoint discipline: EVERY defect -- missing
+// file, wrong magic, unknown format version, truncated payload, checksum
+// mismatch, or an identity (design/config/seed/code-version) that does
+// not match the job being resumed -- yields {ok = false, reason}, and
+// the caller starts the run fresh.  A checkpoint can cost redo work,
+// never correctness.  Writes go through a temp file + atomic rename, so
+// a crash mid-write leaves the previous checkpoint intact.
+#pragma once
+
+#include <filesystem>
+#include <string>
+
+#include "floorplan/exploration_checkpoint.hpp"
+
+namespace tsc3d::service {
+
+/// Identity of one exploration: what produced an artifact and for which
+/// question.  Two artifacts are interchangeable iff all four match.
+struct ArtifactContext {
+  std::uint64_t design_hash = 0;  ///< content hash of the design source
+  std::uint64_t config_hash = 0;  ///< hash of the canonical config text
+  std::uint64_t seed = 0;
+  std::string code_version;       ///< kCodeVersion of the producer
+
+  [[nodiscard]] bool operator==(const ArtifactContext&) const = default;
+};
+
+/// Cache key: a single 64-bit digest of the full context.  Collisions
+/// are tolerated -- every artifact stores the full context and probes
+/// compare it, so a collision degrades to a miss, never a wrong answer.
+[[nodiscard]] std::uint64_t context_key(const ArtifactContext& ctx);
+
+/// Write atomically (temp + rename); throws std::runtime_error on I/O
+/// failure.
+void save_checkpoint_file(const std::filesystem::path& path,
+                          const ArtifactContext& context,
+                          const floorplan::ExplorationCheckpoint& checkpoint);
+
+struct CheckpointLoad {
+  bool ok = false;
+  std::string reason;  ///< why the load was rejected (ok == false)
+  floorplan::ExplorationCheckpoint checkpoint;
+};
+
+/// Load + validate against `expect` (see file comment).  Never throws on
+/// bad content; a defective file is a clean miss with a reason.
+[[nodiscard]] CheckpointLoad load_checkpoint_file(
+    const std::filesystem::path& path, const ArtifactContext& expect);
+
+}  // namespace tsc3d::service

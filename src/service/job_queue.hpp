@@ -1,0 +1,120 @@
+// tsc3d -- thermal side-channel-aware 3D floorplanning.
+//
+// Durable on-disk job queue for batch design-space exploration.  A queue
+// is a directory tree:
+//
+//   <queue>/jobs/<id>.job          pending work (one text file per job)
+//   <queue>/claims/<id>.claim      lease held by a live worker
+//   <queue>/checkpoints/<id>.ckp   latest annealing checkpoint
+//   <queue>/results/<id>.res       finished StoredResult
+//   <queue>/done/<id>.job          job file after successful completion
+//   <queue>/failed/<id>.job        job file after a non-retryable error
+//   <queue>/cache/<key>.res        content-addressed result cache
+//
+// The job id is the hex FNV-1a digest of the job file's canonical text,
+// so re-enqueueing the same work is idempotent.  Claiming uses
+// open(O_CREAT | O_EXCL) on the claim file -- atomic on POSIX -- so two
+// workers never run the same job concurrently.  A claim older than the
+// lease is presumed orphaned (worker crashed) and may be re-claimed;
+// because results are a deterministic function of the job, duplicated
+// work after a botched lease is wasted effort, never a wrong answer.
+//
+// Format and failure semantics are documented for operators in
+// docs/JOBS.md.
+#pragma once
+
+#include <cstdint>
+#include <filesystem>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "service/options.hpp"
+
+namespace tsc3d::service {
+
+/// One unit of work: a design reference, a seed, and the full config
+/// text governing the run.  Designs are either a named synthetic
+/// benchmark (Table 1) or a GSRC bookshelf bundle referenced by path.
+struct JobSpec {
+  std::string benchmark;               ///< empty when files are given
+  std::string blocks, nets, pl, power; ///< GSRC bundle paths
+  std::uint64_t seed = 1;
+  std::string config_text;             ///< verbatim Corblivar-style config
+
+  [[nodiscard]] bool operator==(const JobSpec&) const = default;
+};
+
+/// Render the canonical "tsc3d-job v1" text form (what enqueue writes).
+[[nodiscard]] std::string format_job(const JobSpec& job);
+
+/// Parse the text form; throws std::runtime_error on malformed input.
+[[nodiscard]] JobSpec parse_job(const std::string& text);
+
+/// The job id: hex FNV-1a 64 digest of the canonical job text.
+[[nodiscard]] std::string job_id(const JobSpec& job);
+
+/// A claimed job handed to a worker.
+struct ClaimedJob {
+  std::string id;
+  JobSpec spec;
+  std::filesystem::path job_file;    ///< jobs/<id>.job
+  std::filesystem::path claim_file;  ///< claims/<id>.claim
+};
+
+/// Queue occupancy counts for `tsc3d_batch status`.
+struct QueueStatus {
+  std::size_t pending = 0;
+  std::size_t claimed = 0;
+  std::size_t done = 0;
+  std::size_t failed = 0;
+  std::size_t checkpoints = 0;
+  std::size_t cached = 0;
+};
+
+class JobQueue {
+ public:
+  /// Opens (creating directories as needed) the queue at opt.queue_dir.
+  explicit JobQueue(ServiceOptions opt);
+
+  [[nodiscard]] const ServiceOptions& options() const { return opt_; }
+  [[nodiscard]] const std::filesystem::path& root() const { return root_; }
+  [[nodiscard]] std::filesystem::path cache_dir() const;
+
+  /// Write the job durably; returns its id.  Idempotent: enqueueing a
+  /// job that is already pending, claimed, or done is a no-op.
+  std::string enqueue(const JobSpec& job);
+
+  /// Claim the lexicographically first unclaimed pending job, or a job
+  /// whose claim is older than options().claim_lease_s (orphaned).
+  /// Returns std::nullopt when nothing is claimable.
+  [[nodiscard]] std::optional<ClaimedJob> claim_next();
+
+  /// Mark a claimed job finished: moves jobs/<id>.job to done/, removes
+  /// the checkpoint and the claim.
+  void complete(const ClaimedJob& job);
+
+  /// Mark a claimed job failed: moves the job file to failed/ alongside
+  /// a .reason sidecar, removes the checkpoint and the claim.
+  void fail(const ClaimedJob& job, const std::string& reason);
+
+  /// Release a claim without finishing (worker shutting down cleanly);
+  /// the job stays pending and its checkpoint stays for the next worker.
+  void release(const ClaimedJob& job);
+
+  /// Path where job `id` checkpoints (checkpoints/<id>.ckp).
+  [[nodiscard]] std::filesystem::path checkpoint_path(
+      const std::string& id) const;
+
+  /// Path of job `id`'s result file (results/<id>.res).
+  [[nodiscard]] std::filesystem::path result_path(
+      const std::string& id) const;
+
+  [[nodiscard]] QueueStatus status() const;
+
+ private:
+  ServiceOptions opt_;
+  std::filesystem::path root_;
+};
+
+}  // namespace tsc3d::service

@@ -1,0 +1,29 @@
+// tsc3d -- thermal side-channel-aware 3D floorplanning.
+//
+// Service-level knobs of the batch exploration mode (tsc3d_batch).
+// Populated from the [service] config section by
+// config::make_service_options; every key is documented in
+// docs/CONFIG.md and the operator semantics in docs/JOBS.md.
+#pragma once
+
+#include <cstddef>
+#include <string>
+
+namespace tsc3d::service {
+
+struct ServiceOptions {
+  /// Root directory of the on-disk job queue (created on demand).
+  std::string queue_dir = "tsc3d-queue";
+  /// Content-addressed result cache directory; empty = <queue_dir>/cache.
+  std::string cache_dir;
+  /// Consult/populate the result cache (off = always re-anneal).
+  bool cache = true;
+  /// Stages between durable checkpoints (1 = every stage boundary /
+  /// exchange barrier; larger values trade redo work for less I/O).
+  std::size_t checkpoint_interval = 1;
+  /// Seconds after which another worker may steal an unfinished claim
+  /// (crash recovery).  0 reclaims immediately -- only sane in tests.
+  double claim_lease_s = 600.0;
+};
+
+}  // namespace tsc3d::service

@@ -1,0 +1,30 @@
+#include "service/result_cache.hpp"
+
+#include <iomanip>
+#include <sstream>
+
+namespace tsc3d::service {
+
+ResultCache::ResultCache(std::filesystem::path dir) : dir_(std::move(dir)) {
+  std::filesystem::create_directories(dir_);
+}
+
+std::filesystem::path ResultCache::path_for(const ArtifactContext& ctx) const {
+  std::ostringstream name;
+  name << std::hex << std::setw(16) << std::setfill('0') << context_key(ctx)
+       << ".res";
+  return dir_ / name.str();
+}
+
+std::optional<StoredResult> ResultCache::probe(
+    const ArtifactContext& ctx) const {
+  ResultLoad load = load_result_file(path_for(ctx), &ctx);
+  if (!load.ok) return std::nullopt;
+  return std::move(load.result);
+}
+
+void ResultCache::store(const StoredResult& result) const {
+  save_result_file(path_for(result.context), result);
+}
+
+}  // namespace tsc3d::service

@@ -1,0 +1,46 @@
+// tsc3d -- thermal side-channel-aware 3D floorplanning.
+//
+// Content-addressed result cache.  Artifacts are StoredResult files (see
+// result_io.hpp) named <hex(context_key)>.res in a flat directory.  The
+// key digests the full ArtifactContext -- design hash, canonical config
+// hash, seed, code version -- so a change to ANY component addresses a
+// different slot.  Probes re-validate the stored context field-by-field;
+// a key collision or stale file degrades to a miss, never a wrong hit.
+//
+// Cache hits return the exact bytes a fresh run would produce (results
+// are deterministic and runtime-free), so `tsc3d_batch work` can serve a
+// repeat exploration with zero annealing moves.
+#pragma once
+
+#include <filesystem>
+#include <optional>
+#include <string>
+
+#include "service/result_io.hpp"
+
+namespace tsc3d::service {
+
+class ResultCache {
+ public:
+  /// Opens (creating if needed) the cache directory.
+  explicit ResultCache(std::filesystem::path dir);
+
+  [[nodiscard]] const std::filesystem::path& dir() const { return dir_; }
+
+  /// Slot path for a context (exists or not).
+  [[nodiscard]] std::filesystem::path path_for(
+      const ArtifactContext& ctx) const;
+
+  /// Look up a context.  Returns the stored result only when the file is
+  /// intact AND its embedded context matches `ctx` exactly.
+  [[nodiscard]] std::optional<StoredResult> probe(
+      const ArtifactContext& ctx) const;
+
+  /// Store a finished result under its own context (atomic write).
+  void store(const StoredResult& result) const;
+
+ private:
+  std::filesystem::path dir_;
+};
+
+}  // namespace tsc3d::service

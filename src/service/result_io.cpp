@@ -1,0 +1,237 @@
+#include "service/result_io.hpp"
+
+#include <fstream>
+
+#include "service/serialize.hpp"
+#include "service/version.hpp"
+
+namespace tsc3d::service {
+
+namespace {
+
+constexpr char kMagic[8] = {'T', 'S', 'C', '3', 'D', 'R', 'E', 'S'};
+
+void put_rng(ByteWriter& w, const Rng::State& st) {
+  for (const std::uint64_t s : st.s) w.u64(s);
+  w.f64(st.cached_gaussian);
+  w.boolean(st.has_cached_gaussian);
+}
+
+Rng::State get_rng(ByteReader& r) {
+  Rng::State st;
+  for (std::uint64_t& s : st.s) s = r.u64();
+  st.cached_gaussian = r.f64();
+  st.has_cached_gaussian = r.boolean();
+  return st;
+}
+
+void put_context(ByteWriter& w, const ArtifactContext& ctx) {
+  w.u64(ctx.design_hash);
+  w.u64(ctx.config_hash);
+  w.u64(ctx.seed);
+  w.str(ctx.code_version);
+}
+
+ArtifactContext get_context(ByteReader& r) {
+  ArtifactContext ctx;
+  ctx.design_hash = r.u64();
+  ctx.config_hash = r.u64();
+  ctx.seed = r.u64();
+  ctx.code_version = r.str();
+  return ctx;
+}
+
+}  // namespace
+
+StoredResult make_stored_result(const ArtifactContext& context,
+                                const Floorplan3D& fp,
+                                const floorplan::FloorplanMetrics& metrics,
+                                const Rng& rng) {
+  StoredResult res;
+  res.context = context;
+  res.legal = metrics.legal;
+  res.correlation = metrics.correlation;
+  res.entropy = metrics.entropy;
+  res.power_w = metrics.power_w;
+  res.critical_delay_ns = metrics.critical_delay_ns;
+  res.wirelength_m = metrics.wirelength_m;
+  res.peak_k = metrics.peak_k;
+  res.signal_tsvs = metrics.signal_tsvs;
+  res.dummy_tsvs = metrics.dummy_tsvs;
+  res.voltage_volumes = metrics.voltage_volumes;
+  res.clock_period_ns = fp.tech().clock_period_ns;
+  res.placement.reserve(fp.modules().size());
+  for (const Module& m : fp.modules()) {
+    PlacedModule pm;
+    pm.die = m.die;
+    pm.x = m.shape.x;
+    pm.y = m.shape.y;
+    pm.w = m.shape.w;
+    pm.h = m.shape.h;
+    pm.voltage_index = m.voltage_index;
+    res.placement.push_back(pm);
+  }
+  res.tsvs.reserve(fp.tsvs().size());
+  for (const Tsv& t : fp.tsvs()) {
+    StoredTsv st;
+    st.x = t.position.x;
+    st.y = t.position.y;
+    st.count = t.count;
+    st.kind = static_cast<std::uint64_t>(t.kind);
+    st.net = t.net;
+    res.tsvs.push_back(st);
+  }
+  res.final_rng = rng.state();
+  return res;
+}
+
+void save_result_file(const std::filesystem::path& path,
+                      const StoredResult& res) {
+  ByteWriter payload;
+  put_context(payload, res.context);
+  payload.boolean(res.legal);
+  payload.vec_f64(res.correlation);
+  payload.vec_f64(res.entropy);
+  payload.f64(res.power_w);
+  payload.f64(res.critical_delay_ns);
+  payload.f64(res.wirelength_m);
+  payload.f64(res.peak_k);
+  payload.u64(res.signal_tsvs);
+  payload.u64(res.dummy_tsvs);
+  payload.u64(res.voltage_volumes);
+  payload.f64(res.clock_period_ns);
+  payload.u64(res.placement.size());
+  for (const PlacedModule& m : res.placement) {
+    payload.u64(m.die);
+    payload.f64(m.x);
+    payload.f64(m.y);
+    payload.f64(m.w);
+    payload.f64(m.h);
+    payload.u64(m.voltage_index);
+  }
+  payload.u64(res.tsvs.size());
+  for (const StoredTsv& t : res.tsvs) {
+    payload.f64(t.x);
+    payload.f64(t.y);
+    payload.u64(t.count);
+    payload.u64(t.kind);
+    payload.u64(t.net);
+  }
+  put_rng(payload, res.final_rng);
+
+  ByteWriter file;
+  for (const char m : kMagic) file.u8(static_cast<std::uint8_t>(m));
+  file.u64(kResultFormatVersion);
+  file.u64(payload.bytes().size());
+  file.u64(fnv1a64(payload.bytes().data(), payload.bytes().size()));
+
+  const std::filesystem::path tmp = path.string() + ".tmp";
+  {
+    std::ofstream out(tmp, std::ios::binary | std::ios::trunc);
+    if (!out)
+      throw std::runtime_error("save_result_file: cannot open " +
+                               tmp.string());
+    out.write(reinterpret_cast<const char*>(file.bytes().data()),
+              static_cast<std::streamsize>(file.bytes().size()));
+    out.write(reinterpret_cast<const char*>(payload.bytes().data()),
+              static_cast<std::streamsize>(payload.bytes().size()));
+    out.flush();
+    if (!out)
+      throw std::runtime_error("save_result_file: write failed on " +
+                               tmp.string());
+  }
+  std::filesystem::rename(tmp, path);
+}
+
+ResultLoad load_result_file(const std::filesystem::path& path,
+                            const ArtifactContext* expect) {
+  ResultLoad out;
+  std::ifstream in(path, std::ios::binary);
+  if (!in) {
+    out.reason = "no result file";
+    return out;
+  }
+  std::vector<std::uint8_t> bytes(
+      (std::istreambuf_iterator<char>(in)), std::istreambuf_iterator<char>());
+
+  try {
+    ByteReader header(bytes.data(), bytes.size());
+    for (const char m : kMagic)
+      if (header.u8() != static_cast<std::uint8_t>(m)) {
+        out.reason = "bad magic";
+        return out;
+      }
+    if (header.u64() != kResultFormatVersion) {
+      out.reason = "unknown format version";
+      return out;
+    }
+    const std::uint64_t payload_size = header.u64();
+    const std::uint64_t checksum = header.u64();
+    if (payload_size != header.remaining()) {
+      out.reason = "truncated or oversized payload";
+      return out;
+    }
+    const std::uint8_t* payload =
+        bytes.data() + (bytes.size() - header.remaining());
+    if (fnv1a64(payload, static_cast<std::size_t>(payload_size)) != checksum) {
+      out.reason = "checksum mismatch";
+      return out;
+    }
+
+    ByteReader r(payload, static_cast<std::size_t>(payload_size));
+    StoredResult res;
+    res.context = get_context(r);
+    if (expect != nullptr && !(res.context == *expect)) {
+      out.reason = "context mismatch";
+      return out;
+    }
+    res.legal = r.boolean();
+    res.correlation = r.vec_f64();
+    res.entropy = r.vec_f64();
+    res.power_w = r.f64();
+    res.critical_delay_ns = r.f64();
+    res.wirelength_m = r.f64();
+    res.peak_k = r.f64();
+    res.signal_tsvs = r.u64();
+    res.dummy_tsvs = r.u64();
+    res.voltage_volumes = r.u64();
+    res.clock_period_ns = r.f64();
+    const std::uint64_t modules = r.u64();
+    res.placement.reserve(static_cast<std::size_t>(modules));
+    for (std::uint64_t i = 0; i < modules; ++i) {
+      PlacedModule m;
+      m.die = r.u64();
+      m.x = r.f64();
+      m.y = r.f64();
+      m.w = r.f64();
+      m.h = r.f64();
+      m.voltage_index = r.u64();
+      res.placement.push_back(m);
+    }
+    const std::uint64_t tsvs = r.u64();
+    res.tsvs.reserve(static_cast<std::size_t>(tsvs));
+    for (std::uint64_t i = 0; i < tsvs; ++i) {
+      StoredTsv t;
+      t.x = r.f64();
+      t.y = r.f64();
+      t.count = r.u64();
+      t.kind = r.u64();
+      t.net = r.u64();
+      res.tsvs.push_back(t);
+    }
+    res.final_rng = get_rng(r);
+    if (!r.exhausted()) {
+      out.reason = "trailing bytes";
+      return out;
+    }
+    out.result = std::move(res);
+    out.ok = true;
+    return out;
+  } catch (const std::exception& e) {
+    out.reason = e.what();
+    out.ok = false;
+    return out;
+  }
+}
+
+}  // namespace tsc3d::service

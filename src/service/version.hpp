@@ -1,0 +1,26 @@
+// tsc3d -- thermal side-channel-aware 3D floorplanning.
+//
+// Version identity of the batch exploration service's on-disk
+// artifacts.
+//
+//   * kCodeVersion names the RESULT-AFFECTING code revision.  It is part
+//     of every artifact's identity: a checkpoint written by a different
+//     code version is discarded (clean restart, never a silent mix of
+//     two algorithms), and a cached result from one never answers a
+//     query for another.  Bump it whenever a change can alter any
+//     annealing result bitwise -- move logic, cost terms, RNG use,
+//     default options -- and leave it alone for pure refactors, so the
+//     cache survives them.
+//   * kCheckpointFormatVersion / kResultFormatVersion name the byte
+//     LAYOUTS.  Bump on any encoding change; readers reject other
+//     versions instead of misparsing them.
+#pragma once
+
+namespace tsc3d::service {
+
+inline constexpr const char* kCodeVersion = "tsc3d-8";
+
+inline constexpr unsigned kCheckpointFormatVersion = 1;
+inline constexpr unsigned kResultFormatVersion = 1;
+
+}  // namespace tsc3d::service

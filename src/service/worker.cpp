@@ -1,0 +1,161 @@
+#include "service/worker.hpp"
+
+#include <fstream>
+#include <sstream>
+
+#include "benchgen/generator.hpp"
+#include "benchgen/gsrc_io.hpp"
+#include "config/apply.hpp"
+#include "config/config_file.hpp"
+#include "service/serialize.hpp"
+#include "service/version.hpp"
+
+namespace tsc3d::service {
+
+namespace {
+
+/// Feed one file's raw bytes into a running FNV digest; a missing file
+/// throws so a bad job fails loudly instead of hashing to nonsense.
+std::uint64_t hash_file(std::uint64_t h, const std::string& path) {
+  std::ifstream in(path, std::ios::binary);
+  if (!in)
+    throw std::runtime_error("design_hash: cannot read " + path);
+  std::ostringstream ss;
+  ss << in.rdbuf();
+  const std::string bytes = ss.str();
+  return fnv1a64(bytes.data(), bytes.size(), h);
+}
+
+}  // namespace
+
+std::uint64_t design_hash(const JobSpec& job) {
+  if (job.blocks.empty()) {
+    // Synthetic designs are a pure function of (name, seed); the seed is
+    // hashed here too because it shapes the DESIGN, not just the anneal.
+    std::uint64_t h = fnv1a64("benchmark");
+    h = fnv1a64(job.benchmark.data(), job.benchmark.size(), h);
+    const std::uint64_t seed = job.seed;
+    h = fnv1a64(&seed, sizeof(seed), h);
+    return h;
+  }
+  std::uint64_t h = fnv1a64("gsrc");
+  for (const std::string* path :
+       {&job.blocks, &job.nets, &job.pl, &job.power}) {
+    const char sep = '\0';
+    h = fnv1a64(&sep, 1, h);
+    if (!path->empty()) h = hash_file(h, *path);
+  }
+  return h;
+}
+
+ArtifactContext job_context(const JobSpec& job) {
+  const config::ConfigFile cfg =
+      config::ConfigFile::parse(job.config_text, "<job config>");
+  // [service] keys steer the queue machinery, not the exploration, so
+  // they are excluded: sweeps run from different queue dirs or with
+  // different lease settings still share cache entries.
+  std::istringstream canonical(cfg.canonical());
+  std::string filtered, line;
+  while (std::getline(canonical, line))
+    if (line.rfind("service.", 0) != 0) filtered += line + "\n";
+  ArtifactContext ctx;
+  ctx.design_hash = design_hash(job);
+  ctx.config_hash = fnv1a64(filtered);
+  ctx.seed = job.seed;
+  ctx.code_version = kCodeVersion;
+  return ctx;
+}
+
+WorkReport run_job(const JobSpec& job,
+                   const std::filesystem::path& checkpoint_file,
+                   const std::filesystem::path& result_file,
+                   ResultCache* cache, std::size_t checkpoint_interval) {
+  WorkReport report;
+  try {
+    const ArtifactContext ctx = job_context(job);
+
+    if (cache != nullptr) {
+      if (std::optional<StoredResult> hit = cache->probe(ctx)) {
+        save_result_file(result_file, *hit);
+        report.ok = true;
+        report.cache_hit = true;
+        report.legal = hit->legal;
+        report.result_file = result_file;
+        return report;
+      }
+    }
+
+    const config::ConfigFile cfg =
+        config::ConfigFile::parse(job.config_text, "<job config>");
+    floorplan::FloorplannerOptions opt =
+        config::make_floorplanner_options(cfg);
+    TechnologyConfig tech;
+    config::apply_technology(cfg, tech);
+    (void)config::make_service_options(cfg);  // [service] keys are ours
+    const auto unused = cfg.unused_keys();
+    if (!unused.empty()) {
+      std::string msg = "unrecognized config keys:";
+      for (const auto& key : unused) msg += " " + key;
+      throw std::runtime_error(msg);
+    }
+
+    Floorplan3D fp = job.blocks.empty()
+                         ? benchgen::generate(job.benchmark, job.seed)
+                         : benchgen::read_bundle(tech, job.blocks, job.nets,
+                                                 job.pl, job.power);
+
+    const CheckpointLoad ck = load_checkpoint_file(checkpoint_file, ctx);
+    floorplan::ExplorationHooks hooks;
+    hooks.checkpoint_interval = checkpoint_interval;
+    hooks.save = [&](const floorplan::ExplorationCheckpoint& snapshot) {
+      save_checkpoint_file(checkpoint_file, ctx, snapshot);
+    };
+    if (ck.ok) {
+      hooks.resume = &ck.checkpoint;
+      report.resumed = true;
+      report.resume_note = "resumed from checkpoint";
+    } else {
+      report.resume_note = ck.reason;  // fresh start, with the why
+    }
+
+    Rng rng(job.seed);
+    const floorplan::Floorplanner planner(opt);
+    const floorplan::FloorplanMetrics metrics = planner.run(fp, rng, hooks);
+
+    const StoredResult result = make_stored_result(ctx, fp, metrics, rng);
+    save_result_file(result_file, result);
+    if (cache != nullptr) cache->store(result);
+
+    report.ok = true;
+    report.sa_moves = metrics.anneal.moves;
+    report.legal = metrics.legal;
+    report.result_file = result_file;
+    return report;
+  } catch (const std::exception& e) {
+    report.ok = false;
+    report.error = e.what();
+    return report;
+  }
+}
+
+std::optional<WorkReport> work_one(JobQueue& queue) {
+  std::optional<ClaimedJob> claimed = queue.claim_next();
+  if (!claimed) return std::nullopt;
+
+  std::optional<ResultCache> cache;
+  if (queue.options().cache) cache.emplace(queue.cache_dir());
+
+  WorkReport report = run_job(
+      claimed->spec, queue.checkpoint_path(claimed->id),
+      queue.result_path(claimed->id), cache ? &*cache : nullptr,
+      queue.options().checkpoint_interval);
+  report.id = claimed->id;
+
+  if (report.ok)
+    queue.complete(*claimed);
+  else
+    queue.fail(*claimed, report.error);
+  return report;
+}
+
+}  // namespace tsc3d::service

@@ -1,0 +1,67 @@
+// tsc3d -- thermal side-channel-aware 3D floorplanning.
+//
+// The batch worker: drains a JobQueue one job at a time.  For each
+// claimed job it
+//
+//   1. derives the ArtifactContext (design hash, canonical-config hash,
+//      seed, code version),
+//   2. probes the result cache -- a hit completes the job with ZERO
+//      annealing moves and the exact stored bytes,
+//   3. probes checkpoints/<id>.ckp -- a valid checkpoint resumes the
+//      anneal mid-flight; a defective or mismatched one is discarded
+//      with its reason and the run starts fresh,
+//   4. runs the flow with checkpoint hooks (a snapshot lands on disk
+//      every service.checkpoint_interval stages, atomically),
+//   5. stores the result (results/<id>.res + cache) and completes.
+//
+// Because the flow is deterministic and checkpoints capture the complete
+// annealing state, a worker SIGKILLed at any point produces -- after
+// resume by any worker -- a result file byte-identical to an
+// uninterrupted run's.
+#pragma once
+
+#include <cstdint>
+#include <string>
+
+#include "service/job_queue.hpp"
+#include "service/result_cache.hpp"
+#include "service/result_io.hpp"
+
+namespace tsc3d::service {
+
+/// Content hash of the job's design source: the (benchmark, seed) name
+/// for synthetic designs, or the concatenated bytes of the GSRC files
+/// for file-based ones.  Any edit to an input file changes the hash.
+[[nodiscard]] std::uint64_t design_hash(const JobSpec& job);
+
+/// The full artifact identity of a job under the current code version.
+[[nodiscard]] ArtifactContext job_context(const JobSpec& job);
+
+/// What happened to one job.
+struct WorkReport {
+  std::string id;
+  bool ok = false;
+  bool cache_hit = false;
+  bool resumed = false;
+  std::string resume_note;  ///< why a checkpoint was (not) used
+  std::uint64_t sa_moves = 0;
+  bool legal = false;
+  std::filesystem::path result_file;
+  std::string error;  ///< set when ok == false
+};
+
+/// Run one job to completion (no queue involved): the core of the
+/// worker, exposed for tests.  `checkpoint_file` may already hold a
+/// checkpoint to resume from; new checkpoints land there.
+[[nodiscard]] WorkReport run_job(const JobSpec& job,
+                                 const std::filesystem::path& checkpoint_file,
+                                 const std::filesystem::path& result_file,
+                                 ResultCache* cache,
+                                 std::size_t checkpoint_interval);
+
+/// Claim and run the next available job.  Returns std::nullopt when the
+/// queue has nothing claimable.  Failures are recorded via
+/// JobQueue::fail and reported with ok == false.
+[[nodiscard]] std::optional<WorkReport> work_one(JobQueue& queue);
+
+}  // namespace tsc3d::service

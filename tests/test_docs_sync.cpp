@@ -32,7 +32,7 @@ std::string read_source_file(const std::string& relative) {
 
 const std::set<std::string>& config_sections() {
   static const std::set<std::string> sections{"technology", "thermal",
-                                              "floorplanning"};
+                                              "floorplanning", "service"};
   return sections;
 }
 
