@@ -1,0 +1,55 @@
+# End-to-end smoke for tsc3d_campaign: run a tiny campaign matrix
+# (2 attacks x 2 mitigations x 2 flavors x 2 seeds) twice -- the second
+# time on a FRESH queue sharing the first run's cache, at a different
+# worker count -- and require the report artifacts to byte-compare
+# equal.  Driven by CTest with -DCAMPAIGN=<binary> and -DWORK=<scratch>.
+file(REMOVE_RECURSE "${WORK}")
+file(MAKE_DIRECTORY "${WORK}")
+file(WRITE "${WORK}/campaign.conf"
+  "[floorplanning]\n"
+  "sa_moves = 2000\n"
+  "[campaign]\n"
+  "attacks = localization, characterization\n"
+  "mitigations = none, noise_injection\n"
+  "flavors = power_aware, monolithic\n"
+  "seeds = 1-2\n"
+  "attack_grid = 8\n"
+  "monitoring_trials = 2\n"
+  "covert_bits = 4\n"
+  "leakage_phases = 3\n")
+
+function(run_step)
+  execute_process(COMMAND ${ARGV} RESULT_VARIABLE rc
+                  OUTPUT_VARIABLE out ERROR_VARIABLE err)
+  if(NOT rc EQUAL 0)
+    message(FATAL_ERROR "step failed (${rc}): ${ARGV}\n${out}\n${err}")
+  endif()
+  set(step_output "${out}" PARENT_SCOPE)
+endfunction()
+
+# First run: fresh everything, one worker.
+run_step("${CAMPAIGN}" run "--config=${WORK}/campaign.conf"
+         "--queue=${WORK}/q1" "--out=${WORK}/report1" --workers=1)
+if(NOT step_output MATCHES "16 job\\(s\\) attempted, 0 failed")
+  message(FATAL_ERROR "first run did not finish 16 scenarios:\n${step_output}")
+endif()
+
+# Second run: fresh queue, shared cache, four workers.  Every scenario
+# must be served from the cache and the report must be byte-identical.
+run_step("${CAMPAIGN}" run "--config=${WORK}/campaign.conf"
+         "--queue=${WORK}/q2" "--cache-dir=${WORK}/q1/cache"
+         "--out=${WORK}/report2" --workers=4)
+if(NOT step_output MATCHES "0 failed")
+  message(FATAL_ERROR "second run had failures:\n${step_output}")
+endif()
+
+foreach(artifact scenarios.csv pareto.csv SUMMARY.txt)
+  execute_process(COMMAND ${CMAKE_COMMAND} -E compare_files
+                  "${WORK}/report1/${artifact}" "${WORK}/report2/${artifact}"
+                  RESULT_VARIABLE diff)
+  if(NOT diff EQUAL 0)
+    message(FATAL_ERROR
+      "report artifact ${artifact} differs between the fresh run and the "
+      "cached rerun at a different worker count")
+  endif()
+endforeach()

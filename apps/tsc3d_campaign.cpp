@@ -1,0 +1,206 @@
+// tsc3d -- thermal side-channel-aware 3D floorplanning.
+//
+// Adversarial campaign driver: expands the [campaign] matrix (attacker
+// model x mitigation x floorplan flavor x Monte-Carlo seed) into
+// scenario jobs on the durable batch queue, drains them with N worker
+// threads, and aggregates the per-attack leakage-vs-overhead Pareto
+// fronts into a byte-stable report.  Operator guide: docs/CAMPAIGNS.md.
+//
+//   tsc3d_campaign run     --config=FILE [--queue=DIR] [--out=DIR]
+//                          [--workers=N]
+//   tsc3d_campaign enqueue --config=FILE [--queue=DIR]
+//   tsc3d_campaign work    --queue=DIR [--config=FILE] [--workers=N]
+//                          [--max-jobs=N]
+//   tsc3d_campaign report  --config=FILE [--queue=DIR] [--out=DIR]
+//   tsc3d_campaign status  --queue=DIR [--config=FILE]
+//
+// Exit codes: 0 on success, 1 on usage/config/queue errors or any
+// failed scenario.
+#include <fstream>
+#include <iostream>
+#include <sstream>
+#include <string>
+
+#include "campaign/report.hpp"
+#include "campaign/runner.hpp"
+#include "config/apply.hpp"
+#include "config/config_file.hpp"
+#include "service/job_queue.hpp"
+
+namespace {
+
+struct CampaignArgs {
+  std::string command;
+  std::string config;
+  std::string queue;
+  std::string cache_dir;
+  std::string out;
+  std::size_t workers = 1;
+  std::size_t max_jobs = 0;  // 0 = drain until empty
+  bool no_cache = false;
+  bool help = false;
+};
+
+void print_usage() {
+  std::cout <<
+      "tsc3d_campaign: adversarial campaign matrix runner for tsc3d\n"
+      "(see docs/CAMPAIGNS.md)\n"
+      "\n"
+      "usage: tsc3d_campaign <run|enqueue|work|report|status> [options]\n"
+      "  run       enqueue the [campaign] matrix, drain it, write the report\n"
+      "  enqueue   add the matrix's scenario jobs to the queue (idempotent)\n"
+      "  work      claim + run jobs (scenario or plain) until empty\n"
+      "  report    aggregate cached scenario results into the report\n"
+      "  status    print queue occupancy\n"
+      "\n"
+      "options:\n"
+      "  --config=FILE   config with a [campaign] section (matrix axes,\n"
+      "                  seeds, evaluation knobs; docs/CONFIG.md)\n"
+      "  --queue=DIR     queue directory (default tsc3d-queue; also\n"
+      "                  service.queue_dir in the config)\n"
+      "  --cache-dir=DIR result/scenario cache directory (default\n"
+      "                  <queue>/cache; share it across queues to reuse\n"
+      "                  finished work)\n"
+      "  --out=DIR       report directory (default campaign.report_dir,\n"
+      "                  else tsc3d-campaign-report)\n"
+      "  --workers=N     worker threads for run/work (default 1)\n"
+      "  --max-jobs=N    work: stop after N jobs (default: drain)\n"
+      "  --no-cache      bypass the exploration result cache\n"
+      "  --help          this text\n"
+      "\n"
+      "Reports are byte-stable: the same config and seeds reproduce\n"
+      "scenarios.csv, pareto.csv and SUMMARY.txt byte-for-byte at any\n"
+      "worker count, fresh or from cache (docs/CAMPAIGNS.md).\n";
+}
+
+CampaignArgs parse_args(int argc, char** argv) {
+  CampaignArgs args;
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    const auto value = [&](const std::string& prefix) {
+      return arg.substr(prefix.size());
+    };
+    if (arg == "--help" || arg == "-h") args.help = true;
+    else if (arg == "--no-cache") args.no_cache = true;
+    else if (arg.rfind("--queue=", 0) == 0) args.queue = value("--queue=");
+    else if (arg.rfind("--cache-dir=", 0) == 0)
+      args.cache_dir = value("--cache-dir=");
+    else if (arg.rfind("--config=", 0) == 0) args.config = value("--config=");
+    else if (arg.rfind("--out=", 0) == 0) args.out = value("--out=");
+    else if (arg.rfind("--workers=", 0) == 0)
+      args.workers = std::stoul(value("--workers="));
+    else if (arg.rfind("--max-jobs=", 0) == 0)
+      args.max_jobs = std::stoul(value("--max-jobs="));
+    else if (arg.rfind("--", 0) == 0)
+      throw std::runtime_error("unknown argument: " + arg + " (try --help)");
+    else if (args.command.empty())
+      args.command = arg;
+    else
+      throw std::runtime_error("unexpected argument: " + arg);
+  }
+  return args;
+}
+
+std::string read_file(const std::string& path) {
+  std::ifstream in(path, std::ios::binary);
+  if (!in) throw std::runtime_error("cannot read " + path);
+  std::ostringstream ss;
+  ss << in.rdbuf();
+  return ss.str();
+}
+
+std::size_t print_reports(
+    const std::vector<tsc3d::campaign::ScenarioWorkReport>& reports) {
+  std::size_t failed = 0;
+  for (const auto& r : reports) {
+    std::cout << "job " << r.id << ": "
+              << (r.ok ? (r.cache_hit ? "cache hit" : "done") : "FAILED")
+              << (r.scenario ? " [scenario]" : " [exploration]")
+              << (r.ok ? "" : ": " + r.error) << "\n";
+    if (!r.ok) ++failed;
+  }
+  std::cout << reports.size() << " job(s) attempted, " << failed
+            << " failed\n";
+  return failed;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  using namespace tsc3d;
+  try {
+    const CampaignArgs args = parse_args(argc, argv);
+    if (args.help || args.command.empty()) {
+      print_usage();
+      return args.help ? 0 : 1;
+    }
+
+    const std::string config_text =
+        args.config.empty() ? std::string() : read_file(args.config);
+    const config::ConfigFile cfg =
+        config::ConfigFile::parse(config_text, args.config);
+    service::ServiceOptions opt = config::make_service_options(cfg);
+    if (!args.queue.empty()) opt.queue_dir = args.queue;
+    if (!args.cache_dir.empty()) opt.cache_dir = args.cache_dir;
+    if (args.no_cache) opt.cache = false;
+
+    service::JobQueue queue(opt);
+
+    if (args.command == "status") {
+      const service::QueueStatus s = queue.status();
+      std::cout << "queue           : " << queue.root().string() << "\n"
+                << "pending         : " << s.pending << "\n"
+                << "claimed         : " << s.claimed << "\n"
+                << "checkpoints     : " << s.checkpoints << "\n"
+                << "done            : " << s.done << "\n"
+                << "failed          : " << s.failed << "\n"
+                << "cached results  : " << s.cached << "\n";
+      return 0;
+    }
+
+    if (args.command == "work") {
+      const campaign::CampaignOptions copt =
+          config::make_campaign_options(cfg);
+      const auto reports =
+          campaign::drain(queue, copt, args.workers, args.max_jobs);
+      return print_reports(reports) == 0 ? 0 : 1;
+    }
+
+    // run / enqueue / report all need the expanded matrix.
+    if (args.config.empty())
+      throw std::runtime_error(args.command +
+                               " needs --config with a [campaign] section");
+    const campaign::CampaignPlan plan = campaign::plan_campaign(cfg);
+    std::cout << "campaign: " << plan.jobs.size() << " scenario(s)\n";
+
+    if (args.command == "enqueue" || args.command == "run") {
+      const auto ids = campaign::enqueue_campaign(queue, plan);
+      std::cout << "enqueued " << ids.size() << " scenario job(s)\n";
+      if (args.command == "enqueue") return 0;
+    }
+
+    if (args.command == "run") {
+      const auto reports =
+          campaign::drain(queue, plan.options, args.workers, 0);
+      if (print_reports(reports) != 0) return 1;
+    }
+
+    if (args.command == "run" || args.command == "report") {
+      const std::string report_dir =
+          !args.out.empty() ? args.out
+          : !plan.options.report_dir.empty() ? plan.options.report_dir
+                                             : "tsc3d-campaign-report";
+      const auto results = campaign::collect_results(queue, plan);
+      campaign::write_report(report_dir, plan.options, plan.jobs, results);
+      std::cout << "report written to " << report_dir
+                << " (scenarios.csv, pareto.csv, SUMMARY.txt)\n";
+      return 0;
+    }
+
+    throw std::runtime_error("unknown command '" + args.command +
+                             "' (try --help)");
+  } catch (const std::exception& e) {
+    std::cerr << "error: " << e.what() << "\n";
+    return 1;
+  }
+}

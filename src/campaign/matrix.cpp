@@ -1,0 +1,103 @@
+#include "campaign/matrix.hpp"
+
+#include <algorithm>
+#include <map>
+#include <set>
+#include <sstream>
+#include <tuple>
+
+namespace tsc3d::campaign {
+
+namespace {
+
+/// Canonical text -> key/value map.  canonical() emits one
+/// "section.key = value" line per entry, so this inversion is exact.
+std::map<std::string, std::string> canonical_entries(
+    const config::ConfigFile& cfg) {
+  std::map<std::string, std::string> entries;
+  std::istringstream in(cfg.canonical());
+  std::string line;
+  while (std::getline(in, line)) {
+    const auto eq = line.find(" = ");
+    if (eq == std::string::npos) continue;
+    entries[line.substr(0, eq)] = line.substr(eq + 3);
+  }
+  return entries;
+}
+
+std::string render_config(const std::map<std::string, std::string>& entries) {
+  std::string text;
+  for (const auto& [key, value] : entries)
+    text += key + " = " + value + "\n";
+  return text;
+}
+
+/// Deduplicated, sorted axis values (sorted by canonical name so the
+/// expansion ignores spec-list ordering and repeats).
+template <typename Kind, typename NameFn>
+std::vector<Kind> sorted_axis(std::vector<Kind> values, NameFn name) {
+  std::sort(values.begin(), values.end(),
+            [&](Kind a, Kind b) { return name(a) < name(b); });
+  values.erase(std::unique(values.begin(), values.end()), values.end());
+  return values;
+}
+
+}  // namespace
+
+std::string flavored_config(const config::ConfigFile& base,
+                            FlavorKind flavor) {
+  std::map<std::string, std::string> entries = canonical_entries(base);
+  switch (flavor) {
+    case FlavorKind::power_aware:
+      entries["floorplanning.mode"] = "power";
+      entries["technology.flavor"] = "tsv";
+      break;
+    case FlavorKind::tsc_secure:
+      entries["floorplanning.mode"] = "tsc";
+      entries["technology.flavor"] = "tsv";
+      break;
+    case FlavorKind::monolithic:
+      entries["floorplanning.mode"] = "power";
+      entries["technology.flavor"] = "monolithic";
+      break;
+  }
+  return render_config(entries);
+}
+
+std::vector<service::JobSpec> expand_matrix(const CampaignOptions& opt,
+                                            const config::ConfigFile& base) {
+  const auto attacks = sorted_axis(opt.attacks, attack_name);
+  const auto mitigations = sorted_axis(opt.mitigations, mitigation_name);
+  const auto flavors = sorted_axis(opt.flavors, flavor_name);
+
+  // Flavor -> config text, computed once per flavor.
+  std::map<FlavorKind, std::string> flavor_config;
+  for (const FlavorKind flavor : flavors)
+    flavor_config[flavor] = flavored_config(base, flavor);
+
+  std::vector<service::JobSpec> jobs;
+  for (const AttackKind attack : attacks)
+    for (const MitigationKind mitigation : mitigations)
+      for (const FlavorKind flavor : flavors)
+        for (std::uint64_t seed = opt.seed_lo; seed <= opt.seed_hi; ++seed) {
+          service::JobSpec job;
+          job.benchmark = opt.benchmark;
+          job.seed = seed;
+          job.config_text = flavor_config[flavor];
+          job.scenario = attack_name(attack);
+          job.mitigation = mitigation_name(mitigation);
+          job.flavor = flavor_name(flavor);
+          jobs.push_back(std::move(job));
+        }
+  return jobs;
+}
+
+service::JobSpec exploration_spec(const service::JobSpec& scenario_job) {
+  service::JobSpec exploration = scenario_job;
+  exploration.scenario.clear();
+  exploration.mitigation.clear();
+  exploration.flavor.clear();
+  return exploration;
+}
+
+}  // namespace tsc3d::campaign

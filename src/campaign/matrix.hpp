@@ -1,0 +1,51 @@
+// tsc3d -- thermal side-channel-aware 3D floorplanning.
+//
+// Matrix expansion: from a declarative CampaignOptions spec to the
+// concrete list of scenario jobs riding the service::JobQueue.
+//
+// Properties the tests pin down (tests/test_campaign.cpp):
+//   * the expansion is CANONICALLY ORDERED -- scenarios sorted by
+//     (attack, mitigation, flavor, seed) names -- and DEDUPLICATED, so
+//     two specs listing the same axes in any order and with repeats
+//     expand to the identical job list;
+//   * enqueueing an expansion twice is a no-op (job ids are content
+//     hashes; the queue's enqueue is idempotent);
+//   * stripping the scenario annotations from any scenario job yields
+//     the exploration job whose floorplan the scenario evaluates, with
+//     the flavor baked into the config text.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "campaign/options.hpp"
+#include "config/config_file.hpp"
+#include "service/job_queue.hpp"
+
+namespace tsc3d::campaign {
+
+/// Render `base` with the flavor's config overrides applied:
+///   power_aware -> floorplanning.mode = power, technology.flavor = tsv
+///   tsc_secure  -> floorplanning.mode = tsc,   technology.flavor = tsv
+///   monolithic  -> floorplanning.mode = power, technology.flavor =
+///                  monolithic
+/// The result is the base config's canonical form with those keys
+/// overridden -- valid config text (canonical lines re-parse), stable
+/// under reformatting of the base, and safe against duplicate-key
+/// collisions with keys the base already sets.
+[[nodiscard]] std::string flavored_config(const config::ConfigFile& base,
+                                          FlavorKind flavor);
+
+/// Expand the campaign matrix into scenario jobs: one per
+/// (attack, mitigation, flavor, seed), canonically ordered and deduped.
+/// `base` supplies every non-flavor config key verbatim.
+[[nodiscard]] std::vector<service::JobSpec> expand_matrix(
+    const CampaignOptions& opt, const config::ConfigFile& base);
+
+/// The exploration job underlying a scenario job: same design, config,
+/// and seed, with the scenario annotations cleared.  Scenario jobs with
+/// equal explorations share one cached floorplan result.
+[[nodiscard]] service::JobSpec exploration_spec(
+    const service::JobSpec& scenario_job);
+
+}  // namespace tsc3d::campaign

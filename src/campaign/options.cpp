@@ -1,0 +1,59 @@
+#include "campaign/options.hpp"
+
+#include <stdexcept>
+
+namespace tsc3d::campaign {
+
+std::string attack_name(AttackKind kind) {
+  switch (kind) {
+    case AttackKind::localization: return "localization";
+    case AttackKind::characterization: return "characterization";
+    case AttackKind::monitoring: return "monitoring";
+    case AttackKind::covert_channel: return "covert_channel";
+    case AttackKind::heating_fault: return "heating_fault";
+  }
+  throw std::invalid_argument("attack_name: invalid AttackKind");
+}
+
+std::string mitigation_name(MitigationKind kind) {
+  switch (kind) {
+    case MitigationKind::none: return "none";
+    case MitigationKind::dtm: return "dtm";
+    case MitigationKind::noise_injection: return "noise_injection";
+  }
+  throw std::invalid_argument("mitigation_name: invalid MitigationKind");
+}
+
+std::string flavor_name(FlavorKind kind) {
+  switch (kind) {
+    case FlavorKind::power_aware: return "power_aware";
+    case FlavorKind::tsc_secure: return "tsc_secure";
+    case FlavorKind::monolithic: return "monolithic";
+  }
+  throw std::invalid_argument("flavor_name: invalid FlavorKind");
+}
+
+AttackKind parse_attack(const std::string& name) {
+  if (name == "localization") return AttackKind::localization;
+  if (name == "characterization") return AttackKind::characterization;
+  if (name == "monitoring") return AttackKind::monitoring;
+  if (name == "covert_channel") return AttackKind::covert_channel;
+  if (name == "heating_fault") return AttackKind::heating_fault;
+  throw std::invalid_argument("unknown attack '" + name + "'");
+}
+
+MitigationKind parse_mitigation(const std::string& name) {
+  if (name == "none") return MitigationKind::none;
+  if (name == "dtm") return MitigationKind::dtm;
+  if (name == "noise_injection") return MitigationKind::noise_injection;
+  throw std::invalid_argument("unknown mitigation '" + name + "'");
+}
+
+FlavorKind parse_flavor(const std::string& name) {
+  if (name == "power_aware") return FlavorKind::power_aware;
+  if (name == "tsc_secure") return FlavorKind::tsc_secure;
+  if (name == "monolithic") return FlavorKind::monolithic;
+  throw std::invalid_argument("unknown flavor '" + name + "'");
+}
+
+}  // namespace tsc3d::campaign

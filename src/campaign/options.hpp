@@ -1,0 +1,86 @@
+// tsc3d -- thermal side-channel-aware 3D floorplanning.
+//
+// Declarative matrix spec for the adversarial campaign runner (docs/
+// CAMPAIGNS.md).  A campaign sweeps the cross-product
+//
+//   attacker model x mitigation setting x floorplan flavor x seeds
+//
+// and every axis value is named here, together with the knobs the
+// scenario adapters hand to the underlying attack/mitigation/leakage
+// entry points.  Config mapping lives in config::make_campaign_options
+// ([campaign] section); enum <-> name helpers below are the single
+// source of the canonical spelling used in job files, cache identities,
+// and report rows.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace tsc3d::campaign {
+
+/// The attacker models of Sec. 5 plus the two transient attackers.
+enum class AttackKind {
+  localization,
+  characterization,
+  monitoring,
+  covert_channel,
+  heating_fault,
+};
+
+/// Mitigation settings the defender may deploy.
+enum class MitigationKind {
+  none,
+  dtm,
+  noise_injection,
+};
+
+/// Floorplan flavors: how the exploration that produced the layout was
+/// configured.
+enum class FlavorKind {
+  power_aware,  ///< floorplanning.mode = power, TSV-based stack
+  tsc_secure,   ///< floorplanning.mode = tsc, TSV-based stack
+  monolithic,   ///< power-aware objective on a monolithic (MIV) stack
+};
+
+/// Canonical names (used in job files, scenario identities, reports).
+[[nodiscard]] std::string attack_name(AttackKind kind);
+[[nodiscard]] std::string mitigation_name(MitigationKind kind);
+[[nodiscard]] std::string flavor_name(FlavorKind kind);
+
+/// Parse a canonical name; throws std::invalid_argument on an unknown
+/// one (config typos must fail loudly, not enqueue garbage scenarios).
+[[nodiscard]] AttackKind parse_attack(const std::string& name);
+[[nodiscard]] MitigationKind parse_mitigation(const std::string& name);
+[[nodiscard]] FlavorKind parse_flavor(const std::string& name);
+
+/// The full campaign specification.
+struct CampaignOptions {
+  /// Design under campaign: a synthetic benchmark name (Table 1 tier).
+  std::string benchmark = "n100";
+
+  // --- matrix axes ------------------------------------------------------
+  std::vector<AttackKind> attacks = {AttackKind::localization,
+                                     AttackKind::characterization};
+  std::vector<MitigationKind> mitigations = {MitigationKind::none,
+                                             MitigationKind::dtm};
+  std::vector<FlavorKind> flavors = {FlavorKind::power_aware,
+                                     FlavorKind::tsc_secure};
+  std::uint64_t seed_lo = 1;  ///< Monte-Carlo seeds [seed_lo, seed_hi]
+  std::uint64_t seed_hi = 1;
+
+  // --- scenario evaluation knobs (part of the scenario identity) --------
+  std::size_t attack_grid = 32;       ///< thermal grid for scenario solves
+  std::size_t monitoring_trials = 8;  ///< monitoring attack trials
+  std::size_t covert_bits = 8;        ///< covert-channel payload bits
+  double dtm_duration_s = 0.1;        ///< DTM closed-loop horizon
+  double dtm_dt_s = 0.005;            ///< DTM transient step
+  double injection_budget = 0.10;     ///< noise-injection power budget
+  std::size_t leakage_phases = 4;     ///< SVF activity phases (>= 3)
+
+  // --- reporting (NOT part of any scenario identity) --------------------
+  std::string report_dir;  ///< where `tsc3d_campaign report` writes
+};
+
+}  // namespace tsc3d::campaign

@@ -1,0 +1,35 @@
+#include "campaign/pareto.hpp"
+
+#include <algorithm>
+
+namespace tsc3d::campaign {
+
+bool dominates(const ParetoPoint& a, const ParetoPoint& b) {
+  if (a.leakage > b.leakage || a.overhead > b.overhead) return false;
+  return a.leakage < b.leakage || a.overhead < b.overhead;
+}
+
+std::vector<ParetoPoint> pareto_front(std::vector<ParetoPoint> points) {
+  // Canonical order first: the scan below then sees candidates
+  // best-leakage first, and the output order is input-order independent.
+  std::sort(points.begin(), points.end(),
+            [](const ParetoPoint& a, const ParetoPoint& b) {
+              if (a.leakage != b.leakage) return a.leakage < b.leakage;
+              if (a.overhead != b.overhead) return a.overhead < b.overhead;
+              return a.index < b.index;
+            });
+
+  std::vector<ParetoPoint> front;
+  for (const ParetoPoint& p : points) {
+    bool dominated = false;
+    for (const ParetoPoint& f : front)
+      if (dominates(f, p)) {
+        dominated = true;
+        break;
+      }
+    if (!dominated) front.push_back(p);
+  }
+  return front;
+}
+
+}  // namespace tsc3d::campaign

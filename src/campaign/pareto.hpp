@@ -1,0 +1,37 @@
+// tsc3d -- thermal side-channel-aware 3D floorplanning.
+//
+// Pareto-front extraction over the campaign's (leakage, overhead)
+// plane.  Both axes are minimized: the front answers "how much leakage
+// must I accept for a given mitigation/floorplanning budget?" per
+// attacker model (Sec. 6's security-vs-cost trade-off).
+#pragma once
+
+#include <cstddef>
+#include <vector>
+
+namespace tsc3d::campaign {
+
+/// One candidate point.  `index` ties the point back to its scenario row
+/// and breaks ordering ties deterministically.
+struct ParetoPoint {
+  double leakage = 0.0;
+  double overhead = 0.0;
+  std::size_t index = 0;
+
+  [[nodiscard]] bool operator==(const ParetoPoint&) const = default;
+};
+
+/// True iff `a` dominates `b` under minimization: no worse on both axes
+/// and strictly better on at least one.  Equal points do not dominate
+/// each other, so ties survive onto the front.
+[[nodiscard]] bool dominates(const ParetoPoint& a, const ParetoPoint& b);
+
+/// The non-dominated subset of `points`, sorted by (leakage, overhead,
+/// index).  Duplicate coordinates are all kept; the output is a pure,
+/// order-independent function of the input SET, so campaign reports stay
+/// byte-stable under any scheduling of the scenarios that produced the
+/// points.
+[[nodiscard]] std::vector<ParetoPoint> pareto_front(
+    std::vector<ParetoPoint> points);
+
+}  // namespace tsc3d::campaign

@@ -1,0 +1,50 @@
+// tsc3d -- thermal side-channel-aware 3D floorplanning.
+//
+// Campaign report rendering: scenarios.csv (one row per matrix cell, in
+// canonical matrix order), pareto.csv (the per-attack leakage-vs-
+// overhead fronts), and SUMMARY.txt.  All three are versioned and
+// byte-stable: doubles are rendered with "%.17g" (round-trip exact), no
+// timestamps or hostnames appear, and row order is the canonical matrix
+// order -- never the completion order -- so reruns at any worker count
+// byte-compare equal.
+#pragma once
+
+#include <filesystem>
+#include <string>
+#include <vector>
+
+#include "campaign/options.hpp"
+#include "campaign/scenario.hpp"
+#include "service/job_queue.hpp"
+
+namespace tsc3d::campaign {
+
+/// Round-trip-exact decimal rendering of a double ("%.17g").
+[[nodiscard]] std::string format_double(double v);
+
+/// The scenarios.csv content for results aligned with their jobs
+/// (results[i] answers jobs[i]; both in expand_matrix order).
+[[nodiscard]] std::string render_scenarios_csv(
+    const std::vector<service::JobSpec>& jobs,
+    const std::vector<ScenarioResult>& results);
+
+/// The pareto.csv content: per attack (in canonical name order), the
+/// Pareto front over that attack's (mitigation, flavor, seed) points.
+[[nodiscard]] std::string render_pareto_csv(
+    const std::vector<service::JobSpec>& jobs,
+    const std::vector<ScenarioResult>& results);
+
+/// The SUMMARY.txt content: matrix shape, per-attack front sizes, and
+/// the extreme points of each front.
+[[nodiscard]] std::string render_summary(
+    const CampaignOptions& opt, const std::vector<service::JobSpec>& jobs,
+    const std::vector<ScenarioResult>& results);
+
+/// Write all three artifacts into `dir` (created if needed), atomically
+/// (temp + rename).  Throws std::runtime_error on I/O failure or if
+/// `jobs` and `results` disagree in size.
+void write_report(const std::filesystem::path& dir, const CampaignOptions& opt,
+                  const std::vector<service::JobSpec>& jobs,
+                  const std::vector<ScenarioResult>& results);
+
+}  // namespace tsc3d::campaign

@@ -1,0 +1,167 @@
+#include "campaign/runner.hpp"
+
+#include <exception>
+#include <mutex>
+#include <thread>
+
+#include "campaign/matrix.hpp"
+#include "campaign/scenario_io.hpp"
+#include "config/apply.hpp"
+#include "service/result_cache.hpp"
+#include "service/worker.hpp"
+
+namespace tsc3d::campaign {
+
+namespace {
+
+/// Where job `id`'s finished scenario lands (results/<id>.scn -- beside
+/// where a plain job of the same id would put its .res).
+std::filesystem::path scenario_result_path(const service::JobQueue& queue,
+                                           const std::string& id) {
+  std::filesystem::path path = queue.result_path(id);
+  path.replace_extension(".scn");
+  return path;
+}
+
+/// Run one claimed scenario job: probe the scenario cache, on a miss
+/// evaluate end to end (exploration itself cached-or-fresh inside
+/// evaluate_scenario), then persist to results/<id>.scn and the cache.
+ScenarioWorkReport run_scenario_job(service::JobQueue& queue,
+                                    const service::ClaimedJob& claimed,
+                                    const CampaignOptions& opt) {
+  ScenarioWorkReport report;
+  report.id = claimed.id;
+  report.scenario = true;
+  try {
+    const config::ConfigFile cfg =
+        config::ConfigFile::parse(claimed.spec.config_text, "job config");
+    CampaignOptions job_opt = config::make_campaign_options(cfg);
+    // Evaluation knobs come from the job's own embedded config (they are
+    // part of the scenario identity); the caller's `opt` only steers
+    // orchestration.
+    (void)opt;
+
+    const ScenarioContext ctx = scenario_context(claimed.spec, job_opt);
+    ScenarioCache scache(queue.cache_dir());
+
+    ScenarioResult result;
+    if (std::optional<ScenarioResult> hit = scache.probe(ctx)) {
+      report.cache_hit = true;
+      result = std::move(*hit);
+    } else {
+      const service::JobSpec exploration = exploration_spec(claimed.spec);
+      const std::string exploration_id = service::job_id(exploration);
+      std::optional<service::ResultCache> cache;
+      if (queue.options().cache) cache.emplace(queue.cache_dir());
+      result = evaluate_scenario(claimed.spec, job_opt,
+                                 queue.checkpoint_path(exploration_id),
+                                 queue.result_path(exploration_id),
+                                 cache ? &*cache : nullptr,
+                                 queue.options().checkpoint_interval);
+      scache.store(result);
+    }
+    save_scenario_file(scenario_result_path(queue, claimed.id), result);
+    report.ok = true;
+  } catch (const std::exception& e) {
+    report.error = e.what();
+  }
+  return report;
+}
+
+}  // namespace
+
+CampaignPlan plan_campaign(const config::ConfigFile& cfg) {
+  CampaignPlan plan;
+  plan.options = config::make_campaign_options(cfg);
+  plan.jobs = expand_matrix(plan.options, cfg);
+  return plan;
+}
+
+std::vector<std::string> enqueue_campaign(service::JobQueue& queue,
+                                          const CampaignPlan& plan) {
+  std::vector<std::string> ids;
+  ids.reserve(plan.jobs.size());
+  for (const service::JobSpec& job : plan.jobs)
+    ids.push_back(queue.enqueue(job));
+  return ids;
+}
+
+std::optional<ScenarioWorkReport> work_one(service::JobQueue& queue,
+                                           const CampaignOptions& opt) {
+  std::optional<service::ClaimedJob> claimed = queue.claim_next();
+  if (!claimed) return std::nullopt;
+
+  ScenarioWorkReport report;
+  if (claimed->spec.is_scenario()) {
+    report = run_scenario_job(queue, *claimed, opt);
+  } else {
+    std::optional<service::ResultCache> cache;
+    if (queue.options().cache) cache.emplace(queue.cache_dir());
+    const service::WorkReport plain = service::run_job(
+        claimed->spec, queue.checkpoint_path(claimed->id),
+        queue.result_path(claimed->id), cache ? &*cache : nullptr,
+        queue.options().checkpoint_interval);
+    report.id = claimed->id;
+    report.ok = plain.ok;
+    report.cache_hit = plain.cache_hit;
+    report.error = plain.error;
+  }
+
+  if (report.ok)
+    queue.complete(*claimed);
+  else
+    queue.fail(*claimed, report.error);
+  return report;
+}
+
+std::vector<ScenarioWorkReport> drain(service::JobQueue& queue,
+                                      const CampaignOptions& opt,
+                                      std::size_t workers,
+                                      std::size_t max_jobs) {
+  if (workers == 0) workers = 1;
+  std::vector<ScenarioWorkReport> reports;
+  std::mutex mu;  // guards `reports` and the max_jobs budget
+
+  const auto loop = [&] {
+    for (;;) {
+      {
+        std::lock_guard<std::mutex> lock(mu);
+        if (max_jobs != 0 && reports.size() >= max_jobs) return;
+      }
+      std::optional<ScenarioWorkReport> report = work_one(queue, opt);
+      if (!report) return;
+      std::lock_guard<std::mutex> lock(mu);
+      reports.push_back(std::move(*report));
+    }
+  };
+
+  if (workers == 1) {
+    loop();
+  } else {
+    std::vector<std::thread> pool;
+    pool.reserve(workers);
+    for (std::size_t i = 0; i < workers; ++i) pool.emplace_back(loop);
+    for (std::thread& t : pool) t.join();
+  }
+  return reports;
+}
+
+std::vector<ScenarioResult> collect_results(const service::JobQueue& queue,
+                                            const CampaignPlan& plan) {
+  const ScenarioCache scache(queue.cache_dir());
+  std::vector<ScenarioResult> results;
+  results.reserve(plan.jobs.size());
+  for (const service::JobSpec& job : plan.jobs) {
+    const ScenarioContext ctx = scenario_context(job, plan.options);
+    std::optional<ScenarioResult> hit = scache.probe(ctx);
+    if (!hit)
+      throw std::runtime_error(
+          "campaign: missing scenario result for job " + service::job_id(job) +
+          " (" + job.scenario + "/" + job.mitigation + "/" + job.flavor +
+          "/seed " + std::to_string(job.seed) + ") -- did it fail?");
+    results.push_back(std::move(*hit));
+  }
+  return results;
+}
+
+}  // namespace tsc3d::campaign

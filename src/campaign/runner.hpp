@@ -1,0 +1,73 @@
+// tsc3d -- thermal side-channel-aware 3D floorplanning.
+//
+// Campaign orchestration on top of the batch service: expand the
+// declarative [campaign] matrix into scenario jobs, push them through
+// the existing durable JobQueue (same claim/lease/idempotent-enqueue
+// machinery as plain exploration jobs), evaluate each against its
+// cached-or-fresh floorplan, and aggregate the per-attack Pareto
+// fronts into a byte-stable report.  Operator guide: docs/CAMPAIGNS.md.
+//
+// Scenario results are content-addressed in the queue's cache directory
+// (<hex(scenario_key)>.scn beside the exploration's .res files), so a
+// second campaign run -- at any worker count, on a fresh queue sharing
+// the cache -- reproduces the report byte-for-byte without recomputing.
+#pragma once
+
+#include <cstddef>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "campaign/options.hpp"
+#include "campaign/scenario.hpp"
+#include "config/config_file.hpp"
+#include "service/job_queue.hpp"
+
+namespace tsc3d::campaign {
+
+/// A fully expanded campaign: the options parsed from [campaign] plus
+/// the scenario jobs in canonical matrix order (expand_matrix).
+struct CampaignPlan {
+  CampaignOptions options;
+  std::vector<service::JobSpec> jobs;
+};
+
+/// Parse [campaign] from `cfg` and expand the matrix.
+[[nodiscard]] CampaignPlan plan_campaign(const config::ConfigFile& cfg);
+
+/// Enqueue every scenario job (idempotent; re-enqueueing an existing
+/// campaign is a no-op).  Returns the job ids aligned with plan.jobs.
+std::vector<std::string> enqueue_campaign(service::JobQueue& queue,
+                                          const CampaignPlan& plan);
+
+/// What happened to one claimed job (scenario or plain).
+struct ScenarioWorkReport {
+  std::string id;
+  bool ok = false;
+  bool scenario = false;   ///< false: a plain exploration job
+  bool cache_hit = false;  ///< scenario served from the scenario cache
+  std::string error;       ///< set when ok == false
+};
+
+/// Claim and run the next available job, dispatching scenario jobs to
+/// evaluate_scenario and plain jobs to the standard worker path.
+/// Returns std::nullopt when nothing is claimable.
+[[nodiscard]] std::optional<ScenarioWorkReport> work_one(
+    service::JobQueue& queue, const CampaignOptions& opt);
+
+/// Drain the queue with `workers` threads sharing one JobQueue (safe:
+/// the queue object is immutable state plus O_EXCL claim files).
+/// `max_jobs` == 0 drains until empty.  Returns the per-job reports in
+/// an unspecified order (report rendering never depends on it).
+std::vector<ScenarioWorkReport> drain(service::JobQueue& queue,
+                                      const CampaignOptions& opt,
+                                      std::size_t workers,
+                                      std::size_t max_jobs = 0);
+
+/// Fetch every planned scenario's result from the scenario cache,
+/// aligned with plan.jobs.  Throws std::runtime_error naming the first
+/// missing scenario (job failed or never ran).
+[[nodiscard]] std::vector<ScenarioResult> collect_results(
+    const service::JobQueue& queue, const CampaignPlan& plan);
+
+}  // namespace tsc3d::campaign

@@ -1,0 +1,61 @@
+// tsc3d -- thermal side-channel-aware 3D floorplanning.
+//
+// On-disk encoding of one finished scenario evaluation, plus the
+// content-addressed scenario cache.  Same framing discipline as
+// result_io/checkpoint_io: magic "TSC3DSCN", u64 format version, u64
+// payload size, u64 FNV-1a checksum, payload.  Loading is fail-soft --
+// EVERY defect (missing file, bad magic, unknown version, truncation,
+// checksum mismatch, context mismatch, trailing bytes) yields
+// {ok = false, reason}, never an exception or a wrong accept -- and
+// writes are atomic (temp + rename).  Scenario results are runtime-free
+// deterministic functions of their ScenarioContext, so reruns produce
+// byte-identical files and the campaign report can be byte-compared.
+#pragma once
+
+#include <filesystem>
+#include <optional>
+#include <string>
+
+#include "campaign/scenario.hpp"
+
+namespace tsc3d::campaign {
+
+/// Write atomically (temp + rename); throws std::runtime_error on I/O
+/// failure.
+void save_scenario_file(const std::filesystem::path& path,
+                        const ScenarioResult& result);
+
+struct ScenarioLoad {
+  bool ok = false;
+  std::string reason;
+  ScenarioResult result;
+};
+
+/// Load + validate framing and (when `expect` is non-null) the embedded
+/// context; defects are clean misses.
+[[nodiscard]] ScenarioLoad load_scenario_file(
+    const std::filesystem::path& path, const ScenarioContext* expect);
+
+/// Content-addressed scenario cache: <hex(scenario_key)>.scn files in a
+/// flat directory (shareable with the exploration ResultCache's dir --
+/// extensions differ).  Probes re-validate the embedded context, so key
+/// collisions and stale files degrade to misses, never wrong hits.
+class ScenarioCache {
+ public:
+  explicit ScenarioCache(std::filesystem::path dir);
+
+  [[nodiscard]] const std::filesystem::path& dir() const { return dir_; }
+
+  [[nodiscard]] std::filesystem::path path_for(
+      const ScenarioContext& ctx) const;
+
+  [[nodiscard]] std::optional<ScenarioResult> probe(
+      const ScenarioContext& ctx) const;
+
+  void store(const ScenarioResult& result) const;
+
+ private:
+  std::filesystem::path dir_;
+};
+
+}  // namespace tsc3d::campaign

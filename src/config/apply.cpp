@@ -1,6 +1,26 @@
 #include "config/apply.hpp"
 
+#include <sstream>
+
 namespace tsc3d::config {
+
+namespace {
+
+/// Split a comma-separated config value into trimmed, non-empty items.
+std::vector<std::string> split_list(const std::string& value) {
+  std::vector<std::string> items;
+  std::istringstream in(value);
+  std::string item;
+  while (std::getline(in, item, ',')) {
+    const auto first = item.find_first_not_of(" \t");
+    if (first == std::string::npos) continue;
+    const auto last = item.find_last_not_of(" \t");
+    items.push_back(item.substr(first, last - first + 1));
+  }
+  return items;
+}
+
+}  // namespace
 
 void apply_technology(const ConfigFile& cfg, TechnologyConfig& tech) {
   const std::string flavor =
@@ -140,6 +160,77 @@ service::ServiceOptions make_service_options(const ConfigFile& cfg) {
     throw ConfigError("service.checkpoint_interval must be >= 1");
   if (opt.claim_lease_s < 0.0)
     throw ConfigError("service.claim_lease_s must be >= 0");
+  return opt;
+}
+
+campaign::CampaignOptions make_campaign_options(const ConfigFile& cfg) {
+  campaign::CampaignOptions opt;
+  opt.benchmark = cfg.get_string("campaign.benchmark", opt.benchmark);
+
+  try {
+    if (std::string v = cfg.get_string("campaign.attacks", ""); !v.empty()) {
+      opt.attacks.clear();
+      for (const std::string& name : split_list(v))
+        opt.attacks.push_back(campaign::parse_attack(name));
+    }
+    if (std::string v = cfg.get_string("campaign.mitigations", "");
+        !v.empty()) {
+      opt.mitigations.clear();
+      for (const std::string& name : split_list(v))
+        opt.mitigations.push_back(campaign::parse_mitigation(name));
+    }
+    if (std::string v = cfg.get_string("campaign.flavors", ""); !v.empty()) {
+      opt.flavors.clear();
+      for (const std::string& name : split_list(v))
+        opt.flavors.push_back(campaign::parse_flavor(name));
+    }
+  } catch (const std::invalid_argument& e) {
+    throw ConfigError(std::string("[campaign] ") + e.what());
+  }
+
+  // seeds = "A" (single seed) or "A-B" (inclusive range).
+  if (const std::string v = cfg.get_string("campaign.seeds", ""); !v.empty()) {
+    const auto dash = v.find('-');
+    try {
+      if (dash == std::string::npos) {
+        opt.seed_lo = opt.seed_hi = std::stoull(v);
+      } else {
+        opt.seed_lo = std::stoull(v.substr(0, dash));
+        opt.seed_hi = std::stoull(v.substr(dash + 1));
+      }
+    } catch (const std::exception&) {
+      throw ConfigError("campaign.seeds must be 'A' or 'A-B', got '" + v +
+                        "'");
+    }
+    if (opt.seed_hi < opt.seed_lo)
+      throw ConfigError("campaign.seeds range is empty: '" + v + "'");
+  }
+
+  opt.attack_grid = cfg.get_size("campaign.attack_grid", opt.attack_grid);
+  opt.monitoring_trials =
+      cfg.get_size("campaign.monitoring_trials", opt.monitoring_trials);
+  opt.covert_bits = cfg.get_size("campaign.covert_bits", opt.covert_bits);
+  opt.dtm_duration_s =
+      cfg.get_double("campaign.dtm_duration_s", opt.dtm_duration_s);
+  opt.dtm_dt_s = cfg.get_double("campaign.dtm_dt_s", opt.dtm_dt_s);
+  opt.injection_budget =
+      cfg.get_double("campaign.injection_budget", opt.injection_budget);
+  opt.leakage_phases =
+      cfg.get_size("campaign.leakage_phases", opt.leakage_phases);
+  opt.report_dir = cfg.get_string("campaign.report_dir", opt.report_dir);
+
+  if (opt.attack_grid < 4)
+    throw ConfigError("campaign.attack_grid must be >= 4");
+  if (opt.leakage_phases < 3)
+    throw ConfigError("campaign.leakage_phases must be >= 3 (SVF needs it)");
+  if (opt.dtm_duration_s <= 0.0 || opt.dtm_dt_s <= 0.0)
+    throw ConfigError("campaign.dtm_duration_s / dtm_dt_s must be > 0");
+  if (opt.injection_budget < 0.0)
+    throw ConfigError("campaign.injection_budget must be >= 0");
+  if (opt.monitoring_trials == 0)
+    throw ConfigError("campaign.monitoring_trials must be >= 1");
+  if (opt.covert_bits == 0)
+    throw ConfigError("campaign.covert_bits must be >= 1");
   return opt;
 }
 

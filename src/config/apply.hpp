@@ -6,6 +6,7 @@
 // silently reverts to a default.
 #pragma once
 
+#include "campaign/options.hpp"
 #include "config/config_file.hpp"
 #include "core/config.hpp"
 #include "floorplan/floorplanner.hpp"
@@ -38,6 +39,14 @@ void apply_thermal(const ConfigFile& cfg, ThermalConfig& thermal);
 /// Build batch-service options from [service] keys:
 ///   queue_dir, cache_dir, cache, checkpoint_interval, claim_lease_s.
 [[nodiscard]] service::ServiceOptions make_service_options(
+    const ConfigFile& cfg);
+
+/// Build campaign-matrix options from [campaign] keys:
+///   benchmark, attacks, mitigations, flavors (comma-separated lists),
+///   seeds ("A" or "A-B"), attack_grid, monitoring_trials, covert_bits,
+///   dtm_duration_s, dtm_dt_s, injection_budget, leakage_phases,
+///   report_dir.
+[[nodiscard]] campaign::CampaignOptions make_campaign_options(
     const ConfigFile& cfg);
 
 }  // namespace tsc3d::config

@@ -83,6 +83,22 @@ void RampKalman::update(double z_k) {
   p11_ = p11;
 }
 
+std::vector<bool> throttleable_modules(const Floorplan3D& fp,
+                                       const DtmOptions& options) {
+  // Hottest modules first (by nominal power density).
+  std::vector<std::size_t> order(fp.modules().size());
+  std::iota(order.begin(), order.end(), std::size_t{0});
+  std::sort(order.begin(), order.end(), [&](std::size_t a, std::size_t b) {
+    return fp.modules()[a].power_density() > fp.modules()[b].power_density();
+  });
+  const auto throttled_count = static_cast<std::size_t>(
+      options.throttled_fraction * static_cast<double>(order.size()) + 0.5);
+  std::vector<bool> throttleable(fp.modules().size(), false);
+  for (std::size_t i = 0; i < std::min(throttled_count, order.size()); ++i)
+    throttleable[order[i]] = true;
+  return throttleable;
+}
+
 DtmResult run_dtm(const Floorplan3D& fp, thermal::ThermalEngine& engine,
                   double duration_s, double dt_s, Rng& rng,
                   const DtmOptions& options, DtmCheckpoint* checkpoint) {
@@ -100,17 +116,7 @@ DtmResult run_dtm(const Floorplan3D& fp, thermal::ThermalEngine& engine,
   const std::size_t dies = fp.tech().num_dies;
   const GridD tsv_density = fp.tsv_density_map(nx, ny);
 
-  // Hottest modules first (by nominal power density).
-  std::vector<std::size_t> order(fp.modules().size());
-  std::iota(order.begin(), order.end(), std::size_t{0});
-  std::sort(order.begin(), order.end(), [&](std::size_t a, std::size_t b) {
-    return fp.modules()[a].power_density() > fp.modules()[b].power_density();
-  });
-  const auto throttled_count = static_cast<std::size_t>(
-      options.throttled_fraction * static_cast<double>(order.size()) + 0.5);
-  std::vector<bool> throttleable(fp.modules().size(), false);
-  for (std::size_t i = 0; i < std::min(throttled_count, order.size()); ++i)
-    throttleable[order[i]] = true;
+  const std::vector<bool> throttleable = throttleable_modules(fp, options);
 
   std::vector<double> nominal(fp.modules().size());
   for (std::size_t i = 0; i < nominal.size(); ++i)

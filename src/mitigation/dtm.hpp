@@ -144,6 +144,14 @@ struct DtmCheckpoint {
   bool first_step_converged = true;
 };
 
+/// The controller's throttle set: per-module flags, true for the hottest
+/// `throttled_fraction` of modules by nominal power density.  This is
+/// the EXACT selection run_dtm's controller acts on, exposed so other
+/// consumers (the campaign runner's statically throttled floorplans)
+/// throttle the identical modules.
+[[nodiscard]] std::vector<bool> throttleable_modules(
+    const Floorplan3D& fp, const DtmOptions& options = {});
+
 /// Simulate `duration_s` of the DTM loop on the floorplan's nominal
 /// activity.  The controller reads the hottest die's peak through a noisy
 /// sensor each control period and throttles the hottest modules.

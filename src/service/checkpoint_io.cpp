@@ -256,7 +256,7 @@ void save_checkpoint_file(const std::filesystem::path& path,
   file.u64(payload.bytes().size());
   file.u64(fnv1a64(payload.bytes().data(), payload.bytes().size()));
 
-  const std::filesystem::path tmp = path.string() + ".tmp";
+  const std::filesystem::path tmp = unique_tmp_path(path);
   {
     std::ofstream out(tmp, std::ios::binary | std::ios::trunc);
     if (!out)

@@ -20,7 +20,7 @@ constexpr const char* kJobHeader = "tsc3d-job v1";
 
 void write_text_atomic(const std::filesystem::path& path,
                        const std::string& text) {
-  const std::filesystem::path tmp = path.string() + ".tmp";
+  const std::filesystem::path tmp = service::unique_tmp_path(path);
   {
     std::ofstream out(tmp, std::ios::binary | std::ios::trunc);
     if (!out)
@@ -67,6 +67,9 @@ std::string format_job(const JobSpec& job) {
   if (!job.nets.empty()) out << "nets " << job.nets << "\n";
   if (!job.pl.empty()) out << "pl " << job.pl << "\n";
   if (!job.power.empty()) out << "power " << job.power << "\n";
+  if (!job.scenario.empty()) out << "scenario " << job.scenario << "\n";
+  if (!job.mitigation.empty()) out << "mitigation " << job.mitigation << "\n";
+  if (!job.flavor.empty()) out << "flavor " << job.flavor << "\n";
   out << "seed " << job.seed << "\n";
   out << "config-begin\n" << job.config_text;
   if (!job.config_text.empty() && job.config_text.back() != '\n') out << "\n";
@@ -105,6 +108,9 @@ JobSpec parse_job(const std::string& text) {
     else if (key == "nets") job.nets = val;
     else if (key == "pl") job.pl = val;
     else if (key == "power") job.power = val;
+    else if (key == "scenario") job.scenario = val;
+    else if (key == "mitigation") job.mitigation = val;
+    else if (key == "flavor") job.flavor = val;
     else if (key == "seed") job.seed = std::stoull(val);
     else
       throw std::runtime_error("job file: unknown key '" + key + "'");

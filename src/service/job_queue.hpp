@@ -42,6 +42,17 @@ struct JobSpec {
   std::uint64_t seed = 1;
   std::string config_text;             ///< verbatim Corblivar-style config
 
+  // Campaign scenario annotations (docs/CAMPAIGNS.md).  All three are
+  // empty for a plain exploration job -- and empty fields are omitted
+  // from the canonical text, so pre-campaign job ids are unchanged.  A
+  // non-empty `scenario` marks a ScenarioJob: the same (design, config,
+  // seed) exploration plus an attack/mitigation evaluation on top.
+  std::string scenario;    ///< attack kind, e.g. "localization"
+  std::string mitigation;  ///< "none" | "dtm" | "noise_injection"
+  std::string flavor;      ///< "power_aware" | "tsc_secure" | "monolithic"
+
+  [[nodiscard]] bool is_scenario() const { return !scenario.empty(); }
+
   [[nodiscard]] bool operator==(const JobSpec&) const = default;
 };
 

@@ -10,14 +10,34 @@
 // result_io adds magic, version and an FNV-1a checksum on top.
 #pragma once
 
+#include <unistd.h>
+
+#include <atomic>
 #include <bit>
 #include <cstddef>
 #include <cstdint>
+#include <filesystem>
 #include <stdexcept>
 #include <string>
 #include <vector>
 
 namespace tsc3d::service {
+
+/// A scratch name for writing `path` atomically (write tmp, then
+/// rename).  Unique per (process, call), so concurrent writers of the
+/// SAME destination -- e.g. two scenario jobs caching their shared
+/// exploration result -- never clobber each other's half-written tmp;
+/// rename(2) then replaces atomically and last-writer-wins over
+/// identical bytes.
+[[nodiscard]] inline std::filesystem::path unique_tmp_path(
+    const std::filesystem::path& path) {
+  static std::atomic<unsigned long long> counter{0};
+  const unsigned long long n =
+      counter.fetch_add(1, std::memory_order_relaxed);
+  return path.string() + ".tmp." +
+         std::to_string(static_cast<long long>(::getpid())) + "." +
+         std::to_string(n);
+}
 
 /// FNV-1a 64-bit over a byte range; `seed` chains multiple ranges.
 inline constexpr std::uint64_t kFnvOffset = 0xcbf29ce484222325ULL;
@@ -121,7 +141,7 @@ class ByteReader {
 
   [[nodiscard]] std::vector<std::uint64_t> vec_u64() {
     const std::uint64_t n = u64();
-    need(n * 8);
+    need_elems(n, 8);
     std::vector<std::uint64_t> v;
     v.reserve(static_cast<std::size_t>(n));
     for (std::uint64_t i = 0; i < n; ++i) v.push_back(u64());
@@ -135,7 +155,7 @@ class ByteReader {
 
   [[nodiscard]] std::vector<double> vec_f64() {
     const std::uint64_t n = u64();
-    need(n * 8);
+    need_elems(n, 8);
     std::vector<double> v;
     v.reserve(static_cast<std::size_t>(n));
     for (std::uint64_t i = 0; i < n; ++i) v.push_back(f64());
@@ -148,6 +168,14 @@ class ByteReader {
  private:
   void need(std::uint64_t n) const {
     if (n > size_ - pos_)
+      throw std::runtime_error("ByteReader: truncated artifact");
+  }
+
+  // Overflow-safe element-count check: `n * elem_size` can wrap for a
+  // hostile length prefix near 2^64, which would sail past need() and
+  // then loop essentially forever.  Divide instead of multiply.
+  void need_elems(std::uint64_t n, std::uint64_t elem_size) const {
+    if (n > (size_ - pos_) / elem_size)
       throw std::runtime_error("ByteReader: truncated artifact");
   }
 

@@ -18,9 +18,10 @@
 
 namespace tsc3d::service {
 
-inline constexpr const char* kCodeVersion = "tsc3d-8";
+inline constexpr const char* kCodeVersion = "tsc3d-9";
 
 inline constexpr unsigned kCheckpointFormatVersion = 1;
 inline constexpr unsigned kResultFormatVersion = 1;
+inline constexpr unsigned kScenarioFormatVersion = 1;
 
 }  // namespace tsc3d::service

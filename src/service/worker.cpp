@@ -51,13 +51,16 @@ std::uint64_t design_hash(const JobSpec& job) {
 ArtifactContext job_context(const JobSpec& job) {
   const config::ConfigFile cfg =
       config::ConfigFile::parse(job.config_text, "<job config>");
-  // [service] keys steer the queue machinery, not the exploration, so
-  // they are excluded: sweeps run from different queue dirs or with
-  // different lease settings still share cache entries.
+  // [service] keys steer the queue machinery and [campaign] keys steer
+  // the matrix runner; neither shapes the exploration itself, so both
+  // are excluded: sweeps run from different queue dirs, with different
+  // lease settings, or under different campaign matrices still share
+  // cache entries.
   std::istringstream canonical(cfg.canonical());
   std::string filtered, line;
   while (std::getline(canonical, line))
-    if (line.rfind("service.", 0) != 0) filtered += line + "\n";
+    if (line.rfind("service.", 0) != 0 && line.rfind("campaign.", 0) != 0)
+      filtered += line + "\n";
   ArtifactContext ctx;
   ctx.design_hash = design_hash(job);
   ctx.config_hash = fnv1a64(filtered);
@@ -66,12 +69,33 @@ ArtifactContext job_context(const JobSpec& job) {
   return ctx;
 }
 
+Floorplan3D build_design(const JobSpec& job, const config::ConfigFile& cfg) {
+  TechnologyConfig tech;
+  config::apply_technology(cfg, tech);
+  if (!job.blocks.empty())
+    return benchgen::read_bundle(tech, job.blocks, job.nets, job.pl,
+                                 job.power);
+  Floorplan3D fp = benchgen::generate(job.benchmark, job.seed);
+  // Synthetic benchmarks carry their own geometry; re-apply the config's
+  // [technology] keys on top of it so flavor overrides (monolithic vs
+  // tsv) reach generated designs too.  With no [technology] keys set,
+  // apply_technology overlays every field onto its current value -- an
+  // identity -- so plain exploration results are unaffected.
+  TechnologyConfig overlaid = fp.tech();
+  config::apply_technology(cfg, overlaid);
+  fp.tech() = overlaid;
+  return fp;
+}
+
 WorkReport run_job(const JobSpec& job,
                    const std::filesystem::path& checkpoint_file,
                    const std::filesystem::path& result_file,
                    ResultCache* cache, std::size_t checkpoint_interval) {
   WorkReport report;
   try {
+    if (job.is_scenario())
+      throw std::runtime_error(
+          "scenario jobs require the campaign runner (tsc3d_campaign work)");
     const ArtifactContext ctx = job_context(job);
 
     if (cache != nullptr) {
@@ -89,20 +113,15 @@ WorkReport run_job(const JobSpec& job,
         config::ConfigFile::parse(job.config_text, "<job config>");
     floorplan::FloorplannerOptions opt =
         config::make_floorplanner_options(cfg);
-    TechnologyConfig tech;
-    config::apply_technology(cfg, tech);
-    (void)config::make_service_options(cfg);  // [service] keys are ours
+    (void)config::make_service_options(cfg);   // [service] keys are ours
+    (void)config::make_campaign_options(cfg);  // [campaign] keys too
+    Floorplan3D fp = build_design(job, cfg);
     const auto unused = cfg.unused_keys();
     if (!unused.empty()) {
       std::string msg = "unrecognized config keys:";
       for (const auto& key : unused) msg += " " + key;
       throw std::runtime_error(msg);
     }
-
-    Floorplan3D fp = job.blocks.empty()
-                         ? benchgen::generate(job.benchmark, job.seed)
-                         : benchgen::read_bundle(tech, job.blocks, job.nets,
-                                                 job.pl, job.power);
 
     const CheckpointLoad ck = load_checkpoint_file(checkpoint_file, ctx);
     floorplan::ExplorationHooks hooks;

@@ -23,6 +23,8 @@
 #include <cstdint>
 #include <string>
 
+#include "config/config_file.hpp"
+#include "core/floorplan.hpp"
 #include "service/job_queue.hpp"
 #include "service/result_cache.hpp"
 #include "service/result_io.hpp"
@@ -36,6 +38,16 @@ namespace tsc3d::service {
 
 /// The full artifact identity of a job under the current code version.
 [[nodiscard]] ArtifactContext job_context(const JobSpec& job);
+
+/// Materialize the job's design with the config's [technology] overlay
+/// applied: synthetic benchmarks are generated from (name, seed) and
+/// then re-flavored (a config with no [technology] keys leaves them
+/// untouched), GSRC bundles are read against the overlaid tech.  Both
+/// run_job and the campaign runner build designs through this one
+/// function, so an exploration and the scenario layered on top of it
+/// always agree on the floorplan they are talking about.
+[[nodiscard]] Floorplan3D build_design(const JobSpec& job,
+                                       const config::ConfigFile& cfg);
 
 /// What happened to one job.
 struct WorkReport {

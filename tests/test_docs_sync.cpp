@@ -31,8 +31,8 @@ std::string read_source_file(const std::string& relative) {
 }
 
 const std::set<std::string>& config_sections() {
-  static const std::set<std::string> sections{"technology", "thermal",
-                                              "floorplanning", "service"};
+  static const std::set<std::string> sections{
+      "technology", "thermal", "floorplanning", "service", "campaign"};
   return sections;
 }
 

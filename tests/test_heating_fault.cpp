@@ -65,6 +65,24 @@ TEST(HeatingFault, AttackRaisesVictimTemperature) {
   EXPECT_FALSE(result.fault_induced);
 }
 
+TEST(HeatingFault, RepeatRunsAreBitwiseIdentical) {
+  // The campaign runner caches heating-fault outcomes, so a repeat with
+  // identical inputs must reproduce every field bitwise -- the greedy
+  // accomplice search may not depend on anything but its arguments.
+  const auto fp = fault_design();
+  const auto solver = small_solver(fp);
+  HeatingFaultOptions opt;
+  opt.boost = 2.5;
+  const auto a = run_heating_fault_attack(fp, solver, 0, opt);
+  const auto b = run_heating_fault_attack(fp, solver, 0, opt);
+  EXPECT_EQ(a.accomplices_used, b.accomplices_used);
+  EXPECT_EQ(a.accomplices, b.accomplices);
+  EXPECT_EQ(a.victim_peak_k_nominal, b.victim_peak_k_nominal);
+  EXPECT_EQ(a.victim_peak_k_attacked, b.victim_peak_k_attacked);
+  EXPECT_EQ(a.attack_power_w, b.attack_power_w);
+  EXPECT_EQ(a.fault_induced, b.fault_induced);
+}
+
 TEST(HeatingFault, VictimIsNeverItsOwnAccomplice) {
   const auto fp = fault_design();
   const auto solver = small_solver(fp);
