@@ -60,8 +60,9 @@ void print_usage() {
       "  --pl=FILE         GSRC .pl input (initial placement)\n"
       "  --power=FILE      per-module power sidecar\n"
       "  --mode=power|tsc  flow preset (overrides config)\n"
-      "  --solver=NAME     steady-state thermal backend: sor (default) or\n"
-      "                    multigrid (V-cycles; wins on cold/large solves)\n"
+      "  --solver=NAME     steady-state thermal backend: auto (default;\n"
+      "                    picks per engine role), sor, or multigrid\n"
+      "                    (V-cycles + FMG; wins on cold/large solves)\n"
       "  --incremental=on|off\n"
       "                    incremental move evaluation (dirty-die repack +\n"
       "                    cached wirelength/delay/outline; default on,\n"
@@ -159,8 +160,11 @@ int main(int argc, char** argv) {
       opt.thermal.solver = SolverBackend::sor;
     else if (args.solver == "multigrid")
       opt.thermal.solver = SolverBackend::multigrid;
+    else if (args.solver == "auto")
+      opt.thermal.solver = SolverBackend::auto_select;
     else if (!args.solver.empty())
-      throw std::runtime_error("--solver must be 'sor' or 'multigrid'");
+      throw std::runtime_error(
+          "--solver must be 'auto', 'sor' or 'multigrid'");
     if (args.incremental == "on")
       opt.incremental_eval = true;
     else if (args.incremental == "off")
@@ -227,7 +231,8 @@ int main(int argc, char** argv) {
       std::filesystem::create_directories(dir);
       benchgen::write_bundle(fp, dir / "floorplan");
 
-      thermal::ThermalEngine engine(fp.tech(), opt.thermal);
+      thermal::ThermalEngine engine(fp.tech(), opt.thermal, {},
+                                    thermal::EngineRole::verify);
       const std::size_t nx = opt.thermal.grid_nx, ny = opt.thermal.grid_ny;
       std::vector<GridD> power;
       for (std::size_t d = 0; d < fp.tech().num_dies; ++d)

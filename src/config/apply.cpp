@@ -76,18 +76,24 @@ void apply_thermal(const ConfigFile& cfg, ThermalConfig& thermal) {
       cfg.get_size("thermal.max_iterations", thermal.max_iterations);
   const std::string solver = cfg.get_string(
       "thermal.solver",
-      thermal.solver == SolverBackend::multigrid ? "multigrid" : "sor");
+      thermal.solver == SolverBackend::multigrid
+          ? "multigrid"
+          : (thermal.solver == SolverBackend::sor ? "sor" : "auto"));
   if (solver == "sor") {
     thermal.solver = SolverBackend::sor;
   } else if (solver == "multigrid") {
     thermal.solver = SolverBackend::multigrid;
+  } else if (solver == "auto") {
+    thermal.solver = SolverBackend::auto_select;
   } else {
-    throw ConfigError("thermal.solver must be 'sor' or 'multigrid', got '" +
-                      solver + "'");
+    throw ConfigError(
+        "thermal.solver must be 'auto', 'sor' or 'multigrid', got '" +
+        solver + "'");
   }
   thermal.mg_levels = cfg.get_size("thermal.mg_levels", thermal.mg_levels);
   thermal.mg_smooth_sweeps =
       cfg.get_size("thermal.mg_smooth_sweeps", thermal.mg_smooth_sweeps);
+  thermal.mg_fmg = cfg.get_bool("thermal.mg_fmg", thermal.mg_fmg);
   thermal.validate();
 }
 

@@ -129,9 +129,17 @@ inline TechnologyConfig make_monolithic(TechnologyConfig tech) {
 ///    same tolerance contract), and sharded sweeps stay bitwise
 ///    deterministic.  Grids too small or odd-sized to coarsen fall back
 ///    to SOR.
+///  * `auto_select` ("auto" in config files, the default): each engine
+///    picks per its role -- the annealer's warm fast-loop engine keeps
+///    SOR (warm starts converge in a handful of sweeps; V-cycle coarse
+///    traffic would be pure overhead), sampling/verification engines
+///    get multigrid (cold and strongly perturbed solves are the smooth-
+///    error regime it removes).  Explicit `sor`/`multigrid` force that
+///    backend everywhere.
 enum class SolverBackend {
   sor,
   multigrid,
+  auto_select,
 };
 
 /// Material and boundary parameters of the thermal model.  The layer
@@ -189,12 +197,16 @@ struct ThermalConfig {
   double sor_omega = 1.8;          ///< SOR over-relaxation factor
   double tolerance_k = 1e-4;       ///< max per-node update at convergence [K]
   std::size_t max_iterations = 20000;
-  SolverBackend solver = SolverBackend::sor;  ///< steady-state backend
+  /// Steady-state backend; auto_select resolves per engine role.
+  SolverBackend solver = SolverBackend::auto_select;
   /// Multigrid depth: number of coarse levels below the solve grid.
   /// 0 = auto (coarsen 2x in x/y while both extents stay even and >= 4).
   std::size_t mg_levels = 0;
   /// Pre- and post-smoothing red-black sweeps per V-cycle level.
   std::size_t mg_smooth_sweeps = 2;
+  /// Seed cold multigrid solves with a full-multigrid (coarse-to-fine)
+  /// initial sweep instead of a flat ambient field.
+  bool mg_fmg = true;
 
   void validate() const {
     if (grid_nx < 4 || grid_ny < 4)

@@ -112,7 +112,8 @@ ChainReport ChainOrchestrator::run(Floorplan3D& fp, const LayoutState& initial,
   // calibration pass serves every chain (estimate() is const and
   // stateless -- safe to share across the chain threads).
   thermal::ThermalEngine calibration_engine(fp.tech(), setup_.fast_thermal,
-                                            setup_.engine_parallel);
+                                            setup_.engine_parallel,
+                                            thermal::EngineRole::fast_loop);
   const thermal::PowerBlur blur(calibration_engine, setup_.blur_radius);
 
   // --- equip the chains --------------------------------------------------
@@ -126,7 +127,8 @@ ChainReport ChainOrchestrator::run(Floorplan3D& fp, const LayoutState& initial,
     CostEvaluator::Options eval_opt = setup_.eval;
     if (setup_.detailed_inner_thermal) {
       chain->engine = std::make_unique<thermal::ThermalEngine>(
-          chain->fp.tech(), setup_.fast_thermal, setup_.engine_parallel);
+          chain->fp.tech(), setup_.fast_thermal, setup_.engine_parallel,
+          thermal::EngineRole::fast_loop);
       eval_opt.detailed_engine = chain->engine.get();
     } else {
       eval_opt.detailed_engine = nullptr;

@@ -117,7 +117,8 @@ FloorplanMetrics Floorplanner::run(Floorplan3D& fp, Rng& rng,
     // (power-blur calibration and, optionally, the detailed in-loop
     // solves); its cached assembly and warm-start state persist across
     // the annealing run.
-    thermal::ThermalEngine fast_engine(fp.tech(), fast_cfg, opt_.parallel);
+    thermal::ThermalEngine fast_engine(fp.tech(), fast_cfg, opt_.parallel,
+                                       thermal::EngineRole::fast_loop);
     const thermal::PowerBlur blur(fast_engine, opt_.blur_radius);
     if (opt_.detailed_inner_thermal) eval_opt.detailed_engine = &fast_engine;
     CostEvaluator evaluator(fp, blur, eval_opt);
@@ -166,7 +167,8 @@ FloorplanMetrics Floorplanner::run(Floorplan3D& fp, Rng& rng,
     ThermalConfig sampling_cfg = opt_.thermal;
     sampling_cfg.grid_nx = sampling_cfg.grid_ny = opt_.sampling_grid;
     thermal::ThermalEngine sampling_engine(fp.tech(), sampling_cfg,
-                                           opt_.parallel);
+                                           opt_.parallel,
+                                           thermal::EngineRole::sampling);
     metrics.dummy = tsv::insert_dummy_tsvs(fp, sampling_engine, rng,
                                            opt_.dummy);
   }
@@ -174,7 +176,8 @@ FloorplanMetrics Floorplanner::run(Floorplan3D& fp, Rng& rng,
   // --- detailed verification (Fig. 3, bottom) -----------------------------
   ThermalConfig verify_cfg = opt_.thermal;
   verify_cfg.grid_nx = verify_cfg.grid_ny = opt_.verify_grid;
-  thermal::ThermalEngine verify_engine(fp.tech(), verify_cfg, opt_.parallel);
+  thermal::ThermalEngine verify_engine(fp.tech(), verify_cfg, opt_.parallel,
+                                       thermal::EngineRole::verify);
   const std::size_t g = opt_.verify_grid;
   std::vector<GridD> power_maps;
   for (std::size_t d = 0; d < fp.tech().num_dies; ++d)

@@ -18,7 +18,10 @@
 
 namespace tsc3d::service {
 
-inline constexpr const char* kCodeVersion = "tsc3d-9";
+// tsc3d-10: thermal.solver defaults to auto (per-role backend selection)
+// and cold multigrid solves are FMG-seeded -- verification/sampling
+// temperatures, and thus cached results, change within solver accuracy.
+inline constexpr const char* kCodeVersion = "tsc3d-10";
 
 inline constexpr unsigned kCheckpointFormatVersion = 1;
 inline constexpr unsigned kResultFormatVersion = 1;

@@ -30,8 +30,11 @@ namespace tsc3d::thermal {
 
 class GridSolver {
  public:
+  /// The facade is the verification/reporting entry point, so its engine
+  /// carries EngineRole::verify: `thermal.solver = auto` resolves it to
+  /// the multigrid backend.
   GridSolver(const TechnologyConfig& tech, const ThermalConfig& cfg)
-      : engine_(tech, cfg) {}
+      : engine_(tech, cfg, {}, EngineRole::verify) {}
 
   [[nodiscard]] std::size_t nx() const { return engine_.nx(); }
   [[nodiscard]] std::size_t ny() const { return engine_.ny(); }

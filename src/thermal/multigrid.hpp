@@ -15,8 +15,15 @@
 //    reproduces the direct coarse-grid discretization exactly.  Layers
 //    are NEVER coarsened: the stack has O(10) physically distinct
 //    layers, and the z coupling strengthens 4x relative to lateral per
-//    level, so the coarse grids also repair the fine grid's lateral/
-//    vertical anisotropy.
+//    level.  CAVEAT: when vertical coupling already dominates at the
+//    fine level (monolithic stacks, whose sub-um ILD bonds couple
+//    adjacent layers orders of magnitude more strongly than any lateral
+//    path), the point smoother cannot damp lateral-oscillatory error
+//    riding on the stiff z-columns -- that would need z-line relaxation
+//    -- and V-cycles contract worse than plain SOR.  The engine detects
+//    that at runtime (stall detection in its V-cycle loops) and hands
+//    the solve back to SOR; see kMgStallContraction in
+//    thermal_engine.cpp.
 //  * Residuals restrict by full weighting (the adjoint of cell-centered
 //    bilinear interpolation, per layer, boundary-clamped) and
 //    corrections prolongate bilinearly -- both over the same halo field
@@ -74,13 +81,35 @@ struct MgScratch {
   struct Level {
     std::vector<double> field;  ///< halo layout, pads stay zero
     std::vector<double> rhs;    ///< compact
+    /// Implicit-Euler diagonal diag_static + cap/dt of this level
+    /// (compact).  Empty in steady mode: the level then relaxes against
+    /// its assembly's diag_static directly.  Filled by mg_set_dt.
+    std::vector<double> diag;
   };
   std::vector<Level> level;
   std::vector<double> resid;  ///< compact residual of the level above
+  /// Timestep the per-level diag buffers were built for; 0 = steady.
+  double dt_s = 0.0;
 
   /// Size the buffers for `fine` + `hierarchy` (idempotent).
   void ensure(const Assembly& fine, const MultigridHierarchy& hierarchy);
 };
+
+/// Switch the scratch between steady mode (`dt_s <= 0`: coarse levels
+/// relax against diag_static) and transient mode (`dt_s > 0`: every
+/// coarse level gets the implicit-Euler diagonal diag_static + cap/dt,
+/// the aggregated capacitances making the coarse operators the Galerkin
+/// counterparts of the fine (G + C/dt)).  Idempotent per dt_s; call
+/// after ensure().
+void mg_set_dt(const MultigridHierarchy& hierarchy, MgScratch& scratch,
+               double dt_s);
+
+/// The diagonal a coarse level relaxes against: the transient diag when
+/// mg_set_dt installed one, diag_static otherwise.
+[[nodiscard]] inline const double* mg_level_diag(const Assembly& a,
+                                                 const MgScratch::Level& s) {
+  return s.diag.empty() ? a.diag_static.data() : s.diag.data();
+}
 
 /// Compact steady-state residual r = rhs + sum(g * t_nb) - diag * t of a
 /// halo-layout field.
@@ -109,7 +138,31 @@ double mg_smooth(const Assembly& a, double* t, const double* rhs,
 /// restricted residual; the correction is left in scratch.level[l].field).
 /// The coarsest level is smoothed to near-exactness (relative update
 /// drop of 1e-3, capped); all sweeps are serial and fixed-order.
+/// A_l is (G + C/dt) when mg_set_dt installed transient diagonals.
 void mg_coarse_solve(const MultigridHierarchy& hierarchy, MgScratch& scratch,
                      std::size_t l, std::size_t smooth_sweeps, double omega);
+
+/// One V-cycle at coarse level `l` on the CURRENT contents of
+/// scratch.level[l]: smooth field against rhs, restrict the residual,
+/// correct from the levels below, smooth again.  Unlike mg_coarse_solve
+/// the field is NOT zeroed -- this is the ascent step of mg_fmg, where
+/// level l's field holds the prolonged coarser solution.  Levels below
+/// l are clobbered (their FMG values must already be consumed).
+void mg_cycle_at(const MultigridHierarchy& hierarchy, MgScratch& scratch,
+                 std::size_t l, std::size_t smooth_sweeps, double omega);
+
+/// Full-multigrid cold start: restrict the TRUE fine rhs down the whole
+/// hierarchy, solve the coarsest level to near-exactness, then ascend --
+/// prolong each solution one level up and improve it with one V-cycle --
+/// and finally ADD the first-coarse-level solution, bilinearly
+/// interpolated, into `t_fine` (halo layout; its real nodes must be
+/// zero on entry, pads stay untouched).  The result is an initial guess
+/// already accurate to roughly truncation error, so the caller's
+/// V-cycle loop converges in 1-2 cycles instead of ~9 from a flat
+/// ambient start.  Serial and fixed-order throughout; requires
+/// hierarchy.usable().
+void mg_fmg(const Assembly& fine, const MultigridHierarchy& hierarchy,
+            MgScratch& scratch, const double* rhs_fine, double* t_fine,
+            std::size_t smooth_sweeps, double omega);
 
 }  // namespace tsc3d::thermal

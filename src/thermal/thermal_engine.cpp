@@ -6,6 +6,7 @@
 #include <condition_variable>
 #include <cstdint>
 #include <exception>
+#include <limits>
 #include <mutex>
 #include <stdexcept>
 #include <thread>
@@ -23,6 +24,25 @@ namespace {
 /// take care of the smooth error SOR would have needed the large omega
 /// for.
 constexpr double kSmoothOmega = 1.0;
+
+/// Multigrid stall detection.  Point-smoothed x/y semicoarsening loses
+/// its mesh-independent convergence when vertical coupling dominates the
+/// lateral paths: damping lateral-oscillatory error that rides on stiff
+/// z-columns needs z-line relaxation, which the red-black point smoother
+/// is not.  Monolithic stacks are the concrete case -- their ~0.5um ILD
+/// couples adjacent layers orders of magnitude more strongly than any
+/// in-plane path, and V-cycles contract WORSE than plain SOR there.
+/// Rather than predicting this from the stack (the z/lateral ratio
+/// shifts with grid resolution), the V-cycle loops watch their own
+/// contraction: when a cycle fails to cut the per-sweep update below
+/// kMgStallContraction of the previous cycle's, kMgStallCycles times in
+/// a row, the solve is marked stalled and the loop hands the current
+/// field to plain SOR sweeps.  Healthy cycles contract at ~0.1-0.3 per
+/// cycle, stalled ones sit near 1.0, so the margin is wide on both
+/// sides.  Every sweep is bitwise-deterministic across thread counts,
+/// so the stall decision -- and therefore the fallback -- is too.
+constexpr double kMgStallContraction = 0.7;
+constexpr std::size_t kMgStallCycles = 3;
 
 /// Cyclic rendezvous over mutex + condition_variable.  std::barrier would
 /// do, but libstdc++'s futex-based implementation is not reliably modeled
@@ -67,42 +87,8 @@ class PhaseBarrier {
 
 }  // namespace
 
-double sweep_color_rows(const Assembly& a, double omega, double* t, int color,
-                        std::size_t row_begin, std::size_t row_end,
-                        const double* r, const double* dg) {
-  const std::size_t nx = a.nx, ny = a.ny;
-  // Conductance/rhs arrays are compact (stride nx); the field uses the
-  // halo layout (row stride nx + 1, layer stride (nx+1) * (ny+1)), so
-  // the loop advances a compact index i and a padded index p in step.
-  const std::size_t px = nx + 1;
-  const std::size_t ps = px * (ny + 1);
-  const double* gxm = a.g_xm.data();
-  const double* gxp = a.g_xp.data();
-  const double* gym = a.g_ym.data();
-  const double* gyp = a.g_yp.data();
-  const double* gzm = a.g_zm.data();
-  const double* gzp = a.g_zp.data();
-
-  double max_delta = 0.0;
-  for (std::size_t gr = row_begin; gr < row_end; ++gr) {
-    const std::size_t l = gr / ny;
-    const std::size_t iy = gr % ny;
-    const std::size_t row = gr * nx;
-    const std::size_t prow = l * ps + iy * px;
-    for (std::size_t ix = (l + iy + static_cast<std::size_t>(color)) & 1;
-         ix < nx; ix += 2) {
-      const std::size_t i = row + ix;
-      const std::size_t p = prow + ix;
-      const double flux = r[i] + gxm[i] * t[p - 1] + gxp[i] * t[p + 1] +
-                          gym[i] * t[p - px] + gyp[i] * t[p + px] +
-                          gzm[i] * t[p - ps] + gzp[i] * t[p + ps];
-      const double delta = flux / dg[i] - t[p];
-      t[p] += omega * delta;
-      max_delta = std::max(max_delta, std::abs(delta));
-    }
-  }
-  return max_delta;
-}
+// sweep_color_rows lives in sweep.cpp: a scalar kernel plus a
+// hand-vectorized AVX2 one (bitwise-identical) behind runtime dispatch.
 
 /// Persistent sweep workers.  One pool serves one engine; a job is
 /// either one color-phase of a red-black sweep (sharded by rows) or a
@@ -254,9 +240,10 @@ class ThermalEngine::SweepPool {
 };
 
 ThermalEngine::ThermalEngine(const TechnologyConfig& tech,
-                             const ThermalConfig& cfg, ParallelConfig parallel)
-    : tech_(tech), cfg_(cfg), stack_(build_stack(tech, cfg)),
-      policy_(SolverPolicy::from_config(cfg)), parallel_(parallel) {
+                             const ThermalConfig& cfg, ParallelConfig parallel,
+                             EngineRole role)
+    : tech_(tech), cfg_(cfg), stack_(build_stack(tech, cfg)), role_(role),
+      policy_(SolverPolicy::from_config(cfg, role)), parallel_(parallel) {
   tech_.validate();
   cfg_.validate();
   sweep_threads_ = parallel_.threads;
@@ -293,6 +280,7 @@ void ThermalEngine::reset() {
 
 void ThermalEngine::set_policy(const SolverPolicy& policy) {
   policy_ = policy;
+  policy_.backend = resolve_backend(policy.backend, role_);
   // The hierarchy depends on the policy's depth/backend; rebuild lazily.
   mg_.reset();
 }
@@ -455,8 +443,19 @@ void ThermalEngine::ensure_hierarchy() {
   if (mg_ == nullptr) {
     mg_ = std::make_unique<MultigridHierarchy>();
     mg_->build(asm_, policy_.mg_levels);
+    // Any transient diagonals in the scratch aggregated the PREVIOUS
+    // hierarchy's capacitances; force mg_set_dt to rebuild them.
+    if (mg_scratch_ != nullptr) {
+      for (MgScratch::Level& s : mg_scratch_->level) s.diag.clear();
+      mg_scratch_->dt_s = 0.0;
+    }
   }
   if (mg_scratch_ == nullptr) mg_scratch_ = std::make_unique<MgScratch>();
+}
+
+bool ThermalEngine::fmg_active() const {
+  return policy_.backend == SolverBackend::multigrid && policy_.mg_fmg &&
+         mg_ != nullptr && mg_->usable();
 }
 
 double ThermalEngine::sweep_rows(double* t, int color, std::size_t row_begin,
@@ -553,12 +552,13 @@ void ThermalEngine::extract_field(const double* t,
   }
 }
 
-double ThermalEngine::vcycle(double* t, const double* rhs, MgScratch& scratch,
+double ThermalEngine::vcycle(double* t, const double* rhs, const double* diag,
+                             MgScratch& scratch,
                              const std::function<double()>& fine_sweep) const {
   const Assembly& fine = asm_;
   const std::size_t nu = policy_.mg_smooth_sweeps;
   for (std::size_t i = 0; i < nu; ++i) (void)fine_sweep();
-  mg_residual(fine, t, rhs, fine.diag_static.data(), scratch.resid.data());
+  mg_residual(fine, t, rhs, diag, scratch.resid.data());
   const Assembly& c0 = mg_->levels()[0].a;
   mg_restrict(fine, scratch.resid.data(), c0, scratch.level[0].rhs.data());
   mg_coarse_solve(*mg_, scratch, 0, nu, kSmoothOmega);
@@ -571,7 +571,7 @@ double ThermalEngine::vcycle(double* t, const double* rhs, MgScratch& scratch,
   return delta;
 }
 
-void ThermalEngine::solve_field(double* t, const double* rhs,
+void ThermalEngine::solve_field(double* t, const double* rhs, bool fmg_start,
                                 ThermalResult& result) {
   const double* diag = asm_.diag_static.data();
   const double tol = policy_.tolerance.tolerance_for(cfg_.tolerance_k);
@@ -579,12 +579,42 @@ void ThermalEngine::solve_field(double* t, const double* rhs,
                      mg_ != nullptr && mg_->usable();
   if (mg_on) {
     mg_scratch_->ensure(asm_, *mg_);
+    mg_set_dt(*mg_, *mg_scratch_, 0.0);
     const std::size_t nu = policy_.mg_smooth_sweeps;
+    if (fmg_start) {
+      // The caller zero-filled the field; the FMG descent/ascent leaves
+      // an initial guess at ~truncation error, so the V-cycle loop
+      // below typically stops after one or two cycles.
+      mg_fmg(asm_, *mg_, *mg_scratch_, rhs, t, nu, kSmoothOmega);
+      result.fmg_started = true;
+    }
     const auto fine_sweep = [&] { return sweep(t, rhs, diag, kSmoothOmega); };
+    double prev_delta = std::numeric_limits<double>::infinity();
+    std::size_t stalled_cycles = 0;
     while (result.iterations < cfg_.max_iterations) {
-      const double delta = vcycle(t, rhs, *mg_scratch_, fine_sweep);
+      const double delta = vcycle(t, rhs, diag, *mg_scratch_, fine_sweep);
       result.iterations += 2 * nu;  // fine-level sweeps of this cycle
       ++result.vcycles;
+      result.residual_k = delta;
+      if (delta < tol) {
+        result.converged = true;
+        break;
+      }
+      if (delta > kMgStallContraction * prev_delta) {
+        if (++stalled_cycles >= kMgStallCycles) {
+          result.mg_stalled = true;
+          break;
+        }
+      } else {
+        stalled_cycles = 0;
+      }
+      prev_delta = delta;
+    }
+    // Stalled: finish the solve with the plain SOR loop, warm from
+    // whatever the cycles achieved.
+    while (result.mg_stalled && result.iterations < cfg_.max_iterations) {
+      const double delta = sweep(t, rhs, diag, cfg_.sor_omega);
+      ++result.iterations;
       result.residual_k = delta;
       if (delta < tol) {
         result.converged = true;
@@ -605,7 +635,7 @@ void ThermalEngine::solve_field(double* t, const double* rhs,
 }
 
 void ThermalEngine::solve_field_serial(double* t, const double* rhs,
-                                       MgScratch* mg,
+                                       MgScratch* mg, bool fmg_start,
                                        ThermalResult& result) const {
   const double* diag = asm_.diag_static.data();
   const double tol = policy_.tolerance.tolerance_for(cfg_.tolerance_k);
@@ -613,14 +643,42 @@ void ThermalEngine::solve_field_serial(double* t, const double* rhs,
   const bool mg_on = policy_.backend == SolverBackend::multigrid &&
                      mg_ != nullptr && mg_->usable() && mg != nullptr;
   if (mg_on) {
+    mg_set_dt(*mg_, *mg, 0.0);
     const std::size_t nu = policy_.mg_smooth_sweeps;
+    if (fmg_start) {
+      mg_fmg(asm_, *mg_, *mg, rhs, t, nu, kSmoothOmega);
+      result.fmg_started = true;
+    }
     const auto fine_sweep = [&] {
       return mg_smooth(asm_, t, rhs, diag, kSmoothOmega, 1);
     };
+    double prev_delta = std::numeric_limits<double>::infinity();
+    std::size_t stalled_cycles = 0;
     while (result.iterations < cfg_.max_iterations) {
-      const double delta = vcycle(t, rhs, *mg, fine_sweep);
+      const double delta = vcycle(t, rhs, diag, *mg, fine_sweep);
       result.iterations += 2 * nu;
       ++result.vcycles;
+      result.residual_k = delta;
+      if (delta < tol) {
+        result.converged = true;
+        break;
+      }
+      if (delta > kMgStallContraction * prev_delta) {
+        if (++stalled_cycles >= kMgStallCycles) {
+          result.mg_stalled = true;
+          break;
+        }
+      } else {
+        stalled_cycles = 0;
+      }
+      prev_delta = delta;
+    }
+    while (result.mg_stalled && result.iterations < cfg_.max_iterations) {
+      double delta = 0.0;
+      for (int color = 0; color < 2; ++color)
+        delta = std::max(delta, sweep_color_rows(asm_, cfg_.sor_omega, t,
+                                                 color, 0, rows, rhs, diag));
+      ++result.iterations;
       result.residual_k = delta;
       if (delta < tol) {
         result.converged = true;
@@ -656,14 +714,21 @@ ThermalResult ThermalEngine::solve_steady(const std::vector<GridD>& die_power_w,
   result.assembly_reused = stats_.assembly_reuses > reuses_before;
 
   const bool warm = start == Start::warm && field_valid_;
-  if (!warm) std::fill(temp_.begin(), temp_.end(), cfg_.ambient_k);
+  // A cold multigrid solve starts from zero so the FMG descent can build
+  // the solution itself (the boundary terms in the rhs carry the ambient
+  // baseline); other cold solves start from a flat ambient field.
+  const bool fmg = !warm && fmg_active();
+  if (!warm)
+    std::fill(temp_.begin(), temp_.end(), fmg ? 0.0 : cfg_.ambient_k);
   result.warm_started = warm;
 
-  solve_field(field(), rhs_.data(), result);
+  solve_field(field(), rhs_.data(), fmg, result);
   field_valid_ = true;
 
   ++stats_.steady_solves;
   if (warm) ++stats_.warm_starts;
+  if (result.fmg_started) ++stats_.fmg_starts;
+  if (result.mg_stalled) ++stats_.mg_stalls;
   stats_.total_sweeps += result.iterations;
   stats_.vcycles += result.vcycles;
 
@@ -686,6 +751,7 @@ std::vector<ThermalResult> ThermalEngine::solve_steady_batch(
   const bool warm = start == Start::warm && field_valid_;
   const bool mg_on = policy_.backend == SolverBackend::multigrid &&
                      mg_ != nullptr && mg_->usable();
+  const bool fmg = !warm && fmg_active();
 
   // Size the context pool and seed every candidate field from the
   // engine's current field (the accepted state's solution) -- all on the
@@ -699,7 +765,7 @@ std::vector<ThermalResult> ThermalEngine::solve_steady_batch(
     if (warm)
       ctx.temp = temp_;  // reuses capacity after the first batch
     else
-      ctx.temp.assign(temp_.size(), cfg_.ambient_k);
+      ctx.temp.assign(temp_.size(), fmg ? 0.0 : cfg_.ambient_k);
     ctx.rhs.resize(a.num_nodes());
     fill_steady_rhs(candidate_power_w[i], ctx.rhs);
     if (mg_on) {
@@ -721,7 +787,7 @@ std::vector<ThermalResult> ThermalEngine::solve_steady_batch(
   const auto solve_one = [&](std::size_t i) {
     FieldContext& ctx = contexts_[i];
     solve_field_serial(ctx.temp.data() + field_offset_, ctx.rhs.data(),
-                       ctx.mg.get(), results[i]);
+                       ctx.mg.get(), fmg, results[i]);
     extract_field(ctx.temp.data() + field_offset_, results[i]);
   };
   if (pool_ != nullptr && k > 1) {
@@ -737,6 +803,8 @@ std::vector<ThermalResult> ThermalEngine::solve_steady_batch(
   for (const ThermalResult& r : results) {
     stats_.total_sweeps += r.iterations;
     stats_.vcycles += r.vcycles;
+    if (r.fmg_started) ++stats_.fmg_starts;
+    if (r.mg_stalled) ++stats_.mg_stalls;
   }
   return results;
 }
@@ -786,6 +854,7 @@ TransientResult ThermalEngine::solve_transient_feedback(
     throw std::invalid_argument("solve_transient: non-positive time");
   if (record_stride == 0) record_stride = 1;
   const Assembly& a = assembly_for(tsv_density);
+  ensure_hierarchy();
   const std::size_t nx = a.nx, ny = a.ny;
   const std::size_t nxny = nx * ny;
   const std::size_t n = a.num_nodes();
@@ -806,13 +875,29 @@ TransientResult ThermalEngine::solve_transient_feedback(
 
   // Implicit Euler: (G + C/dt) T_new = P + G_b T_amb + (C/dt) T_old.
   // cap/dt is hoisted out of the step loop; it feeds both the diagonal
-  // and every step's rhs.  Transient steps always use the SOR sweep:
-  // each step warm-starts from the previous one, so the smooth-error
-  // tail multigrid targets never builds up.
+  // and every step's rhs.
   std::vector<double> cap_over_dt(n);
   for (std::size_t i = 0; i < n; ++i) {
     cap_over_dt[i] = a.cap[i] / dt_s;
     diag_[i] = a.diag_static[i] + cap_over_dt[i];
+  }
+
+  // Multigrid backend: V-cycle the (G + C/dt) operator.  Small-dt steps
+  // are strongly diagonally dominant and converge in a sweep or two
+  // from the previous step's field, but STIFF steps (dt large against
+  // the thermal time constants, the regime DTM sweeps probe) leave the
+  // operator close to the steady G, whose smooth error per-step SOR
+  // grinds down over dozens of sweeps; mg_set_dt installs the
+  // aggregated implicit-Euler diagonal on every coarse level so those
+  // steps take 1-2 cycles instead.  A single plain smoothing sweep runs
+  // first each step -- the non-stiff fast path, costing exactly what
+  // warm SOR would -- and the V-cycle loop only engages when that sweep
+  // misses the tolerance.
+  const bool mg_on = policy_.backend == SolverBackend::multigrid &&
+                     mg_ != nullptr && mg_->usable();
+  if (mg_on) {
+    mg_scratch_->ensure(a, *mg_);
+    mg_set_dt(*mg_, *mg_scratch_, dt_s);
   }
 
   TransientResult out;
@@ -844,14 +929,57 @@ TransientResult ThermalEngine::solve_transient_feedback(
 
     bool step_converged = false;
     std::size_t step_iters = 0;
-    for (std::size_t it = 0; it < cfg_.max_iterations; ++it) {
-      const double delta = sweep(t, rhs_.data(), diag_.data(),
-                                 cfg_.sor_omega);
-      step_iters = it + 1;
+    if (mg_on && !out.final_state.mg_stalled) {
+      const std::size_t nu = policy_.mg_smooth_sweeps;
+      double delta = sweep(t, rhs_.data(), diag_.data(), kSmoothOmega);
+      step_iters = 1;
       out.final_state.residual_k = delta;
-      if (delta < cfg_.tolerance_k) {
-        step_converged = true;
-        break;
+      step_converged = delta < cfg_.tolerance_k;
+      double prev_delta = std::numeric_limits<double>::infinity();
+      std::size_t stalled_cycles = 0;
+      while (!step_converged && step_iters < cfg_.max_iterations) {
+        const auto fine_sweep = [&] {
+          return sweep(t, rhs_.data(), diag_.data(), kSmoothOmega);
+        };
+        delta = vcycle(t, rhs_.data(), diag_.data(), *mg_scratch_,
+                       fine_sweep);
+        step_iters += 2 * nu;
+        ++out.final_state.vcycles;
+        ++stats_.vcycles;
+        out.final_state.residual_k = delta;
+        step_converged = delta < cfg_.tolerance_k;
+        if (step_converged) break;
+        if (delta > kMgStallContraction * prev_delta) {
+          if (++stalled_cycles >= kMgStallCycles) {
+            // Sticky for the whole transient: the operator (and so the
+            // convergence behavior) is the same every step, so later
+            // steps go straight to SOR instead of re-stalling.
+            out.final_state.mg_stalled = true;
+            ++stats_.mg_stalls;
+            break;
+          }
+        } else {
+          stalled_cycles = 0;
+        }
+        prev_delta = delta;
+      }
+      while (out.final_state.mg_stalled && !step_converged &&
+             step_iters < cfg_.max_iterations) {
+        delta = sweep(t, rhs_.data(), diag_.data(), cfg_.sor_omega);
+        ++step_iters;
+        out.final_state.residual_k = delta;
+        step_converged = delta < cfg_.tolerance_k;
+      }
+    } else {
+      for (std::size_t it = 0; it < cfg_.max_iterations; ++it) {
+        const double delta = sweep(t, rhs_.data(), diag_.data(),
+                                   cfg_.sor_omega);
+        step_iters = it + 1;
+        out.final_state.residual_k = delta;
+        if (delta < cfg_.tolerance_k) {
+          step_converged = true;
+          break;
+        }
       }
     }
     out.total_iterations += step_iters;

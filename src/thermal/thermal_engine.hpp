@@ -88,23 +88,54 @@ struct ToleranceSchedule {
   }
 };
 
+/// What an engine instance is FOR -- the input `thermal.solver = auto`
+/// uses to pick a backend per engine.  The annealing fast loop makes
+/// thousands of warm solves over small perturbations, where a warm SOR
+/// start converges in a handful of sweeps and a V-cycle's fixed coarse
+/// traffic is pure overhead; sampling and verification engines see cold
+/// or strongly perturbed fields (fresh layouts, activity draws, DTM
+/// trajectories), exactly the smooth-error regime multigrid removes.
+enum class EngineRole {
+  fast_loop,  ///< annealing inner loop: warm, incremental solves
+  sampling,   ///< activity sampling / noise injection: mixed reuse
+  verify,     ///< verification, reporting, DTM: cold full-accuracy solves
+};
+
+/// Resolve a configured backend against the engine's role: explicit
+/// `sor` / `multigrid` force that backend; `auto_select` maps the warm
+/// fast-loop engine to SOR and everything else to multigrid.
+[[nodiscard]] constexpr SolverBackend resolve_backend(SolverBackend requested,
+                                                      EngineRole role) {
+  if (requested != SolverBackend::auto_select) return requested;
+  return role == EngineRole::fast_loop ? SolverBackend::sor
+                                       : SolverBackend::multigrid;
+}
+
 /// How a steady-state solve is driven: the backend (red-black SOR sweeps
 /// or geometric multigrid V-cycles smoothed by the same sweep) plus the
-/// tolerance schedule.  Derived from ThermalConfig at construction;
-/// the tolerance scale is the one knob callers adjust per solve phase.
+/// tolerance schedule.  Derived from ThermalConfig at construction --
+/// `auto_select` is resolved against the engine's role there, so the
+/// stored backend is always concrete.  The tolerance scale is the one
+/// knob callers adjust per solve phase.
 struct SolverPolicy {
   SolverBackend backend = SolverBackend::sor;
   /// Coarse levels below the solve grid; 0 = auto (full depth).
   std::size_t mg_levels = 0;
   /// Pre- and post-smoothing sweeps per V-cycle level.
   std::size_t mg_smooth_sweeps = 2;
+  /// Full-multigrid cold starts: seed cold multigrid solves with a
+  /// coarse-to-fine FMG sweep (see thermal/multigrid.hpp) instead of a
+  /// flat ambient field.  No effect on the SOR backend or warm starts.
+  bool mg_fmg = true;
   ToleranceSchedule tolerance;
 
-  [[nodiscard]] static SolverPolicy from_config(const ThermalConfig& cfg) {
+  [[nodiscard]] static SolverPolicy from_config(
+      const ThermalConfig& cfg, EngineRole role = EngineRole::verify) {
     SolverPolicy p;
-    p.backend = cfg.solver;
+    p.backend = resolve_backend(cfg.solver, role);
     p.mg_levels = cfg.mg_levels;
     p.mg_smooth_sweeps = cfg.mg_smooth_sweeps;
+    p.mg_fmg = cfg.mg_fmg;
     return p;
   }
 };
@@ -149,6 +180,19 @@ double sweep_color_rows(const Assembly& a, double omega, double* t, int color,
                         std::size_t row_begin, std::size_t row_end,
                         const double* rhs, const double* diag);
 
+/// True when this build+CPU can run the hand-vectorized (AVX2) color
+/// sweep.  GCC 12 does not auto-vectorize the stride-2 inner loop (the
+/// gather/scatter pattern defeats its cost model), so the kernel in
+/// sweep.cpp widens it by hand; it is bitwise-identical to the scalar
+/// sweep -- same operation order per node, no FMA contraction -- so
+/// dispatch never changes results, only speed.
+[[nodiscard]] bool sweep_simd_available();
+/// Runtime toggle for the SIMD sweep (on by default where available);
+/// tests and benches A/B the scalar kernel through this.  Affects every
+/// engine in the process; not thread-safe against concurrent sweeps.
+void set_sweep_simd(bool enabled);
+[[nodiscard]] bool sweep_simd_enabled();
+
 class MultigridHierarchy;
 struct MgScratch;
 
@@ -168,6 +212,10 @@ struct ThermalResult {
   bool warm_started = false;      ///< initial guess was a previous field
   bool assembly_reused = false;   ///< conductance network came from cache
   std::size_t vcycles = 0;        ///< multigrid V-cycles (0 on the SOR path)
+  bool fmg_started = false;       ///< cold start was seeded by an FMG sweep
+  /// V-cycles stopped contracting (strong z-coupling, e.g. monolithic
+  /// stacks) and the solve fell back to plain SOR sweeps mid-flight.
+  bool mg_stalled = false;
 };
 
 /// One recorded snapshot of a transient solve.
@@ -223,10 +271,16 @@ class ThermalEngine {
     std::size_t batch_calls = 0;       ///< solve_steady_batch invocations
     std::size_t batch_candidates = 0;  ///< candidates summed over batches
     std::size_t vcycles = 0;           ///< multigrid V-cycles run
+    std::size_t fmg_starts = 0;        ///< FMG-seeded cold solves
+    std::size_t mg_stalls = 0;         ///< solves that fell back to SOR
   };
 
+  /// `role` feeds backend auto-selection (`thermal.solver = auto`): a
+  /// fast_loop engine resolves to SOR, sampling/verify to multigrid.
+  /// Explicit `sor` / `multigrid` configs ignore the role.
   ThermalEngine(const TechnologyConfig& tech, const ThermalConfig& cfg,
-                ParallelConfig parallel = {});
+                ParallelConfig parallel = {},
+                EngineRole role = EngineRole::verify);
   ~ThermalEngine();
   ThermalEngine(ThermalEngine&&) noexcept;
   ThermalEngine& operator=(ThermalEngine&&) noexcept;
@@ -240,10 +294,14 @@ class ThermalEngine {
   [[nodiscard]] const Stats& stats() const { return stats_; }
 
   /// The solve dispatch policy (backend + tolerance schedule), derived
-  /// from ThermalConfig at construction.
+  /// from ThermalConfig at construction.  `policy().backend` is always
+  /// concrete: auto_select was resolved against role() at construction.
   [[nodiscard]] const SolverPolicy& policy() const { return policy_; }
+  /// The role this engine was constructed for (auto-selection input).
+  [[nodiscard]] EngineRole role() const { return role_; }
   /// Replace the policy wholesale (the multigrid hierarchy is rebuilt
-  /// lazily when its parameters changed).
+  /// lazily when its parameters changed).  An auto_select backend is
+  /// resolved against the engine's role.
   void set_policy(const SolverPolicy& policy);
   /// Adjust only the tolerance schedule: subsequent steady solves stop
   /// at tolerance_k * max(1, scale).  The annealer loosens this for
@@ -361,21 +419,31 @@ class ThermalEngine {
   double sweep_rows(double* t, int color, std::size_t row_begin,
                     std::size_t row_end, const double* rhs,
                     const double* diag, double omega) const;
+  /// Whether a cold solve would be FMG-seeded right now (multigrid
+  /// backend, usable hierarchy, policy flag on).  Decides the cold fill
+  /// value: FMG builds the field from zero, SOR/V-cycle from ambient.
+  [[nodiscard]] bool fmg_active() const;
   /// Steady-state solve of one field through the policy backend with
   /// strictly serial sweeps; writes iterations/residual/converged/
   /// vcycles into `result`.  Touches no engine state beyond the shared
   /// read-only assembly/hierarchy, so batched candidates run it
-  /// concurrently (each with its own `mg` scratch).
+  /// concurrently (each with its own `mg` scratch).  `fmg_start` means
+  /// the caller zero-filled `t` for an FMG cold start (fmg_active()).
   void solve_field_serial(double* t, const double* rhs, MgScratch* mg,
-                          ThermalResult& result) const;
+                          bool fmg_start, ThermalResult& result) const;
   /// The engine's own steady solve loop: policy dispatch with sharded
   /// fine-level sweeps.
-  void solve_field(double* t, const double* rhs, ThermalResult& result);
-  /// One multigrid V-cycle on the fine field `t`.  `fine_sweep` performs
-  /// one full red-black sweep on the fine level (sharded or serial);
-  /// coarse levels always smooth serially.  Returns the last
-  /// post-smoothing sweep's max node update (the convergence measure).
-  double vcycle(double* t, const double* rhs, MgScratch& scratch,
+  void solve_field(double* t, const double* rhs, bool fmg_start,
+                   ThermalResult& result);
+  /// One multigrid V-cycle on the fine field `t` against the fine-level
+  /// diagonal `diag` (diag_static for steady solves, the implicit-Euler
+  /// diagonal for transients -- the scratch's mg_set_dt state must
+  /// match).  `fine_sweep` performs one full red-black sweep on the fine
+  /// level (sharded or serial); coarse levels always smooth serially.
+  /// Returns the last post-smoothing sweep's max node update (the
+  /// convergence measure).
+  double vcycle(double* t, const double* rhs, const double* diag,
+                MgScratch& scratch,
                 const std::function<double()>& fine_sweep) const;
   /// Build `rhs` for a steady solve (power injection + boundary terms).
   void fill_steady_rhs(const std::vector<GridD>& die_power_w,
@@ -393,6 +461,7 @@ class ThermalEngine {
   TechnologyConfig tech_;
   ThermalConfig cfg_;
   LayerStack stack_;
+  EngineRole role_ = EngineRole::verify;
   SolverPolicy policy_;
 
   /// Persistent workers, serving both row-sharded sweeps and batched

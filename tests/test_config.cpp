@@ -172,7 +172,20 @@ TEST(ApplyThermal, SolverBackendSelection) {
 
   ThermalConfig defaults;
   apply_thermal(ConfigFile::parse(""), defaults);
-  EXPECT_EQ(defaults.solver, SolverBackend::sor);
+  EXPECT_EQ(defaults.solver, SolverBackend::auto_select);
+  EXPECT_TRUE(defaults.mg_fmg);
+
+  const auto autosel = ConfigFile::parse("[thermal]\nsolver = auto\n");
+  ThermalConfig t_auto;
+  apply_thermal(autosel, t_auto);
+  EXPECT_EQ(t_auto.solver, SolverBackend::auto_select);
+
+  const auto forced = ConfigFile::parse(
+      "[thermal]\nsolver = sor\nmg_fmg = false\n");
+  ThermalConfig t_forced;
+  apply_thermal(forced, t_forced);
+  EXPECT_EQ(t_forced.solver, SolverBackend::sor);
+  EXPECT_FALSE(t_forced.mg_fmg);
 
   const auto bad = ConfigFile::parse("[thermal]\nsolver = jacobi\n");
   ThermalConfig t2;

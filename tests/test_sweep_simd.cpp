@@ -1,0 +1,163 @@
+// Tests of the hand-vectorized (AVX2) red-black color sweep in
+// thermal/sweep.cpp: the SIMD kernel must be BITWISE identical to the
+// scalar one -- same operation order per node, no FMA contraction --
+// across both backends, cold and warm starts, and transient stepping,
+// so runtime dispatch can never change a result, only its speed.  On
+// hosts without AVX2 the suite degenerates to scalar-vs-scalar and
+// still passes.
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "thermal/thermal_engine.hpp"
+
+namespace tsc3d::thermal {
+namespace {
+
+/// RAII A/B guard: force the requested kernel, restore the previous
+/// dispatch on scope exit so test order never leaks state.
+class SimdGuard {
+ public:
+  explicit SimdGuard(bool enabled) : prev_(sweep_simd_enabled()) {
+    set_sweep_simd(enabled);
+  }
+  ~SimdGuard() { set_sweep_simd(prev_); }
+
+ private:
+  bool prev_;
+};
+
+TechnologyConfig test_tech() {
+  TechnologyConfig t;
+  t.die_width_um = 2000.0;
+  t.die_height_um = 2000.0;
+  return t;
+}
+
+ThermalConfig test_thermal(std::size_t grid, SolverBackend backend) {
+  ThermalConfig c;
+  c.grid_nx = c.grid_ny = grid;
+  c.solver = backend;
+  c.tolerance_k = 1e-6;
+  return c;
+}
+
+std::vector<GridD> test_power(std::size_t grid) {
+  std::vector<GridD> power(2, GridD(grid, grid, 0.0));
+  power[0].at(grid / 2, grid / 2) = 2.0;
+  power[0].at(1, grid - 2) = 0.9;
+  power[1].at(grid - 3, 2) = 1.3;
+  return power;
+}
+
+void expect_bitwise_equal(const ThermalResult& a, const ThermalResult& b) {
+  EXPECT_EQ(a.iterations, b.iterations);
+  EXPECT_EQ(a.vcycles, b.vcycles);
+  EXPECT_EQ(a.converged, b.converged);
+  EXPECT_EQ(a.residual_k, b.residual_k);
+  EXPECT_EQ(a.peak_k, b.peak_k);
+  ASSERT_EQ(a.layer_temperature.size(), b.layer_temperature.size());
+  for (std::size_t l = 0; l < a.layer_temperature.size(); ++l)
+    for (std::size_t c = 0; c < a.layer_temperature[l].size(); ++c)
+      ASSERT_EQ(a.layer_temperature[l][c], b.layer_temperature[l][c])
+          << "layer " << l << " cell " << c;
+}
+
+TEST(SweepSimd, DispatchReportsAndToggles) {
+  const bool prev = sweep_simd_enabled();
+  set_sweep_simd(false);
+  EXPECT_FALSE(sweep_simd_enabled());
+  set_sweep_simd(true);
+  // Enabling only sticks where the kernel exists.
+  EXPECT_EQ(sweep_simd_enabled(), sweep_simd_available());
+  set_sweep_simd(prev);
+}
+
+TEST(SweepSimd, SteadySorSolveBitwiseScalarVsSimd) {
+  // Grid widths that exercise every tail case of the 4-wide kernel:
+  // 16 (vector blocks + tail), 20, and 10 (vector path barely engages).
+  for (const std::size_t g : {10u, 16u, 20u}) {
+    const auto power = test_power(g);
+    const GridD tsv(g, g, 0.1);
+    ThermalResult scalar, simd;
+    {
+      SimdGuard guard(false);
+      ThermalEngine engine(test_tech(), test_thermal(g, SolverBackend::sor));
+      scalar = engine.solve_steady(power, tsv);
+    }
+    {
+      SimdGuard guard(true);
+      ThermalEngine engine(test_tech(), test_thermal(g, SolverBackend::sor));
+      simd = engine.solve_steady(power, tsv);
+    }
+    ASSERT_TRUE(scalar.converged);
+    expect_bitwise_equal(scalar, simd);
+  }
+}
+
+TEST(SweepSimd, MultigridSolveBitwiseScalarVsSimd) {
+  // The same kernel smooths every multigrid level; FMG + V-cycles must
+  // be trajectory-identical under either dispatch.
+  constexpr std::size_t g = 32;
+  const auto power = test_power(g);
+  const GridD tsv(g, g, 0.1);
+  ThermalResult scalar, simd;
+  {
+    SimdGuard guard(false);
+    ThermalEngine engine(test_tech(),
+                         test_thermal(g, SolverBackend::multigrid));
+    scalar = engine.solve_steady(power, tsv);
+  }
+  {
+    SimdGuard guard(true);
+    ThermalEngine engine(test_tech(),
+                         test_thermal(g, SolverBackend::multigrid));
+    simd = engine.solve_steady(power, tsv);
+  }
+  ASSERT_TRUE(scalar.converged);
+  ASSERT_GT(scalar.vcycles, 0u);
+  expect_bitwise_equal(scalar, simd);
+}
+
+TEST(SweepSimd, TransientTrajectoryBitwiseScalarVsSimd) {
+  constexpr std::size_t g = 16;
+  const auto power = test_power(g);
+  const GridD tsv(g, g, 0.1);
+  const auto run = [&](bool simd_on) {
+    SimdGuard guard(simd_on);
+    ThermalEngine engine(test_tech(),
+                         test_thermal(g, SolverBackend::multigrid));
+    return engine.solve_transient([&](double) { return power; }, tsv, 1.0,
+                                  0.25);
+  };
+  const TransientResult scalar = run(false);
+  const TransientResult simd = run(true);
+  EXPECT_EQ(scalar.total_iterations, simd.total_iterations);
+  EXPECT_EQ(scalar.unconverged_steps, simd.unconverged_steps);
+  expect_bitwise_equal(scalar.final_state, simd.final_state);
+}
+
+TEST(SweepSimd, ShardedSweepBitwiseScalarVsSimd) {
+  // SIMD dispatch composes with sweep sharding: the pool splits rows,
+  // each shard picks the same kernel, and the combined result must stay
+  // bitwise equal to the serial scalar reference.
+  constexpr std::size_t g = 24;
+  const auto power = test_power(g);
+  const GridD tsv(g, g, 0.1);
+  ThermalResult reference, sharded_simd;
+  {
+    SimdGuard guard(false);
+    ThermalEngine engine(test_tech(), test_thermal(g, SolverBackend::sor));
+    reference = engine.solve_steady(power, tsv);
+  }
+  {
+    SimdGuard guard(true);
+    ThermalEngine engine(test_tech(), test_thermal(g, SolverBackend::sor),
+                         {.threads = 4, .min_nodes_per_thread = 1});
+    sharded_simd = engine.solve_steady(power, tsv);
+  }
+  expect_bitwise_equal(reference, sharded_simd);
+}
+
+}  // namespace
+}  // namespace tsc3d::thermal

@@ -62,7 +62,15 @@ TEST(LayerStack, FourDieStack) {
 }
 
 TEST(GridSolver, ZeroPowerGivesAmbientEverywhere) {
-  const GridSolver solver(test_tech(), test_thermal());
+  // The multigrid backend stops on per-sweep updates like SOR does, but
+  // its absolute error at the default tolerance can sit right at the
+  // 1e-3 K band this test asserts (an FMG-seeded solve builds the field
+  // from zero rather than starting exactly at ambient).  A tighter
+  // stopping tolerance keeps the assertion about physics, not about the
+  // stopping rule.
+  ThermalConfig cfg = test_thermal();
+  cfg.tolerance_k = 1e-6;
+  const GridSolver solver(test_tech(), cfg);
   const std::vector<GridD> power(2, GridD(16, 16, 0.0));
   const GridD tsv(16, 16, 0.0);
   const ThermalResult res = solver.solve_steady(power, tsv);

@@ -114,6 +114,10 @@ TEST(ThermalEngine, ResetDropsCacheAndWarmState) {
 
 TEST(ThermalEngine, ExhaustedSteadySolveReportsNotConverged) {
   ThermalConfig cfg = test_thermal();
+  // Pin the SOR backend: this asserts the exact sweep-budget accounting
+  // of the SOR loop (multigrid spends its budget in V-cycle granules;
+  // its exhaustion reporting is covered in test_solver_policy.cpp).
+  cfg.solver = SolverBackend::sor;
   cfg.max_iterations = 3;
   cfg.tolerance_k = 1e-12;
   ThermalEngine engine(test_tech(), cfg);
@@ -129,6 +133,7 @@ TEST(ThermalEngine, NonConvergingTransientReportsNotConverged) {
   // unreachable tolerance, every implicit-Euler step exhausts its budget.
   // The legacy solver reported converged == true regardless.
   ThermalConfig cfg = test_thermal(8);
+  cfg.solver = SolverBackend::sor;  // exact per-step SOR accounting
   cfg.max_iterations = 2;
   cfg.tolerance_k = 1e-13;
   ThermalEngine engine(test_tech(), cfg);
